@@ -1,0 +1,26 @@
+"""Shared state for the table/figure benchmarks.
+
+One session-scoped :class:`SuiteRunner` over the full suite ('ref'
+datasets): the first benchmark to need a profiled run pays for it, the rest
+reuse it. Each `test_tableN`/`test_graphN` regenerates one table or figure
+of the paper and asserts its reproduction claims (see EXPERIMENTS.md).
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import SuiteRunner
+
+
+@pytest.fixture(scope="session")
+def runner() -> SuiteRunner:
+    return SuiteRunner()
+
+
+def once(benchmark, func):
+    """Run *func* exactly once under pytest-benchmark timing (the suite
+    executions inside are far too heavy for statistical repetition)."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,240 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation flips one design decision and measures its effect on the
+suite (a representative subset, to keep runtime sane):
+
+* rotated vs top-tested while/for loops (Loop-heuristic coverage);
+* natural-loop loop predictor vs BTFNT on loop branches;
+* the paper's fixed order vs the best order found by full search vs the
+  pairwise order;
+* Pointer heuristic with/without its $gp and call exclusions;
+* Default policy: random vs always-fall-through vs always-taken.
+"""
+
+import pytest
+
+from conftest import once
+from repro.bench import get
+from repro.core import (
+    BTFNTPredictor, HeuristicPredictor, LoopRandomPredictor, PAPER_ORDER,
+    best_order, classify_branches, evaluate_predictor, pairwise_order,
+)
+from repro.core.classify import Prediction
+from repro.core.heuristics import loop_heuristic, pointer_heuristic
+from repro.harness.tables import order_data_for
+from repro.sim import EdgeProfile, Machine
+
+ABLATION_BENCHES = ("scc", "fields", "gauss", "lzw", "queens")
+
+
+def profiled(executable, inputs):
+    profile = EdgeProfile()
+    Machine(executable, inputs=inputs, observers=[profile],
+            max_instructions=60_000_000).run()
+    return profile
+
+
+class TestLoopRotationAblation:
+    def test_rotation_feeds_loop_heuristic(self, benchmark):
+        """Rotated codegen creates the guard branches the non-loop Loop
+        heuristic predicts; top-tested codegen starves it."""
+
+        def run():
+            coverage = {}
+            for rotate in (True, False):
+                hits = 0
+                total = 0
+                for name in ("fields", "gauss", "scc"):
+                    b = get(name)
+                    exe_kw = {"filename": name, "rotate_loops": rotate}
+                    from repro.bcc import compile_and_link
+                    exe = compile_and_link(b.source(), **exe_kw)
+                    analysis = classify_branches(exe)
+                    for br in analysis.non_loop_branches():
+                        pa = analysis.analysis_of(br)
+                        total += 1
+                        if loop_heuristic(br, pa) is not None:
+                            hits += 1
+                coverage[rotate] = hits / total
+            return coverage
+
+        coverage = once(benchmark, run)
+        print(f"\nLoop-heuristic static coverage: rotated="
+              f"{coverage[True]:.3f} top-tested={coverage[False]:.3f}")
+        assert coverage[True] > 1.5 * coverage[False]
+
+    def test_rotation_reduces_dynamic_branch_misses(self, benchmark):
+        """With rotation, the whole-program heuristic should do no worse —
+        and executions get cheaper (no unconditional back jumps)."""
+
+        def run():
+            out = {}
+            for rotate in (True, False):
+                from repro.bcc import compile_and_link
+                b = get("gauss")
+                exe = compile_and_link(b.source(), rotate_loops=rotate)
+                inputs = list(b.dataset("small").inputs)
+                profile = profiled(exe, inputs)
+                analysis = classify_branches(exe)
+                result = evaluate_predictor(HeuristicPredictor(analysis),
+                                            profile)
+                out[rotate] = (result.miss_rate, profile.total_instructions)
+            return out
+
+        out = once(benchmark, run)
+        print(f"\nrotated: miss={out[True][0]:.3f} "
+              f"insts={out[True][1]}; top-tested: miss={out[False][0]:.3f} "
+              f"insts={out[False][1]}")
+        # rotated code executes fewer instructions (no j-back per iteration)
+        assert out[True][1] < out[False][1]
+
+
+class TestLoopPredictorVsBTFNT:
+    def test_natural_loop_beats_btfnt(self, runner, benchmark):
+        def run():
+            loop_misses = btfnt_misses = executed = 0
+            for name in ABLATION_BENCHES:
+                r = runner.run(name)
+                loop = evaluate_predictor(LoopRandomPredictor(r.analysis),
+                                          r.profile, r.loop_addresses)
+                btfnt = evaluate_predictor(BTFNTPredictor(r.analysis),
+                                           r.profile, r.loop_addresses)
+                loop_misses += loop.misses
+                btfnt_misses += btfnt.misses
+                executed += loop.executed
+            return loop_misses, btfnt_misses, executed
+
+        loop_misses, btfnt_misses, executed = once(benchmark, run)
+        print(f"\nloop-branch misses: natural-loop={loop_misses} "
+              f"btfnt={btfnt_misses} of {executed}")
+        assert loop_misses <= btfnt_misses
+
+
+class TestOrderChoiceAblation:
+    def test_paper_order_vs_searched_orders(self, runner, benchmark):
+        def run():
+            datasets = [order_data_for(runner.run(n))
+                        for n in ABLATION_BENCHES]
+            from repro.core import miss_rate_matrix, order_miss_rate
+            searched, searched_miss = best_order(datasets)
+            pairwise = pairwise_order(datasets)
+
+            def avg(order):
+                rates = [order_miss_rate(d, order) for d in datasets]
+                return sum(rates) / len(rates)
+
+            return {
+                "paper": avg(PAPER_ORDER),
+                "searched": searched_miss,
+                "pairwise": avg(pairwise),
+            }
+
+        rates = once(benchmark, run)
+        print(f"\norder miss rates: {rates}")
+        # full search is optimal by construction
+        assert rates["searched"] <= rates["paper"] + 1e-9
+        assert rates["searched"] <= rates["pairwise"] + 1e-9
+        # the paper's fixed order is competitive (within a few points)
+        assert rates["paper"] - rates["searched"] < 0.10
+
+
+class TestPointerExclusionsAblation:
+    @pytest.mark.parametrize("variant,kwargs", [
+        ("paper", {}),
+        ("no_gp_exclusion", {"exclude_gp": False}),
+        ("no_call_exclusion", {"exclude_calls": False}),
+    ])
+    def test_variants_measured(self, runner, benchmark, variant, kwargs):
+        def run():
+            misses = executed = covered = 0
+            for name in ("scc", "lzw", "fields"):
+                r = runner.run(name)
+                for br in r.analysis.non_loop_branches():
+                    count = r.profile.execution_count(br.address)
+                    if count == 0:
+                        continue
+                    pa = r.analysis.analysis_of(br)
+                    prediction = pointer_heuristic(br, pa, **kwargs)
+                    if prediction is None:
+                        continue
+                    covered += 1
+                    executed += count
+                    if prediction is Prediction.TAKEN:
+                        misses += r.profile.not_taken_count(br.address)
+                    else:
+                        misses += r.profile.taken_count(br.address)
+            return covered, executed, misses
+
+        covered, executed, misses = once(benchmark, run)
+        rate = misses / executed if executed else 0.0
+        print(f"\nPoint[{variant}]: {covered} branches, "
+              f"{executed} dynamic, miss {rate:.3f}")
+        assert covered > 0
+
+    def test_exclusions_change_coverage(self, runner):
+        """Dropping the $gp exclusion must not shrink coverage (it only
+        admits more loads)."""
+        def coverage(**kwargs):
+            n = 0
+            for name in ("scc", "lzw", "fields"):
+                r = runner.run(name)
+                for br in r.analysis.non_loop_branches():
+                    pa = r.analysis.analysis_of(br)
+                    if pointer_heuristic(br, pa, **kwargs) is not None:
+                        n += 1
+            return n
+
+        assert coverage(exclude_gp=False) >= coverage()
+        assert coverage(exclude_calls=False) >= coverage()
+
+
+class TestDefaultPolicyAblation:
+    def test_default_policies(self, runner, benchmark):
+        def run():
+            out = {}
+            for policy in ("random", "taken", "not_taken"):
+                misses = executed = 0
+                for name in ABLATION_BENCHES:
+                    r = runner.run(name)
+                    hp = HeuristicPredictor(r.analysis, default=policy)
+                    result = evaluate_predictor(hp, r.profile,
+                                                r.executed_non_loop)
+                    misses += result.misses
+                    executed += result.executed
+                out[policy] = misses / executed
+            return out
+
+        rates = once(benchmark, run)
+        print(f"\ndefault-policy non-loop miss rates: {rates}")
+        # all policies are in a plausible band; none catastrophically
+        # dominates (the Default slice is a minority of branches)
+        for rate in rates.values():
+            assert 0.0 <= rate <= 0.7
+        assert max(rates.values()) - min(rates.values()) < 0.25
+
+
+class TestCombinerAblation:
+    def test_priority_vs_voting(self, runner, benchmark):
+        """The paper chose a total order over 'a voting protocol with
+        weighings' (Section 5). Compare the two combiners on the suite."""
+        from repro.core import VotingPredictor
+
+        def run():
+            priority_misses = vote_misses = executed = 0
+            for name in ABLATION_BENCHES:
+                r = runner.run(name)
+                nl = r.executed_non_loop
+                p = evaluate_predictor(HeuristicPredictor(r.analysis),
+                                       r.profile, nl)
+                v = evaluate_predictor(VotingPredictor(r.analysis),
+                                       r.profile, nl)
+                priority_misses += p.misses
+                vote_misses += v.misses
+                executed += p.executed
+            return priority_misses, vote_misses, executed
+
+        priority, vote, executed = once(benchmark, run)
+        print(f"\nnon-loop misses: priority={priority / executed:.3f} "
+              f"voting={vote / executed:.3f}")
+        # both combiners land in the same quality band; neither collapses
+        assert abs(priority - vote) / executed < 0.15

@@ -1,0 +1,137 @@
+"""Extension experiments beyond the paper's tables.
+
+* **Program-based vs profile-based** (the paper's framing claim: program-
+  based prediction is roughly "a factor of two worse, on the average, than
+  profile-based prediction" but needs no training run): train the
+  profile-guided predictor on the `alt` dataset, test on `ref`.
+* **Static vs dynamic hardware** (related-work context: Lee & Smith 2-bit
+  counters; McFarling & Hennessy's profile≈dynamic observation).
+* **Extended Guard** (the paper's Section 4.4 generalization): how coverage
+  and accuracy change when Guard looks beyond the immediate successor.
+"""
+
+from conftest import once
+from repro.core import (
+    BimodalPredictor, HeuristicPredictor, LastDirectionPredictor,
+    Prediction, ProfileGuidedPredictor, StaticAsDynamic, evaluate_predictor,
+    extended_guard_heuristic,
+)
+from repro.core.heuristics import guard_heuristic
+from repro.sim import Machine
+
+CROSS_BENCHES = ("fields", "scc", "gauss", "lzw", "exprc", "match",
+                 "knapsack", "mesh")
+
+
+class TestProgramVsProfileBased:
+    def test_factor_of_two_claim(self, runner, benchmark):
+        def run():
+            program_misses = profile_misses = floor_misses = executed = 0
+            for name in CROSS_BENCHES:
+                test_run = runner.run(name, "ref")
+                train_run = runner.run(name, "alt")
+                guided = ProfileGuidedPredictor(test_run.analysis,
+                                                train_run.profile)
+                heuristic = HeuristicPredictor(test_run.analysis)
+                from repro.core import PerfectPredictor
+                perfect = PerfectPredictor(test_run.analysis,
+                                           test_run.profile)
+                g = evaluate_predictor(guided, test_run.profile)
+                h = evaluate_predictor(heuristic, test_run.profile)
+                f = evaluate_predictor(perfect, test_run.profile)
+                program_misses += h.misses
+                profile_misses += g.misses
+                floor_misses += f.misses
+                executed += h.executed
+            return program_misses, profile_misses, floor_misses, executed
+
+        program, profile, floor, executed = once(benchmark, run)
+        print(f"\nmiss rates on ref: program-based {program / executed:.3f},"
+              f" profile-based(alt-trained) {profile / executed:.3f},"
+              f" perfect {floor / executed:.3f}")
+        # profile-based (even cross-trained) beats program-based...
+        assert profile < program
+        # ...and cross-trained profiles sit near the perfect floor
+        # (Fisher & Freudenberger's stability result)
+        assert profile - floor < 0.05 * executed
+        # the paper's framing claim: program-based is "a factor of two
+        # worse, on the average, than profile-based"
+        ratio = program / profile
+        print(f"program/profile miss-rate ratio: {ratio:.2f}")
+        assert 1.2 <= ratio < 5.0
+
+
+class TestStaticVsDynamic:
+    def test_three_way_comparison(self, runner, benchmark):
+        def run():
+            out = {}
+            for name in ("scc", "fields", "gauss"):
+                r = runner.run(name)
+                static = StaticAsDynamic(
+                    HeuristicPredictor(r.analysis).prediction_map())
+                bimodal = BimodalPredictor()
+                one_bit = LastDirectionPredictor()
+                machine = Machine(r.executable,
+                                  inputs=list(r.dataset.inputs),
+                                  observers=[static, bimodal, one_bit],
+                                  max_instructions=60_000_000)
+                machine.run()
+                out[name] = {
+                    "heuristic": static.miss_rate,
+                    "bimodal": bimodal.miss_rate,
+                    "last": one_bit.miss_rate,
+                }
+            return out
+
+        results = once(benchmark, run)
+        for name, rates in results.items():
+            print(f"\n{name}: " + " ".join(
+                f"{k}={100 * v:.1f}%" for k, v in rates.items()))
+            # 2-bit dynamic hardware beats program-based static prediction
+            # (the cost the paper accepts for needing no hardware)
+            assert rates["bimodal"] <= rates["heuristic"] + 0.02
+            # and hysteresis beats 1-bit history overall
+        total_bi = sum(r["bimodal"] for r in results.values())
+        total_last = sum(r["last"] for r in results.values())
+        assert total_bi <= total_last
+
+
+class TestExtendedGuardExperiment:
+    def test_generalization_widens_coverage(self, runner, benchmark):
+        def run():
+            plain_cov = ext_cov = 0
+            plain_misses = plain_exec = 0
+            ext_misses = ext_exec = 0
+            for name in ("scc", "exprc", "minilisp", "gauss"):
+                r = runner.run(name)
+                for br in r.analysis.non_loop_branches():
+                    count = r.profile.execution_count(br.address)
+                    if count == 0:
+                        continue
+                    pa = r.analysis.analysis_of(br)
+
+                    def misses_of(prediction):
+                        if prediction is Prediction.TAKEN:
+                            return r.profile.not_taken_count(br.address)
+                        return r.profile.taken_count(br.address)
+
+                    plain = guard_heuristic(br, pa)
+                    extended = extended_guard_heuristic(br, pa)
+                    if plain is not None:
+                        plain_cov += 1
+                        plain_exec += count
+                        plain_misses += misses_of(plain)
+                    if extended is not None:
+                        ext_cov += 1
+                        ext_exec += count
+                        ext_misses += misses_of(extended)
+            return (plain_cov, plain_exec, plain_misses,
+                    ext_cov, ext_exec, ext_misses)
+
+        (p_cov, p_exec, p_miss, e_cov, e_exec, e_miss) = \
+            once(benchmark, run)
+        print(f"\nGuard: {p_cov} branches, miss {p_miss / p_exec:.3f}; "
+              f"extended: {e_cov} branches, miss {e_miss / e_exec:.3f}")
+        # the generalization strictly widens static coverage
+        assert e_cov > p_cov
+        assert e_exec >= p_exec

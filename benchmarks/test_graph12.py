@@ -1,0 +1,35 @@
+"""Graph 12: the analytic model f(m,s) = 1-(1-m)^s for m = 2.5%..30%.
+
+Paper shape: 'the payoff in sequence length comes not from moving from 30%
+to 15%, but from reducing the miss rate to less than 15%'.
+"""
+
+import numpy as np
+
+from conftest import once
+from repro.harness import graph12
+
+
+def test_graph12(benchmark):
+    family = once(benchmark, graph12)
+    assert len(family) == 12
+    lengths = np.arange(1, 102)
+
+    # each curve is monotone in s and bounded
+    for m, curve in family.items():
+        assert ((curve >= 0) & (curve <= 1)).all()
+        assert (np.diff(curve) >= 0).all()
+
+    # curves are ordered by miss rate at every length
+    ms = sorted(family)
+    for a, b in zip(ms, ms[1:]):
+        assert (family[a] <= family[b] + 1e-12).all()
+
+    def frac_long(m, s=64):
+        """fraction of instructions in sequences longer than s"""
+        return float(1 - family[m][s - 1])
+
+    # the paper's knee: 30% -> 15% buys little; below 15% buys a lot
+    gain_high = frac_long(0.15) - frac_long(0.30)
+    gain_low = frac_long(0.025) - frac_long(0.15)
+    assert gain_low > 10 * gain_high

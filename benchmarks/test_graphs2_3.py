@@ -1,0 +1,29 @@
+"""Graphs 2-3: the subset experiment's winning orders — cumulative trial
+share (Graph 2) and their full-suite miss rates (Graph 3).
+
+Paper shape: ~622 distinct winners out of 5040 possible; the 40 most common
+account for ~90% of trials; most of their miss rates are near-optimal.
+"""
+
+import numpy as np
+
+from conftest import once
+from repro.harness import graphs2_3
+
+
+def test_graphs2_3(runner, benchmark):
+    g = once(benchmark, lambda: graphs2_3(runner))
+    print("\n" + g.describe())
+
+    result = g.result
+    # few distinct orders ever win (paper: 622 of 5040)
+    assert len(result.orders) < 1000
+    # the 40 most common orders dominate the trials (paper: ~90%)
+    share = result.cumulative_trial_share()
+    top40 = share[min(39, len(share) - 1)]
+    assert top40 > 0.75
+    # winning orders generalize: their full-suite miss rates are close to
+    # the best achievable
+    best = min(result.overall_miss_rates)
+    top10_rates = np.array(result.overall_miss_rates[:10])
+    assert (top10_rates < best + 0.03).all()

@@ -1,0 +1,18 @@
+"""Table 1: benchmark listing with code sizes (compile-only)."""
+
+from conftest import once
+from repro.harness import table1
+
+
+def test_table1(runner, benchmark):
+    t = once(benchmark, lambda: table1(runner))
+    print("\n" + t.render())
+    # 20 benchmarks in two groups, like the paper's 23 in two groups
+    assert len(t.rows) == 22
+    groups = {r.group for r in t.rows}
+    assert groups == {"int", "fp"}
+    # sizes span more than an order of magnitude (paper: 1.6KB..856KB)
+    sizes = [r.code_size_kb for r in t.rows]
+    assert max(sizes) / min(sizes) > 10
+    # every row names its paper analogue
+    assert all(r.paper_analogue for r in t.rows)

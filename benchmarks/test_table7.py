@@ -1,0 +1,24 @@
+"""Table 7: summary means/std-devs, with and without the programs whose
+dynamic non-loop branches are dominated by a handful of 'big' branches."""
+
+from conftest import once
+from repro.harness import table7
+
+
+def test_table7(runner, benchmark):
+    t = once(benchmark, lambda: table7(runner))
+    print("\n" + t.render())
+
+    # ordering of predictors holds in both populations
+    for stats in (t.all_stats, t.most_stats):
+        heuristic_all = stats["all"][0]
+        loop_rand = stats["loop_rand"][0]
+        tgt = stats["target_nl"][0]
+        rnd = stats["random_nl"][0]
+        heuristic_nl = stats["heuristic_nl"][0]
+        assert heuristic_all <= loop_rand + 0.01
+        assert heuristic_nl < tgt
+        assert heuristic_nl < rnd
+    # some programs are excluded by the >90%-big-branch rule (the paper
+    # excluded eqntott, grep, tomcatv, matrix300)
+    assert t.excluded

@@ -1,0 +1,17 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's full evaluation (all tables, key graphs).
+
+This is a thin wrapper over `python -m repro.harness`; it exists so the
+examples directory shows the one-call path to the complete reproduction.
+
+Run:  python examples/paper_report.py           # everything (a few minutes)
+      python examples/paper_report.py 2 6       # just Tables 2 and 6
+"""
+
+import sys
+
+from repro.harness.__main__ import main
+
+if __name__ == "__main__":
+    tables = ",".join(sys.argv[1:]) or "1,2,3,4,5,6,7"
+    raise SystemExit(main(["--tables", tables, "--graphs", "1,2,4,12,13"]))

@@ -1,0 +1,62 @@
+"""repro — reproduction of Ball & Larus, "Branch Prediction for Free" (PLDI 1993).
+
+The package is layered bottom-up; see each subpackage for detail:
+
+* :mod:`repro.isa` — MIPS-like instruction set, assembler, executables.
+* :mod:`repro.cfg` — control-flow graphs, dominators, natural loops.
+* :mod:`repro.sim` — interpreter with edge profiling and trace analysis
+  (the QPT stand-in).
+* :mod:`repro.bcc` — an optimizing compiler for the BLC mini-C language
+  targeting the ISA.
+* :mod:`repro.bench` — the benchmark suite (BLC programs + datasets).
+* :mod:`repro.core` — the paper's contribution: branch classification, the
+  loop predictor, the seven non-loop heuristics, their combination, baseline
+  predictors, evaluation metrics, ordering experiments, and the
+  instructions-per-break-in-control machinery.
+* :mod:`repro.harness` — regenerates every table and figure in the paper.
+
+Quickstart::
+
+    from repro import compile_and_link, run_with_profile
+    from repro import classify_branches, HeuristicPredictor, evaluate_predictor
+
+    exe = compile_and_link(open("prog.blc").read())
+    profile = run_with_profile(exe, inputs=[42])
+    predictor = HeuristicPredictor(classify_branches(exe))
+    print(evaluate_predictor(predictor, profile).cd())   # e.g. "18/6"
+"""
+
+from repro._version import __version__
+from repro.bcc import CompileError, compile_and_link, compile_to_asm
+from repro.bench import suite
+from repro.core import (
+    BTFNTPredictor, BranchClass, BranchInfo, HEURISTIC_NAMES,
+    HeuristicPredictor, LoopRandomPredictor, NotTakenPredictor, PAPER_ORDER,
+    PerfectPredictor, Prediction, ProgramAnalysis, RandomPredictor,
+    TakenPredictor, classify_branches, evaluate_predictor,
+    sequence_experiment,
+)
+from repro.harness import SuiteRunner
+from repro.isa import Executable, assemble
+from repro.sim import (
+    EdgeProfile, Machine, SequenceAnalyzer, run_with_profile,
+    run_with_sequences,
+)
+
+__all__ = [
+    "__version__",
+    # toolchain
+    "assemble", "Executable", "CompileError", "compile_and_link",
+    "compile_to_asm",
+    # simulation
+    "Machine", "EdgeProfile", "SequenceAnalyzer", "run_with_profile",
+    "run_with_sequences",
+    # the paper's contribution
+    "BranchClass", "BranchInfo", "Prediction", "ProgramAnalysis",
+    "classify_branches", "HEURISTIC_NAMES", "PAPER_ORDER",
+    "HeuristicPredictor", "PerfectPredictor", "LoopRandomPredictor",
+    "RandomPredictor", "TakenPredictor", "NotTakenPredictor",
+    "BTFNTPredictor", "evaluate_predictor", "sequence_experiment",
+    # suite & harness
+    "suite", "SuiteRunner",
+]

@@ -1,0 +1,26 @@
+"""The BLC compiler: a from-scratch optimizing mini-C compiler targeting the
+MIPS-like ISA.
+
+Pipeline: :mod:`~repro.bcc.lexer` -> :mod:`~repro.bcc.parser` ->
+:mod:`~repro.bcc.sema` -> :mod:`~repro.bcc.irgen` -> :mod:`~repro.bcc.opt`
+-> :mod:`~repro.bcc.regalloc` -> :mod:`~repro.bcc.codegen`, driven by
+:mod:`~repro.bcc.driver`. The :mod:`~repro.bcc.runtime` library (malloc,
+string routines, syscall wrappers) is linked into every program.
+"""
+
+from repro.bcc.driver import (
+    analyze_source, compile_and_link, compile_to_asm, compile_to_ir,
+)
+from repro.bcc.errors import CompileError
+from repro.bcc.lexer import tokenize
+from repro.bcc.parser import parse
+
+__all__ = [
+    "CompileError",
+    "tokenize",
+    "parse",
+    "analyze_source",
+    "compile_to_ir",
+    "compile_to_asm",
+    "compile_and_link",
+]

@@ -1,0 +1,114 @@
+"""``python -m repro.bcc`` — compile (and optionally run/analyze) BLC.
+
+Examples::
+
+    python -m repro.bcc prog.blc --run --inputs 10,3
+    python -m repro.bcc prog.blc --emit-asm
+    python -m repro.bcc prog.blc --dump-ir --no-opt
+    python -m repro.bcc prog.blc --predict      # branch prediction report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bcc.driver import compile_and_link, compile_to_asm, compile_to_ir
+from repro.bcc.errors import CompileError
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bcc",
+        description="BLC compiler (MIPS-like target) with branch-prediction "
+                    "analysis.")
+    parser.add_argument("source", help="BLC source file")
+    parser.add_argument("--run", action="store_true",
+                        help="execute after compiling")
+    parser.add_argument("--inputs", default="",
+                        help="comma-separated values for read_int/"
+                             "read_double")
+    parser.add_argument("--emit-asm", action="store_true",
+                        help="print the generated assembly")
+    parser.add_argument("--dump-ir", action="store_true",
+                        help="print the (optimized) IR")
+    parser.add_argument("--no-opt", action="store_true",
+                        help="disable the optimizer")
+    parser.add_argument("--no-rotate-loops", action="store_true",
+                        help="use naive top-tested loop codegen")
+    parser.add_argument("--predict", action="store_true",
+                        help="run, then report each predictor's miss rate")
+    parser.add_argument("--max-instructions", type=int, default=200_000_000)
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.source) as handle:
+            source = handle.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    optimize = not args.no_opt
+    rotate = not args.no_rotate_loops
+    inputs = [float(v) if "." in v else int(v)
+              for v in args.inputs.split(",") if v]
+
+    try:
+        if args.dump_ir:
+            ir = compile_to_ir(source, args.source, optimize=optimize,
+                               rotate_loops=rotate)
+            print(ir.dump())
+            return 0
+        if args.emit_asm:
+            print(compile_to_asm(source, args.source, optimize=optimize,
+                                 rotate_loops=rotate))
+            return 0
+        executable = compile_and_link(source, args.source,
+                                      optimize=optimize, rotate_loops=rotate)
+    except CompileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"compiled {args.source}: {len(executable.procedures)} procedures,"
+          f" {executable.code_size_kb:.1f} KB", file=sys.stderr)
+
+    if not (args.run or args.predict):
+        return 0
+
+    from repro.sim import EdgeProfile, Machine
+    profile = EdgeProfile()
+    machine = Machine(executable, inputs=inputs, observers=[profile],
+                      max_instructions=args.max_instructions)
+    status = machine.run()
+    sys.stdout.write(status.output)
+    print(f"[{status.instr_count} instructions, "
+          f"{status.dynamic_branches} branches, "
+          f"exit {status.exit_code}]", file=sys.stderr)
+
+    if args.predict:
+        from repro.core import (
+            BTFNTPredictor, HeuristicPredictor, LoopRandomPredictor,
+            PerfectPredictor, RandomPredictor, TakenPredictor,
+            classify_branches, evaluate_predictor,
+        )
+        analysis = classify_branches(executable)
+        print(f"\nbranches: {len(analysis.branches)} static "
+              f"({len(analysis.loop_branches())} loop, "
+              f"{len(analysis.non_loop_branches())} non-loop); "
+              f"miss rates (C/D):")
+        predictors = [
+            ("always-taken", TakenPredictor(analysis)),
+            ("random", RandomPredictor(analysis)),
+            ("btfnt", BTFNTPredictor(analysis)),
+            ("loop+random", LoopRandomPredictor(analysis)),
+            ("ball-larus", HeuristicPredictor(analysis)),
+            ("perfect", PerfectPredictor(analysis, profile)),
+        ]
+        for name, predictor in predictors:
+            result = evaluate_predictor(predictor, profile)
+            print(f"  {name:14s} {result.cd()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

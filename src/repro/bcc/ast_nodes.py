@@ -1,0 +1,258 @@
+"""Abstract syntax tree for BLC.
+
+Nodes are plain dataclasses; the semantic analyzer annotates expressions with
+their resolved :mod:`repro.bcc.types` type in the ``ctype`` field and binds
+identifiers to symbols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Node", "Expr", "Stmt",
+    "IntLit", "DoubleLit", "CharLit", "StringLit",
+    "Ident", "Unary", "Binary", "Assign", "Cond", "Call", "Index", "Member",
+    "Cast", "SizeofType", "IncDec",
+    "ExprStmt", "Block", "If", "While", "DoWhile", "For", "Break", "Continue",
+    "Return", "VarDecl", "Empty",
+    "Param", "FuncDef", "GlobalVar", "StructDef", "Program",
+]
+
+
+@dataclass
+class Node:
+    """Base: every node knows its source position."""
+
+    line: int = field(default=0, kw_only=True)
+    col: int = field(default=0, kw_only=True)
+    filename: str = field(default="<input>", kw_only=True)
+
+
+@dataclass
+class Expr(Node):
+    """Base for expressions; ``ctype`` is filled in by sema."""
+
+    ctype: object = field(default=None, kw_only=True, repr=False)
+
+
+# -- literals -----------------------------------------------------------------
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class DoubleLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class CharLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class StringLit(Expr):
+    value: str = ""
+
+
+# -- expressions -----------------------------------------------------------------
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+    symbol: object = field(default=None, kw_only=True, repr=False)
+
+
+@dataclass
+class Unary(Expr):
+    """Operators: ``-`` ``!`` ``~`` ``&`` ``*`` (deref)."""
+
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class IncDec(Expr):
+    """``++``/``--``, prefix or postfix."""
+
+    op: str = ""          #: "++" or "--"
+    operand: Expr = None
+    is_prefix: bool = True
+
+
+@dataclass
+class Binary(Expr):
+    """Arithmetic/relational/logical binary operators (incl. && and ||)."""
+
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Assign(Expr):
+    """``=`` and compound assignments (``+=`` etc., op holds "+"/None)."""
+
+    target: Expr = None
+    value: Expr = None
+    op: str | None = None  #: None for plain "=", else the compound operator
+
+
+@dataclass
+class Cond(Expr):
+    """Ternary ``c ? a : b``."""
+
+    cond: Expr = None
+    then: Expr = None
+    otherwise: Expr = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+    symbol: object = field(default=None, kw_only=True, repr=False)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class Member(Expr):
+    """``s.f`` (arrow=False) or ``p->f`` (arrow=True)."""
+
+    base: Expr = None
+    name: str = ""
+    arrow: bool = False
+
+
+@dataclass
+class Cast(Expr):
+    target_type: object = None  #: parsed type specifier, resolved by sema
+    operand: Expr = None
+
+
+@dataclass
+class SizeofType(Expr):
+    target_type: object = None
+
+
+# -- statements -----------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class Empty(Stmt):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then: Stmt = None
+    otherwise: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt = None
+    cond: Expr = None
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None      #: ExprStmt or VarDecl
+    cond: Expr | None = None
+    step: Expr | None = None
+    body: Stmt = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class VarDecl(Stmt):
+    """A local variable declaration (one declarator)."""
+
+    name: str = ""
+    declared_type: object = None
+    init: Expr | None = None
+    symbol: object = field(default=None, kw_only=True, repr=False)
+
+
+# -- top level -----------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    declared_type: object = None
+    symbol: object = field(default=None, kw_only=True, repr=False)
+
+
+@dataclass
+class FuncDef(Node):
+    name: str = ""
+    return_type: object = None
+    params: list[Param] = field(default_factory=list)
+    body: Block = None
+
+
+@dataclass
+class GlobalVar(Node):
+    name: str = ""
+    declared_type: object = None
+    init: Expr | None = None
+    symbol: object = field(default=None, kw_only=True, repr=False)
+
+
+@dataclass
+class StructDef(Node):
+    name: str = ""
+    #: list of (field_name, declared_type)
+    fields: list[tuple[str, object]] = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    decls: list[Node] = field(default_factory=list)

@@ -1,0 +1,596 @@
+"""IR -> MIPS-like assembly.
+
+Conventions the Ball-Larus heuristics observe in the emitted code:
+
+* locals and spills are addressed off ``$sp``; globals in the first 64 KiB of
+  the data segment are addressed off ``$gp`` (``sym($gp)``), larger objects
+  via ``la`` — reproducing the SP/GP distinction the Pointer heuristic uses;
+* comparisons against zero use the one-register branch opcodes
+  (``bltz``/``blez``/``bgtz``/``bgez``) and FP comparisons the
+  ``c.*.d``/``bc1t``/``bc1f`` idiom — the Opcode heuristic's domain;
+* branch polarity is chosen from block layout: the fall-through successor is
+  the next block, so an ``if`` guards its then-clause with a branch whose
+  *taken* edge skips it, while a rotated loop's bottom test is a branch whose
+  *taken* edge is the back edge.
+"""
+
+from __future__ import annotations
+
+from repro.bcc.errors import CompileError
+from repro.bcc.ir import (
+    FP, INT, AddrFrame, AddrGlobal, BinOp, Call, CBr, Copy, Cvt, FBinOp, FNeg,
+    FrameSlot, GlobalSym, Imm, IRFunction, IRProgram, Jump, Load, LoadConst,
+    LoadFConst, Ret, Store,
+)
+from repro.bcc.regalloc import Allocation, allocate_registers
+from repro.isa.registers import reg_name
+
+__all__ = ["generate_assembly", "arg_placements"]
+
+_GP_WINDOW = 65536  #: bytes of data addressable as sym($gp)
+_GP_BIAS = 32768    #: GP_VALUE - DATA_BASE
+
+_INT_SCRATCH = ("$t8", "$t9", "$at")
+_FP_SCRATCH = ("$f0", "$f2")
+
+_MEM_LOAD = {"w": "lw", "b": "lb", "bu": "lbu", "d": "ldc1"}
+_MEM_STORE = {"w": "sw", "b": "sb", "bu": "sb", "d": "sdc1"}
+
+_BINOP_REG = {
+    "add": "addu", "sub": "subu", "mul": "mul", "div": "div", "rem": "rem",
+    "and": "and", "or": "or", "xor": "xor", "nor": "nor",
+    "shl": "sllv", "shr": "srav", "sru": "srlv",
+    "slt": "slt", "sltu": "sltu",
+}
+_BINOP_IMM = {
+    "add": ("addiu", "signed"), "and": ("andi", "unsigned"),
+    "or": ("ori", "unsigned"), "xor": ("xori", "unsigned"),
+    "slt": ("slti", "signed"),
+    "shl": ("sll", "shift"), "shr": ("sra", "shift"), "sru": ("srl", "shift"),
+}
+_FBINOP = {"fadd": "add.d", "fsub": "sub.d", "fmul": "mul.d", "fdiv": "div.d"}
+
+#: compare-to-zero branches
+_ZERO_BRANCH = {"lt": "bltz", "le": "blez", "gt": "bgtz", "ge": "bgez"}
+_INVERT = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt", "le": "gt",
+           "gt": "le"}
+#: FP comparisons: op -> (compare mnemonic, swap operands, branch mnemonic)
+_FP_BRANCH = {
+    "eq": ("c.eq.d", False, "bc1t"), "ne": ("c.eq.d", False, "bc1f"),
+    "lt": ("c.lt.d", False, "bc1t"), "le": ("c.le.d", False, "bc1t"),
+    "gt": ("c.lt.d", True, "bc1t"), "ge": ("c.le.d", True, "bc1t"),
+}
+
+
+def arg_placements(classes: list[str]) -> tuple[list[tuple[str, int]], int]:
+    """Calling convention: integer/pointer args 0-3 in ``$a0``-``$a3``;
+    doubles and later integer args on the stack at the bottom of the caller
+    frame. Returns ([("reg", argreg#) | ("stack", offset)], area_bytes)."""
+    placements: list[tuple[str, int]] = []
+    offset = 0
+    for index, klass in enumerate(classes):
+        if klass == INT and index < 4:
+            placements.append(("reg", 4 + index))
+        elif klass == FP:
+            offset = (offset + 7) & ~7
+            placements.append(("stack", offset))
+            offset += 8
+        else:
+            placements.append(("stack", offset))
+            offset += 4
+    return placements, (offset + 7) & ~7
+
+
+class _DataLayout:
+    """Assigns data-segment offsets: small scalars first (inside the $gp
+    window), then FP literals and strings, then aggregates by size."""
+
+    def __init__(self, program: IRProgram,
+                 fp_literals: dict[float, str]) -> None:
+        self.offset_of: dict[str, int] = {}
+        self.items: list[tuple[str, int, int, object]] = []  # label,size,align,init
+        small, big = [], []
+        for g in program.globals:
+            (small if g.size <= 8 and not isinstance(g.init, str) else big
+             ).append(g)
+        offset = 0
+
+        def place(label: str, size: int, align: int, init: object) -> None:
+            nonlocal offset
+            offset = (offset + align - 1) & ~(align - 1)
+            self.offset_of[label] = offset
+            self.items.append((label, size, align, init))
+            offset += size
+
+        for g in small:
+            place(g.label, g.size, g.align, g.init)
+        for value, label in fp_literals.items():
+            place(label, 8, 8, float(value))
+        big.sort(key=lambda g: g.size)
+        for g in big:
+            place(g.label, g.size, g.align, g.init)
+        self.total = offset
+
+    def gp_disp(self, label: str, extra: int = 0) -> int | None:
+        """The 16-bit $gp displacement for *label*+*extra*, or None if out of
+        the window."""
+        disp = self.offset_of[label] + extra - _GP_BIAS
+        return disp if -32768 <= disp <= 32767 else None
+
+    def emit(self, out: list[str]) -> None:
+        out.append(".data")
+        for label, size, align, init in self.items:
+            if align > 1:
+                out.append(f".align {align.bit_length() - 1}")
+            if isinstance(init, str):
+                escaped = (init.replace("\\", "\\\\").replace('"', '\\"')
+                           .replace("\n", "\\n").replace("\t", "\\t")
+                           .replace("\r", "\\r").replace("\0", "\\0"))
+                out.append(f'{label}: .asciiz "{escaped}"')
+            elif isinstance(init, float):
+                out.append(f"{label}: .double {init!r}")
+            elif isinstance(init, int):
+                out.append(f"{label}: .word {init}")
+            elif isinstance(init, tuple) and init[0] == "ptr_to":
+                out.append(f"{label}: .word {init[1]}")
+            elif init is None:
+                out.append(f"{label}: .space {size}")
+            else:  # pragma: no cover
+                raise CompileError(f"bad global initializer for {label}")
+
+
+class _FuncCodegen:
+    def __init__(self, func: IRFunction, layout: _DataLayout,
+                 out: list[str]) -> None:
+        self.func = func
+        self.layout = layout
+        self.out = out
+        self.alloc: Allocation = allocate_registers(func)
+        self._int_scratch_next = 0
+        self._fp_scratch_next = 0
+        self._compute_frame()
+
+    # -- frame --------------------------------------------------------------
+
+    def _compute_frame(self) -> None:
+        func = self.func
+        out_area = 0
+        self.has_calls = False
+        for block in func.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, Call):
+                    self.has_calls = True
+                    _, area = arg_placements(inst.arg_classes)
+                    out_area = max(out_area, area)
+        offset = out_area
+        self.frame_obj_offset: list[int] = []
+        for obj in func.frame_objects:
+            align = max(obj.align, 4)
+            offset = (offset + align - 1) & ~(align - 1)
+            self.frame_obj_offset.append(offset)
+            offset += obj.size
+        offset = (offset + 3) & ~3
+        self.int_spill_base = offset
+        offset += 4 * self.alloc.int_spills
+        offset = (offset + 7) & ~7
+        self.fp_spill_base = offset
+        offset += 8 * self.alloc.fp_spills
+        self.fp_save_base = offset
+        offset += 8 * len(self.alloc.used_fp_callee)
+        self.int_save_base = offset
+        offset += 4 * len(self.alloc.used_int_callee)
+        self.ra_offset = offset
+        if self.has_calls:
+            offset += 4
+        self.frame_size = (offset + 7) & ~7
+        if self.frame_size > 32000:
+            raise CompileError(
+                f"{func.name}: stack frame too large ({self.frame_size} bytes)")
+
+    # -- emission helpers -----------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.out.append(f"    {text}")
+
+    def label(self, name: str) -> None:
+        self.out.append(f"{name}:")
+
+    def _reset_scratch(self) -> None:
+        self._int_scratch_next = 0
+        self._fp_scratch_next = 0
+
+    def _next_int_scratch(self) -> str:
+        reg = _INT_SCRATCH[self._int_scratch_next % len(_INT_SCRATCH)]
+        self._int_scratch_next += 1
+        return reg
+
+    def _next_fp_scratch(self) -> str:
+        reg = _FP_SCRATCH[self._fp_scratch_next % len(_FP_SCRATCH)]
+        self._fp_scratch_next += 1
+        return reg
+
+    def _int_spill_addr(self, slot: int) -> str:
+        return f"{self.int_spill_base + 4 * slot}($sp)"
+
+    def _fp_spill_addr(self, slot: int) -> str:
+        return f"{self.fp_spill_base + 8 * slot}($sp)"
+
+    def iread(self, vreg: int) -> str:
+        """Register holding integer vreg's value (reloading a spill)."""
+        kind, where = self.alloc.location[vreg]
+        if kind == "reg":
+            return reg_name(where)
+        scratch = self._next_int_scratch()
+        self.emit(f"lw {scratch}, {self._int_spill_addr(where)}")
+        return scratch
+
+    def iwrite(self, vreg: int):
+        """(register to write, flush callback) for an integer vreg."""
+        kind, where = self.alloc.location[vreg]
+        if kind == "reg":
+            return reg_name(where), lambda: None
+        scratch = self._next_int_scratch()
+        return scratch, lambda: self.emit(
+            f"sw {scratch}, {self._int_spill_addr(where)}")
+
+    def fread(self, vreg: int) -> str:
+        kind, where = self.alloc.location[vreg]
+        if kind == "reg":
+            return f"$f{where}"
+        scratch = self._next_fp_scratch()
+        self.emit(f"ldc1 {scratch}, {self._fp_spill_addr(where)}")
+        return scratch
+
+    def fwrite(self, vreg: int):
+        kind, where = self.alloc.location[vreg]
+        if kind == "reg":
+            return f"$f{where}", lambda: None
+        scratch = self._next_fp_scratch()
+        return scratch, lambda: self.emit(
+            f"sdc1 {scratch}, {self._fp_spill_addr(where)}")
+
+    def mem_operand(self, base: object, offset: int) -> str:
+        """Fold an IR memory base into an addressing-mode string."""
+        if isinstance(base, FrameSlot):
+            total = self.frame_obj_offset[base.slot] + offset
+            return f"{total}($sp)"
+        if isinstance(base, GlobalSym):
+            disp = self.layout.gp_disp(base.name, offset)
+            if disp is not None:
+                suffix = f"+{offset}" if offset > 0 else (
+                    f"{offset}" if offset < 0 else "")
+                return f"{base.name}{suffix}($gp)"
+            scratch = self._next_int_scratch()
+            self.emit(f"la {scratch}, {base.name}")
+            if not -32768 <= offset <= 32767:
+                extra = self._next_int_scratch()
+                self.emit(f"li {extra}, {offset}")
+                self.emit(f"addu {scratch}, {scratch}, {extra}")
+                offset = 0
+            return f"{offset}({scratch})"
+        reg = self.iread(base)
+        if not -32768 <= offset <= 32767:
+            scratch = self._next_int_scratch()
+            self.emit(f"li {scratch}, {offset}")
+            self.emit(f"addu {scratch}, {reg}, {scratch}")
+            return f"0({scratch})"
+        return f"{offset}({reg})"
+
+    # -- function ---------------------------------------------------------------
+
+    def run(self) -> None:
+        func = self.func
+        self.out.append("")
+        self.out.append(f".ent {func.name}")
+        self.label(func.name)
+        self._prologue()
+        blocks = func.blocks
+        epilogue = f"{func.name}__epilogue"
+        for i, block in enumerate(blocks):
+            next_label = blocks[i + 1].label if i + 1 < len(blocks) else epilogue
+            self.label(block.label)
+            for inst in block.instructions:
+                self._reset_scratch()
+                self._gen(inst, next_label)
+        self.label(epilogue)
+        self._epilogue()
+        self.out.append(f".end {func.name}")
+
+    def _prologue(self) -> None:
+        if self.frame_size:
+            self.emit(f"addiu $sp, $sp, -{self.frame_size}")
+        if self.has_calls:
+            self.emit(f"sw $ra, {self.ra_offset}($sp)")
+        for i, sreg in enumerate(self.alloc.used_int_callee):
+            self.emit(f"sw {reg_name(sreg)}, {self.int_save_base + 4 * i}($sp)")
+        for i, freg in enumerate(self.alloc.used_fp_callee):
+            self.emit(f"sdc1 $f{freg}, {self.fp_save_base + 8 * i}($sp)")
+        placements, _ = arg_placements([p[2] for p in self.func.params])
+        for (name, vreg, klass), placement in zip(self.func.params, placements):
+            self._reset_scratch()
+            kind, where = self.alloc.location[vreg]
+            if placement[0] == "reg":
+                areg = reg_name(placement[1])
+                if kind == "reg":
+                    self.emit(f"move {reg_name(where)}, {areg}")
+                else:
+                    self.emit(f"sw {areg}, {self._int_spill_addr(where)}")
+            else:
+                incoming = self.frame_size + placement[1]
+                if klass == FP:
+                    if kind == "reg":
+                        self.emit(f"ldc1 $f{where}, {incoming}($sp)")
+                    else:
+                        scratch = self._next_fp_scratch()
+                        self.emit(f"ldc1 {scratch}, {incoming}($sp)")
+                        self.emit(
+                            f"sdc1 {scratch}, {self._fp_spill_addr(where)}")
+                else:
+                    if kind == "reg":
+                        self.emit(f"lw {reg_name(where)}, {incoming}($sp)")
+                    else:
+                        scratch = self._next_int_scratch()
+                        self.emit(f"lw {scratch}, {incoming}($sp)")
+                        self.emit(
+                            f"sw {scratch}, {self._int_spill_addr(where)}")
+
+    def _epilogue(self) -> None:
+        for i, freg in enumerate(self.alloc.used_fp_callee):
+            self.emit(f"ldc1 $f{freg}, {self.fp_save_base + 8 * i}($sp)")
+        for i, sreg in enumerate(self.alloc.used_int_callee):
+            self.emit(f"lw {reg_name(sreg)}, {self.int_save_base + 4 * i}($sp)")
+        if self.has_calls:
+            self.emit(f"lw $ra, {self.ra_offset}($sp)")
+        if self.frame_size:
+            self.emit(f"addiu $sp, $sp, {self.frame_size}")
+        self.emit("jr $ra")
+
+    # -- instructions ---------------------------------------------------------
+
+    def _gen(self, inst, next_label: str) -> None:
+        if isinstance(inst, LoadConst):
+            rd, flush = self.iwrite(inst.dst)
+            self.emit(f"li {rd}, {inst.value}")
+            flush()
+        elif isinstance(inst, LoadFConst):
+            label = self.fp_label(inst.value)
+            fd, flush = self.fwrite(inst.dst)
+            self.emit(f"ldc1 {fd}, {self.mem_operand(GlobalSym(label), 0)}")
+            flush()
+        elif isinstance(inst, BinOp):
+            self._gen_binop(inst)
+        elif isinstance(inst, FBinOp):
+            fa = self.fread(inst.a)
+            fb = self.fread(inst.b)
+            fd, flush = self.fwrite(inst.dst)
+            self.emit(f"{_FBINOP[inst.op]} {fd}, {fa}, {fb}")
+            flush()
+        elif isinstance(inst, FNeg):
+            fs = self.fread(inst.src)
+            fd, flush = self.fwrite(inst.dst)
+            self.emit(f"neg.d {fd}, {fs}")
+            flush()
+        elif isinstance(inst, Cvt):
+            self._gen_cvt(inst)
+        elif isinstance(inst, Copy):
+            if self.func.vreg_class[inst.dst] == FP:
+                fs = self.fread(inst.src)
+                fd, flush = self.fwrite(inst.dst)
+                if fd != fs:
+                    self.emit(f"mov.d {fd}, {fs}")
+                flush()
+            else:
+                rs = self.iread(inst.src)
+                rd, flush = self.iwrite(inst.dst)
+                if rd != rs:
+                    self.emit(f"move {rd}, {rs}")
+                flush()
+        elif isinstance(inst, Load):
+            operand = self.mem_operand(inst.base, inst.offset)
+            if inst.mem == "d":
+                fd, flush = self.fwrite(inst.dst)
+                self.emit(f"ldc1 {fd}, {operand}")
+            else:
+                fd, flush = self.iwrite(inst.dst)
+                self.emit(f"{_MEM_LOAD[inst.mem]} {fd}, {operand}")
+            flush()
+        elif isinstance(inst, Store):
+            if inst.mem == "d":
+                fs = self.fread(inst.src)
+                operand = self.mem_operand(inst.base, inst.offset)
+                self.emit(f"sdc1 {fs}, {operand}")
+            else:
+                rs = self.iread(inst.src)
+                operand = self.mem_operand(inst.base, inst.offset)
+                self.emit(f"{_MEM_STORE[inst.mem]} {rs}, {operand}")
+        elif isinstance(inst, AddrFrame):
+            rd, flush = self.iwrite(inst.dst)
+            total = self.frame_obj_offset[inst.slot] + inst.offset
+            self.emit(f"addiu {rd}, $sp, {total}")
+            flush()
+        elif isinstance(inst, AddrGlobal):
+            rd, flush = self.iwrite(inst.dst)
+            disp = self.layout.gp_disp(inst.name, inst.offset)
+            if disp is not None:
+                self.emit(f"addiu {rd}, $gp, {disp}")
+            else:
+                self.emit(f"la {rd}, {inst.name}")
+                if inst.offset:
+                    self.emit(f"addiu {rd}, {rd}, {inst.offset}")
+            flush()
+        elif isinstance(inst, Call):
+            self._gen_call(inst)
+        elif isinstance(inst, Ret):
+            if inst.src is not None:
+                if inst.ret_class == FP:
+                    fs = self.fread(inst.src)
+                    if fs != "$f0":
+                        self.emit(f"mov.d $f0, {fs}")
+                else:
+                    rs = self.iread(inst.src)
+                    if rs != "$v0":
+                        self.emit(f"move $v0, {rs}")
+            if next_label != f"{self.func.name}__epilogue":
+                self.emit(f"j {self.func.name}__epilogue")
+        elif isinstance(inst, Jump):
+            if inst.label != next_label:
+                self.emit(f"j {inst.label}")
+        elif isinstance(inst, CBr):
+            self._gen_cbr(inst, next_label)
+        else:  # pragma: no cover
+            raise CompileError(f"cannot generate code for {inst!r}")
+
+    def fp_label(self, value: float) -> str:
+        # module-level literal pool, pre-populated by generate_assembly
+        return self._fp_pool[value]
+
+    def _gen_binop(self, inst: BinOp) -> None:
+        ra = self.iread(inst.a)
+        if isinstance(inst.b, Imm):
+            value = inst.b.value
+            entry = _BINOP_IMM.get(inst.op)
+            ok = False
+            if entry is not None:
+                mnem, mode = entry
+                if mode == "signed":
+                    ok = -32768 <= value <= 32767
+                elif mode == "unsigned":
+                    ok = 0 <= value <= 0xFFFF
+                else:  # shift
+                    ok = 0 <= value <= 31
+            if ok:
+                rd, flush = self.iwrite(inst.dst)
+                self.emit(f"{mnem} {rd}, {ra}, {value}")
+                flush()
+                return
+            scratch = self._next_int_scratch()
+            self.emit(f"li {scratch}, {value}")
+            rb = scratch
+        else:
+            rb = self.iread(inst.b)
+        rd, flush = self.iwrite(inst.dst)
+        self.emit(f"{_BINOP_REG[inst.op]} {rd}, {ra}, {rb}")
+        flush()
+
+    def _gen_cvt(self, inst: Cvt) -> None:
+        if inst.kind == "i2d":
+            rs = self.iread(inst.src)
+            fd, flush = self.fwrite(inst.dst)
+            self.emit(f"mtc1 {rs}, {fd}")
+            self.emit(f"cvt.d.w {fd}, {fd}")
+            flush()
+        else:  # d2i
+            fs = self.fread(inst.src)
+            scratch = self._next_fp_scratch()
+            rd, flush = self.iwrite(inst.dst)
+            self.emit(f"cvt.w.d {scratch}, {fs}")
+            self.emit(f"mfc1 {rd}, {scratch}")
+            flush()
+
+    def _gen_call(self, inst: Call) -> None:
+        placements, _ = arg_placements(inst.arg_classes)
+        for arg, klass, placement in zip(inst.args, inst.arg_classes,
+                                         placements):
+            self._reset_scratch()
+            if placement[0] == "stack":
+                if klass == FP:
+                    fs = self.fread(arg)
+                    self.emit(f"sdc1 {fs}, {placement[1]}($sp)")
+                else:
+                    rs = self.iread(arg)
+                    self.emit(f"sw {rs}, {placement[1]}($sp)")
+        for arg, placement in zip(inst.args, placements):
+            self._reset_scratch()
+            if placement[0] == "reg":
+                rs = self.iread(arg)
+                self.emit(f"move {reg_name(placement[1])}, {rs}")
+        self.emit(f"jal {inst.name}")
+        self._reset_scratch()
+        if inst.dst is not None:
+            if inst.ret_class == FP:
+                fd, flush = self.fwrite(inst.dst)
+                if fd != "$f0":
+                    self.emit(f"mov.d {fd}, $f0")
+                else:
+                    # spilled: $f0 scratch happens to be the return register
+                    pass
+                flush()
+            else:
+                rd, flush = self.iwrite(inst.dst)
+                if rd != "$v0":
+                    self.emit(f"move {rd}, $v0")
+                flush()
+
+    def _gen_cbr(self, inst: CBr, next_label: str) -> None:
+        if inst.true_label == next_label:
+            self._emit_branch(inst, invert=True, target=inst.false_label)
+        elif inst.false_label == next_label:
+            self._emit_branch(inst, invert=False, target=inst.true_label)
+        else:
+            self._emit_branch(inst, invert=False, target=inst.true_label)
+            self.emit(f"j {inst.false_label}")
+
+    def _emit_branch(self, inst: CBr, invert: bool, target: str) -> None:
+        op = _INVERT[inst.op] if invert else inst.op
+        if inst.fp:
+            cmp_mnem, swap, branch = _FP_BRANCH[inst.op]
+            if invert:
+                branch = "bc1f" if branch == "bc1t" else "bc1t"
+            fa = self.fread(inst.a)
+            fb = self.fread(inst.b)
+            if swap:
+                fa, fb = fb, fa
+            self.emit(f"{cmp_mnem} {fa}, {fb}")
+            self.emit(f"{branch} {target}")
+            return
+        ra = self.iread(inst.a)
+        if isinstance(inst.b, Imm):
+            if inst.b.value != 0:  # pragma: no cover - IR gen guarantees 0
+                raise CompileError("CBr immediate must be zero")
+            if op == "eq":
+                self.emit(f"beq {ra}, $zero, {target}")
+            elif op == "ne":
+                self.emit(f"bne {ra}, $zero, {target}")
+            else:
+                self.emit(f"{_ZERO_BRANCH[op]} {ra}, {target}")
+            return
+        rb = self.iread(inst.b)
+        if op == "eq":
+            self.emit(f"beq {ra}, {rb}, {target}")
+        elif op == "ne":
+            self.emit(f"bne {ra}, {rb}, {target}")
+        else:  # pragma: no cover - IR gen lowers relationals through slt
+            raise CompileError(f"unlowered relational branch {op}")
+
+
+def generate_assembly(program: IRProgram, entry_function: str = "main") -> str:
+    """Generate the complete assembly module for *program*.
+
+    Includes the ``__start`` stub (calls *entry_function*, then exits with
+    its return value) and the data segment. Runtime procedures are appended
+    by the driver, not here.
+    """
+    # collect FP literals program-wide so the data layout can place them
+    fp_pool: dict[float, str] = {}
+    for func in program.functions:
+        for block in func.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, LoadFConst) and inst.value not in fp_pool:
+                    fp_pool[inst.value] = f"D_{len(fp_pool)}"
+
+    layout = _DataLayout(program, fp_pool)
+    out: list[str] = [".text"]
+    out.append(".ent __start")
+    out.append("__start:")
+    out.append(f"    jal {entry_function}")
+    out.append("    move $a0, $v0")
+    out.append("    li $v0, 17")
+    out.append("    syscall")
+    out.append(".end __start")
+    for func in program.functions:
+        gen = _FuncCodegen(func, layout, out)
+        gen._fp_pool = fp_pool
+        gen.run()
+    out.append("")
+    layout.emit(out)
+    return "\n".join(out)

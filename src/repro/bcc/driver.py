@@ -1,0 +1,73 @@
+"""Compiler driver: BLC source -> linked Executable.
+
+The pipeline is parse -> sema -> IR gen -> optimize -> codegen -> assemble.
+The BLC runtime library is parsed and compiled together with the user
+program (one translation unit, like static linking), and the assembly
+syscall wrappers are appended before assembling, so the final executable is
+self-contained — every procedure the program can execute is in it and gets
+analyzed, exactly as QPT saw whole MIPS executables.
+"""
+
+from __future__ import annotations
+
+from repro.bcc import ast_nodes as A
+from repro.bcc.codegen import generate_assembly
+from repro.bcc.errors import CompileError
+from repro.bcc.irgen import generate_ir
+from repro.bcc.opt import optimize_program
+from repro.bcc.parser import parse
+from repro.bcc.runtime import RUNTIME_ASM, RUNTIME_BLC
+from repro.bcc.sema import SemanticInfo, analyze
+from repro.isa.assembler import assemble
+from repro.isa.program import Executable
+
+__all__ = ["compile_to_asm", "compile_and_link", "compile_to_ir",
+           "analyze_source"]
+
+
+def _merged_program(source: str, filename: str,
+                    include_runtime: bool) -> A.Program:
+    decls: list[A.Node] = []
+    if include_runtime:
+        decls.extend(parse(RUNTIME_BLC, "<runtime>").decls)
+    decls.extend(parse(source, filename).decls)
+    return A.Program(decls)
+
+
+def analyze_source(source: str, filename: str = "<input>",
+                   include_runtime: bool = True) -> SemanticInfo:
+    """Parse and type-check; returns the annotated program metadata."""
+    return analyze(_merged_program(source, filename, include_runtime))
+
+
+def compile_to_ir(source: str, filename: str = "<input>",
+                  optimize: bool = True, include_runtime: bool = True,
+                  rotate_loops: bool = True):
+    """Compile to (optimized) IR. Mainly for tests and debugging."""
+    info = analyze_source(source, filename, include_runtime)
+    program = generate_ir(info, rotate_loops=rotate_loops)
+    return optimize_program(program, enabled=optimize)
+
+
+def compile_to_asm(source: str, filename: str = "<input>",
+                   optimize: bool = True, include_runtime: bool = True,
+                   rotate_loops: bool = True) -> str:
+    """Compile BLC source to a complete assembly module (text)."""
+    info = analyze_source(source, filename, include_runtime)
+    if "main" not in info.function_symbols \
+            or not info.function_symbols["main"].defined:
+        raise CompileError("program has no main function", filename=filename)
+    program = generate_ir(info, rotate_loops=rotate_loops)
+    program = optimize_program(program, enabled=optimize)
+    asm = generate_assembly(program)
+    if include_runtime:
+        asm = asm + "\n" + RUNTIME_ASM
+    return asm
+
+
+def compile_and_link(source: str, filename: str = "<input>",
+                     optimize: bool = True, include_runtime: bool = True,
+                     rotate_loops: bool = True) -> Executable:
+    """Compile BLC source all the way to a runnable :class:`Executable`."""
+    return assemble(compile_to_asm(source, filename, optimize,
+                                   include_runtime, rotate_loops))

@@ -1,0 +1,24 @@
+"""Compiler diagnostics."""
+
+from __future__ import annotations
+
+__all__ = ["CompileError"]
+
+
+class CompileError(Exception):
+    """Any front-end or back-end error, with source position when known."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 col: int | None = None, filename: str | None = None) -> None:
+        self.line = line
+        self.col = col
+        self.filename = filename
+        location = ""
+        if filename:
+            location += f"{filename}:"
+        if line is not None:
+            location += f"{line}:"
+            if col is not None:
+                location += f"{col}:"
+        super().__init__(f"{location} {message}" if location else message)
+        self.message = message

@@ -1,0 +1,410 @@
+"""Three-address intermediate representation.
+
+An :class:`IRFunction` is a list of :class:`IRBlock`\\ s, each ending in a
+terminator (``Jump``, ``CBr``, or ``Ret``). Values are virtual registers
+(plain ints) partitioned into two classes, ``INT`` (integers and pointers)
+and ``FP`` (doubles); the register allocator later maps them onto the
+machine's ``$t/$s`` and ``$f`` files.
+
+Memory operands carry a *base* that is either a virtual register, a
+:class:`FrameSlot` (a stack object: array, struct, or address-taken scalar),
+or a :class:`GlobalSym`; the code generator folds slot/global bases into
+``off($sp)`` / ``sym($gp)`` addressing, which is exactly the SP/GP
+distinction the paper's Pointer heuristic keys on.
+
+Conditional branches keep their comparison (``CBr``) so the code generator
+can select the compare-to-zero branch opcodes (``bltz``/``blez``/…) and FP
+compare+branch sequences that the Opcode heuristic inspects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "INT", "FP",
+    "Imm", "FrameSlot", "GlobalSym",
+    "IRInst", "LoadConst", "LoadFConst", "BinOp", "FBinOp", "FNeg", "Cvt",
+    "Load", "Store", "AddrFrame", "AddrGlobal", "Copy", "Call", "Ret",
+    "Jump", "CBr", "IRBlock", "IRFunction", "IRProgram", "GlobalObject",
+    "BIN_OPS", "FBIN_OPS", "CMP_OPS", "MEM_KINDS",
+]
+
+INT = "int"
+FP = "fp"
+
+#: integer binary ops (shr is arithmetic, sru logical)
+BIN_OPS = frozenset({"add", "sub", "mul", "div", "rem", "and", "or", "xor",
+                     "shl", "shr", "sru", "slt", "sltu"})
+FBIN_OPS = frozenset({"fadd", "fsub", "fmul", "fdiv"})
+CMP_OPS = frozenset({"eq", "ne", "lt", "le", "gt", "ge"})
+#: memory access kinds: word, signed byte, unsigned byte, double
+MEM_KINDS = frozenset({"w", "b", "bu", "d"})
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate integer operand."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class FrameSlot:
+    """Base of a stack-frame object (resolved to an $sp offset at codegen)."""
+
+    slot: int
+
+    def __repr__(self) -> str:
+        return f"frame[{self.slot}]"
+
+
+@dataclass(frozen=True)
+class GlobalSym:
+    """Base of a data-segment object."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"@{self.name}"
+
+
+class IRInst:
+    """Base class; subclasses define ``uses()``/``defs()`` for dataflow."""
+
+    def uses(self) -> tuple[int, ...]:
+        return ()
+
+    def defs(self) -> tuple[int, ...]:
+        return ()
+
+    @property
+    def is_terminator(self) -> bool:
+        return isinstance(self, (Jump, CBr, Ret))
+
+
+def _reg_uses(*operands) -> tuple[int, ...]:
+    return tuple(op for op in operands if isinstance(op, int))
+
+
+@dataclass
+class LoadConst(IRInst):
+    dst: int
+    value: int
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"v{self.dst} = {self.value}"
+
+
+@dataclass
+class LoadFConst(IRInst):
+    dst: int
+    value: float
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"v{self.dst} = {self.value!r}"
+
+
+@dataclass
+class BinOp(IRInst):
+    """Integer ALU op; ``b`` may be an :class:`Imm` where codegen has an
+    immediate form (add/and/or/xor/shl/shr/sru/slt)."""
+
+    op: str
+    dst: int
+    a: int
+    b: object  #: vreg or Imm
+
+    def uses(self):
+        return _reg_uses(self.a, self.b)
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"v{self.dst} = {self.op} v{self.a}, {self.b}"
+
+
+@dataclass
+class FBinOp(IRInst):
+    op: str
+    dst: int
+    a: int
+    b: int
+
+    def uses(self):
+        return (self.a, self.b)
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"v{self.dst} = {self.op} v{self.a}, v{self.b}"
+
+
+@dataclass
+class FNeg(IRInst):
+    dst: int
+    src: int
+
+    def uses(self):
+        return (self.src,)
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"v{self.dst} = fneg v{self.src}"
+
+
+@dataclass
+class Cvt(IRInst):
+    """Conversion: kind "i2d" (int vreg -> fp vreg) or "d2i" (truncate)."""
+
+    dst: int
+    src: int
+    kind: str
+
+    def uses(self):
+        return (self.src,)
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"v{self.dst} = {self.kind} v{self.src}"
+
+
+@dataclass
+class Load(IRInst):
+    dst: int
+    base: object  #: vreg | FrameSlot | GlobalSym
+    offset: int
+    mem: str      #: "w" | "b" | "bu" | "d"
+
+    def uses(self):
+        return _reg_uses(self.base)
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"v{self.dst} = load.{self.mem} {self.base}+{self.offset}"
+
+
+@dataclass
+class Store(IRInst):
+    src: int
+    base: object
+    offset: int
+    mem: str
+
+    def uses(self):
+        return _reg_uses(self.src, self.base)
+
+    def __repr__(self):
+        return f"store.{self.mem} v{self.src} -> {self.base}+{self.offset}"
+
+
+@dataclass
+class AddrFrame(IRInst):
+    dst: int
+    slot: int
+    offset: int = 0
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"v{self.dst} = &frame[{self.slot}]+{self.offset}"
+
+
+@dataclass
+class AddrGlobal(IRInst):
+    dst: int
+    name: str
+    offset: int = 0
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"v{self.dst} = &@{self.name}+{self.offset}"
+
+
+@dataclass
+class Copy(IRInst):
+    dst: int
+    src: int
+
+    def uses(self):
+        return (self.src,)
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"v{self.dst} = v{self.src}"
+
+
+@dataclass
+class Call(IRInst):
+    dst: int | None
+    name: str
+    args: list[int]
+    #: parallel to args: INT or FP (drives $a-reg vs stack placement)
+    arg_classes: list[str]
+    ret_class: str | None  #: INT, FP, or None for void
+
+    def uses(self):
+        return tuple(self.args)
+
+    def defs(self):
+        return (self.dst,) if self.dst is not None else ()
+
+    def __repr__(self):
+        args = ", ".join(f"v{a}" for a in self.args)
+        dst = f"v{self.dst} = " if self.dst is not None else ""
+        return f"{dst}call {self.name}({args})"
+
+
+@dataclass
+class Ret(IRInst):
+    src: int | None = None
+    ret_class: str | None = None
+
+    def uses(self):
+        return (self.src,) if self.src is not None else ()
+
+    def __repr__(self):
+        return f"ret v{self.src}" if self.src is not None else "ret"
+
+
+@dataclass
+class Jump(IRInst):
+    label: str
+
+    def __repr__(self):
+        return f"jump {self.label}"
+
+
+@dataclass
+class CBr(IRInst):
+    """Conditional branch on a comparison.
+
+    ``fp`` selects double comparison (both operands FP vregs). For integer
+    comparisons ``b`` may be ``Imm(0)`` — the IR generator lowers all other
+    relational immediates through ``slt`` so the code generator can use the
+    MIPS compare-to-zero branch opcodes directly.
+    """
+
+    op: str
+    a: int
+    b: object  #: vreg or Imm(0)
+    true_label: str
+    false_label: str
+    fp: bool = False
+
+    def uses(self):
+        return _reg_uses(self.a, self.b)
+
+    def __repr__(self):
+        return (f"br {self.op}{'.d' if self.fp else ''} v{self.a}, {self.b} "
+                f"? {self.true_label} : {self.false_label}")
+
+
+@dataclass
+class IRBlock:
+    label: str
+    instructions: list[IRInst] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> IRInst:
+        return self.instructions[-1]
+
+    def successor_labels(self) -> list[str]:
+        term = self.terminator
+        if isinstance(term, Jump):
+            return [term.label]
+        if isinstance(term, CBr):
+            return [term.true_label, term.false_label]
+        return []
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<IRBlock {self.label}: {len(self.instructions)} insts>"
+
+
+@dataclass
+class FrameObject:
+    """A stack-allocated object (array, struct, or address-taken scalar)."""
+
+    name: str
+    size: int
+    align: int
+
+
+@dataclass
+class IRFunction:
+    name: str
+    #: (param name, vreg, class) in declaration order
+    params: list[tuple[str, int, str]] = field(default_factory=list)
+    blocks: list[IRBlock] = field(default_factory=list)
+    vreg_class: dict[int, str] = field(default_factory=dict)
+    frame_objects: list[FrameObject] = field(default_factory=list)
+    _next_vreg: int = 0
+
+    def new_vreg(self, klass: str) -> int:
+        v = self._next_vreg
+        self._next_vreg = v + 1
+        self.vreg_class[v] = klass
+        return v
+
+    def new_frame_object(self, name: str, size: int, align: int) -> int:
+        self.frame_objects.append(FrameObject(name, size, align))
+        return len(self.frame_objects) - 1
+
+    def block_map(self) -> dict[str, IRBlock]:
+        return {b.label: b for b in self.blocks}
+
+    def has_calls(self) -> bool:
+        return any(isinstance(i, Call) for b in self.blocks
+                   for i in b.instructions)
+
+    def dump(self) -> str:
+        """Readable IR listing (debugging/tests)."""
+        lines = [f"func {self.name}({', '.join(p[0] for p in self.params)}):"]
+        for block in self.blocks:
+            lines.append(f"{block.label}:")
+            for inst in block.instructions:
+                lines.append(f"    {inst!r}")
+        return "\n".join(lines)
+
+
+@dataclass
+class GlobalObject:
+    """A data-segment object: scalar global, array, struct, or string."""
+
+    label: str
+    size: int
+    align: int
+    #: None (zero-filled), bytes, int (single word), float (single double),
+    #: or str (NUL-terminated string)
+    init: object = None
+
+
+@dataclass
+class IRProgram:
+    functions: list[IRFunction] = field(default_factory=list)
+    globals: list[GlobalObject] = field(default_factory=list)
+
+    def dump(self) -> str:
+        return "\n\n".join(f.dump() for f in self.functions)

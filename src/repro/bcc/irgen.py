@@ -1,0 +1,862 @@
+"""AST -> IR lowering.
+
+Loop shape matters to this reproduction: ``while`` and ``for`` loops are
+*rotated* — an ``if`` guarding a ``do..while`` with the loop test replicated
+in the guard — because that is how the paper's MIPS compilers emitted them
+("this strategy avoids generating an extra unconditional branch") and it is
+what gives the non-loop Loop heuristic its coverage. The guard branch's
+*taken* edge skips the loop; the bottom-test branch's *taken* edge is the
+loop back edge.
+
+Branch polarity likewise follows MIPS convention: ``if (c) S`` becomes a
+branch on ``!c`` around ``S``, so the taken edge bypasses the then-clause.
+(The polarity decision itself is made at code generation from block layout;
+IR just records both successor labels.)
+"""
+
+from __future__ import annotations
+
+from repro.bcc import ast_nodes as A
+from repro.bcc.errors import CompileError
+from repro.bcc.ir import (
+    FP, INT, AddrFrame, AddrGlobal, BinOp, Call, CBr, Copy, Cvt, FBinOp, FNeg,
+    FrameSlot, GlobalObject, GlobalSym, Imm, IRBlock, IRFunction, IRProgram,
+    Jump, Load, LoadConst, LoadFConst, Ret, Store,
+)
+from repro.bcc.sema import SemanticInfo, Symbol
+from repro.bcc.types import (
+    ArrayType, CHAR, CType, DOUBLE, INT as C_INT, PointerType, StructType,
+)
+
+__all__ = ["generate_ir"]
+
+
+def _err(message: str, node: A.Node) -> CompileError:
+    return CompileError(message, line=node.line, col=node.col,
+                        filename=node.filename)
+
+
+def _mem_kind(ctype: CType) -> str:
+    """Memory access kind for loading/storing a scalar of type *ctype*."""
+    if ctype.is_double:
+        return "d"
+    if ctype == CHAR:
+        return "b"
+    return "w"
+
+
+def _vclass(ctype: CType) -> str:
+    return FP if ctype.is_double else INT
+
+
+def _elem_size(ctype: CType) -> int:
+    """Size of the pointee for pointer arithmetic on *ctype*."""
+    if isinstance(ctype, ArrayType):
+        return ctype.element.size()
+    if isinstance(ctype, PointerType):
+        return ctype.target.size()
+    raise AssertionError(f"not an indexable type: {ctype}")
+
+
+class _ModuleGen:
+    """Program-level state: globals, string pool."""
+
+    def __init__(self, info: SemanticInfo, rotate_loops: bool = True) -> None:
+        self.info = info
+        self.rotate_loops = rotate_loops
+        self.program = IRProgram()
+        self._strings: dict[str, str] = {}
+        self._global_labels: dict[str, str] = {}
+
+    def intern_string(self, text: str) -> str:
+        label = self._strings.get(text)
+        if label is None:
+            label = f"S_{len(self._strings)}"
+            self._strings[text] = label
+        return label
+
+    def run(self) -> IRProgram:
+        # globals first: establish labels and layout requests
+        for decl in self.info.globals:
+            sym = decl.symbol
+            label = f"G_{sym.name}"
+            self._global_labels[sym.name] = label
+            sym.storage = ("global", label)
+            init: object = None
+            if decl.init is not None:
+                if isinstance(decl.init, A.IntLit):
+                    init = decl.init.value
+                elif isinstance(decl.init, A.DoubleLit):
+                    init = decl.init.value
+                elif isinstance(decl.init, A.StringLit):
+                    init = ("ptr_to", self.intern_string(decl.init.value))
+                else:  # pragma: no cover - sema guarantees constants
+                    raise _err("non-constant global initializer", decl)
+            self.program.globals.append(GlobalObject(
+                label, sym.ctype.size(), sym.ctype.align(), init))
+        # functions
+        for func in self.info.functions:
+            gen = _FuncGen(self, func)
+            self.program.functions.append(gen.run())
+        # string pool objects (after scalars so big data does not push
+        # scalars out of the $gp window; final ordering is codegen's job)
+        for text, label in self._strings.items():
+            self.program.globals.append(GlobalObject(
+                label, len(text) + 1, 1, text))
+        return self.program
+
+
+class _LoopContext:
+    """break/continue targets for the innermost loop."""
+
+    def __init__(self, break_label: str, continue_label: str) -> None:
+        self.break_label = break_label
+        self.continue_label = continue_label
+
+
+class _FuncGen:
+    def __init__(self, module: _ModuleGen, decl: A.FuncDef) -> None:
+        self.module = module
+        self.decl = decl
+        fsym = module.info.function_symbols[decl.name]
+        self.ftype = fsym.ftype
+        self.func = IRFunction(decl.name)
+        self._label_count = 0
+        self.cur = self._begin(self.new_label("entry"))
+        self.loops: list[_LoopContext] = []
+
+    # -- block/label plumbing ---------------------------------------------------
+
+    def new_label(self, hint: str) -> str:
+        self._label_count += 1
+        return f"L_{self.decl.name}_{self._label_count}_{hint}"
+
+    def _begin(self, label: str) -> IRBlock:
+        block = IRBlock(label)
+        self.func.blocks.append(block)
+        self.cur = block
+        return block
+
+    def begin(self, label: str) -> IRBlock:
+        """Start a new block, falling through from the current one."""
+        if not self._terminated():
+            self.emit(Jump(label))
+        return self._begin(label)
+
+    def _terminated(self) -> bool:
+        return bool(self.cur.instructions) and self.cur.terminator.is_terminator
+
+    def emit(self, inst) -> None:
+        if self._terminated():
+            # dead code (e.g. after return); park it in an unreachable block
+            self._begin(self.new_label("dead"))
+        self.cur.instructions.append(inst)
+
+    def vreg(self, klass: str) -> int:
+        return self.func.new_vreg(klass)
+
+    # -- entry ----------------------------------------------------------------
+
+    def run(self) -> IRFunction:
+        for param, ptype in zip(self.decl.params, self.ftype.params):
+            sym: Symbol = param.symbol
+            klass = _vclass(ptype)
+            incoming = self.vreg(klass)
+            self.func.params.append((param.name, incoming, klass))
+            if sym.address_taken:
+                slot = self.func.new_frame_object(
+                    sym.name, ptype.size(), ptype.align())
+                sym.storage = ("frame", slot)
+                self.emit(Store(incoming, FrameSlot(slot), 0,
+                                _mem_kind(ptype)))
+            else:
+                sym.storage = ("vreg", incoming)
+        self.gen_block(self.decl.body)
+        if not self._terminated():
+            if self.decl.name == "main" and not self.ftype.ret.is_void:
+                zero = self.vreg(INT)
+                self.emit(LoadConst(zero, 0))
+                self.emit(Ret(zero, INT))
+            else:
+                self.emit(Ret(None, None))
+        return self.func
+
+    # -- statements ----------------------------------------------------------
+
+    def gen_block(self, block: A.Block) -> None:
+        for stmt in block.statements:
+            self.gen_stmt(stmt)
+
+    def gen_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.Block):
+            self.gen_block(stmt)
+        elif isinstance(stmt, A.Empty):
+            pass
+        elif isinstance(stmt, A.ExprStmt):
+            self.gen_expr_for_effect(stmt.expr)
+        elif isinstance(stmt, A.VarDecl):
+            self.gen_vardecl(stmt)
+        elif isinstance(stmt, A.If):
+            self.gen_if(stmt)
+        elif isinstance(stmt, A.While):
+            self.gen_while(stmt)
+        elif isinstance(stmt, A.DoWhile):
+            self.gen_do_while(stmt)
+        elif isinstance(stmt, A.For):
+            self.gen_for(stmt)
+        elif isinstance(stmt, A.Break):
+            self.emit(Jump(self.loops[-1].break_label))
+        elif isinstance(stmt, A.Continue):
+            self.emit(Jump(self.loops[-1].continue_label))
+        elif isinstance(stmt, A.Return):
+            if stmt.value is None:
+                self.emit(Ret(None, None))
+            else:
+                value = self.gen_expr(stmt.value)
+                self.emit(Ret(value, _vclass(stmt.value.ctype)))
+        else:  # pragma: no cover
+            raise _err(f"unhandled statement {type(stmt).__name__}", stmt)
+
+    def gen_vardecl(self, stmt: A.VarDecl) -> None:
+        sym: Symbol = stmt.symbol
+        ctype = sym.ctype
+        if sym.storage is None:
+            if ctype.is_scalar and not sym.address_taken:
+                sym.storage = ("vreg", self.vreg(_vclass(ctype)))
+            else:
+                slot = self.func.new_frame_object(
+                    sym.name, ctype.size(), max(ctype.align(), 4))
+                sym.storage = ("frame", slot)
+        if stmt.init is not None:
+            value = self.gen_expr(stmt.init)
+            kind, where = sym.storage
+            if kind == "vreg":
+                self.emit(Copy(where, value))
+            else:
+                self.emit(Store(value, FrameSlot(where), 0, _mem_kind(ctype)))
+
+    def gen_if(self, stmt: A.If) -> None:
+        then_label = self.new_label("then")
+        end_label = self.new_label("endif")
+        else_label = self.new_label("else") if stmt.otherwise else end_label
+        self.gen_cond(stmt.cond, then_label, else_label)
+        self.begin(then_label)
+        self.gen_stmt(stmt.then)
+        if stmt.otherwise is not None:
+            if not self._terminated():
+                self.emit(Jump(end_label))
+            self._begin(else_label)
+            self.gen_stmt(stmt.otherwise)
+        self.begin(end_label)
+
+    def gen_while(self, stmt: A.While) -> None:
+        if not self.module.rotate_loops:
+            self._gen_while_top_tested(stmt)
+            return
+        body_label = self.new_label("loop")
+        test_label = self.new_label("looptest")
+        exit_label = self.new_label("loopexit")
+        # rotated form: guard test (replicated), body, bottom test
+        self.gen_cond(stmt.cond, body_label, exit_label)
+        self.begin(body_label)
+        self.loops.append(_LoopContext(exit_label, test_label))
+        self.gen_stmt(stmt.body)
+        self.loops.pop()
+        self.begin(test_label)
+        self.gen_cond(stmt.cond, body_label, exit_label)
+        self._begin(exit_label)
+
+    def _gen_while_top_tested(self, stmt: A.While) -> None:
+        """Naive (non-rotated) form: test at the head, unconditional jump
+        back — the ablation comparator for the rotated-loop codegen."""
+        head_label = self.new_label("whead")
+        body_label = self.new_label("wbody")
+        exit_label = self.new_label("wexit")
+        self.begin(head_label)
+        self.gen_cond(stmt.cond, body_label, exit_label)
+        self._begin(body_label)
+        self.loops.append(_LoopContext(exit_label, head_label))
+        self.gen_stmt(stmt.body)
+        self.loops.pop()
+        if not self._terminated():
+            self.emit(Jump(head_label))
+        self._begin(exit_label)
+
+    def gen_do_while(self, stmt: A.DoWhile) -> None:
+        body_label = self.new_label("doloop")
+        test_label = self.new_label("dotest")
+        exit_label = self.new_label("doexit")
+        self.begin(body_label)
+        self.loops.append(_LoopContext(exit_label, test_label))
+        self.gen_stmt(stmt.body)
+        self.loops.pop()
+        self.begin(test_label)
+        self.gen_cond(stmt.cond, body_label, exit_label)
+        self._begin(exit_label)
+
+    def gen_for(self, stmt: A.For) -> None:
+        if not self.module.rotate_loops:
+            self._gen_for_top_tested(stmt)
+            return
+        body_label = self.new_label("forloop")
+        step_label = self.new_label("forstep")
+        exit_label = self.new_label("forexit")
+        if stmt.init is not None:
+            self.gen_stmt(stmt.init)
+        if stmt.cond is not None:
+            self.gen_cond(stmt.cond, body_label, exit_label)
+        self.begin(body_label)
+        self.loops.append(_LoopContext(exit_label, step_label))
+        self.gen_stmt(stmt.body)
+        self.loops.pop()
+        self.begin(step_label)
+        if stmt.step is not None:
+            self.gen_expr_for_effect(stmt.step)
+        if stmt.cond is not None:
+            self.gen_cond(stmt.cond, body_label, exit_label)
+        else:
+            self.emit(Jump(body_label))
+        self._begin(exit_label)
+
+    def _gen_for_top_tested(self, stmt: A.For) -> None:
+        head_label = self.new_label("fhead")
+        body_label = self.new_label("fbody")
+        step_label = self.new_label("fstep")
+        exit_label = self.new_label("fexit")
+        if stmt.init is not None:
+            self.gen_stmt(stmt.init)
+        self.begin(head_label)
+        if stmt.cond is not None:
+            self.gen_cond(stmt.cond, body_label, exit_label)
+            self._begin(body_label)
+        else:
+            self.begin(body_label)
+        self.loops.append(_LoopContext(exit_label, step_label))
+        self.gen_stmt(stmt.body)
+        self.loops.pop()
+        self.begin(step_label)
+        if stmt.step is not None:
+            self.gen_expr_for_effect(stmt.step)
+        self.emit(Jump(head_label))
+        self._begin(exit_label)
+
+    # -- conditions ------------------------------------------------------------
+
+    def gen_cond(self, expr: A.Expr, true_label: str, false_label: str) -> None:
+        """Emit control flow that reaches *true_label* iff *expr* is truthy."""
+        if isinstance(expr, A.Binary) and expr.op == "&&":
+            mid = self.new_label("and")
+            self.gen_cond(expr.left, mid, false_label)
+            self._begin(mid)
+            self.gen_cond(expr.right, true_label, false_label)
+            return
+        if isinstance(expr, A.Binary) and expr.op == "||":
+            mid = self.new_label("or")
+            self.gen_cond(expr.left, true_label, mid)
+            self._begin(mid)
+            self.gen_cond(expr.right, true_label, false_label)
+            return
+        if isinstance(expr, A.Unary) and expr.op == "!":
+            self.gen_cond(expr.operand, false_label, true_label)
+            return
+        if isinstance(expr, A.Binary) and expr.op in ("==", "!=", "<", ">",
+                                                      "<=", ">="):
+            self._gen_compare_branch(expr, true_label, false_label)
+            return
+        if isinstance(expr, A.IntLit):
+            self.emit(Jump(true_label if expr.value else false_label))
+            return
+        value = self.gen_expr(expr)
+        if expr.ctype.is_double:
+            zero = self.vreg(FP)
+            self.emit(LoadFConst(zero, 0.0))
+            self.emit(CBr("ne", value, zero, true_label, false_label, fp=True))
+        else:
+            self.emit(CBr("ne", value, Imm(0), true_label, false_label))
+
+    _CMP = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt",
+            ">=": "ge"}
+
+    def _gen_compare_branch(self, expr: A.Binary, true_label: str,
+                            false_label: str) -> None:
+        op = self._CMP[expr.op]
+        left_t = expr.left.ctype
+        if left_t.is_double:
+            a = self.gen_expr(expr.left)
+            b = self.gen_expr(expr.right)
+            self.emit(CBr(op, a, b, true_label, false_label, fp=True))
+            return
+        a = self.gen_expr(expr.left)
+        right = expr.right
+        if isinstance(right, A.IntLit) and right.value == 0:
+            self.emit(CBr(op, a, Imm(0), true_label, false_label))
+            return
+        # also recognise 0 behind an implicit conversion (e.g. char -> int)
+        if isinstance(right, A.Cast) and isinstance(right.operand, A.IntLit) \
+                and right.operand.value == 0 and not right.ctype.is_double:
+            self.emit(CBr(op, a, Imm(0), true_label, false_label))
+            return
+        b = self.gen_expr(right)
+        if op in ("eq", "ne"):
+            self.emit(CBr(op, a, b, true_label, false_label))
+            return
+        # lower relationals through slt so codegen's branches are
+        # compare-to-zero or eq/ne forms only
+        t = self.vreg(INT)
+        if op == "lt":
+            self.emit(BinOp("slt", t, a, b))
+            self.emit(CBr("ne", t, Imm(0), true_label, false_label))
+        elif op == "ge":
+            self.emit(BinOp("slt", t, a, b))
+            self.emit(CBr("eq", t, Imm(0), true_label, false_label))
+        elif op == "gt":
+            self.emit(BinOp("slt", t, b, a))
+            self.emit(CBr("ne", t, Imm(0), true_label, false_label))
+        else:  # le
+            self.emit(BinOp("slt", t, b, a))
+            self.emit(CBr("eq", t, Imm(0), true_label, false_label))
+
+    # -- expressions -----------------------------------------------------------
+
+    def gen_expr_for_effect(self, expr: A.Expr) -> None:
+        """Evaluate for side effects, discarding the value."""
+        if isinstance(expr, A.Call) and expr.ctype.is_void:
+            self._gen_call(expr, want_value=False)
+            return
+        if isinstance(expr, (A.Assign, A.IncDec, A.Call)):
+            self.gen_expr(expr)
+            return
+        if isinstance(expr, A.Cast) and expr.ctype.is_void:
+            self.gen_expr_for_effect(expr.operand)
+            return
+        # pure expression in statement position: still evaluate (may trap)
+        self.gen_expr(expr)
+
+    def gen_expr(self, expr: A.Expr) -> int:
+        method = getattr(self, f"_gen_{type(expr).__name__}")
+        return method(expr)
+
+    def _gen_IntLit(self, expr: A.IntLit) -> int:
+        v = self.vreg(INT)
+        self.emit(LoadConst(v, expr.value))
+        return v
+
+    def _gen_CharLit(self, expr: A.CharLit) -> int:
+        v = self.vreg(INT)
+        self.emit(LoadConst(v, expr.value))
+        return v
+
+    def _gen_DoubleLit(self, expr: A.DoubleLit) -> int:
+        v = self.vreg(FP)
+        self.emit(LoadFConst(v, expr.value))
+        return v
+
+    def _gen_StringLit(self, expr: A.StringLit) -> int:
+        label = self.module.intern_string(expr.value)
+        v = self.vreg(INT)
+        self.emit(AddrGlobal(v, label))
+        return v
+
+    def _gen_Ident(self, expr: A.Ident) -> int:
+        sym: Symbol = expr.symbol
+        self._ensure_storage(sym)
+        kind, where = sym.storage
+        ctype = sym.ctype
+        if isinstance(ctype, ArrayType):
+            # decay to pointer to first element
+            v = self.vreg(INT)
+            if kind == "frame":
+                self.emit(AddrFrame(v, where))
+            else:
+                self.emit(AddrGlobal(v, where))
+            return v
+        if kind == "vreg":
+            return where
+        base = FrameSlot(where) if kind == "frame" else GlobalSym(where)
+        v = self.vreg(_vclass(ctype))
+        self.emit(Load(v, base, 0, _mem_kind(ctype)))
+        return v
+
+    def _ensure_storage(self, sym: Symbol) -> None:
+        """Locals declared later in the block may be referenced by position
+        in degenerate cases; allocate storage lazily and deterministically."""
+        if sym.storage is None:
+            if sym.ctype.is_scalar and not sym.address_taken:
+                sym.storage = ("vreg", self.vreg(_vclass(sym.ctype)))
+            else:
+                slot = self.func.new_frame_object(
+                    sym.name, sym.ctype.size(), max(sym.ctype.align(), 4))
+                sym.storage = ("frame", slot)
+
+    # -- lvalue addressing -------------------------------------------------------
+
+    def gen_addr(self, expr: A.Expr) -> tuple[object, int]:
+        """Address of an lvalue as (base, constant offset); base is a vreg,
+        FrameSlot, or GlobalSym."""
+        if isinstance(expr, A.Ident):
+            sym: Symbol = expr.symbol
+            self._ensure_storage(sym)
+            kind, where = sym.storage
+            if kind == "vreg":
+                raise AssertionError(
+                    f"address of register-resident {sym.name}")
+            return (FrameSlot(where) if kind == "frame" else GlobalSym(where),
+                    0)
+        if isinstance(expr, A.Unary) and expr.op == "*":
+            return self.gen_expr(expr.operand), 0
+        if isinstance(expr, A.Index):
+            return self._gen_index_addr(expr)
+        if isinstance(expr, A.Member):
+            if expr.arrow:
+                base = self.gen_expr(expr.base)
+                struct: StructType = expr.base.ctype
+                if isinstance(struct, PointerType):
+                    struct = struct.target
+                offset = struct.field_named(expr.name).offset
+                return base, offset
+            base, offset = self.gen_addr(expr.base)
+            struct = expr.base.ctype
+            return base, offset + struct.field_named(expr.name).offset
+        raise _err("expression is not an lvalue", expr)
+
+    def _gen_index_addr(self, expr: A.Index) -> tuple[object, int]:
+        base_t = expr.base.ctype
+        size = _elem_size(base_t)
+        if isinstance(base_t, ArrayType):
+            base, offset = self.gen_addr(expr.base)
+        else:
+            base, offset = self.gen_expr(expr.base), 0
+        index = expr.index
+        if isinstance(index, A.IntLit):
+            return base, offset + index.value * size
+        if isinstance(index, A.Cast) and isinstance(index.operand, A.IntLit):
+            return base, offset + index.operand.value * size
+        idx = self.gen_expr(index)
+        scaled = self._scale(idx, size)
+        addr = self.vreg(INT)
+        base_reg = self._materialize_base(base)
+        self.emit(BinOp("add", addr, base_reg, scaled))
+        return addr, offset
+
+    def _materialize_base(self, base: object) -> int:
+        if isinstance(base, int):
+            return base
+        v = self.vreg(INT)
+        if isinstance(base, FrameSlot):
+            self.emit(AddrFrame(v, base.slot))
+        else:
+            self.emit(AddrGlobal(v, base.name))
+        return v
+
+    def _scale(self, idx: int, size: int) -> int:
+        if size == 1:
+            return idx
+        out = self.vreg(INT)
+        if size & (size - 1) == 0:
+            self.emit(BinOp("shl", out, idx, Imm(size.bit_length() - 1)))
+        else:
+            c = self.vreg(INT)
+            self.emit(LoadConst(c, size))
+            self.emit(BinOp("mul", out, idx, c))
+        return out
+
+    def _load_from(self, base: object, offset: int, ctype: CType) -> int:
+        if isinstance(ctype, ArrayType):
+            # address-of semantics (array member decays)
+            v = self.vreg(INT)
+            base_reg = self._materialize_base(base)
+            if offset:
+                self.emit(BinOp("add", v, base_reg, Imm(offset)))
+            else:
+                self.emit(Copy(v, base_reg))
+            return v
+        v = self.vreg(_vclass(ctype))
+        self.emit(Load(v, base, offset, _mem_kind(ctype)))
+        return v
+
+    # -- operators ------------------------------------------------------------
+
+    def _gen_Unary(self, expr: A.Unary) -> int:
+        op = expr.op
+        if op == "&":
+            base, offset = self.gen_addr(expr.operand)
+            v = self.vreg(INT)
+            base_reg = self._materialize_base(base)
+            if offset:
+                self.emit(BinOp("add", v, base_reg, Imm(offset)))
+                return v
+            if isinstance(base, int):
+                return base_reg
+            return base_reg
+        if op == "*":
+            base = self.gen_expr(expr.operand)
+            return self._load_from(base, 0, expr.ctype)
+        if op == "-":
+            operand = self.gen_expr(expr.operand)
+            if expr.ctype.is_double:
+                v = self.vreg(FP)
+                self.emit(FNeg(v, operand))
+                return v
+            zero = self.vreg(INT)
+            self.emit(LoadConst(zero, 0))
+            v = self.vreg(INT)
+            self.emit(BinOp("sub", v, zero, operand))
+            return v
+        if op == "~":
+            operand = self.gen_expr(expr.operand)
+            v = self.vreg(INT)
+            self.emit(BinOp("xor", v, operand, Imm(-1)))
+            return v
+        if op == "!":
+            return self._materialize_bool(expr)
+        raise _err(f"unhandled unary {op}", expr)  # pragma: no cover
+
+    def _materialize_bool(self, expr: A.Expr) -> int:
+        """Evaluate a boolean-producing expression into a 0/1 vreg."""
+        result = self.vreg(INT)
+        true_label = self.new_label("btrue")
+        false_label = self.new_label("bfalse")
+        join = self.new_label("bjoin")
+        self.gen_cond(expr, true_label, false_label)
+        self._begin(true_label)
+        self.emit(LoadConst(result, 1))
+        self.emit(Jump(join))
+        self._begin(false_label)
+        self.emit(LoadConst(result, 0))
+        self.emit(Jump(join))
+        self._begin(join)
+        return result
+
+    _ARITH = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+              "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr"}
+    _FARITH = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+
+    def _gen_Binary(self, expr: A.Binary) -> int:
+        op = expr.op
+        if op in ("&&", "||") or op in ("==", "!=", "<", ">", "<=", ">="):
+            return self._materialize_bool(expr)
+        left_t = expr.left.ctype
+        right_t = expr.right.ctype
+        # pointer arithmetic
+        lp = left_t.is_pointer or isinstance(left_t, ArrayType)
+        rp = right_t.is_pointer or isinstance(right_t, ArrayType)
+        if op in ("+", "-") and (lp or rp):
+            return self._gen_pointer_arith(expr, lp, rp)
+        if expr.ctype.is_double:
+            a = self.gen_expr(expr.left)
+            b = self.gen_expr(expr.right)
+            v = self.vreg(FP)
+            self.emit(FBinOp(self._FARITH[op], v, a, b))
+            return v
+        a = self.gen_expr(expr.left)
+        b = self.gen_expr(expr.right)
+        v = self.vreg(INT)
+        self.emit(BinOp(self._ARITH[op], v, a, b))
+        return v
+
+    def _gen_pointer_arith(self, expr: A.Binary, lp: bool, rp: bool) -> int:
+        op = expr.op
+        if lp and rp:  # pointer difference
+            a = self.gen_expr(expr.left)
+            b = self.gen_expr(expr.right)
+            diff = self.vreg(INT)
+            self.emit(BinOp("sub", diff, a, b))
+            size = _elem_size(expr.left.ctype)
+            if size == 1:
+                return diff
+            c = self.vreg(INT)
+            self.emit(LoadConst(c, size))
+            out = self.vreg(INT)
+            self.emit(BinOp("div", out, diff, c))
+            return out
+        if rp:  # int + pointer
+            expr = A.Binary("+", expr.right, expr.left, line=expr.line,
+                            col=expr.col, filename=expr.filename)
+            expr.ctype = expr.left.ctype
+            lp, rp = True, False
+        ptr = self.gen_expr(expr.left)
+        size = _elem_size(expr.left.ctype)
+        idx_expr = expr.right
+        if isinstance(idx_expr, A.IntLit):
+            out = self.vreg(INT)
+            delta = idx_expr.value * size
+            self.emit(BinOp("add" if op == "+" else "sub", out, ptr,
+                            Imm(delta)))
+            return out
+        idx = self.gen_expr(idx_expr)
+        scaled = self._scale(idx, size)
+        out = self.vreg(INT)
+        self.emit(BinOp("add" if op == "+" else "sub", out, ptr, scaled))
+        return out
+
+    def _gen_Assign(self, expr: A.Assign) -> int:
+        target = expr.target
+        ctype = expr.ctype
+        # register-resident scalar
+        if isinstance(target, A.Ident) and target.symbol.storage is None:
+            self._ensure_storage(target.symbol)
+        if isinstance(target, A.Ident) and target.symbol.storage[0] == "vreg":
+            dst = target.symbol.storage[1]
+            if expr.op is None:
+                value = self.gen_expr(expr.value)
+                self.emit(Copy(dst, value))
+                return dst
+            value = self.gen_expr(expr.value)
+            self._apply_compound(expr, dst, dst, value)
+            return dst
+        base, offset = self.gen_addr(target)
+        mem = _mem_kind(ctype)
+        if expr.op is None:
+            value = self.gen_expr(expr.value)
+            self.emit(Store(value, base, offset, mem))
+            return value
+        old = self.vreg(_vclass(ctype))
+        self.emit(Load(old, base, offset, mem))
+        value = self.gen_expr(expr.value)
+        result = self.vreg(_vclass(ctype))
+        self._apply_compound(expr, result, old, value)
+        self.emit(Store(result, base, offset, mem))
+        return result
+
+    def _apply_compound(self, expr: A.Assign, dst: int, old: int,
+                        value: int) -> None:
+        """dst = old OP value, honouring pointer scaling and doubles."""
+        op = expr.op
+        target_t = expr.target.ctype
+        if target_t.is_double:
+            self.emit(FBinOp(self._FARITH[op], dst, old, value))
+            return
+        if target_t.is_pointer:
+            size = _elem_size(target_t)
+            scaled = self._scale(value, size)
+            self.emit(BinOp("add" if op == "+" else "sub", dst, old, scaled))
+            return
+        self.emit(BinOp(self._ARITH[op], dst, old, value))
+
+    def _gen_IncDec(self, expr: A.IncDec) -> int:
+        target = expr.operand
+        ctype = expr.ctype
+        delta = _elem_size(ctype) if ctype.is_pointer else 1
+        binop = "add" if expr.op == "++" else "sub"
+        if isinstance(target, A.Ident) and target.symbol.storage is None:
+            self._ensure_storage(target.symbol)
+        if isinstance(target, A.Ident) and target.symbol.storage[0] == "vreg":
+            reg = target.symbol.storage[1]
+            if ctype.is_double:
+                one = self.vreg(FP)
+                self.emit(LoadFConst(one, 1.0))
+                if expr.is_prefix:
+                    self.emit(FBinOp("fadd" if expr.op == "++" else "fsub",
+                                     reg, reg, one))
+                    return reg
+                old = self.vreg(FP)
+                self.emit(Copy(old, reg))
+                self.emit(FBinOp("fadd" if expr.op == "++" else "fsub",
+                                 reg, reg, one))
+                return old
+            if expr.is_prefix:
+                self.emit(BinOp(binop, reg, reg, Imm(delta)))
+                return reg
+            old = self.vreg(INT)
+            self.emit(Copy(old, reg))
+            self.emit(BinOp(binop, reg, reg, Imm(delta)))
+            return old
+        base, offset = self.gen_addr(target)
+        mem = _mem_kind(ctype)
+        old = self.vreg(_vclass(ctype))
+        self.emit(Load(old, base, offset, mem))
+        new = self.vreg(_vclass(ctype))
+        if ctype.is_double:
+            one = self.vreg(FP)
+            self.emit(LoadFConst(one, 1.0))
+            self.emit(FBinOp("fadd" if expr.op == "++" else "fsub",
+                             new, old, one))
+        else:
+            self.emit(BinOp(binop, new, old, Imm(delta)))
+        self.emit(Store(new, base, offset, mem))
+        return new if expr.is_prefix else old
+
+    def _gen_Cond(self, expr: A.Cond) -> int:
+        result = self.vreg(_vclass(expr.ctype))
+        then_label = self.new_label("cthen")
+        else_label = self.new_label("celse")
+        join = self.new_label("cjoin")
+        self.gen_cond(expr.cond, then_label, else_label)
+        self._begin(then_label)
+        then_val = self.gen_expr(expr.then)
+        self.emit(Copy(result, then_val))
+        self.emit(Jump(join))
+        self._begin(else_label)
+        else_val = self.gen_expr(expr.otherwise)
+        self.emit(Copy(result, else_val))
+        self.emit(Jump(join))
+        self._begin(join)
+        return result
+
+    def _gen_Call(self, expr: A.Call) -> int:
+        return self._gen_call(expr, want_value=True)
+
+    def _gen_call(self, expr: A.Call, want_value: bool) -> int | None:
+        args = [self.gen_expr(a) for a in expr.args]
+        classes = [_vclass(a.ctype) for a in expr.args]
+        ret = expr.symbol.ftype.ret
+        if ret.is_void:
+            self.emit(Call(None, expr.name, args, classes, None))
+            return None
+        dst = self.vreg(_vclass(ret))
+        self.emit(Call(dst, expr.name, args, classes, _vclass(ret)))
+        return dst
+
+    def _gen_Index(self, expr: A.Index) -> int:
+        base, offset = self._gen_index_addr(expr)
+        return self._load_from(base, offset, expr.ctype)
+
+    def _gen_Member(self, expr: A.Member) -> int:
+        base, offset = self.gen_addr(expr)
+        return self._load_from(base, offset, expr.ctype)
+
+    def _gen_Cast(self, expr: A.Cast) -> int:
+        src_t = expr.operand.ctype
+        dst_t = expr.ctype
+        if dst_t.is_void:
+            self.gen_expr_for_effect(expr.operand)
+            return self.vreg(INT)  # dummy, never used
+        value = self.gen_expr(expr.operand)
+        src_fp = src_t.is_double
+        dst_fp = dst_t.is_double
+        if src_fp and not dst_fp:
+            v = self.vreg(INT)
+            self.emit(Cvt(v, value, "d2i"))
+            if dst_t == CHAR:
+                return self._truncate_char(v)
+            return v
+        if dst_fp and not src_fp:
+            v = self.vreg(FP)
+            self.emit(Cvt(v, value, "i2d"))
+            return v
+        if dst_t == CHAR and src_t != CHAR and src_t.is_integer:
+            return self._truncate_char(value)
+        return value
+
+    def _truncate_char(self, value: int) -> int:
+        t = self.vreg(INT)
+        self.emit(BinOp("shl", t, value, Imm(24)))
+        out = self.vreg(INT)
+        self.emit(BinOp("shr", out, t, Imm(24)))
+        return out
+
+    def _gen_SizeofType(self, expr: A.SizeofType) -> int:
+        v = self.vreg(INT)
+        self.emit(LoadConst(v, expr.target_type.size()))
+        return v
+
+
+def generate_ir(info: SemanticInfo, rotate_loops: bool = True) -> IRProgram:
+    """Lower an analyzed program to IR.
+
+    *rotate_loops* selects the while/for shape: True (default) gives the
+    paper's rotated form (guard + bottom test); False gives the naive
+    top-tested form with an unconditional back jump — the ablation
+    comparator for the Loop heuristic's coverage.
+    """
+    return _ModuleGen(info, rotate_loops=rotate_loops).run()

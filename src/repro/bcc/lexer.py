@@ -1,0 +1,213 @@
+"""Lexer for BLC, the mini-C language of the benchmark suite.
+
+Tokens carry their source position for diagnostics. Comments are ``//`` to
+end of line and ``/* ... */`` (non-nesting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bcc.errors import CompileError
+
+__all__ = ["Token", "TokenKind", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset({
+    "int", "char", "double", "void", "struct", "if", "else", "while", "for",
+    "do", "break", "continue", "return", "sizeof", "NULL",
+})
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = (
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+)
+
+
+class TokenKind:
+    """Token categories (plain strings keep match statements readable)."""
+
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int_lit"
+    DOUBLE = "double_lit"
+    CHAR = "char_lit"
+    STRING = "string_lit"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    value: object = None  #: parsed value for literals
+    line: int = 0
+    col: int = 0
+    filename: str = "<input>"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r} @{self.line}:{self.col})"
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", '"': '"', "'": "'",
+            "r": "\r"}
+
+
+def tokenize(source: str, filename: str = "<input>") -> list[Token]:
+    """Tokenize *source*; the returned list always ends with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(msg: str) -> CompileError:
+        return CompileError(msg, line=line, col=col, filename=filename)
+
+    def advance(k: int = 1) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch in " \t\r\n":
+            advance()
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance()
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance()
+            if i >= n:
+                raise CompileError("unterminated /* comment", line=start_line,
+                                   col=start_col, filename=filename)
+            advance(2)
+            continue
+
+        tok_line, tok_col = line, col
+
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            if text == "NULL":
+                tokens.append(Token(TokenKind.INT, text, 0, tok_line, tok_col,
+                                    filename))
+            else:
+                tokens.append(Token(kind, text, None, tok_line, tok_col,
+                                    filename))
+            advance(j - i)
+            continue
+
+        # numbers
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_double = False
+            if source.startswith(("0x", "0X"), i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                text = source[i:j]
+                tokens.append(Token(TokenKind.INT, text, int(text, 16),
+                                    tok_line, tok_col, filename))
+                advance(j - i)
+                continue
+            while j < n and source[j].isdigit():
+                j += 1
+            if j < n and source[j] == ".":
+                is_double = True
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            if j < n and source[j] in "eE":
+                is_double = True
+                j += 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            text = source[i:j]
+            if is_double:
+                tokens.append(Token(TokenKind.DOUBLE, text, float(text),
+                                    tok_line, tok_col, filename))
+            else:
+                tokens.append(Token(TokenKind.INT, text, int(text),
+                                    tok_line, tok_col, filename))
+            advance(j - i)
+            continue
+
+        # char literal
+        if ch == "'":
+            j = i + 1
+            if j < n and source[j] == "\\":
+                if j + 1 >= n or source[j + 1] not in _ESCAPES:
+                    raise error("bad escape in char literal")
+                value = ord(_ESCAPES[source[j + 1]])
+                j += 2
+            elif j < n and source[j] != "'":
+                value = ord(source[j])
+                j += 1
+            else:
+                raise error("empty char literal")
+            if j >= n or source[j] != "'":
+                raise error("unterminated char literal")
+            j += 1
+            tokens.append(Token(TokenKind.CHAR, source[i:j], value,
+                                tok_line, tok_col, filename))
+            advance(j - i)
+            continue
+
+        # string literal
+        if ch == '"':
+            j = i + 1
+            chars: list[str] = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    if j + 1 >= n or source[j + 1] not in _ESCAPES:
+                        raise error("bad escape in string literal")
+                    chars.append(_ESCAPES[source[j + 1]])
+                    j += 2
+                elif source[j] == "\n":
+                    raise error("newline in string literal")
+                else:
+                    chars.append(source[j])
+                    j += 1
+            if j >= n:
+                raise error("unterminated string literal")
+            j += 1
+            tokens.append(Token(TokenKind.STRING, source[i:j], "".join(chars),
+                                tok_line, tok_col, filename))
+            advance(j - i)
+            continue
+
+        # operators
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(TokenKind.OP, op, None, tok_line, tok_col,
+                                    filename))
+                advance(len(op))
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", None, line, col, filename))
+    return tokens

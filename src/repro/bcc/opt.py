@@ -1,0 +1,427 @@
+"""IR optimization passes (the ``-O`` the paper's benchmarks were built with).
+
+Passes, applied to fixpoint:
+
+* constant folding & algebraic simplification (incl. forming MIPS immediate
+  operands and strength-reducing multiplies by powers of two);
+* block-local copy/constant propagation;
+* global dead-code elimination (liveness-based);
+* CFG simplification (jump threading, straight-line merging, unreachable
+  block removal).
+
+All passes preserve the rotated-loop shape that IR generation established —
+nothing here re-linearizes control flow, so the branch idioms the heuristics
+inspect survive into the final code.
+"""
+
+from __future__ import annotations
+
+from repro.bcc.ir import (
+    AddrFrame, AddrGlobal, BinOp, Call, CBr, Copy, Cvt, FBinOp, FNeg, Imm,
+    IRBlock, IRFunction, IRProgram, Jump, Load, LoadConst, LoadFConst, Ret,
+    Store,
+)
+
+__all__ = ["optimize_program", "optimize_function", "compute_liveness"]
+
+_S16_MIN, _S16_MAX = -32768, 32767
+
+#: ops with a signed-immediate machine form (addiu / slti)
+_SIGNED_IMM_OPS = frozenset({"add", "slt"})
+#: ops with an unsigned-immediate machine form (andi/ori/xori)
+_UNSIGNED_IMM_OPS = frozenset({"and", "or", "xor"})
+#: shift-amount immediate ops
+_SHIFT_OPS = frozenset({"shl", "shr", "sru"})
+
+
+def _wrap32(value: int) -> int:
+    value &= 0xFFFF_FFFF
+    return value - (1 << 32) if value & (1 << 31) else value
+
+
+def _fold_binop(op: str, a: int, b: int) -> int | None:
+    """Evaluate an integer BinOp over constants with MIPS semantics."""
+    if op == "add":
+        return _wrap32(a + b)
+    if op == "sub":
+        return _wrap32(a - b)
+    if op == "mul":
+        return _wrap32(a * b)
+    if op == "div":
+        if b == 0:
+            return None
+        q = abs(a) // abs(b)
+        return _wrap32(-q if (a < 0) != (b < 0) else q)
+    if op == "rem":
+        if b == 0:
+            return None
+        q = abs(a) // abs(b)
+        q = -q if (a < 0) != (b < 0) else q
+        return _wrap32(a - b * q)
+    if op == "and":
+        return _wrap32((a & 0xFFFFFFFF) & (b & 0xFFFFFFFF))
+    if op == "or":
+        return _wrap32((a & 0xFFFFFFFF) | (b & 0xFFFFFFFF))
+    if op == "xor":
+        return _wrap32((a & 0xFFFFFFFF) ^ (b & 0xFFFFFFFF))
+    if op == "shl":
+        return _wrap32((a & 0xFFFFFFFF) << (b & 31))
+    if op == "shr":
+        return _wrap32(a >> (b & 31))
+    if op == "sru":
+        return _wrap32((a & 0xFFFFFFFF) >> (b & 31))
+    if op == "slt":
+        return 1 if a < b else 0
+    if op == "sltu":
+        return 1 if (a & 0xFFFFFFFF) < (b & 0xFFFFFFFF) else 0
+    return None
+
+
+_CMP_EVAL = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+
+def _local_propagate(block: IRBlock) -> bool:
+    """Block-local constant propagation plus folding. Returns True if
+    anything changed.
+
+    Deliberately does NOT rewrite uses through register copies: doing so
+    leaves two live names for one value (the allocator does not coalesce),
+    which both costs a register and — more importantly here — breaks the
+    "same register from branch to successor use" property the paper's Guard
+    heuristic observes in globally register-allocated code. Redundant
+    copies are instead removed by :func:`_coalesce_copies` and DCE.
+    """
+    changed = False
+    consts: dict[int, int] = {}      # vreg -> known int constant
+
+    def kill(vreg: int) -> None:
+        consts.pop(vreg, None)
+
+    out: list = []
+    for inst in block.instructions:
+        if isinstance(inst, BinOp):
+            av = consts.get(inst.a)
+            bv = (inst.b.value if isinstance(inst.b, Imm)
+                  else consts.get(inst.b))
+            if av is not None and bv is not None:
+                folded = _fold_binop(inst.op, av, bv)
+                if folded is not None:
+                    kill(inst.dst)
+                    consts[inst.dst] = folded
+                    out.append(LoadConst(inst.dst, folded))
+                    changed = True
+                    continue
+            simplified = _simplify_binop(inst, av, bv)
+            if simplified is not None:
+                inst = simplified
+                changed = True
+            kill(inst.dst)
+            if isinstance(inst, LoadConst):
+                consts[inst.dst] = inst.value
+            elif isinstance(inst, Copy) and inst.src in consts:
+                consts[inst.dst] = consts[inst.src]
+            out.append(inst)
+            continue
+        if isinstance(inst, LoadConst):
+            kill(inst.dst)
+            consts[inst.dst] = inst.value
+            out.append(inst)
+            continue
+        if isinstance(inst, Copy):
+            kill(inst.dst)
+            if inst.src in consts:
+                consts[inst.dst] = consts[inst.src]
+                out.append(LoadConst(inst.dst, consts[inst.src]))
+                changed = True
+                continue
+            if inst.src == inst.dst:
+                changed = True
+                continue
+            out.append(inst)
+            continue
+        if isinstance(inst, CBr) and not inst.fp:
+            if isinstance(inst.b, int) and consts.get(inst.b) == 0:
+                inst.b = Imm(0)
+                changed = True
+            av = consts.get(inst.a)
+            bv = (inst.b.value if isinstance(inst.b, Imm)
+                  else consts.get(inst.b))
+            if av is not None and bv is not None:
+                target = (inst.true_label if _CMP_EVAL[inst.op](av, bv)
+                          else inst.false_label)
+                out.append(Jump(target))
+                changed = True
+                continue
+            out.append(inst)
+            continue
+        for d in inst.defs():
+            kill(d)
+        out.append(inst)
+
+    block.instructions = out
+    return changed
+
+
+def _simplify_binop(inst: BinOp, av: int | None, bv: int | None):
+    """Algebraic identities and immediate-form selection. Returns a
+    replacement instruction or None."""
+    op = inst.op
+    # x + 0, x - 0, x | 0, x ^ 0, x << 0 ...
+    if bv == 0 and op in ("add", "sub", "or", "xor", "shl", "shr", "sru"):
+        return Copy(inst.dst, inst.a)
+    if bv == 0 and op in ("mul", "and"):
+        return LoadConst(inst.dst, 0)
+    if av == 0 and op == "mul":
+        return LoadConst(inst.dst, 0)
+    if bv == 1 and op in ("mul", "div"):
+        return Copy(inst.dst, inst.a)
+    if bv == 1 and op == "rem":
+        return LoadConst(inst.dst, 0)
+    if bv is not None and op == "mul" and bv > 1 and bv & (bv - 1) == 0:
+        return BinOp("shl", inst.dst, inst.a, Imm(bv.bit_length() - 1))
+    # form immediate operands where the ISA has them
+    if isinstance(inst.b, int) and bv is not None:
+        if op in _SIGNED_IMM_OPS and _S16_MIN <= bv <= _S16_MAX:
+            return BinOp(op, inst.dst, inst.a, Imm(bv))
+        if op == "sub" and _S16_MIN <= -bv <= _S16_MAX:
+            return BinOp("add", inst.dst, inst.a, Imm(-bv))
+        if op in _UNSIGNED_IMM_OPS and 0 <= bv <= 0xFFFF:
+            return BinOp(op, inst.dst, inst.a, Imm(bv))
+        if op in _SHIFT_OPS:
+            return BinOp(op, inst.dst, inst.a, Imm(bv & 31))
+    return None
+
+
+# -- dead code elimination ---------------------------------------------------
+
+_PURE = (LoadConst, LoadFConst, BinOp, FBinOp, FNeg, Cvt, Load, AddrFrame,
+         AddrGlobal, Copy)
+
+
+def compute_liveness(func: IRFunction) -> dict[str, set[int]]:
+    """Live-out vreg sets per block label (backward dataflow to fixpoint)."""
+    blocks = func.blocks
+    use: dict[str, set[int]] = {}
+    define: dict[str, set[int]] = {}
+    for block in blocks:
+        u: set[int] = set()
+        d: set[int] = set()
+        for inst in block.instructions:
+            for v in inst.uses():
+                if v not in d:
+                    u.add(v)
+            d.update(inst.defs())
+        use[block.label] = u
+        define[block.label] = d
+
+    succ = {b.label: b.successor_labels() for b in blocks}
+    live_in: dict[str, set[int]] = {b.label: set() for b in blocks}
+    live_out: dict[str, set[int]] = {b.label: set() for b in blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(blocks):
+            label = block.label
+            out: set[int] = set()
+            for s in succ[label]:
+                out |= live_in[s]
+            new_in = use[label] | (out - define[label])
+            if out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = out
+                live_in[label] = new_in
+                changed = True
+    return live_out
+
+
+def _eliminate_dead(func: IRFunction) -> bool:
+    live_out = compute_liveness(func)
+    changed = False
+    for block in func.blocks:
+        live = set(live_out[block.label])
+        kept: list = []
+        for inst in reversed(block.instructions):
+            defs = inst.defs()
+            if isinstance(inst, _PURE) and defs and \
+                    all(d not in live for d in defs):
+                changed = True
+                continue
+            live.difference_update(defs)
+            live.update(inst.uses())
+            kept.append(inst)
+        kept.reverse()
+        block.instructions = kept
+    return changed
+
+
+# -- copy coalescing -------------------------------------------------------------
+
+
+def _coalesce_copies(func: IRFunction) -> bool:
+    """Rewrite ``t = op ...; dst = t`` into ``dst = op ...`` when *t* has no
+    other use or definition and *dst* is untouched in between.
+
+    Besides shrinking code, this keeps a value in ONE virtual register from
+    definition through all its uses — which is what makes the emitted code
+    look like globally register-allocated output, the property the paper's
+    Guard heuristic depends on (the branch operand register must be the same
+    register the successor block reads)."""
+    use_count: dict[int, int] = {}
+    def_count: dict[int, int] = {}
+    for _, vreg, _ in func.params:
+        def_count[vreg] = def_count.get(vreg, 0) + 1
+    for block in func.blocks:
+        for inst in block.instructions:
+            for v in inst.uses():
+                use_count[v] = use_count.get(v, 0) + 1
+            for v in inst.defs():
+                def_count[v] = def_count.get(v, 0) + 1
+
+    changed = False
+    for block in func.blocks:
+        last_def_index: dict[int, int] = {}
+        insts = block.instructions
+        kill: set[int] = set()
+        for i, inst in enumerate(insts):
+            if isinstance(inst, Copy):
+                src, dst = inst.src, inst.dst
+                d = last_def_index.get(src)
+                ok = (
+                    d is not None
+                    and use_count.get(src, 0) == 1
+                    and def_count.get(src, 0) == 1
+                    and func.vreg_class[src] == func.vreg_class[dst]
+                )
+                if ok:
+                    # dst must not be used or defined between the def and
+                    # the copy (its def is being hoisted to the def site)
+                    for between in insts[d + 1:i]:
+                        if dst in between.uses() or dst in between.defs():
+                            ok = False
+                            break
+                if ok:
+                    producer = insts[d]
+                    producer.dst = dst
+                    kill.add(i)
+                    last_def_index[dst] = d
+                    use_count[src] = 0
+                    def_count[src] = 0
+                    def_count[dst] = def_count.get(dst, 0)  # unchanged net
+                    changed = True
+                    continue
+            for v in inst.defs():
+                last_def_index[v] = i
+        if kill:
+            block.instructions = [inst for i, inst in enumerate(insts)
+                                  if i not in kill]
+    return changed
+
+
+# -- CFG simplification ----------------------------------------------------------
+
+
+def _retarget(inst, mapping: dict[str, str]) -> None:
+    def final(label: str) -> str:
+        seen = set()
+        while label in mapping and label not in seen:
+            seen.add(label)
+            label = mapping[label]
+        return label
+
+    if isinstance(inst, Jump):
+        inst.label = final(inst.label)
+    elif isinstance(inst, CBr):
+        inst.true_label = final(inst.true_label)
+        inst.false_label = final(inst.false_label)
+
+
+def _simplify_cfg(func: IRFunction) -> bool:
+    changed = False
+    entry = func.blocks[0].label
+
+    # thread trivial blocks (single Jump) — never the entry block
+    mapping: dict[str, str] = {}
+    for block in func.blocks:
+        if block.label != entry and len(block.instructions) == 1 \
+                and isinstance(block.instructions[0], Jump) \
+                and block.instructions[0].label != block.label:
+            mapping[block.label] = block.instructions[0].label
+    if mapping:
+        for block in func.blocks:
+            if block.instructions:
+                _retarget(block.terminator, mapping)
+        changed = True
+
+    # CBr with identical targets -> Jump
+    for block in func.blocks:
+        term = block.terminator if block.instructions else None
+        if isinstance(term, CBr) and term.true_label == term.false_label:
+            block.instructions[-1] = Jump(term.true_label)
+            changed = True
+
+    # drop unreachable blocks
+    by_label = func.block_map()
+    reachable: set[str] = set()
+    stack = [entry]
+    while stack:
+        label = stack.pop()
+        if label in reachable:
+            continue
+        reachable.add(label)
+        stack.extend(by_label[label].successor_labels())
+    if len(reachable) != len(func.blocks):
+        func.blocks = [b for b in func.blocks if b.label in reachable]
+        changed = True
+
+    # merge straight-line pairs: A ends Jump(B), B has exactly one pred
+    preds: dict[str, int] = {}
+    for block in func.blocks:
+        for s in block.successor_labels():
+            preds[s] = preds.get(s, 0) + 1
+    by_label = func.block_map()
+    merged: set[str] = set()
+    for block in func.blocks:
+        if block.label in merged:
+            continue
+        while block.instructions and isinstance(block.terminator, Jump):
+            target = block.terminator.label
+            if target == block.label or preds.get(target, 0) != 1 \
+                    or target == entry or target in merged:
+                break
+            target_block = by_label[target]
+            block.instructions = block.instructions[:-1] + \
+                target_block.instructions
+            merged.add(target)
+            changed = True
+    if merged:
+        func.blocks = [b for b in func.blocks if b.label not in merged]
+
+    return changed
+
+
+def optimize_function(func: IRFunction, max_rounds: int = 8) -> None:
+    """Run all passes on *func* until fixpoint (bounded)."""
+    for _ in range(max_rounds):
+        changed = False
+        for block in func.blocks:
+            changed |= _local_propagate(block)
+        changed |= _simplify_cfg(func)
+        changed |= _eliminate_dead(func)
+        changed |= _coalesce_copies(func)
+        if not changed:
+            break
+
+
+def optimize_program(program: IRProgram, enabled: bool = True) -> IRProgram:
+    """Optimize every function (no-op when *enabled* is False, the -O0 mode
+    used by ablation benchmarks)."""
+    if enabled:
+        for func in program.functions:
+            optimize_function(func)
+    return program

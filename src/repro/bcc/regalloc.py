@@ -1,0 +1,231 @@
+"""Procedure-wide linear-scan register allocation.
+
+The paper notes that the Guard heuristic's coverage depends on global (i.e.
+procedure-wide) register allocation — without it, every branch operand would
+be reloaded from the stack in the successor block and the "register used
+before defined" pattern would vanish. This allocator keeps scalar values in
+registers across basic blocks: classic Poletto-Sarkar linear scan over
+whole-function live intervals, with call-crossing intervals steered to
+callee-saved registers and a furthest-end spill heuristic.
+
+Register pools (integer / FP-double):
+
+* caller-saved: ``$t0``-``$t7`` / ``$f4 $f6 $f8 $f10 $f16 $f18``
+* callee-saved: ``$s0``-``$s7`` / ``$f20 $f22 $f24 $f26 $f28 $f30``
+* reserved scratch (spill reloads, address arithmetic): ``$at $t8 $t9`` /
+  ``$f0 $f2``
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.bcc.ir import FP, INT, Call, IRFunction
+from repro.bcc.opt import compute_liveness
+
+__all__ = ["Allocation", "allocate_registers",
+           "INT_CALLER", "INT_CALLEE", "FP_CALLER", "FP_CALLEE"]
+
+INT_CALLER = (8, 9, 10, 11, 12, 13, 14, 15)          # $t0-$t7
+INT_CALLEE = (16, 17, 18, 19, 20, 21, 22, 23)        # $s0-$s7
+FP_CALLER = (4, 6, 8, 10, 16, 18)
+FP_CALLEE = (20, 22, 24, 26, 28, 30)
+
+
+@dataclass
+class Interval:
+    vreg: int
+    klass: str
+    start: int
+    end: int
+    crosses_call: bool = False
+    #: assigned physical register, or None if spilled
+    reg: int | None = None
+    spill_slot: int | None = None
+
+
+@dataclass
+class Allocation:
+    """Result of register allocation for one function."""
+
+    #: vreg -> ("reg", phys) or ("spill", slot_index)
+    location: dict[int, tuple[str, int]] = field(default_factory=dict)
+    #: callee-saved integer registers the function must save/restore
+    used_int_callee: list[int] = field(default_factory=list)
+    #: callee-saved FP registers the function must save/restore
+    used_fp_callee: list[int] = field(default_factory=list)
+    #: number of spill slots per class
+    int_spills: int = 0
+    fp_spills: int = 0
+
+    def reg_of(self, vreg: int) -> int | None:
+        kind, where = self.location[vreg]
+        return where if kind == "reg" else None
+
+    def spill_of(self, vreg: int) -> int | None:
+        kind, where = self.location[vreg]
+        return where if kind == "spill" else None
+
+
+def _build_intervals(func: IRFunction) -> tuple[list[Interval], list[int]]:
+    """Compute whole-function live intervals over layout order, plus the
+    sorted list of call positions."""
+    live_out = compute_liveness(func)
+
+    position = 0
+    block_range: dict[str, tuple[int, int]] = {}
+    inst_pos: list[tuple[int, object]] = []
+    call_positions: list[int] = []
+    for block in func.blocks:
+        start = position
+        for inst in block.instructions:
+            inst_pos.append((position, inst))
+            if isinstance(inst, Call):
+                call_positions.append(position)
+            position += 1
+        block_range[block.label] = (start, position - 1)
+
+    starts: dict[int, int] = {}
+    ends: dict[int, int] = {}
+
+    def extend(vreg: int, pos: int) -> None:
+        if vreg not in starts:
+            starts[vreg] = pos
+            ends[vreg] = pos
+        else:
+            starts[vreg] = min(starts[vreg], pos)
+            ends[vreg] = max(ends[vreg], pos)
+
+    # parameters are defined in the prologue, before the first instruction
+    # (position -1); starting them at 0 would let a call at position 0 be
+    # missed by the crosses-call test and hand a live-across-call parameter
+    # a caller-saved register
+    for _, vreg, _klass in func.params:
+        extend(vreg, -1)
+
+    for pos, inst in inst_pos:
+        for v in inst.defs():
+            extend(v, pos)
+        for v in inst.uses():
+            extend(v, pos)
+
+    # widen across block boundaries using liveness
+    live_in: dict[str, set[int]] = {}
+    by_label = {b.label: b for b in func.blocks}
+    for block in func.blocks:
+        # live-in = use ∪ (live-out - def); recompute cheaply from live_out
+        out = live_out[block.label]
+        defined: set[int] = set()
+        upward: set[int] = set()
+        for inst in block.instructions:
+            for v in inst.uses():
+                if v not in defined:
+                    upward.add(v)
+            defined.update(inst.defs())
+        live_in[block.label] = upward | (out - defined)
+    for block in func.blocks:
+        lo, hi = block_range[block.label]
+        for v in live_in[block.label]:
+            extend(v, lo)
+        for v in live_out[block.label]:
+            extend(v, hi)
+
+    intervals = []
+    for vreg, start in starts.items():
+        end = ends[vreg]
+        idx = bisect_right(call_positions, start)
+        crosses = idx < len(call_positions) and call_positions[idx] < end
+        intervals.append(Interval(vreg, func.vreg_class[vreg], start, end,
+                                  crosses))
+    intervals.sort(key=lambda iv: (iv.start, iv.end, iv.vreg))
+    return intervals, call_positions
+
+
+class _ScanState:
+    """Linear-scan state for one register class."""
+
+    def __init__(self, caller: tuple[int, ...], callee: tuple[int, ...]) -> None:
+        self.free_caller = list(caller)
+        self.free_callee = list(callee)
+        self.active: list[Interval] = []  # sorted by end
+        self.used_callee: set[int] = set()
+        self.callee_set = frozenset(callee)
+        self.spill_count = 0
+
+    def expire(self, pos: int) -> None:
+        while self.active and self.active[0].end < pos:
+            iv = self.active.pop(0)
+            if iv.reg is None:
+                continue
+            if iv.reg in self.callee_set:
+                self.free_callee.append(iv.reg)
+            else:
+                self.free_caller.append(iv.reg)
+
+    def _insert_active(self, iv: Interval) -> None:
+        lo = 0
+        while lo < len(self.active) and self.active[lo].end <= iv.end:
+            lo += 1
+        self.active.insert(lo, iv)
+
+    def allocate(self, iv: Interval) -> None:
+        self.expire(iv.start)
+        if iv.crosses_call:
+            pools = (self.free_callee,)
+        else:
+            pools = (self.free_caller, self.free_callee)
+        for pool in pools:
+            if pool:
+                iv.reg = pool.pop(0)
+                if iv.reg in self.callee_set:
+                    self.used_callee.add(iv.reg)
+                self._insert_active(iv)
+                return
+        # no register: spill the compatible interval with the furthest end
+        victim = None
+        for candidate in reversed(self.active):
+            if candidate.reg is None:
+                continue
+            if iv.crosses_call and candidate.reg not in self.callee_set:
+                continue
+            victim = candidate
+            break
+        if victim is not None and victim.end > iv.end:
+            iv.reg = victim.reg
+            victim.reg = None
+            victim.spill_slot = self.spill_count
+            self.spill_count += 1
+            self.active.remove(victim)
+            self._insert_active(iv)
+        else:
+            iv.spill_slot = self.spill_count
+            self.spill_count += 1
+
+
+def allocate_registers(func: IRFunction) -> Allocation:
+    """Allocate every vreg of *func* to a machine register or spill slot."""
+    intervals, _calls = _build_intervals(func)
+    int_state = _ScanState(INT_CALLER, INT_CALLEE)
+    fp_state = _ScanState(FP_CALLER, FP_CALLEE)
+    for iv in intervals:
+        state = int_state if iv.klass == INT else fp_state
+        state.allocate(iv)
+
+    alloc = Allocation()
+    for iv in intervals:
+        if iv.reg is not None:
+            alloc.location[iv.vreg] = ("reg", iv.reg)
+        else:
+            alloc.location[iv.vreg] = ("spill", iv.spill_slot)
+    # vregs never touched (possible after aggressive DCE) -> harmless scratch
+    for vreg, klass in func.vreg_class.items():
+        if vreg not in alloc.location:
+            alloc.location[vreg] = ("spill", 0)
+            state = int_state if klass == INT else fp_state
+            state.spill_count = max(state.spill_count, 1)
+    alloc.used_int_callee = sorted(int_state.used_callee)
+    alloc.used_fp_callee = sorted(fp_state.used_callee)
+    alloc.int_spills = int_state.spill_count
+    alloc.fp_spills = fp_state.spill_count
+    return alloc

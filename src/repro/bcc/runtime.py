@@ -1,0 +1,239 @@
+"""The BLC runtime: syscall wrappers (assembly) and the library (BLC).
+
+The paper's measurements include DEC Ultrix library procedures, analyzed
+like any application code. We mirror that: ``malloc``/``free``/string
+routines are written in BLC and compiled together with the program, so their
+branches are classified, predicted, and counted too. Only the thin syscall
+wrappers (and ``d_sqrt``, which needs the ``sqrt.d`` instruction) are
+hand-written assembly.
+
+Wrapper calling convention matches the compiler's: integer args in
+``$a0``-``$a3``; double args on the caller's stack at offset 0; integer
+results in ``$v0``, double results in ``$f0``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RUNTIME_ASM", "RUNTIME_BLC"]
+
+RUNTIME_ASM = """
+.text
+.ent print_int
+print_int:
+    li $v0, 1
+    syscall
+    jr $ra
+.end print_int
+
+.ent print_char
+print_char:
+    li $v0, 11
+    syscall
+    jr $ra
+.end print_char
+
+.ent print_str
+print_str:
+    li $v0, 4
+    syscall
+    jr $ra
+.end print_str
+
+.ent print_double
+print_double:
+    ldc1 $f12, 0($sp)
+    li $v0, 3
+    syscall
+    jr $ra
+.end print_double
+
+.ent read_int
+read_int:
+    li $v0, 5
+    syscall
+    jr $ra
+.end read_int
+
+.ent read_double
+read_double:
+    li $v0, 7
+    syscall
+    jr $ra
+.end read_double
+
+.ent exit
+exit:
+    li $v0, 17
+    syscall
+    jr $ra
+.end exit
+
+.ent sbrk
+sbrk:
+    li $v0, 9
+    syscall
+    jr $ra
+.end sbrk
+
+.ent d_sqrt
+d_sqrt:
+    ldc1 $f0, 0($sp)
+    sqrt.d $f0, $f0
+    jr $ra
+.end d_sqrt
+"""
+
+RUNTIME_BLC = r"""
+// BLC runtime library. Compiled and linked with every program, so its
+// branches are part of the analyzed executable (like Ultrix libc in the
+// paper). Names here are reserved; user programs cannot redefine them.
+
+struct _RtHeader {
+    int size;                  // payload bytes, always a multiple of 8
+    struct _RtHeader *next;    // next free block when on the free list
+};
+
+struct _RtHeader *_rt_free_list = NULL;
+int _rt_rand_state = 123456789;
+
+char *malloc(int n) {
+    struct _RtHeader *p;
+    struct _RtHeader *prev;
+    struct _RtHeader *rest;
+    char *mem;
+    int need;
+    if (n <= 0) {
+        n = 1;
+    }
+    need = (n + 7) & ~7;
+    // first-fit search of the free list, splitting large blocks
+    prev = NULL;
+    p = _rt_free_list;
+    while (p != NULL) {
+        if (p->size >= need) {
+            if (p->size >= need + 24) {
+                rest = (struct _RtHeader *)((char *)(p + 1) + need);
+                rest->size = p->size - need - sizeof(struct _RtHeader);
+                rest->next = p->next;
+                p->size = need;
+                if (prev == NULL) {
+                    _rt_free_list = rest;
+                } else {
+                    prev->next = rest;
+                }
+            } else {
+                if (prev == NULL) {
+                    _rt_free_list = p->next;
+                } else {
+                    prev->next = p->next;
+                }
+            }
+            return (char *)(p + 1);
+        }
+        prev = p;
+        p = p->next;
+    }
+    mem = sbrk(need + sizeof(struct _RtHeader));
+    p = (struct _RtHeader *)mem;
+    p->size = need;
+    p->next = NULL;
+    return (char *)(p + 1);
+}
+
+void free(char *mem) {
+    struct _RtHeader *h;
+    if (mem == NULL) {
+        return;
+    }
+    h = (struct _RtHeader *)mem - 1;
+    h->next = _rt_free_list;
+    _rt_free_list = h;
+}
+
+void memset(char *dst, int value, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        dst[i] = (char)value;
+    }
+}
+
+void memcpy(char *dst, char *src, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        dst[i] = src[i];
+    }
+}
+
+int strlen(char *s) {
+    int n;
+    n = 0;
+    while (s[n] != '\0') {
+        n++;
+    }
+    return n;
+}
+
+int strcmp(char *a, char *b) {
+    int i;
+    i = 0;
+    while (a[i] != '\0' && a[i] == b[i]) {
+        i++;
+    }
+    return (int)a[i] - (int)b[i];
+}
+
+void strcpy(char *dst, char *src) {
+    int i;
+    i = 0;
+    while (src[i] != '\0') {
+        dst[i] = src[i];
+        i++;
+    }
+    dst[i] = '\0';
+}
+
+void rand_seed(int seed) {
+    if (seed == 0) {
+        seed = 1;
+    }
+    _rt_rand_state = seed;
+}
+
+int rand_next(int bound) {
+    int value;
+    _rt_rand_state = _rt_rand_state * 1103515245 + 12345;
+    value = (_rt_rand_state >> 16) & 32767;
+    if (bound <= 0) {
+        return 0;
+    }
+    return value % bound;
+}
+
+int i_abs(int x) {
+    if (x < 0) {
+        return -x;
+    }
+    return x;
+}
+
+int i_max(int a, int b) {
+    if (a > b) {
+        return a;
+    }
+    return b;
+}
+
+int i_min(int a, int b) {
+    if (a < b) {
+        return a;
+    }
+    return b;
+}
+
+double d_abs(double x) {
+    if (x < 0.0) {
+        return -x;
+    }
+    return x;
+}
+"""

@@ -1,0 +1,696 @@
+"""Semantic analysis for BLC.
+
+Resolves names and types, checks every expression, inserts explicit
+:class:`~repro.bcc.ast_nodes.Cast` nodes for the implicit conversions the IR
+generator must perform, and records which locals have their address taken
+(those are frame-allocated; the rest live in virtual registers — the
+procedure-wide register allocation the Guard heuristic depends on).
+
+Functions may be used before their definition (signatures are collected in a
+first pass), matching the mutual recursion in the benchmark programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bcc import ast_nodes as A
+from repro.bcc.errors import CompileError
+from repro.bcc.types import (
+    ArrayType, CHAR, CType, DOUBLE, FuncType, INT, PointerType, StructType,
+    TypeSpec, VOID, VoidType,
+)
+
+__all__ = ["Symbol", "FunctionSymbol", "SemanticInfo", "analyze",
+           "BUILTIN_SIGNATURES"]
+
+#: Syscall wrappers implemented in assembly — never definable in BLC.
+ASM_BUILTINS = frozenset({
+    "print_int", "print_char", "print_str", "print_double",
+    "read_int", "read_double", "exit", "sbrk", "d_sqrt",
+})
+
+#: Functions provided by the runtime (assembly wrappers and the BLC library),
+#: predeclared in every program's global scope.
+BUILTIN_SIGNATURES: dict[str, FuncType] = {
+    # syscall wrappers (assembly)
+    "print_int": FuncType(VOID, (INT,)),
+    "print_char": FuncType(VOID, (INT,)),
+    "print_str": FuncType(VOID, (PointerType(CHAR),)),
+    "print_double": FuncType(VOID, (DOUBLE,)),
+    "read_int": FuncType(INT, ()),
+    "read_double": FuncType(DOUBLE, ()),
+    "exit": FuncType(VOID, (INT,)),
+    "sbrk": FuncType(PointerType(CHAR), (INT,)),
+    "d_sqrt": FuncType(DOUBLE, (DOUBLE,)),
+    # BLC runtime library
+    "malloc": FuncType(PointerType(CHAR), (INT,)),
+    "free": FuncType(VOID, (PointerType(CHAR),)),
+    "memset": FuncType(VOID, (PointerType(CHAR), INT, INT)),
+    "memcpy": FuncType(VOID, (PointerType(CHAR), PointerType(CHAR), INT)),
+    "strlen": FuncType(INT, (PointerType(CHAR),)),
+    "strcmp": FuncType(INT, (PointerType(CHAR), PointerType(CHAR))),
+    "strcpy": FuncType(VOID, (PointerType(CHAR), PointerType(CHAR))),
+    "rand_seed": FuncType(VOID, (INT,)),
+    "rand_next": FuncType(INT, (INT,)),
+    "i_abs": FuncType(INT, (INT,)),
+    "i_max": FuncType(INT, (INT, INT)),
+    "i_min": FuncType(INT, (INT, INT)),
+    "d_abs": FuncType(DOUBLE, (DOUBLE,)),
+}
+
+
+@dataclass
+class Symbol:
+    """A variable: global, local, or parameter."""
+
+    name: str
+    ctype: CType
+    kind: str  #: "global" | "local" | "param"
+    address_taken: bool = False
+    #: set by IR gen: frame offset or data-segment label
+    storage: object = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Symbol {self.kind} {self.name}: {self.ctype}>"
+
+
+@dataclass
+class FunctionSymbol:
+    """A function: its signature and (for defined functions) its AST."""
+
+    name: str
+    ftype: FuncType
+    defined: bool = False
+    is_builtin: bool = False
+
+
+@dataclass
+class SemanticInfo:
+    """Everything later phases need, produced by :func:`analyze`."""
+
+    program: A.Program
+    globals: list[A.GlobalVar] = field(default_factory=list)
+    functions: list[A.FuncDef] = field(default_factory=list)
+    structs: dict[str, StructType] = field(default_factory=dict)
+    function_symbols: dict[str, FunctionSymbol] = field(default_factory=dict)
+
+
+class _Scope:
+    def __init__(self, parent: "_Scope | None" = None) -> None:
+        self.parent = parent
+        self.names: dict[str, Symbol] = {}
+
+    def define(self, sym: Symbol, node: A.Node) -> None:
+        if sym.name in self.names:
+            raise _err(f"redefinition of {sym.name!r}", node)
+        self.names[sym.name] = sym
+
+    def lookup(self, name: str) -> Symbol | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+def _err(message: str, node: A.Node) -> CompileError:
+    return CompileError(message, line=node.line, col=node.col,
+                        filename=node.filename)
+
+
+def _is_lvalue(expr: A.Expr) -> bool:
+    if isinstance(expr, A.Ident):
+        return True
+    if isinstance(expr, (A.Index, A.Member)):
+        return True
+    if isinstance(expr, A.Unary) and expr.op == "*":
+        return True
+    return False
+
+
+class _Analyzer:
+    def __init__(self, program: A.Program) -> None:
+        self.program = program
+        self.info = SemanticInfo(program)
+        self.global_scope = _Scope()
+        for name, ftype in BUILTIN_SIGNATURES.items():
+            self.info.function_symbols[name] = FunctionSymbol(
+                name, ftype, defined=name in ASM_BUILTINS, is_builtin=True)
+        self.current_function: A.FuncDef | None = None
+        self.current_ret: CType = VOID
+        self.loop_depth = 0
+
+    # -- type resolution -----------------------------------------------------
+
+    def resolve_type(self, spec: TypeSpec, node: A.Node,
+                     allow_void: bool = False) -> CType:
+        if isinstance(spec.base, tuple):
+            name = spec.base[1]
+            struct = self.info.structs.get(name)
+            if struct is None:
+                struct = StructType(name)
+                self.info.structs[name] = struct
+            base: CType = struct
+        else:
+            base = {"int": INT, "char": CHAR, "double": DOUBLE,
+                    "void": VOID}[spec.base]
+        ctype = base
+        for _ in range(spec.pointer_depth):
+            ctype = PointerType(ctype)
+        for dim in reversed(spec.array_dims):
+            if isinstance(ctype, VoidType):
+                raise _err("array of void", node)
+            ctype = ArrayType(ctype, dim)
+        if isinstance(ctype, VoidType) and not allow_void:
+            raise _err("variable cannot have type void", node)
+        if isinstance(ctype, StructType) and not ctype.complete:
+            raise _err(f"struct {ctype.name} used by value before its "
+                       "definition", node)
+        if isinstance(ctype, ArrayType):
+            elem = ctype
+            while isinstance(elem, ArrayType):
+                elem = elem.element
+            if isinstance(elem, StructType) and not elem.complete:
+                raise _err(f"array of incomplete struct {elem.name}", node)
+        return ctype
+
+    # -- entry point -----------------------------------------------------------
+
+    def run(self) -> SemanticInfo:
+        # pass 1: struct layouts, global symbols, function signatures
+        for decl in self.program.decls:
+            if isinstance(decl, A.StructDef):
+                self._declare_struct(decl)
+            elif isinstance(decl, A.GlobalVar):
+                self._declare_global(decl)
+            elif isinstance(decl, A.FuncDef):
+                self._declare_function(decl)
+            else:  # pragma: no cover - parser produces only these
+                raise _err("unexpected top-level declaration", decl)
+        # pass 2: function bodies
+        for decl in self.program.decls:
+            if isinstance(decl, A.FuncDef):
+                self._check_function(decl)
+        return self.info
+
+    def _declare_struct(self, decl: A.StructDef) -> None:
+        struct = self.info.structs.get(decl.name)
+        if struct is None:
+            struct = StructType(decl.name)
+            self.info.structs[decl.name] = struct
+        if struct.complete:
+            raise _err(f"struct {decl.name} redefined", decl)
+        fields: list[tuple[str, CType]] = []
+        for fname, fspec in decl.fields:
+            ftype = self.resolve_type(fspec, decl)
+            fields.append((fname, ftype))
+        try:
+            struct.define(fields)
+        except CompileError as exc:
+            raise _err(exc.message, decl) from None
+
+    def _declare_global(self, decl: A.GlobalVar) -> None:
+        ctype = self.resolve_type(decl.declared_type, decl)
+        sym = Symbol(decl.name, ctype, "global")
+        self.global_scope.define(sym, decl)
+        decl.symbol = sym
+        if decl.init is not None:
+            decl.init = self._check_global_init(decl.init, ctype)
+        self.info.globals.append(decl)
+
+    def _check_global_init(self, init: A.Expr, ctype: CType) -> A.Expr:
+        if ctype.is_pointer and isinstance(init, A.StringLit):
+            if ctype != PointerType(CHAR):
+                raise _err("string initializer requires char*", init)
+            init.ctype = PointerType(CHAR)
+            return init
+        if ctype.is_double:
+            value = self._eval_const(init)
+            lit = A.DoubleLit(float(value), line=init.line, col=init.col,
+                              filename=init.filename)
+            lit.ctype = DOUBLE
+            return lit
+        if ctype.is_integer or ctype.is_pointer:
+            value = self._eval_const(init)
+            if not isinstance(value, int):
+                raise _err("integer constant required", init)
+            lit = A.IntLit(value, line=init.line, col=init.col,
+                           filename=init.filename)
+            lit.ctype = INT
+            return lit
+        raise _err("only scalar globals may have initializers", init)
+
+    def _eval_const(self, expr: A.Expr):
+        """Evaluate a constant expression for a global initializer."""
+        if isinstance(expr, A.IntLit):
+            return expr.value
+        if isinstance(expr, A.CharLit):
+            return expr.value
+        if isinstance(expr, A.DoubleLit):
+            return expr.value
+        if isinstance(expr, A.Unary) and expr.op == "-":
+            return -self._eval_const(expr.operand)
+        if isinstance(expr, A.Binary):
+            left = self._eval_const(expr.left)
+            right = self._eval_const(expr.right)
+            ops = {"+": lambda a, b: a + b, "-": lambda a, b: a - b,
+                   "*": lambda a, b: a * b, "/": lambda a, b: a // b
+                   if isinstance(a, int) and isinstance(b, int) else a / b}
+            if expr.op in ops:
+                return ops[expr.op](left, right)
+        raise _err("initializer is not a constant expression", expr)
+
+    def _declare_function(self, decl: A.FuncDef) -> None:
+        ret = self.resolve_type(decl.return_type, decl, allow_void=True)
+        if isinstance(ret, (ArrayType, StructType)):
+            raise _err("functions cannot return arrays or structs by value "
+                       "(return a pointer)", decl)
+        param_types: list[CType] = []
+        for param in decl.params:
+            ptype = self.resolve_type(param.declared_type, param)
+            if isinstance(ptype, (ArrayType, StructType)):
+                raise _err(f"parameter {param.name!r} must be scalar "
+                           "(pass arrays/structs by pointer)", param)
+            param_types.append(ptype)
+        ftype = FuncType(ret, tuple(param_types))
+        existing = self.info.function_symbols.get(decl.name)
+        if existing is not None:
+            if existing.is_builtin and not existing.defined:
+                # the BLC runtime library defining its own predeclared entry
+                if existing.ftype != ftype:
+                    raise _err(
+                        f"{decl.name!r} must match its runtime signature "
+                        f"{existing.ftype}", decl)
+                existing.defined = True
+                self.info.functions.append(decl)
+                return
+            if existing.is_builtin:
+                raise _err(f"{decl.name!r} is a reserved runtime function",
+                           decl)
+            raise _err(f"redefinition of function {decl.name!r}", decl)
+        if self.global_scope.lookup(decl.name) is not None:
+            raise _err(f"{decl.name!r} already declared as a variable", decl)
+        self.info.function_symbols[decl.name] = FunctionSymbol(
+            decl.name, ftype, defined=True)
+        self.info.functions.append(decl)
+
+    # -- function bodies --------------------------------------------------------
+
+    def _check_function(self, decl: A.FuncDef) -> None:
+        fsym = self.info.function_symbols[decl.name]
+        self.current_function = decl
+        self.current_ret = fsym.ftype.ret
+        scope = _Scope(self.global_scope)
+        for param, ptype in zip(decl.params, fsym.ftype.params):
+            sym = Symbol(param.name, ptype, "param")
+            scope.define(sym, param)
+            param.symbol = sym
+        self._check_block(decl.body, scope)
+        self.current_function = None
+
+    def _check_block(self, block: A.Block, parent: _Scope) -> None:
+        scope = _Scope(parent)
+        for stmt in block.statements:
+            self._check_stmt(stmt, scope)
+
+    def _check_stmt(self, stmt: A.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, A.Block):
+            self._check_block(stmt, scope)
+        elif isinstance(stmt, A.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, A.Empty):
+            pass
+        elif isinstance(stmt, A.VarDecl):
+            ctype = self.resolve_type(stmt.declared_type, stmt)
+            sym = Symbol(stmt.name, ctype, "local")
+            scope.define(sym, stmt)
+            stmt.symbol = sym
+            if stmt.init is not None:
+                if not ctype.is_scalar:
+                    raise _err("only scalar locals may have initializers",
+                               stmt)
+                self._check_expr(stmt.init, scope)
+                stmt.init = self._convert(stmt.init, ctype)
+        elif isinstance(stmt, A.If):
+            self._check_condition(stmt.cond, scope)
+            self._check_stmt(stmt.then, scope)
+            if stmt.otherwise is not None:
+                self._check_stmt(stmt.otherwise, scope)
+        elif isinstance(stmt, A.While):
+            self._check_condition(stmt.cond, scope)
+            self.loop_depth += 1
+            self._check_stmt(stmt.body, scope)
+            self.loop_depth -= 1
+        elif isinstance(stmt, A.DoWhile):
+            self.loop_depth += 1
+            self._check_stmt(stmt.body, scope)
+            self.loop_depth -= 1
+            self._check_condition(stmt.cond, scope)
+        elif isinstance(stmt, A.For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._check_condition(stmt.cond, inner)
+            if stmt.step is not None:
+                self._check_expr(stmt.step, inner)
+            self.loop_depth += 1
+            self._check_stmt(stmt.body, inner)
+            self.loop_depth -= 1
+        elif isinstance(stmt, A.Break):
+            if self.loop_depth == 0:
+                raise _err("break outside loop", stmt)
+        elif isinstance(stmt, A.Continue):
+            if self.loop_depth == 0:
+                raise _err("continue outside loop", stmt)
+        elif isinstance(stmt, A.Return):
+            if stmt.value is None:
+                if not self.current_ret.is_void:
+                    raise _err("return without value in non-void function",
+                               stmt)
+            else:
+                if self.current_ret.is_void:
+                    raise _err("return with value in void function", stmt)
+                self._check_expr(stmt.value, scope)
+                stmt.value = self._convert(stmt.value, self.current_ret)
+        else:  # pragma: no cover
+            raise _err(f"unhandled statement {type(stmt).__name__}", stmt)
+
+    def _check_condition(self, expr: A.Expr, scope: _Scope) -> None:
+        self._check_expr(expr, scope)
+        if not self._decayed(expr.ctype).is_scalar:
+            raise _err(f"condition must be scalar, got {expr.ctype}", expr)
+
+    # -- expressions -----------------------------------------------------------
+
+    @staticmethod
+    def _decayed(ctype: CType) -> CType:
+        return ctype.decay() if isinstance(ctype, ArrayType) else ctype
+
+    def _convert(self, expr: A.Expr, target: CType) -> A.Expr:
+        """Insert an implicit conversion of *expr* to *target* if needed."""
+        src = self._decayed(expr.ctype)
+        if src == target:
+            expr.ctype = target if isinstance(expr.ctype, ArrayType) else expr.ctype
+            return self._maybe_decay(expr, target)
+        if src.is_arith and target.is_arith:
+            return self._cast_node(expr, target)
+        if src.is_pointer and target.is_pointer:
+            if src.target == VOID or target.target == VOID or src == target:
+                return self._cast_node(expr, target)
+            raise _err(f"cannot implicitly convert {src} to {target} "
+                       "(use a cast)", expr)
+        if target.is_pointer and isinstance(expr, A.IntLit) and expr.value == 0:
+            return self._cast_node(expr, target)
+        if target.is_integer and src.is_pointer:
+            raise _err(f"cannot implicitly convert {src} to {target} "
+                       "(use a cast)", expr)
+        raise _err(f"cannot convert {src} to {target}", expr)
+
+    def _maybe_decay(self, expr: A.Expr, target: CType) -> A.Expr:
+        if isinstance(expr.ctype, ArrayType):
+            expr.ctype = expr.ctype.decay()
+        return expr
+
+    @staticmethod
+    def _cast_node(expr: A.Expr, target: CType) -> A.Expr:
+        cast = A.Cast(None, expr, line=expr.line, col=expr.col,
+                      filename=expr.filename)
+        cast.ctype = target
+        return cast
+
+    def _check_expr(self, expr: A.Expr, scope: _Scope) -> CType:
+        method = getattr(self, f"_expr_{type(expr).__name__}", None)
+        if method is None:  # pragma: no cover
+            raise _err(f"unhandled expression {type(expr).__name__}", expr)
+        ctype = method(expr, scope)
+        expr.ctype = ctype
+        return ctype
+
+    def _expr_IntLit(self, expr: A.IntLit, scope: _Scope) -> CType:
+        return INT
+
+    def _expr_DoubleLit(self, expr: A.DoubleLit, scope: _Scope) -> CType:
+        return DOUBLE
+
+    def _expr_CharLit(self, expr: A.CharLit, scope: _Scope) -> CType:
+        return INT
+
+    def _expr_StringLit(self, expr: A.StringLit, scope: _Scope) -> CType:
+        return PointerType(CHAR)
+
+    def _expr_Ident(self, expr: A.Ident, scope: _Scope) -> CType:
+        sym = scope.lookup(expr.name)
+        if sym is None:
+            if expr.name in self.info.function_symbols:
+                raise _err(f"function {expr.name!r} used as a value "
+                           "(function pointers are not supported)", expr)
+            raise _err(f"undeclared identifier {expr.name!r}", expr)
+        expr.symbol = sym
+        return sym.ctype
+
+    def _expr_Unary(self, expr: A.Unary, scope: _Scope) -> CType:
+        operand_type = self._check_expr(expr.operand, scope)
+        op = expr.op
+        if op == "&":
+            if not _is_lvalue(expr.operand):
+                raise _err("cannot take address of this expression", expr)
+            self._mark_address_taken(expr.operand)
+            if isinstance(operand_type, ArrayType):
+                return PointerType(operand_type.element)
+            return PointerType(operand_type)
+        if op == "*":
+            decayed = self._decayed(operand_type)
+            if not decayed.is_pointer:
+                raise _err(f"cannot dereference {operand_type}", expr)
+            if decayed.target.is_void:
+                raise _err("cannot dereference void*", expr)
+            return decayed.target
+        if op == "-":
+            if not operand_type.is_arith:
+                raise _err(f"unary - requires arithmetic type, got "
+                           f"{operand_type}", expr)
+            return DOUBLE if operand_type.is_double else INT
+        if op == "~":
+            if not operand_type.is_integer:
+                raise _err(f"~ requires integer type, got {operand_type}",
+                           expr)
+            return INT
+        if op == "!":
+            if not self._decayed(operand_type).is_scalar:
+                raise _err(f"! requires scalar type, got {operand_type}", expr)
+            return INT
+        raise _err(f"unknown unary operator {op}", expr)  # pragma: no cover
+
+    def _mark_address_taken(self, expr: A.Expr) -> None:
+        if isinstance(expr, A.Ident) and expr.symbol is not None:
+            expr.symbol.address_taken = True
+        elif isinstance(expr, A.Index):
+            self._mark_address_taken(expr.base)
+        elif isinstance(expr, A.Member) and not expr.arrow:
+            self._mark_address_taken(expr.base)
+
+    def _expr_IncDec(self, expr: A.IncDec, scope: _Scope) -> CType:
+        ctype = self._check_expr(expr.operand, scope)
+        if not _is_lvalue(expr.operand):
+            raise _err(f"{expr.op} requires an lvalue", expr)
+        if not (ctype.is_integer or ctype.is_pointer or ctype.is_double):
+            raise _err(f"{expr.op} requires scalar type, got {ctype}", expr)
+        return ctype
+
+    def _expr_Binary(self, expr: A.Binary, scope: _Scope) -> CType:
+        op = expr.op
+        left = self._decayed(self._check_expr(expr.left, scope))
+        right = self._decayed(self._check_expr(expr.right, scope))
+
+        if op in ("&&", "||"):
+            if not (left.is_scalar and right.is_scalar):
+                raise _err(f"{op} requires scalar operands", expr)
+            return INT
+
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            if left.is_pointer or right.is_pointer:
+                self._check_pointer_comparison(expr, left, right)
+                return INT
+            if not (left.is_arith and right.is_arith):
+                raise _err(f"cannot compare {left} and {right}", expr)
+            common = DOUBLE if (left.is_double or right.is_double) else INT
+            expr.left = self._convert(expr.left, common)
+            expr.right = self._convert(expr.right, common)
+            return INT
+
+        if op in ("+", "-"):
+            if left.is_pointer and right.is_integer:
+                expr.right = self._convert(expr.right, INT)
+                return left
+            if op == "+" and left.is_integer and right.is_pointer:
+                expr.left = self._convert(expr.left, INT)
+                return right
+            if op == "-" and left.is_pointer and right.is_pointer:
+                if left != right:
+                    raise _err(f"cannot subtract {right} from {left}", expr)
+                return INT
+
+        if op in ("&", "|", "^", "<<", ">>", "%"):
+            if not (left.is_integer and right.is_integer):
+                raise _err(f"{op} requires integer operands, got {left} and "
+                           f"{right}", expr)
+            expr.left = self._convert(expr.left, INT)
+            expr.right = self._convert(expr.right, INT)
+            return INT
+
+        if op in ("+", "-", "*", "/"):
+            if not (left.is_arith and right.is_arith):
+                raise _err(f"{op} requires arithmetic operands, got {left} "
+                           f"and {right}", expr)
+            common = DOUBLE if (left.is_double or right.is_double) else INT
+            expr.left = self._convert(expr.left, common)
+            expr.right = self._convert(expr.right, common)
+            return common
+
+        raise _err(f"unknown binary operator {op}", expr)  # pragma: no cover
+
+    def _check_pointer_comparison(self, expr: A.Binary, left: CType,
+                                  right: CType) -> None:
+        def null_ok(side: A.Expr, other: CType) -> bool:
+            return isinstance(side, A.IntLit) and side.value == 0
+
+        if left.is_pointer and right.is_pointer:
+            lt = left.target
+            rt = right.target
+            if left != right and lt != VOID and rt != VOID:
+                raise _err(f"cannot compare {left} with {right}", expr)
+            return
+        if left.is_pointer and null_ok(expr.right, left):
+            expr.right = self._convert(expr.right, left)
+            return
+        if right.is_pointer and null_ok(expr.left, right):
+            expr.left = self._convert(expr.left, right)
+            return
+        raise _err("pointer compared with non-pointer", expr)
+
+    def _expr_Assign(self, expr: A.Assign, scope: _Scope) -> CType:
+        target_type = self._check_expr(expr.target, scope)
+        if not _is_lvalue(expr.target):
+            raise _err("assignment target is not an lvalue", expr)
+        if isinstance(target_type, (ArrayType, StructType)):
+            raise _err("cannot assign whole arrays or structs "
+                       "(copy members or use memcpy)", expr)
+        self._check_expr(expr.value, scope)
+        if expr.op is not None:
+            # desugar check: target OP value must be valid
+            fake = A.Binary(expr.op, expr.target, expr.value, line=expr.line,
+                            col=expr.col, filename=expr.filename)
+            # re-check without re-walking target (types already set)
+            left = self._decayed(target_type)
+            right = self._decayed(expr.value.ctype)
+            if expr.op in ("&", "|", "^", "<<", ">>", "%"):
+                if not (left.is_integer and right.is_integer):
+                    raise _err(f"{expr.op}= requires integer operands", expr)
+                expr.value = self._convert(expr.value, INT)
+            elif left.is_pointer:
+                if expr.op not in ("+", "-") or not right.is_integer:
+                    raise _err(f"invalid pointer compound assignment", expr)
+                expr.value = self._convert(expr.value, INT)
+            else:
+                if not (left.is_arith and right.is_arith):
+                    raise _err(f"{expr.op}= requires arithmetic operands",
+                               expr)
+                expr.value = self._convert(expr.value, left)
+            return target_type
+        expr.value = self._convert(expr.value, target_type)
+        return target_type
+
+    def _expr_Cond(self, expr: A.Cond, scope: _Scope) -> CType:
+        self._check_expr(expr.cond, scope)
+        if not self._decayed(expr.cond.ctype).is_scalar:
+            raise _err("ternary condition must be scalar", expr)
+        then_t = self._decayed(self._check_expr(expr.then, scope))
+        else_t = self._decayed(self._check_expr(expr.otherwise, scope))
+        if then_t == else_t:
+            return then_t
+        if then_t.is_arith and else_t.is_arith:
+            common = DOUBLE if (then_t.is_double or else_t.is_double) else INT
+            expr.then = self._convert(expr.then, common)
+            expr.otherwise = self._convert(expr.otherwise, common)
+            return common
+        if then_t.is_pointer and isinstance(expr.otherwise, A.IntLit) \
+                and expr.otherwise.value == 0:
+            expr.otherwise = self._convert(expr.otherwise, then_t)
+            return then_t
+        if else_t.is_pointer and isinstance(expr.then, A.IntLit) \
+                and expr.then.value == 0:
+            expr.then = self._convert(expr.then, else_t)
+            return else_t
+        raise _err(f"incompatible ternary arms: {then_t} vs {else_t}", expr)
+
+    def _expr_Call(self, expr: A.Call, scope: _Scope) -> CType:
+        fsym = self.info.function_symbols.get(expr.name)
+        if fsym is None:
+            raise _err(f"call to undefined function {expr.name!r}", expr)
+        expr.symbol = fsym
+        ftype = fsym.ftype
+        if len(expr.args) != len(ftype.params):
+            raise _err(f"{expr.name} expects {len(ftype.params)} arguments, "
+                       f"got {len(expr.args)}", expr)
+        for i, (arg, ptype) in enumerate(zip(expr.args, ftype.params)):
+            self._check_expr(arg, scope)
+            expr.args[i] = self._convert(arg, ptype)
+        return ftype.ret
+
+    def _expr_Index(self, expr: A.Index, scope: _Scope) -> CType:
+        base = self._decayed(self._check_expr(expr.base, scope))
+        if not base.is_pointer:
+            raise _err(f"cannot index {expr.base.ctype}", expr)
+        self._check_expr(expr.index, scope)
+        if not self._decayed(expr.index.ctype).is_integer:
+            raise _err("array index must be an integer", expr)
+        expr.index = self._convert(expr.index, INT)
+        if base.target.is_void:
+            raise _err("cannot index void*", expr)
+        return base.target
+
+    def _expr_Member(self, expr: A.Member, scope: _Scope) -> CType:
+        base = self._check_expr(expr.base, scope)
+        if expr.arrow:
+            decayed = self._decayed(base)
+            if not (decayed.is_pointer
+                    and isinstance(decayed.target, StructType)):
+                raise _err(f"-> requires pointer to struct, got {base}", expr)
+            struct = decayed.target
+        else:
+            if not isinstance(base, StructType):
+                raise _err(f". requires a struct, got {base}", expr)
+            struct = base
+        try:
+            return struct.field_named(expr.name).ctype
+        except CompileError as exc:
+            raise _err(exc.message, expr) from None
+
+    def _expr_Cast(self, expr: A.Cast, scope: _Scope) -> CType:
+        operand = self._decayed(self._check_expr(expr.operand, scope))
+        if expr.target_type is None:
+            # implicit cast inserted by sema itself; ctype already set
+            return expr.ctype
+        target = self.resolve_type(expr.target_type, expr, allow_void=True)
+        if target.is_void:
+            return VOID
+        if target.is_pointer and (operand.is_pointer or operand.is_integer):
+            return target
+        if target.is_integer and (operand.is_pointer or operand.is_arith):
+            return target
+        if target.is_double and operand.is_arith:
+            return target
+        raise _err(f"invalid cast from {operand} to {target}", expr)
+
+    def _expr_SizeofType(self, expr: A.SizeofType, scope: _Scope) -> CType:
+        ctype = self.resolve_type(expr.target_type, expr)
+        expr.target_type = ctype
+        return INT
+
+
+def analyze(program: A.Program) -> SemanticInfo:
+    """Run semantic analysis; returns the annotated program's metadata."""
+    return _Analyzer(program).run()

@@ -1,0 +1,255 @@
+"""BLC's type system.
+
+Scalar types are ``int`` (32-bit signed), ``char`` (8-bit signed),
+``double`` (IEEE 754 binary64), and ``void``; derived types are pointers,
+fixed-length arrays, and structs. There are no unions, bitfields, function
+pointers, or whole-struct assignment (structs are manipulated through
+pointers and member accesses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bcc.errors import CompileError
+
+__all__ = [
+    "CType", "IntType", "CharType", "DoubleType", "VoidType",
+    "PointerType", "ArrayType", "StructType", "FuncType",
+    "INT", "CHAR", "DOUBLE", "VOID",
+    "TypeSpec",
+]
+
+
+class CType:
+    """Base class for all BLC types."""
+
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def align(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def is_scalar(self) -> bool:
+        return isinstance(self, (IntType, CharType, DoubleType, PointerType))
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, (IntType, CharType))
+
+    @property
+    def is_arith(self) -> bool:
+        return isinstance(self, (IntType, CharType, DoubleType))
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_double(self) -> bool:
+        return isinstance(self, DoubleType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+
+class IntType(CType):
+    def size(self) -> int:
+        return 4
+
+    def align(self) -> int:
+        return 4
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntType)
+
+    def __hash__(self) -> int:
+        return hash("int")
+
+    def __str__(self) -> str:
+        return "int"
+
+
+class CharType(CType):
+    def size(self) -> int:
+        return 1
+
+    def align(self) -> int:
+        return 1
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CharType)
+
+    def __hash__(self) -> int:
+        return hash("char")
+
+    def __str__(self) -> str:
+        return "char"
+
+
+class DoubleType(CType):
+    def size(self) -> int:
+        return 8
+
+    def align(self) -> int:
+        return 8
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DoubleType)
+
+    def __hash__(self) -> int:
+        return hash("double")
+
+    def __str__(self) -> str:
+        return "double"
+
+
+class VoidType(CType):
+    def size(self) -> int:
+        raise CompileError("void has no size")
+
+    def align(self) -> int:
+        raise CompileError("void has no alignment")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VoidType)
+
+    def __hash__(self) -> int:
+        return hash("void")
+
+    def __str__(self) -> str:
+        return "void"
+
+
+INT = IntType()
+CHAR = CharType()
+DOUBLE = DoubleType()
+VOID = VoidType()
+
+
+@dataclass(frozen=True)
+class PointerType(CType):
+    target: CType
+
+    def size(self) -> int:
+        return 4
+
+    def align(self) -> int:
+        return 4
+
+    def __str__(self) -> str:
+        return f"{self.target}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(CType):
+    element: CType
+    length: int
+
+    def size(self) -> int:
+        return self.element.size() * self.length
+
+    def align(self) -> int:
+        return self.element.align()
+
+    def decay(self) -> PointerType:
+        """Array-to-pointer decay."""
+        return PointerType(self.element)
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.length}]"
+
+
+@dataclass
+class StructField:
+    name: str
+    ctype: CType
+    offset: int
+
+
+class StructType(CType):
+    """A named struct with laid-out fields (offsets computed at definition)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.fields: list[StructField] = []
+        self._by_name: dict[str, StructField] = {}
+        self._size = 0
+        self._align = 1
+        self.complete = False
+
+    def define(self, fields: list[tuple[str, CType]]) -> None:
+        if self.complete:
+            raise CompileError(f"struct {self.name} redefined")
+        offset = 0
+        for fname, ftype in fields:
+            if fname in self._by_name:
+                raise CompileError(
+                    f"duplicate field {fname!r} in struct {self.name}")
+            a = ftype.align()
+            offset = (offset + a - 1) & ~(a - 1)
+            sf = StructField(fname, ftype, offset)
+            self.fields.append(sf)
+            self._by_name[fname] = sf
+            offset += ftype.size()
+            self._align = max(self._align, a)
+        self._size = (offset + self._align - 1) & ~(self._align - 1)
+        self.complete = True
+
+    def field_named(self, name: str) -> StructField:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise CompileError(
+                f"struct {self.name} has no field {name!r}") from None
+
+    def size(self) -> int:
+        if not self.complete:
+            raise CompileError(f"struct {self.name} is incomplete")
+        return self._size
+
+    def align(self) -> int:
+        if not self.complete:
+            raise CompileError(f"struct {self.name} is incomplete")
+        return self._align
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+
+@dataclass(frozen=True)
+class FuncType(CType):
+    """Function signature (functions are not first-class values in BLC)."""
+
+    ret: CType
+    params: tuple[CType, ...]
+    variadic: bool = False
+
+    def size(self) -> int:
+        raise CompileError("function type has no size")
+
+    def align(self) -> int:
+        raise CompileError("function type has no alignment")
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        return f"{self.ret}({params})"
+
+
+@dataclass
+class TypeSpec:
+    """Syntactic type from the parser, resolved to a :class:`CType` by sema.
+
+    ``base`` is "int"/"char"/"double"/"void" or ("struct", name);
+    ``pointer_depth`` counts ``*``; ``array_dims`` are the (constant)
+    dimensions in source order.
+    """
+
+    base: object
+    pointer_depth: int = 0
+    array_dims: list[int] = field(default_factory=list)
+    line: int = 0
+    col: int = 0
+    filename: str = "<input>"

@@ -1,0 +1,8 @@
+"""Benchmark suite: BLC programs + datasets mirroring the paper's Table 1."""
+
+from repro.bench.suite import (
+    Benchmark, Dataset, FP_GROUP, INT_GROUP, get, suite, suite_names,
+)
+
+__all__ = ["Benchmark", "Dataset", "suite", "suite_names", "get",
+           "INT_GROUP", "FP_GROUP"]

@@ -1,0 +1,165 @@
+"""The benchmark suite (the paper's Table 1 stand-in).
+
+Each :class:`Benchmark` is a BLC program in ``programs/`` plus a set of
+:class:`Dataset` input vectors (the values its ``read_int`` calls consume).
+The suite mirrors the paper's workload classes: an integer/pointer group
+(interpreters, compilers, text tools, combinatorial search) and a
+floating-point group (kernels, solvers, simulations), each program standing
+in for a named benchmark from the paper.
+
+Dataset sizes are tuned so a full-suite simulated execution stays in the
+hundreds-of-thousands-to-millions of instructions per program — large enough
+for stable dynamic branch statistics, small enough for an interpreted ISA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from importlib import resources
+
+from repro.bcc import compile_and_link
+from repro.isa.program import Executable
+
+__all__ = ["Dataset", "Benchmark", "suite", "get", "suite_names",
+           "INT_GROUP", "FP_GROUP"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """One input vector for a benchmark (fed to its read syscalls)."""
+
+    name: str
+    inputs: tuple
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A suite member: program source + datasets + provenance."""
+
+    name: str
+    group: str                 #: "int" or "fp"
+    description: str
+    paper_analogue: str        #: which Table 1 benchmark it stands in for
+    datasets: tuple[Dataset, ...]
+
+    def source(self) -> str:
+        """The BLC source text."""
+        path = resources.files("repro.bench").joinpath(
+            f"programs/{self.name}.blc")
+        return path.read_text()
+
+    def compile(self, optimize: bool = True) -> Executable:
+        """Compile (with the runtime linked) to an executable."""
+        return compile_and_link(self.source(), filename=f"{self.name}.blc",
+                                optimize=optimize)
+
+    def dataset(self, name: str) -> Dataset:
+        for ds in self.datasets:
+            if ds.name == name:
+                return ds
+        raise KeyError(f"{self.name} has no dataset {name!r}")
+
+    @property
+    def default_dataset(self) -> Dataset:
+        return self.datasets[0]
+
+
+def _b(name: str, group: str, description: str, analogue: str,
+       *datasets: tuple) -> Benchmark:
+    return Benchmark(name, group, description, analogue,
+                     tuple(Dataset(n, tuple(i)) for n, i in datasets))
+
+
+_SUITE: tuple[Benchmark, ...] = (
+    # -- integer / pointer group ------------------------------------------------
+    _b("microlog", "int", "fact/rule unification with backtracking",
+       "congress (Prolog-like interpreter)",
+       ("ref", (40, 30, 7)), ("small", (24, 18, 3)), ("alt", (52, 24, 19))),
+    _b("exprc", "int", "expression compiler: lex, parse, fold, emit, run",
+       "gcc / lcc (compilers)",
+       ("ref", (220, 5)), ("small", (90, 11)), ("alt", (260, 23))),
+    _b("minilisp", "int", "Lisp interpreter with cons cells and closures",
+       "xlisp (Lisp interpreter)",
+       ("ref", (0, 12, 1)), ("small", (1, 60, 3)), ("alt", (2, 150, 3))),
+    _b("scc", "int", "Tarjan SCC over pointer-linked digraphs",
+       "qpt (profiling and tracing tool)",
+       ("ref", (500, 4, 5)), ("small", (220, 3, 9)), ("alt", (560, 5, 31))),
+    _b("wordfreq", "int", "word-frequency hashing and top-k report",
+       "rn (news reader)",
+       ("ref", (15000, 5, 10)), ("small", (6000, 9, 6)),
+       ("alt", (18000, 13, 14))),
+    _b("fields", "int", "record/field scanning with error handling",
+       "awk (pattern scanner)",
+       ("ref", (420, 5)), ("small", (180, 11)), ("alt", (480, 29))),
+    _b("match", "int", "backtracking regex-lite over text lines",
+       "grep (regular-expression search)",
+       ("ref", (260, 5, 2)), ("small", (120, 9, 0)), ("alt", (300, 17, 1))),
+    _b("lzw", "int", "LZW compress + decompress + verify",
+       "compress (file compression)",
+       ("ref", (8000, 5)), ("small", (4000, 9)), ("alt", (10000, 21))),
+    _b("eqntott", "int", "boolean equations to sorted truth table",
+       "eqntott (boolean eqns to truth table)",
+       ("ref", (9, 50, 5)), ("small", (8, 40, 9)), ("alt", (10, 36, 3))),
+    _b("cover", "int", "greedy two-level logic cube covering",
+       "espresso (PLA minimization)",
+       ("ref", (9, 42, 5)), ("small", (8, 34, 11)), ("alt", (9, 48, 3))),
+    _b("knapsack", "int", "branch-and-bound 0/1 knapsack",
+       "addalg (integer program solver)",
+       ("ref", (36, 260, 5, 12)), ("small", (26, 160, 7, 8)), ("alt", (40, 300, 3, 9))),
+    _b("queens", "int", "N-queens exhaustive backtracking",
+       "qp / poly (polyominoes game)",
+       ("ref", (8, 1)), ("small", (7, 1)), ("alt", (9, 1))),
+    _b("flow", "int", "min-cost flow by successive shortest paths",
+       "costScale (minimum cost flow)",
+       ("ref", (100, 4, 60, 5)), ("small", (60, 3, 30, 9)),
+       ("alt", (116, 5, 80, 3))),
+    _b("sortmix", "int", "quicksort + heapsort workbench, cross-checked",
+       "icc (C compiler; library-sort branch mix)",
+       ("ref", (2500, 5)), ("small", (1000, 9)), ("alt", (3200, 3))),
+    _b("huffman", "int", "Huffman coding: heap, tree build, bit codec",
+       "compress (file compression, entropy-coding side)",
+       ("ref", (9000, 5)), ("small", (4000, 9)), ("alt", (11000, 3))),
+    # -- floating-point group ----------------------------------------------------
+    _b("nbody", "fp", "2D n-body with cutoff and collision softening",
+       "doduc / spice2g6 (simulations)",
+       ("ref", (64, 12, 5)), ("small", (40, 10, 9)), ("alt", (90, 7, 3))),
+    _b("quad", "fp", "recursive adaptive Simpson quadrature",
+       "fpppp (two-electron integrals)",
+       ("ref", (0, 25, 13)), ("small", (1, 14, 11)), ("alt", (2, 30, 12))),
+    _b("cg", "fp", "conjugate gradient on a sparse SPD system",
+       "dcg (conjugate gradient)",
+       ("ref", (400, 60, 5)), ("small", (200, 40, 9)), ("alt", (560, 50, 3))),
+    _b("gauss", "fp", "Gaussian elimination with partial pivoting",
+       "sgefat (Gaussian elimination)",
+       ("ref", (28, 3, 5)), ("small", (18, 4, 9)), ("alt", (36, 2, 3))),
+    _b("mesh", "fp", "2D relaxation with max-residual scan",
+       "tomcatv (vectorized mesh generation)",
+       ("ref", (26, 24, )), ("small", (16, 22)), ("alt", (36, 12))),
+    _b("kernels", "fp", "daxpy/dot/stencil/recurrence/shuffle battery",
+       "dnasa7 (floating point kernels)",
+       ("ref", (1500, 12, 5)), ("small", (700, 10, 9)),
+       ("alt", (1900, 9, 3))),
+    _b("matmul", "fp", "dense matrix multiply",
+       "matrix300 (matrix multiply)",
+       ("ref", (24, 2)), ("small", (16, 3)), ("alt", (34, 1))),
+)
+
+INT_GROUP = tuple(b.name for b in _SUITE if b.group == "int")
+FP_GROUP = tuple(b.name for b in _SUITE if b.group == "fp")
+
+
+def suite() -> list[Benchmark]:
+    """All benchmarks, integer group first (the paper's Table 1 ordering)."""
+    return list(_SUITE)
+
+
+def suite_names() -> list[str]:
+    return [b.name for b in _SUITE]
+
+
+def get(name: str) -> Benchmark:
+    """Look up a benchmark by name."""
+    for b in _SUITE:
+        if b.name == name:
+            return b
+    raise KeyError(f"no benchmark named {name!r}")

@@ -1,0 +1,30 @@
+"""Control-flow-graph substrate: block partitioning, dominators, loops.
+
+This is the per-procedure analysis layer QPT provided in the paper: CFG
+construction from an executable's instruction stream
+(:mod:`repro.cfg.builder`), dominator/postdominator trees
+(:mod:`repro.cfg.dominators`), and natural-loop analysis
+(:mod:`repro.cfg.loops`).
+"""
+
+from repro.cfg.builder import CFGError, build_all_cfgs, build_cfg
+from repro.cfg.dominators import (
+    DominatorInfo, compute_dominators, compute_postdominators,
+)
+from repro.cfg.graph import BasicBlock, ControlFlowGraph, Edge, EdgeKind
+from repro.cfg.loops import LoopInfo, analyze_loops
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "Edge",
+    "EdgeKind",
+    "CFGError",
+    "build_cfg",
+    "build_all_cfgs",
+    "DominatorInfo",
+    "compute_dominators",
+    "compute_postdominators",
+    "LoopInfo",
+    "analyze_loops",
+]

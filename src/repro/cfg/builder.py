@@ -1,0 +1,106 @@
+"""Build a control-flow graph from a procedure's instruction stream.
+
+Mirrors QPT: block leaders are the procedure entry, every branch/jump target,
+and every instruction following a block-terminating instruction. Calls do
+*not* terminate blocks (control returns to the next instruction), which is
+what lets the Call heuristic ask whether a *successor block contains a call*.
+
+Blocks unreachable from the entry are dropped.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import BasicBlock, ControlFlowGraph, Edge, EdgeKind
+from repro.isa.program import Executable, Procedure, WORD_SIZE
+
+__all__ = ["build_cfg", "build_all_cfgs", "CFGError"]
+
+
+class CFGError(Exception):
+    """Raised when a procedure's instructions cannot form a well-formed CFG."""
+
+
+def build_cfg(procedure: Procedure) -> ControlFlowGraph:
+    """Construct the CFG of *procedure*."""
+    insts = procedure.instructions
+    if not insts:
+        raise CFGError(f"procedure {procedure.name} is empty")
+    start = procedure.start_address
+    end = procedure.end_address
+
+    # -- find leaders --------------------------------------------------------
+    leaders = {start}
+    for inst in insts:
+        if inst.is_conditional_branch or inst.is_jump:
+            target = inst.target_address
+            if not start <= target < end:
+                raise CFGError(
+                    f"{procedure.name}: branch at 0x{inst.address:x} targets "
+                    f"0x{target:x} outside the procedure")
+            leaders.add(target)
+        if inst.ends_basic_block and inst.address + WORD_SIZE < end:
+            leaders.add(inst.address + WORD_SIZE)
+
+    ordered_leaders = sorted(leaders)
+
+    # -- carve blocks ---------------------------------------------------------
+    blocks: list[BasicBlock] = []
+    by_start: dict[int, BasicBlock] = {}
+    for bi, lead in enumerate(ordered_leaders):
+        next_lead = (ordered_leaders[bi + 1] if bi + 1 < len(ordered_leaders)
+                     else end)
+        lo = (lead - start) // WORD_SIZE
+        hi = (next_lead - start) // WORD_SIZE
+        block = BasicBlock(index=bi, instructions=insts[lo:hi])
+        blocks.append(block)
+        by_start[lead] = block
+
+    # -- wire edges -------------------------------------------------------------
+    def connect(src: BasicBlock, dst_addr: int, kind: EdgeKind) -> None:
+        edge = Edge(src, by_start[dst_addr], kind)
+        src.out_edges.append(edge)
+        edge.dst.in_edges.append(edge)
+
+    for bi, block in enumerate(blocks):
+        last = block.last
+        after = block.end_address + WORD_SIZE
+        if last.is_conditional_branch:
+            connect(block, last.target_address, EdgeKind.TARGET)
+            if after >= end:
+                raise CFGError(
+                    f"{procedure.name}: conditional branch at 0x{last.address:x} "
+                    "has no fall-through instruction")
+            connect(block, after, EdgeKind.FALLTHRU)
+        elif last.is_jump:
+            connect(block, last.target_address, EdgeKind.JUMP)
+        elif last.op.kind.name == "JUMP_REG":
+            pass  # return or indirect jump: no static successors
+        elif after < end:
+            connect(block, after, EdgeKind.FALL)
+        # else: block falls off the end of the procedure; treated as exit
+        # (the BLC compiler always ends procedures with a return).
+
+    # -- drop unreachable blocks ---------------------------------------------
+    reachable: set[int] = set()
+    stack = [blocks[0]]
+    while stack:
+        b = stack.pop()
+        if b.index in reachable:
+            continue
+        reachable.add(b.index)
+        stack.extend(b.successors)
+
+    if len(reachable) != len(blocks):
+        kept = [b for b in blocks if b.index in reachable]
+        kept_ids = {id(b) for b in kept}
+        for new_index, b in enumerate(kept):
+            b.index = new_index
+            b.in_edges = [e for e in b.in_edges if id(e.src) in kept_ids]
+        blocks = kept
+
+    return ControlFlowGraph(procedure, blocks)
+
+
+def build_all_cfgs(executable: Executable) -> dict[str, ControlFlowGraph]:
+    """Build CFGs for every procedure in *executable*, keyed by name."""
+    return {proc.name: build_cfg(proc) for proc in executable.procedures}

@@ -1,0 +1,168 @@
+"""Dominator and postdominator analysis.
+
+Implements the Cooper-Harvey-Kennedy iterative algorithm ("A Simple, Fast
+Dominance Algorithm") over the CFG and its reverse. The paper's heuristics
+use both relations:
+
+* *v dominates w* — every path from the entry to *w* includes *v*;
+* *w postdominates v* — every path from *v* to any exit includes *w*.
+
+Postdominance is computed against a virtual exit vertex that every block with
+no successors feeds into. Blocks from which no exit is reachable (e.g. bodies
+of infinite loops) postdominate nothing and are postdominated by nothing
+except themselves; the heuristics treat their successors as
+non-postdominating, which is the conservative reading of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import BasicBlock, ControlFlowGraph
+
+__all__ = ["DominatorInfo", "compute_dominators", "compute_postdominators"]
+
+
+class DominatorInfo:
+    """Immediate-dominator tree plus O(tree-depth) dominance queries.
+
+    ``idom[b]`` is ``None`` for the root. Blocks absent from ``idom`` are not
+    connected to the root (only possible for postdominators when no exit is
+    reachable from them).
+    """
+
+    def __init__(self, root: BasicBlock | None,
+                 idom: dict[BasicBlock, BasicBlock | None]) -> None:
+        self.root = root
+        self.idom = idom
+        self._depth: dict[BasicBlock, int] = {}
+        for block in idom:
+            self._compute_depth(block)
+
+    def _compute_depth(self, block: BasicBlock) -> int:
+        if block in self._depth:
+            return self._depth[block]
+        parent = self.idom.get(block)
+        depth = 0 if parent is None else self._compute_depth(parent) + 1
+        self._depth[block] = depth
+        return depth
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if *a* dominates *b* (reflexive: a block dominates itself)."""
+        if a not in self._depth or b not in self._depth:
+            return False
+        while self._depth.get(b, -1) > self._depth[a]:
+            b = self.idom[b]
+        return a is b
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def dominators_of(self, b: BasicBlock) -> list[BasicBlock]:
+        """All dominators of *b*, from *b* up to the root."""
+        out = []
+        cur: BasicBlock | None = b
+        while cur is not None:
+            out.append(cur)
+            cur = self.idom.get(cur)
+        return out
+
+
+def _iterative_idoms(
+    root: BasicBlock,
+    succs: dict[BasicBlock, list[BasicBlock]],
+    preds: dict[BasicBlock, list[BasicBlock]],
+) -> dict[BasicBlock, BasicBlock | None]:
+    """Cooper-Harvey-Kennedy over an arbitrary (possibly reversed) graph."""
+    # reverse postorder from root
+    order: list[BasicBlock] = []
+    seen: set[int] = set()
+    stack: list[tuple[BasicBlock, int]] = [(root, 0)]
+    seen.add(id(root))
+    while stack:
+        node, si = stack[-1]
+        children = succs.get(node, [])
+        if si < len(children):
+            stack[-1] = (node, si + 1)
+            child = children[si]
+            if id(child) not in seen:
+                seen.add(id(child))
+                stack.append((child, 0))
+        else:
+            order.append(node)
+            stack.pop()
+    order.reverse()
+    rpo_num = {id(b): i for i, b in enumerate(order)}
+
+    idom: dict[BasicBlock, BasicBlock | None] = {root: None}
+
+    def intersect(a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        while a is not b:
+            while rpo_num[id(a)] > rpo_num[id(b)]:
+                a = idom[a]
+            while rpo_num[id(b)] > rpo_num[id(a)]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node is root:
+                continue
+            new_idom: BasicBlock | None = None
+            for p in preds.get(node, []):
+                if id(p) not in rpo_num or (p is not root and p not in idom):
+                    continue
+                new_idom = p if new_idom is None else intersect(p, new_idom)
+            if new_idom is not None and idom.get(node) is not new_idom:
+                idom[node] = new_idom
+                changed = True
+    return idom
+
+
+def compute_dominators(cfg: ControlFlowGraph) -> DominatorInfo:
+    """Dominator tree of *cfg*, rooted at the entry block."""
+    succs = {b: b.successors for b in cfg.blocks}
+    preds = {b: b.predecessors for b in cfg.blocks}
+    return DominatorInfo(cfg.entry, _iterative_idoms(cfg.entry, succs, preds))
+
+
+class _VirtualExit(BasicBlock):
+    """Sentinel exit vertex used only inside postdominator computation."""
+
+    def __init__(self) -> None:  # noqa: D107 - sentinel
+        self.index = -1
+        self.instructions = []
+        self.out_edges = []
+        self.in_edges = []
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<EXIT>"
+
+
+def compute_postdominators(cfg: ControlFlowGraph) -> DominatorInfo:
+    """Postdominator tree of *cfg*, rooted at a virtual exit.
+
+    The virtual exit is kept internal: queries through the returned
+    :class:`DominatorInfo` involve only real blocks. Blocks that cannot reach
+    any exit have no entry in the tree, and ``dominates`` returns False for
+    them (conservative for the heuristics' "does not postdominate" tests).
+    """
+    exit_node = _VirtualExit()
+    exits = cfg.exit_blocks()
+    # reversed graph: edges dst->src, with the virtual exit as the root whose
+    # successors are the real exit blocks
+    rev_succs: dict[BasicBlock, list[BasicBlock]] = {exit_node: list(exits)}
+    rev_preds: dict[BasicBlock, list[BasicBlock]] = {exit_node: []}
+    for b in cfg.blocks:
+        rev_succs[b] = b.predecessors
+        rev_preds[b] = list(b.successors) + ([exit_node] if not b.out_edges else [])
+
+    idom = _iterative_idoms(exit_node, rev_succs, rev_preds)
+    # hide the sentinel: blocks immediately postdominated by the virtual exit
+    # get idom None (they are roots of the visible forest)
+    cleaned: dict[BasicBlock, BasicBlock | None] = {}
+    for block, parent in idom.items():
+        if isinstance(block, _VirtualExit):
+            continue
+        cleaned[block] = None if isinstance(parent, _VirtualExit) else parent
+    return DominatorInfo(None, cleaned)

@@ -1,0 +1,167 @@
+"""Control-flow graph data model.
+
+Each vertex is a :class:`BasicBlock` of instructions; a block ending with a
+conditional branch has exactly two outgoing edges — the *target* (taken) edge
+listed first and the *fall-through* edge second — mirroring the paper's
+target/fall-thru successor vocabulary. The root vertex is the procedure entry;
+blocks containing a return have no successors.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction
+from repro.isa.program import Procedure
+
+__all__ = ["EdgeKind", "Edge", "BasicBlock", "ControlFlowGraph"]
+
+
+class EdgeKind(enum.Enum):
+    """How control reaches a successor block."""
+
+    TARGET = "target"        #: taken direction of a conditional branch
+    FALLTHRU = "fallthru"    #: not-taken direction of a conditional branch
+    JUMP = "jump"            #: unconditional jump (j)
+    FALL = "fall"            #: implicit fall-through into the next block
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed CFG edge."""
+
+    src: "BasicBlock"
+    dst: "BasicBlock"
+    kind: EdgeKind
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Edge(B{self.src.index}->B{self.dst.index}, {self.kind.value})"
+
+
+@dataclass(eq=False)
+class BasicBlock:
+    """A maximal straight-line run of instructions."""
+
+    index: int
+    instructions: list[Instruction]
+    out_edges: list[Edge] = field(default_factory=list)
+    in_edges: list[Edge] = field(default_factory=list)
+
+    @property
+    def start_address(self) -> int:
+        return self.instructions[0].address
+
+    @property
+    def end_address(self) -> int:
+        return self.instructions[-1].address
+
+    @property
+    def last(self) -> Instruction:
+        return self.instructions[-1]
+
+    @property
+    def is_branch_block(self) -> bool:
+        """True if this block ends with a two-way conditional branch."""
+        return self.last.is_conditional_branch
+
+    @property
+    def successors(self) -> list["BasicBlock"]:
+        return [e.dst for e in self.out_edges]
+
+    @property
+    def predecessors(self) -> list["BasicBlock"]:
+        return [e.src for e in self.in_edges]
+
+    def target_edge(self) -> Edge:
+        """The taken edge of this block's terminating conditional branch."""
+        for e in self.out_edges:
+            if e.kind is EdgeKind.TARGET:
+                return e
+        raise ValueError(f"block B{self.index} has no target edge")
+
+    def fallthru_edge(self) -> Edge:
+        """The not-taken edge of this block's terminating conditional branch."""
+        for e in self.out_edges:
+            if e.kind is EdgeKind.FALLTHRU:
+                return e
+        raise ValueError(f"block B{self.index} has no fall-through edge")
+
+    def contains_call(self) -> bool:
+        """True if any instruction in the block is a (direct or indirect) call."""
+        return any(inst.is_call for inst in self.instructions)
+
+    def contains_return(self) -> bool:
+        """True if any instruction in the block is a procedure return, or the
+        block exits the program (``exit`` syscalls terminate like returns)."""
+        return any(inst.is_return for inst in self.instructions)
+
+    def contains_store(self) -> bool:
+        """True if any instruction in the block is a store."""
+        return any(inst.is_store for inst in self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<B{self.index} 0x{self.start_address:x}..0x{self.end_address:x}>"
+
+
+class ControlFlowGraph:
+    """The CFG of one procedure.
+
+    ``blocks`` are ordered by address; ``entry`` is the procedure's entry
+    block. Only blocks reachable from the entry are retained (QPT likewise
+    only instruments reachable code).
+    """
+
+    def __init__(self, procedure: Procedure, blocks: list[BasicBlock]) -> None:
+        self.procedure = procedure
+        self.blocks = blocks
+        self.entry = blocks[0]
+        self._by_start = {b.start_address: b for b in blocks}
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self):
+        return iter(self.blocks)
+
+    def block_at(self, addr: int) -> BasicBlock:
+        """Return the block starting at text address *addr*."""
+        return self._by_start[addr]
+
+    def block_containing(self, addr: int) -> BasicBlock:
+        """Return the block whose address range contains *addr*."""
+        for b in self.blocks:
+            if b.start_address <= addr <= b.end_address:
+                return b
+        raise KeyError(f"no block containing 0x{addr:x}")
+
+    def edges(self) -> list[Edge]:
+        """All edges in block order."""
+        return [e for b in self.blocks for e in b.out_edges]
+
+    def branch_blocks(self) -> list[BasicBlock]:
+        """Blocks terminated by a two-way conditional branch."""
+        return [b for b in self.blocks if b.is_branch_block]
+
+    def exit_blocks(self) -> list[BasicBlock]:
+        """Blocks with no successors (returns, exits, indirect jumps)."""
+        return [b for b in self.blocks if not b.out_edges]
+
+    def to_dot(self) -> str:
+        """Render as Graphviz dot (debugging/docs aid)."""
+        lines = [f'digraph "{self.procedure.name}" {{']
+        for b in self.blocks:
+            label = f"B{b.index}\\n" + "\\n".join(
+                i.render() for i in b.instructions[:6])
+            if len(b.instructions) > 6:
+                label += "\\n..."
+            lines.append(f'  B{b.index} [shape=box,label="{label}"];')
+        for e in self.edges():
+            style = {"target": "bold", "fallthru": "solid",
+                     "jump": "dashed", "fall": "dotted"}[e.kind.value]
+            lines.append(f"  B{e.src.index} -> B{e.dst.index} [style={style}];")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<CFG {self.procedure.name}: {len(self.blocks)} blocks>"

@@ -1,0 +1,68 @@
+"""The paper's contribution: program-based static branch prediction.
+
+* :mod:`~repro.core.classify` — loop/non-loop branch classification and the
+  loop predictor (Section 3);
+* :mod:`~repro.core.heuristics` — the seven non-loop heuristics (Section 4);
+* :mod:`~repro.core.predictors` — the combined predictor and every baseline;
+* :mod:`~repro.core.evaluation` — dynamic miss rates, coverage, C/D;
+* :mod:`~repro.core.orders` — ordering experiments (Section 5);
+* :mod:`~repro.core.sequences` / :mod:`~repro.core.model` — instructions per
+  break in control (Section 6).
+"""
+
+from repro.core.classify import (
+    BranchClass, BranchInfo, Prediction, ProcedureAnalysis, ProgramAnalysis,
+    classify_branches,
+)
+from repro.core.evaluation import (
+    EvalResult, big_branches, cd, coverage, evaluate_predictions,
+    evaluate_predictor, perfect_miss_rate,
+)
+from repro.core.dynamic import (
+    BimodalPredictor, DynamicPredictor, LastDirectionPredictor,
+    StaticAsDynamic,
+)
+from repro.core.heuristics import (
+    HEURISTIC_NAMES, HEURISTICS, PAPER_ORDER, applicable_heuristics,
+    extended_guard_heuristic,
+)
+from repro.core.profile_guided import (
+    CrossDatasetResult, ProfileGuidedPredictor, cross_dataset_experiment,
+)
+from repro.core.model import (
+    dividing_length, expected_sequence_length, model_family, model_fraction,
+    model_series,
+)
+from repro.core.orders import (
+    OrderData, SubsetExperimentResult, all_orders, all_orders_curve,
+    best_order, build_order_data, miss_rate_matrix, order_miss_rate,
+    pairwise_order, subset_experiment,
+)
+from repro.core.predictors import (
+    BTFNTPredictor, HeuristicPredictor, LoopRandomPredictor,
+    NotTakenPredictor, PerfectPredictor, RandomPredictor, StaticPredictor,
+    TakenPredictor, VotingPredictor, branch_random,
+)
+from repro.core.sequences import PAPER_SEQUENCE_PREDICTORS, sequence_experiment
+
+__all__ = [
+    "Prediction", "BranchClass", "BranchInfo", "ProcedureAnalysis",
+    "ProgramAnalysis", "classify_branches",
+    "HEURISTIC_NAMES", "HEURISTICS", "PAPER_ORDER", "applicable_heuristics",
+    "StaticPredictor", "PerfectPredictor", "TakenPredictor",
+    "NotTakenPredictor", "RandomPredictor", "BTFNTPredictor",
+    "LoopRandomPredictor", "HeuristicPredictor", "branch_random",
+    "EvalResult", "evaluate_predictions", "evaluate_predictor",
+    "perfect_miss_rate", "coverage", "big_branches", "cd",
+    "OrderData", "build_order_data", "order_miss_rate", "miss_rate_matrix",
+    "all_orders", "all_orders_curve", "best_order", "subset_experiment",
+    "SubsetExperimentResult", "pairwise_order",
+    "model_fraction", "model_series", "model_family",
+    "expected_sequence_length", "dividing_length",
+    "sequence_experiment", "PAPER_SEQUENCE_PREDICTORS",
+    "extended_guard_heuristic",
+    "ProfileGuidedPredictor", "CrossDatasetResult",
+    "cross_dataset_experiment",
+    "DynamicPredictor", "LastDirectionPredictor", "BimodalPredictor",
+    "StaticAsDynamic", "VotingPredictor",
+]

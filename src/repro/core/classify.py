@@ -1,0 +1,183 @@
+"""Branch classification (Section 3 of the paper).
+
+Using natural-loop analysis of each procedure's CFG:
+
+* a branch is a **loop branch** if either of its outgoing edges is a loop
+  back edge or an exit edge;
+* otherwise it is a **non-loop branch**.
+
+Loop branches get the paper's loop predictor: *iterate, don't exit* — if an
+outgoing edge is a back edge, predict it; otherwise predict the non-exit
+edge. This beats the naive "predict backward branches taken" because many
+loop branches are not backward branches (bottom-tested loops with multiple
+exits, rotated-loop continuation tests, ...).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.dominators import (
+    DominatorInfo, compute_dominators, compute_postdominators,
+)
+from repro.cfg.graph import BasicBlock, ControlFlowGraph, Edge
+from repro.cfg.loops import LoopInfo, analyze_loops
+from repro.isa.instructions import Instruction
+from repro.isa.program import Executable, Procedure
+
+__all__ = [
+    "Prediction", "BranchClass", "BranchInfo", "ProcedureAnalysis",
+    "ProgramAnalysis", "classify_branches",
+]
+
+
+class Prediction(enum.Enum):
+    """A static prediction: which successor edge the branch will follow."""
+
+    TAKEN = "taken"          #: the target successor
+    NOT_TAKEN = "not_taken"  #: the fall-through successor
+
+    @property
+    def as_bool(self) -> bool:
+        """True iff the prediction is TAKEN (the simulator's convention)."""
+        return self is Prediction.TAKEN
+
+    def inverted(self) -> "Prediction":
+        return (Prediction.NOT_TAKEN if self is Prediction.TAKEN
+                else Prediction.TAKEN)
+
+
+class BranchClass(enum.Enum):
+    LOOP = "loop"
+    NON_LOOP = "non_loop"
+
+
+@dataclass
+class BranchInfo:
+    """Everything the heuristics need to know about one conditional branch."""
+
+    address: int
+    instruction: Instruction
+    procedure: Procedure
+    block: BasicBlock
+    target_edge: Edge
+    fallthru_edge: Edge
+    branch_class: BranchClass
+    #: the loop predictor's choice (loop branches only)
+    loop_prediction: Prediction | None = None
+    #: True if the target address precedes the branch (a "backward branch")
+    is_backward: bool = False
+
+    @property
+    def is_loop_branch(self) -> bool:
+        return self.branch_class is BranchClass.LOOP
+
+    def successor_of(self, prediction: Prediction) -> BasicBlock:
+        edge = (self.target_edge if prediction is Prediction.TAKEN
+                else self.fallthru_edge)
+        return edge.dst
+
+    def prediction_of(self, block: BasicBlock) -> Prediction:
+        """The prediction that chooses successor *block*."""
+        if block is self.target_edge.dst:
+            return Prediction.TAKEN
+        if block is self.fallthru_edge.dst:
+            return Prediction.NOT_TAKEN
+        raise ValueError(f"block B{block.index} is not a successor")
+
+
+@dataclass
+class ProcedureAnalysis:
+    """Per-procedure CFG analyses shared by all heuristics."""
+
+    cfg: ControlFlowGraph
+    dom: DominatorInfo
+    postdom: DominatorInfo
+    loops: LoopInfo
+
+
+class ProgramAnalysis:
+    """Whole-program branch classification and CFG analyses.
+
+    This is the static side of the reproduction: build it once per
+    executable, then hand it to predictors. ``branches`` maps each
+    conditional branch's text address to its :class:`BranchInfo`.
+    """
+
+    def __init__(self, executable: Executable) -> None:
+        self.executable = executable
+        self.procedures: dict[str, ProcedureAnalysis] = {}
+        self.branches: dict[int, BranchInfo] = {}
+        for procedure in executable.procedures:
+            cfg = build_cfg(procedure)
+            dom = compute_dominators(cfg)
+            postdom = compute_postdominators(cfg)
+            loops = analyze_loops(cfg, dom)
+            pa = ProcedureAnalysis(cfg, dom, postdom, loops)
+            self.procedures[procedure.name] = pa
+            self._classify_procedure(procedure, pa)
+
+    def _classify_procedure(self, procedure: Procedure,
+                            pa: ProcedureAnalysis) -> None:
+        loops = pa.loops
+        for block in pa.cfg.blocks:
+            if not block.is_branch_block:
+                continue
+            inst = block.last
+            target_edge = block.target_edge()
+            fallthru_edge = block.fallthru_edge()
+            edges = (target_edge, fallthru_edge)
+            is_loop = any(loops.is_back_edge(e) or loops.is_exit_edge(e)
+                          for e in edges)
+            info = BranchInfo(
+                address=inst.address,
+                instruction=inst,
+                procedure=procedure,
+                block=block,
+                target_edge=target_edge,
+                fallthru_edge=fallthru_edge,
+                branch_class=(BranchClass.LOOP if is_loop
+                              else BranchClass.NON_LOOP),
+                is_backward=inst.target_address <= inst.address,
+            )
+            if is_loop:
+                info.loop_prediction = self._loop_prediction(info, loops)
+            self.branches[inst.address] = info
+
+    @staticmethod
+    def _loop_prediction(info: BranchInfo, loops: LoopInfo) -> Prediction:
+        """The loop predictor: back edge if present, else the non-exit edge."""
+        target_back = loops.is_back_edge(info.target_edge)
+        fallthru_back = loops.is_back_edge(info.fallthru_edge)
+        if target_back and fallthru_back:
+            # theoretically possible per the paper (never observed); the
+            # paper's tie-break is the edge to the innermost loop — the one
+            # whose destination sits in more loops
+            t_depth = loops.loop_depth(info.target_edge.dst)
+            f_depth = loops.loop_depth(info.fallthru_edge.dst)
+            return (Prediction.TAKEN if t_depth >= f_depth
+                    else Prediction.NOT_TAKEN)
+        if target_back:
+            return Prediction.TAKEN
+        if fallthru_back:
+            return Prediction.NOT_TAKEN
+        # no back edge: predict the non-exit edge (iterate, don't exit)
+        if loops.is_exit_edge(info.target_edge):
+            return Prediction.NOT_TAKEN
+        return Prediction.TAKEN
+
+    def analysis_of(self, info: BranchInfo) -> ProcedureAnalysis:
+        return self.procedures[info.procedure.name]
+
+    def loop_branches(self) -> list[BranchInfo]:
+        return [b for b in self.branches.values() if b.is_loop_branch]
+
+    def non_loop_branches(self) -> list[BranchInfo]:
+        return [b for b in self.branches.values() if not b.is_loop_branch]
+
+
+def classify_branches(executable: Executable) -> ProgramAnalysis:
+    """Build the whole-program branch classification for *executable*."""
+    return ProgramAnalysis(executable)

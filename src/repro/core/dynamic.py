@@ -1,0 +1,137 @@
+"""Dynamic (hardware-style) branch predictors, for context.
+
+The paper's related work compares static prediction against the dynamic
+schemes of Lee & A. J. Smith (2-bit counters in a branch target buffer) and
+notes McFarling & Hennessy's result that profile-based *static* prediction
+rivals dynamic hardware. These simple models let the reproduction make the
+same three-way comparison: program-based static vs profile-based static vs
+dynamic hardware.
+
+Dynamic predictors are :class:`~repro.sim.machine.Observer`\\ s: attach one
+to a :class:`~repro.sim.machine.Machine` and it predicts each branch
+*before* updating its state, counting its own misses online.
+
+* :class:`LastDirectionPredictor` — 1-bit: predict the branch's previous
+  outcome.
+* :class:`BimodalPredictor` — 2-bit saturating counters indexed by branch
+  address (optionally aliased into a finite table, like real hardware).
+* :class:`StaticAsDynamic` — wraps a static prediction map in the same
+  interface so all three kinds can run in one execution.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction
+from repro.sim.machine import Observer
+
+__all__ = ["DynamicPredictor", "LastDirectionPredictor", "BimodalPredictor",
+           "StaticAsDynamic"]
+
+
+class DynamicPredictor(Observer):
+    """Base: counts predictions and misses over one execution."""
+
+    name = "dynamic"
+
+    def __init__(self) -> None:
+        self.n_branches = 0
+        self.n_mispredicts = 0
+
+    @property
+    def miss_rate(self) -> float:
+        if self.n_branches == 0:
+            return 0.0
+        return self.n_mispredicts / self.n_branches
+
+    def predict(self, addr: int) -> bool:
+        """Predicted direction (True = taken) for the branch at *addr*."""
+        raise NotImplementedError
+
+    def update(self, addr: int, taken: bool) -> None:
+        """Learn the actual outcome."""
+        raise NotImplementedError
+
+    def on_branch(self, inst: Instruction, taken: bool,
+                  instr_count: int) -> None:
+        self.n_branches += 1
+        if self.predict(inst.address) != taken:
+            self.n_mispredicts += 1
+        self.update(inst.address, taken)
+
+
+class LastDirectionPredictor(DynamicPredictor):
+    """1-bit history: predict whatever the branch did last time.
+
+    Cold branches predict *not taken* (the classic hardware default).
+    """
+
+    name = "last-direction"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last: dict[int, bool] = {}
+
+    def predict(self, addr: int) -> bool:
+        return self._last.get(addr, False)
+
+    def update(self, addr: int, taken: bool) -> None:
+        self._last[addr] = taken
+
+
+class BimodalPredictor(DynamicPredictor):
+    """2-bit saturating counters (0-3; >=2 predicts taken).
+
+    *table_bits* — if given, counters live in a ``2**table_bits``-entry
+    direct-mapped table indexed by ``(addr >> 2) & mask`` so distinct
+    branches can alias, as in real hardware; if None, every branch gets a
+    private counter (infinite table).
+    Counters initialize to weakly-not-taken (1).
+    """
+
+    name = "bimodal"
+
+    def __init__(self, table_bits: int | None = None) -> None:
+        super().__init__()
+        self.table_bits = table_bits
+        if table_bits is not None:
+            if not 1 <= table_bits <= 24:
+                raise ValueError(f"table_bits out of range: {table_bits}")
+            self._mask = (1 << table_bits) - 1
+            self._table = [1] * (1 << table_bits)
+        else:
+            self._counters: dict[int, int] = {}
+
+    def _index(self, addr: int) -> int:
+        return (addr >> 2) & self._mask
+
+    def predict(self, addr: int) -> bool:
+        if self.table_bits is not None:
+            return self._table[self._index(addr)] >= 2
+        return self._counters.get(addr, 1) >= 2
+
+    def update(self, addr: int, taken: bool) -> None:
+        if self.table_bits is not None:
+            i = self._index(addr)
+            value = self._table[i]
+            self._table[i] = min(value + 1, 3) if taken else max(value - 1, 0)
+        else:
+            value = self._counters.get(addr, 1)
+            self._counters[addr] = (min(value + 1, 3) if taken
+                                    else max(value - 1, 0))
+
+
+class StaticAsDynamic(DynamicPredictor):
+    """A static prediction map in the dynamic-predictor interface, so a
+    static predictor can be raced against dynamic ones in one execution."""
+
+    name = "static"
+
+    def __init__(self, predictions: dict[int, bool]) -> None:
+        super().__init__()
+        self.predictions = predictions
+
+    def predict(self, addr: int) -> bool:
+        return self.predictions[addr]
+
+    def update(self, addr: int, taken: bool) -> None:
+        pass

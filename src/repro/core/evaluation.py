@@ -1,0 +1,141 @@
+"""Miss-rate evaluation against edge profiles.
+
+The paper reports every predictor as ``C/D``: the predictor's dynamic miss
+rate over the perfect static predictor's. All rates here are *dynamic*
+(weighted by execution counts from an :class:`~repro.sim.profile.EdgeProfile`),
+and every function takes an optional address subset so loop and non-loop
+branches can be scored separately, as in Tables 2-6.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.classify import Prediction, ProgramAnalysis
+from repro.sim.profile import EdgeProfile
+
+__all__ = ["EvalResult", "evaluate_predictions", "evaluate_predictor",
+           "perfect_miss_rate", "coverage", "big_branches", "cd"]
+
+
+@dataclass
+class EvalResult:
+    """Dynamic prediction accuracy over a set of branches."""
+
+    misses: int
+    executed: int
+    perfect_misses: int
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of dynamic branches mispredicted (the paper's C)."""
+        return self.misses / self.executed if self.executed else 0.0
+
+    @property
+    def perfect_rate(self) -> float:
+        """The perfect static predictor's miss rate (the paper's D)."""
+        return self.perfect_misses / self.executed if self.executed else 0.0
+
+    def cd(self) -> str:
+        """Render in the paper's C/D percentage notation."""
+        return cd(self.miss_rate, self.perfect_rate)
+
+
+def cd(miss_rate: float, perfect_rate: float) -> str:
+    """Format two rates as the paper's ``C/D`` percentages."""
+    return f"{100 * miss_rate:.0f}/{100 * perfect_rate:.0f}"
+
+
+def _miss_count(profile: EdgeProfile, addr: int,
+                prediction: Prediction) -> int:
+    if prediction is Prediction.TAKEN:
+        return profile.not_taken_count(addr)
+    return profile.taken_count(addr)
+
+
+def evaluate_predictions(
+    predictions: dict[int, Prediction],
+    profile: EdgeProfile,
+    addresses: Iterable[int] | None = None,
+) -> EvalResult:
+    """Score a raw prediction map against *profile*.
+
+    *addresses* restricts scoring to a branch subset (e.g. only non-loop
+    branches); by default every branch that executed is scored. A branch
+    that executed but has no prediction raises ``KeyError`` — predictors
+    always cover every static branch.
+    """
+    if addresses is None:
+        addresses = profile.executed_branches()
+    misses = 0
+    executed = 0
+    perfect = 0
+    for addr in addresses:
+        count = profile.execution_count(addr)
+        if count == 0:
+            continue
+        executed += count
+        misses += _miss_count(profile, addr, predictions[addr])
+        perfect += profile.perfect_miss_count(addr)
+    return EvalResult(misses, executed, perfect)
+
+
+def evaluate_predictor(predictor, profile: EdgeProfile,
+                       addresses: Iterable[int] | None = None) -> EvalResult:
+    """Score a :class:`~repro.core.predictors.StaticPredictor`."""
+    return evaluate_predictions(predictor.predictions(), profile, addresses)
+
+
+def perfect_miss_rate(profile: EdgeProfile,
+                      addresses: Iterable[int] | None = None) -> float:
+    """The perfect static predictor's miss rate over a branch subset."""
+    if addresses is None:
+        addresses = profile.executed_branches()
+    executed = 0
+    misses = 0
+    for addr in addresses:
+        executed += profile.execution_count(addr)
+        misses += profile.perfect_miss_count(addr)
+    return misses / executed if executed else 0.0
+
+
+def coverage(profile: EdgeProfile, covered: Iterable[int],
+             universe: Iterable[int]) -> float:
+    """Fraction of the dynamic executions of *universe* branches accounted
+    for by *covered* branches (e.g. a heuristic's dynamic coverage of
+    non-loop branches, the bold numbers of Table 3)."""
+    covered = set(covered)
+    total = 0
+    hit = 0
+    for addr in universe:
+        count = profile.execution_count(addr)
+        total += count
+        if addr in covered:
+            hit += count
+    return hit / total if total else 0.0
+
+
+@dataclass
+class BigBranchReport:
+    """Table 2's "Big" column: non-loop branches that each contribute more
+    than 5% of all dynamic non-loop branch executions."""
+
+    count: int
+    fraction_of_dynamic: float
+
+
+def big_branches(profile: EdgeProfile, analysis: ProgramAnalysis,
+                 threshold: float = 0.05) -> BigBranchReport:
+    non_loop = [b.address for b in analysis.non_loop_branches()]
+    total = sum(profile.execution_count(a) for a in non_loop)
+    if total == 0:
+        return BigBranchReport(0, 0.0)
+    big_total = 0
+    count = 0
+    for addr in non_loop:
+        c = profile.execution_count(addr)
+        if c > threshold * total:
+            count += 1
+            big_total += c
+    return BigBranchReport(count, big_total / total)

@@ -1,0 +1,353 @@
+"""The seven non-loop branch heuristics (Section 4 of the paper).
+
+Each heuristic is a function ``(BranchInfo, ProcedureAnalysis) -> Prediction
+| None`` returning ``None`` when it does not apply. The property-based
+heuristics (Loop, Call, Return, Guard, Store) follow the paper's selection
+rule exactly: *if neither successor has the selection property or both have
+it, no prediction is made*; otherwise the heuristic predicts either the
+successor with the property or the one without, per its fixed direction.
+
+All of them are local: they inspect only the branch's block, its two
+successor blocks (plus unconditional-chain lookahead for Call/Return), and
+the dominator/postdominator/natural-loop facts computed once per procedure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.cfg.graph import BasicBlock
+from repro.core.classify import BranchInfo, Prediction, ProcedureAnalysis
+from repro.isa.instructions import Instruction, Kind
+from repro.isa.registers import GP, ZERO
+
+__all__ = [
+    "HEURISTIC_NAMES", "PAPER_ORDER", "HEURISTICS",
+    "opcode_heuristic", "loop_heuristic", "call_heuristic",
+    "return_heuristic", "guard_heuristic", "store_heuristic",
+    "pointer_heuristic", "extended_guard_heuristic",
+    "applicable_heuristics",
+]
+
+Heuristic = Callable[[BranchInfo, ProcedureAnalysis], "Prediction | None"]
+
+
+# -- Opcode -------------------------------------------------------------------
+
+def opcode_heuristic(branch: BranchInfo,
+                     pa: ProcedureAnalysis) -> Prediction | None:
+    """Predict from the branch opcode: comparisons against zero that test for
+    negative values are predicted false (programs use negative integers for
+    errors), non-negative tests true, and floating-point *equality* tests
+    false (two computed doubles are rarely equal)."""
+    inst = branch.instruction
+    name = inst.op.name
+    if name in ("bltz", "blez"):
+        return Prediction.NOT_TAKEN
+    if name in ("bgtz", "bgez"):
+        return Prediction.TAKEN
+    if name in ("bc1t", "bc1f"):
+        cmp_inst = _fp_compare_feeding(branch)
+        if cmp_inst is not None and cmp_inst.op.name == "c.eq.d":
+            # "equal" is the unlikely outcome
+            return (Prediction.NOT_TAKEN if name == "bc1t"
+                    else Prediction.TAKEN)
+    return None
+
+
+def _fp_compare_feeding(branch: BranchInfo) -> Instruction | None:
+    """The most recent FP compare before the branch in its block."""
+    for inst in reversed(branch.block.instructions[:-1]):
+        if inst.op.kind is Kind.FP_CMP:
+            return inst
+    return None
+
+
+# -- property-based heuristics -----------------------------------------------
+
+def _select(branch: BranchInfo, pa: ProcedureAnalysis,
+            has_property: Callable[[BasicBlock], bool],
+            predict_with_property: bool) -> Prediction | None:
+    """The paper's selection rule: apply iff exactly one successor has the
+    property; predict the one with it (or without it)."""
+    target = branch.target_edge.dst
+    fallthru = branch.fallthru_edge.dst
+    t = has_property(target)
+    f = has_property(fallthru)
+    if t == f:
+        return None
+    has_it = target if t else fallthru
+    chosen = has_it if predict_with_property else (
+        fallthru if t else target)
+    return branch.prediction_of(chosen)
+
+
+def loop_heuristic(branch: BranchInfo,
+                   pa: ProcedureAnalysis) -> Prediction | None:
+    """The successor does not postdominate the branch and is a loop head or
+    a loop preheader -> predict that successor (loops execute, they are not
+    avoided; compilers replicate while-loop tests into a guarding if)."""
+    loops = pa.loops
+    postdom = pa.postdom
+    block = branch.block
+
+    def prop(succ: BasicBlock) -> bool:
+        if postdom.dominates(succ, block):
+            return False
+        return loops.is_loop_head(succ) or loops.is_preheader(succ)
+
+    return _select(branch, pa, prop, predict_with_property=True)
+
+
+_CHAIN_LIMIT = 8
+
+
+def _unconditional_chain(block: BasicBlock) -> list[BasicBlock]:
+    """*block* followed by the blocks it unconditionally passes control to."""
+    chain = [block]
+    seen = {id(block)}
+    current = block
+    while len(chain) < _CHAIN_LIMIT and len(current.out_edges) == 1:
+        current = current.out_edges[0].dst
+        if id(current) in seen:
+            break
+        seen.add(id(current))
+        chain.append(current)
+    return chain
+
+
+def call_heuristic(branch: BranchInfo,
+                   pa: ProcedureAnalysis) -> Prediction | None:
+    """The successor contains a call (or unconditionally reaches a block with
+    a call that it dominates) and does not postdominate the branch ->
+    predict the *other* successor: conditional calls are dominated by
+    error/exception handling (the paper's printing example)."""
+    postdom = pa.postdom
+    dom = pa.dom
+    block = branch.block
+
+    def prop(succ: BasicBlock) -> bool:
+        if postdom.dominates(succ, block):
+            return False
+        if succ.contains_call():
+            return True
+        for later in _unconditional_chain(succ)[1:]:
+            if later.contains_call() and dom.dominates(succ, later):
+                return True
+        return False
+
+    return _select(branch, pa, prop, predict_with_property=False)
+
+
+def return_heuristic(branch: BranchInfo,
+                     pa: ProcedureAnalysis) -> Prediction | None:
+    """The successor contains a return (or unconditionally reaches one) ->
+    predict the other successor: returns are recursion base cases and
+    error/boundary exits."""
+
+    def prop(succ: BasicBlock) -> bool:
+        return any(b.contains_return() for b in _unconditional_chain(succ))
+
+    return _select(branch, pa, prop, predict_with_property=False)
+
+
+def guard_heuristic(branch: BranchInfo,
+                    pa: ProcedureAnalysis) -> Prediction | None:
+    """A register operand of the branch is used in the successor before
+    being defined, and the successor does not postdominate the branch ->
+    predict that successor: branches guard uses of a value, and the common
+    case is the value flowing to its use (e.g. non-null pointers)."""
+    postdom = pa.postdom
+    block = branch.block
+    int_regs, fp_regs = _branch_operands(branch)
+    if not int_regs and not fp_regs:
+        return None
+
+    def prop(succ: BasicBlock) -> bool:
+        if postdom.dominates(succ, block):
+            return False
+        return _uses_before_def(succ, int_regs, fp_regs)
+
+    return _select(branch, pa, prop, predict_with_property=True)
+
+
+def _branch_operands(branch: BranchInfo) -> tuple[set[int], set[int]]:
+    """Registers the branch tests: integer operands of the branch itself, or
+    the FP operands of the compare feeding a bc1t/bc1f."""
+    inst = branch.instruction
+    if inst.op.kind is Kind.FP_BRANCH:
+        cmp_inst = _fp_compare_feeding(branch)
+        if cmp_inst is None:
+            return set(), set()
+        return set(), {r for r in cmp_inst.fp_uses()}
+    return {r for r in inst.int_uses() if r != ZERO}, set()
+
+
+def _uses_before_def(block: BasicBlock, int_regs: set[int],
+                     fp_regs: set[int]) -> bool:
+    """True if any watched register is read in *block* before being written.
+    Calls end the analysis (no interprocedural use/def info, per the paper)."""
+    pending_int = set(int_regs)
+    pending_fp = set(fp_regs)
+    for inst in block.instructions:
+        if pending_int.intersection(inst.int_uses()):
+            return True
+        if pending_fp.intersection(inst.fp_uses()):
+            return True
+        if inst.is_call:
+            return False
+        pending_int.difference_update(inst.int_defs())
+        pending_fp.difference_update(inst.fp_defs())
+        if not pending_int and not pending_fp:
+            return False
+    return False
+
+
+def store_heuristic(branch: BranchInfo,
+                    pa: ProcedureAnalysis) -> Prediction | None:
+    """The successor contains a store and does not postdominate the branch ->
+    predict the other successor (tried "more out of curiosity": poor on
+    integer codes, good on FP codes — it fixes the tomcatv max-update
+    branch the Guard heuristic gets exactly wrong)."""
+    postdom = pa.postdom
+    block = branch.block
+
+    def prop(succ: BasicBlock) -> bool:
+        if postdom.dominates(succ, block):
+            return False
+        return succ.contains_store()
+
+    return _select(branch, pa, prop, predict_with_property=False)
+
+
+def pointer_heuristic(branch: BranchInfo, pa: ProcedureAnalysis,
+                      exclude_gp: bool = True,
+                      exclude_calls: bool = True) -> Prediction | None:
+    """Pointer comparisons: ``load rM; beq rM, $zero`` (null test) or
+    ``load rM; load rN; beq rM, rN`` (pointer equality) within the branch's
+    block. Predict the comparison false: pointers are rarely null and two
+    pointers are rarely equal. Loads off ``$gp`` disqualify the branch, as
+    does a call between the load and the branch.
+
+    *exclude_gp* / *exclude_calls* switch off the paper's two restrictions
+    (used by the ablation benchmarks only).
+    """
+    inst = branch.instruction
+    if inst.op.name not in ("beq", "bne"):
+        return None
+    operands = [r for r in (inst.rs, inst.rt) if r != ZERO]
+    if not operands:
+        return None
+    block = branch.block
+    # scan the block up to the branch: last definition of each register,
+    # whether it was a pointer-style load, and whether a call intervened
+    last_load: dict[int, Instruction | None] = {}
+    for i in block.instructions[:-1]:
+        if i.is_call and exclude_calls:
+            # a call invalidates everything loaded so far
+            last_load = {reg: None for reg in last_load}
+            continue
+        defs = i.int_defs()
+        for reg in defs:
+            if i.op.name == "lw" and (i.rs != GP or not exclude_gp):
+                last_load[reg] = i
+            else:
+                last_load[reg] = None
+    for reg in operands:
+        if last_load.get(reg) is None:
+            return None
+    # matched: predict "not equal" — fall-thru for beq, taken for bne
+    return Prediction.NOT_TAKEN if inst.op.name == "beq" else Prediction.TAKEN
+
+
+def extended_guard_heuristic(branch: BranchInfo, pa: ProcedureAnalysis,
+                             depth: int = 3) -> Prediction | None:
+    """The paper's proposed generalization of Guard (Section 4.4): "look
+    farther away from the branch to see if the branch value is reused by an
+    instruction whose execution is controlled by the branch".
+
+    Like :func:`guard_heuristic`, but the use-before-def search extends
+    beyond the immediate successor into blocks *dominated by that
+    successor* (execution controlled by taking that side), up to *depth*
+    blocks per side. Calls still terminate a path, and the one-successor
+    selection rule is unchanged. Not part of the paper's measured registry
+    — used by the extension/ablation experiments.
+    """
+    postdom = pa.postdom
+    dom = pa.dom
+    block = branch.block
+    int_regs, fp_regs = _branch_operands(branch)
+    if not int_regs and not fp_regs:
+        return None
+
+    def prop(succ: BasicBlock) -> bool:
+        if postdom.dominates(succ, block):
+            return False
+        # BFS through succ-dominated blocks, tracking not-yet-killed regs
+        work = [(succ, frozenset(int_regs), frozenset(fp_regs))]
+        visited: set[int] = set()
+        explored = 0
+        while work and explored < depth:
+            current, pending_int, pending_fp = work.pop(0)
+            if id(current) in visited:
+                continue
+            visited.add(id(current))
+            explored += 1
+            ints = set(pending_int)
+            fps = set(pending_fp)
+            killed = False
+            for inst in current.instructions:
+                if ints.intersection(inst.int_uses()) or \
+                        fps.intersection(inst.fp_uses()):
+                    return True
+                if inst.is_call:
+                    killed = True
+                    break
+                ints.difference_update(inst.int_defs())
+                fps.difference_update(inst.fp_defs())
+                if not ints and not fps:
+                    killed = True
+                    break
+            if killed:
+                continue
+            for edge in current.out_edges:
+                nxt = edge.dst
+                if nxt is not succ and dom.dominates(succ, nxt):
+                    work.append((nxt, frozenset(ints), frozenset(fps)))
+        return False
+
+    return _select(branch, pa, prop, predict_with_property=True)
+
+
+#: Paper-order registry of heuristic names.
+HEURISTIC_NAMES: tuple[str, ...] = (
+    "Opcode", "Loop", "Call", "Return", "Guard", "Store", "Point",
+)
+
+HEURISTICS: dict[str, Heuristic] = {
+    "Opcode": opcode_heuristic,
+    "Loop": loop_heuristic,
+    "Call": call_heuristic,
+    "Return": return_heuristic,
+    "Guard": guard_heuristic,
+    "Store": store_heuristic,
+    "Point": pointer_heuristic,
+}
+
+#: The priority order used for the paper's final results (Tables 5 and 6).
+PAPER_ORDER: tuple[str, ...] = (
+    "Point", "Call", "Opcode", "Return", "Store", "Loop", "Guard",
+)
+
+
+def applicable_heuristics(branch: BranchInfo, pa: ProcedureAnalysis
+                          ) -> dict[str, Prediction]:
+    """Evaluate every heuristic on *branch*; returns name -> prediction for
+    those that apply. This is the per-branch table the ordering experiments
+    (Section 5) are computed from."""
+    out: dict[str, Prediction] = {}
+    for name, heuristic in HEURISTICS.items():
+        prediction = heuristic(branch, pa)
+        if prediction is not None:
+            out[name] = prediction
+    return out

@@ -1,0 +1,254 @@
+"""Heuristic-ordering experiments (Section 5, Graphs 1-3, Table 4).
+
+The combined predictor totally orders the heuristics and uses the first that
+applies. These experiments quantify how much the order matters and whether
+an order picked on half the benchmarks generalizes:
+
+* :func:`all_orders_curve` — the average non-loop miss rate of every one of
+  the 7! = 5040 orders, sorted (Graph 1);
+* :func:`subset_experiment` — for every size-k subset of the benchmarks,
+  find the order minimizing the subset's average miss rate, then score that
+  order on *all* benchmarks (Graphs 2-3, Table 4);
+* :func:`pairwise_order` — the cheaper pairwise-comparison ordering the
+  paper reports as "generally inferior ... but in the top quarter".
+
+Everything is precomputed into per-benchmark numpy tables (one row per
+executed non-loop branch) so that evaluating an order is a couple of
+vectorized gathers; the full 5040-order sweep over a 20-benchmark suite
+takes well under a second.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from itertools import combinations, permutations
+
+import numpy as np
+
+from repro.core.classify import Prediction, ProgramAnalysis
+from repro.core.heuristics import HEURISTIC_NAMES, applicable_heuristics
+from repro.core.predictors import branch_random
+from repro.sim.profile import EdgeProfile
+
+__all__ = [
+    "OrderData", "build_order_data", "order_miss_rate", "miss_rate_matrix",
+    "all_orders", "all_orders_curve", "best_order", "subset_experiment",
+    "SubsetExperimentResult", "pairwise_order",
+]
+
+_NUM_H = len(HEURISTIC_NAMES)
+_NO_RANK = np.int8(_NUM_H + 1)
+
+
+@dataclass
+class OrderData:
+    """Per-benchmark table: one row per *executed non-loop* branch."""
+
+    name: str
+    #: (B, 7) — heuristic h applies to branch b
+    applies: np.ndarray
+    #: (B, 7) — heuristic h predicts taken for branch b
+    predict_taken: np.ndarray
+    #: (B,) dynamic taken counts
+    taken: np.ndarray
+    #: (B,) dynamic fall-through counts
+    not_taken: np.ndarray
+    #: (B,) the Default (random) prediction, predict-taken
+    default_taken: np.ndarray
+
+    @property
+    def total(self) -> int:
+        return int(self.taken.sum() + self.not_taken.sum())
+
+
+def build_order_data(name: str, analysis: ProgramAnalysis,
+                     profile: EdgeProfile, seed: int = 0) -> OrderData:
+    """Evaluate all heuristics on every executed non-loop branch of one
+    benchmark and pack the results for vectorized order evaluation."""
+    rows = [b for b in analysis.non_loop_branches()
+            if profile.execution_count(b.address) > 0]
+    n = len(rows)
+    applies = np.zeros((n, _NUM_H), dtype=bool)
+    predict_taken = np.zeros((n, _NUM_H), dtype=bool)
+    taken = np.zeros(n, dtype=np.int64)
+    not_taken = np.zeros(n, dtype=np.int64)
+    default_taken = np.zeros(n, dtype=bool)
+    for i, branch in enumerate(rows):
+        pa = analysis.analysis_of(branch)
+        table = applicable_heuristics(branch, pa)
+        for h, hname in enumerate(HEURISTIC_NAMES):
+            if hname in table:
+                applies[i, h] = True
+                predict_taken[i, h] = table[hname] is Prediction.TAKEN
+        taken[i] = profile.taken_count(branch.address)
+        not_taken[i] = profile.not_taken_count(branch.address)
+        default_taken[i] = branch_random(branch.address, seed).as_bool
+    return OrderData(name, applies, predict_taken, taken, not_taken,
+                     default_taken)
+
+
+def _rank_array(order: tuple[str, ...]) -> np.ndarray:
+    ranks = np.full(_NUM_H, _NO_RANK, dtype=np.int8)
+    for priority, hname in enumerate(order):
+        ranks[HEURISTIC_NAMES.index(hname)] = priority
+    return ranks
+
+
+def _misses_for_ranks(data: OrderData, ranks: np.ndarray) -> np.ndarray:
+    """Dynamic miss counts for one or many orders.
+
+    *ranks* is (7,) or (O, 7); returns shape () or (O,).
+    """
+    single = ranks.ndim == 1
+    if single:
+        ranks = ranks[None, :]
+    # (O, B, 7): rank where applicable, sentinel where not
+    masked = np.where(data.applies[None, :, :], ranks[:, None, :], _NO_RANK)
+    choice = masked.argmin(axis=2)                       # (O, B)
+    any_applies = data.applies.any(axis=1)               # (B,)
+    b_index = np.arange(data.applies.shape[0])
+    ptaken = data.predict_taken[b_index[None, :], choice]  # (O, B)
+    ptaken = np.where(any_applies[None, :], ptaken,
+                      data.default_taken[None, :])
+    misses = np.where(ptaken, data.not_taken[None, :],
+                      data.taken[None, :]).sum(axis=1)
+    return misses[0] if single else misses
+
+
+def order_miss_rate(data: OrderData, order: tuple[str, ...]) -> float:
+    """Non-loop dynamic miss rate of *order* on one benchmark."""
+    if data.total == 0:
+        return 0.0
+    return float(_misses_for_ranks(data, _rank_array(order))) / data.total
+
+
+def all_orders() -> list[tuple[str, ...]]:
+    """All 7! = 5040 heuristic orders, in a fixed deterministic order."""
+    return [tuple(p) for p in permutations(HEURISTIC_NAMES)]
+
+
+def miss_rate_matrix(datasets: list[OrderData],
+                     orders: list[tuple[str, ...]] | None = None
+                     ) -> tuple[np.ndarray, list[tuple[str, ...]]]:
+    """(O, N) matrix of per-benchmark miss rates for every order."""
+    if orders is None:
+        orders = all_orders()
+    ranks = np.stack([_rank_array(o) for o in orders])
+    matrix = np.zeros((len(orders), len(datasets)), dtype=np.float64)
+    for j, data in enumerate(datasets):
+        if data.total == 0:
+            continue
+        matrix[:, j] = _misses_for_ranks(data, ranks) / data.total
+    return matrix, orders
+
+
+def all_orders_curve(datasets: list[OrderData]) -> np.ndarray:
+    """Graph 1: sorted average miss rates of all 5040 orders (each benchmark
+    weighted equally, as in the paper)."""
+    matrix, _ = miss_rate_matrix(datasets)
+    return np.sort(matrix.mean(axis=1))
+
+
+def best_order(datasets: list[OrderData]) -> tuple[tuple[str, ...], float]:
+    """The order minimizing the equal-weight average miss rate."""
+    matrix, orders = miss_rate_matrix(datasets)
+    means = matrix.mean(axis=1)
+    index = int(means.argmin())
+    return orders[index], float(means[index])
+
+
+@dataclass
+class SubsetExperimentResult:
+    """Output of the C(N, k) generalization experiment."""
+
+    #: orders that won at least one trial, most frequent first
+    orders: list[tuple[str, ...]]
+    #: trials won by each order (parallel to ``orders``)
+    frequencies: list[int]
+    #: average miss rate of each order over ALL benchmarks (parallel)
+    overall_miss_rates: list[float]
+    n_trials: int
+
+    def cumulative_trial_share(self) -> np.ndarray:
+        """Graph 2: cumulative fraction of trials won by the most common
+        orders."""
+        freq = np.array(self.frequencies, dtype=np.float64)
+        return np.cumsum(freq) / self.n_trials
+
+    def top(self, n: int) -> list[tuple[tuple[str, ...], int, float]]:
+        """Table 4: the n most common orders with trial share and overall
+        miss rate."""
+        return [(self.orders[i], self.frequencies[i],
+                 self.overall_miss_rates[i])
+                for i in range(min(n, len(self.orders)))]
+
+
+def subset_experiment(datasets: list[OrderData], k: int | None = None,
+                      chunk: int = 2048) -> SubsetExperimentResult:
+    """For every size-*k* subset of the benchmarks (default: half), find the
+    order that minimizes the subset's average miss rate; tally how often
+    each order wins and how it scores on the full suite.
+
+    The paper ran C(22, 11) = 705,432 trials; the computation here is a
+    chunked matrix product over the precomputed (orders x benchmarks) miss
+    matrix, so the full enumeration is cheap at our suite size.
+    """
+    n = len(datasets)
+    if k is None:
+        k = n // 2
+    matrix, orders = miss_rate_matrix(datasets)   # (O, N)
+    overall = matrix.mean(axis=1)                 # (O,)
+    counter: Counter[int] = Counter()
+    n_trials = 0
+    subset_iter = combinations(range(n), k)
+    while True:
+        batch = []
+        for _ in range(chunk):
+            try:
+                batch.append(next(subset_iter))
+            except StopIteration:
+                break
+        if not batch:
+            break
+        mask = np.zeros((len(batch), n), dtype=np.float32)
+        for row, subset in enumerate(batch):
+            mask[row, list(subset)] = 1.0
+        scores = mask @ matrix.T.astype(np.float32)   # (batch, O)
+        winners = scores.argmin(axis=1)
+        counter.update(winners.tolist())
+        n_trials += len(batch)
+    ranked = counter.most_common()
+    return SubsetExperimentResult(
+        orders=[orders[i] for i, _ in ranked],
+        frequencies=[c for _, c in ranked],
+        overall_miss_rates=[float(overall[i]) for i, _ in ranked],
+        n_trials=n_trials,
+    )
+
+
+def pairwise_order(datasets: list[OrderData]) -> tuple[str, ...]:
+    """Section 5's cheaper alternative: compare each pair of heuristics on
+    the branches where both apply, and order by pairwise wins (total
+    dynamic misses on the intersection; Copeland scoring breaks cycles)."""
+    wins = np.zeros(_NUM_H, dtype=np.int64)
+    for a in range(_NUM_H):
+        for b in range(a + 1, _NUM_H):
+            misses_a = 0
+            misses_b = 0
+            for data in datasets:
+                both = data.applies[:, a] & data.applies[:, b]
+                if not both.any():
+                    continue
+                taken = data.taken[both]
+                not_taken = data.not_taken[both]
+                pa = data.predict_taken[both, a]
+                pb = data.predict_taken[both, b]
+                misses_a += int(np.where(pa, not_taken, taken).sum())
+                misses_b += int(np.where(pb, not_taken, taken).sum())
+            if misses_a < misses_b:
+                wins[a] += 1
+            elif misses_b < misses_a:
+                wins[b] += 1
+    ranked = sorted(range(_NUM_H), key=lambda h: (-wins[h], h))
+    return tuple(HEURISTIC_NAMES[h] for h in ranked)

@@ -1,0 +1,259 @@
+"""Static branch predictors.
+
+Every predictor produces, for each conditional branch in the program, a
+fixed :class:`~repro.core.classify.Prediction` that never changes during
+execution. Predictors share the :class:`StaticPredictor` interface:
+``predictions()`` (address -> Prediction) and ``prediction_map()`` (address
+-> bool, the simulator-facing form used by the sequence analyzer).
+
+* :class:`PerfectPredictor` — the paper's upper bound: predicts each
+  branch's more frequently executed edge (requires an edge profile, so it is
+  dataset-dependent).
+* :class:`TakenPredictor` / :class:`NotTakenPredictor` — the naive Tgt /
+  fall-through baselines of Table 2.
+* :class:`RandomPredictor` — deterministic pseudo-random per branch (the
+  paper's Rnd baseline and the Default of the combined heuristic; using the
+  same seed makes "the same prediction as in Table 2" literal).
+* :class:`BTFNTPredictor` — backward-taken/forward-not-taken, the
+  architectural convention the paper improves on.
+* :class:`LoopRandomPredictor` — loop predictor on loop branches, random on
+  non-loop branches (the Loop+Rand comparator of Section 6).
+* :class:`HeuristicPredictor` — the paper's full predictor: loop predictor
+  on loop branches, prioritized heuristics on non-loop branches, random
+  default. Records which heuristic predicted each branch.
+"""
+
+from __future__ import annotations
+
+from repro.core.classify import (
+    BranchInfo, Prediction, ProgramAnalysis, classify_branches,
+)
+from repro.core.heuristics import HEURISTICS, PAPER_ORDER
+from repro.isa.program import Executable
+from repro.sim.profile import EdgeProfile
+
+__all__ = [
+    "StaticPredictor", "PerfectPredictor", "TakenPredictor",
+    "NotTakenPredictor", "RandomPredictor", "BTFNTPredictor",
+    "LoopRandomPredictor", "HeuristicPredictor", "VotingPredictor",
+    "branch_random",
+]
+
+
+def branch_random(address: int, seed: int = 0) -> Prediction:
+    """Deterministic pseudo-random prediction keyed on branch identity.
+
+    A fixed multiplicative hash so that the Rnd baseline and the combined
+    heuristic's Default make identical choices for the same branch, across
+    runs and datasets.
+    """
+    h = (address * 2654435761 + seed * 40503 + 0x9E3779B9) & 0xFFFFFFFF
+    h ^= h >> 13
+    return Prediction.TAKEN if h & 0x10000 else Prediction.NOT_TAKEN
+
+
+class StaticPredictor:
+    """Base: a fixed per-branch prediction over a classified program."""
+
+    name = "static"
+
+    def __init__(self, analysis: ProgramAnalysis | Executable) -> None:
+        if isinstance(analysis, Executable):
+            analysis = classify_branches(analysis)
+        self.analysis = analysis
+        self._predictions: dict[int, Prediction] | None = None
+
+    def _predict(self, branch: BranchInfo) -> Prediction:
+        raise NotImplementedError
+
+    def predictions(self) -> dict[int, Prediction]:
+        """Prediction for every conditional branch in the program."""
+        if self._predictions is None:
+            self._predictions = {
+                addr: self._predict(branch)
+                for addr, branch in self.analysis.branches.items()
+            }
+        return self._predictions
+
+    def prediction_map(self) -> dict[int, bool]:
+        """address -> predict-taken, as the sequence analyzer consumes it."""
+        return {addr: p.as_bool for addr, p in self.predictions().items()}
+
+
+class TakenPredictor(StaticPredictor):
+    """Always predict the target successor (Table 2's Tgt)."""
+
+    name = "taken"
+
+    def _predict(self, branch: BranchInfo) -> Prediction:
+        return Prediction.TAKEN
+
+
+class NotTakenPredictor(StaticPredictor):
+    """Always predict the fall-through successor."""
+
+    name = "not_taken"
+
+    def _predict(self, branch: BranchInfo) -> Prediction:
+        return Prediction.NOT_TAKEN
+
+
+class RandomPredictor(StaticPredictor):
+    """Deterministic per-branch coin flip (Table 2's Rnd)."""
+
+    name = "random"
+
+    def __init__(self, analysis, seed: int = 0) -> None:
+        super().__init__(analysis)
+        self.seed = seed
+
+    def _predict(self, branch: BranchInfo) -> Prediction:
+        return branch_random(branch.address, self.seed)
+
+
+class BTFNTPredictor(StaticPredictor):
+    """Backward taken, forward not taken — the hardware convention the DEC
+    Alpha and MIPS R4000 bake in."""
+
+    name = "btfnt"
+
+    def _predict(self, branch: BranchInfo) -> Prediction:
+        return (Prediction.TAKEN if branch.is_backward
+                else Prediction.NOT_TAKEN)
+
+
+class PerfectPredictor(StaticPredictor):
+    """The perfect *static* predictor: the more frequent edge per branch.
+
+    Only branches that executed in the profile get a meaningful choice;
+    never-executed branches default to taken (they contribute no misses).
+    """
+
+    name = "perfect"
+
+    def __init__(self, analysis, profile: EdgeProfile) -> None:
+        super().__init__(analysis)
+        self.profile = profile
+
+    def _predict(self, branch: BranchInfo) -> Prediction:
+        taken = self.profile.taken_count(branch.address)
+        not_taken = self.profile.not_taken_count(branch.address)
+        return (Prediction.TAKEN if taken >= not_taken
+                else Prediction.NOT_TAKEN)
+
+
+class LoopRandomPredictor(StaticPredictor):
+    """Loop predictor on loop branches, random on non-loop branches — the
+    Loop+Rand comparator used throughout Sections 3 and 6."""
+
+    name = "loop+rand"
+
+    def __init__(self, analysis, seed: int = 0) -> None:
+        super().__init__(analysis)
+        self.seed = seed
+
+    def _predict(self, branch: BranchInfo) -> Prediction:
+        if branch.is_loop_branch:
+            return branch.loop_prediction
+        return branch_random(branch.address, self.seed)
+
+
+class HeuristicPredictor(StaticPredictor):
+    """The paper's program-based predictor.
+
+    Loop branches use the loop predictor. Non-loop branches march through
+    *order* (default: the paper's Point -> Call -> Opcode -> Return -> Store
+    -> Loop -> Guard) and take the first applicable heuristic's prediction;
+    branches no heuristic covers fall back to the random Default.
+
+    ``attribution`` records, per branch address, which rule decided it:
+    a heuristic name, ``"LoopPredictor"``, or ``"Default"``.
+    """
+
+    name = "heuristic"
+
+    _DEFAULT_POLICIES = ("random", "taken", "not_taken")
+
+    def __init__(self, analysis, order: tuple[str, ...] = PAPER_ORDER,
+                 seed: int = 0, default: str = "random") -> None:
+        super().__init__(analysis)
+        unknown = set(order) - set(HEURISTICS)
+        if unknown:
+            raise ValueError(f"unknown heuristics in order: {sorted(unknown)}")
+        if default not in self._DEFAULT_POLICIES:
+            raise ValueError(f"unknown default policy {default!r}")
+        self.order = tuple(order)
+        self.seed = seed
+        self.default = default
+        self.attribution: dict[int, str] = {}
+
+    def _default_prediction(self, branch: BranchInfo) -> Prediction:
+        if self.default == "taken":
+            return Prediction.TAKEN
+        if self.default == "not_taken":
+            return Prediction.NOT_TAKEN
+        return branch_random(branch.address, self.seed)
+
+    def _predict(self, branch: BranchInfo) -> Prediction:
+        if branch.is_loop_branch:
+            self.attribution[branch.address] = "LoopPredictor"
+            return branch.loop_prediction
+        pa = self.analysis.analysis_of(branch)
+        for name in self.order:
+            prediction = HEURISTICS[name](branch, pa)
+            if prediction is not None:
+                self.attribution[branch.address] = name
+                return prediction
+        self.attribution[branch.address] = "Default"
+        return self._default_prediction(branch)
+
+
+class VotingPredictor(StaticPredictor):
+    """The combination alternative the paper mentions but does not evaluate:
+    "a voting protocol with weighings" (Section 5).
+
+    Every applicable heuristic votes for its predicted successor with a
+    per-heuristic weight; the heavier side wins. With uniform weights this
+    is majority voting. Ties (including the no-heuristic case) fall back to
+    the same random Default stream as :class:`HeuristicPredictor`, keeping
+    the comparison between the two combiners fair. Loop branches use the
+    loop predictor, exactly as in the priority-order combination.
+    """
+
+    name = "voting"
+
+    def __init__(self, analysis, weights: dict[str, float] | None = None,
+                 seed: int = 0) -> None:
+        super().__init__(analysis)
+        self.weights = dict(weights) if weights else \
+            {name: 1.0 for name in HEURISTICS}
+        unknown = set(self.weights) - set(HEURISTICS)
+        if unknown:
+            raise ValueError(f"unknown heuristics in weights: "
+                             f"{sorted(unknown)}")
+        self.seed = seed
+        self.attribution: dict[int, str] = {}
+
+    def _predict(self, branch: BranchInfo) -> Prediction:
+        if branch.is_loop_branch:
+            self.attribution[branch.address] = "LoopPredictor"
+            return branch.loop_prediction
+        pa = self.analysis.analysis_of(branch)
+        taken_weight = 0.0
+        not_taken_weight = 0.0
+        for name, weight in self.weights.items():
+            prediction = HEURISTICS[name](branch, pa)
+            if prediction is None:
+                continue
+            if prediction is Prediction.TAKEN:
+                taken_weight += weight
+            else:
+                not_taken_weight += weight
+        if taken_weight > not_taken_weight:
+            self.attribution[branch.address] = "Vote"
+            return Prediction.TAKEN
+        if not_taken_weight > taken_weight:
+            self.attribution[branch.address] = "Vote"
+            return Prediction.NOT_TAKEN
+        self.attribution[branch.address] = "Default"
+        return branch_random(branch.address, self.seed)

@@ -1,0 +1,47 @@
+"""Trace-based sequence-length experiments (Section 6, Graphs 4-11).
+
+Glue between the predictors and the simulator's online
+:class:`~repro.sim.trace.SequenceAnalyzer`: build the three prediction maps
+the paper compares (Perfect, Heuristic, Loop+Rand), run the program once
+with all three analyzers attached, and return their distributions.
+"""
+
+from __future__ import annotations
+
+from repro.core.classify import ProgramAnalysis, classify_branches
+from repro.core.predictors import (
+    HeuristicPredictor, LoopRandomPredictor, PerfectPredictor,
+)
+from repro.isa.program import Executable
+from repro.sim import run_with_sequences
+from repro.sim.profile import EdgeProfile
+from repro.sim.trace import SequenceAnalyzer
+
+__all__ = ["sequence_experiment", "PAPER_SEQUENCE_PREDICTORS"]
+
+PAPER_SEQUENCE_PREDICTORS = ("Loop+Rand", "Heuristic", "Perfect")
+
+
+def sequence_experiment(
+    executable: Executable,
+    profile: EdgeProfile,
+    inputs: list | None = None,
+    analysis: ProgramAnalysis | None = None,
+    max_instructions: int = 200_000_000,
+) -> dict[str, SequenceAnalyzer]:
+    """Run one execution measuring the sequence-length distributions of the
+    paper's three predictors simultaneously.
+
+    *profile* must come from an identical prior run (same inputs); it
+    defines the perfect predictor. Returns analyzers keyed
+    ``"Loop+Rand" | "Heuristic" | "Perfect"``.
+    """
+    if analysis is None:
+        analysis = classify_branches(executable)
+    predictions = {
+        "Loop+Rand": LoopRandomPredictor(analysis).prediction_map(),
+        "Heuristic": HeuristicPredictor(analysis).prediction_map(),
+        "Perfect": PerfectPredictor(analysis, profile).prediction_map(),
+    }
+    return run_with_sequences(executable, predictions, inputs=inputs,
+                              max_instructions=max_instructions)

@@ -1,0 +1,25 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+``tables.tableN(runner)`` / ``graphs.graphN(runner)`` compute the data;
+each result renders itself as text. ``python -m repro.harness`` prints the
+full report.
+"""
+
+from repro.harness.graphs import (
+    Graph1, Graph13, Graphs2And3, SEQUENCE_BENCHMARKS, SequenceGraphs,
+    graph1, graph12, graph13, graphs2_3, graphs4_11,
+)
+from repro.harness.report import TextTable, cd_cell, mean_std, pct
+from repro.harness.runner import BenchmarkRun, SuiteRunner
+from repro.harness.tables import (
+    table1, table2, table3, table4, table5, table6, table7,
+)
+
+__all__ = [
+    "SuiteRunner", "BenchmarkRun",
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+    "graph1", "graphs2_3", "graphs4_11", "graph12", "graph13",
+    "Graph1", "Graphs2And3", "SequenceGraphs", "Graph13",
+    "SEQUENCE_BENCHMARKS",
+    "TextTable", "pct", "cd_cell", "mean_std",
+]

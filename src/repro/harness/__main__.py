@@ -1,0 +1,74 @@
+"""``python -m repro.harness`` — print the full paper reproduction report.
+
+Options:
+    --quick          use the 'small' datasets and skip the trace experiments
+    --tables N,M     only the listed tables (1-7)
+    --graphs N,M     only the listed graphs (1-13; 4 means all of 4-11)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import (
+    SuiteRunner, graph1, graph12, graph13, graphs2_3, graphs4_11,
+    table1, table2, table3, table4, table5, table6, table7,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate every table and figure of "
+                    "Ball & Larus, PLDI 1993.")
+    parser.add_argument("--tables", default="1,2,3,4,5,6,7",
+                        help="comma-separated table numbers")
+    parser.add_argument("--graphs", default="1,2,4,12,13",
+                        help="comma-separated graph numbers")
+    args = parser.parse_args(argv)
+
+    tables = {int(t) for t in args.tables.split(",") if t}
+    graphs = {int(g) for g in args.graphs.split(",") if g}
+    runner = SuiteRunner()
+
+    start = time.time()
+    generators = {
+        1: lambda: table1(runner).render(),
+        2: lambda: table2(runner).render(),
+        3: lambda: table3(runner).render(),
+        4: lambda: table4(runner).render(),
+        5: lambda: table5(runner).render(),
+        6: lambda: table6(runner).render(),
+        7: lambda: table7(runner).render(),
+    }
+    for number in sorted(tables):
+        print(generators[number]())
+        print()
+
+    if 1 in graphs:
+        print(graph1(runner).describe())
+        print()
+    if 2 in graphs or 3 in graphs:
+        print(graphs2_3(runner).describe())
+        print()
+    if graphs & set(range(4, 12)):
+        for sg in graphs4_11(runner):
+            print(sg.describe())
+        print()
+    if 12 in graphs:
+        family = graph12()
+        print("Graph 12 model: f(m,100) for m=0.025..0.30:")
+        for m, curve in family.items():
+            print(f"  m={m:.3f}: f(100)={curve[-1]:.3f}")
+        print()
+    if 13 in graphs:
+        print(graph13(runner).describe())
+
+    print(f"\n[done in {time.time() - start:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

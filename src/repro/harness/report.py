@@ -1,0 +1,69 @@
+"""Plain-text table rendering for the harness (paper-style output)."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["TextTable", "pct", "cd_cell", "mean_std"]
+
+
+def pct(fraction: float) -> str:
+    """Render a fraction as a whole-number percentage, the paper's style."""
+    return f"{100 * fraction:.0f}"
+
+
+def cd_cell(miss: float, perfect: float) -> str:
+    """The paper's C/D cell: predictor miss % / perfect miss %."""
+    return f"{pct(miss)}/{pct(perfect)}"
+
+
+def mean_std(values: list[float]) -> tuple[float, float]:
+    """Mean and (population) standard deviation, 0s for empty input."""
+    if not values:
+        return 0.0, 0.0
+    mean = sum(values) / len(values)
+    var = sum((v - mean) ** 2 for v in values) / len(values)
+    return mean, math.sqrt(var)
+
+
+class TextTable:
+    """Minimal fixed-width text table builder."""
+
+    def __init__(self, columns: list[str], title: str = "") -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+        self._separators: set[int] = set()
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}")
+        self.rows.append([str(c) for c in cells])
+
+    def add_separator(self) -> None:
+        self._separators.add(len(self.rows))
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: list[str]) -> str:
+            return "  ".join(c.ljust(w) if i == 0 else c.rjust(w)
+                             for i, (c, w) in enumerate(zip(cells, widths)))
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self.columns))
+        lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+        for index, row in enumerate(self.rows):
+            if index in self._separators:
+                lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+            lines.append(fmt(row))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,111 @@
+"""Suite execution and caching for the experiment harness.
+
+A :class:`BenchmarkRun` bundles everything the table/graph generators need
+about one (benchmark, dataset) execution: the compiled executable, the
+static :class:`~repro.core.classify.ProgramAnalysis`, and the dynamic
+:class:`~repro.sim.profile.EdgeProfile`. :class:`SuiteRunner` memoizes
+compilations (per benchmark) and runs (per benchmark x dataset) so that
+regenerating all seven tables costs one pass over the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.bench.suite import Benchmark, Dataset, get, suite
+from repro.core.classify import ProgramAnalysis, classify_branches
+from repro.isa.program import Executable
+from repro.sim import Machine
+from repro.sim.profile import EdgeProfile
+
+__all__ = ["BenchmarkRun", "SuiteRunner"]
+
+_MAX_INSTRUCTIONS = 100_000_000
+
+
+@dataclass
+class BenchmarkRun:
+    """One profiled execution plus its static analysis."""
+
+    benchmark: Benchmark
+    dataset: Dataset
+    executable: Executable
+    analysis: ProgramAnalysis
+    profile: EdgeProfile
+    output: str
+    instr_count: int
+
+    @property
+    def name(self) -> str:
+        return self.benchmark.name
+
+    @cached_property
+    def loop_addresses(self) -> list[int]:
+        """Addresses of loop branches (static)."""
+        return [b.address for b in self.analysis.loop_branches()]
+
+    @cached_property
+    def non_loop_addresses(self) -> list[int]:
+        """Addresses of non-loop branches (static)."""
+        return [b.address for b in self.analysis.non_loop_branches()]
+
+    @cached_property
+    def executed_non_loop(self) -> list[int]:
+        return [a for a in self.non_loop_addresses
+                if self.profile.execution_count(a) > 0]
+
+    @property
+    def dynamic_total(self) -> int:
+        return self.profile.total_dynamic_branches
+
+    def dynamic_count(self, addresses) -> int:
+        return sum(self.profile.execution_count(a) for a in addresses)
+
+    @property
+    def non_loop_fraction(self) -> float:
+        """Fraction of dynamic branches that are non-loop (Table 2's %All)."""
+        if self.dynamic_total == 0:
+            return 0.0
+        return self.dynamic_count(self.non_loop_addresses) / self.dynamic_total
+
+
+class SuiteRunner:
+    """Compiles and profiles suite benchmarks on demand, with memoization."""
+
+    def __init__(self, benchmarks: list[str] | None = None,
+                 max_instructions: int = _MAX_INSTRUCTIONS) -> None:
+        self.benchmark_names = benchmarks or [b.name for b in suite()]
+        self.max_instructions = max_instructions
+        self._compiled: dict[str, tuple[Executable, ProgramAnalysis]] = {}
+        self._runs: dict[tuple[str, str], BenchmarkRun] = {}
+
+    def compiled(self, name: str) -> tuple[Executable, ProgramAnalysis]:
+        """The (executable, analysis) pair for *name*, compiled once."""
+        if name not in self._compiled:
+            executable = get(name).compile()
+            self._compiled[name] = (executable,
+                                    classify_branches(executable))
+        return self._compiled[name]
+
+    def run(self, name: str, dataset: str = "ref") -> BenchmarkRun:
+        """Profile one benchmark execution (memoized)."""
+        key = (name, dataset)
+        if key not in self._runs:
+            benchmark = get(name)
+            ds = benchmark.dataset(dataset)
+            executable, analysis = self.compiled(name)
+            profile = EdgeProfile()
+            machine = Machine(executable, inputs=list(ds.inputs),
+                              observers=[profile],
+                              max_instructions=self.max_instructions)
+            status = machine.run()
+            self._runs[key] = BenchmarkRun(
+                benchmark=benchmark, dataset=ds, executable=executable,
+                analysis=analysis, profile=profile, output=status.output,
+                instr_count=status.instr_count)
+        return self._runs[key]
+
+    def all_runs(self, dataset: str = "ref") -> list[BenchmarkRun]:
+        """Profiled runs for every benchmark, in suite order."""
+        return [self.run(name, dataset) for name in self.benchmark_names]

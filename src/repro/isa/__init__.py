@@ -1,0 +1,36 @@
+"""MIPS-like instruction set substrate.
+
+This package stands in for the MIPS R2000/R3000 executables that QPT analyzed
+in the paper: an instruction data model (:mod:`repro.isa.instructions`),
+register conventions (:mod:`repro.isa.registers`), linked-program containers
+(:mod:`repro.isa.program`), and a two-pass assembler
+(:mod:`repro.isa.assembler`).
+"""
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instructions import Instruction, Kind, Opcode, OPCODES_BY_NAME
+from repro.isa.program import (
+    DATA_BASE, GP_VALUE, STACK_TOP, TEXT_BASE, WORD_SIZE, Executable, Procedure,
+)
+from repro.isa.registers import (
+    A0, A1, A2, A3, FP, GP, RA, SP, V0, V1, ZERO,
+    fp_reg_name, parse_fp_register, parse_register, reg_name,
+)
+
+__all__ = [
+    "AssemblerError",
+    "assemble",
+    "Instruction",
+    "Kind",
+    "Opcode",
+    "OPCODES_BY_NAME",
+    "Executable",
+    "Procedure",
+    "TEXT_BASE",
+    "DATA_BASE",
+    "GP_VALUE",
+    "STACK_TOP",
+    "WORD_SIZE",
+    "A0", "A1", "A2", "A3", "FP", "GP", "RA", "SP", "V0", "V1", "ZERO",
+    "reg_name", "fp_reg_name", "parse_register", "parse_fp_register",
+]

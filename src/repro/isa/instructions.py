@@ -1,0 +1,289 @@
+"""Instruction data model for the MIPS-like target ISA.
+
+Every instruction is a frozen :class:`Instruction` tagged with an
+:class:`Opcode`. Opcodes carry a :class:`Kind` that classifies them the way
+the Ball-Larus heuristics need: conditional branch vs. call vs. return vs.
+load vs. store, etc.
+
+Design notes (divergences from real MIPS, all irrelevant to prediction):
+
+* No branch delay slots.
+* ``mul``, ``div``, and ``rem`` write a destination register directly instead
+  of going through ``lo``/``hi``.
+* FP registers each hold a full double; there is no even/odd pairing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.isa.registers import fp_reg_name, reg_name
+
+__all__ = ["Kind", "Opcode", "Instruction", "OPCODES_BY_NAME"]
+
+
+class Kind(enum.Enum):
+    """Structural classification of an opcode."""
+
+    ALU_R = enum.auto()       #: reg-reg-reg integer ALU
+    ALU_I = enum.auto()       #: reg-reg-imm integer ALU
+    SHIFT_I = enum.auto()     #: shift by immediate amount
+    LUI = enum.auto()         #: load upper immediate
+    LOAD = enum.auto()        #: integer load (rt <- mem[rs+imm])
+    STORE = enum.auto()       #: integer store (mem[rs+imm] <- rt)
+    FP_LOAD = enum.auto()     #: FP double load (ft <- mem[rs+imm])
+    FP_STORE = enum.auto()    #: FP double store (mem[rs+imm] <- ft)
+    BRANCH2 = enum.auto()     #: two-register conditional branch (beq/bne)
+    BRANCH1 = enum.auto()     #: one-register compare-to-zero branch
+    FP_BRANCH = enum.auto()   #: branch on FP condition flag (bc1t/bc1f)
+    JUMP = enum.auto()        #: unconditional direct jump
+    CALL = enum.auto()        #: direct call (jal)
+    JUMP_REG = enum.auto()    #: indirect jump (jr) — return when target is $ra
+    CALL_REG = enum.auto()    #: indirect call (jalr)
+    FP_R = enum.auto()        #: FP reg-reg arithmetic
+    FP_CMP = enum.auto()      #: FP compare, sets the FP condition flag
+    FP_MOVE = enum.auto()     #: mtc1/mfc1/cvt — moves between files
+    SYSCALL = enum.auto()
+    NOP = enum.auto()
+
+
+@dataclass(frozen=True)
+class Opcode:
+    """An opcode: its assembly mnemonic plus structural kind."""
+
+    name: str
+    kind: Kind
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+def _ops(kind: Kind, *names: str) -> list[Opcode]:
+    return [Opcode(name, kind) for name in names]
+
+
+_ALL_OPCODES: list[Opcode] = (
+    _ops(Kind.ALU_R, "add", "addu", "sub", "subu", "and", "or", "xor", "nor",
+         "slt", "sltu", "sllv", "srlv", "srav", "mul", "div", "rem")
+    + _ops(Kind.ALU_I, "addi", "addiu", "andi", "ori", "xori", "slti", "sltiu")
+    + _ops(Kind.SHIFT_I, "sll", "srl", "sra")
+    + _ops(Kind.LUI, "lui")
+    + _ops(Kind.LOAD, "lw", "lb", "lbu")
+    + _ops(Kind.STORE, "sw", "sb")
+    + _ops(Kind.FP_LOAD, "ldc1")
+    + _ops(Kind.FP_STORE, "sdc1")
+    + _ops(Kind.BRANCH2, "beq", "bne")
+    + _ops(Kind.BRANCH1, "blez", "bgtz", "bltz", "bgez")
+    + _ops(Kind.FP_BRANCH, "bc1t", "bc1f")
+    + _ops(Kind.JUMP, "j")
+    + _ops(Kind.CALL, "jal")
+    + _ops(Kind.JUMP_REG, "jr")
+    + _ops(Kind.CALL_REG, "jalr")
+    + _ops(Kind.FP_R, "add.d", "sub.d", "mul.d", "div.d", "neg.d", "abs.d",
+           "mov.d", "sqrt.d")
+    + _ops(Kind.FP_CMP, "c.eq.d", "c.lt.d", "c.le.d")
+    + _ops(Kind.FP_MOVE, "mtc1", "mfc1", "cvt.d.w", "cvt.w.d")
+    + _ops(Kind.SYSCALL, "syscall")
+    + _ops(Kind.NOP, "nop")
+)
+
+#: Lookup from mnemonic to opcode. The assembler and code generator use this.
+OPCODES_BY_NAME: dict[str, Opcode] = {op.name: op for op in _ALL_OPCODES}
+
+_BRANCH_KINDS = frozenset({Kind.BRANCH2, Kind.BRANCH1, Kind.FP_BRANCH})
+_LOAD_KINDS = frozenset({Kind.LOAD, Kind.FP_LOAD})
+_STORE_KINDS = frozenset({Kind.STORE, Kind.FP_STORE})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One machine instruction.
+
+    Field usage depends on the opcode kind:
+
+    * ``rd``/``rs``/``rt`` — integer register numbers (dest, src1, src2).
+    * ``fd``/``fs``/``ft`` — FP register numbers.
+    * ``imm`` — immediate operand, shift amount, or load/store displacement.
+    * ``label`` — symbolic branch/jump/call target (resolved to ``addr``
+      by the assembler; analyses use ``target_address``).
+
+    ``address`` is assigned at link time by :class:`repro.isa.program.Executable`.
+    """
+
+    op: Opcode
+    rd: int | None = None
+    rs: int | None = None
+    rt: int | None = None
+    fd: int | None = None
+    fs: int | None = None
+    ft: int | None = None
+    imm: int | None = None
+    label: str | None = None
+    address: int = field(default=-1, compare=False)
+    target_address: int = field(default=-1, compare=False)
+    source_line: int = field(default=-1, compare=False)
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        """True for the two-way branches with fixed targets the paper studies."""
+        return self.op.kind in _BRANCH_KINDS
+
+    @property
+    def is_call(self) -> bool:
+        """True for direct and indirect calls."""
+        return self.op.kind in (Kind.CALL, Kind.CALL_REG)
+
+    @property
+    def is_return(self) -> bool:
+        """True for ``jr $ra`` — the procedure-return idiom."""
+        return self.op.kind is Kind.JUMP_REG and self.rs == 31
+
+    @property
+    def is_indirect_jump(self) -> bool:
+        """True for ``jr`` through a register other than ``$ra``."""
+        return self.op.kind is Kind.JUMP_REG and self.rs != 31
+
+    @property
+    def is_load(self) -> bool:
+        return self.op.kind in _LOAD_KINDS
+
+    @property
+    def is_store(self) -> bool:
+        return self.op.kind in _STORE_KINDS
+
+    @property
+    def is_jump(self) -> bool:
+        return self.op.kind is Kind.JUMP
+
+    @property
+    def ends_basic_block(self) -> bool:
+        """True if control may not fall through to the next instruction
+        unconditionally, i.e. this instruction terminates a basic block."""
+        return self.op.kind in (
+            Kind.BRANCH2, Kind.BRANCH1, Kind.FP_BRANCH, Kind.JUMP, Kind.JUMP_REG,
+        )
+
+    # -- dataflow ----------------------------------------------------------
+
+    def int_uses(self) -> tuple[int, ...]:
+        """Integer registers read by this instruction."""
+        k = self.op.kind
+        if k is Kind.ALU_R:
+            return (self.rs, self.rt)
+        if k in (Kind.ALU_I, Kind.SHIFT_I):
+            return (self.rs,)
+        if k in (Kind.LOAD, Kind.FP_LOAD):
+            return (self.rs,)
+        if k is Kind.STORE:
+            return (self.rs, self.rt)
+        if k is Kind.FP_STORE:
+            return (self.rs,)
+        if k is Kind.BRANCH2:
+            return (self.rs, self.rt)
+        if k is Kind.BRANCH1:
+            return (self.rs,)
+        if k in (Kind.JUMP_REG, Kind.CALL_REG):
+            return (self.rs,)
+        if self.op.name == "mtc1":
+            return (self.rt,)
+        if self.op.name == "syscall":
+            return (2, 4, 5, 6, 7)  # $v0 selects the service; $a0-$a3 args
+        return ()
+
+    def int_defs(self) -> tuple[int, ...]:
+        """Integer registers written by this instruction."""
+        k = self.op.kind
+        if k is Kind.ALU_R:
+            return (self.rd,)
+        if k in (Kind.ALU_I, Kind.SHIFT_I, Kind.LUI, Kind.LOAD):
+            return (self.rt,)
+        if k is Kind.CALL:
+            return (31,)
+        if k is Kind.CALL_REG:
+            return (self.rd if self.rd is not None else 31,)
+        if self.op.name == "mfc1":
+            return (self.rt,)
+        if self.op.name == "cvt.w.d":
+            return ()
+        if k is Kind.SYSCALL:
+            return (2,)  # read services return in $v0
+        return ()
+
+    def fp_uses(self) -> tuple[int, ...]:
+        """FP registers read by this instruction."""
+        name = self.op.name
+        k = self.op.kind
+        if k is Kind.FP_R:
+            if name in ("neg.d", "abs.d", "mov.d", "sqrt.d"):
+                return (self.fs,)
+            return (self.fs, self.ft)
+        if k is Kind.FP_CMP:
+            return (self.fs, self.ft)
+        if k is Kind.FP_STORE:
+            return (self.ft,)
+        if name in ("cvt.d.w", "cvt.w.d", "mfc1"):
+            return (self.fs,)
+        return ()
+
+    def fp_defs(self) -> tuple[int, ...]:
+        """FP registers written by this instruction."""
+        name = self.op.name
+        k = self.op.kind
+        if k in (Kind.FP_R, Kind.FP_LOAD):
+            return (self.fd,) if k is Kind.FP_R else (self.ft,)
+        if name in ("mtc1", "cvt.d.w", "cvt.w.d"):
+            return (self.fd if name != "mtc1" else self.fs,)
+        return ()
+
+    # -- rendering ----------------------------------------------------------
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def render(self) -> str:
+        """Render in assembly syntax (labels kept symbolic if present)."""
+        op = self.op
+        name = op.name
+        k = op.kind
+        tgt = self.label if self.label is not None else (
+            f"0x{self.target_address:x}" if self.target_address >= 0 else "?")
+        if k is Kind.ALU_R:
+            return f"{name} {reg_name(self.rd)}, {reg_name(self.rs)}, {reg_name(self.rt)}"
+        if k is Kind.ALU_I:
+            return f"{name} {reg_name(self.rt)}, {reg_name(self.rs)}, {self.imm}"
+        if k is Kind.SHIFT_I:
+            return f"{name} {reg_name(self.rt)}, {reg_name(self.rs)}, {self.imm}"
+        if k is Kind.LUI:
+            return f"{name} {reg_name(self.rt)}, {self.imm}"
+        if k in (Kind.LOAD, Kind.STORE):
+            return f"{name} {reg_name(self.rt)}, {self.imm}({reg_name(self.rs)})"
+        if k in (Kind.FP_LOAD, Kind.FP_STORE):
+            return f"{name} {fp_reg_name(self.ft)}, {self.imm}({reg_name(self.rs)})"
+        if k is Kind.BRANCH2:
+            return f"{name} {reg_name(self.rs)}, {reg_name(self.rt)}, {tgt}"
+        if k is Kind.BRANCH1:
+            return f"{name} {reg_name(self.rs)}, {tgt}"
+        if k is Kind.FP_BRANCH:
+            return f"{name} {tgt}"
+        if k in (Kind.JUMP, Kind.CALL):
+            return f"{name} {tgt}"
+        if k is Kind.JUMP_REG:
+            return f"{name} {reg_name(self.rs)}"
+        if k is Kind.CALL_REG:
+            return f"{name} {reg_name(self.rs)}"
+        if k is Kind.FP_R:
+            if name in ("neg.d", "abs.d", "mov.d", "sqrt.d"):
+                return f"{name} {fp_reg_name(self.fd)}, {fp_reg_name(self.fs)}"
+            return f"{name} {fp_reg_name(self.fd)}, {fp_reg_name(self.fs)}, {fp_reg_name(self.ft)}"
+        if k is Kind.FP_CMP:
+            return f"{name} {fp_reg_name(self.fs)}, {fp_reg_name(self.ft)}"
+        if name == "mtc1":
+            return f"{name} {reg_name(self.rt)}, {fp_reg_name(self.fs)}"
+        if name == "mfc1":
+            return f"{name} {reg_name(self.rt)}, {fp_reg_name(self.fs)}"
+        if name in ("cvt.d.w", "cvt.w.d"):
+            return f"{name} {fp_reg_name(self.fd)}, {fp_reg_name(self.fs)}"
+        return name

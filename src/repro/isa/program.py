@@ -1,0 +1,174 @@
+"""Executable and procedure containers.
+
+An :class:`Executable` is the analogue of the MIPS a.out files QPT consumed:
+a flat text segment of instructions grouped into named procedures, plus an
+initialized data segment and a symbol table. All analyses (CFG construction,
+branch classification, the heuristics) and the simulator operate on this
+representation, mirroring the paper's "information available from an
+executable file" constraint.
+
+Memory layout (SPIM-like):
+
+* text at ``TEXT_BASE`` (0x0040_0000), 4 bytes per instruction;
+* data at ``DATA_BASE`` (0x1000_0000) with ``$gp`` preset to ``GP_VALUE``
+  (0x1000_8000) so the first 64 KiB of globals are addressable as
+  ``imm($gp)``;
+* heap grows up from the end of the data segment (``sbrk`` syscall);
+* stack grows down from ``STACK_TOP``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction
+
+__all__ = [
+    "TEXT_BASE",
+    "DATA_BASE",
+    "GP_VALUE",
+    "STACK_TOP",
+    "WORD_SIZE",
+    "Procedure",
+    "Executable",
+]
+
+TEXT_BASE = 0x0040_0000
+DATA_BASE = 0x1000_0000
+GP_VALUE = 0x1000_8000
+STACK_TOP = 0x7FFF_FFFC
+WORD_SIZE = 4
+
+
+@dataclass
+class Procedure:
+    """A named, contiguous run of instructions in the text segment."""
+
+    name: str
+    start_index: int
+    end_index: int  #: exclusive
+    executable: "Executable" = field(repr=False, default=None)
+
+    @property
+    def instructions(self) -> list[Instruction]:
+        return self.executable.instructions[self.start_index:self.end_index]
+
+    @property
+    def start_address(self) -> int:
+        return TEXT_BASE + WORD_SIZE * self.start_index
+
+    @property
+    def end_address(self) -> int:
+        """Address one past the last instruction."""
+        return TEXT_BASE + WORD_SIZE * self.end_index
+
+    def __len__(self) -> int:
+        return self.end_index - self.start_index
+
+    def contains_address(self, addr: int) -> bool:
+        return self.start_address <= addr < self.end_address
+
+
+class Executable:
+    """A linked program: text, data, and symbols.
+
+    Parameters
+    ----------
+    instructions:
+        Flat list of instructions; entry *i* lives at ``TEXT_BASE + 4*i``.
+        Instructions must already have ``address`` and ``target_address``
+        resolved (the assembler does this).
+    procedures:
+        Ordered, non-overlapping cover of the instruction list.
+    data:
+        Initialized data-segment image, based at ``DATA_BASE``.
+    symbols:
+        Label name -> absolute address (text or data).
+    entry:
+        Address where execution starts (defaults to the first instruction).
+    """
+
+    def __init__(
+        self,
+        instructions: list[Instruction],
+        procedures: list[Procedure],
+        data: bytes = b"",
+        symbols: dict[str, int] | None = None,
+        entry: int | None = None,
+    ) -> None:
+        self.instructions = instructions
+        self.procedures = procedures
+        for proc in procedures:
+            proc.executable = self
+        self.data = bytes(data)
+        self.symbols = dict(symbols or {})
+        self.entry = entry if entry is not None else TEXT_BASE
+        self._procs_by_name = {p.name: p for p in procedures}
+        # heap begins after data, 8-byte aligned
+        self.heap_start = (DATA_BASE + len(self.data) + 7) & ~7
+
+    # -- lookup --------------------------------------------------------------
+
+    def procedure(self, name: str) -> Procedure:
+        """Return the procedure named *name* (KeyError if absent)."""
+        return self._procs_by_name[name]
+
+    def procedure_names(self) -> list[str]:
+        return [p.name for p in self.procedures]
+
+    def instruction_at(self, addr: int) -> Instruction:
+        """Return the instruction at text address *addr*."""
+        index = (addr - TEXT_BASE) // WORD_SIZE
+        if not 0 <= index < len(self.instructions) or addr % WORD_SIZE:
+            raise IndexError(f"no instruction at address 0x{addr:x}")
+        return self.instructions[index]
+
+    def procedure_containing(self, addr: int) -> Procedure:
+        """Return the procedure whose text range contains *addr*."""
+        lo, hi = 0, len(self.procedures)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            proc = self.procedures[mid]
+            if addr < proc.start_address:
+                hi = mid
+            elif addr >= proc.end_address:
+                lo = mid + 1
+            else:
+                return proc
+        raise IndexError(f"address 0x{addr:x} is not inside any procedure")
+
+    # -- stats ---------------------------------------------------------------
+
+    @property
+    def text_size(self) -> int:
+        """Text segment size in bytes."""
+        return WORD_SIZE * len(self.instructions)
+
+    @property
+    def code_size_kb(self) -> float:
+        """Object-code size in KiB (text + data), as reported in Table 1."""
+        return (self.text_size + len(self.data)) / 1024.0
+
+    def conditional_branches(self):
+        """Yield ``(procedure, index_within_procedure, instruction)`` for
+        every two-way conditional branch in the program."""
+        for proc in self.procedures:
+            for i, inst in enumerate(proc.instructions):
+                if inst.is_conditional_branch:
+                    yield proc, i, inst
+
+    # -- rendering -------------------------------------------------------------
+
+    def listing(self) -> str:
+        """Human-readable disassembly listing of the whole text segment."""
+        lines: list[str] = []
+        for proc in self.procedures:
+            lines.append(f"\n{proc.name}:  # 0x{proc.start_address:x}")
+            for inst in proc.instructions:
+                lines.append(f"  0x{inst.address:x}: {inst.render()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<Executable {len(self.procedures)} procs, "
+                f"{len(self.instructions)} insts, "
+                f"{len(self.data)} data bytes>")

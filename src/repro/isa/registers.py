@@ -1,0 +1,136 @@
+"""Register definitions for the MIPS-like target ISA.
+
+The register file mirrors the MIPS R2000 conventions that the Ball-Larus
+heuristics depend on:
+
+* ``$sp`` addresses procedure-local (stack) storage,
+* ``$gp`` addresses global storage — the Pointer heuristic ignores loads
+  relative to ``$gp``,
+* ``$zero`` is hard-wired to zero, so ``beq $zero, rM`` is the canonical
+  null-pointer test the Pointer heuristic looks for.
+
+Integer registers are named ``$0``..``$31`` with the standard MIPS aliases;
+floating-point registers are ``$f0``..``$f31`` and each holds one
+double-precision value (we do not model even/odd register pairing).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NUM_INT_REGS",
+    "NUM_FP_REGS",
+    "REG_NAMES",
+    "REG_NUMBERS",
+    "ZERO",
+    "AT",
+    "V0",
+    "V1",
+    "A0",
+    "A1",
+    "A2",
+    "A3",
+    "T_REGS",
+    "S_REGS",
+    "K0",
+    "K1",
+    "GP",
+    "SP",
+    "FP",
+    "RA",
+    "F0",
+    "F12",
+    "FP_ARG_REGS",
+    "FP_TEMP_REGS",
+    "FP_SAVED_REGS",
+    "reg_name",
+    "fp_reg_name",
+    "parse_register",
+    "is_fp_register_name",
+]
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+#: Canonical MIPS names, indexed by register number.
+REG_NAMES = (
+    "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+    "$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+    "$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+    "$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+)
+
+#: Map from every accepted spelling ("$t0", "$8", "t0") to register number.
+REG_NUMBERS: dict[str, int] = {}
+for _num, _name in enumerate(REG_NAMES):
+    REG_NUMBERS[_name] = _num
+    REG_NUMBERS[_name[1:]] = _num
+    REG_NUMBERS[f"${_num}"] = _num
+
+ZERO = 0
+AT = 1
+V0 = 2
+V1 = 3
+A0 = 4
+A1 = 5
+A2 = 6
+A3 = 7
+T_REGS = (8, 9, 10, 11, 12, 13, 14, 15, 24, 25)
+S_REGS = (16, 17, 18, 19, 20, 21, 22, 23)
+K0 = 26
+K1 = 27
+GP = 28
+SP = 29
+FP = 30
+RA = 31
+
+F0 = 0
+F12 = 12
+#: FP argument registers ($f12, $f14) per the MIPS o32 convention.
+FP_ARG_REGS = (12, 14)
+#: Caller-saved FP registers available to the register allocator.
+FP_TEMP_REGS = (4, 6, 8, 10, 16, 18)
+#: Callee-saved FP registers available to the register allocator.
+FP_SAVED_REGS = (20, 22, 24, 26, 28, 30)
+
+
+def reg_name(num: int) -> str:
+    """Return the canonical name of integer register *num*."""
+    if not 0 <= num < NUM_INT_REGS:
+        raise ValueError(f"integer register number out of range: {num}")
+    return REG_NAMES[num]
+
+
+def fp_reg_name(num: int) -> str:
+    """Return the canonical name of floating-point register *num*."""
+    if not 0 <= num < NUM_FP_REGS:
+        raise ValueError(f"FP register number out of range: {num}")
+    return f"$f{num}"
+
+
+def is_fp_register_name(text: str) -> bool:
+    """Return True if *text* spells a floating-point register (``$f0``...)."""
+    t = text.lstrip("$")
+    return len(t) >= 2 and t[0] == "f" and t[1:].isdigit()
+
+
+def parse_register(text: str) -> int:
+    """Parse an integer register name or number.
+
+    Accepts ``$t0``, ``t0``, and ``$8``. Raises ``ValueError`` for unknown
+    names (including FP register names — use :func:`parse_fp_register`).
+    """
+    try:
+        return REG_NUMBERS[text]
+    except KeyError:
+        raise ValueError(f"unknown integer register: {text!r}") from None
+
+
+def parse_fp_register(text: str) -> int:
+    """Parse an FP register name such as ``$f12`` or ``f12``."""
+    t = text.lstrip("$")
+    if not (t.startswith("f") and t[1:].isdigit()):
+        raise ValueError(f"unknown FP register: {text!r}")
+    num = int(t[1:])
+    if not 0 <= num < NUM_FP_REGS:
+        raise ValueError(f"FP register number out of range: {text!r}")
+    return num

@@ -1,0 +1,68 @@
+"""Simulator substrate: the QPT stand-in.
+
+Runs linked executables (:class:`~repro.sim.machine.Machine`) while streaming
+the events QPT's instrumentation counted: edge profiles
+(:class:`~repro.sim.profile.EdgeProfile`) and trace-based sequence analysis
+(:class:`~repro.sim.trace.SequenceAnalyzer`).
+"""
+
+from repro.isa.program import Executable
+from repro.sim.machine import (
+    ExitStatus, HALT_ADDRESS, InputExhausted, Machine, Observer,
+    SimulationError, SimulationLimitExceeded,
+)
+from repro.sim.memory import Memory, MemoryError_
+from repro.sim.profile import EdgeProfile
+from repro.sim.trace import BranchTrace, SequenceAnalyzer
+
+__all__ = [
+    "Machine",
+    "Observer",
+    "ExitStatus",
+    "HALT_ADDRESS",
+    "SimulationError",
+    "SimulationLimitExceeded",
+    "InputExhausted",
+    "Memory",
+    "MemoryError_",
+    "EdgeProfile",
+    "SequenceAnalyzer",
+    "BranchTrace",
+    "run_with_profile",
+    "run_with_sequences",
+]
+
+
+def run_with_profile(
+    executable: Executable,
+    inputs: list | None = None,
+    max_instructions: int = 200_000_000,
+) -> EdgeProfile:
+    """Run *executable* to completion and return its edge profile."""
+    profile = EdgeProfile()
+    machine = Machine(executable, inputs=inputs, observers=[profile],
+                      max_instructions=max_instructions)
+    machine.run()
+    return profile
+
+
+def run_with_sequences(
+    executable: Executable,
+    predictions_by_name: dict[str, dict[int, bool]],
+    inputs: list | None = None,
+    max_instructions: int = 200_000_000,
+) -> dict[str, SequenceAnalyzer]:
+    """Run *executable* once while measuring the sequence-length distribution
+    of several static predictors simultaneously.
+
+    *predictions_by_name* maps a label (e.g. ``"perfect"``) to a full
+    prediction map (branch address -> predict-taken). Returns the analyzers
+    keyed by the same labels.
+    """
+    analyzers = {name: SequenceAnalyzer(preds)
+                 for name, preds in predictions_by_name.items()}
+    machine = Machine(executable, inputs=inputs,
+                      observers=list(analyzers.values()),
+                      max_instructions=max_instructions)
+    machine.run()
+    return analyzers

@@ -1,0 +1,423 @@
+"""The ISA interpreter.
+
+This is our stand-in for running a QPT-instrumented binary: instead of
+rewriting the executable, the interpreter raises events at exactly the points
+QPT's instrumentation counted — conditional-branch outcomes (for edge
+profiles) and breaks in control (for trace analysis). Observers implementing
+:class:`Observer` subscribe to those events; the execution itself is
+otherwise a plain fetch-decode-execute loop with no timing model (the paper
+measures prediction accuracy, not cycles).
+
+Arithmetic follows MIPS semantics: 32-bit two's-complement wraparound,
+truncating division, logical/arithmetic shifts. Doubles are IEEE 754 via the
+host.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction
+from repro.isa.program import Executable, GP_VALUE, STACK_TOP, TEXT_BASE, WORD_SIZE
+from repro.sim.memory import Memory
+
+__all__ = [
+    "Machine",
+    "Observer",
+    "ExitStatus",
+    "SimulationError",
+    "SimulationLimitExceeded",
+    "InputExhausted",
+    "HALT_ADDRESS",
+]
+
+#: Sentinel return address: `jr $ra` to this halts the machine (used when a
+#: program's `main` returns and no exit syscall was made).
+HALT_ADDRESS = 0
+
+_INT_MIN = -(1 << 31)
+_WRAP = 1 << 32
+_SIGN = 1 << 31
+
+
+def _s32(value: int) -> int:
+    """Wrap *value* to signed 32-bit."""
+    value &= 0xFFFF_FFFF
+    return value - _WRAP if value & _SIGN else value
+
+
+class SimulationError(Exception):
+    """Raised on invalid execution (bad pc, bad syscall, ...)."""
+
+
+class SimulationLimitExceeded(SimulationError):
+    """Raised when the instruction budget is exhausted."""
+
+
+class InputExhausted(SimulationError):
+    """Raised when a read syscall finds no more input."""
+
+
+class Observer:
+    """Subscriber to execution events. Subclass and override what you need."""
+
+    def on_branch(self, inst: Instruction, taken: bool, instr_count: int) -> None:
+        """A conditional branch executed; *taken* is its outcome and
+        *instr_count* the number of instructions executed so far (including
+        this branch)."""
+
+    def on_indirect(self, inst: Instruction, instr_count: int) -> None:
+        """An indirect jump (non-return ``jr``) or indirect call (``jalr``)
+        executed — always a break in control under any static predictor."""
+
+    def on_finish(self, instr_count: int) -> None:
+        """Execution finished normally."""
+
+
+@dataclass
+class ExitStatus:
+    """Result of a completed run."""
+
+    exit_code: int
+    instr_count: int
+    dynamic_branches: int
+    output: str
+    machine: "Machine" = field(repr=False, default=None)
+
+
+class Machine:
+    """Interpreter for a linked :class:`Executable`.
+
+    Parameters
+    ----------
+    executable:
+        The program to run.
+    inputs:
+        Values consumed, in order, by the ``read_int`` / ``read_double`` /
+        ``read_char`` syscalls — this is how datasets are fed to benchmarks.
+    observers:
+        Event subscribers (edge profilers, sequence analyzers, tracers).
+    max_instructions:
+        Fuel limit; :class:`SimulationLimitExceeded` is raised beyond it.
+    """
+
+    def __init__(
+        self,
+        executable: Executable,
+        inputs: list | None = None,
+        observers: list[Observer] | None = None,
+        max_instructions: int = 200_000_000,
+    ) -> None:
+        self.executable = executable
+        self.memory = Memory()
+        if executable.data:
+            self.memory.write_bytes(0x1000_0000, executable.data)
+        self.regs = [0] * 32
+        self.fregs = [0.0] * 32
+        self.fp_cond = False
+        self.regs[28] = _s32(GP_VALUE)
+        self.regs[29] = STACK_TOP & ~7
+        self.regs[30] = self.regs[29]
+        self.regs[31] = HALT_ADDRESS
+        self.inputs = deque(inputs or [])
+        self.observers = list(observers or [])
+        self.max_instructions = max_instructions
+        self.output_parts: list[str] = []
+        self.instr_count = 0
+        self.dynamic_branches = 0
+        self.exit_code = 0
+        self._brk = executable.heap_start
+        self._insts = executable.instructions
+        # precomputed branch/jump target indices
+        self._tindex = [
+            (i.target_address - TEXT_BASE) // WORD_SIZE if i.target_address >= 0
+            else -1
+            for i in self._insts
+        ]
+
+    # -- public API --------------------------------------------------------------
+
+    @property
+    def output(self) -> str:
+        """Everything the program printed so far."""
+        return "".join(self.output_parts)
+
+    def run(self, entry: int | None = None) -> ExitStatus:
+        """Execute from *entry* (default: the executable's entry point) until
+        exit, and return an :class:`ExitStatus`."""
+        pc = ((entry if entry is not None else self.executable.entry)
+              - TEXT_BASE) // WORD_SIZE
+        insts = self._insts
+        tindex = self._tindex
+        regs = self.regs
+        fregs = self.fregs
+        memory = self.memory
+        n_insts = len(insts)
+        count = self.instr_count
+        branches = self.dynamic_branches
+        limit = self.max_instructions
+        observers = self.observers
+        branch_observers = observers  # all observers see branches
+
+        running = True
+        while running:
+            if not 0 <= pc < n_insts:
+                if pc == (HALT_ADDRESS - TEXT_BASE) // WORD_SIZE:
+                    break
+                raise SimulationError(
+                    f"pc out of range: 0x{TEXT_BASE + WORD_SIZE * pc:x}")
+            inst = insts[pc]
+            count += 1
+            if count > limit:
+                self.instr_count = count
+                raise SimulationLimitExceeded(
+                    f"exceeded {limit} instructions at 0x{inst.address:x}")
+            name = inst.op.name
+            next_pc = pc + 1
+
+            # --- hottest opcodes first ---
+            if name == "addiu" or name == "addi":
+                regs[inst.rt] = _s32(regs[inst.rs] + inst.imm)
+            elif name == "lw":
+                regs[inst.rt] = memory.load_word(_u32(regs[inst.rs]) + inst.imm)
+            elif name == "sw":
+                memory.store_word(_u32(regs[inst.rs]) + inst.imm, regs[inst.rt])
+            elif name == "addu" or name == "add":
+                regs[inst.rd] = _s32(regs[inst.rs] + regs[inst.rt])
+            elif name == "beq":
+                taken = regs[inst.rs] == regs[inst.rt]
+                branches += 1
+                for ob in branch_observers:
+                    ob.on_branch(inst, taken, count)
+                if taken:
+                    next_pc = tindex[pc]
+            elif name == "bne":
+                taken = regs[inst.rs] != regs[inst.rt]
+                branches += 1
+                for ob in branch_observers:
+                    ob.on_branch(inst, taken, count)
+                if taken:
+                    next_pc = tindex[pc]
+            elif name == "slt":
+                regs[inst.rd] = 1 if regs[inst.rs] < regs[inst.rt] else 0
+            elif name == "slti":
+                regs[inst.rt] = 1 if regs[inst.rs] < inst.imm else 0
+            elif name == "sltu":
+                regs[inst.rd] = 1 if _u32(regs[inst.rs]) < _u32(regs[inst.rt]) else 0
+            elif name == "sltiu":
+                regs[inst.rt] = 1 if _u32(regs[inst.rs]) < (inst.imm & 0xFFFF_FFFF) else 0
+            elif name == "j":
+                next_pc = tindex[pc]
+            elif name == "jal":
+                regs[31] = TEXT_BASE + WORD_SIZE * (pc + 1)
+                next_pc = tindex[pc]
+            elif name == "jr":
+                addr = _u32(regs[inst.rs])
+                if inst.rs != 31:
+                    for ob in observers:
+                        ob.on_indirect(inst, count)
+                if addr == HALT_ADDRESS:
+                    break
+                next_pc = (addr - TEXT_BASE) // WORD_SIZE
+            elif name == "jalr":
+                addr = _u32(regs[inst.rs])
+                regs[inst.rd] = TEXT_BASE + WORD_SIZE * (pc + 1)
+                for ob in observers:
+                    ob.on_indirect(inst, count)
+                next_pc = (addr - TEXT_BASE) // WORD_SIZE
+            elif name == "blez":
+                taken = regs[inst.rs] <= 0
+                branches += 1
+                for ob in branch_observers:
+                    ob.on_branch(inst, taken, count)
+                if taken:
+                    next_pc = tindex[pc]
+            elif name == "bgtz":
+                taken = regs[inst.rs] > 0
+                branches += 1
+                for ob in branch_observers:
+                    ob.on_branch(inst, taken, count)
+                if taken:
+                    next_pc = tindex[pc]
+            elif name == "bltz":
+                taken = regs[inst.rs] < 0
+                branches += 1
+                for ob in branch_observers:
+                    ob.on_branch(inst, taken, count)
+                if taken:
+                    next_pc = tindex[pc]
+            elif name == "bgez":
+                taken = regs[inst.rs] >= 0
+                branches += 1
+                for ob in branch_observers:
+                    ob.on_branch(inst, taken, count)
+                if taken:
+                    next_pc = tindex[pc]
+            elif name == "sub" or name == "subu":
+                regs[inst.rd] = _s32(regs[inst.rs] - regs[inst.rt])
+            elif name == "mul":
+                regs[inst.rd] = _s32(regs[inst.rs] * regs[inst.rt])
+            elif name == "div":
+                denom = regs[inst.rt]
+                if denom == 0:
+                    raise SimulationError(
+                        f"integer division by zero at 0x{inst.address:x}")
+                q = abs(regs[inst.rs]) // abs(denom)
+                if (regs[inst.rs] < 0) != (denom < 0):
+                    q = -q
+                regs[inst.rd] = _s32(q)
+            elif name == "rem":
+                denom = regs[inst.rt]
+                if denom == 0:
+                    raise SimulationError(
+                        f"integer remainder by zero at 0x{inst.address:x}")
+                q = abs(regs[inst.rs]) // abs(denom)
+                if (regs[inst.rs] < 0) != (denom < 0):
+                    q = -q
+                regs[inst.rd] = _s32(regs[inst.rs] - denom * q)
+            elif name == "and":
+                regs[inst.rd] = _s32(_u32(regs[inst.rs]) & _u32(regs[inst.rt]))
+            elif name == "or":
+                regs[inst.rd] = _s32(_u32(regs[inst.rs]) | _u32(regs[inst.rt]))
+            elif name == "xor":
+                regs[inst.rd] = _s32(_u32(regs[inst.rs]) ^ _u32(regs[inst.rt]))
+            elif name == "nor":
+                regs[inst.rd] = _s32(~(_u32(regs[inst.rs]) | _u32(regs[inst.rt])))
+            elif name == "andi":
+                regs[inst.rt] = _s32(_u32(regs[inst.rs]) & (inst.imm & 0xFFFF))
+            elif name == "ori":
+                regs[inst.rt] = _s32(_u32(regs[inst.rs]) | (inst.imm & 0xFFFF))
+            elif name == "xori":
+                regs[inst.rt] = _s32(_u32(regs[inst.rs]) ^ (inst.imm & 0xFFFF))
+            elif name == "sll":
+                regs[inst.rt] = _s32(_u32(regs[inst.rs]) << (inst.imm & 31))
+            elif name == "srl":
+                regs[inst.rt] = _s32(_u32(regs[inst.rs]) >> (inst.imm & 31))
+            elif name == "sra":
+                regs[inst.rt] = _s32(regs[inst.rs] >> (inst.imm & 31))
+            elif name == "sllv":
+                regs[inst.rd] = _s32(_u32(regs[inst.rs]) << (_u32(regs[inst.rt]) & 31))
+            elif name == "srlv":
+                regs[inst.rd] = _s32(_u32(regs[inst.rs]) >> (_u32(regs[inst.rt]) & 31))
+            elif name == "srav":
+                regs[inst.rd] = _s32(regs[inst.rs] >> (_u32(regs[inst.rt]) & 31))
+            elif name == "lui":
+                regs[inst.rt] = _s32((inst.imm & 0xFFFF) << 16)
+            elif name == "lb":
+                regs[inst.rt] = memory.load_byte(_u32(regs[inst.rs]) + inst.imm)
+            elif name == "lbu":
+                regs[inst.rt] = memory.load_byte(
+                    _u32(regs[inst.rs]) + inst.imm, signed=False)
+            elif name == "sb":
+                memory.store_byte(_u32(regs[inst.rs]) + inst.imm, regs[inst.rt])
+            elif name == "ldc1":
+                fregs[inst.ft] = memory.load_double(_u32(regs[inst.rs]) + inst.imm)
+            elif name == "sdc1":
+                memory.store_double(_u32(regs[inst.rs]) + inst.imm, fregs[inst.ft])
+            elif name == "add.d":
+                fregs[inst.fd] = fregs[inst.fs] + fregs[inst.ft]
+            elif name == "sub.d":
+                fregs[inst.fd] = fregs[inst.fs] - fregs[inst.ft]
+            elif name == "mul.d":
+                fregs[inst.fd] = fregs[inst.fs] * fregs[inst.ft]
+            elif name == "div.d":
+                if fregs[inst.ft] == 0.0:
+                    raise SimulationError(
+                        f"FP division by zero at 0x{inst.address:x}")
+                fregs[inst.fd] = fregs[inst.fs] / fregs[inst.ft]
+            elif name == "neg.d":
+                fregs[inst.fd] = -fregs[inst.fs]
+            elif name == "abs.d":
+                fregs[inst.fd] = abs(fregs[inst.fs])
+            elif name == "mov.d":
+                fregs[inst.fd] = fregs[inst.fs]
+            elif name == "sqrt.d":
+                if fregs[inst.fs] < 0:
+                    raise SimulationError(
+                        f"sqrt of negative at 0x{inst.address:x}")
+                fregs[inst.fd] = fregs[inst.fs] ** 0.5
+            elif name == "c.eq.d":
+                self.fp_cond = fregs[inst.fs] == fregs[inst.ft]
+            elif name == "c.lt.d":
+                self.fp_cond = fregs[inst.fs] < fregs[inst.ft]
+            elif name == "c.le.d":
+                self.fp_cond = fregs[inst.fs] <= fregs[inst.ft]
+            elif name == "bc1t":
+                taken = self.fp_cond
+                branches += 1
+                for ob in branch_observers:
+                    ob.on_branch(inst, taken, count)
+                if taken:
+                    next_pc = tindex[pc]
+            elif name == "bc1f":
+                taken = not self.fp_cond
+                branches += 1
+                for ob in branch_observers:
+                    ob.on_branch(inst, taken, count)
+                if taken:
+                    next_pc = tindex[pc]
+            elif name == "mtc1":
+                # reinterpret not needed: our compiler only moves int values
+                # for conversion, always via cvt.d.w
+                fregs[inst.fs] = float(regs[inst.rt])
+            elif name == "mfc1":
+                regs[inst.rt] = _s32(int(fregs[inst.fs]))
+            elif name == "cvt.d.w":
+                fregs[inst.fd] = float(fregs[inst.fs])
+            elif name == "cvt.w.d":
+                fregs[inst.fd] = float(int(fregs[inst.fs]))  # truncate toward 0
+            elif name == "syscall":
+                running = self._syscall()
+            elif name == "nop":
+                pass
+            else:  # pragma: no cover - all opcodes handled above
+                raise SimulationError(f"unimplemented opcode {name}")
+
+            pc = next_pc
+
+        self.instr_count = count
+        self.dynamic_branches = branches
+        for ob in observers:
+            ob.on_finish(count)
+        return ExitStatus(self.exit_code, count, branches, self.output, self)
+
+    # -- syscalls ------------------------------------------------------------
+
+    def _syscall(self) -> bool:
+        """Execute a syscall; return False to halt."""
+        service = self.regs[2]
+        if service == 1:  # print_int
+            self.output_parts.append(str(self.regs[4]))
+        elif service == 3:  # print_double
+            self.output_parts.append(repr(self.fregs[12]))
+        elif service == 4:  # print_string
+            self.output_parts.append(self.memory.load_cstring(_u32(self.regs[4])))
+        elif service == 5:  # read_int
+            if not self.inputs:
+                raise InputExhausted("read_int: input exhausted")
+            self.regs[2] = _s32(int(self.inputs.popleft()))
+        elif service == 7:  # read_double
+            if not self.inputs:
+                raise InputExhausted("read_double: input exhausted")
+            self.fregs[0] = float(self.inputs.popleft())
+        elif service == 9:  # sbrk
+            amount = self.regs[4]
+            self.regs[2] = _s32(self._brk)
+            self._brk = (self._brk + amount + 7) & ~7
+        elif service == 10:  # exit
+            self.exit_code = 0
+            return False
+        elif service == 11:  # print_char
+            self.output_parts.append(chr(self.regs[4] & 0xFF))
+        elif service == 17:  # exit with code
+            self.exit_code = self.regs[4]
+            return False
+        else:
+            raise SimulationError(f"unknown syscall {service}")
+        return True
+
+
+def _u32(value: int) -> int:
+    """View a signed 32-bit value as unsigned."""
+    return value & 0xFFFF_FFFF

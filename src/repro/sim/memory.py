@@ -1,0 +1,115 @@
+"""Sparse byte-addressable memory for the simulator.
+
+Backed by 4 KiB pages allocated on demand, so the SPIM-like address layout
+(text at 0x400000, data at 0x10000000, stack below 0x80000000) costs nothing.
+Word (4-byte) and double (8-byte) accesses must be naturally aligned — the
+BLC compiler guarantees this — and therefore never cross a page boundary.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["Memory", "MemoryError_", "PAGE_SIZE"]
+
+PAGE_SIZE = 4096
+_PAGE_MASK = PAGE_SIZE - 1
+_PAGE_SHIFT = 12
+
+
+class MemoryError_(Exception):
+    """Raised on misaligned or otherwise invalid memory access."""
+
+
+class Memory:
+    """Sparse simulated memory."""
+
+    def __init__(self) -> None:
+        self._pages: dict[int, bytearray] = {}
+
+    def _page(self, addr: int) -> bytearray:
+        page = self._pages.get(addr >> _PAGE_SHIFT)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[addr >> _PAGE_SHIFT] = page
+        return page
+
+    # -- bulk ------------------------------------------------------------------
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        """Copy *data* into memory starting at *addr* (may span pages)."""
+        offset = 0
+        while offset < len(data):
+            page = self._page(addr + offset)
+            start = (addr + offset) & _PAGE_MASK
+            n = min(PAGE_SIZE - start, len(data) - offset)
+            page[start:start + n] = data[offset:offset + n]
+            offset += n
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        """Read *length* bytes starting at *addr* (may span pages)."""
+        out = bytearray()
+        offset = 0
+        while offset < length:
+            page = self._page(addr + offset)
+            start = (addr + offset) & _PAGE_MASK
+            n = min(PAGE_SIZE - start, length - offset)
+            out += page[start:start + n]
+            offset += n
+        return bytes(out)
+
+    # -- scalar -----------------------------------------------------------------
+
+    def load_word(self, addr: int) -> int:
+        """Load a signed 32-bit word."""
+        if addr & 3:
+            raise MemoryError_(f"misaligned word load at 0x{addr:x}")
+        page = self._page(addr)
+        off = addr & _PAGE_MASK
+        value = int.from_bytes(page[off:off + 4], "little")
+        return value - 0x1_0000_0000 if value >= 0x8000_0000 else value
+
+    def store_word(self, addr: int, value: int) -> None:
+        """Store a 32-bit word (value taken mod 2^32)."""
+        if addr & 3:
+            raise MemoryError_(f"misaligned word store at 0x{addr:x}")
+        page = self._page(addr)
+        off = addr & _PAGE_MASK
+        page[off:off + 4] = (value & 0xFFFF_FFFF).to_bytes(4, "little")
+
+    def load_byte(self, addr: int, signed: bool = True) -> int:
+        page = self._page(addr)
+        value = page[addr & _PAGE_MASK]
+        if signed and value >= 0x80:
+            return value - 0x100
+        return value
+
+    def store_byte(self, addr: int, value: int) -> None:
+        page = self._page(addr)
+        page[addr & _PAGE_MASK] = value & 0xFF
+
+    def load_double(self, addr: int) -> float:
+        if addr & 7:
+            raise MemoryError_(f"misaligned double load at 0x{addr:x}")
+        page = self._page(addr)
+        off = addr & _PAGE_MASK
+        return struct.unpack_from("<d", page, off)[0]
+
+    def store_double(self, addr: int, value: float) -> None:
+        if addr & 7:
+            raise MemoryError_(f"misaligned double store at 0x{addr:x}")
+        page = self._page(addr)
+        struct.pack_into("<d", page, addr & _PAGE_MASK, value)
+
+    # -- strings -----------------------------------------------------------------
+
+    def load_cstring(self, addr: int, limit: int = 1 << 20) -> str:
+        """Read a NUL-terminated latin-1 string starting at *addr*."""
+        out = bytearray()
+        while len(out) < limit:
+            b = self._page(addr) [addr & _PAGE_MASK]
+            if b == 0:
+                return out.decode("latin-1")
+            out.append(b)
+            addr += 1
+        raise MemoryError_("unterminated string")

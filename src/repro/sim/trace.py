@@ -1,0 +1,165 @@
+"""Trace-based sequence-length analysis (Section 6 of the paper).
+
+A *break in control* is a mispredicted conditional branch, an indirect jump
+other than a procedure return, or an indirect call. Each break ``B`` ends a
+sequence running from (but not including) the previous break up to and
+including ``B``; these sequences partition the instruction trace.
+
+The paper buckets sequence lengths into intervals ``[10j, 10j+9]`` for
+``0 <= j < 999`` with a final overflow bucket for lengths >= 9990, recording
+both the number of sequences per bucket and the total instructions they
+contain — enough to plot the cumulative distributions of Graphs 4-11 and to
+compute the IPBC average and the *dividing length* (the sequence length at
+which 50% of executed instructions are accounted for).
+
+:class:`SequenceAnalyzer` computes all of this online from simulator events,
+so the (potentially enormous) trace is never materialized — the very point
+the paper makes about traces vs. profiles is preserved because we aggregate
+per-sequence, not per-program.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction
+from repro.sim.machine import Observer
+
+__all__ = ["SequenceAnalyzer", "BranchTrace", "NUM_BUCKETS", "BUCKET_WIDTH"]
+
+NUM_BUCKETS = 1000
+BUCKET_WIDTH = 10
+_OVERFLOW = NUM_BUCKETS - 1
+
+
+class SequenceAnalyzer(Observer):
+    """Online computation of the sequence-length distribution for one static
+    predictor.
+
+    Parameters
+    ----------
+    predictions:
+        Map from conditional-branch address to the predicted direction
+        (True = taken edge). Must cover every branch that executes; a
+        missing branch raises ``KeyError`` (predictors always provide a
+        default).
+    include_trailing:
+        Whether the final, break-less run of instructions at program exit is
+        counted as one more sequence (default True so that every executed
+        instruction is accounted for).
+    """
+
+    def __init__(self, predictions: dict[int, bool],
+                 include_trailing: bool = True) -> None:
+        self.predictions = predictions
+        self.include_trailing = include_trailing
+        self.seq_counts = [0] * NUM_BUCKETS
+        self.seq_instr_sums = [0] * NUM_BUCKETS
+        self.n_breaks = 0
+        self.n_branches = 0
+        self.n_mispredicts = 0
+        self.total_instructions = 0
+        self._last_break_count = 0
+
+    # -- observer hooks -----------------------------------------------------------
+
+    def on_branch(self, inst: Instruction, taken: bool, instr_count: int) -> None:
+        self.n_branches += 1
+        if self.predictions[inst.address] != taken:
+            self.n_mispredicts += 1
+            self._record_break(instr_count)
+
+    def on_indirect(self, inst: Instruction, instr_count: int) -> None:
+        self._record_break(instr_count)
+
+    def on_finish(self, instr_count: int) -> None:
+        self.total_instructions = instr_count
+        if self.include_trailing and instr_count > self._last_break_count:
+            self._record_break(instr_count)
+
+    def _record_break(self, instr_count: int) -> None:
+        length = instr_count - self._last_break_count
+        self._last_break_count = instr_count
+        self.n_breaks += 1
+        bucket = min(length // BUCKET_WIDTH, _OVERFLOW)
+        self.seq_counts[bucket] += 1
+        self.seq_instr_sums[bucket] += length
+
+    # -- derived metrics -----------------------------------------------------------
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of dynamic conditional branches mispredicted."""
+        if self.n_branches == 0:
+            return 0.0
+        return self.n_mispredicts / self.n_branches
+
+    @property
+    def ipbc_average(self) -> float:
+        """The profile-based metric: instructions executed per break in
+        control. (This is what Fisher & Freudenberger computed; the paper
+        shows it misrepresents the true sequence-length distribution.)"""
+        if self.n_breaks == 0:
+            return float(self.total_instructions)
+        return self.total_instructions / self.n_breaks
+
+    def cumulative_instructions(self) -> list[tuple[int, float]]:
+        """Points ``(x, pct)`` where *pct* is the percentage of executed
+        instructions accounted for by sequences of length < x; x ranges over
+        bucket upper edges (10, 20, ..., 9990, inf as the last point)."""
+        total = sum(self.seq_instr_sums)
+        if total == 0:
+            return []
+        points = []
+        running = 0
+        for j in range(NUM_BUCKETS):
+            running += self.seq_instr_sums[j]
+            x = (j + 1) * BUCKET_WIDTH
+            points.append((x, 100.0 * running / total))
+        return points
+
+    def cumulative_breaks(self) -> list[tuple[int, float]]:
+        """Points ``(x, pct)`` where *pct* is the percentage of breaks in
+        control accounted for by sequences of length < x (Graph 5)."""
+        total = sum(self.seq_counts)
+        if total == 0:
+            return []
+        points = []
+        running = 0
+        for j in range(NUM_BUCKETS):
+            running += self.seq_counts[j]
+            x = (j + 1) * BUCKET_WIDTH
+            points.append((x, 100.0 * running / total))
+        return points
+
+    @property
+    def dividing_length(self) -> int:
+        """The sequence length at which 50% of executed instructions are
+        accounted for (bucket upper edge containing the median instruction)."""
+        total = sum(self.seq_instr_sums)
+        if total == 0:
+            return 0
+        running = 0
+        for j in range(NUM_BUCKETS):
+            running += self.seq_instr_sums[j]
+            if 2 * running >= total:
+                return (j + 1) * BUCKET_WIDTH
+        return NUM_BUCKETS * BUCKET_WIDTH  # pragma: no cover
+
+
+class BranchTrace(Observer):
+    """Records the raw sequence of (branch address, taken) events.
+
+    Intended for tests and small programs — memory grows with the dynamic
+    branch count, capped at *limit* events (older events are NOT discarded;
+    recording simply stops and ``truncated`` is set).
+    """
+
+    def __init__(self, limit: int = 1_000_000) -> None:
+        self.events: list[tuple[int, bool]] = []
+        self.limit = limit
+        self.truncated = False
+
+    def on_branch(self, inst: Instruction, taken: bool, instr_count: int) -> None:
+        if len(self.events) < self.limit:
+            self.events.append((inst.address, taken))
+        else:
+            self.truncated = True

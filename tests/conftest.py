@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bcc import compile_and_link
+from repro.harness import SuiteRunner
+from repro.sim import EdgeProfile, Machine
+
+
+def compile_run(source: str, inputs: list | None = None,
+                max_instructions: int = 20_000_000,
+                optimize: bool = True):
+    """Compile BLC source, run it, and return the ExitStatus."""
+    executable = compile_and_link(source, optimize=optimize)
+    machine = Machine(executable, inputs=inputs,
+                      max_instructions=max_instructions)
+    return machine.run()
+
+
+def run_output(source: str, inputs: list | None = None, **kw) -> str:
+    """Compile and run, returning just the program output."""
+    return compile_run(source, inputs, **kw).output
+
+
+def profile_of(executable, inputs=None, max_instructions=20_000_000):
+    """Run an executable collecting its edge profile."""
+    profile = EdgeProfile()
+    Machine(executable, inputs=inputs, observers=[profile],
+            max_instructions=max_instructions).run()
+    return profile
+
+
+#: A small, fast subset of the suite used by harness-level tests.
+MINI_SUITE = ["queens", "fields", "gauss"]
+
+
+@pytest.fixture(scope="session")
+def mini_runner() -> SuiteRunner:
+    """Session-scoped runner over a 3-benchmark subset (cheap)."""
+    return SuiteRunner(MINI_SUITE)
+
+
+@pytest.fixture(scope="session")
+def queens_run(mini_runner):
+    return mini_runner.run("queens", "small")
+
+
+@pytest.fixture(scope="session")
+def gauss_run(mini_runner):
+    return mini_runner.run("gauss", "small")

@@ -1,0 +1,201 @@
+"""Tests for code-generation properties the heuristics rely on.
+
+These check the *shape* of emitted assembly — SP/GP addressing, zero-compare
+branch opcodes, rotated loops, FP compare idioms — not just behaviour.
+"""
+
+import re
+
+import pytest
+
+from repro.bcc import compile_to_asm
+from repro.bcc.driver import compile_to_ir
+from repro.bcc.ir import CBr, Jump
+
+
+def asm_of(source: str) -> str:
+    return compile_to_asm(source, include_runtime=False)
+
+
+class TestAddressing:
+    def test_locals_addressed_off_sp(self):
+        asm = asm_of("""
+int main() { int a[4]; a[0] = 1; a[1] = 2; return a[0] + a[1]; }
+""")
+        assert re.search(r"sw \$\w+, \d+\(\$sp\)", asm)
+
+    def test_small_globals_addressed_off_gp(self):
+        asm = asm_of("int g;\nint main() { g = 5; return g; }")
+        assert "G_g($gp)" in asm
+
+    def test_address_taken_local_in_frame(self):
+        asm = asm_of("""
+void set(int *p) { *p = 1; }
+int main() { int x; set(&x); return x; }
+""")
+        assert re.search(r"addiu \$\w+, \$sp, \d+", asm)
+
+    def test_huge_global_uses_la(self):
+        asm = asm_of("double big[100][100];\n"
+                     "int main() { big[99][0] = 1.0; return 0; }")
+        assert "la " in asm
+
+    def test_string_literals_pooled(self):
+        asm = asm_of('int main() { print_str("a"); print_str("a"); '
+                     'print_str("b"); return 0; }')
+        assert asm.count('.asciiz "a"') == 1
+        assert asm.count('.asciiz "b"') == 1
+
+    def test_fp_literal_pool(self):
+        asm = asm_of("int main() { double d = 2.5; double e = 2.5; "
+                     "return (int)(d + e); }")
+        assert asm.count(".double 2.5") == 1
+
+
+class TestBranchOpcodes:
+    @pytest.mark.parametrize("cond,opcode", [
+        ("x < 0", "bltz"), ("x <= 0", "blez"),
+        ("x > 0", "bgtz"), ("x >= 0", "bgez"),
+    ])
+    def test_zero_compares_use_one_register_branches(self, cond, opcode):
+        asm = asm_of(f"int main() {{ int x = read_int(); "
+                     f"if ({cond}) return 1; return 0; }}")
+        # the branch is inverted (taken edge skips the then-clause), so
+        # either the opcode or its inversion must appear
+        inverted = {"bltz": "bgez", "blez": "bgtz",
+                    "bgtz": "blez", "bgez": "bltz"}[opcode]
+        assert re.search(rf"\b({opcode}|{inverted})\b", asm)
+
+    def test_equality_uses_beq_bne_zero(self):
+        asm = asm_of("int main() { int x = read_int(); "
+                     "if (x == 0) return 1; return 0; }")
+        assert re.search(r"\b(beq|bne) \$\w+, \$zero", asm)
+
+    def test_general_relational_lowered_through_slt(self):
+        asm = asm_of("int main() { int x = read_int(); int y = read_int(); "
+                     "if (x < y) return 1; return 0; }")
+        assert "slt " in asm
+
+    def test_fp_equality_uses_ceq_and_bc1(self):
+        asm = asm_of("int main() { double a = read_double(); "
+                     "if (a == 2.0) return 1; return 0; }")
+        assert "c.eq.d" in asm
+        assert re.search(r"\bbc1[tf]\b", asm)
+
+    def test_fp_less_uses_clt(self):
+        asm = asm_of("int main() { double a = read_double(); "
+                     "if (a < 2.0) return 1; return 0; }")
+        assert "c.lt.d" in asm
+
+
+class TestLoopShape:
+    def test_while_loop_rotated(self):
+        """while loops compile to a guard + bottom-tested body: the loop
+        test appears twice and the backward branch is conditional."""
+        ir = compile_to_ir("int main() { int i = 0; int n = read_int(); "
+                           "while (i < n) { i++; } return i; }",
+                           include_runtime=False)
+        func = next(f for f in ir.functions if f.name == "main")
+        cbrs = [i for b in func.blocks for i in b.instructions
+                if isinstance(i, CBr)]
+        assert len(cbrs) >= 2  # guard + bottom test
+
+    def test_no_unconditional_loop_back_jump(self):
+        """The rotated form avoids `j head` at the loop bottom."""
+        asm = asm_of("int main() { int i; int s = 0; "
+                     "for (i = 0; i < 10; i++) { s += i; } return s; }")
+        main_part = asm[asm.index(".ent main"):asm.index(".end main")]
+        lines = [ln.strip() for ln in main_part.splitlines()]
+        # a backward conditional branch exists...
+        assert any(ln.startswith(("bne", "beq", "bgtz", "bltz", "blez",
+                                  "bgez", "slt")) for ln in lines)
+        # ...and the loop body does not end in an unconditional jump back
+        # (there may be j instructions for the return/epilogue only)
+        for i, ln in enumerate(lines):
+            if ln.startswith("j ") and "epilogue" not in ln:
+                target = ln.split()[1]
+                pos = next((k for k, other in enumerate(lines)
+                            if other.startswith(target + ":")), None)
+                assert pos is None or pos > i, "backward unconditional jump"
+
+    def test_do_while_single_test(self):
+        ir = compile_to_ir("int main() { int i = 0; do { i++; } "
+                           "while (i < 5); return i; }",
+                           include_runtime=False)
+        func = next(f for f in ir.functions if f.name == "main")
+        cbrs = [i for b in func.blocks for i in b.instructions
+                if isinstance(i, CBr)]
+        assert len(cbrs) == 1
+
+
+class TestCallingConvention:
+    def test_int_args_in_a_registers(self):
+        asm = asm_of("int f(int a, int b) { return a + b; }\n"
+                     "int main() { return f(1, 2); }")
+        assert re.search(r"move \$a0, ", asm)
+        assert re.search(r"move \$a1, ", asm)
+
+    def test_double_args_on_stack(self):
+        asm = asm_of("double f(double d) { return d; }\n"
+                     "int main() { return (int)f(1.5); }")
+        assert re.search(r"sdc1 \$f\d+, 0\(\$sp\)", asm)
+
+    def test_callee_saved_preserved(self):
+        asm = asm_of("""
+int g(int x) { return x + 1; }
+int main() {
+    int a = g(1); int b = g(2); int c = g(3);
+    return a + b + c;
+}
+""")
+        main_part = asm[asm.index(".ent main"):asm.index(".end main")]
+        saves = re.findall(r"sw (\$s\d), \d+\(\$sp\)", main_part)
+        restores = re.findall(r"lw (\$s\d), \d+\(\$sp\)", main_part)
+        assert set(saves) == set(restores)
+        assert saves  # values live across calls need callee-saved regs
+
+    def test_leaf_function_skips_ra_save(self):
+        asm = asm_of("int leaf(int x) { return x * 2; }\n"
+                     "int main() { return leaf(21); }")
+        leaf_part = asm[asm.index(".ent leaf"):asm.index(".end leaf")]
+        assert "$ra," not in leaf_part.replace("jr $ra", "")
+
+    def test_return_in_v0(self):
+        asm = asm_of("int f() { return 7; }\nint main() { return f(); }")
+        assert re.search(r"(move \$v0|addiu \$v0)", asm)
+
+
+class TestIRShape:
+    def test_dead_code_eliminated(self):
+        ir = compile_to_ir("int main() { int unused = 5 * 3; return 2; }",
+                           include_runtime=False)
+        func = next(f for f in ir.functions if f.name == "main")
+        text = func.dump()
+        assert "15" not in text  # folded then removed
+
+    def test_constant_folding(self):
+        ir = compile_to_ir("int main() { return 6 * 7; }",
+                           include_runtime=False)
+        func = next(f for f in ir.functions if f.name == "main")
+        assert "42" in func.dump()
+
+    def test_unreachable_blocks_removed(self):
+        ir = compile_to_ir("int main() { return 1; return 2; }",
+                           include_runtime=False)
+        func = next(f for f in ir.functions if f.name == "main")
+        assert all("2" not in repr(i) for b in func.blocks
+                   for i in b.instructions)
+
+    def test_constant_branch_folded(self):
+        ir = compile_to_ir("int main() { if (1) return 5; return 6; }",
+                           include_runtime=False)
+        func = next(f for f in ir.functions if f.name == "main")
+        cbrs = [i for b in func.blocks for i in b.instructions
+                if isinstance(i, CBr)]
+        assert not cbrs
+
+    def test_strength_reduction_mul_pow2(self):
+        asm = asm_of("int main() { int x = read_int(); return x * 8; }")
+        main_part = asm[asm.index(".ent main"):asm.index(".end main")]
+        assert "sll" in main_part
+        assert "mul" not in main_part

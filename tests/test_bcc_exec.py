@@ -1,0 +1,431 @@
+"""End-to-end compiler correctness: compiled BLC behaves like C.
+
+Includes a hypothesis property test that compiles random arithmetic
+expressions and checks the simulated result against a Python evaluation
+with C semantics.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import compile_run, run_output
+
+
+def returns(source_body: str, inputs=None) -> int:
+    """Compile `int main() { <body> }` and return its exit code."""
+    status = compile_run(f"int main() {{ {source_body} }}", inputs)
+    return status.exit_code
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert returns("return 2 + 3 * 4;") == 14
+
+    def test_division_truncation(self):
+        assert returns("int a = -7; return a / 2 + 10;") == 7  # -3 + 10
+
+    def test_modulo_sign(self):
+        assert returns("int a = -7; return a % 3 + 10;") == 9  # -1 + 10
+
+    def test_wraparound(self):
+        assert returns(
+            "int x = 2147483647; x = x + 1; return x == -2147483648;") == 1
+
+    def test_shifts(self):
+        assert returns("int x = -16; return (x >> 2) + 100;") == 96
+        assert returns("return 3 << 4;") == 48
+
+    def test_bitops(self):
+        assert returns("return (0xF0 & 0x3C) | (1 ^ 3);") == 0x32
+
+    def test_complement(self):
+        assert returns("return ~0 + 10;") == 9
+
+    def test_unary_minus(self):
+        assert returns("int a = 5; return -a + 12;") == 7
+
+    def test_comparison_results(self):
+        assert returns("return (3 < 4) + (4 <= 4) + (5 > 4) + (4 >= 5) "
+                       "+ (3 == 3) + (3 != 3);") == 4
+
+    def test_logical_short_circuit(self):
+        src = """
+int calls;
+int bump() { calls++; return 1; }
+int main() {
+    calls = 0;
+    if (0 && bump()) { return 99; }
+    if (1 || bump()) { }
+    return calls;
+}
+"""
+        assert compile_run(src).exit_code == 0
+
+    def test_logical_values(self):
+        assert returns("return (2 && 3) + (0 || 5 != 0) * 2;") == 3
+
+    def test_ternary(self):
+        assert returns("int a = 5; return a > 3 ? 10 : 20;") == 10
+
+    def test_compound_assignments(self):
+        assert returns("int a = 10; a += 5; a -= 3; a *= 2; a /= 3; "
+                       "a %= 5; a <<= 2; a >>= 1; a |= 8; a &= 12; a ^= 1; "
+                       "return a;") == ((((((10 + 5 - 3) * 2) // 3) % 5)
+                                         << 2 >> 1 | 8) & 12) ^ 1
+
+    def test_incdec_semantics(self):
+        assert returns("int a = 5; int b = a++; int c = ++a; "
+                       "return b * 100 + c * 10 + a;") == 577
+
+    def test_char_truncation(self):
+        assert returns("char c = (char)300; return (int)c;") == 44
+
+    def test_char_signedness(self):
+        assert returns("char c = (char)200; return c < 0;") == 1
+
+
+class TestDoubles:
+    def test_arith(self):
+        out = run_output("int main() { print_double(1.5 * 4.0 - 2.0); "
+                         "return 0; }")
+        assert out == "4.0"
+
+    def test_int_double_conversion(self):
+        assert returns("double d = 7; int i = (int)(d / 2.0); return i;") == 3
+
+    def test_truncation_toward_zero(self):
+        assert returns("double d = -2.9; return (int)d + 10;") == 8
+
+    def test_comparisons(self):
+        assert returns("double a = 1.5; double b = 2.5; "
+                       "return (a < b) + (a == 1.5) + (b >= 2.5);") == 3
+
+    def test_mixed_expression_promotes(self):
+        out = run_output("int main() { print_double(1 / 2.0); return 0; }")
+        assert out == "0.5"
+
+    def test_double_params_and_return(self):
+        src = """
+double hyp2(double a, double b) { return a * a + b * b; }
+int main() { return (int)hyp2(3.0, 4.0); }
+"""
+        assert compile_run(src).exit_code == 25
+
+    def test_many_double_args(self):
+        src = """
+double sum6(double a, double b, double c, double d, double e, double f) {
+    return a + b + c + d + e + f;
+}
+int main() { return (int)sum6(1.0, 2.0, 3.0, 4.0, 5.0, 6.0); }
+"""
+        assert compile_run(src).exit_code == 21
+
+    def test_sqrt_runtime(self):
+        assert returns("return (int)d_sqrt(144.0);") == 12
+
+
+class TestPointersAndArrays:
+    def test_array_sum(self):
+        assert returns("int a[5]; int i; int s = 0; "
+                       "for (i = 0; i < 5; i++) a[i] = i * i; "
+                       "for (i = 0; i < 5; i++) s += a[i]; return s;") == 30
+
+    def test_pointer_walk(self):
+        assert returns("int a[4]; int *p; int s = 0; int i;"
+                       "for (i = 0; i < 4; i++) a[i] = i + 1; "
+                       "for (p = a; p < a + 4; p++) s += *p; return s;") == 10
+
+    def test_pointer_difference(self):
+        assert returns("double d[10]; return (int)(&d[7] - &d[2]);") == 5
+
+    def test_address_of_local(self):
+        assert returns("int x = 3; int *p = &x; *p = 42; return x;") == 42
+
+    def test_pointer_argument_mutation(self):
+        src = """
+void set(int *p, int v) { *p = v; }
+int main() { int x = 0; set(&x, 17); return x; }
+"""
+        assert compile_run(src).exit_code == 17
+
+    def test_2d_array(self):
+        assert returns("int m[3][4]; int i; int j; int s = 0;"
+                       "for (i = 0; i < 3; i++) "
+                       "  for (j = 0; j < 4; j++) m[i][j] = i * 4 + j; "
+                       "for (i = 0; i < 3; i++) s += m[i][i]; "
+                       "return s;") == 0 + 5 + 10
+
+    def test_global_array(self):
+        src = """
+int table[8];
+int main() { int i; for (i = 0; i < 8; i++) table[i] = i; return table[5]; }
+"""
+        assert compile_run(src).exit_code == 5
+
+    def test_large_global_array_beyond_gp_window(self):
+        src = """
+double big[100][100];   // 80 KB: outside the $gp window
+int main() {
+    big[99][99] = 7.5;
+    big[0][0] = 2.5;
+    return (int)(big[99][99] + big[0][0]);
+}
+"""
+        assert compile_run(src).exit_code == 10
+
+    def test_string_literal(self):
+        assert returns('char *s = "hello"; return strlen(s);') == 5
+
+    def test_char_array_ops(self):
+        assert returns('char b[10]; strcpy(b, "abc"); '
+                       'return strcmp(b, "abc") == 0 && strlen(b) == 3;') == 1
+
+
+class TestStructs:
+    def test_member_access(self):
+        src = """
+struct Point { int x; int y; };
+struct Point g;
+int main() {
+    struct Point local;
+    g.x = 3; g.y = 4;
+    local.x = g.x * 10;
+    local.y = g.y * 10;
+    return local.x + local.y;
+}
+"""
+        assert compile_run(src).exit_code == 70
+
+    def test_struct_pointer_arrow(self):
+        src = """
+struct Node { int v; struct Node *next; };
+int main() {
+    struct Node a, b;
+    a.v = 1; b.v = 2;
+    a.next = &b; b.next = NULL;
+    return a.next->v;
+}
+"""
+        assert compile_run(src).exit_code == 2
+
+    def test_nested_struct_member(self):
+        src = """
+struct Inner { int a; int b; };
+struct Outer { int pad; struct Inner in; };
+int main() {
+    struct Outer o;
+    o.in.a = 5; o.in.b = 6;
+    return o.in.a + o.in.b;
+}
+"""
+        assert compile_run(src).exit_code == 11
+
+    def test_struct_array_field(self):
+        src = """
+struct Buf { char data[8]; int len; };
+int main() {
+    struct Buf b;
+    b.data[0] = 'x'; b.len = 1;
+    return b.data[0] == 'x' && b.len == 1;
+}
+"""
+        assert compile_run(src).exit_code == 1
+
+    def test_malloc_linked_list(self):
+        src = """
+struct Node { int v; struct Node *next; };
+int main() {
+    struct Node *head = NULL;
+    struct Node *n;
+    int i, s = 0;
+    for (i = 0; i < 10; i++) {
+        n = (struct Node *)malloc(sizeof(struct Node));
+        n->v = i; n->next = head; head = n;
+    }
+    for (n = head; n != NULL; n = n->next) { s += n->v; }
+    return s;
+}
+"""
+        assert compile_run(src).exit_code == 45
+
+    def test_malloc_free_reuse(self):
+        src = """
+int main() {
+    char *a = malloc(32);
+    char *b;
+    free(a);
+    b = malloc(16);      // should reuse the freed block
+    return a == b;
+}
+"""
+        assert compile_run(src).exit_code == 1
+
+
+class TestControlFlow:
+    def test_nested_loops_with_break_continue(self):
+        assert returns("""
+int i, j, s = 0;
+for (i = 0; i < 5; i++) {
+    if (i == 3) continue;
+    for (j = 0; j < 5; j++) {
+        if (j > i) break;
+        s += 1;
+    }
+}
+return s;""") == 1 + 2 + 3 + 5
+
+    def test_do_while_runs_once(self):
+        assert returns("int n = 0; do { n++; } while (0); return n;") == 1
+
+    def test_while_zero_never_runs(self):
+        assert returns("int n = 0; while (0) { n++; } return n;") == 0
+
+    def test_deep_recursion(self):
+        src = """
+int depth(int n) { if (n == 0) return 0; return 1 + depth(n - 1); }
+int main() { return depth(200) == 200; }
+"""
+        assert compile_run(src).exit_code == 1
+
+    def test_mutual_recursion(self):
+        src = """
+int is_odd(int n);
+int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+int main() { return is_even(10) * 10 + is_odd(7); }
+"""
+        # note: BLC has no prototypes; drop the decl line
+        src = src.replace("int is_odd(int n);\n", "")
+        assert compile_run(src).exit_code == 11
+
+    def test_many_int_args_spill_to_stack(self):
+        src = """
+int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+    return a + b + c + d + e + f + g + h;
+}
+int main() { return sum8(1, 2, 3, 4, 5, 6, 7, 8); }
+"""
+        assert compile_run(src).exit_code == 36
+
+    def test_register_pressure_spilling(self):
+        # more simultaneously-live values than allocatable registers
+        body = "\n".join(f"int v{i} = {i + 1};" for i in range(30))
+        total = sum(range(1, 31))
+        expr = " + ".join(f"v{i}" for i in range(30))
+        assert returns(f"{body}\nreturn {expr} == {total};") == 1
+
+    def test_values_preserved_across_calls(self):
+        src = """
+int id(int x) { return x; }
+int main() {
+    int a = id(1); int b = id(2); int c = id(3); int d = id(4);
+    int e = id(5); int f = id(6); int g = id(7); int h = id(8);
+    return a + b * 2 + c * 3 + d * 4 + e * 5 + f * 6 + g * 7 + h * 8;
+}
+"""
+        expected = sum(i * i for i in range(1, 9))
+        assert compile_run(src).exit_code == expected
+
+    def test_unoptimized_build_matches(self):
+        src = """
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() { return fib(11); }
+"""
+        opt = compile_run(src, optimize=True).exit_code
+        noopt = compile_run(src, optimize=False).exit_code
+        assert opt == noopt == 89
+
+
+class TestIO:
+    def test_read_and_print(self):
+        out = run_output(
+            "int main() { int a = read_int(); int b = read_int(); "
+            "print_int(a * b); print_char('\\n'); return 0; }",
+            inputs=[6, 7])
+        assert out == "42\n"
+
+    def test_print_str(self):
+        out = run_output('int main() { print_str("x=\\t"); print_int(1); '
+                         "return 0; }")
+        assert out == "x=\t1"
+
+    def test_read_double(self):
+        out = run_output("int main() { print_double(read_double() * 2.0); "
+                         "return 0; }", inputs=[1.25])
+        assert out == "2.5"
+
+    def test_exit_builtin(self):
+        assert returns("exit(7); return 0;") == 7
+
+
+# -- property-based compiled-vs-python check ---------------------------------
+
+_INT_MIN, _INT_MAX = -(2**31), 2**31 - 1
+
+
+def _wrap(v):
+    v &= 0xFFFFFFFF
+    return v - 2**32 if v >= 2**31 else v
+
+
+class _Expr:
+    """Random integer expression tree with C (MIPS) evaluation semantics."""
+
+    def __init__(self, text, value):
+        self.text = text
+        self.value = value
+
+
+@st.composite
+def int_exprs(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        n = draw(st.integers(-100, 100))
+        return _Expr(f"({n})", n)
+    op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+    left = draw(int_exprs(depth=depth + 1))
+    right = draw(int_exprs(depth=depth + 1))
+    if op == "+":
+        value = _wrap(left.value + right.value)
+    elif op == "-":
+        value = _wrap(left.value - right.value)
+    elif op == "*":
+        value = _wrap(left.value * right.value)
+    elif op == "&":
+        value = _wrap(left.value & right.value)
+    elif op == "|":
+        value = _wrap(left.value | right.value)
+    else:
+        value = _wrap(left.value ^ right.value)
+    return _Expr(f"({left.text} {op} {right.text})", value)
+
+
+class TestCompiledExpressionProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(int_exprs())
+    def test_random_expression_matches_python(self, expr):
+        out = run_output(
+            f"int main() {{ print_int({expr.text}); return 0; }}")
+        assert int(out) == expr.value
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=20))
+    def test_array_sort_matches_python(self, values):
+        n = len(values)
+        sets = "\n".join(f"a[{i}] = {v};" for i, v in enumerate(values))
+        src = f"""
+int a[{n}];
+int main() {{
+    int i, j, t;
+    {sets}
+    for (i = 1; i < {n}; i++) {{
+        t = a[i];
+        j = i - 1;
+        while (j >= 0 && a[j] > t) {{ a[j + 1] = a[j]; j--; }}
+        a[j + 1] = t;
+    }}
+    for (i = 0; i < {n}; i++) {{ print_int(a[i]); print_char(' '); }}
+    return 0;
+}}
+"""
+        out = run_output(src)
+        assert [int(x) for x in out.split()] == sorted(values)

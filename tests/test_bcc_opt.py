@@ -1,0 +1,260 @@
+"""Unit tests for the IR optimizer passes, at the IR level."""
+
+import pytest
+
+from repro.bcc.ir import (
+    INT, BinOp, Call, CBr, Copy, Imm, IRBlock, IRFunction, Jump, Load,
+    LoadConst, Ret, Store, FrameSlot,
+)
+from repro.bcc.opt import (
+    _coalesce_copies, _eliminate_dead, _fold_binop, _local_propagate,
+    _simplify_cfg, compute_liveness, optimize_function,
+)
+
+
+def func_of(*blocks: IRBlock) -> IRFunction:
+    f = IRFunction("t")
+    f.blocks = list(blocks)
+    for b in blocks:
+        for inst in b.instructions:
+            for v in list(inst.uses()) + list(inst.defs()):
+                f.vreg_class.setdefault(v, INT)
+    f._next_vreg = max(f.vreg_class, default=0) + 1
+    return f
+
+
+class TestFoldBinop:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("add", 2, 3, 5),
+        ("add", 2**31 - 1, 1, -(2**31)),
+        ("sub", 0, 1, -1),
+        ("mul", -3, 4, -12),
+        ("div", 7, -2, -3),
+        ("rem", -7, 2, -1),
+        ("and", 0xF0, 0x3C, 0x30),
+        ("or", 1, 2, 3),
+        ("xor", 5, 3, 6),
+        ("shl", 1, 31, -(2**31)),
+        ("shr", -8, 1, -4),
+        ("sru", -8, 1, 0x7FFFFFFC),
+        ("slt", -1, 0, 1),
+        ("sltu", -1, 0, 0),
+    ])
+    def test_matches_machine_semantics(self, op, a, b, expected):
+        assert _fold_binop(op, a, b) == expected
+
+    def test_division_by_zero_not_folded(self):
+        assert _fold_binop("div", 1, 0) is None
+        assert _fold_binop("rem", 1, 0) is None
+
+
+class TestLocalPropagate:
+    def test_constant_folding_chain(self):
+        block = IRBlock("b", [
+            LoadConst(0, 6),
+            LoadConst(1, 7),
+            BinOp("mul", 2, 0, 1),
+            Ret(2, INT),
+        ])
+        _local_propagate(block)
+        assert isinstance(block.instructions[2], LoadConst)
+        assert block.instructions[2].value == 42
+
+    def test_algebraic_identities(self):
+        block = IRBlock("b", [
+            BinOp("add", 1, 0, Imm(0)),
+            BinOp("mul", 2, 1, Imm(1)),
+            Ret(2, INT),
+        ])
+        _local_propagate(block)
+        assert isinstance(block.instructions[0], Copy)
+        assert isinstance(block.instructions[1], Copy)
+
+    def test_mul_pow2_becomes_shift(self):
+        block = IRBlock("b", [BinOp("mul", 1, 0, Imm(8)), Ret(1, INT)])
+        _local_propagate(block)
+        inst = block.instructions[0]
+        assert inst.op == "shl" and inst.b == Imm(3)
+
+    def test_immediate_forms(self):
+        block = IRBlock("b", [
+            LoadConst(0, 5),
+            BinOp("add", 2, 1, 0),
+            Ret(2, INT),
+        ])
+        _local_propagate(block)
+        inst = block.instructions[1]
+        assert inst.b == Imm(5)
+
+    def test_no_unsigned_imm_for_negative(self):
+        block = IRBlock("b", [
+            LoadConst(0, -1),
+            BinOp("and", 2, 1, 0),
+            Ret(2, INT),
+        ])
+        _local_propagate(block)
+        assert not isinstance(block.instructions[1].b, Imm)
+
+    def test_constant_branch_becomes_jump(self):
+        block = IRBlock("b", [
+            LoadConst(0, 1),
+            CBr("ne", 0, Imm(0), "yes", "no"),
+        ])
+        _local_propagate(block)
+        assert isinstance(block.instructions[-1], Jump)
+        assert block.instructions[-1].label == "yes"
+
+    def test_copies_not_forward_propagated(self):
+        """Copy sources must NOT replace later uses — that would leave two
+        live names for one value (see Guard-heuristic note in opt.py)."""
+        block = IRBlock("b", [
+            Copy(1, 0),
+            BinOp("add", 2, 1, Imm(1)),
+            Ret(2, INT),
+        ])
+        _local_propagate(block)
+        assert block.instructions[1].a == 1
+
+    def test_redefinition_invalidates_constant(self):
+        block = IRBlock("b", [
+            LoadConst(0, 5),
+            Load(0, FrameSlot(0), 0, "w"),   # clobbers the constant
+            BinOp("add", 1, 0, Imm(0)),      # simplified to Copy, fine
+            CBr("eq", 0, Imm(0), "a", "b"),  # must NOT fold
+        ])
+        _local_propagate(block)
+        assert isinstance(block.instructions[-1], CBr)
+
+
+class TestDeadCode:
+    def test_unused_pure_removed(self):
+        f = func_of(IRBlock("e", [
+            LoadConst(0, 1),
+            LoadConst(1, 2),     # dead
+            Ret(0, INT),
+        ]))
+        _eliminate_dead(f)
+        assert len(f.blocks[0].instructions) == 2
+
+    def test_stores_and_calls_kept(self):
+        f = func_of(IRBlock("e", [
+            LoadConst(0, 1),
+            Store(0, FrameSlot(0), 0, "w"),
+            Call(None, "g", [], [], None),
+            Ret(None, None),
+        ]))
+        _eliminate_dead(f)
+        assert len(f.blocks[0].instructions) == 4
+
+    def test_cross_block_liveness(self):
+        f = func_of(
+            IRBlock("e", [LoadConst(0, 7), Jump("x")]),
+            IRBlock("x", [Ret(0, INT)]),
+        )
+        _eliminate_dead(f)
+        assert len(f.blocks[0].instructions) == 2  # the const is live
+
+    def test_liveness_loop(self):
+        f = func_of(
+            IRBlock("e", [LoadConst(0, 7), Jump("loop")]),
+            IRBlock("loop", [
+                BinOp("add", 0, 0, Imm(1)),
+                CBr("ne", 0, Imm(0), "loop", "out"),
+            ]),
+            IRBlock("out", [Ret(0, INT)]),
+        )
+        live = compute_liveness(f)
+        assert 0 in live["e"]
+        assert 0 in live["loop"]
+
+
+class TestCoalesce:
+    def test_producer_copy_pair_merged(self):
+        f = func_of(IRBlock("e", [
+            BinOp("add", 1, 0, Imm(2)),
+            Copy(2, 1),
+            Ret(2, INT),
+        ]))
+        _coalesce_copies(f)
+        insts = f.blocks[0].instructions
+        assert len(insts) == 2
+        assert insts[0].dst == 2
+
+    def test_not_merged_when_source_reused(self):
+        f = func_of(IRBlock("e", [
+            BinOp("add", 1, 0, Imm(2)),
+            Copy(2, 1),
+            BinOp("add", 3, 1, Imm(1)),  # second use of v1
+            Ret(3, INT),
+        ]))
+        _coalesce_copies(f)
+        assert len(f.blocks[0].instructions) == 4
+
+    def test_not_merged_when_dst_used_between(self):
+        f = func_of(IRBlock("e", [
+            BinOp("add", 1, 0, Imm(2)),
+            BinOp("add", 3, 2, Imm(1)),  # reads old v2
+            Copy(2, 1),
+            Ret(2, INT),
+        ]))
+        _coalesce_copies(f)
+        assert len(f.blocks[0].instructions) == 4
+
+
+class TestSimplifyCfg:
+    def test_jump_threading(self):
+        f = func_of(
+            IRBlock("e", [CBr("eq", 0, Imm(0), "hop", "out")]),
+            IRBlock("hop", [Jump("target")]),
+            IRBlock("target", [Ret(0, INT)]),
+            IRBlock("out", [Ret(0, INT)]),
+        )
+        _simplify_cfg(f)
+        term = f.blocks[0].terminator
+        assert term.true_label == "target"
+
+    def test_unreachable_removed(self):
+        f = func_of(
+            IRBlock("e", [Ret(0, INT)]),
+            IRBlock("island", [Ret(0, INT)]),
+        )
+        _simplify_cfg(f)
+        assert [b.label for b in f.blocks] == ["e"]
+
+    def test_same_target_cbr_to_jump(self):
+        f = func_of(
+            IRBlock("e", [CBr("eq", 0, Imm(0), "x", "x")]),
+            IRBlock("x", [Ret(0, INT)]),
+        )
+        _simplify_cfg(f)
+        assert isinstance(f.blocks[0].instructions[-1],
+                          (Jump, Ret))
+
+    def test_straight_line_merge(self):
+        f = func_of(
+            IRBlock("e", [LoadConst(0, 1), Jump("next")]),
+            IRBlock("next", [Ret(0, INT)]),
+        )
+        _simplify_cfg(f)
+        assert len(f.blocks) == 1
+        assert isinstance(f.blocks[0].terminator, Ret)
+
+
+class TestFixpoint:
+    def test_optimize_function_terminates_and_preserves_semantics(self):
+        f = func_of(
+            IRBlock("e", [
+                LoadConst(0, 10),
+                LoadConst(1, 0),
+                BinOp("add", 2, 0, 1),      # = v0
+                Copy(3, 2),
+                CBr("gt", 3, Imm(0), "pos", "neg"),
+            ]),
+            IRBlock("pos", [LoadConst(4, 1), Jump("out")]),
+            IRBlock("neg", [LoadConst(4, 0), Jump("out")]),
+            IRBlock("out", [Ret(4, INT)]),
+        )
+        optimize_function(f)
+        # whole thing folds: the branch is constant-true
+        labels = [b.label for b in f.blocks]
+        assert "neg" not in labels

@@ -1,0 +1,254 @@
+"""Tests for the BLC parser."""
+
+import pytest
+
+from repro.bcc import ast_nodes as A
+from repro.bcc.errors import CompileError
+from repro.bcc.parser import parse
+
+
+def parse_expr(text: str) -> A.Expr:
+    program = parse(f"int main() {{ return {text}; }}")
+    (func,) = program.decls
+    (ret,) = func.body.statements
+    return ret.value
+
+
+def parse_body(text: str):
+    program = parse(f"int main() {{ {text} }}")
+    return program.decls[0].body.statements
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, A.Binary) and e.op == "+"
+        assert isinstance(e.right, A.Binary) and e.right.op == "*"
+
+    def test_left_associativity(self):
+        e = parse_expr("1 - 2 - 3")
+        assert e.op == "-" and isinstance(e.left, A.Binary)
+        assert e.left.op == "-"
+
+    def test_parentheses(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*" and isinstance(e.left, A.Binary)
+
+    def test_comparison_below_logic(self):
+        e = parse_expr("a < b && c > d")
+        assert e.op == "&&"
+        assert e.left.op == "<" and e.right.op == ">"
+
+    def test_or_below_and(self):
+        e = parse_expr("a || b && c")
+        assert e.op == "||"
+        assert e.right.op == "&&"
+
+    def test_bitwise_between(self):
+        e = parse_expr("a | b ^ c & d")
+        assert e.op == "|"
+        assert e.right.op == "^"
+        assert e.right.right.op == "&"
+
+    def test_shift(self):
+        e = parse_expr("a << 2 + 1")
+        assert e.op == "<<"
+        assert e.right.op == "+"
+
+    def test_assignment_right_associative(self):
+        e = parse_expr("a = b = 1")
+        assert isinstance(e, A.Assign)
+        assert isinstance(e.value, A.Assign)
+
+    def test_compound_assignment(self):
+        e = parse_expr("a += 2")
+        assert isinstance(e, A.Assign) and e.op == "+"
+
+    def test_ternary(self):
+        e = parse_expr("a ? b : c ? d : e")
+        assert isinstance(e, A.Cond)
+        assert isinstance(e.otherwise, A.Cond)
+
+    def test_unary_chain(self):
+        e = parse_expr("-!~*p")
+        assert e.op == "-"
+        assert e.operand.op == "!"
+        assert e.operand.operand.op == "~"
+        assert e.operand.operand.operand.op == "*"
+
+    def test_unary_plus_is_noop(self):
+        e = parse_expr("+x")
+        assert isinstance(e, A.Ident)
+
+    def test_prefix_postfix_incdec(self):
+        pre = parse_expr("++x")
+        post = parse_expr("x++")
+        assert isinstance(pre, A.IncDec) and pre.is_prefix
+        assert isinstance(post, A.IncDec) and not post.is_prefix
+
+    def test_call_args(self):
+        e = parse_expr("f(1, g(2), 3)")
+        assert isinstance(e, A.Call) and len(e.args) == 3
+        assert isinstance(e.args[1], A.Call)
+
+    def test_index_and_member_chain(self):
+        e = parse_expr("a[1].f->g[2]")
+        assert isinstance(e, A.Index)
+        assert isinstance(e.base, A.Member) and e.base.arrow
+        assert isinstance(e.base.base, A.Member) and not e.base.base.arrow
+
+    def test_cast(self):
+        e = parse_expr("(char *)p")
+        assert isinstance(e, A.Cast)
+        assert e.target_type.base == "char"
+        assert e.target_type.pointer_depth == 1
+
+    def test_cast_struct_pointer(self):
+        e = parse_expr("(struct Foo *)p")
+        assert isinstance(e, A.Cast)
+        assert e.target_type.base == ("struct", "Foo")
+
+    def test_sizeof_type(self):
+        e = parse_expr("sizeof(int)")
+        assert isinstance(e, A.SizeofType)
+
+    def test_sizeof_struct(self):
+        e = parse_expr("sizeof(struct Foo)")
+        assert e.target_type.base == ("struct", "Foo")
+
+    def test_string_literal(self):
+        e = parse_expr('"abc"')
+        assert isinstance(e, A.StringLit) and e.value == "abc"
+
+    def test_error_position(self):
+        with pytest.raises(CompileError, match="2:"):
+            parse("int main() {\n return ); }")
+
+
+class TestStatements:
+    def test_if_else(self):
+        (stmt,) = parse_body("if (a) x = 1; else x = 2;")
+        assert isinstance(stmt, A.If)
+        assert stmt.otherwise is not None
+
+    def test_dangling_else_binds_inner(self):
+        (stmt,) = parse_body("if (a) if (b) x = 1; else x = 2;")
+        assert stmt.otherwise is None
+        assert stmt.then.otherwise is not None
+
+    def test_while(self):
+        (stmt,) = parse_body("while (a) { x = 1; }")
+        assert isinstance(stmt, A.While)
+        assert isinstance(stmt.body, A.Block)
+
+    def test_do_while(self):
+        (stmt,) = parse_body("do x = 1; while (a);")
+        assert isinstance(stmt, A.DoWhile)
+
+    def test_for_full(self):
+        (stmt,) = parse_body("for (i = 0; i < 10; i++) x += i;")
+        assert isinstance(stmt, A.For)
+        assert stmt.init is not None and stmt.cond is not None
+        assert stmt.step is not None
+
+    def test_for_empty_parts(self):
+        (stmt,) = parse_body("for (;;) break;")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_for_with_declaration(self):
+        (stmt,) = parse_body("for (int i = 0; i < 3; i++) ;")
+        assert isinstance(stmt.init, A.VarDecl)
+
+    def test_break_continue_return(self):
+        stmts = parse_body("while (1) { break; continue; } return 0;")
+        assert isinstance(stmts[-1], A.Return)
+
+    def test_return_void(self):
+        program = parse("void f() { return; }")
+        (ret,) = program.decls[0].body.statements
+        assert ret.value is None
+
+    def test_empty_statement(self):
+        (stmt,) = parse_body(";")
+        assert isinstance(stmt, A.Empty)
+
+    def test_multi_declarator(self):
+        stmts = parse_body("int a, b = 2, *p;")
+        assert len(stmts) == 3
+        assert all(isinstance(s, A.VarDecl) for s in stmts)
+        assert stmts[1].init is not None
+        assert stmts[2].declared_type.pointer_depth == 1
+
+    def test_local_array(self):
+        (stmt,) = parse_body("double m[4][5];")
+        assert stmt.declared_type.array_dims == [4, 5]
+
+    def test_array_dim_must_be_literal(self):
+        with pytest.raises(CompileError, match="integer literal"):
+            parse_body("int a[n];")
+
+    def test_array_dim_must_be_positive(self):
+        with pytest.raises(CompileError, match="positive"):
+            parse_body("int a[0];")
+
+
+class TestTopLevel:
+    def test_function_with_params(self):
+        program = parse("int f(int a, char *b, double c) { return a; }")
+        func = program.decls[0]
+        assert [p.name for p in func.params] == ["a", "b", "c"]
+        assert func.params[1].declared_type.pointer_depth == 1
+
+    def test_void_param_list(self):
+        program = parse("int f(void) { return 0; }")
+        assert program.decls[0].params == []
+
+    def test_array_param_decays(self):
+        program = parse("int f(int a[]) { return a[0]; }")
+        assert program.decls[0].params[0].declared_type.pointer_depth == 1
+
+    def test_array_param_with_size_decays(self):
+        program = parse("int f(int a[10]) { return a[0]; }")
+        assert program.decls[0].params[0].declared_type.pointer_depth == 1
+
+    def test_globals(self):
+        program = parse("int x = 5;\ndouble d;\nchar *s = \"hi\";\n"
+                        "int arr[10];")
+        assert len(program.decls) == 4
+        assert isinstance(program.decls[0].init, A.IntLit)
+        assert program.decls[3].declared_type.array_dims == [10]
+
+    def test_multiple_global_declarators(self):
+        program = parse("int a, b = 1;")
+        assert len(program.decls) == 2
+
+    def test_struct_definition(self):
+        program = parse("struct P { int x; int y; double w; };")
+        (struct,) = program.decls
+        assert isinstance(struct, A.StructDef)
+        assert [f[0] for f in struct.fields] == ["x", "y", "w"]
+
+    def test_struct_multi_field_declarators(self):
+        program = parse("struct P { int x, y; };")
+        assert len(program.decls[0].fields) == 2
+
+    def test_struct_with_pointer_field(self):
+        program = parse("struct N { int v; struct N *next; };")
+        fields = program.decls[0].fields
+        assert fields[1][1].pointer_depth == 1
+
+    def test_struct_array_field(self):
+        program = parse("struct B { char name[16]; };")
+        assert program.decls[0].fields[0][1].array_dims == [16]
+
+    def test_struct_global_variable(self):
+        program = parse("struct P { int x; };\nstruct P origin;")
+        assert isinstance(program.decls[1], A.GlobalVar)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(CompileError):
+            parse("int main() { return 0 }")
+
+    def test_unclosed_block(self):
+        with pytest.raises(CompileError):
+            parse("int main() { if (1) {")

@@ -1,0 +1,176 @@
+"""Unit tests for liveness intervals and linear-scan register allocation."""
+
+from repro.bcc.ir import (
+    FP, INT, BinOp, Call, Copy, Imm, IRBlock, IRFunction, Jump, LoadConst,
+    LoadFConst, Ret, CBr, FBinOp,
+)
+from repro.bcc.regalloc import (
+    FP_CALLER, INT_CALLEE, INT_CALLER, _build_intervals, allocate_registers,
+)
+
+
+def func_of(blocks, params=(), classes=None) -> IRFunction:
+    f = IRFunction("t")
+    f.blocks = list(blocks)
+    f.params = list(params)
+    classes = classes or {}
+    for b in blocks:
+        for inst in b.instructions:
+            for v in list(inst.uses()) + list(inst.defs()):
+                f.vreg_class.setdefault(v, classes.get(v, INT))
+    for _, v, k in f.params:
+        f.vreg_class.setdefault(v, k)
+    f._next_vreg = max(f.vreg_class, default=0) + 1
+    return f
+
+
+class TestIntervals:
+    def test_simple_interval(self):
+        f = func_of([IRBlock("e", [
+            LoadConst(0, 1),          # pos 0: def v0
+            BinOp("add", 1, 0, Imm(1)),  # pos 1: use v0, def v1
+            Ret(1, INT),              # pos 2: use v1
+        ])])
+        intervals, calls = _build_intervals(f)
+        by_vreg = {iv.vreg: iv for iv in intervals}
+        assert by_vreg[0].start == 0 and by_vreg[0].end == 1
+        assert by_vreg[1].start == 1 and by_vreg[1].end == 2
+        assert calls == []
+
+    def test_param_starts_before_first_instruction(self):
+        f = func_of([IRBlock("e", [
+            Call(1, "g", [], [], INT),     # pos 0: a call at position 0!
+            BinOp("add", 2, 0, 1),         # uses param v0 afterwards
+            Ret(2, INT),
+        ])], params=[("p", 0, INT)])
+        intervals, _ = _build_intervals(f)
+        p = next(iv for iv in intervals if iv.vreg == 0)
+        assert p.start == -1
+        assert p.crosses_call  # the regression that broke minilisp
+
+    def test_crosses_call_detection(self):
+        f = func_of([IRBlock("e", [
+            LoadConst(0, 1),
+            Call(1, "g", [], [], INT),
+            BinOp("add", 2, 0, 1),
+            Ret(2, INT),
+        ])])
+        intervals, _ = _build_intervals(f)
+        by_vreg = {iv.vreg: iv for iv in intervals}
+        assert by_vreg[0].crosses_call
+        assert not by_vreg[1].crosses_call   # defined by the call itself
+        assert not by_vreg[2].crosses_call
+
+    def test_argument_ending_at_call_does_not_cross(self):
+        f = func_of([IRBlock("e", [
+            LoadConst(0, 1),
+            Call(1, "g", [0], [INT], INT),   # v0's last use is the call
+            Ret(1, INT),
+        ])])
+        intervals, _ = _build_intervals(f)
+        v0 = next(iv for iv in intervals if iv.vreg == 0)
+        assert not v0.crosses_call
+
+    def test_loop_widens_interval(self):
+        f = func_of([
+            IRBlock("e", [LoadConst(0, 10), Jump("loop")]),
+            IRBlock("loop", [
+                BinOp("add", 0, 0, Imm(-1)),
+                CBr("ne", 0, Imm(0), "loop", "out"),
+            ]),
+            IRBlock("out", [Ret(0, INT)]),
+        ])
+        intervals, _ = _build_intervals(f)
+        v0 = next(iv for iv in intervals if iv.vreg == 0)
+        # live through the whole function
+        assert v0.start == 0
+        assert v0.end >= 4
+
+
+class TestAllocation:
+    def test_all_vregs_located(self):
+        f = func_of([IRBlock("e", [
+            LoadConst(0, 1),
+            BinOp("add", 1, 0, Imm(1)),
+            Ret(1, INT),
+        ])])
+        alloc = allocate_registers(f)
+        assert set(alloc.location) >= {0, 1}
+
+    def test_non_crossing_gets_caller_saved_first(self):
+        f = func_of([IRBlock("e", [
+            LoadConst(0, 1),
+            Ret(0, INT),
+        ])])
+        alloc = allocate_registers(f)
+        assert alloc.reg_of(0) in INT_CALLER
+
+    def test_call_crossing_value_not_in_caller_saved(self):
+        f = func_of([IRBlock("e", [
+            LoadConst(0, 1),
+            Call(1, "g", [], [], INT),
+            BinOp("add", 2, 0, 1),
+            Ret(2, INT),
+        ])])
+        alloc = allocate_registers(f)
+        reg = alloc.reg_of(0)
+        assert reg is None or reg in INT_CALLEE
+
+    def test_used_callee_saved_reported(self):
+        f = func_of([IRBlock("e", [
+            LoadConst(0, 1),
+            Call(1, "g", [], [], INT),
+            BinOp("add", 2, 0, 1),
+            Ret(2, INT),
+        ])])
+        alloc = allocate_registers(f)
+        if alloc.reg_of(0) is not None:
+            assert alloc.reg_of(0) in alloc.used_int_callee
+
+    def test_spilling_under_pressure(self):
+        # 30 simultaneously-live ints > 16 allocatable registers
+        insts = [LoadConst(i, i) for i in range(30)]
+        acc = 30
+        prev = 0
+        for i in range(1, 30):
+            insts.append(BinOp("add", acc, prev, i))
+            prev = acc
+            acc += 1
+        insts.append(Ret(prev, INT))
+        f = func_of([IRBlock("e", insts)])
+        alloc = allocate_registers(f)
+        assert alloc.int_spills > 0
+        # no two overlapping intervals share a register
+        intervals, _ = _build_intervals(f)
+        placed = [iv for iv in intervals
+                  if alloc.reg_of(iv.vreg) is not None]
+        for a in placed:
+            for b in placed:
+                if a.vreg < b.vreg and \
+                        alloc.reg_of(a.vreg) == alloc.reg_of(b.vreg):
+                    assert a.end < b.start or b.end < a.start
+
+    def test_fp_pool_separate(self):
+        f = func_of(
+            [IRBlock("e", [
+                LoadFConst(0, 1.5),
+                LoadConst(1, 2),
+                FBinOp("fadd", 2, 0, 0),
+                Ret(1, INT),
+            ])],
+            classes={0: FP, 2: FP})
+        alloc = allocate_registers(f)
+        assert alloc.reg_of(0) in FP_CALLER
+        assert alloc.reg_of(1) in INT_CALLER
+
+    def test_distinct_registers_same_position(self):
+        """Operands and results live at the same instruction never share."""
+        f = func_of([IRBlock("e", [
+            LoadConst(0, 1),
+            LoadConst(1, 2),
+            BinOp("add", 2, 0, 1),
+            BinOp("add", 3, 2, 0),
+            Ret(3, INT),
+        ])])
+        alloc = allocate_registers(f)
+        assert alloc.reg_of(0) != alloc.reg_of(2)

@@ -1,0 +1,291 @@
+"""Tests for BLC semantic analysis: types, conversions, scoping, errors."""
+
+import pytest
+
+from repro.bcc import ast_nodes as A
+from repro.bcc.errors import CompileError
+from repro.bcc.parser import parse
+from repro.bcc.sema import analyze
+from repro.bcc.types import CHAR, DOUBLE, INT, PointerType
+
+
+def check(source: str):
+    return analyze(parse(source))
+
+
+def expr_type(expr_text: str, prelude: str = "", decls: str = ""):
+    info = check(f"{prelude}\nint main() {{ {decls} return 0 + 0 * "
+                 f"(({expr_text}) != 0); }}")
+    return info
+
+
+class TestDeclarations:
+    def test_globals_registered(self):
+        info = check("int a;\ndouble b;\nint main() { return 0; }")
+        assert [g.name for g in info.globals] == ["a", "b"]
+
+    def test_duplicate_global(self):
+        with pytest.raises(CompileError, match="redefinition"):
+            check("int a;\nint a;\nint main() { return 0; }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(CompileError, match="redefinition"):
+            check("int f() { return 0; }\nint f() { return 1; }\n"
+                  "int main() { return 0; }")
+
+    def test_void_variable_rejected(self):
+        with pytest.raises(CompileError, match="void"):
+            check("void v;\nint main() { return 0; }")
+
+    def test_void_pointer_allowed(self):
+        check("void *p;\nint main() { return 0; }")
+
+    def test_struct_layout(self):
+        info = check("struct S { char c; int i; double d; };\n"
+                     "int main() { return sizeof(struct S); }")
+        s = info.structs["S"]
+        assert s.field_named("c").offset == 0
+        assert s.field_named("i").offset == 4
+        assert s.field_named("d").offset == 8
+        assert s.size() == 16
+        assert s.align() == 8
+
+    def test_struct_by_value_before_definition(self):
+        with pytest.raises(CompileError, match="before its definition"):
+            check("struct Later x;\nstruct Later { int a; };\n"
+                  "int main() { return 0; }")
+
+    def test_self_referential_struct_pointer(self):
+        check("struct N { int v; struct N *next; };\n"
+              "int main() { return 0; }")
+
+    def test_struct_redefinition(self):
+        with pytest.raises(CompileError, match="redefined"):
+            check("struct S { int a; };\nstruct S { int b; };\n"
+                  "int main() { return 0; }")
+
+    def test_duplicate_field(self):
+        with pytest.raises(CompileError, match="duplicate field"):
+            check("struct S { int a; int a; };\nint main() { return 0; }")
+
+    def test_function_used_before_definition(self):
+        check("int f() { return g(); }\nint g() { return 1; }\n"
+              "int main() { return f(); }")
+
+    def test_reserved_runtime_name(self):
+        with pytest.raises(CompileError, match="reserved"):
+            check("void print_int(int x) { }\nint main() { return 0; }")
+
+    def test_runtime_signature_must_match(self):
+        with pytest.raises(CompileError, match="signature"):
+            check("int malloc(int n, int m) { return 0; }\n"
+                  "int main() { return 0; }")
+
+    def test_struct_param_rejected(self):
+        with pytest.raises(CompileError, match="scalar"):
+            check("struct S { int a; };\nint f(struct S s) { return 0; }\n"
+                  "int main() { return 0; }")
+
+    def test_struct_return_rejected(self):
+        with pytest.raises(CompileError, match="pointer"):
+            check("struct S { int a; };\nstruct S f() { }\n"
+                  "int main() { return 0; }")
+
+    def test_global_init_constant_folding(self):
+        info = check("int x = 2 * 3 + 1;\nint main() { return 0; }")
+        assert isinstance(info.globals[0].init, A.IntLit)
+        assert info.globals[0].init.value == 7
+
+    def test_global_init_negative(self):
+        info = check("int x = -5;\nint main() { return 0; }")
+        assert info.globals[0].init.value == -5
+
+    def test_global_init_non_constant(self):
+        with pytest.raises(CompileError, match="constant"):
+            check("int y;\nint x = y + 1;\nint main() { return 0; }")
+
+    def test_global_string_init(self):
+        check('char *msg = "hello";\nint main() { return 0; }')
+
+    def test_array_global_no_initializer(self):
+        with pytest.raises(CompileError, match="scalar"):
+            check("int a[4] = 1;\nint main() { return 0; }")
+
+
+class TestScoping:
+    def test_undeclared_identifier(self):
+        with pytest.raises(CompileError, match="undeclared"):
+            check("int main() { return nope; }")
+
+    def test_block_scoping(self):
+        check("int main() { int a = 1; { int a = 2; } return a; }")
+
+    def test_inner_scope_not_visible_outside(self):
+        with pytest.raises(CompileError, match="undeclared"):
+            check("int main() { { int a = 1; } return a; }")
+
+    def test_duplicate_local_same_scope(self):
+        with pytest.raises(CompileError, match="redefinition"):
+            check("int main() { int a; int a; return 0; }")
+
+    def test_param_visible(self):
+        check("int f(int a) { return a; }\nint main() { return f(1); }")
+
+    def test_function_as_value_rejected(self):
+        with pytest.raises(CompileError, match="function pointers"):
+            check("int f() { return 0; }\nint main() { return f; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError, match="break"):
+            check("int main() { break; return 0; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(CompileError, match="continue"):
+            check("int main() { continue; return 0; }")
+
+
+class TestTypeChecking:
+    def test_arith_conversion_to_double(self):
+        info = check("int main() { double d; int i; i = 1; d = i + 1.5; "
+                     "return 0; }")
+        assert info is not None
+
+    def test_pointer_plus_int(self):
+        check("int main() { int a[4]; int *p; p = a + 1; return 0; }")
+
+    def test_pointer_minus_pointer(self):
+        check("int main() { int a[4]; return (a + 3) - a; }")
+
+    def test_pointer_plus_pointer_rejected(self):
+        with pytest.raises(CompileError):
+            check("int main() { int a[4]; int *p; p = a + a; return 0; }")
+
+    def test_incompatible_pointer_assignment(self):
+        with pytest.raises(CompileError, match="cast"):
+            check("int main() { int *p; double *q; q = 0; p = q; return 0; }")
+
+    def test_void_pointer_interchange(self):
+        check("int main() { void *v; int *p; p = 0; v = p; p = v; "
+              "return 0; }")
+
+    def test_null_literal_to_pointer(self):
+        check("int main() { int *p = NULL; return p == NULL; }")
+
+    def test_pointer_int_comparison_rejected(self):
+        with pytest.raises(CompileError):
+            check("int main() { int *p; p = 0; return p == 3; }")
+
+    def test_explicit_pointer_casts(self):
+        check("struct S { int a; };\n"
+              "int main() { char *m; struct S *s; m = malloc(8); "
+              "s = (struct S *)m; return s->a; }")
+
+    def test_int_to_pointer_needs_cast(self):
+        with pytest.raises(CompileError):
+            check("int main() { int *p; p = 5; return 0; }")
+
+    def test_int_to_pointer_with_cast(self):
+        check("int main() { int *p; p = (int *)256; return 0; }")
+
+    def test_deref_non_pointer(self):
+        with pytest.raises(CompileError, match="dereference"):
+            check("int main() { int x; return *x; }")
+
+    def test_deref_void_pointer(self):
+        with pytest.raises(CompileError, match="void"):
+            check("int main() { void *p; p = 0; return *p; }")
+
+    def test_address_of_rvalue(self):
+        with pytest.raises(CompileError, match="address"):
+            check("int main() { int *p; p = &(1 + 2); return 0; }")
+
+    def test_address_of_marks_symbol(self):
+        info = check("int main() { int x; int *p; p = &x; return *p; }")
+        func = info.functions[-1]
+        decl = func.body.statements[0]
+        assert decl.symbol.address_taken
+
+    def test_mod_requires_ints(self):
+        with pytest.raises(CompileError):
+            check("int main() { double d; d = 1.0; return 2 % (int)d + "
+                  "(int)(d % 2.0); }")
+
+    def test_shift_requires_ints(self):
+        with pytest.raises(CompileError):
+            check("int main() { double d; d = 1.0; return 1 << d; }")
+
+    def test_condition_must_be_scalar(self):
+        with pytest.raises(CompileError, match="scalar"):
+            check("struct S { int a; };\nstruct S g;\n"
+                  "int main() { if (g) return 1; return 0; }")
+
+    def test_assignment_to_rvalue(self):
+        with pytest.raises(CompileError, match="lvalue"):
+            check("int main() { 1 = 2; return 0; }")
+
+    def test_whole_struct_assignment_rejected(self):
+        with pytest.raises(CompileError, match="memcpy"):
+            check("struct S { int a; };\nstruct S x, y;\n"
+                  "int main() { x = y; return 0; }")
+
+    def test_member_on_non_struct(self):
+        with pytest.raises(CompileError):
+            check("int main() { int x; return x.f; }")
+
+    def test_arrow_on_non_pointer(self):
+        with pytest.raises(CompileError, match="pointer"):
+            check("struct S { int a; };\nstruct S g;\n"
+                  "int main() { return g->a; }")
+
+    def test_unknown_field(self):
+        with pytest.raises(CompileError, match="no field"):
+            check("struct S { int a; };\nstruct S g;\n"
+                  "int main() { return g.b; }")
+
+    def test_call_arity(self):
+        with pytest.raises(CompileError, match="arguments"):
+            check("int f(int a) { return a; }\nint main() { return f(); }")
+
+    def test_call_undefined(self):
+        with pytest.raises(CompileError, match="undefined function"):
+            check("int main() { return zap(); }")
+
+    def test_arg_conversion(self):
+        check("double f(double d) { return d; }\n"
+              "int main() { return (int)f(3); }")
+
+    def test_return_type_mismatch(self):
+        with pytest.raises(CompileError):
+            check("int *f() { int x; return &x; }\n"
+                  "int main() { double *d; d = 0; return 0; }\n"
+                  "double *g() { return f(); }")
+
+    def test_return_value_in_void(self):
+        with pytest.raises(CompileError, match="void"):
+            check("void f() { return 1; }\nint main() { return 0; }")
+
+    def test_return_without_value(self):
+        with pytest.raises(CompileError, match="without value"):
+            check("int f() { return; }\nint main() { return 0; }")
+
+    def test_index_requires_integer(self):
+        with pytest.raises(CompileError, match="integer"):
+            check("int main() { int a[4]; double d; d = 1.0; "
+                  "return a[d]; }")
+
+    def test_ternary_arm_unification(self):
+        check("int main() { double d; d = 1 ? 2 : 3.5; return (int)d; }")
+
+    def test_ternary_pointer_null(self):
+        check("int main() { int a[2]; int *p; p = 1 ? a : NULL; "
+              "return 0; }")
+
+    def test_incdec_requires_lvalue(self):
+        with pytest.raises(CompileError, match="lvalue"):
+            check("int main() { return (1 + 2)++; }")
+
+    def test_sizeof_values(self):
+        info = check("struct S { int a; double b; };\n"
+                     "int main() { return sizeof(struct S) + sizeof(int *) "
+                     "+ sizeof(char); }")
+        assert info is not None

@@ -1,0 +1,126 @@
+"""Tests for the benchmark suite: compilation, execution, determinism."""
+
+import pytest
+
+from repro.bench import FP_GROUP, INT_GROUP, get, suite, suite_names
+from repro.sim import Machine
+
+_EXECUTABLES = {}
+
+
+def compiled(name):
+    if name not in _EXECUTABLES:
+        _EXECUTABLES[name] = get(name).compile()
+    return _EXECUTABLES[name]
+
+
+def run_small(name, max_instructions=25_000_000):
+    benchmark = get(name)
+    ds = benchmark.dataset("small")
+    machine = Machine(compiled(name), inputs=list(ds.inputs),
+                      max_instructions=max_instructions)
+    return machine.run()
+
+
+class TestRegistry:
+    def test_suite_size(self):
+        assert len(suite()) == 22
+
+    def test_groups_partition_suite(self):
+        assert set(INT_GROUP) | set(FP_GROUP) == set(suite_names())
+        assert not set(INT_GROUP) & set(FP_GROUP)
+
+    def test_every_benchmark_has_three_datasets(self):
+        for b in suite():
+            assert len(b.datasets) == 3
+            assert {d.name for d in b.datasets} == {"ref", "small", "alt"}
+
+    def test_dataset_lookup(self):
+        b = get("queens")
+        assert b.dataset("ref").inputs
+        with pytest.raises(KeyError):
+            b.dataset("nope")
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            get("not_a_benchmark")
+
+    def test_paper_analogues_documented(self):
+        for b in suite():
+            assert b.paper_analogue
+            assert b.description
+
+    def test_sources_readable(self):
+        for b in suite():
+            source = b.source()
+            assert "int main()" in source
+
+
+@pytest.mark.parametrize("name", suite_names())
+class TestExecution:
+    def test_compiles(self, name):
+        exe = compiled(name)
+        assert len(exe.procedures) > 20   # program + runtime library
+
+    def test_runs_and_produces_output(self, name):
+        status = run_small(name)
+        assert status.output.strip()
+        assert status.exit_code == 0
+        assert status.dynamic_branches > 100
+
+    def test_deterministic(self, name):
+        a = run_small(name)
+        b = run_small(name)
+        assert a.output == b.output
+        assert a.instr_count == b.instr_count
+
+
+class TestWorkloadShape:
+    def test_fp_group_executes_fp_instructions(self):
+        for name in FP_GROUP:
+            status = run_small(name)
+            machine = Machine(compiled(name))
+            # static check is enough: program text contains FP arithmetic
+            ops = {i.op.name for i in compiled(name).instructions}
+            assert ops & {"add.d", "mul.d"}, name
+
+    def test_suite_spans_loop_heavy_and_branch_heavy(self):
+        """matmul must be loop-dominated; quad must be non-loop-dominated —
+        matching matrix300 (4% non-loop) vs fpppp (86% non-loop)."""
+        from conftest import profile_of
+        from repro.core import classify_branches
+
+        def non_loop_fraction(name):
+            exe = compiled(name)
+            analysis = classify_branches(exe)
+            ds = get(name).dataset("small")
+            profile = profile_of(exe, inputs=list(ds.inputs),
+                                 max_instructions=25_000_000)
+            nl = sum(profile.execution_count(b.address)
+                     for b in analysis.non_loop_branches())
+            return nl / profile.total_dynamic_branches
+
+        assert non_loop_fraction("matmul") < 0.2
+        assert non_loop_fraction("quad") > 0.6
+
+    def test_lzw_roundtrip_verifies(self):
+        status = run_small("lzw")
+        ncodes, out_len, ok = status.output.split()
+        assert ok == "1"
+        assert int(ncodes) < int(out_len)  # it actually compressed
+
+    def test_queens_known_solution_count(self):
+        status = run_small("queens")     # 7-queens, all solutions
+        solutions, _ = status.output.split()
+        assert solutions == "40"
+
+    def test_gauss_solves(self):
+        status = run_small("gauss")
+        checksum, singular = status.output.split()
+        assert singular == "0"
+
+    def test_cg_converges(self):
+        status = run_small("cg")
+        lines = status.output.strip().splitlines()
+        iterations = int(lines[-1])
+        assert 0 < iterations <= 40

@@ -1,0 +1,264 @@
+"""Tests for CFG construction, dominators/postdominators, and natural loops."""
+
+import pytest
+
+from repro.cfg import (
+    CFGError, EdgeKind, analyze_loops, build_all_cfgs, build_cfg,
+    compute_dominators, compute_postdominators,
+)
+from repro.isa import assemble
+
+
+def cfg_of(body: str, name: str = "f"):
+    src = f".text\n.ent {name}\n{name}:\n{body}\n.end {name}\n"
+    exe = assemble(src)
+    return build_cfg(exe.procedure(name))
+
+
+STRAIGHT = "nop\nnop\njr $ra"
+
+DIAMOND = """
+    beq $t0, $zero, Lelse
+    li $t1, 1
+    j Ljoin
+Lelse:
+    li $t1, 2
+Ljoin:
+    jr $ra
+"""
+
+LOOP = """
+    li $t0, 0
+Lhead:
+    addiu $t0, $t0, 1
+    bne $t0, $t1, Lhead
+    jr $ra
+"""
+
+#: the paper's Figure 1: loop with body-internal branch and two exits
+FIGURE1 = """
+A:  beq $t0, $zero, B
+B:  nop
+C:  bne $t1, $zero, F
+D:  beq $t2, $zero, B
+E:  bne $t3, $zero, B
+F:  jr $ra
+"""
+
+
+class TestBuilder:
+    def test_straight_line_single_block(self):
+        cfg = cfg_of(STRAIGHT)
+        assert len(cfg) == 1
+        assert cfg.entry.last.is_return
+        assert cfg.exit_blocks() == [cfg.entry]
+
+    def test_diamond_shape(self):
+        cfg = cfg_of(DIAMOND)
+        assert len(cfg) == 4
+        entry = cfg.entry
+        assert entry.is_branch_block
+        kinds = {e.kind for e in entry.out_edges}
+        assert kinds == {EdgeKind.TARGET, EdgeKind.FALLTHRU}
+
+    def test_target_edge_order(self):
+        cfg = cfg_of(DIAMOND)
+        entry = cfg.entry
+        assert entry.target_edge().kind is EdgeKind.TARGET
+        assert entry.fallthru_edge().kind is EdgeKind.FALLTHRU
+        # taken edge of `beq ... Lelse` goes to the Lelse block
+        assert entry.target_edge().dst.instructions[0].op.name == "addiu" \
+            or entry.target_edge().dst.start_address > \
+            entry.fallthru_edge().dst.start_address
+
+    def test_loop_edges(self):
+        cfg = cfg_of(LOOP)
+        branch_block = next(b for b in cfg.blocks if b.is_branch_block)
+        target = branch_block.target_edge().dst
+        assert target.start_address <= branch_block.start_address
+
+    def test_call_does_not_end_block(self):
+        src = (".text\n.ent f\nf:\njal g\nnop\njr $ra\n.end f\n"
+               ".ent g\ng:\njr $ra\n.end g\n")
+        cfg = build_cfg(assemble(src).procedure("f"))
+        assert len(cfg) == 1
+        assert cfg.entry.contains_call()
+
+    def test_unreachable_code_dropped(self):
+        cfg = cfg_of("jr $ra\nnop\nnop")
+        assert len(cfg) == 1
+
+    def test_unreachable_after_jump_dropped(self):
+        cfg = cfg_of("j L\nli $t0, 1\nL: jr $ra")
+        assert len(cfg) == 2
+
+    def test_branch_outside_procedure_rejected(self):
+        src = (".text\n.ent f\nf:\nL: nop\njr $ra\n.end f\n"
+               ".ent g\ng:\nbne $t0, $zero, L\njr $ra\n.end g\n")
+        exe = assemble(src)
+        with pytest.raises(CFGError, match="outside"):
+            build_cfg(exe.procedure("g"))
+
+    def test_branch_without_fallthrough_rejected(self):
+        with pytest.raises(CFGError, match="fall-through"):
+            cfg_of("L: beq $t0, $zero, L")
+
+    def test_build_all(self):
+        src = (".text\n.ent f\nf:\njr $ra\n.end f\n"
+               ".ent g\ng:\njr $ra\n.end g\n")
+        cfgs = build_all_cfgs(assemble(src))
+        assert set(cfgs) == {"f", "g"}
+
+    def test_block_lookup(self):
+        cfg = cfg_of(DIAMOND)
+        b = cfg.blocks[1]
+        assert cfg.block_at(b.start_address) is b
+        assert cfg.block_containing(b.end_address) is b
+
+    def test_to_dot_mentions_blocks(self):
+        dot = cfg_of(DIAMOND).to_dot()
+        assert "digraph" in dot and "B0" in dot
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        cfg = cfg_of(FIGURE1)
+        dom = compute_dominators(cfg)
+        assert all(dom.dominates(cfg.entry, b) for b in cfg.blocks)
+
+    def test_reflexive(self):
+        cfg = cfg_of(DIAMOND)
+        dom = compute_dominators(cfg)
+        for b in cfg.blocks:
+            assert dom.dominates(b, b)
+            assert not dom.strictly_dominates(b, b)
+
+    def test_diamond_arms_do_not_dominate_join(self):
+        cfg = cfg_of(DIAMOND)
+        dom = compute_dominators(cfg)
+        join = cfg.blocks[-1]
+        then_block, else_block = cfg.blocks[1], cfg.blocks[2]
+        assert not dom.dominates(then_block, join)
+        assert not dom.dominates(else_block, join)
+        assert dom.dominates(cfg.entry, join)
+
+    def test_dominators_of_chain(self):
+        cfg = cfg_of(DIAMOND)
+        dom = compute_dominators(cfg)
+        join = cfg.blocks[-1]
+        chain = dom.dominators_of(join)
+        assert chain[0] is join
+        assert chain[-1] is cfg.entry
+
+    def test_postdominators_diamond(self):
+        cfg = cfg_of(DIAMOND)
+        pdom = compute_postdominators(cfg)
+        join = cfg.blocks[-1]
+        assert pdom.dominates(join, cfg.entry)
+        assert pdom.dominates(join, cfg.blocks[1])
+        assert not pdom.dominates(cfg.blocks[1], cfg.entry)
+
+    def test_postdominators_loop(self):
+        cfg = cfg_of(LOOP)
+        pdom = compute_postdominators(cfg)
+        exit_block = cfg.exit_blocks()[0]
+        assert all(pdom.dominates(exit_block, b) for b in cfg.blocks)
+
+    def test_infinite_loop_no_postdominators(self):
+        cfg = cfg_of("L: beq $t0, $zero, M\nM: j L")
+        pdom = compute_postdominators(cfg)
+        # no exits are reachable; nothing postdominates anything else
+        for a in cfg.blocks:
+            for b in cfg.blocks:
+                if a is not b:
+                    assert not pdom.dominates(a, b)
+
+
+class TestLoops:
+    def test_simple_loop(self):
+        cfg = cfg_of(LOOP)
+        loops = analyze_loops(cfg)
+        assert len(loops.back_edges) == 1
+        assert len(loops.heads) == 1
+        head = next(iter(loops.heads))
+        assert head in loops.loops[head]
+
+    def test_straight_line_no_loops(self):
+        loops = analyze_loops(cfg_of(STRAIGHT))
+        assert not loops.back_edges
+        assert not loops.heads
+        assert not loops.exit_edges
+
+    def test_figure1_structure(self):
+        """The paper's Figure 1: the loop head's natural loop contains C, D,
+        and E; the exit edges leave from C and E; D->B and E->B are back
+        edges. (B and C fuse into one basic block at the instruction level:
+        nothing branches to C itself.)"""
+        cfg = cfg_of(FIGURE1)
+        loops = analyze_loops(cfg)
+        # blocks in address order: A, BC (nop+bne), D (beq), E (bne), F
+        a, bc, d, e, f = cfg.blocks
+        assert (d, bc) in loops.back_edges
+        assert (e, bc) in loops.back_edges
+        assert len(loops.back_edges) == 2
+        assert loops.loops[bc] == {bc, d, e}
+        assert (bc, f) in loops.exit_edges
+        assert (e, f) in loops.exit_edges
+        assert len(loops.exit_edges) == 2
+
+    def test_nested_loops(self):
+        cfg = cfg_of("""
+Louter:
+    li $t0, 0
+Linner:
+    addiu $t0, $t0, 1
+    bne $t0, $t1, Linner
+    addiu $t2, $t2, 1
+    bne $t2, $t3, Louter
+    jr $ra
+""")
+        loops = analyze_loops(cfg)
+        assert len(loops.heads) == 2
+        inner_head = cfg.blocks[1]
+        outer_head = cfg.blocks[0]
+        assert loops.loops[outer_head] > loops.loops[inner_head]
+        assert loops.loop_depth(inner_head) == 2
+        assert loops.loop_depth(outer_head) == 1
+
+    def test_preheader(self):
+        cfg = cfg_of(LOOP)
+        loops = analyze_loops(cfg)
+        # the entry block (li $t0, 0) unconditionally enters the loop head
+        assert cfg.entry in loops.preheaders
+
+    def test_non_preheader_conditional_entry(self):
+        cfg = cfg_of(DIAMOND)
+        loops = analyze_loops(cfg)
+        assert not loops.preheaders
+
+    def test_backward_branch_detection(self):
+        cfg = cfg_of(LOOP)
+        loops = analyze_loops(cfg)
+        (src, dst), = loops.back_edges
+        edge = next(e for e in src.out_edges if e.dst is dst)
+        assert loops.is_backward_branch_edge(edge)
+
+    def test_rotated_loop_guard_is_not_loop_branch(self):
+        """A rotated while-loop's guard branch jumps around the loop: it is
+        not an exit edge nor a back edge, so it is a NON-loop branch (this
+        is what gives the non-loop Loop heuristic its coverage)."""
+        cfg = cfg_of("""
+    beq $t0, $zero, Lexit     # guard around the loop
+Lhead:
+    addiu $t0, $t0, -1
+    bgtz $t0, Lhead           # bottom test: back edge
+Lexit:
+    jr $ra
+""")
+        loops = analyze_loops(cfg)
+        guard = cfg.entry
+        for edge in guard.out_edges:
+            assert not loops.is_back_edge(edge)
+            assert not loops.is_exit_edge(edge)
+        head = cfg.blocks[1]
+        assert head in loops.heads

@@ -1,0 +1,89 @@
+"""Tests for the command-line entry points (in-process, via main(argv))."""
+
+import pytest
+
+from repro.bcc.__main__ import main as bcc_main
+
+PROGRAM = """
+int main() {
+    int n = read_int();
+    print_int(n * 2);
+    print_char('\\n');
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.blc"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestBccCli:
+    def test_compile_only(self, source_file, capsys):
+        assert bcc_main([source_file]) == 0
+        err = capsys.readouterr().err
+        assert "procedures" in err
+
+    def test_run_with_inputs(self, source_file, capsys):
+        assert bcc_main([source_file, "--run", "--inputs", "21"]) == 0
+        out = capsys.readouterr().out
+        assert out == "42\n"
+
+    def test_emit_asm(self, source_file, capsys):
+        assert bcc_main([source_file, "--emit-asm"]) == 0
+        out = capsys.readouterr().out
+        assert ".ent main" in out
+        assert "jal read_int" in out
+
+    def test_dump_ir(self, source_file, capsys):
+        assert bcc_main([source_file, "--dump-ir"]) == 0
+        out = capsys.readouterr().out
+        assert "func main" in out
+
+    def test_predict_report(self, source_file, capsys):
+        assert bcc_main([source_file, "--predict", "--inputs", "5"]) == 0
+        captured = capsys.readouterr()
+        assert "ball-larus" in captured.out
+        assert "perfect" in captured.out
+
+    def test_no_opt_still_correct(self, source_file, capsys):
+        assert bcc_main([source_file, "--run", "--no-opt",
+                         "--inputs", "21"]) == 0
+        assert capsys.readouterr().out == "42\n"
+
+    def test_no_rotate_loops(self, tmp_path, capsys):
+        path = tmp_path / "loop.blc"
+        path.write_text("int main() { int i; int s = 0; "
+                        "for (i = 0; i < 5; i++) { s += i; } "
+                        "print_int(s); return 0; }")
+        assert bcc_main([str(path), "--run", "--no-rotate-loops"]) == 0
+        assert capsys.readouterr().out == "10"
+
+    def test_missing_file(self, capsys):
+        assert bcc_main(["/nonexistent/x.blc"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.blc"
+        path.write_text("int main() { return undeclared_thing; }")
+        assert bcc_main([str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "undeclared" in err
+
+    def test_float_inputs(self, tmp_path, capsys):
+        path = tmp_path / "d.blc"
+        path.write_text("int main() { print_double(read_double() + 0.5); "
+                        "return 0; }")
+        assert bcc_main([str(path), "--run", "--inputs", "1.25"]) == 0
+        assert capsys.readouterr().out == "1.75"
+
+
+class TestHarnessCli:
+    def test_model_only(self, capsys):
+        from repro.harness.__main__ import main as harness_main
+        assert harness_main(["--tables", "", "--graphs", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "Graph 12" in out

@@ -1,0 +1,147 @@
+"""Tests for branch classification and the loop predictor (Section 3)."""
+
+import pytest
+
+from repro.core.classify import BranchClass, Prediction, classify_branches
+from repro.isa import assemble
+
+
+def analyze(body: str, name: str = "f"):
+    src = f".text\n.ent {name}\n{name}:\n{body}\n.end {name}\n"
+    return classify_branches(assemble(src))
+
+
+class TestClassification:
+    def test_simple_backward_loop_branch(self):
+        analysis = analyze("""
+L:  addiu $t0, $t0, -1
+    bgtz $t0, L
+    jr $ra
+""")
+        (branch,) = analysis.branches.values()
+        assert branch.branch_class is BranchClass.LOOP
+        assert branch.loop_prediction is Prediction.TAKEN
+        assert branch.is_backward
+
+    def test_exit_test_at_top_is_loop_branch(self):
+        """A loop whose head tests the exit condition: the head's branch has
+        an exit edge, so it is a loop branch even though it is forward."""
+        analysis = analyze("""
+L:  beq $t0, $zero, Lexit
+    addiu $t0, $t0, -1
+    j L
+Lexit:
+    jr $ra
+""")
+        (branch,) = analysis.branches.values()
+        assert branch.branch_class is BranchClass.LOOP
+        # target edge exits; predict the non-exit (fall-through) edge
+        assert branch.loop_prediction is Prediction.NOT_TAKEN
+        assert not branch.is_backward
+
+    def test_non_backward_loop_branch_counted(self):
+        """The paper: many loop branches are NOT backward branches — here
+        the top-of-loop exit test is forward yet classified as loop."""
+        analysis = analyze("""
+L:  beq $t0, $zero, Lexit
+    addiu $t0, $t0, -1
+    j L
+Lexit:
+    jr $ra
+""")
+        loop_branches = analysis.loop_branches()
+        assert len(loop_branches) == 1
+        assert not loop_branches[0].is_backward
+
+    def test_if_inside_loop_is_non_loop(self):
+        """A branch inside a loop whose both successors stay in the loop is
+        a NON-loop branch."""
+        analysis = analyze("""
+Lhead:
+    bne $t1, $zero, Lskip     # if inside the loop
+    addiu $t2, $t2, 1
+Lskip:
+    addiu $t0, $t0, -1
+    bgtz $t0, Lhead
+    jr $ra
+""")
+        classes = {b.instruction.op.name: b.branch_class
+                   for b in analysis.branches.values()}
+        assert classes["bne"] is BranchClass.NON_LOOP
+        assert classes["bgtz"] is BranchClass.LOOP
+
+    def test_straight_line_if_is_non_loop(self):
+        analysis = analyze("""
+    beq $t0, $zero, L
+    addiu $t1, $t1, 1
+L:  jr $ra
+""")
+        (branch,) = analysis.branches.values()
+        assert branch.branch_class is BranchClass.NON_LOOP
+        assert branch.loop_prediction is None
+
+    def test_loop_with_break_branch(self):
+        """A break-style branch: one edge exits the loop, making it a loop
+        branch predicted to stay in the loop."""
+        analysis = analyze("""
+Lhead:
+    beq $t1, $t2, Lout        # break
+    addiu $t0, $t0, -1
+    bgtz $t0, Lhead
+Lout:
+    jr $ra
+""")
+        branches = sorted(analysis.branches.values(),
+                          key=lambda b: b.address)
+        break_branch, latch = branches
+        assert break_branch.branch_class is BranchClass.LOOP
+        assert break_branch.loop_prediction is Prediction.NOT_TAKEN
+        assert latch.branch_class is BranchClass.LOOP
+        assert latch.loop_prediction is Prediction.TAKEN
+
+    def test_multiple_procedures(self):
+        src = (".text\n.ent f\nf:\nL: bgtz $t0, L\njr $ra\n.end f\n"
+               ".ent g\ng:\nbeq $t0, $zero, M\nnop\nM: jr $ra\n.end g\n")
+        analysis = classify_branches(assemble(src))
+        assert len(analysis.branches) == 2
+        assert len(analysis.procedures) == 2
+
+    def test_successor_helpers(self):
+        analysis = analyze("""
+    beq $t0, $zero, L
+    nop
+L:  jr $ra
+""")
+        (branch,) = analysis.branches.values()
+        taken_succ = branch.successor_of(Prediction.TAKEN)
+        fall_succ = branch.successor_of(Prediction.NOT_TAKEN)
+        assert branch.prediction_of(taken_succ) is Prediction.TAKEN
+        assert branch.prediction_of(fall_succ) is Prediction.NOT_TAKEN
+        with pytest.raises(ValueError):
+            branch.prediction_of(branch.block)
+
+    def test_prediction_enum(self):
+        assert Prediction.TAKEN.as_bool is True
+        assert Prediction.NOT_TAKEN.as_bool is False
+        assert Prediction.TAKEN.inverted() is Prediction.NOT_TAKEN
+        assert Prediction.NOT_TAKEN.inverted() is Prediction.TAKEN
+
+
+class TestCompiledLoops:
+    def test_rotated_while_classification(self):
+        """Compiled while-loop: the guard is non-loop, the bottom test is a
+        loop branch with a back edge (predict taken)."""
+        from repro.bcc import compile_and_link
+        exe = compile_and_link(
+            "int main() { int i = 0; int n = read_int(); "
+            "while (i < n) { i++; } return i; }")
+        analysis = classify_branches(exe)
+        main_branches = [b for b in analysis.branches.values()
+                         if b.procedure.name == "main"]
+        loop = [b for b in main_branches if b.is_loop_branch]
+        non_loop = [b for b in main_branches if not b.is_loop_branch]
+        assert loop and non_loop
+        # the back-edge branch is predicted taken
+        latch = [b for b in loop
+                 if b.loop_prediction is Prediction.TAKEN]
+        assert latch

@@ -1,0 +1,314 @@
+"""Tests for the extension modules: profile-guided prediction, dynamic
+predictors, and the extended Guard heuristic."""
+
+import pytest
+
+from conftest import profile_of
+from repro.bcc import compile_and_link
+from repro.core import (
+    BimodalPredictor, HeuristicPredictor, LastDirectionPredictor,
+    PerfectPredictor, Prediction, ProfileGuidedPredictor, StaticAsDynamic,
+    classify_branches, cross_dataset_experiment, evaluate_predictor,
+    extended_guard_heuristic,
+)
+from repro.core.heuristics import guard_heuristic
+from repro.isa import assemble
+from repro.isa.instructions import Instruction, OPCODES_BY_NAME
+from repro.sim import Machine
+
+THRESHOLD_SRC = """
+int main() {
+    int i, acc = 0, n = read_int();
+    for (i = 0; i < 200; i++) {
+        if (i % 100 < n) { acc += 2; } else { acc -= 1; }
+        if (acc < 0) { acc = 0; }
+    }
+    return acc > 100;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def threshold():
+    exe = compile_and_link(THRESHOLD_SRC)
+    analysis = classify_branches(exe)
+    profiles = {
+        "low": profile_of(exe, inputs=[10]),
+        "high": profile_of(exe, inputs=[90]),
+        "mid": profile_of(exe, inputs=[50]),
+    }
+    return exe, analysis, profiles
+
+
+class TestProfileGuided:
+    def test_training_profile_is_perfect_on_itself(self, threshold):
+        _, analysis, profiles = threshold
+        p = profiles["low"]
+        guided = ProfileGuidedPredictor(analysis, p)
+        perfect = PerfectPredictor(analysis, p)
+        assert evaluate_predictor(guided, p).misses == \
+            evaluate_predictor(perfect, p).misses
+
+    def test_cross_dataset_degrades_gracefully(self, threshold):
+        _, analysis, profiles = threshold
+        guided = ProfileGuidedPredictor(analysis, profiles["low"])
+        for name in ("high", "mid"):
+            test_profile = profiles[name]
+            result = evaluate_predictor(guided, test_profile)
+            floor = evaluate_predictor(
+                PerfectPredictor(analysis, test_profile), test_profile)
+            assert result.misses >= floor.misses
+
+    def test_untrained_branch_falls_back_to_random(self, threshold):
+        _, analysis, _ = threshold
+        from repro.sim import EdgeProfile
+        from repro.core.predictors import branch_random
+        empty = EdgeProfile()
+        guided = ProfileGuidedPredictor(analysis, empty)
+        for addr, prediction in guided.predictions().items():
+            assert prediction is branch_random(addr)
+
+    def test_cross_dataset_experiment(self, threshold):
+        _, analysis, profiles = threshold
+        results = cross_dataset_experiment(analysis, profiles, train="low")
+        assert {r.test_dataset for r in results} == {"high", "mid"}
+        for r in results:
+            assert r.train_dataset == "low"
+            assert r.self_profile.misses <= r.profile_guided.misses
+            assert r.self_profile.misses <= r.program_based.misses
+            assert r.program_to_profile_ratio >= 0
+
+    def test_fisher_freudenberger_stability(self):
+        """Branches keep their biased direction across datasets, so
+        cross-trained profiles stay close to self-trained ones."""
+        from repro.bench import get
+        b = get("fields")
+        exe = b.compile()
+        analysis = classify_branches(exe)
+        profiles = {
+            ds.name: profile_of(exe, inputs=list(ds.inputs),
+                                max_instructions=25_000_000)
+            for ds in b.datasets
+        }
+        results = cross_dataset_experiment(analysis, profiles, train="ref")
+        for r in results:
+            excess = r.profile_guided.miss_rate - r.self_profile.miss_rate
+            assert excess < 0.10  # cross-training costs only a few points
+
+
+class TestDynamicPredictors:
+    def branch(self, addr=0x400000):
+        return Instruction(op=OPCODES_BY_NAME["beq"], rs=8, rt=0,
+                           address=addr)
+
+    def feed(self, predictor, outcomes, addr=0x400000):
+        for i, taken in enumerate(outcomes):
+            predictor.on_branch(self.branch(addr), taken, i)
+        return predictor
+
+    def test_last_direction_tracks(self):
+        p = self.feed(LastDirectionPredictor(), [True, True, True, False,
+                                                 False])
+        # cold miss (predicts NT, sees T), then T,T correct, then flip miss,
+        # then F correct
+        assert p.n_branches == 5
+        assert p.n_mispredicts == 2
+
+    def test_bimodal_hysteresis(self):
+        """2-bit counters shrug off a single anomaly: T T T F T costs only
+        the cold start and the single F."""
+        p = self.feed(BimodalPredictor(), [True, True, True, False, True])
+        assert p.n_mispredicts == 2  # cold (weakly-NT) + the lone False
+
+    def test_bimodal_beats_last_direction_on_alternating_anomalies(self):
+        outcomes = [True, True, True, False] * 25
+        one_bit = self.feed(LastDirectionPredictor(), outcomes)
+        two_bit = self.feed(BimodalPredictor(), outcomes)
+        assert two_bit.n_mispredicts < one_bit.n_mispredicts
+
+    def test_bimodal_finite_table_aliasing(self):
+        p = BimodalPredictor(table_bits=1)  # 2 entries: heavy aliasing
+        # two branches that map to the same entry with opposite behaviour
+        for i in range(50):
+            p.on_branch(self.branch(0x400000), True, i)
+            p.on_branch(self.branch(0x400008), False, i)
+        aliased_rate = p.miss_rate
+        q = BimodalPredictor()  # infinite table
+        for i in range(50):
+            q.on_branch(self.branch(0x400000), True, i)
+            q.on_branch(self.branch(0x400008), False, i)
+        assert q.miss_rate < aliased_rate
+
+    def test_table_bits_validation(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(table_bits=0)
+
+    def test_dynamic_vs_static_on_real_program(self):
+        """Dynamic 2-bit prediction rivals the perfect static predictor
+        (McFarling & Hennessy's observation), and both beat the
+        program-based heuristic."""
+        exe = compile_and_link(THRESHOLD_SRC)
+        analysis = classify_branches(exe)
+        profile = profile_of(exe, inputs=[50])
+        heuristic = StaticAsDynamic(
+            HeuristicPredictor(analysis).prediction_map())
+        bimodal = BimodalPredictor()
+        machine = Machine(exe, inputs=[50],
+                          observers=[heuristic, bimodal])
+        machine.run()
+        assert heuristic.n_branches == bimodal.n_branches
+        # the dynamic predictor adapts: at least as good as static heuristics
+        assert bimodal.miss_rate <= heuristic.miss_rate + 0.02
+
+    def test_static_as_dynamic_matches_offline_eval(self):
+        exe = compile_and_link(THRESHOLD_SRC)
+        analysis = classify_branches(exe)
+        hp = HeuristicPredictor(analysis)
+        wrapped = StaticAsDynamic(hp.prediction_map())
+        machine = Machine(exe, inputs=[30], observers=[wrapped])
+        machine.run()
+        profile = profile_of(exe, inputs=[30])
+        offline = evaluate_predictor(hp, profile)
+        assert wrapped.n_mispredicts == offline.misses
+
+
+class TestExtendedGuard:
+    def analyze(self, body):
+        src = f".text\n.ent f\nf:\n{body}\n.end f\n"
+        analysis = classify_branches(assemble(src))
+        branch = min(analysis.branches.values(), key=lambda b: b.address)
+        return branch, analysis.analysis_of(branch)
+
+    TWO_BLOCKS_AWAY = """
+    beq $t0, $zero, Lskip
+    addiu $t5, $t5, 1
+    bne $t5, $t6, Lother
+    addiu $t1, $t0, 1      # $t0 used two blocks into the taken side
+Lother:
+    nop
+Lskip:
+    jr $ra
+"""
+
+    def test_finds_use_beyond_immediate_successor(self):
+        branch, pa = self.analyze(self.TWO_BLOCKS_AWAY)
+        assert guard_heuristic(branch, pa) is None
+        assert extended_guard_heuristic(branch, pa) is Prediction.NOT_TAKEN
+
+    def test_depth_limit(self):
+        branch, pa = self.analyze(self.TWO_BLOCKS_AWAY)
+        assert extended_guard_heuristic(branch, pa, depth=1) is None
+
+    def test_agrees_with_guard_on_immediate_uses(self):
+        branch, pa = self.analyze("""
+    beq $t0, $zero, Lskip
+    addiu $t1, $t0, 1
+Lskip:
+    jr $ra
+""")
+        assert guard_heuristic(branch, pa) is \
+            extended_guard_heuristic(branch, pa) is Prediction.NOT_TAKEN
+
+    def test_does_not_cross_into_shared_blocks(self):
+        """A use in a block NOT dominated by the successor (reachable from
+        both sides) must not count."""
+        branch, pa = self.analyze("""
+    beq $t0, $zero, Lb
+    addiu $t5, $t5, 1
+    j Ljoin
+Lb:
+    addiu $t6, $t6, 1
+Ljoin:
+    addiu $t1, $t0, 1      # join uses $t0 but postdominates the branch
+    jr $ra
+""")
+        assert extended_guard_heuristic(branch, pa) is None
+
+    def test_kill_stops_path(self):
+        branch, pa = self.analyze("""
+    beq $t0, $zero, Lskip
+    addiu $t0, $zero, 9    # redefine before any use
+    bne $t5, $t6, Lother
+    addiu $t1, $t0, 1
+Lother:
+    nop
+Lskip:
+    jr $ra
+""")
+        assert extended_guard_heuristic(branch, pa) is None
+
+    def test_coverage_superset_on_compiled_code(self):
+        """On real compiled code, extended Guard applies wherever plain
+        Guard does (never strictly less coverage)."""
+        from repro.bench import get
+        exe = get("scc").compile()
+        analysis = classify_branches(exe)
+        for b in analysis.non_loop_branches():
+            pa = analysis.analysis_of(b)
+            plain = guard_heuristic(b, pa)
+            extended = extended_guard_heuristic(b, pa)
+            if plain is not None:
+                assert extended is not None
+
+
+class TestVotingPredictor:
+    def test_covers_all_branches(self, threshold):
+        from repro.core import VotingPredictor
+        _, analysis, _ = threshold
+        vp = VotingPredictor(analysis)
+        preds = vp.predictions()
+        assert set(preds) == set(analysis.branches)
+        assert set(vp.attribution.values()) <= {"LoopPredictor", "Vote",
+                                                "Default"}
+
+    def test_loop_branches_use_loop_predictor(self, threshold):
+        from repro.core import VotingPredictor
+        _, analysis, _ = threshold
+        preds = VotingPredictor(analysis).predictions()
+        for branch in analysis.loop_branches():
+            assert preds[branch.address] is branch.loop_prediction
+
+    def test_weights_can_flip_a_vote(self):
+        """A branch where Guard and Store disagree (the mesh max-update
+        pattern) flips with the weighting."""
+        from repro.core import VotingPredictor
+        from repro.isa import assemble
+        src = """
+.text
+.ent f
+f:
+    beq $t0, $zero, Lskip
+    addiu $t1, $t0, 1
+    sw $t1, 0($sp)
+Lskip:
+    jr $ra
+.end f
+"""
+        analysis = classify_branches(assemble(src))
+        heavy_guard = VotingPredictor(
+            analysis, weights={"Guard": 2.0, "Store": 1.0})
+        heavy_store = VotingPredictor(
+            analysis, weights={"Guard": 1.0, "Store": 2.0})
+        (addr,) = analysis.branches
+        assert heavy_guard.predictions()[addr] is Prediction.NOT_TAKEN
+        assert heavy_store.predictions()[addr] is Prediction.TAKEN
+
+    def test_unknown_weight_rejected(self, threshold):
+        from repro.core import VotingPredictor
+        _, analysis, _ = threshold
+        with pytest.raises(ValueError, match="unknown"):
+            VotingPredictor(analysis, weights={"Bogus": 1.0})
+
+    def test_comparable_to_priority_combination(self):
+        """Uniform-weight voting lands in the same quality band as the
+        paper's priority order on a real benchmark (neither collapses)."""
+        from repro.bench import get
+        from repro.core import VotingPredictor
+        b = get("scc")
+        exe = b.compile()
+        analysis = classify_branches(exe)
+        profile = profile_of(exe, inputs=list(b.dataset("small").inputs),
+                             max_instructions=25_000_000)
+        vote = evaluate_predictor(VotingPredictor(analysis), profile)
+        priority = evaluate_predictor(HeuristicPredictor(analysis), profile)
+        assert abs(vote.miss_rate - priority.miss_rate) < 0.15

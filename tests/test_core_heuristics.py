@@ -1,0 +1,476 @@
+"""Tests for the seven non-loop heuristics (Section 4), each on crafted
+assembly exercising its apply/not-apply conditions."""
+
+import pytest
+
+from repro.core.classify import Prediction, classify_branches
+from repro.core.heuristics import (
+    HEURISTIC_NAMES, HEURISTICS, PAPER_ORDER, applicable_heuristics,
+    call_heuristic, guard_heuristic, loop_heuristic, opcode_heuristic,
+    pointer_heuristic, return_heuristic, store_heuristic,
+)
+from repro.isa import assemble
+
+TAKEN = Prediction.TAKEN
+NOT_TAKEN = Prediction.NOT_TAKEN
+
+
+def branch_of(body: str, pick: int = 0):
+    """Assemble a program; return (branch, proc_analysis) for its pick-th
+    conditional branch (in address order). The body is wrapped in procedure
+    f unless it manages its own .end directives (multi-procedure tests)."""
+    if ".end f" in body:
+        src = f".text\n.ent f\nf:\n{body}\n"
+    else:
+        src = f".text\n.ent f\nf:\n{body}\n.end f\n"
+    analysis = classify_branches(assemble(src))
+    branches = sorted(analysis.branches.values(), key=lambda b: b.address)
+    branch = branches[pick]
+    return branch, analysis.analysis_of(branch)
+
+
+class TestOpcodeHeuristic:
+    @pytest.mark.parametrize("op,expected", [
+        ("bltz", NOT_TAKEN), ("blez", NOT_TAKEN),
+        ("bgtz", TAKEN), ("bgez", TAKEN),
+    ])
+    def test_zero_compares(self, op, expected):
+        branch, pa = branch_of(f"{op} $t0, L\nnop\nL: jr $ra")
+        assert opcode_heuristic(branch, pa) is expected
+
+    def test_beq_bne_not_covered(self):
+        branch, pa = branch_of("beq $t0, $t1, L\nnop\nL: jr $ra")
+        assert opcode_heuristic(branch, pa) is None
+
+    def test_fp_equality_bc1t_predicts_not_taken(self):
+        branch, pa = branch_of(
+            "c.eq.d $f2, $f4\nbc1t L\nnop\nL: jr $ra")
+        assert opcode_heuristic(branch, pa) is NOT_TAKEN
+
+    def test_fp_equality_bc1f_predicts_taken(self):
+        branch, pa = branch_of(
+            "c.eq.d $f2, $f4\nbc1f L\nnop\nL: jr $ra")
+        assert opcode_heuristic(branch, pa) is TAKEN
+
+    def test_fp_less_than_not_covered(self):
+        branch, pa = branch_of(
+            "c.lt.d $f2, $f4\nbc1t L\nnop\nL: jr $ra")
+        assert opcode_heuristic(branch, pa) is None
+
+    def test_fp_branch_without_compare_in_block(self):
+        # compare in a previous block: the branch's own block has none
+        branch, pa = branch_of(
+            "c.eq.d $f2, $f4\nj M\nM: bc1t L\nnop\nL: jr $ra")
+        assert opcode_heuristic(branch, pa) is None
+
+
+class TestLoopHeuristic:
+    GUARDED_LOOP = """
+    beq $t0, $zero, Lskip
+Lhead:
+    addiu $t1, $t1, 1
+    bgtz $t1, Lhead
+Lskip:
+    jr $ra
+"""
+
+    def test_guard_predicts_into_loop(self):
+        branch, pa = branch_of(self.GUARDED_LOOP)
+        # fall-through successor is the loop head; predict it (NOT_TAKEN)
+        assert loop_heuristic(branch, pa) is NOT_TAKEN
+
+    def test_both_successors_loop_heads_no_prediction(self):
+        branch, pa = branch_of("""
+    beq $t0, $zero, LheadB
+LheadA:
+    addiu $t1, $t1, 1
+    bgtz $t1, LheadA
+    j Lend
+LheadB:
+    addiu $t2, $t2, 1
+    bgtz $t2, LheadB
+Lend:
+    jr $ra
+""")
+        assert loop_heuristic(branch, pa) is None
+
+    def test_preheader_successor(self):
+        branch, pa = branch_of("""
+    beq $t0, $zero, Lskip
+    addiu $t1, $zero, 10
+Lhead:
+    addiu $t1, $t1, -1
+    bgtz $t1, Lhead
+Lskip:
+    jr $ra
+""")
+        # the fall-through block is a preheader: it passes control
+        # unconditionally to the loop head, which it dominates
+        assert loop_heuristic(branch, pa) is NOT_TAKEN
+
+    def test_preheader_at_distance_not_covered(self):
+        """The heuristic is local: a successor that merely jumps to a
+        preheader (two steps from the loop head) is not covered."""
+        branch, pa = branch_of("""
+    beq $t0, $zero, Lskip
+    j Lpre
+Lpre:
+    addiu $t1, $zero, 10
+Lhead:
+    addiu $t1, $t1, -1
+    bgtz $t1, Lhead
+Lskip:
+    jr $ra
+""")
+        assert loop_heuristic(branch, pa) is None
+
+    def test_no_loops_no_prediction(self):
+        branch, pa = branch_of("beq $t0, $zero, L\nnop\nL: jr $ra")
+        assert loop_heuristic(branch, pa) is None
+
+
+class TestCallHeuristic:
+    WITH_CALL = """
+    beq $t0, $zero, Lcall
+    addiu $t1, $t1, 1
+    j Lend
+Lcall:
+    jal g
+Lend:
+    jr $ra
+.end f
+.ent g
+g:
+    jr $ra
+.end g
+"""
+
+    def branch(self, body):
+        return branch_of(body)
+
+    def test_predicts_successor_without_call(self):
+        branch, pa = self.branch(self.WITH_CALL)
+        assert call_heuristic(branch, pa) is NOT_TAKEN
+
+    def test_call_through_unconditional_chain(self):
+        branch, pa = self.branch("""
+    beq $t0, $zero, Lhop
+    addiu $t1, $t1, 1
+    j Lend
+Lhop:
+    j Lcall
+Lcall:
+    jal g
+Lend:
+    jr $ra
+.end f
+.ent g
+g:
+    jr $ra
+.end g
+""")
+        assert call_heuristic(branch, pa) is NOT_TAKEN
+
+    def test_postdominating_call_blocks_heuristic(self):
+        branch, pa = self.branch("""
+    beq $t0, $zero, Ljoin
+    addiu $t1, $t1, 1
+Ljoin:
+    jal g
+    jr $ra
+.end f
+.ent g
+g:
+    jr $ra
+.end g
+""")
+        # the call is in the join block, which postdominates the branch
+        assert call_heuristic(branch, pa) is None
+
+    def test_calls_on_both_sides_no_prediction(self):
+        branch, pa = self.branch("""
+    beq $t0, $zero, Lb
+    jal g
+    j Lend
+Lb:
+    jal g
+Lend:
+    jr $ra
+.end f
+.ent g
+g:
+    jr $ra
+.end g
+""")
+        assert call_heuristic(branch, pa) is None
+
+
+class TestReturnHeuristic:
+    def test_predicts_non_return_successor(self):
+        branch, pa = branch_of("""
+    beq $t0, $zero, Lret
+    addiu $t1, $t1, 1
+Lmore:
+    bne $t1, $t3, Lmore
+    jr $ra
+Lret:
+    jr $ra
+""")
+        assert return_heuristic(branch, pa) is NOT_TAKEN
+
+    def test_return_through_unconditional_chain(self):
+        branch, pa = branch_of("""
+    beq $t0, $zero, Lhop
+    addiu $t1, $t1, 1
+Lmore:
+    bne $t1, $t3, Lmore
+    jr $ra
+Lhop:
+    j Lret
+Lret:
+    jr $ra
+""")
+        assert return_heuristic(branch, pa) is NOT_TAKEN
+
+    def test_both_return_no_prediction(self):
+        branch, pa = branch_of("""
+    beq $t0, $zero, Lret
+    jr $ra
+Lret:
+    jr $ra
+""")
+        assert return_heuristic(branch, pa) is None
+
+
+class TestGuardHeuristic:
+    def test_register_use_guarded(self):
+        branch, pa = branch_of("""
+    beq $t0, $zero, Lskip
+    addiu $t1, $t0, 1
+Lskip:
+    jr $ra
+""")
+        assert guard_heuristic(branch, pa) is NOT_TAKEN
+
+    def test_redefinition_before_use_blocks(self):
+        branch, pa = branch_of("""
+    beq $t0, $zero, Lskip
+    addiu $t0, $zero, 5
+    addiu $t1, $t0, 1
+Lskip:
+    jr $ra
+""")
+        assert guard_heuristic(branch, pa) is None
+
+    def test_call_stops_scan(self):
+        branch, pa = branch_of("""
+    beq $t0, $zero, Lskip
+    jal g
+    addiu $t1, $t0, 1
+Lskip:
+    jr $ra
+.end f
+.ent g
+g:
+    jr $ra
+.end g
+""")
+        assert guard_heuristic(branch, pa) is None
+
+    def test_fp_guard(self):
+        branch, pa = branch_of("""
+    c.lt.d $f2, $f4
+    bc1t Lskip
+    add.d $f6, $f2, $f2
+Lskip:
+    jr $ra
+""")
+        assert guard_heuristic(branch, pa) is NOT_TAKEN
+
+    def test_zero_register_not_watched(self):
+        branch, pa = branch_of("""
+    beq $zero, $zero, Lskip
+    addiu $t1, $t1, 1
+Lskip:
+    jr $ra
+""")
+        assert guard_heuristic(branch, pa) is None
+
+    def test_postdominating_user_blocks(self):
+        branch, pa = branch_of("""
+    beq $t0, $zero, Ljoin
+    addiu $t2, $t2, 1
+Ljoin:
+    addiu $t1, $t0, 1
+    jr $ra
+""")
+        # $t0 used in the join block, but it postdominates the branch
+        assert guard_heuristic(branch, pa) is None
+
+    def test_use_on_both_sides_no_prediction(self):
+        branch, pa = branch_of("""
+    beq $t0, $zero, Lb
+    addiu $t1, $t0, 1
+    j Lend
+Lb:
+    addiu $t2, $t0, 2
+Lend:
+    jr $ra
+""")
+        assert guard_heuristic(branch, pa) is None
+
+
+class TestStoreHeuristic:
+    def test_predicts_away_from_store(self):
+        branch, pa = branch_of("""
+    beq $t0, $zero, Lskip
+    sw $t1, 0($sp)
+Lskip:
+    jr $ra
+""")
+        assert store_heuristic(branch, pa) is TAKEN
+
+    def test_fp_store_counts(self):
+        branch, pa = branch_of("""
+    beq $t0, $zero, Lskip
+    sdc1 $f2, 0($sp)
+Lskip:
+    jr $ra
+""")
+        assert store_heuristic(branch, pa) is TAKEN
+
+    def test_stores_on_both_sides(self):
+        branch, pa = branch_of("""
+    beq $t0, $zero, Lb
+    sw $t1, 0($sp)
+    j Lend
+Lb:
+    sw $t2, 4($sp)
+Lend:
+    jr $ra
+""")
+        assert store_heuristic(branch, pa) is None
+
+    def test_postdominating_store_blocks(self):
+        branch, pa = branch_of("""
+    beq $t0, $zero, Ljoin
+    addiu $t1, $t1, 1
+Ljoin:
+    sw $t1, 0($sp)
+    jr $ra
+""")
+        assert store_heuristic(branch, pa) is None
+
+
+class TestPointerHeuristic:
+    def test_null_test_beq(self):
+        branch, pa = branch_of("""
+    lw $t0, 0($sp)
+    beq $t0, $zero, L
+    nop
+L:  jr $ra
+""")
+        assert pointer_heuristic(branch, pa) is NOT_TAKEN
+
+    def test_null_test_bne(self):
+        branch, pa = branch_of("""
+    lw $t0, 0($sp)
+    bne $t0, $zero, L
+    nop
+L:  jr $ra
+""")
+        assert pointer_heuristic(branch, pa) is TAKEN
+
+    def test_two_pointer_comparison(self):
+        branch, pa = branch_of("""
+    lw $t0, 0($sp)
+    lw $t1, 4($sp)
+    beq $t0, $t1, L
+    nop
+L:  jr $ra
+""")
+        assert pointer_heuristic(branch, pa) is NOT_TAKEN
+
+    def test_gp_load_excluded(self):
+        branch, pa = branch_of("""
+    lw $t0, 0($gp)
+    beq $t0, $zero, L
+    nop
+L:  jr $ra
+""")
+        assert pointer_heuristic(branch, pa) is None
+
+    def test_call_between_load_and_branch_excluded(self):
+        branch, pa = branch_of("""
+    lw $t0, 0($sp)
+    jal g
+    beq $t0, $zero, L
+    nop
+L:  jr $ra
+.end f
+.ent g
+g:
+    jr $ra
+.end g
+""")
+        assert pointer_heuristic(branch, pa) is None
+
+    def test_non_load_definition_excluded(self):
+        branch, pa = branch_of("""
+    addiu $t0, $zero, 4
+    beq $t0, $zero, L
+    nop
+L:  jr $ra
+""")
+        assert pointer_heuristic(branch, pa) is None
+
+    def test_byte_load_excluded(self):
+        branch, pa = branch_of("""
+    lb $t0, 0($sp)
+    beq $t0, $zero, L
+    nop
+L:  jr $ra
+""")
+        assert pointer_heuristic(branch, pa) is None
+
+    def test_one_operand_not_loaded_excluded(self):
+        branch, pa = branch_of("""
+    lw $t0, 0($sp)
+    beq $t0, $t1, L
+    nop
+L:  jr $ra
+""")
+        assert pointer_heuristic(branch, pa) is None
+
+    def test_zero_compare_opcode_branch_not_pointer(self):
+        branch, pa = branch_of("""
+    lw $t0, 0($sp)
+    bgtz $t0, L
+    nop
+L:  jr $ra
+""")
+        assert pointer_heuristic(branch, pa) is None
+
+
+class TestRegistry:
+    def test_names_complete(self):
+        assert set(HEURISTIC_NAMES) == set(HEURISTICS)
+        assert len(HEURISTIC_NAMES) == 7
+
+    def test_paper_order_is_permutation(self):
+        assert sorted(PAPER_ORDER) == sorted(HEURISTIC_NAMES)
+
+    def test_applicable_heuristics_table(self):
+        branch, pa = branch_of("""
+    lw $t0, 0($sp)
+    beq $t0, $zero, Lskip
+    addiu $t1, $t0, 1
+    sw $t1, 4($sp)
+Lskip:
+    jr $ra
+""")
+        table = applicable_heuristics(branch, pa)
+        assert table["Point"] is NOT_TAKEN
+        assert table["Guard"] is NOT_TAKEN
+        assert table["Store"] is TAKEN
+        assert "Opcode" not in table

@@ -1,0 +1,103 @@
+"""Tests for the analytic sequence-length model (Graph 12)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.model import (
+    dividing_length, expected_sequence_length, model_family, model_fraction,
+    model_series,
+)
+
+
+class TestModelFraction:
+    def test_zero_length(self):
+        assert model_fraction(0.1, 0) == 0.0
+
+    def test_length_one(self):
+        assert model_fraction(0.1, 1) == pytest.approx(0.1)
+
+    def test_limits(self):
+        assert model_fraction(0.1, 10_000) == pytest.approx(1.0)
+        assert model_fraction(0.0, 100) == 0.0
+        assert model_fraction(1.0, 1) == 1.0
+
+    def test_known_value(self):
+        # f(m,s) = 1-(1-m)^s
+        assert model_fraction(0.5, 2) == pytest.approx(0.75)
+
+    def test_invalid_miss_rate(self):
+        with pytest.raises(ValueError):
+            model_fraction(1.5, 10)
+        with pytest.raises(ValueError):
+            model_fraction(-0.1, 10)
+
+    def test_negative_length(self):
+        with pytest.raises(ValueError):
+            model_fraction(0.1, -1)
+
+    @given(st.floats(0.001, 0.999), st.integers(0, 500))
+    def test_bounds_property(self, m, s):
+        f = model_fraction(m, s)
+        assert 0.0 <= f <= 1.0
+
+    @given(st.floats(0.001, 0.999), st.integers(0, 499))
+    def test_monotone_in_length(self, m, s):
+        assert model_fraction(m, s) <= model_fraction(m, s + 1)
+
+    @given(st.integers(1, 400))
+    def test_monotone_in_miss_rate(self, s):
+        rates = [0.05, 0.1, 0.2, 0.4]
+        values = [model_fraction(m, s) for m in rates]
+        assert values == sorted(values)
+
+
+class TestSeries:
+    def test_series_matches_scalar(self):
+        series = model_series(0.1, [1, 2, 10])
+        for value, s in zip(series, [1, 2, 10]):
+            assert value == pytest.approx(model_fraction(0.1, s))
+
+    def test_family_default_rates(self):
+        family = model_family()
+        assert len(family) == 12
+        assert min(family) == pytest.approx(0.025)
+        assert max(family) == pytest.approx(0.30)
+        for curve in family.values():
+            assert len(curve) == 101
+
+    def test_family_payoff_knee(self):
+        """The paper's point: going 30% -> 15% barely lengthens sequences;
+        going below 15% is where the payoff is."""
+        fam = model_family()
+        # fraction of instructions still in LONG sequences (>100) at each m
+        tail_30 = 1 - fam[0.3][-1]
+        tail_15 = 1 - fam[0.15][-1]
+        tail_025 = 1 - fam[0.025][-1]
+        assert tail_30 < 1e-10             # nothing long at 30%
+        assert tail_15 < 1e-5              # still almost nothing at 15%
+        assert tail_025 > 0.05             # real long sequences below 2.5%
+
+
+class TestDerived:
+    def test_expected_length(self):
+        assert expected_sequence_length(0.1) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            expected_sequence_length(0.0)
+
+    def test_dividing_length(self):
+        d = dividing_length(0.1)
+        assert model_fraction(0.1, math.ceil(d)) >= 0.5
+        assert model_fraction(0.1, math.floor(d) - 1) < 0.5
+
+    def test_dividing_length_bounds(self):
+        with pytest.raises(ValueError):
+            dividing_length(0.0)
+        with pytest.raises(ValueError):
+            dividing_length(1.0)
+
+    @given(st.floats(0.01, 0.9))
+    def test_dividing_consistent(self, m):
+        d = dividing_length(m)
+        assert abs(model_fraction(m, int(round(d))) - 0.5) < m

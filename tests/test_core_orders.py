@@ -1,0 +1,157 @@
+"""Tests for the heuristic-ordering experiments (Section 5)."""
+
+import numpy as np
+import pytest
+
+from conftest import profile_of
+from repro.bcc import compile_and_link
+from repro.core import (
+    HEURISTIC_NAMES, HeuristicPredictor, all_orders, all_orders_curve,
+    best_order, build_order_data, classify_branches, evaluate_predictor,
+    miss_rate_matrix, order_miss_rate, pairwise_order, subset_experiment,
+)
+
+SRC_A = """
+struct Node { int v; struct Node *next; };
+int main() {
+    struct Node *head = NULL;
+    struct Node *p;
+    int i, s = 0;
+    for (i = 0; i < 60; i++) {
+        p = (struct Node *)malloc(sizeof(struct Node));
+        p->v = i % 7;
+        p->next = head;
+        head = p;
+    }
+    for (p = head; p != NULL; p = p->next) {
+        if (p->v == 0) { s++; }
+    }
+    return s;
+}
+"""
+
+SRC_B = """
+int a[100];
+int main() {
+    int i, mx = 0;
+    for (i = 0; i < 100; i++) { a[i] = (i * 37) % 100; }
+    for (i = 0; i < 100; i++) {
+        if (a[i] > mx) { mx = a[i]; }
+    }
+    return mx;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    out = []
+    for name, src in (("a", SRC_A), ("b", SRC_B)):
+        exe = compile_and_link(src)
+        analysis = classify_branches(exe)
+        profile = profile_of(exe)
+        out.append(build_order_data(name, analysis, profile))
+    return out
+
+
+class TestOrderData:
+    def test_rows_are_executed_non_loop(self, datasets):
+        for data in datasets:
+            assert data.applies.shape[1] == len(HEURISTIC_NAMES)
+            assert (data.taken + data.not_taken > 0).all()
+
+    def test_total(self, datasets):
+        for data in datasets:
+            assert data.total == data.taken.sum() + data.not_taken.sum()
+
+
+class TestOrderMissRate:
+    def test_matches_heuristic_predictor(self, datasets):
+        """Vectorized order evaluation must agree with the reference
+        HeuristicPredictor path for any order."""
+        exe = compile_and_link(SRC_A)
+        analysis = classify_branches(exe)
+        profile = profile_of(exe)
+        data = build_order_data("a", analysis, profile)
+        nl = [b.address for b in analysis.non_loop_branches()
+              if profile.execution_count(b.address) > 0]
+        for order in [tuple(HEURISTIC_NAMES),
+                      tuple(reversed(HEURISTIC_NAMES))]:
+            predictor = HeuristicPredictor(analysis, order=order)
+            reference = evaluate_predictor(predictor, profile, nl)
+            fast = order_miss_rate(data, order)
+            assert fast == pytest.approx(reference.miss_rate)
+
+    def test_all_orders_count(self):
+        orders = all_orders()
+        assert len(orders) == 5040
+        assert len(set(orders)) == 5040
+
+    def test_matrix_shape(self, datasets):
+        matrix, orders = miss_rate_matrix(datasets)
+        assert matrix.shape == (5040, len(datasets))
+        assert (matrix >= 0).all() and (matrix <= 1).all()
+
+    def test_matrix_consistent_with_scalar_path(self, datasets):
+        orders = all_orders()[:5]
+        matrix, _ = miss_rate_matrix(datasets, orders)
+        for i, order in enumerate(orders):
+            for j, data in enumerate(datasets):
+                assert matrix[i, j] == pytest.approx(
+                    order_miss_rate(data, order))
+
+    def test_curve_sorted(self, datasets):
+        curve = all_orders_curve(datasets)
+        assert (np.diff(curve) >= 0).all()
+
+    def test_best_order_is_minimum(self, datasets):
+        order, miss = best_order(datasets)
+        matrix, _ = miss_rate_matrix(datasets)
+        assert miss == pytest.approx(float(matrix.mean(axis=1).min()))
+        assert sorted(order) == sorted(HEURISTIC_NAMES)
+
+
+class TestSubsetExperiment:
+    def test_trial_count(self, datasets):
+        result = subset_experiment(datasets, k=1)
+        assert result.n_trials == len(datasets)
+
+    def test_frequencies_sum_to_trials(self, datasets):
+        result = subset_experiment(datasets, k=1)
+        assert sum(result.frequencies) == result.n_trials
+
+    def test_frequencies_sorted_descending(self, datasets):
+        result = subset_experiment(datasets, k=1)
+        assert result.frequencies == sorted(result.frequencies,
+                                            reverse=True)
+
+    def test_cumulative_share_ends_at_one(self, datasets):
+        result = subset_experiment(datasets, k=1)
+        share = result.cumulative_trial_share()
+        assert share[-1] == pytest.approx(1.0)
+
+    def test_top(self, datasets):
+        result = subset_experiment(datasets, k=1)
+        top = result.top(3)
+        assert len(top) <= 3
+        for order, freq, miss in top:
+            assert sorted(order) == sorted(HEURISTIC_NAMES)
+            assert freq >= 1
+            assert 0.0 <= miss <= 1.0
+
+
+class TestPairwiseOrder:
+    def test_is_permutation(self, datasets):
+        order = pairwise_order(datasets)
+        assert sorted(order) == sorted(HEURISTIC_NAMES)
+
+    def test_deterministic(self, datasets):
+        assert pairwise_order(datasets) == pairwise_order(datasets)
+
+    def test_not_catastrophic(self, datasets):
+        """The paper: pairwise orders are inferior but in the top quarter."""
+        matrix, orders = miss_rate_matrix(datasets)
+        means = matrix.mean(axis=1)
+        pw = pairwise_order(datasets)
+        pw_miss = means[orders.index(pw)]
+        assert pw_miss <= np.percentile(means, 50)

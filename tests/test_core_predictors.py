@@ -1,0 +1,234 @@
+"""Tests for the static predictors and their evaluation."""
+
+import pytest
+
+from conftest import profile_of
+from repro.bcc import compile_and_link
+from repro.core import (
+    BTFNTPredictor, HeuristicPredictor, LoopRandomPredictor,
+    NotTakenPredictor, PerfectPredictor, Prediction, RandomPredictor,
+    TakenPredictor, branch_random, classify_branches, evaluate_predictor,
+)
+from repro.core.evaluation import (
+    big_branches, cd, coverage, evaluate_predictions, perfect_miss_rate,
+)
+
+SRC = """
+int data[50];
+int count_odd() {
+    int i, n = 0;
+    for (i = 0; i < 50; i++) {
+        if (data[i] % 2 != 0) { n++; }
+    }
+    return n;
+}
+int main() {
+    int i;
+    for (i = 0; i < 50; i++) { data[i] = i * 3 + 1; }
+    return count_odd();
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def setup():
+    exe = compile_and_link(SRC)
+    analysis = classify_branches(exe)
+    profile = profile_of(exe)
+    return exe, analysis, profile
+
+
+class TestBaselinePredictors:
+    def test_taken_predicts_all_taken(self, setup):
+        _, analysis, _ = setup
+        preds = TakenPredictor(analysis).predictions()
+        assert all(p is Prediction.TAKEN for p in preds.values())
+        assert len(preds) == len(analysis.branches)
+
+    def test_not_taken(self, setup):
+        _, analysis, _ = setup
+        preds = NotTakenPredictor(analysis).predictions()
+        assert all(p is Prediction.NOT_TAKEN for p in preds.values())
+
+    def test_taken_plus_not_taken_miss_rates_sum_to_one(self, setup):
+        _, analysis, profile = setup
+        t = evaluate_predictor(TakenPredictor(analysis), profile)
+        nt = evaluate_predictor(NotTakenPredictor(analysis), profile)
+        assert t.miss_rate + nt.miss_rate == pytest.approx(1.0)
+
+    def test_random_deterministic(self, setup):
+        _, analysis, _ = setup
+        a = RandomPredictor(analysis).predictions()
+        b = RandomPredictor(analysis).predictions()
+        assert a == b
+
+    def test_random_seed_changes_predictions(self, setup):
+        _, analysis, _ = setup
+        a = RandomPredictor(analysis, seed=0).predictions()
+        b = RandomPredictor(analysis, seed=12345).predictions()
+        # with enough branches some prediction should differ
+        if len(a) >= 8:
+            assert a != b
+
+    def test_branch_random_balanced(self):
+        results = [branch_random(4 * i).as_bool for i in range(2000)]
+        frac = sum(results) / len(results)
+        assert 0.4 < frac < 0.6
+
+    def test_btfnt_matches_backwardness(self, setup):
+        _, analysis, _ = setup
+        preds = BTFNTPredictor(analysis).predictions()
+        for addr, p in preds.items():
+            assert p.as_bool == analysis.branches[addr].is_backward
+
+    def test_predictor_accepts_raw_executable(self, setup):
+        exe, _, _ = setup
+        preds = TakenPredictor(exe).predictions()
+        assert preds
+
+
+class TestPerfectPredictor:
+    def test_perfect_beats_or_ties_everything(self, setup):
+        _, analysis, profile = setup
+        perfect = evaluate_predictor(PerfectPredictor(analysis, profile),
+                                     profile)
+        for cls in (TakenPredictor, NotTakenPredictor, RandomPredictor,
+                    BTFNTPredictor, LoopRandomPredictor, HeuristicPredictor):
+            other = evaluate_predictor(cls(analysis), profile)
+            assert perfect.misses <= other.misses
+
+    def test_perfect_miss_equals_own_perfect_rate(self, setup):
+        _, analysis, profile = setup
+        result = evaluate_predictor(PerfectPredictor(analysis, profile),
+                                    profile)
+        assert result.miss_rate == pytest.approx(result.perfect_rate)
+
+    def test_perfect_is_dataset_dependent(self):
+        exe = compile_and_link("""
+int main() {
+    int i, n = read_int(), acc = 0;
+    for (i = 0; i < 100; i++) {
+        if (i < n) { acc++; } else { acc--; }
+    }
+    return acc < 0;
+}
+""")
+        analysis = classify_branches(exe)
+        p_low = profile_of(exe, inputs=[5])
+        p_high = profile_of(exe, inputs=[95])
+        low = PerfectPredictor(analysis, p_low).predictions()
+        high = PerfectPredictor(analysis, p_high).predictions()
+        assert low != high
+
+
+class TestHeuristicPredictor:
+    def test_loop_branches_use_loop_predictor(self, setup):
+        _, analysis, _ = setup
+        hp = HeuristicPredictor(analysis)
+        preds = hp.predictions()
+        for branch in analysis.loop_branches():
+            assert preds[branch.address] is branch.loop_prediction
+            assert hp.attribution[branch.address] == "LoopPredictor"
+
+    def test_attribution_complete(self, setup):
+        _, analysis, _ = setup
+        hp = HeuristicPredictor(analysis)
+        hp.predictions()
+        assert set(hp.attribution) == set(analysis.branches)
+
+    def test_attribution_values_valid(self, setup):
+        _, analysis, _ = setup
+        hp = HeuristicPredictor(analysis)
+        hp.predictions()
+        valid = set(hp.order) | {"LoopPredictor", "Default"}
+        assert set(hp.attribution.values()) <= valid
+
+    def test_order_respected(self, setup):
+        """A branch covered by several heuristics must be attributed to the
+        earliest one in the order."""
+        _, analysis, _ = setup
+        from repro.core.heuristics import applicable_heuristics
+        hp = HeuristicPredictor(analysis)
+        hp.predictions()
+        for branch in analysis.non_loop_branches():
+            pa = analysis.analysis_of(branch)
+            table = applicable_heuristics(branch, pa)
+            if table:
+                first = next(h for h in hp.order if h in table)
+                assert hp.attribution[branch.address] == first
+
+    def test_unknown_heuristic_in_order_rejected(self, setup):
+        _, analysis, _ = setup
+        with pytest.raises(ValueError, match="unknown"):
+            HeuristicPredictor(analysis, order=("Bogus",))
+
+    def test_same_predictions_across_datasets(self):
+        """Program-based prediction is dataset-independent by construction."""
+        exe = compile_and_link(SRC)
+        analysis = classify_branches(exe)
+        a = HeuristicPredictor(analysis).predictions()
+        b = HeuristicPredictor(analysis).predictions()
+        assert a == b
+
+
+class TestEvaluation:
+    def test_miss_counting(self, setup):
+        _, analysis, profile = setup
+        preds = {addr: Prediction.TAKEN for addr in analysis.branches}
+        result = evaluate_predictions(preds, profile)
+        total_not_taken = sum(profile.not_taken_count(a)
+                              for a in profile.executed_branches())
+        assert result.misses == total_not_taken
+
+    def test_subset_evaluation(self, setup):
+        _, analysis, profile = setup
+        addrs = profile.executed_branches()[:2]
+        preds = {a: Prediction.TAKEN for a in addrs}
+        result = evaluate_predictions(preds, profile, addrs)
+        assert result.executed == sum(profile.execution_count(a)
+                                      for a in addrs)
+
+    def test_never_executed_branches_ignored(self, setup):
+        _, analysis, profile = setup
+        dead = [a for a in analysis.branches
+                if profile.execution_count(a) == 0]
+        preds = {a: Prediction.TAKEN for a in analysis.branches}
+        with_dead = evaluate_predictions(preds, profile,
+                                         list(analysis.branches))
+        without = evaluate_predictions(preds, profile)
+        assert with_dead.misses == without.misses
+        assert with_dead.executed == without.executed
+
+    def test_missing_prediction_raises(self, setup):
+        _, _, profile = setup
+        with pytest.raises(KeyError):
+            evaluate_predictions({}, profile)
+
+    def test_perfect_miss_rate_function(self, setup):
+        _, analysis, profile = setup
+        rate = perfect_miss_rate(profile)
+        result = evaluate_predictor(PerfectPredictor(analysis, profile),
+                                    profile)
+        assert rate == pytest.approx(result.miss_rate)
+
+    def test_coverage(self, setup):
+        _, analysis, profile = setup
+        universe = profile.executed_branches()
+        assert coverage(profile, universe, universe) == 1.0
+        assert coverage(profile, [], universe) == 0.0
+
+    def test_cd_formatting(self):
+        assert cd(0.26, 0.1) == "26/10"
+        assert cd(0.0, 0.0) == "0/0"
+
+    def test_big_branches(self, setup):
+        _, analysis, profile = setup
+        report = big_branches(profile, analysis)
+        assert 0 <= report.fraction_of_dynamic <= 1.0
+        assert report.count >= 0
+
+    def test_eval_result_empty(self, setup):
+        _, analysis, profile = setup
+        result = evaluate_predictions({}, profile, [])
+        assert result.miss_rate == 0.0
+        assert result.perfect_rate == 0.0

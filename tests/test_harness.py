@@ -1,0 +1,179 @@
+"""Tests for the experiment harness over a small benchmark subset."""
+
+import pytest
+
+from conftest import MINI_SUITE
+from repro.harness import (
+    SuiteRunner, TextTable, cd_cell, graph1, graph12, graph13, graphs2_3,
+    graphs4_11, mean_std, pct, table1, table2, table3, table4, table5,
+    table6, table7,
+)
+from repro.harness.tables import heuristic_table, order_data_for
+
+
+class TestReportHelpers:
+    def test_pct(self):
+        assert pct(0.256) == "26"
+        assert pct(0.0) == "0"
+
+    def test_cd_cell(self):
+        assert cd_cell(0.26, 0.10) == "26/10"
+
+    def test_mean_std(self):
+        mean, std = mean_std([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx((2 / 3) ** 0.5)
+        assert mean_std([]) == (0.0, 0.0)
+
+    def test_text_table(self):
+        t = TextTable(["A", "B"], title="T")
+        t.add_row("x", 1)
+        t.add_separator()
+        t.add_row("yy", 22)
+        rendered = t.render()
+        assert "T" in rendered
+        assert rendered.count("---") >= 2
+        with pytest.raises(ValueError):
+            t.add_row("only one")
+
+
+class TestRunner:
+    def test_memoizes_runs(self, mini_runner):
+        a = mini_runner.run("queens", "small")
+        b = mini_runner.run("queens", "small")
+        assert a is b
+
+    def test_memoizes_compiles(self, mini_runner):
+        x1, _ = mini_runner.compiled("queens")
+        x2, _ = mini_runner.compiled("queens")
+        assert x1 is x2
+
+    def test_run_fields(self, queens_run):
+        assert queens_run.dynamic_total > 0
+        assert queens_run.loop_addresses
+        assert queens_run.non_loop_addresses
+        assert 0.0 <= queens_run.non_loop_fraction <= 1.0
+        assert set(queens_run.executed_non_loop) <= \
+            set(queens_run.non_loop_addresses)
+
+    def test_all_runs_order(self, mini_runner):
+        runs = mini_runner.all_runs("small")
+        assert [r.name for r in runs] == MINI_SUITE
+
+
+@pytest.fixture(scope="module")
+def small_runner():
+    """A runner whose default 'ref' accesses are replaced by tiny datasets:
+    use the 'small' dataset name explicitly through run()."""
+    runner = SuiteRunner(MINI_SUITE)
+    # pre-warm with small datasets and alias them as ref to keep table
+    # generators (which use the default dataset) fast
+    for name in MINI_SUITE:
+        run = runner.run(name, "small")
+        runner._runs[(name, "ref")] = run
+    return runner
+
+
+class TestTables:
+    def test_table1(self, small_runner):
+        t = table1(small_runner)
+        assert len(t.rows) == len(MINI_SUITE)
+        assert all(r.code_size_kb > 0 for r in t.rows)
+        rendered = t.render()
+        for name in MINI_SUITE:
+            assert name in rendered
+
+    def test_table2(self, small_runner):
+        t = table2(small_runner)
+        assert len(t.rows) == len(MINI_SUITE)
+        for r in t.rows:
+            assert 0 <= r.loop_pred_miss <= 1
+            assert r.loop_perfect <= r.loop_pred_miss + 1e-9
+            assert 0 <= r.non_loop_fraction <= 1
+            assert r.big_count >= 0
+        assert "MEAN" in t.render()
+
+    def test_table3(self, small_runner):
+        t = table3(small_runner)
+        for row in t.rows:
+            assert set(row.cells) == {"Opcode", "Loop", "Call", "Return",
+                                      "Guard", "Store", "Point"}
+            for cell in row.cells.values():
+                assert 0 <= cell.coverage <= 1
+                assert cell.perfect <= cell.miss + 1e-9
+        t.render()
+
+    def test_table4_small_subsets(self, small_runner):
+        t = table4(small_runner, exclude=(), k=1)
+        assert t.n_trials == len(MINI_SUITE)
+        assert t.top_orders
+        assert sorted(t.pairwise) == sorted(
+            ["Opcode", "Loop", "Call", "Return", "Guard", "Store", "Point"])
+        t.render()
+
+    def test_table5(self, small_runner):
+        t = table5(small_runner)
+        for row in t.rows:
+            # coverages of the order slots + Default partition the dynamic
+            # non-loop count
+            total = sum(c.coverage for c in row.cells.values())
+            assert total == pytest.approx(1.0, abs=1e-6)
+        t.render()
+
+    def test_table6(self, small_runner):
+        t = table6(small_runner)
+        for row in t.rows:
+            assert 0 <= row.heuristic_coverage <= 1
+            assert row.all_perfect <= row.all_miss + 1e-9
+            assert row.all_perfect <= row.loop_rand_miss + 1e-9
+        t.render()
+
+    def test_table7(self, small_runner):
+        t = table7(small_runner)
+        assert set(t.all_stats) == set(t.most_stats)
+        for key, (mean, std) in t.all_stats.items():
+            assert 0 <= mean <= 1
+        t.render()
+
+    def test_heuristic_table_cached(self, queens_run):
+        a = heuristic_table(queens_run)
+        b = heuristic_table(queens_run)
+        assert a is b
+
+    def test_order_data_cached(self, queens_run):
+        assert order_data_for(queens_run) is order_data_for(queens_run)
+
+
+class TestGraphs:
+    def test_graph1(self, small_runner):
+        g = graph1(small_runner, exclude=())
+        assert len(g.curve) == 5040
+        assert g.spread >= 0
+        assert "orders" in g.describe()
+
+    def test_graphs2_3(self, small_runner):
+        g = graphs2_3(small_runner, exclude=(), k=1)
+        assert g.result.n_trials == len(MINI_SUITE)
+        assert g.cumulative_share[-1] <= 1.0 + 1e-9
+        g.describe()
+
+    def test_graphs4_11(self, small_runner):
+        (sg,) = graphs4_11(small_runner, benchmarks=("queens",))
+        curves = sg.instruction_curves()
+        assert set(curves) == {"Loop+Rand", "Heuristic", "Perfect"}
+        # perfect predictor must not mispredict more than the others
+        perfect = sg.analyzers["Perfect"]
+        for name, analyzer in sg.analyzers.items():
+            assert perfect.n_mispredicts <= analyzer.n_mispredicts
+        sg.describe()
+
+    def test_graph12(self):
+        family = graph12(max_length=50)
+        assert all(len(curve) == 50 for curve in family.values())
+
+    def test_graph13(self, small_runner):
+        g = graph13(small_runner, benchmarks=["queens"])
+        assert len(g.points) == 3  # three datasets
+        for p in g.points:
+            assert p.perfect_miss <= p.heuristic_miss + 1e-9
+        assert "queens" in g.describe()

@@ -1,0 +1,75 @@
+"""Tests for the CSV/JSON export of tables and graphs (mini suite)."""
+
+import csv
+import json
+
+import pytest
+
+from conftest import MINI_SUITE
+from repro.harness import SuiteRunner
+from repro.harness.export import export_graphs, export_tables
+
+
+@pytest.fixture(scope="module")
+def export_dir(tmp_path_factory):
+    runner = SuiteRunner(MINI_SUITE)
+    for name in MINI_SUITE:
+        runner._runs[(name, "ref")] = runner.run(name, "small")
+        # graph13 needs every dataset; alias them all to the small run to
+        # keep this unit test fast
+        for ds in ("alt",):
+            runner._runs[(name, ds)] = runner.run(name, "small")
+    outdir = tmp_path_factory.mktemp("export")
+    written = export_tables(runner, outdir)
+    # restrict sequence graphs to the mini suite
+    written += export_graphs(runner, outdir,
+                             sequence_benchmarks=tuple(MINI_SUITE[:1]))
+    return outdir, written
+
+
+class TestExport:
+    def test_all_files_written(self, export_dir):
+        outdir, written = export_dir
+        names = {p.name for p in written}
+        assert {"table1.csv", "table2.csv", "table3.csv", "table4.json",
+                "table5.csv", "table6.csv", "table7.json", "graph1.csv",
+                "graphs2_3.csv", "graph12.csv", "graph13.csv"} <= names
+
+    def test_table2_csv_parses(self, export_dir):
+        outdir, _ = export_dir
+        with (outdir / "table2.csv").open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(MINI_SUITE)
+        for row in rows:
+            assert 0.0 <= float(row["loop_pred_miss"]) <= 1.0
+
+    def test_table4_json_parses(self, export_dir):
+        outdir, _ = export_dir
+        data = json.loads((outdir / "table4.json").read_text())
+        assert data["n_trials"] > 0
+        assert len(data["pairwise_order"]) == 7
+        for entry in data["top_orders"]:
+            assert len(entry["order"]) == 7
+
+    def test_graph1_monotone(self, export_dir):
+        outdir, _ = export_dir
+        with (outdir / "graph1.csv").open() as handle:
+            values = [float(r["avg_miss_rate"])
+                      for r in csv.DictReader(handle)]
+        assert len(values) == 5040
+        assert values == sorted(values)
+
+    def test_graph12_fractions(self, export_dir):
+        outdir, _ = export_dir
+        with (outdir / "graph12.csv").open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 12 * 101
+        assert all(0.0 <= float(r["fraction"]) <= 1.0 for r in rows)
+
+    def test_sequence_graph_exported(self, export_dir):
+        outdir, _ = export_dir
+        path = outdir / f"graph_sequences_{MINI_SUITE[0]}.csv"
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        predictors = {r["predictor"] for r in rows}
+        assert predictors == {"Loop+Rand", "Heuristic", "Perfect"}

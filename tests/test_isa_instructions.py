@@ -1,0 +1,153 @@
+"""Tests for the instruction data model: classification, dataflow, render."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Kind, OPCODES_BY_NAME
+
+
+def make(name, **kw):
+    return Instruction(op=OPCODES_BY_NAME[name], **kw)
+
+
+class TestClassification:
+    @pytest.mark.parametrize("name", ["beq", "bne", "blez", "bgtz", "bltz",
+                                      "bgez", "bc1t", "bc1f"])
+    def test_conditional_branches(self, name):
+        inst = make(name, rs=8, rt=9, label="L")
+        assert inst.is_conditional_branch
+        assert inst.ends_basic_block
+
+    @pytest.mark.parametrize("name", ["add", "lw", "sw", "jal", "syscall",
+                                      "nop", "mul.d"])
+    def test_non_branches(self, name):
+        inst = make(name, rd=8, rs=9, rt=10, fd=0, fs=2, ft=4, imm=0,
+                    label="x")
+        assert not inst.is_conditional_branch
+
+    def test_jal_is_call_not_block_end(self):
+        inst = make("jal", label="f")
+        assert inst.is_call
+        assert not inst.ends_basic_block
+
+    def test_jalr_is_call(self):
+        inst = make("jalr", rd=31, rs=8)
+        assert inst.is_call
+
+    def test_jr_ra_is_return(self):
+        inst = make("jr", rs=31)
+        assert inst.is_return
+        assert not inst.is_indirect_jump
+        assert inst.ends_basic_block
+
+    def test_jr_non_ra_is_indirect(self):
+        inst = make("jr", rs=8)
+        assert inst.is_indirect_jump
+        assert not inst.is_return
+
+    @pytest.mark.parametrize("name,is_load,is_store", [
+        ("lw", True, False), ("lb", True, False), ("lbu", True, False),
+        ("ldc1", True, False), ("sw", False, True), ("sb", False, True),
+        ("sdc1", False, True),
+    ])
+    def test_memory_classification(self, name, is_load, is_store):
+        inst = make(name, rt=8, ft=4, rs=29, imm=0)
+        assert inst.is_load == is_load
+        assert inst.is_store == is_store
+
+    def test_jump(self):
+        inst = make("j", label="L")
+        assert inst.is_jump
+        assert inst.ends_basic_block
+
+
+class TestDataflow:
+    def test_alu_r_uses_defs(self):
+        inst = make("add", rd=10, rs=8, rt=9)
+        assert set(inst.int_uses()) == {8, 9}
+        assert inst.int_defs() == (10,)
+
+    def test_alu_i_uses_defs(self):
+        inst = make("addiu", rt=10, rs=8, imm=4)
+        assert inst.int_uses() == (8,)
+        assert inst.int_defs() == (10,)
+
+    def test_load_defines_rt_uses_base(self):
+        inst = make("lw", rt=10, rs=29, imm=8)
+        assert inst.int_uses() == (29,)
+        assert inst.int_defs() == (10,)
+
+    def test_store_uses_both(self):
+        inst = make("sw", rt=10, rs=29, imm=8)
+        assert set(inst.int_uses()) == {29, 10}
+        assert inst.int_defs() == ()
+
+    def test_branch2_uses(self):
+        inst = make("beq", rs=8, rt=9, label="L")
+        assert set(inst.int_uses()) == {8, 9}
+
+    def test_branch1_uses(self):
+        inst = make("bltz", rs=8, label="L")
+        assert inst.int_uses() == (8,)
+
+    def test_jal_defines_ra(self):
+        assert make("jal", label="f").int_defs() == (31,)
+
+    def test_fp_load_store(self):
+        load = make("ldc1", ft=4, rs=29, imm=0)
+        assert load.fp_defs() == (4,)
+        assert load.int_uses() == (29,)
+        store = make("sdc1", ft=4, rs=29, imm=0)
+        assert store.fp_uses() == (4,)
+
+    def test_fp_arith(self):
+        inst = make("add.d", fd=4, fs=6, ft=8)
+        assert set(inst.fp_uses()) == {6, 8}
+        assert inst.fp_defs() == (4,)
+
+    def test_fp_unary(self):
+        inst = make("neg.d", fd=4, fs=6)
+        assert inst.fp_uses() == (6,)
+        assert inst.fp_defs() == (4,)
+
+    def test_fp_compare_uses_only(self):
+        inst = make("c.eq.d", fs=4, ft=6)
+        assert set(inst.fp_uses()) == {4, 6}
+        assert inst.fp_defs() == ()
+
+    def test_mtc1_moves_int_to_fp(self):
+        inst = make("mtc1", rt=8, fs=4)
+        assert inst.int_uses() == (8,)
+        assert inst.fp_defs() == (4,)
+
+    def test_mfc1_moves_fp_to_int(self):
+        inst = make("mfc1", rt=8, fs=4)
+        assert inst.fp_uses() == (4,)
+        assert inst.int_defs() == (8,)
+
+
+class TestRender:
+    @pytest.mark.parametrize("inst,text", [
+        (make("add", rd=10, rs=8, rt=9), "add $t2, $t0, $t1"),
+        (make("addiu", rt=8, rs=29, imm=-8), "addiu $t0, $sp, -8"),
+        (make("lw", rt=8, rs=28, imm=16), "lw $t0, 16($gp)"),
+        (make("beq", rs=8, rt=0, label="L1"), "beq $t0, $zero, L1"),
+        (make("bltz", rs=8, label="L2"), "bltz $t0, L2"),
+        (make("jr", rs=31), "jr $ra"),
+        (make("jal", label="main"), "jal main"),
+        (make("c.eq.d", fs=4, ft=6), "c.eq.d $f4, $f6"),
+        (make("bc1t", label="L3"), "bc1t L3"),
+        (make("mul.d", fd=2, fs=4, ft=6), "mul.d $f2, $f4, $f6"),
+        (make("sdc1", ft=4, rs=29, imm=8), "sdc1 $f4, 8($sp)"),
+        (make("nop"), "nop"),
+        (make("syscall"), "syscall"),
+    ])
+    def test_render(self, inst, text):
+        assert inst.render() == text
+
+    def test_render_resolved_target(self):
+        inst = Instruction(op=OPCODES_BY_NAME["j"], target_address=0x400100)
+        assert inst.render() == "j 0x400100"
+
+    def test_str_matches_render(self):
+        inst = make("add", rd=10, rs=8, rt=9)
+        assert str(inst) == inst.render()

@@ -1,0 +1,80 @@
+"""Tests for register naming and parsing."""
+
+import pytest
+
+from repro.isa.registers import (
+    FP_ARG_REGS, GP, NUM_INT_REGS, RA, REG_NAMES, SP, T_REGS, ZERO,
+    fp_reg_name, is_fp_register_name, parse_fp_register, parse_register,
+    reg_name,
+)
+
+
+class TestRegNames:
+    def test_zero_is_register_0(self):
+        assert reg_name(ZERO) == "$zero"
+
+    def test_sp_gp_ra(self):
+        assert reg_name(SP) == "$sp"
+        assert reg_name(GP) == "$gp"
+        assert reg_name(RA) == "$ra"
+
+    def test_all_names_unique(self):
+        assert len(set(REG_NAMES)) == NUM_INT_REGS
+
+    def test_t_regs_are_t_named(self):
+        for t in T_REGS:
+            assert reg_name(t).startswith("$t")
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            reg_name(32)
+        with pytest.raises(ValueError):
+            reg_name(-1)
+
+
+class TestParseRegister:
+    @pytest.mark.parametrize("text,expected", [
+        ("$zero", 0), ("$t0", 8), ("$s7", 23), ("$ra", 31),
+        ("$8", 8), ("t0", 8), ("sp", 29), ("$v0", 2), ("$a3", 7),
+    ])
+    def test_accepted_spellings(self, text, expected):
+        assert parse_register(text) == expected
+
+    @pytest.mark.parametrize("bad", ["$t10", "$f0", "bogus", "", "$32"])
+    def test_rejected_spellings(self, bad):
+        with pytest.raises(ValueError):
+            parse_register(bad)
+
+    def test_roundtrip_all(self):
+        for num in range(NUM_INT_REGS):
+            assert parse_register(reg_name(num)) == num
+
+
+class TestFpRegisters:
+    def test_fp_names(self):
+        assert fp_reg_name(0) == "$f0"
+        assert fp_reg_name(31) == "$f31"
+
+    def test_fp_name_out_of_range(self):
+        with pytest.raises(ValueError):
+            fp_reg_name(32)
+
+    @pytest.mark.parametrize("text,expected", [
+        ("$f0", 0), ("$f12", 12), ("f30", 30),
+    ])
+    def test_parse_fp(self, text, expected):
+        assert parse_fp_register(text) == expected
+
+    @pytest.mark.parametrize("bad", ["$t0", "$f32", "f", "$fx"])
+    def test_parse_fp_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_fp_register(bad)
+
+    def test_is_fp_register_name(self):
+        assert is_fp_register_name("$f4")
+        assert is_fp_register_name("f12")
+        assert not is_fp_register_name("$t4")
+        assert not is_fp_register_name("$f")
+
+    def test_fp_arg_regs_follow_o32(self):
+        assert FP_ARG_REGS == (12, 14)

@@ -1,0 +1,218 @@
+"""Integration tests asserting the paper's qualitative claims hold on our
+reproduction (small datasets for speed; the full-suite numbers live in the
+benchmark harness and EXPERIMENTS.md)."""
+
+import pytest
+
+from repro.bench import get
+from repro.core import (
+    BTFNTPredictor, HeuristicPredictor, LoopRandomPredictor,
+    PerfectPredictor, RandomPredictor, TakenPredictor, classify_branches,
+    evaluate_predictor, sequence_experiment,
+)
+from repro.harness import SuiteRunner
+
+BENCHES = ["queens", "fields", "gauss", "scc", "mesh"]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    r = SuiteRunner(BENCHES)
+    for name in BENCHES:
+        r._runs[(name, "ref")] = r.run(name, "small")
+    return r
+
+
+def all_eval(run, predictor_cls, **kw):
+    predictor = predictor_cls(run.analysis, **kw)
+    return evaluate_predictor(predictor, run.profile)
+
+
+class TestSection3Claims:
+    def test_loop_predictor_accurate(self, runner):
+        """'The loop predictor does very well': low miss on loop branches."""
+        for run in runner.all_runs():
+            lr = LoopRandomPredictor(run.analysis)
+            result = evaluate_predictor(lr, run.profile, run.loop_addresses)
+            assert result.miss_rate < 0.30, run.name
+
+    def test_loop_predictor_beats_backward_taken(self, runner):
+        """Natural-loop-based loop prediction >= BTFNT on loop branches,
+        because non-backward loop branches exist."""
+        total_loop, total_btfnt = 0, 0
+        for run in runner.all_runs():
+            loop = evaluate_predictor(LoopRandomPredictor(run.analysis),
+                                      run.profile, run.loop_addresses)
+            btfnt = evaluate_predictor(BTFNTPredictor(run.analysis),
+                                       run.profile, run.loop_addresses)
+            total_loop += loop.misses
+            total_btfnt += btfnt.misses
+        assert total_loop <= total_btfnt
+
+    def test_non_backward_loop_branches_exist(self, runner):
+        """'Many non-backwards branches can also control the iteration of
+        loops.'"""
+        found = 0
+        for run in runner.all_runs():
+            for b in run.analysis.loop_branches():
+                if not b.is_backward:
+                    found += 1
+        assert found > 0
+
+    def test_perfect_non_loop_miss_is_low(self, runner):
+        """'Most non-loop branches take one direction with high
+        probability': perfect static prediction on non-loop branches is far
+        from 50%."""
+        for run in runner.all_runs():
+            perfect = PerfectPredictor(run.analysis, run.profile)
+            result = evaluate_predictor(perfect, run.profile,
+                                        run.non_loop_addresses)
+            assert result.miss_rate < 0.35, run.name
+
+    def test_naive_strategies_are_mediocre(self, runner):
+        """Tgt/Rnd on non-loop branches: 'middling results' — far worse
+        than perfect."""
+        for cls in (TakenPredictor, RandomPredictor):
+            worse = 0
+            for run in runner.all_runs():
+                naive = evaluate_predictor(cls(run.analysis), run.profile,
+                                           run.non_loop_addresses)
+                perfect = evaluate_predictor(
+                    PerfectPredictor(run.analysis, run.profile), run.profile,
+                    run.non_loop_addresses)
+                if naive.miss_rate > perfect.miss_rate + 0.10:
+                    worse += 1
+            assert worse >= len(BENCHES) - 1
+
+
+class TestSection5Claims:
+    def test_combined_heuristic_beats_naive(self, runner):
+        """The combined heuristic beats always-taken and random on non-loop
+        branches in aggregate."""
+        h_miss, t_miss, r_miss, total = 0, 0, 0, 0
+        for run in runner.all_runs():
+            nl = run.executed_non_loop
+            h = evaluate_predictor(HeuristicPredictor(run.analysis),
+                                   run.profile, nl)
+            t = evaluate_predictor(TakenPredictor(run.analysis),
+                                   run.profile, nl)
+            r = evaluate_predictor(RandomPredictor(run.analysis),
+                                   run.profile, nl)
+            h_miss += h.misses
+            t_miss += t.misses
+            r_miss += r.misses
+            total += h.executed
+        assert h_miss < t_miss
+        assert h_miss < r_miss
+
+    def test_heuristic_between_random_and_perfect(self, runner):
+        for run in runner.all_runs():
+            h = all_eval(run, HeuristicPredictor)
+            p = all_eval(run, PerfectPredictor, profile=run.profile)
+            assert p.misses <= h.misses
+
+    def test_heuristic_coverage_substantial(self, runner):
+        """'effective in terms of coverage': most dynamic non-loop branches
+        are covered by a non-default heuristic."""
+        covered, total = 0, 0
+        for run in runner.all_runs():
+            hp = HeuristicPredictor(run.analysis)
+            hp.predictions()
+            for addr in run.executed_non_loop:
+                count = run.profile.execution_count(addr)
+                total += count
+                if hp.attribution[addr] != "Default":
+                    covered += count
+        assert covered / total > 0.5
+
+
+class TestMeshGuardStoreStory:
+    """The paper's tomcatv case: the max-update branch is mispredicted by
+    Guard but predicted perfectly by Store."""
+
+    @pytest.fixture(scope="class")
+    def mesh_branch(self):
+        runner = SuiteRunner(["mesh"])
+        run = runner.run("mesh", "small")
+        # the hottest non-loop branch in scan_residual is the max update
+        scan = [b for b in run.analysis.non_loop_branches()
+                if b.procedure.name == "scan_residual"]
+        branch = max(scan, key=lambda b: run.profile.execution_count(b.address))
+        return run, branch
+
+    def test_guard_gets_it_wrong(self, mesh_branch):
+        from repro.core.heuristics import guard_heuristic, store_heuristic
+        run, branch = mesh_branch
+        pa = run.analysis.analysis_of(branch)
+        guard = guard_heuristic(branch, pa)
+        store = store_heuristic(branch, pa)
+        assert guard is not None and store is not None
+        assert guard is not store  # they disagree
+
+        def misses(prediction):
+            if prediction.as_bool:
+                return run.profile.not_taken_count(branch.address)
+            return run.profile.taken_count(branch.address)
+
+        # Store predicts (nearly) perfectly; Guard is (nearly) always wrong
+        count = run.profile.execution_count(branch.address)
+        assert misses(store) / count < 0.1
+        assert misses(guard) / count > 0.9
+
+
+class TestSection6Claims:
+    @pytest.fixture(scope="class")
+    def analyzers(self):
+        runner = SuiteRunner(["scc"])
+        run = runner.run("scc", "small")
+        return sequence_experiment(
+            run.executable, run.profile,
+            inputs=list(run.dataset.inputs), analysis=run.analysis)
+
+    def test_predictor_ordering(self, analyzers):
+        """Perfect <= Heuristic <= Loop+Rand in miss rate."""
+        assert analyzers["Perfect"].miss_rate <= \
+            analyzers["Heuristic"].miss_rate + 1e-9
+        assert analyzers["Heuristic"].miss_rate <= \
+            analyzers["Loop+Rand"].miss_rate + 1e-9
+
+    def test_better_prediction_longer_sequences(self, analyzers):
+        assert analyzers["Perfect"].ipbc_average >= \
+            analyzers["Heuristic"].ipbc_average
+        assert analyzers["Perfect"].dividing_length >= \
+            analyzers["Heuristic"].dividing_length
+
+    def test_all_instructions_accounted(self, analyzers):
+        for analyzer in analyzers.values():
+            assert sum(analyzer.seq_instr_sums) == \
+                analyzer.total_instructions
+
+    def test_same_execution_same_branch_count(self, analyzers):
+        counts = {a.n_branches for a in analyzers.values()}
+        assert len(counts) == 1
+
+
+class TestSection7Claims:
+    def test_heuristic_predictions_dataset_independent(self):
+        """The heuristic predictor makes the same predictions no matter
+        which dataset runs; only the perfect predictor changes."""
+        runner = SuiteRunner(["fields"])
+        run_a = runner.run("fields", "small")
+        run_b = runner.run("fields", "alt")
+        hp = HeuristicPredictor(run_a.analysis)
+        preds_a = hp.predictions()
+        hp_b = HeuristicPredictor(run_b.analysis)
+        preds_b = hp_b.predictions()
+        assert preds_a == preds_b
+
+    def test_miss_rates_stable_across_datasets(self):
+        """'For many of the benchmarks the miss rates do not vary too
+        widely' across datasets."""
+        runner = SuiteRunner(["queens"])
+        rates = []
+        for ds in ("ref", "small", "alt"):
+            run = runner.run("queens", ds)
+            result = evaluate_predictor(HeuristicPredictor(run.analysis),
+                                        run.profile)
+            rates.append(result.miss_rate)
+        assert max(rates) - min(rates) < 0.15

@@ -1,0 +1,102 @@
+"""Tests for the sim package's convenience entry points and stragglers."""
+
+import pytest
+
+from repro.bcc import compile_and_link
+from repro.core import HeuristicPredictor, classify_branches
+from repro.isa import assemble
+from repro.sim import run_with_profile, run_with_sequences
+
+SRC = """
+int main() {
+    int i, s = 0;
+    for (i = 0; i < 20; i++) {
+        if (i % 3 == 0) { s += i; }
+    }
+    print_int(s);
+    return 0;
+}
+"""
+
+
+class TestRunWithProfile:
+    def test_returns_complete_profile(self):
+        exe = compile_and_link(SRC)
+        profile = run_with_profile(exe)
+        assert profile.total_dynamic_branches > 0
+        assert profile.total_instructions > 0
+        assert len(profile.executed_branches()) > 0
+
+    def test_inputs_forwarded(self):
+        exe = compile_and_link(
+            "int main() { print_int(read_int()); return 0; }")
+        profile = run_with_profile(exe, inputs=[7])
+        assert profile.total_instructions > 0
+
+    def test_respects_instruction_limit(self):
+        from repro.sim import SimulationLimitExceeded
+        exe = compile_and_link("int main() { while (1) { } return 0; }")
+        with pytest.raises(SimulationLimitExceeded):
+            run_with_profile(exe, max_instructions=1000)
+
+
+class TestRunWithSequences:
+    def test_multiple_predictors_one_run(self):
+        exe = compile_and_link(SRC)
+        analysis = classify_branches(exe)
+        hp = HeuristicPredictor(analysis)
+        all_taken = {a: True for a in hp.prediction_map()}
+        analyzers = run_with_sequences(
+            exe, {"heuristic": hp.prediction_map(), "taken": all_taken})
+        assert set(analyzers) == {"heuristic", "taken"}
+        h, t = analyzers["heuristic"], analyzers["taken"]
+        assert h.n_branches == t.n_branches
+        assert h.total_instructions == t.total_instructions
+
+
+class TestAssemblerStragglers:
+    def test_byte_directive(self):
+        exe = assemble(".data\nb: .byte 1, -2, 127\n"
+                       ".text\n.ent main\nmain:\nnop\n.end main\n")
+        assert exe.data[:3] == bytes([1, 0xFE, 127])
+
+    def test_globl_ignored(self):
+        exe = assemble(".text\n.globl main\n.ent main\nmain:\nnop\n"
+                       ".end main\n")
+        assert len(exe.instructions) == 1
+
+    def test_jalr_two_operands(self):
+        exe = assemble(".text\n.ent f\nf:\njalr $t0, $t1\n.end f\n")
+        inst = exe.instructions[0]
+        assert inst.rd == 8 and inst.rs == 9
+
+    def test_ent_inside_procedure_rejected(self):
+        from repro.isa import AssemblerError
+        with pytest.raises(AssemblerError, match="inside procedure"):
+            assemble(".text\n.ent f\nf:\nnop\n.ent g\n.end f\n")
+
+    def test_end_without_ent_rejected(self):
+        from repro.isa import AssemblerError
+        with pytest.raises(AssemblerError, match="outside procedure"):
+            assemble(".text\n.end f\n")
+
+
+class TestExecutableStragglers:
+    def test_repr(self):
+        exe = assemble(".text\n.ent main\nmain:\nnop\n.end main\n")
+        text = repr(exe)
+        assert "1 procs" in text and "1 insts" in text
+
+    def test_heap_starts_after_data_aligned(self):
+        exe = assemble(".data\nx: .byte 1, 2, 3\n"
+                       ".text\n.ent main\nmain:\nnop\n.end main\n")
+        from repro.isa import DATA_BASE
+        assert exe.heap_start >= DATA_BASE + 3
+        assert exe.heap_start % 8 == 0
+
+    def test_procedure_len_and_contains(self):
+        exe = assemble(".text\n.ent f\nf:\nnop\nnop\n.end f\n")
+        proc = exe.procedure("f")
+        assert len(proc) == 2
+        assert proc.contains_address(proc.start_address)
+        assert not proc.contains_address(proc.end_address)

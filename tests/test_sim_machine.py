@@ -1,0 +1,253 @@
+"""Tests for the interpreter: opcode semantics, syscalls, control, limits."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.sim import (
+    EdgeProfile, InputExhausted, Machine, SimulationError,
+    SimulationLimitExceeded,
+)
+
+
+def run_asm(body: str, inputs=None, data: str = "", max_instructions=100000):
+    src = ""
+    if data:
+        src += ".data\n" + data + "\n"
+    src += f".text\n.ent main\nmain:\n{body}\n.end main\n"
+    exe = assemble(src)
+    machine = Machine(exe, inputs=inputs, max_instructions=max_instructions)
+    status = machine.run()
+    return machine, status
+
+
+def result_of(body: str, **kw) -> int:
+    """Run asm that leaves its result in $t0; return that value."""
+    machine, _ = run_asm(body + "\nli $v0, 10\nsyscall", **kw)
+    return machine.regs[8]
+
+
+class TestIntegerArithmetic:
+    def test_add_wraps_signed(self):
+        assert result_of("li $t1, 0x7fffffff\nli $t2, 1\n"
+                         "addu $t0, $t1, $t2") == -(2**31)
+
+    def test_sub_wraps(self):
+        assert result_of("li $t1, 0x80000000\nli $t2, 1\n"
+                         "subu $t0, $t1, $t2") == 2**31 - 1
+
+    def test_mul_wraps(self):
+        expected = ((100000 * 100000) + 2**31) % 2**32 - 2**31
+        assert result_of("li $t1, 100000\nli $t2, 100000\n"
+                         "mul $t0, $t1, $t2") == expected
+
+    @pytest.mark.parametrize("a,b,q", [
+        (7, 2, 3), (-7, 2, -3), (7, -2, -3), (-7, -2, 3),
+    ])
+    def test_div_truncates_toward_zero(self, a, b, q):
+        assert result_of(f"li $t1, {a}\nli $t2, {b}\ndiv $t0, $t1, $t2") == q
+
+    @pytest.mark.parametrize("a,b,r", [
+        (7, 2, 1), (-7, 2, -1), (7, -2, 1), (-7, -2, -1),
+    ])
+    def test_rem_sign_follows_dividend(self, a, b, r):
+        assert result_of(f"li $t1, {a}\nli $t2, {b}\nrem $t0, $t1, $t2") == r
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(SimulationError, match="division by zero"):
+            run_asm("li $t1, 1\nli $t2, 0\ndiv $t0, $t1, $t2")
+
+    def test_logic_ops(self):
+        assert result_of("li $t1, 0xF0\nli $t2, 0x3C\nand $t0, $t1, $t2") == 0x30
+        assert result_of("li $t1, 0xF0\nli $t2, 0x3C\nor $t0, $t1, $t2") == 0xFC
+        assert result_of("li $t1, 0xF0\nli $t2, 0x3C\nxor $t0, $t1, $t2") == 0xCC
+
+    def test_nor(self):
+        assert result_of("li $t1, 0\nli $t2, 0\nnor $t0, $t1, $t2") == -1
+
+    def test_shifts(self):
+        assert result_of("li $t1, 1\nsll $t0, $t1, 31") == -(2**31)
+        assert result_of("li $t1, -8\nsra $t0, $t1, 1") == -4
+        assert result_of("li $t1, -8\nsrl $t0, $t1, 1") == 0x7FFFFFFC
+
+    def test_variable_shifts(self):
+        assert result_of("li $t1, 3\nli $t2, 4\nsllv $t0, $t1, $t2") == 48
+
+    def test_slt_signed_vs_unsigned(self):
+        assert result_of("li $t1, -1\nli $t2, 1\nslt $t0, $t1, $t2") == 1
+        assert result_of("li $t1, -1\nli $t2, 1\nsltu $t0, $t1, $t2") == 0
+
+    def test_slti(self):
+        assert result_of("li $t1, 5\nslti $t0, $t1, 6") == 1
+
+    def test_lui(self):
+        assert result_of("lui $t0, 0x1234") == 0x12340000
+
+    def test_andi_zero_extends(self):
+        assert result_of("li $t1, -1\nandi $t0, $t1, 0xffff") == 0xFFFF
+
+
+class TestBranches:
+    @pytest.mark.parametrize("op,value,taken", [
+        ("blez", 0, True), ("blez", -1, True), ("blez", 1, False),
+        ("bgtz", 1, True), ("bgtz", 0, False),
+        ("bltz", -1, True), ("bltz", 0, False),
+        ("bgez", 0, True), ("bgez", -1, False),
+    ])
+    def test_zero_compare_branches(self, op, value, taken):
+        body = (f"li $t1, {value}\nli $t0, 0\n{op} $t1, L\n"
+                "li $t0, 1\nL: nop")
+        assert result_of(body) == (0 if taken else 1)
+
+    def test_beq_bne(self):
+        assert result_of("li $t1, 3\nli $t2, 3\nli $t0, 0\n"
+                         "beq $t1, $t2, L\nli $t0, 1\nL: nop") == 0
+        assert result_of("li $t1, 3\nli $t2, 4\nli $t0, 0\n"
+                         "bne $t1, $t2, L\nli $t0, 1\nL: nop") == 0
+
+    def test_branch_events_reach_observer(self):
+        profile = EdgeProfile()
+        src = (".text\n.ent main\nmain:\nli $t1, 3\n"
+               "L: addiu $t1, $t1, -1\nbgtz $t1, L\nli $v0, 10\nsyscall\n"
+               ".end main\n")
+        exe = assemble(src)
+        Machine(exe, observers=[profile]).run()
+        (addr, taken, not_taken), = list(profile.items())
+        assert taken == 2 and not_taken == 1
+
+
+class TestFloatingPoint:
+    def test_fp_arith(self):
+        machine, _ = run_asm(
+            "li $t1, 3\nmtc1 $t1, $f2\ncvt.d.w $f2, $f2\n"
+            "li $t2, 4\nmtc1 $t2, $f4\ncvt.d.w $f4, $f4\n"
+            "mul.d $f6, $f2, $f4\nli $v0, 10\nsyscall")
+        assert machine.fregs[6] == 12.0
+
+    def test_fp_compare_and_branch(self):
+        body = ("li $t1, 2\nmtc1 $t1, $f2\ncvt.d.w $f2, $f2\n"
+                "li $t2, 3\nmtc1 $t2, $f4\ncvt.d.w $f4, $f4\n"
+                "li $t0, 0\nc.lt.d $f2, $f4\nbc1t L\nli $t0, 1\nL: nop")
+        assert result_of(body) == 0
+
+    def test_bc1f(self):
+        body = ("li $t1, 2\nmtc1 $t1, $f2\ncvt.d.w $f2, $f2\n"
+                "li $t0, 0\nc.eq.d $f2, $f2\nbc1f L\nli $t0, 1\nL: nop")
+        assert result_of(body) == 1
+
+    def test_cvt_w_d_truncates(self):
+        machine, _ = run_asm(
+            "ldc1 $f2, d($gp)\ncvt.w.d $f4, $f2\nmfc1 $t0, $f4\n"
+            "li $v0, 10\nsyscall", data="d: .double -2.7")
+        assert machine.regs[8] == -2
+
+    def test_sqrt(self):
+        machine, _ = run_asm("ldc1 $f2, d($gp)\nsqrt.d $f4, $f2\n"
+                             "li $v0, 10\nsyscall", data="d: .double 6.25")
+        assert machine.fregs[4] == 2.5
+
+    def test_sqrt_negative_raises(self):
+        with pytest.raises(SimulationError, match="sqrt"):
+            run_asm("ldc1 $f2, d($gp)\nsqrt.d $f4, $f2",
+                    data="d: .double -1.0")
+
+    def test_fp_div_by_zero_raises(self):
+        with pytest.raises(SimulationError, match="FP division"):
+            run_asm("ldc1 $f2, d($gp)\ndiv.d $f4, $f2, $f6",
+                    data="d: .double 1.0")
+
+    def test_neg_abs_mov(self):
+        machine, _ = run_asm(
+            "ldc1 $f2, d($gp)\nneg.d $f4, $f2\nabs.d $f6, $f4\n"
+            "mov.d $f8, $f6\nli $v0, 10\nsyscall", data="d: .double 2.5")
+        assert machine.fregs[4] == -2.5
+        assert machine.fregs[8] == 2.5
+
+
+class TestCallsAndJumps:
+    def test_jal_jr(self):
+        src = (".text\n.ent main\nmain:\njal f\nmove $t0, $v0\n"
+               "li $v0, 10\nsyscall\n.end main\n"
+               ".ent f\nf:\nli $v0, 99\njr $ra\n.end f\n")
+        exe = assemble(src)
+        machine = Machine(exe)
+        machine.run()
+        assert machine.regs[8] == 99
+
+    def test_jalr_indirect_call_emits_event(self):
+        events = []
+
+        class Obs:
+            def on_branch(self, *a): pass
+            def on_indirect(self, inst, count): events.append(inst.op.name)
+            def on_finish(self, *a): pass
+
+        src = (".text\n.ent main\nmain:\nla $t1, f\njalr $t1\n"
+               "li $v0, 10\nsyscall\n.end main\n"
+               ".ent f\nf:\njr $ra\n.end f\n")
+        exe = assemble(src)
+        Machine(exe, observers=[Obs()]).run()
+        assert events == ["jalr"]
+
+    def test_main_return_halts(self):
+        # main's jr $ra with the initial sentinel $ra halts cleanly
+        _, status = run_asm("li $t0, 1\njr $ra")
+        assert status.instr_count == 2
+
+
+class TestSyscalls:
+    def test_print_int(self):
+        _, status = run_asm("li $a0, -42\nli $v0, 1\nsyscall\n"
+                            "li $v0, 10\nsyscall")
+        assert status.output == "-42"
+
+    def test_print_char_and_string(self):
+        _, status = run_asm(
+            "la $a0, s\nli $v0, 4\nsyscall\nli $a0, '!'\nli $v0, 11\n"
+            "syscall\nli $v0, 10\nsyscall", data='s: .asciiz "hey"')
+        assert status.output == "hey!"
+
+    def test_read_int(self):
+        machine, _ = run_asm("li $v0, 5\nsyscall\nmove $t0, $v0\n"
+                             "li $v0, 10\nsyscall", inputs=[123])
+        assert machine.regs[8] == 123
+
+    def test_read_double(self):
+        machine, _ = run_asm("li $v0, 7\nsyscall\nli $v0, 10\nsyscall",
+                             inputs=[2.5])
+        assert machine.fregs[0] == 2.5
+
+    def test_input_exhausted(self):
+        with pytest.raises(InputExhausted):
+            run_asm("li $v0, 5\nsyscall")
+
+    def test_sbrk_returns_increasing(self):
+        machine, _ = run_asm(
+            "li $a0, 16\nli $v0, 9\nsyscall\nmove $t0, $v0\n"
+            "li $a0, 16\nli $v0, 9\nsyscall\nmove $t1, $v0\n"
+            "li $v0, 10\nsyscall")
+        assert machine.regs[9] > machine.regs[8]
+        assert machine.regs[8] % 8 == 0
+
+    def test_exit_with_code(self):
+        _, status = run_asm("li $a0, 3\nli $v0, 17\nsyscall")
+        assert status.exit_code == 3
+
+    def test_unknown_syscall(self):
+        with pytest.raises(SimulationError, match="syscall"):
+            run_asm("li $v0, 999\nsyscall")
+
+
+class TestLimitsAndErrors:
+    def test_instruction_limit(self):
+        with pytest.raises(SimulationLimitExceeded):
+            run_asm("L: j L", max_instructions=100)
+
+    def test_pc_out_of_range(self):
+        with pytest.raises(SimulationError, match="pc out of range"):
+            run_asm("la $t0, main\naddiu $t0, $t0, 0x1000\njr $t0")
+
+    def test_counts(self):
+        _, status = run_asm("li $t1, 2\nL: addiu $t1, $t1, -1\n"
+                            "bgtz $t1, L\nli $v0, 10\nsyscall")
+        assert status.dynamic_branches == 2
+        assert status.instr_count == 1 + 2 * 2 + 2

@@ -1,0 +1,127 @@
+"""Tests for the sparse simulated memory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.memory import Memory, MemoryError_, PAGE_SIZE
+
+
+class TestWords:
+    def test_store_load_roundtrip(self):
+        m = Memory()
+        m.store_word(0x1000_0000, 12345)
+        assert m.load_word(0x1000_0000) == 12345
+
+    def test_negative_roundtrip(self):
+        m = Memory()
+        m.store_word(0x100, -1)
+        assert m.load_word(0x100) == -1
+
+    def test_uninitialized_is_zero(self):
+        assert Memory().load_word(0x7FFF_0000) == 0
+
+    def test_wraps_mod_2_32(self):
+        m = Memory()
+        m.store_word(0, 2**32 + 5)
+        assert m.load_word(0) == 5
+
+    def test_sign_boundary(self):
+        m = Memory()
+        m.store_word(0, 0x8000_0000)
+        assert m.load_word(0) == -(2**31)
+
+    def test_misaligned_load_raises(self):
+        with pytest.raises(MemoryError_):
+            Memory().load_word(0x1001)
+
+    def test_misaligned_store_raises(self):
+        with pytest.raises(MemoryError_):
+            Memory().store_word(0x1002, 1)
+
+    @given(st.integers(-2**31, 2**31 - 1), st.integers(0, 2**20))
+    def test_roundtrip_property(self, value, word_index):
+        m = Memory()
+        addr = word_index * 4
+        m.store_word(addr, value)
+        assert m.load_word(addr) == value
+
+
+class TestBytes:
+    def test_signed_byte(self):
+        m = Memory()
+        m.store_byte(5, 0xFF)
+        assert m.load_byte(5) == -1
+        assert m.load_byte(5, signed=False) == 255
+
+    def test_byte_masks(self):
+        m = Memory()
+        m.store_byte(0, 0x1FF)
+        assert m.load_byte(0, signed=False) == 0xFF
+
+    def test_bytes_within_word(self):
+        m = Memory()
+        m.store_word(0, 0x04030201)
+        assert [m.load_byte(i) for i in range(4)] == [1, 2, 3, 4]  # little endian
+
+
+class TestDoubles:
+    def test_roundtrip(self):
+        m = Memory()
+        m.store_double(0x2000, 3.14159)
+        assert m.load_double(0x2000) == 3.14159
+
+    def test_misaligned_double_raises(self):
+        with pytest.raises(MemoryError_):
+            Memory().load_double(0x2004)
+        with pytest.raises(MemoryError_):
+            Memory().store_double(0x2004, 1.0)
+
+    @given(st.floats(allow_nan=False))
+    def test_roundtrip_property(self, value):
+        m = Memory()
+        m.store_double(0x4000, value)
+        assert m.load_double(0x4000) == value
+
+
+class TestBulkAndStrings:
+    def test_write_read_bytes(self):
+        m = Memory()
+        data = bytes(range(200))
+        m.write_bytes(0x123, data)
+        assert m.read_bytes(0x123, 200) == data
+
+    def test_cross_page_bulk(self):
+        m = Memory()
+        data = b"x" * (PAGE_SIZE + 100)
+        addr = PAGE_SIZE - 50
+        m.write_bytes(addr, data)
+        assert m.read_bytes(addr, len(data)) == data
+
+    def test_cstring(self):
+        m = Memory()
+        m.write_bytes(0x10, b"hello\x00world")
+        assert m.load_cstring(0x10) == "hello"
+
+    def test_cstring_empty(self):
+        m = Memory()
+        m.write_bytes(0x10, b"\x00")
+        assert m.load_cstring(0x10) == ""
+
+    def test_cstring_cross_page(self):
+        m = Memory()
+        addr = PAGE_SIZE - 3
+        m.write_bytes(addr, b"abcdef\x00")
+        assert m.load_cstring(addr) == "abcdef"
+
+    def test_unterminated_string_raises(self):
+        m = Memory()
+        m.write_bytes(0, b"a" * 100)
+        with pytest.raises(MemoryError_):
+            m.load_cstring(0, limit=50)
+
+    @given(st.binary(min_size=0, max_size=5000),
+           st.integers(0, 2**24))
+    def test_bulk_roundtrip_property(self, data, addr):
+        m = Memory()
+        m.write_bytes(addr, data)
+        assert m.read_bytes(addr, len(data)) == data
