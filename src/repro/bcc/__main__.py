@@ -15,6 +15,7 @@ import sys
 
 from repro.bcc.driver import compile_and_link, compile_to_asm, compile_to_ir
 from repro.bcc.errors import CompileError
+from repro.errors import ReproError
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -39,6 +40,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--predict", action="store_true",
                         help="run, then report each predictor's miss rate")
     parser.add_argument("--max-instructions", type=int, default=200_000_000)
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock watchdog deadline for --run")
+    parser.add_argument("--verbose-crash", action="store_true",
+                        help="print the full crash report on a fault")
     args = parser.parse_args(argv)
 
     try:
@@ -66,7 +72,11 @@ def main(argv: list[str] | None = None) -> int:
         executable = compile_and_link(source, args.source,
                                       optimize=optimize, rotate_loops=rotate)
     except CompileError as exc:
+        # keep the historical compiler-diagnostic format (file:line:col)
         print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(exc.oneline(), file=sys.stderr)
         return 1
 
     print(f"compiled {args.source}: {len(executable.procedures)} procedures,"
@@ -78,8 +88,17 @@ def main(argv: list[str] | None = None) -> int:
     from repro.sim import EdgeProfile, Machine
     profile = EdgeProfile()
     machine = Machine(executable, inputs=inputs, observers=[profile],
-                      max_instructions=args.max_instructions)
-    status = machine.run()
+                      max_instructions=args.max_instructions,
+                      wall_clock_deadline=args.deadline)
+    try:
+        status = machine.run()
+    except ReproError as exc:
+        # one structured line, never a traceback; the crash report is
+        # available under --verbose-crash for debugging
+        print(exc.oneline(), file=sys.stderr)
+        if args.verbose_crash and exc.crash_report is not None:
+            print(exc.crash_report.format(), file=sys.stderr)
+        return 1
     sys.stdout.write(status.output)
     print(f"[{status.instr_count} instructions, "
           f"{status.dynamic_branches} branches, "

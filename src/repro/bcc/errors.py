@@ -1,12 +1,21 @@
-"""Compiler diagnostics."""
+"""Compiler diagnostics.
+
+:class:`CompileError` is part of the unified :class:`~repro.errors.ReproError`
+taxonomy (phase ``compile``), so harness code can classify compiler failures
+structurally alongside assembler and simulator faults.
+"""
 
 from __future__ import annotations
+
+from repro.errors import ReproError
 
 __all__ = ["CompileError"]
 
 
-class CompileError(Exception):
+class CompileError(ReproError):
     """Any front-end or back-end error, with source position when known."""
+
+    phase = "compile"
 
     def __init__(self, message: str, line: int | None = None,
                  col: int | None = None, filename: str | None = None) -> None:
@@ -21,4 +30,6 @@ class CompileError(Exception):
             if col is not None:
                 location += f"{col}:"
         super().__init__(f"{location} {message}" if location else message)
+        # keep .message as the bare message (without location), as callers
+        # that re-wrap diagnostics (e.g. sema) rely on it
         self.message = message

@@ -10,6 +10,9 @@ from repro.harness.graphs import (
     graph1, graph12, graph13, graphs2_3, graphs4_11,
 )
 from repro.harness.report import TextTable, cd_cell, mean_std, pct
+from repro.harness.resilience import (
+    RunOutcome, RunStatus, classify_failure, failure_cells,
+)
 from repro.harness.runner import BenchmarkRun, SuiteRunner
 from repro.harness.tables import (
     table1, table2, table3, table4, table5, table6, table7,
@@ -17,6 +20,7 @@ from repro.harness.tables import (
 
 __all__ = [
     "SuiteRunner", "BenchmarkRun",
+    "RunOutcome", "RunStatus", "classify_failure", "failure_cells",
     "table1", "table2", "table3", "table4", "table5", "table6", "table7",
     "graph1", "graphs2_3", "graphs4_11", "graph12", "graph13",
     "Graph1", "Graphs2And3", "SequenceGraphs", "Graph13",

@@ -1,9 +1,15 @@
 """``python -m repro.harness`` — print the full paper reproduction report.
 
 Options:
-    --quick          use the 'small' datasets and skip the trace experiments
     --tables N,M     only the listed tables (1-7)
     --graphs N,M     only the listed graphs (1-13; 4 means all of 4-11)
+    --benchmarks A,B restrict the suite to the named benchmarks
+    --degraded       fault-isolated mode: failures render as FAILED cells
+    --deadline S     per-run wall-clock watchdog (seconds)
+
+On a pipeline fault the CLI exits non-zero with a one-line structured
+error (``error[code] benchmark=... phase=...: message``), never a raw
+traceback — see docs/robustness.md.
 """
 
 from __future__ import annotations
@@ -12,8 +18,10 @@ import argparse
 import sys
 import time
 
+from repro.errors import ReproError
 from repro.harness import (
-    SuiteRunner, graph1, graph12, graph13, graphs2_3, graphs4_11,
+    SEQUENCE_BENCHMARKS, SuiteRunner,
+    graph1, graph12, graph13, graphs2_3, graphs4_11,
     table1, table2, table3, table4, table5, table6, table7,
 )
 
@@ -27,11 +35,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="comma-separated table numbers")
     parser.add_argument("--graphs", default="1,2,4,12,13",
                         help="comma-separated graph numbers")
+    parser.add_argument("--benchmarks", default="",
+                        help="comma-separated benchmark names "
+                             "(default: full suite)")
+    parser.add_argument("--degraded", action="store_true",
+                        help="fault-isolated mode: a failing benchmark "
+                             "renders as FAILED cells instead of aborting")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-run wall-clock watchdog deadline")
     args = parser.parse_args(argv)
 
     tables = {int(t) for t in args.tables.split(",") if t}
     graphs = {int(g) for g in args.graphs.split(",") if g}
-    runner = SuiteRunner()
+    benchmarks = [b for b in args.benchmarks.split(",") if b] or None
+    runner = SuiteRunner(benchmarks=benchmarks, strict=not args.degraded,
+                         wall_clock_deadline=args.deadline)
 
     start = time.time()
     generators = {
@@ -43,28 +62,43 @@ def main(argv: list[str] | None = None) -> int:
         6: lambda: table6(runner).render(),
         7: lambda: table7(runner).render(),
     }
-    for number in sorted(tables):
-        print(generators[number]())
-        print()
+    try:
+        for number in sorted(tables):
+            print(generators[number]())
+            print()
 
-    if 1 in graphs:
-        print(graph1(runner).describe())
-        print()
-    if 2 in graphs or 3 in graphs:
-        print(graphs2_3(runner).describe())
-        print()
-    if graphs & set(range(4, 12)):
-        for sg in graphs4_11(runner):
-            print(sg.describe())
-        print()
-    if 12 in graphs:
-        family = graph12()
-        print("Graph 12 model: f(m,100) for m=0.025..0.30:")
-        for m, curve in family.items():
-            print(f"  m={m:.3f}: f(100)={curve[-1]:.3f}")
-        print()
-    if 13 in graphs:
-        print(graph13(runner).describe())
+        if 1 in graphs:
+            print(graph1(runner).describe())
+            print()
+        if 2 in graphs or 3 in graphs:
+            print(graphs2_3(runner).describe())
+            print()
+        if graphs & set(range(4, 12)):
+            seq = tuple(n for n in SEQUENCE_BENCHMARKS
+                        if benchmarks is None or n in benchmarks)
+            for sg in graphs4_11(runner, benchmarks=seq):
+                print(sg.describe())
+            print()
+        if 12 in graphs:
+            family = graph12()
+            print("Graph 12 model: f(m,100) for m=0.025..0.30:")
+            for m, curve in family.items():
+                print(f"  m={m:.3f}: f(100)={curve[-1]:.3f}")
+            print()
+        if 13 in graphs:
+            print(graph13(runner).describe())
+    except ReproError as exc:
+        print(exc.oneline(), file=sys.stderr)
+        return 1
+
+    # degraded mode: summarize any failures in the footer but still exit 0
+    # (the report was produced — that is the point of fault isolation)
+    failures = [oc for oc in runner._run_failures.values()]
+    if runner._skipped:
+        failures += [runner.outcome(name) for name in runner._skipped
+                     if name in runner.benchmark_names]
+    for outcome in failures:
+        print(outcome.describe(), file=sys.stderr)
 
     print(f"\n[done in {time.time() - start:.1f}s]", file=sys.stderr)
     return 0

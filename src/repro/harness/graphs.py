@@ -7,7 +7,7 @@ a text summary in lieu of the figure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -17,8 +17,9 @@ from repro.core.orders import (
 )
 from repro.core.predictors import HeuristicPredictor, PerfectPredictor
 from repro.core.sequences import sequence_experiment
+from repro.harness.resilience import RunOutcome
 from repro.harness.runner import BenchmarkRun, SuiteRunner
-from repro.harness.tables import order_data_for
+from repro.harness.tables import _runs_and_failures, order_data_for
 from repro.sim.trace import SequenceAnalyzer
 
 __all__ = [
@@ -38,6 +39,7 @@ class Graph1:
     """Sorted average miss rates of all 5040 orders."""
 
     curve: np.ndarray  #: sorted ascending
+    failed: list[str] = field(default_factory=list)
 
     @property
     def spread(self) -> float:
@@ -45,17 +47,21 @@ class Graph1:
         return float(self.curve[-1] - self.curve[0])
 
     def describe(self) -> str:
+        note = (f" (FAILED, excluded: {', '.join(self.failed)})"
+                if self.failed else "")
         return (f"Graph 1: {len(self.curve)} orders; best "
                 f"{100 * self.curve[0]:.2f}%, median "
                 f"{100 * float(np.median(self.curve)):.2f}%, worst "
-                f"{100 * self.curve[-1]:.2f}%")
+                f"{100 * self.curve[-1]:.2f}%{note}")
 
 
 def graph1(runner: SuiteRunner,
            exclude: tuple[str, ...] = ("matmul",)) -> Graph1:
-    datasets = [order_data_for(run) for run in runner.all_runs()
+    runs, failed = _runs_and_failures(runner)
+    datasets = [order_data_for(run) for run in runs
                 if run.name not in exclude]
-    return Graph1(all_orders_curve(datasets))
+    return Graph1(all_orders_curve(datasets),
+                  failed=[oc.benchmark for oc in failed])
 
 
 @dataclass
@@ -65,6 +71,7 @@ class Graphs2And3:
 
     result: SubsetExperimentResult
     top_n: int = 101
+    failed: list[str] = field(default_factory=list)
 
     @property
     def cumulative_share(self) -> np.ndarray:
@@ -86,9 +93,11 @@ class Graphs2And3:
 
 def graphs2_3(runner: SuiteRunner, exclude: tuple[str, ...] = ("matmul",),
               k: int | None = None) -> Graphs2And3:
-    datasets = [order_data_for(run) for run in runner.all_runs()
+    runs, failed = _runs_and_failures(runner)
+    datasets = [order_data_for(run) for run in runs
                 if run.name not in exclude]
-    return Graphs2And3(subset_experiment(datasets, k=k))
+    return Graphs2And3(subset_experiment(datasets, k=k),
+                       failed=[oc.benchmark for oc in failed])
 
 
 @dataclass
@@ -99,6 +108,12 @@ class SequenceGraphs:
 
     name: str
     analyzers: dict[str, SequenceAnalyzer]
+    #: populated instead of analyzers when the benchmark failed (degraded)
+    failure: RunOutcome | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
 
     def instruction_curves(self) -> dict[str, list[tuple[int, float]]]:
         return {name: a.cumulative_instructions()
@@ -109,6 +124,9 @@ class SequenceGraphs:
                 for name, a in self.analyzers.items()}
 
     def describe(self) -> str:
+        if self.failure is not None:
+            return (f"Graph (sequences) {self.name}: "
+                    f"{self.failure.failure_label()}")
         parts = [f"Graph (sequences) {self.name}:"]
         for name, a in self.analyzers.items():
             parts.append(
@@ -121,10 +139,17 @@ def graphs4_11(runner: SuiteRunner,
                benchmarks: tuple[str, ...] = SEQUENCE_BENCHMARKS
                ) -> list[SequenceGraphs]:
     """Run the trace-based sequence experiment for the paper's
-    hard-to-predict benchmark set."""
+    hard-to-predict benchmark set.
+
+    In degraded mode a failed benchmark yields a placeholder entry whose
+    ``failure`` field carries the classified outcome."""
     out = []
     for name in benchmarks:
-        run = runner.run(name)
+        outcome = runner.outcome(name)
+        if outcome.failed:  # unreachable in strict mode (outcome raises)
+            out.append(SequenceGraphs(name, {}, failure=outcome))
+            continue
+        run = outcome.require()
         analyzers = sequence_experiment(
             run.executable, run.profile, inputs=list(run.dataset.inputs),
             analysis=run.analysis)
@@ -148,6 +173,7 @@ class Graph13Point:
 @dataclass
 class Graph13:
     points: list[Graph13Point]
+    failed: list[RunOutcome] = field(default_factory=list)
 
     def by_benchmark(self) -> dict[str, list[Graph13Point]]:
         out: dict[str, list[Graph13Point]] = {}
@@ -162,6 +188,9 @@ class Graph13:
                 f"{p.dataset}:{100 * p.heuristic_miss:.0f}/"
                 f"{100 * p.perfect_miss:.0f}" for p in points)
             lines.append(f"  {name:10s} {cells}")
+        for oc in self.failed:
+            lines.append(f"  {oc.benchmark:10s} {oc.dataset}: "
+                         f"{oc.failure_label()}")
         return "\n".join(lines)
 
 
@@ -176,15 +205,23 @@ def graph13(runner: SuiteRunner,
     from repro.core.evaluation import evaluate_predictor
 
     points = []
+    failed: list[RunOutcome] = []
     names = benchmarks or runner.benchmark_names
     for name in names:
+        if runner.is_skipped(name) and not runner.strict:
+            failed.append(runner.outcome(name))
+            continue
         benchmark = get(name)
         for ds in benchmark.datasets:
-            run = runner.run(name, ds.name)
+            outcome = runner.outcome(name, ds.name)
+            if outcome.failed:  # unreachable in strict mode (raises)
+                failed.append(outcome)
+                continue
+            run = outcome.require()
             heuristic = HeuristicPredictor(run.analysis)
             perfect = PerfectPredictor(run.analysis, run.profile)
             h_eval = evaluate_predictor(heuristic, run.profile)
             p_eval = evaluate_predictor(perfect, run.profile)
             points.append(Graph13Point(name, ds.name, h_eval.miss_rate,
                                        p_eval.miss_rate))
-    return Graph13(points)
+    return Graph13(points, failed)

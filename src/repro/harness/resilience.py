@@ -1,0 +1,110 @@
+"""Fault isolation for the experiment harness.
+
+A :class:`RunOutcome` wraps one (benchmark, dataset) execution attempt:
+either a healthy :class:`~repro.harness.runner.BenchmarkRun` or a classified
+failure (compile-failed / sim-failed / timeout / skipped) carrying the typed
+:class:`~repro.errors.ReproError` that caused it.  In the
+:class:`~repro.harness.runner.SuiteRunner`'s degraded (``strict=False``)
+mode, table and graph generators consume outcomes instead of raw runs, so a
+single pathological benchmark renders as explicit ``FAILED`` cells instead
+of aborting the whole seven-table report.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import (
+    ReproError, SimulationLimitExceeded, SimulationTimeout,
+)
+
+if TYPE_CHECKING:  # avoid a circular import with repro.harness.runner
+    from repro.harness.runner import BenchmarkRun
+
+__all__ = ["RunStatus", "RunOutcome", "classify_failure", "failure_cells"]
+
+
+class RunStatus(enum.Enum):
+    """Machine-classifiable outcome of one (benchmark, dataset) attempt."""
+
+    OK = "ok"
+    COMPILE_FAILED = "compile-failed"
+    SIM_FAILED = "sim-failed"
+    TIMEOUT = "timeout"
+    SKIPPED = "skipped"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def classify_failure(error: ReproError) -> RunStatus:
+    """Map a typed pipeline error to its :class:`RunStatus` bucket."""
+    if isinstance(error, (SimulationTimeout, SimulationLimitExceeded)):
+        return RunStatus.TIMEOUT
+    phase = getattr(error, "phase", None)
+    if phase in ("compile", "assemble", "link"):
+        return RunStatus.COMPILE_FAILED
+    return RunStatus.SIM_FAILED
+
+
+@dataclass
+class RunOutcome:
+    """One (benchmark, dataset) execution attempt: a run or a failure."""
+
+    benchmark: str
+    dataset: str
+    status: RunStatus
+    run: BenchmarkRun | None = None
+    error: ReproError | None = None
+    #: True when the harness retried once at a raised fuel budget
+    retried: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.status is RunStatus.OK and self.run is None:
+            raise ValueError("OK outcome requires a run")
+        if self.status is not RunStatus.OK and self.run is not None:
+            raise ValueError("failed outcome must not carry a run")
+
+    # -- predicates ------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RunStatus.OK
+
+    @property
+    def failed(self) -> bool:
+        return not self.ok
+
+    # -- access ----------------------------------------------------------------
+
+    def require(self) -> BenchmarkRun:
+        """The run, or re-raise the captured typed error (skips raise a
+        fresh :class:`ReproError` since they carry no original exception)."""
+        if self.run is not None:
+            return self.run
+        if self.error is not None:
+            raise self.error
+        raise ReproError(
+            f"benchmark {self.benchmark!r} ({self.dataset}) "
+            f"was skipped", benchmark=self.benchmark, dataset=self.dataset)
+
+    def failure_label(self) -> str:
+        """Compact cell text for degraded tables, e.g. ``FAILED:timeout``."""
+        return f"FAILED:{self.status.value}"
+
+    def describe(self) -> str:
+        """One-line summary suitable for report footers / logs."""
+        if self.ok:
+            return f"{self.benchmark}/{self.dataset}: ok"
+        detail = self.error.oneline() if self.error is not None else "skipped"
+        retry = " (after retry)" if self.retried else ""
+        return (f"{self.benchmark}/{self.dataset}: "
+                f"{self.failure_label()}{retry} — {detail}")
+
+
+def failure_cells(outcome: RunOutcome, n_columns: int) -> list[str]:
+    """Cell values (excluding the leading Program column) for a FAILED row
+    spanning *n_columns* data columns."""
+    return [outcome.failure_label()] + [""] * (n_columns - 1)

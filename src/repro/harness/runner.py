@@ -6,6 +6,17 @@ static :class:`~repro.core.classify.ProgramAnalysis`, and the dynamic
 :class:`~repro.sim.profile.EdgeProfile`. :class:`SuiteRunner` memoizes
 compilations (per benchmark) and runs (per benchmark x dataset) so that
 regenerating all seven tables costs one pass over the suite.
+
+Fault isolation: in the default ``strict=True`` mode any failure propagates
+immediately (the historical behavior).  With ``strict=False`` the runner
+degrades gracefully instead: each (benchmark, dataset) failure is captured
+as a classified :class:`~repro.harness.resilience.RunOutcome`,
+negative-cached so later tables don't re-pay for it, retried once at a
+raised fuel budget when the failure was a (possibly transient)
+instruction-limit, and rendered by the table/graph generators as explicit
+``FAILED`` cells.  Failed attempts can never leak partial state: the
+:class:`EdgeProfile` and :class:`BenchmarkRun` for an attempt are built
+fresh per execution and only published to the memo cache on success.
 """
 
 from __future__ import annotations
@@ -15,6 +26,7 @@ from functools import cached_property
 
 from repro.bench.suite import Benchmark, Dataset, get, suite
 from repro.core.classify import ProgramAnalysis, classify_branches
+from repro.errors import ReproError, SimulationLimitExceeded, SimulationTimeout
 from repro.isa.program import Executable
 from repro.sim import Machine
 from repro.sim.profile import EdgeProfile
@@ -71,41 +83,206 @@ class BenchmarkRun:
 
 
 class SuiteRunner:
-    """Compiles and profiles suite benchmarks on demand, with memoization."""
+    """Compiles and profiles suite benchmarks on demand, with memoization.
+
+    Parameters
+    ----------
+    benchmarks:
+        Subset of suite benchmark names (default: the whole suite).
+    max_instructions:
+        Per-run instruction-fuel budget.
+    strict:
+        ``True`` (default): any failure propagates immediately.
+        ``False``: failures are captured per (benchmark, dataset) as
+        :class:`~repro.harness.resilience.RunOutcome` values, negative-cached,
+        and reported as ``FAILED`` cells by the table/graph generators.
+    wall_clock_deadline:
+        Optional per-run watchdog deadline in seconds (see
+        :class:`~repro.sim.Machine`).
+    retry_fuel_factor:
+        In degraded mode, a run that dies of :class:`SimulationLimitExceeded`
+        (fuel, not wall clock) is retried once with this multiple of the
+        fuel budget before being declared a timeout.
+    """
 
     def __init__(self, benchmarks: list[str] | None = None,
-                 max_instructions: int = _MAX_INSTRUCTIONS) -> None:
+                 max_instructions: int = _MAX_INSTRUCTIONS,
+                 strict: bool = True,
+                 wall_clock_deadline: float | None = None,
+                 retry_fuel_factor: int = 4) -> None:
         self.benchmark_names = benchmarks or [b.name for b in suite()]
         self.max_instructions = max_instructions
+        self.strict = strict
+        self.wall_clock_deadline = wall_clock_deadline
+        self.retry_fuel_factor = retry_fuel_factor
         self._compiled: dict[str, tuple[Executable, ProgramAnalysis]] = {}
         self._runs: dict[tuple[str, str], BenchmarkRun] = {}
+        # negative caches (degraded mode): compile failures per benchmark,
+        # run failures per (benchmark, dataset)
+        self._compile_failures: dict[str, ReproError] = {}
+        self._run_failures: dict[tuple[str, str], "RunOutcome"] = {}
+        # chaos / operator overrides
+        self._fuel_overrides: dict[str, int] = {}
+        self._input_overrides: dict[str, int] = {}
+        self._memory_overrides: dict[str, int] = {}
+        self._skipped: dict[str, str] = {}
+
+    # -- compilation -----------------------------------------------------------
 
     def compiled(self, name: str) -> tuple[Executable, ProgramAnalysis]:
-        """The (executable, analysis) pair for *name*, compiled once."""
+        """The (executable, analysis) pair for *name*, compiled once.
+
+        Raises the (negative-cached) typed error on a broken benchmark —
+        degraded-mode callers catch it and render a FAILED cell.
+        """
+        if name in self._compile_failures:
+            raise self._compile_failures[name]
         if name not in self._compiled:
-            executable = get(name).compile()
-            self._compiled[name] = (executable,
-                                    classify_branches(executable))
+            try:
+                executable = get(name).compile()
+                analysis = classify_branches(executable)
+            except ReproError as exc:
+                exc.with_context(benchmark=name, phase="compile")
+                self._compile_failures[name] = exc
+                raise
+            except Exception as exc:
+                wrapped = ReproError(
+                    f"compile failed: {type(exc).__name__}: {exc}",
+                    benchmark=name, phase="compile")
+                self._compile_failures[name] = wrapped
+                raise wrapped from exc
+            self._compiled[name] = (executable, analysis)
         return self._compiled[name]
 
-    def run(self, name: str, dataset: str = "ref") -> BenchmarkRun:
-        """Profile one benchmark execution (memoized)."""
-        key = (name, dataset)
-        if key not in self._runs:
+    # -- execution -------------------------------------------------------------
+
+    def _execute(self, name: str, dataset: str,
+                 fuel_scale: int = 1) -> BenchmarkRun:
+        """One fresh profiled execution; never caches partial state."""
+        try:
             benchmark = get(name)
             ds = benchmark.dataset(dataset)
-            executable, analysis = self.compiled(name)
-            profile = EdgeProfile()
-            machine = Machine(executable, inputs=list(ds.inputs),
-                              observers=[profile],
-                              max_instructions=self.max_instructions)
+        except (KeyError, ValueError) as exc:
+            raise ReproError(f"unknown benchmark or dataset: {exc}",
+                             benchmark=name, dataset=dataset,
+                             phase="setup") from exc
+        executable, analysis = self.compiled(name)
+        inputs = list(ds.inputs)
+        keep = self._input_overrides.get(name)
+        if keep is not None:
+            inputs = inputs[:keep]
+        budget = self._fuel_overrides.get(name, self.max_instructions)
+        profile = EdgeProfile()
+        try:
+            # construction can fault too (e.g. the data image exceeds an
+            # injected memory budget), so it sits inside the try
+            machine = Machine(
+                executable, inputs=inputs, observers=[profile],
+                max_instructions=budget * fuel_scale,
+                wall_clock_deadline=self.wall_clock_deadline,
+                max_memory_bytes=self._memory_overrides.get(name))
             status = machine.run()
-            self._runs[key] = BenchmarkRun(
-                benchmark=benchmark, dataset=ds, executable=executable,
-                analysis=analysis, profile=profile, output=status.output,
-                instr_count=status.instr_count)
-        return self._runs[key]
+        except ReproError as exc:
+            raise exc.with_context(benchmark=name, dataset=dataset)
+        return BenchmarkRun(
+            benchmark=benchmark, dataset=ds, executable=executable,
+            analysis=analysis, profile=profile, output=status.output,
+            instr_count=status.instr_count)
+
+    def outcome(self, name: str, dataset: str = "ref") -> "RunOutcome":
+        """Run (memoized) and wrap the result in a
+        :class:`~repro.harness.resilience.RunOutcome`.
+
+        In strict mode failures propagate; in degraded mode they come back
+        as classified, negative-cached failure outcomes.
+        """
+        from repro.harness.resilience import (
+            RunOutcome, RunStatus, classify_failure,
+        )
+        key = (name, dataset)
+        run = self._runs.get(key)
+        if run is not None:
+            return RunOutcome(name, dataset, RunStatus.OK, run=run)
+        if name in self._skipped:
+            outcome = RunOutcome(name, dataset, RunStatus.SKIPPED)
+            if self.strict:
+                outcome.require()  # raises
+            return outcome
+        cached = self._run_failures.get(key)
+        if cached is not None:
+            if self.strict:
+                raise cached.error
+            return cached
+        retried = False
+        try:
+            run = self._execute(name, dataset)
+        except ReproError as exc:
+            transient = (isinstance(exc, SimulationLimitExceeded)
+                         and not isinstance(exc, SimulationTimeout)
+                         and self.retry_fuel_factor > 1)
+            if self.strict or not transient:
+                if self.strict:
+                    raise
+                outcome = RunOutcome(name, dataset, classify_failure(exc),
+                                     error=exc)
+                self._run_failures[key] = outcome
+                return outcome
+            retried = True
+            try:
+                run = self._execute(name, dataset,
+                                    fuel_scale=self.retry_fuel_factor)
+            except ReproError as exc2:
+                outcome = RunOutcome(name, dataset, classify_failure(exc2),
+                                     error=exc2, retried=True)
+                self._run_failures[key] = outcome
+                return outcome
+        self._runs[key] = run
+        return RunOutcome(name, dataset, RunStatus.OK, run=run,
+                          retried=retried)
+
+    def run(self, name: str, dataset: str = "ref") -> BenchmarkRun:
+        """Profile one benchmark execution (memoized); raises on failure."""
+        return self.outcome(name, dataset).require()
+
+    def all_outcomes(self, dataset: str = "ref") -> list["RunOutcome"]:
+        """Outcomes for every benchmark, in suite order (degraded mode:
+        failures come back as FAILED outcomes instead of raising)."""
+        return [self.outcome(name, dataset) for name in self.benchmark_names]
 
     def all_runs(self, dataset: str = "ref") -> list[BenchmarkRun]:
         """Profiled runs for every benchmark, in suite order."""
         return [self.run(name, dataset) for name in self.benchmark_names]
+
+    # -- chaos / operator hooks ------------------------------------------------
+    # Seams used by repro.testing.chaos (and operators) to inject faults or
+    # bound pathological benchmarks without touching suite definitions.
+
+    def poison_compile(self, name: str, error: ReproError) -> None:
+        """Force *name* to fail compilation with *error*."""
+        self._compile_failures[name] = error
+        self._compiled.pop(name, None)
+
+    def poison_executable(self, name: str, executable: Executable,
+                          analysis: ProgramAnalysis) -> None:
+        """Replace *name*'s compiled artifact (e.g. with a corrupted one)."""
+        self._compiled[name] = (executable, analysis)
+        self._compile_failures.pop(name, None)
+
+    def limit_fuel(self, name: str, budget: int) -> None:
+        """Override the instruction budget for one benchmark."""
+        self._fuel_overrides[name] = budget
+
+    def limit_inputs(self, name: str, keep: int) -> None:
+        """Truncate *name*'s dataset inputs to the first *keep* values."""
+        self._input_overrides[name] = keep
+
+    def limit_memory(self, name: str, max_bytes: int) -> None:
+        """Cap the data-memory budget for one benchmark."""
+        self._memory_overrides[name] = max_bytes
+
+    def skip(self, name: str, reason: str = "") -> None:
+        """Mark *name* as skipped (renders as FAILED:skipped cells)."""
+        self._skipped[name] = reason
+
+    def is_skipped(self, name: str) -> bool:
+        return name in self._skipped

@@ -25,13 +25,30 @@ from repro.core.orders import (
 from repro.core.predictors import (
     HeuristicPredictor, LoopRandomPredictor, RandomPredictor, TakenPredictor,
 )
+from repro.errors import ReproError
 from repro.harness.report import TextTable, cd_cell, mean_std, pct
+from repro.harness.resilience import (
+    RunOutcome, RunStatus, classify_failure, failure_cells,
+)
 from repro.harness.runner import BenchmarkRun, SuiteRunner
 
 __all__ = [
     "table1", "table2", "table3", "table4", "table5", "table6", "table7",
     "heuristic_table", "order_data_for",
 ]
+
+
+def _runs_and_failures(
+        runner: SuiteRunner) -> tuple[list[BenchmarkRun], list[RunOutcome]]:
+    """Healthy runs plus classified failures, in suite order.
+
+    In strict mode any failure raises from inside ``all_outcomes`` (the
+    historical behavior), so the failure list is only ever populated in
+    degraded (``strict=False``) mode.
+    """
+    outcomes = runner.all_outcomes()
+    return ([oc.run for oc in outcomes if oc.ok],
+            [oc for oc in outcomes if oc.failed])
 
 
 def heuristic_table(run: BenchmarkRun) -> dict[int, dict[str, Prediction]]:
@@ -72,6 +89,7 @@ class Table1Row:
 @dataclass
 class Table1:
     rows: list[Table1Row]
+    failed: list[RunOutcome] = field(default_factory=list)
 
     def render(self) -> str:
         table = TextTable(
@@ -84,15 +102,28 @@ class Table1:
             last_group = row.group
             table.add_row(row.name, row.description, row.group,
                           f"{row.code_size_kb:.1f}", row.procedures)
+        for oc in self.failed:
+            table.add_row(oc.benchmark, *failure_cells(oc, 4))
         return table.render()
 
 
 def table1(runner: SuiteRunner) -> Table1:
     """Benchmark listing with object-code sizes (compile only, no runs)."""
+    from repro.bench.suite import get
     rows = []
+    failed: list[RunOutcome] = []
     for name in runner.benchmark_names:
-        executable, _ = runner.compiled(name)
-        from repro.bench.suite import get
+        if runner.is_skipped(name):
+            failed.append(RunOutcome(name, "-", RunStatus.SKIPPED))
+            continue
+        try:
+            executable, _ = runner.compiled(name)
+        except ReproError as exc:
+            if runner.strict:
+                raise
+            failed.append(RunOutcome(name, "-", classify_failure(exc),
+                                     error=exc))
+            continue
         benchmark = get(name)
         rows.append(Table1Row(
             name=name, description=benchmark.description,
@@ -100,7 +131,7 @@ def table1(runner: SuiteRunner) -> Table1:
             code_size_kb=executable.code_size_kb,
             procedures=len(executable.procedures)))
     rows.sort(key=lambda r: (r.group != "int", -r.code_size_kb))
-    return Table1(rows)
+    return Table1(rows, failed)
 
 
 # -- Table 2 -------------------------------------------------------------------
@@ -122,6 +153,7 @@ class Table2Row:
 @dataclass
 class Table2:
     rows: list[Table2Row]
+    failed: list[RunOutcome] = field(default_factory=list)
 
     def summary(self) -> dict[str, tuple[float, float]]:
         """Mean/std of each column, each benchmark weighted equally."""
@@ -148,6 +180,8 @@ class Table2:
                 cd_cell(r.target_miss, r.non_loop_perfect),
                 cd_cell(r.random_miss, r.non_loop_perfect),
                 r.big_count, pct(r.big_fraction))
+        for oc in self.failed:
+            table.add_row(oc.benchmark, *failure_cells(oc, 6))
         table.add_separator()
         s = self.summary()
         table.add_row("MEAN", cd_cell(s["loop_pred"][0], s["loop_perfect"][0]),
@@ -168,7 +202,8 @@ def table2(runner: SuiteRunner) -> Table2:
     """Loop/non-loop breakdown, loop predictor, Tgt/Rnd baselines, big
     branches."""
     rows = []
-    for run in runner.all_runs():
+    runs, failed = _runs_and_failures(runner)
+    for run in runs:
         loop_random = LoopRandomPredictor(run.analysis)
         taken = TakenPredictor(run.analysis)
         random = RandomPredictor(run.analysis)
@@ -189,7 +224,7 @@ def table2(runner: SuiteRunner) -> Table2:
             non_loop_perfect=target_eval.perfect_rate,
             big_count=big.count,
             big_fraction=big.fraction_of_dynamic))
-    return Table2(rows)
+    return Table2(rows, failed)
 
 
 # -- Table 3 -------------------------------------------------------------------
@@ -220,6 +255,7 @@ class Table3Row:
 @dataclass
 class Table3:
     rows: list[Table3Row]
+    failed: list[RunOutcome] = field(default_factory=list)
 
     def summary(self) -> dict[str, tuple[tuple[float, float],
                                          tuple[float, float]]]:
@@ -245,6 +281,9 @@ class Table3:
                 cells.append(f"{pct(c.coverage)} {cd_cell(c.miss, c.perfect)}"
                              if c.visible else "")
             table.add_row(r.name, pct(r.non_loop_fraction), *cells)
+        for oc in self.failed:
+            table.add_row(oc.benchmark,
+                          *failure_cells(oc, 1 + len(HEURISTIC_NAMES)))
         table.add_separator()
         s = self.summary()
         table.add_row("MEAN", "", *[cd_cell(s[h][0][0], s[h][1][0])
@@ -262,7 +301,8 @@ def _subset_eval(run: BenchmarkRun, addresses: list[int],
 def table3(runner: SuiteRunner) -> Table3:
     """Each heuristic in isolation: coverage and miss rates."""
     rows = []
-    for run in runner.all_runs():
+    runs, failed = _runs_and_failures(runner)
+    for run in runs:
         htable = heuristic_table(run)
         executed_nl = run.executed_non_loop
         total_nl = run.dynamic_count(executed_nl)
@@ -279,7 +319,7 @@ def table3(runner: SuiteRunner) -> Table3:
             else:
                 cells[h] = HeuristicCell(0.0, 0.0, 0.0)
         rows.append(Table3Row(run.name, run.non_loop_fraction, cells))
-    return Table3(rows)
+    return Table3(rows, failed)
 
 
 # -- Table 4 -------------------------------------------------------------------
@@ -293,6 +333,7 @@ class Table4:
     #: (order, % of trials, overall miss rate)
     n_trials: int
     pairwise: tuple[str, ...]
+    failed: list[str] = field(default_factory=list)
 
     def render(self) -> str:
         table = TextTable(
@@ -302,20 +343,26 @@ class Table4:
         for order, share, miss in self.top_orders:
             table.add_row(f"{100 * share:.2f}", f"{100 * miss:.2f}",
                           " ".join(order))
+        note = ""
+        if self.failed:
+            note = f"\nFAILED (excluded): {', '.join(self.failed)}"
         return (table.render()
-                + f"\nPairwise-analysis order: {' '.join(self.pairwise)}")
+                + f"\nPairwise-analysis order: {' '.join(self.pairwise)}"
+                + note)
 
 
 def table4(runner: SuiteRunner, exclude: tuple[str, ...] = ("matmul",),
            k: int | None = None) -> Table4:
     """The C(N, N/2) best-order generalization experiment (the paper ran
     C(22,11), excluding matrix300 — we exclude its analogue, matmul)."""
-    datasets = [order_data_for(run) for run in runner.all_runs()
+    runs, failed = _runs_and_failures(runner)
+    datasets = [order_data_for(run) for run in runs
                 if run.name not in exclude]
     result = subset_experiment(datasets, k=k)
     top = [(order, freq / result.n_trials, miss)
            for order, freq, miss in result.top(10)]
-    return Table4(top, result.n_trials, pairwise_order(datasets))
+    return Table4(top, result.n_trials, pairwise_order(datasets),
+                  failed=[oc.benchmark for oc in failed])
 
 
 # -- Table 5 -------------------------------------------------------------------
@@ -331,6 +378,7 @@ class Table5Row:
 class Table5:
     order: tuple[str, ...]
     rows: list[Table5Row]
+    failed: list[RunOutcome] = field(default_factory=list)
 
     def columns(self) -> list[str]:
         return list(self.order) + ["Default"]
@@ -356,6 +404,9 @@ class Table5:
                 cells.append(f"{pct(c.coverage)} {cd_cell(c.miss, c.perfect)}"
                              if c.visible else "")
             table.add_row(r.name, *cells)
+        for oc in self.failed:
+            table.add_row(oc.benchmark,
+                          *failure_cells(oc, len(self.columns())))
         table.add_separator()
         s = self.summary()
         table.add_row("MEAN", *[cd_cell(s[h][0][0], s[h][1][0])
@@ -369,7 +420,8 @@ def table5(runner: SuiteRunner,
            order: tuple[str, ...] = PAPER_ORDER) -> Table5:
     """Per-heuristic accounting when applied in a fixed priority order."""
     rows = []
-    for run in runner.all_runs():
+    runs, failed = _runs_and_failures(runner)
+    for run in runs:
         predictor = HeuristicPredictor(run.analysis, order=order)
         predictions = predictor.predictions()
         executed_nl = run.executed_non_loop
@@ -388,7 +440,7 @@ def table5(runner: SuiteRunner,
             else:
                 cells[h] = HeuristicCell(0.0, 0.0, 0.0)
         rows.append(Table5Row(run.name, cells))
-    return Table5(tuple(order), rows)
+    return Table5(tuple(order), rows, failed)
 
 
 # -- Table 6 -------------------------------------------------------------------
@@ -412,6 +464,7 @@ class Table6Row:
 @dataclass
 class Table6:
     rows: list[Table6Row]
+    failed: list[RunOutcome] = field(default_factory=list)
 
     def render(self) -> str:
         table = TextTable(
@@ -425,6 +478,8 @@ class Table6:
                 cd_cell(r.with_default_miss, r.with_default_perfect),
                 cd_cell(r.all_miss, r.all_perfect),
                 cd_cell(r.loop_rand_miss, r.all_perfect))
+        for oc in self.failed:
+            table.add_row(oc.benchmark, *failure_cells(oc, 4))
         return table.render()
 
 
@@ -432,7 +487,8 @@ def table6(runner: SuiteRunner,
            order: tuple[str, ...] = PAPER_ORDER) -> Table6:
     """The combined predictor's final results."""
     rows = []
-    for run in runner.all_runs():
+    runs, failed = _runs_and_failures(runner)
+    for run in runs:
         predictor = HeuristicPredictor(run.analysis, order=order)
         predictions = predictor.predictions()
         loop_rand = LoopRandomPredictor(run.analysis)
@@ -462,7 +518,7 @@ def table6(runner: SuiteRunner,
             loop_rand_miss=lr_eval.miss_rate,
             target_nl_miss=tgt_eval.miss_rate,
             random_nl_miss=rnd_eval.miss_rate))
-    return Table6(rows)
+    return Table6(rows, failed)
 
 
 # -- Table 7 -------------------------------------------------------------------
@@ -478,6 +534,7 @@ class Table7:
     all_stats: dict[str, tuple[float, float]]
     most_stats: dict[str, tuple[float, float]]
     excluded: list[str]
+    failed: list[str] = field(default_factory=list)
 
     _COLUMNS = ("heuristic_nl", "all", "loop_rand", "target_nl", "random_nl")
 
@@ -498,7 +555,10 @@ class Table7:
             m = self.most_stats[key]
             table.add_row(labels[key], pct(a[0]), pct(a[1]), pct(m[0]),
                           pct(m[1]))
-        return table.render()
+        rendered = table.render()
+        if self.failed:
+            rendered += f"\nFAILED (excluded): {', '.join(self.failed)}"
+        return rendered
 
 
 def table7(runner: SuiteRunner, big_threshold: float = 0.9,
@@ -508,7 +568,8 @@ def table7(runner: SuiteRunner, big_threshold: float = 0.9,
     we read "a few" as at most *big_count_limit* big branches."""
     t6 = table6(runner)
     excluded = []
-    for run in runner.all_runs():
+    runs, failed = _runs_and_failures(runner)
+    for run in runs:
         big = big_branches(run.profile, run.analysis)
         if big.fraction_of_dynamic > big_threshold \
                 and big.count <= big_count_limit:
@@ -524,4 +585,5 @@ def table7(runner: SuiteRunner, big_threshold: float = 0.9,
         }
 
     most_rows = [r for r in t6.rows if r.name not in excluded]
-    return Table7(stats(t6.rows), stats(most_rows), excluded)
+    return Table7(stats(t6.rows), stats(most_rows), excluded,
+                  failed=[oc.benchmark for oc in failed])

@@ -33,6 +33,7 @@ import re
 import struct
 from dataclasses import dataclass
 
+from repro.errors import ReproError
 from repro.isa.instructions import Instruction, Kind, Opcode, OPCODES_BY_NAME
 from repro.isa.program import (
     DATA_BASE, GP_VALUE, TEXT_BASE, WORD_SIZE, Executable, Procedure,
@@ -44,8 +45,13 @@ from repro.isa.registers import (
 __all__ = ["AssemblerError", "assemble"]
 
 
-class AssemblerError(Exception):
-    """Raised for any syntax or semantic error in assembly input."""
+class AssemblerError(ReproError):
+    """Raised for any syntax or semantic error in assembly input.
+
+    Part of the unified :class:`~repro.errors.ReproError` taxonomy
+    (phase ``assemble``)."""
+
+    phase = "assemble"
 
     def __init__(self, message: str, line: int | None = None) -> None:
         if line is not None:

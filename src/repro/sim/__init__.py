@@ -6,10 +6,11 @@ the events QPT's instrumentation counted: edge profiles
 (:class:`~repro.sim.trace.SequenceAnalyzer`).
 """
 
+from repro.errors import CallFrame, CrashReport
 from repro.isa.program import Executable
 from repro.sim.machine import (
     ExitStatus, HALT_ADDRESS, InputExhausted, Machine, Observer,
-    SimulationError, SimulationLimitExceeded,
+    SimulationError, SimulationLimitExceeded, SimulationTimeout,
 )
 from repro.sim.memory import Memory, MemoryError_
 from repro.sim.profile import EdgeProfile
@@ -22,7 +23,10 @@ __all__ = [
     "HALT_ADDRESS",
     "SimulationError",
     "SimulationLimitExceeded",
+    "SimulationTimeout",
     "InputExhausted",
+    "CrashReport",
+    "CallFrame",
     "Memory",
     "MemoryError_",
     "EdgeProfile",

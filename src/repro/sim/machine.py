@@ -11,16 +11,32 @@ measures prediction accuracy, not cycles).
 Arithmetic follows MIPS semantics: 32-bit two's-complement wraparound,
 truncating division, logical/arithmetic shifts. Doubles are IEEE 754 via the
 host.
+
+Robustness: the interpreter enforces two independent resource limits — an
+instruction-fuel budget (:class:`SimulationLimitExceeded`) and an optional
+wall-clock watchdog deadline (:class:`SimulationTimeout`, checked every
+``watchdog_interval`` instructions) — and on *any* fault attaches a
+:class:`~repro.errors.CrashReport` snapshot (pc, faulting instruction,
+register file, call stack reconstructed from ``jal``/``jalr`` history, last
+N branch outcomes) to the raised :class:`~repro.errors.ReproError`.
+Unexpected builtin exceptions escaping the dispatch loop are converted into
+:class:`SimulationError` so callers never see a bare ``KeyError``.
 """
 
 from __future__ import annotations
 
+import struct
 from collections import deque
 from dataclasses import dataclass, field
+from time import monotonic
 
+from repro.errors import (
+    CallFrame, CrashReport, InputExhausted, MemoryError_, ReproError,
+    SimulationError, SimulationLimitExceeded, SimulationTimeout,
+)
 from repro.isa.instructions import Instruction
 from repro.isa.program import Executable, GP_VALUE, STACK_TOP, TEXT_BASE, WORD_SIZE
-from repro.sim.memory import Memory
+from repro.sim.memory import PAGE_SIZE, Memory
 
 __all__ = [
     "Machine",
@@ -28,7 +44,9 @@ __all__ = [
     "ExitStatus",
     "SimulationError",
     "SimulationLimitExceeded",
+    "SimulationTimeout",
     "InputExhausted",
+    "CrashReport",
     "HALT_ADDRESS",
 ]
 
@@ -47,16 +65,12 @@ def _s32(value: int) -> int:
     return value - _WRAP if value & _SIGN else value
 
 
-class SimulationError(Exception):
-    """Raised on invalid execution (bad pc, bad syscall, ...)."""
-
-
-class SimulationLimitExceeded(SimulationError):
-    """Raised when the instruction budget is exhausted."""
-
-
-class InputExhausted(SimulationError):
-    """Raised when a read syscall finds no more input."""
+#: Builtin exceptions that the dispatch loop converts into typed
+#: :class:`SimulationError` internal faults (with crash report) instead of
+#: letting them escape bare.
+_INTERNAL_FAULTS = (KeyError, IndexError, ValueError, TypeError,
+                    AttributeError, ZeroDivisionError, OverflowError,
+                    struct.error)
 
 
 class Observer:
@@ -83,7 +97,7 @@ class ExitStatus:
     instr_count: int
     dynamic_branches: int
     output: str
-    machine: "Machine" = field(repr=False, default=None)
+    machine: "Machine | None" = field(repr=False, default=None)
 
 
 class Machine:
@@ -100,6 +114,20 @@ class Machine:
         Event subscribers (edge profilers, sequence analyzers, tracers).
     max_instructions:
         Fuel limit; :class:`SimulationLimitExceeded` is raised beyond it.
+    wall_clock_deadline:
+        Optional watchdog budget in *seconds of wall time* for the whole
+        run; :class:`SimulationTimeout` is raised once it passes. Checked
+        every *watchdog_interval* instructions, so overshoot is bounded by
+        the cost of one check window.
+    watchdog_interval:
+        How many instructions between watchdog checks (rounded down to a
+        power of two; only consulted when a deadline is set).
+    max_memory_bytes:
+        Optional cap on simulated memory actually allocated (rounded up to
+        whole 4 KiB pages); :class:`~repro.errors.MemoryError_` beyond it.
+    branch_history_limit:
+        How many recent conditional-branch outcomes to keep for the crash
+        report's ``branch_history`` ring.
     """
 
     def __init__(
@@ -108,9 +136,16 @@ class Machine:
         inputs: list | None = None,
         observers: list[Observer] | None = None,
         max_instructions: int = 200_000_000,
+        wall_clock_deadline: float | None = None,
+        watchdog_interval: int = 16384,
+        max_memory_bytes: int | None = None,
+        branch_history_limit: int = 32,
     ) -> None:
         self.executable = executable
-        self.memory = Memory()
+        max_pages = None
+        if max_memory_bytes is not None:
+            max_pages = max(1, -(-max_memory_bytes // PAGE_SIZE))
+        self.memory = Memory(max_pages=max_pages)
         if executable.data:
             self.memory.write_bytes(0x1000_0000, executable.data)
         self.regs = [0] * 32
@@ -123,10 +158,22 @@ class Machine:
         self.inputs = deque(inputs or [])
         self.observers = list(observers or [])
         self.max_instructions = max_instructions
+        self.wall_clock_deadline = wall_clock_deadline
+        # watchdog checks happen when (count & mask) == 0; force power of two
+        interval = max(1, watchdog_interval)
+        self._watchdog_mask = (1 << (interval.bit_length() - 1)) - 1
         self.output_parts: list[str] = []
         self.instr_count = 0
         self.dynamic_branches = 0
         self.exit_code = 0
+        self._inputs_consumed = 0
+        self._fault_pc = -1
+        #: (call_site_addr, callee_addr, return_addr) — best-effort shadow
+        #: stack maintained from jal/jalr/jr-$ra history for crash reports.
+        self._call_stack: list[tuple[int, int, int]] = []
+        #: ring of recent (branch_address, taken) outcomes for crash reports
+        self._branch_history: deque[tuple[int, bool]] = deque(
+            maxlen=max(1, branch_history_limit))
         self._brk = executable.heap_start
         self._insts = executable.instructions
         # precomputed branch/jump target indices
@@ -145,9 +192,25 @@ class Machine:
 
     def run(self, entry: int | None = None) -> ExitStatus:
         """Execute from *entry* (default: the executable's entry point) until
-        exit, and return an :class:`ExitStatus`."""
+        exit, and return an :class:`ExitStatus`.
+
+        Any fault — typed or an unexpected builtin exception from the
+        dispatch loop — surfaces as a :class:`~repro.errors.ReproError`
+        carrying a :class:`~repro.errors.CrashReport` snapshot.
+        """
         pc = ((entry if entry is not None else self.executable.entry)
               - TEXT_BASE) // WORD_SIZE
+        try:
+            return self._run_loop(pc)
+        except ReproError as exc:
+            raise exc.attach_crash_report(self.crash_snapshot(self._fault_pc))
+        except _INTERNAL_FAULTS as exc:
+            fault = SimulationError(
+                f"internal simulator fault: {type(exc).__name__}: {exc}")
+            fault.attach_crash_report(self.crash_snapshot(self._fault_pc))
+            raise fault from exc
+
+    def _run_loop(self, pc: int) -> ExitStatus:
         insts = self._insts
         tindex = self._tindex
         regs = self.regs
@@ -159,222 +222,256 @@ class Machine:
         limit = self.max_instructions
         observers = self.observers
         branch_observers = observers  # all observers see branches
+        record_branch = self._branch_history.append
+        call_stack = self._call_stack
+        deadline = None
+        if self.wall_clock_deadline is not None:
+            deadline = monotonic() + self.wall_clock_deadline
+        wd_mask = self._watchdog_mask
+        self._fault_pc = pc
 
-        running = True
-        while running:
-            if not 0 <= pc < n_insts:
-                if pc == (HALT_ADDRESS - TEXT_BASE) // WORD_SIZE:
-                    break
-                raise SimulationError(
-                    f"pc out of range: 0x{TEXT_BASE + WORD_SIZE * pc:x}")
-            inst = insts[pc]
-            count += 1
-            if count > limit:
-                self.instr_count = count
-                raise SimulationLimitExceeded(
-                    f"exceeded {limit} instructions at 0x{inst.address:x}")
-            name = inst.op.name
-            next_pc = pc + 1
+        try:
+            running = True
+            while running:
+                if not 0 <= pc < n_insts:
+                    if pc == (HALT_ADDRESS - TEXT_BASE) // WORD_SIZE:
+                        break
+                    raise SimulationError(
+                        f"pc out of range: 0x{TEXT_BASE + WORD_SIZE * pc:x}")
+                inst = insts[pc]
+                count += 1
+                if count > limit:
+                    raise SimulationLimitExceeded(
+                        f"exceeded fuel budget of {limit} instructions "
+                        f"at 0x{inst.address:x}")
+                if deadline is not None and not count & wd_mask \
+                        and monotonic() > deadline:
+                    raise SimulationTimeout(
+                        f"watchdog: exceeded wall-clock deadline of "
+                        f"{self.wall_clock_deadline:.3f}s after {count} "
+                        f"instructions at 0x{inst.address:x}")
+                name = inst.op.name
+                next_pc = pc + 1
 
-            # --- hottest opcodes first ---
-            if name == "addiu" or name == "addi":
-                regs[inst.rt] = _s32(regs[inst.rs] + inst.imm)
-            elif name == "lw":
-                regs[inst.rt] = memory.load_word(_u32(regs[inst.rs]) + inst.imm)
-            elif name == "sw":
-                memory.store_word(_u32(regs[inst.rs]) + inst.imm, regs[inst.rt])
-            elif name == "addu" or name == "add":
-                regs[inst.rd] = _s32(regs[inst.rs] + regs[inst.rt])
-            elif name == "beq":
-                taken = regs[inst.rs] == regs[inst.rt]
-                branches += 1
-                for ob in branch_observers:
-                    ob.on_branch(inst, taken, count)
-                if taken:
+                # --- hottest opcodes first ---
+                if name == "addiu" or name == "addi":
+                    regs[inst.rt] = _s32(regs[inst.rs] + inst.imm)
+                elif name == "lw":
+                    regs[inst.rt] = memory.load_word(_u32(regs[inst.rs]) + inst.imm)
+                elif name == "sw":
+                    memory.store_word(_u32(regs[inst.rs]) + inst.imm, regs[inst.rt])
+                elif name == "addu" or name == "add":
+                    regs[inst.rd] = _s32(regs[inst.rs] + regs[inst.rt])
+                elif name == "beq":
+                    taken = regs[inst.rs] == regs[inst.rt]
+                    record_branch((inst.address, taken))
+                    branches += 1
+                    for ob in branch_observers:
+                        ob.on_branch(inst, taken, count)
+                    if taken:
+                        next_pc = tindex[pc]
+                elif name == "bne":
+                    taken = regs[inst.rs] != regs[inst.rt]
+                    record_branch((inst.address, taken))
+                    branches += 1
+                    for ob in branch_observers:
+                        ob.on_branch(inst, taken, count)
+                    if taken:
+                        next_pc = tindex[pc]
+                elif name == "slt":
+                    regs[inst.rd] = 1 if regs[inst.rs] < regs[inst.rt] else 0
+                elif name == "slti":
+                    regs[inst.rt] = 1 if regs[inst.rs] < inst.imm else 0
+                elif name == "sltu":
+                    regs[inst.rd] = 1 if _u32(regs[inst.rs]) < _u32(regs[inst.rt]) else 0
+                elif name == "sltiu":
+                    regs[inst.rt] = 1 if _u32(regs[inst.rs]) < (inst.imm & 0xFFFF_FFFF) else 0
+                elif name == "j":
                     next_pc = tindex[pc]
-            elif name == "bne":
-                taken = regs[inst.rs] != regs[inst.rt]
-                branches += 1
-                for ob in branch_observers:
-                    ob.on_branch(inst, taken, count)
-                if taken:
+                elif name == "jal":
+                    ra = TEXT_BASE + WORD_SIZE * (pc + 1)
+                    regs[31] = ra
+                    call_stack.append((inst.address, inst.target_address, ra))
                     next_pc = tindex[pc]
-            elif name == "slt":
-                regs[inst.rd] = 1 if regs[inst.rs] < regs[inst.rt] else 0
-            elif name == "slti":
-                regs[inst.rt] = 1 if regs[inst.rs] < inst.imm else 0
-            elif name == "sltu":
-                regs[inst.rd] = 1 if _u32(regs[inst.rs]) < _u32(regs[inst.rt]) else 0
-            elif name == "sltiu":
-                regs[inst.rt] = 1 if _u32(regs[inst.rs]) < (inst.imm & 0xFFFF_FFFF) else 0
-            elif name == "j":
-                next_pc = tindex[pc]
-            elif name == "jal":
-                regs[31] = TEXT_BASE + WORD_SIZE * (pc + 1)
-                next_pc = tindex[pc]
-            elif name == "jr":
-                addr = _u32(regs[inst.rs])
-                if inst.rs != 31:
+                elif name == "jr":
+                    addr = _u32(regs[inst.rs])
+                    if inst.rs != 31:
+                        for ob in observers:
+                            ob.on_indirect(inst, count)
+                    elif call_stack:
+                        call_stack.pop()
+                    if addr == HALT_ADDRESS:
+                        break
+                    next_pc = (addr - TEXT_BASE) // WORD_SIZE
+                elif name == "jalr":
+                    addr = _u32(regs[inst.rs])
+                    ra = TEXT_BASE + WORD_SIZE * (pc + 1)
+                    regs[inst.rd] = ra
+                    call_stack.append((inst.address, addr, ra))
                     for ob in observers:
                         ob.on_indirect(inst, count)
-                if addr == HALT_ADDRESS:
-                    break
-                next_pc = (addr - TEXT_BASE) // WORD_SIZE
-            elif name == "jalr":
-                addr = _u32(regs[inst.rs])
-                regs[inst.rd] = TEXT_BASE + WORD_SIZE * (pc + 1)
-                for ob in observers:
-                    ob.on_indirect(inst, count)
-                next_pc = (addr - TEXT_BASE) // WORD_SIZE
-            elif name == "blez":
-                taken = regs[inst.rs] <= 0
-                branches += 1
-                for ob in branch_observers:
-                    ob.on_branch(inst, taken, count)
-                if taken:
-                    next_pc = tindex[pc]
-            elif name == "bgtz":
-                taken = regs[inst.rs] > 0
-                branches += 1
-                for ob in branch_observers:
-                    ob.on_branch(inst, taken, count)
-                if taken:
-                    next_pc = tindex[pc]
-            elif name == "bltz":
-                taken = regs[inst.rs] < 0
-                branches += 1
-                for ob in branch_observers:
-                    ob.on_branch(inst, taken, count)
-                if taken:
-                    next_pc = tindex[pc]
-            elif name == "bgez":
-                taken = regs[inst.rs] >= 0
-                branches += 1
-                for ob in branch_observers:
-                    ob.on_branch(inst, taken, count)
-                if taken:
-                    next_pc = tindex[pc]
-            elif name == "sub" or name == "subu":
-                regs[inst.rd] = _s32(regs[inst.rs] - regs[inst.rt])
-            elif name == "mul":
-                regs[inst.rd] = _s32(regs[inst.rs] * regs[inst.rt])
-            elif name == "div":
-                denom = regs[inst.rt]
-                if denom == 0:
-                    raise SimulationError(
-                        f"integer division by zero at 0x{inst.address:x}")
-                q = abs(regs[inst.rs]) // abs(denom)
-                if (regs[inst.rs] < 0) != (denom < 0):
-                    q = -q
-                regs[inst.rd] = _s32(q)
-            elif name == "rem":
-                denom = regs[inst.rt]
-                if denom == 0:
-                    raise SimulationError(
-                        f"integer remainder by zero at 0x{inst.address:x}")
-                q = abs(regs[inst.rs]) // abs(denom)
-                if (regs[inst.rs] < 0) != (denom < 0):
-                    q = -q
-                regs[inst.rd] = _s32(regs[inst.rs] - denom * q)
-            elif name == "and":
-                regs[inst.rd] = _s32(_u32(regs[inst.rs]) & _u32(regs[inst.rt]))
-            elif name == "or":
-                regs[inst.rd] = _s32(_u32(regs[inst.rs]) | _u32(regs[inst.rt]))
-            elif name == "xor":
-                regs[inst.rd] = _s32(_u32(regs[inst.rs]) ^ _u32(regs[inst.rt]))
-            elif name == "nor":
-                regs[inst.rd] = _s32(~(_u32(regs[inst.rs]) | _u32(regs[inst.rt])))
-            elif name == "andi":
-                regs[inst.rt] = _s32(_u32(regs[inst.rs]) & (inst.imm & 0xFFFF))
-            elif name == "ori":
-                regs[inst.rt] = _s32(_u32(regs[inst.rs]) | (inst.imm & 0xFFFF))
-            elif name == "xori":
-                regs[inst.rt] = _s32(_u32(regs[inst.rs]) ^ (inst.imm & 0xFFFF))
-            elif name == "sll":
-                regs[inst.rt] = _s32(_u32(regs[inst.rs]) << (inst.imm & 31))
-            elif name == "srl":
-                regs[inst.rt] = _s32(_u32(regs[inst.rs]) >> (inst.imm & 31))
-            elif name == "sra":
-                regs[inst.rt] = _s32(regs[inst.rs] >> (inst.imm & 31))
-            elif name == "sllv":
-                regs[inst.rd] = _s32(_u32(regs[inst.rs]) << (_u32(regs[inst.rt]) & 31))
-            elif name == "srlv":
-                regs[inst.rd] = _s32(_u32(regs[inst.rs]) >> (_u32(regs[inst.rt]) & 31))
-            elif name == "srav":
-                regs[inst.rd] = _s32(regs[inst.rs] >> (_u32(regs[inst.rt]) & 31))
-            elif name == "lui":
-                regs[inst.rt] = _s32((inst.imm & 0xFFFF) << 16)
-            elif name == "lb":
-                regs[inst.rt] = memory.load_byte(_u32(regs[inst.rs]) + inst.imm)
-            elif name == "lbu":
-                regs[inst.rt] = memory.load_byte(
-                    _u32(regs[inst.rs]) + inst.imm, signed=False)
-            elif name == "sb":
-                memory.store_byte(_u32(regs[inst.rs]) + inst.imm, regs[inst.rt])
-            elif name == "ldc1":
-                fregs[inst.ft] = memory.load_double(_u32(regs[inst.rs]) + inst.imm)
-            elif name == "sdc1":
-                memory.store_double(_u32(regs[inst.rs]) + inst.imm, fregs[inst.ft])
-            elif name == "add.d":
-                fregs[inst.fd] = fregs[inst.fs] + fregs[inst.ft]
-            elif name == "sub.d":
-                fregs[inst.fd] = fregs[inst.fs] - fregs[inst.ft]
-            elif name == "mul.d":
-                fregs[inst.fd] = fregs[inst.fs] * fregs[inst.ft]
-            elif name == "div.d":
-                if fregs[inst.ft] == 0.0:
-                    raise SimulationError(
-                        f"FP division by zero at 0x{inst.address:x}")
-                fregs[inst.fd] = fregs[inst.fs] / fregs[inst.ft]
-            elif name == "neg.d":
-                fregs[inst.fd] = -fregs[inst.fs]
-            elif name == "abs.d":
-                fregs[inst.fd] = abs(fregs[inst.fs])
-            elif name == "mov.d":
-                fregs[inst.fd] = fregs[inst.fs]
-            elif name == "sqrt.d":
-                if fregs[inst.fs] < 0:
-                    raise SimulationError(
-                        f"sqrt of negative at 0x{inst.address:x}")
-                fregs[inst.fd] = fregs[inst.fs] ** 0.5
-            elif name == "c.eq.d":
-                self.fp_cond = fregs[inst.fs] == fregs[inst.ft]
-            elif name == "c.lt.d":
-                self.fp_cond = fregs[inst.fs] < fregs[inst.ft]
-            elif name == "c.le.d":
-                self.fp_cond = fregs[inst.fs] <= fregs[inst.ft]
-            elif name == "bc1t":
-                taken = self.fp_cond
-                branches += 1
-                for ob in branch_observers:
-                    ob.on_branch(inst, taken, count)
-                if taken:
-                    next_pc = tindex[pc]
-            elif name == "bc1f":
-                taken = not self.fp_cond
-                branches += 1
-                for ob in branch_observers:
-                    ob.on_branch(inst, taken, count)
-                if taken:
-                    next_pc = tindex[pc]
-            elif name == "mtc1":
-                # reinterpret not needed: our compiler only moves int values
-                # for conversion, always via cvt.d.w
-                fregs[inst.fs] = float(regs[inst.rt])
-            elif name == "mfc1":
-                regs[inst.rt] = _s32(int(fregs[inst.fs]))
-            elif name == "cvt.d.w":
-                fregs[inst.fd] = float(fregs[inst.fs])
-            elif name == "cvt.w.d":
-                fregs[inst.fd] = float(int(fregs[inst.fs]))  # truncate toward 0
-            elif name == "syscall":
-                running = self._syscall()
-            elif name == "nop":
-                pass
-            else:  # pragma: no cover - all opcodes handled above
-                raise SimulationError(f"unimplemented opcode {name}")
+                    next_pc = (addr - TEXT_BASE) // WORD_SIZE
+                elif name == "blez":
+                    taken = regs[inst.rs] <= 0
+                    record_branch((inst.address, taken))
+                    branches += 1
+                    for ob in branch_observers:
+                        ob.on_branch(inst, taken, count)
+                    if taken:
+                        next_pc = tindex[pc]
+                elif name == "bgtz":
+                    taken = regs[inst.rs] > 0
+                    record_branch((inst.address, taken))
+                    branches += 1
+                    for ob in branch_observers:
+                        ob.on_branch(inst, taken, count)
+                    if taken:
+                        next_pc = tindex[pc]
+                elif name == "bltz":
+                    taken = regs[inst.rs] < 0
+                    record_branch((inst.address, taken))
+                    branches += 1
+                    for ob in branch_observers:
+                        ob.on_branch(inst, taken, count)
+                    if taken:
+                        next_pc = tindex[pc]
+                elif name == "bgez":
+                    taken = regs[inst.rs] >= 0
+                    record_branch((inst.address, taken))
+                    branches += 1
+                    for ob in branch_observers:
+                        ob.on_branch(inst, taken, count)
+                    if taken:
+                        next_pc = tindex[pc]
+                elif name == "sub" or name == "subu":
+                    regs[inst.rd] = _s32(regs[inst.rs] - regs[inst.rt])
+                elif name == "mul":
+                    regs[inst.rd] = _s32(regs[inst.rs] * regs[inst.rt])
+                elif name == "div":
+                    denom = regs[inst.rt]
+                    if denom == 0:
+                        raise SimulationError(
+                            f"integer division by zero at 0x{inst.address:x}")
+                    q = abs(regs[inst.rs]) // abs(denom)
+                    if (regs[inst.rs] < 0) != (denom < 0):
+                        q = -q
+                    regs[inst.rd] = _s32(q)
+                elif name == "rem":
+                    denom = regs[inst.rt]
+                    if denom == 0:
+                        raise SimulationError(
+                            f"integer remainder by zero at 0x{inst.address:x}")
+                    q = abs(regs[inst.rs]) // abs(denom)
+                    if (regs[inst.rs] < 0) != (denom < 0):
+                        q = -q
+                    regs[inst.rd] = _s32(regs[inst.rs] - denom * q)
+                elif name == "and":
+                    regs[inst.rd] = _s32(_u32(regs[inst.rs]) & _u32(regs[inst.rt]))
+                elif name == "or":
+                    regs[inst.rd] = _s32(_u32(regs[inst.rs]) | _u32(regs[inst.rt]))
+                elif name == "xor":
+                    regs[inst.rd] = _s32(_u32(regs[inst.rs]) ^ _u32(regs[inst.rt]))
+                elif name == "nor":
+                    regs[inst.rd] = _s32(~(_u32(regs[inst.rs]) | _u32(regs[inst.rt])))
+                elif name == "andi":
+                    regs[inst.rt] = _s32(_u32(regs[inst.rs]) & (inst.imm & 0xFFFF))
+                elif name == "ori":
+                    regs[inst.rt] = _s32(_u32(regs[inst.rs]) | (inst.imm & 0xFFFF))
+                elif name == "xori":
+                    regs[inst.rt] = _s32(_u32(regs[inst.rs]) ^ (inst.imm & 0xFFFF))
+                elif name == "sll":
+                    regs[inst.rt] = _s32(_u32(regs[inst.rs]) << (inst.imm & 31))
+                elif name == "srl":
+                    regs[inst.rt] = _s32(_u32(regs[inst.rs]) >> (inst.imm & 31))
+                elif name == "sra":
+                    regs[inst.rt] = _s32(regs[inst.rs] >> (inst.imm & 31))
+                elif name == "sllv":
+                    regs[inst.rd] = _s32(_u32(regs[inst.rs]) << (_u32(regs[inst.rt]) & 31))
+                elif name == "srlv":
+                    regs[inst.rd] = _s32(_u32(regs[inst.rs]) >> (_u32(regs[inst.rt]) & 31))
+                elif name == "srav":
+                    regs[inst.rd] = _s32(regs[inst.rs] >> (_u32(regs[inst.rt]) & 31))
+                elif name == "lui":
+                    regs[inst.rt] = _s32((inst.imm & 0xFFFF) << 16)
+                elif name == "lb":
+                    regs[inst.rt] = memory.load_byte(_u32(regs[inst.rs]) + inst.imm)
+                elif name == "lbu":
+                    regs[inst.rt] = memory.load_byte(
+                        _u32(regs[inst.rs]) + inst.imm, signed=False)
+                elif name == "sb":
+                    memory.store_byte(_u32(regs[inst.rs]) + inst.imm, regs[inst.rt])
+                elif name == "ldc1":
+                    fregs[inst.ft] = memory.load_double(_u32(regs[inst.rs]) + inst.imm)
+                elif name == "sdc1":
+                    memory.store_double(_u32(regs[inst.rs]) + inst.imm, fregs[inst.ft])
+                elif name == "add.d":
+                    fregs[inst.fd] = fregs[inst.fs] + fregs[inst.ft]
+                elif name == "sub.d":
+                    fregs[inst.fd] = fregs[inst.fs] - fregs[inst.ft]
+                elif name == "mul.d":
+                    fregs[inst.fd] = fregs[inst.fs] * fregs[inst.ft]
+                elif name == "div.d":
+                    if fregs[inst.ft] == 0.0:
+                        raise SimulationError(
+                            f"FP division by zero at 0x{inst.address:x}")
+                    fregs[inst.fd] = fregs[inst.fs] / fregs[inst.ft]
+                elif name == "neg.d":
+                    fregs[inst.fd] = -fregs[inst.fs]
+                elif name == "abs.d":
+                    fregs[inst.fd] = abs(fregs[inst.fs])
+                elif name == "mov.d":
+                    fregs[inst.fd] = fregs[inst.fs]
+                elif name == "sqrt.d":
+                    if fregs[inst.fs] < 0:
+                        raise SimulationError(
+                            f"sqrt of negative at 0x{inst.address:x}")
+                    fregs[inst.fd] = fregs[inst.fs] ** 0.5
+                elif name == "c.eq.d":
+                    self.fp_cond = fregs[inst.fs] == fregs[inst.ft]
+                elif name == "c.lt.d":
+                    self.fp_cond = fregs[inst.fs] < fregs[inst.ft]
+                elif name == "c.le.d":
+                    self.fp_cond = fregs[inst.fs] <= fregs[inst.ft]
+                elif name == "bc1t":
+                    taken = self.fp_cond
+                    record_branch((inst.address, taken))
+                    branches += 1
+                    for ob in branch_observers:
+                        ob.on_branch(inst, taken, count)
+                    if taken:
+                        next_pc = tindex[pc]
+                elif name == "bc1f":
+                    taken = not self.fp_cond
+                    record_branch((inst.address, taken))
+                    branches += 1
+                    for ob in branch_observers:
+                        ob.on_branch(inst, taken, count)
+                    if taken:
+                        next_pc = tindex[pc]
+                elif name == "mtc1":
+                    # reinterpret not needed: our compiler only moves int values
+                    # for conversion, always via cvt.d.w
+                    fregs[inst.fs] = float(regs[inst.rt])
+                elif name == "mfc1":
+                    regs[inst.rt] = _s32(int(fregs[inst.fs]))
+                elif name == "cvt.d.w":
+                    fregs[inst.fd] = float(fregs[inst.fs])
+                elif name == "cvt.w.d":
+                    fregs[inst.fd] = float(int(fregs[inst.fs]))  # truncate toward 0
+                elif name == "syscall":
+                    running = self._syscall(inst)
+                elif name == "nop":
+                    pass
+                else:  # pragma: no cover - all opcodes handled above
+                    raise SimulationError(f"unimplemented opcode {name}")
 
-            pc = next_pc
+                pc = next_pc
+        except BaseException:
+            # snapshot state for the crash report before unwinding
+            self._fault_pc = pc
+            self.instr_count = count
+            self.dynamic_branches = branches
+            raise
 
         self.instr_count = count
         self.dynamic_branches = branches
@@ -382,10 +479,47 @@ class Machine:
             ob.on_finish(count)
         return ExitStatus(self.exit_code, count, branches, self.output, self)
 
+    # -- post-mortem -----------------------------------------------------------
+
+    def crash_snapshot(self, pc_index: int = -1) -> CrashReport:
+        """Snapshot the machine state for post-mortem debugging.
+
+        *pc_index* is an index into the instruction list (``pc`` in the run
+        loop); out-of-range values are reported as such rather than failing.
+        """
+        addr = TEXT_BASE + WORD_SIZE * pc_index
+        if 0 <= pc_index < len(self._insts):
+            inst = self._insts[pc_index]
+            try:
+                text = inst.render()
+            except Exception:  # corrupted instruction: still report something
+                text = f"<unrenderable {inst.op.name} instruction>"
+        else:
+            text = "<pc outside text segment>"
+        frames = [CallFrame(self._proc_name(callee), call_site, ret)
+                  for call_site, callee, ret in self._call_stack]
+        return CrashReport(
+            pc=addr, instruction=text, instr_count=self.instr_count,
+            registers=list(self.regs), fp_registers=list(self.fregs),
+            call_stack=frames, branch_history=list(self._branch_history),
+            output_tail=self.output[-200:])
+
+    def _proc_name(self, addr: int) -> str:
+        """Resolve a text address to its procedure name (best effort)."""
+        try:
+            return self.executable.procedure_containing(addr).name
+        except (IndexError, TypeError):
+            return f"0x{addr:x}"
+
     # -- syscalls ------------------------------------------------------------
 
-    def _syscall(self) -> bool:
-        """Execute a syscall; return False to halt."""
+    def _syscall(self, inst: Instruction | None = None) -> bool:
+        """Execute a syscall; return False to halt.
+
+        *inst* (the ``syscall`` instruction itself) is used to name the
+        faulting pc in error messages.
+        """
+        pc = inst.address if inst is not None else -1
         service = self.regs[2]
         if service == 1:  # print_int
             self.output_parts.append(str(self.regs[4]))
@@ -395,11 +529,17 @@ class Machine:
             self.output_parts.append(self.memory.load_cstring(_u32(self.regs[4])))
         elif service == 5:  # read_int
             if not self.inputs:
-                raise InputExhausted("read_int: input exhausted")
+                raise InputExhausted(
+                    f"read_int (syscall 5) starved at pc 0x{pc:x} after "
+                    f"consuming {self._inputs_consumed} input values", pc=pc)
+            self._inputs_consumed += 1
             self.regs[2] = _s32(int(self.inputs.popleft()))
         elif service == 7:  # read_double
             if not self.inputs:
-                raise InputExhausted("read_double: input exhausted")
+                raise InputExhausted(
+                    f"read_double (syscall 7) starved at pc 0x{pc:x} after "
+                    f"consuming {self._inputs_consumed} input values", pc=pc)
+            self._inputs_consumed += 1
             self.fregs[0] = float(self.inputs.popleft())
         elif service == 9:  # sbrk
             amount = self.regs[4]
@@ -414,7 +554,8 @@ class Machine:
             self.exit_code = self.regs[4]
             return False
         else:
-            raise SimulationError(f"unknown syscall {service}")
+            raise SimulationError(
+                f"unknown syscall {service} at pc 0x{pc:x}", pc=pc)
         return True
 
 

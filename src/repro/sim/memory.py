@@ -4,11 +4,17 @@ Backed by 4 KiB pages allocated on demand, so the SPIM-like address layout
 (text at 0x400000, data at 0x10000000, stack below 0x80000000) costs nothing.
 Word (4-byte) and double (8-byte) accesses must be naturally aligned — the
 BLC compiler guarantees this — and therefore never cross a page boundary.
+
+Faults (misalignment, page-budget exhaustion) raise
+:class:`~repro.errors.MemoryError_`, part of the unified
+:class:`~repro.errors.ReproError` taxonomy.
 """
 
 from __future__ import annotations
 
 import struct
+
+from repro.errors import MemoryError_
 
 __all__ = ["Memory", "MemoryError_", "PAGE_SIZE"]
 
@@ -17,22 +23,39 @@ _PAGE_MASK = PAGE_SIZE - 1
 _PAGE_SHIFT = 12
 
 
-class MemoryError_(Exception):
-    """Raised on misaligned or otherwise invalid memory access."""
-
-
 class Memory:
-    """Sparse simulated memory."""
+    """Sparse simulated memory.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    max_pages:
+        Optional budget on the number of distinct 4 KiB pages that may be
+        allocated; touching a new page beyond it raises
+        :class:`MemoryError_`. ``None`` (the default) means unlimited —
+        the historical behavior.
+    """
+
+    def __init__(self, max_pages: int | None = None) -> None:
         self._pages: dict[int, bytearray] = {}
+        self.max_pages = max_pages
 
     def _page(self, addr: int) -> bytearray:
         page = self._pages.get(addr >> _PAGE_SHIFT)
         if page is None:
+            if self.max_pages is not None and \
+                    len(self._pages) >= self.max_pages:
+                raise MemoryError_(
+                    f"memory limit exceeded: access at 0x{addr:x} needs a "
+                    f"new page but the budget is {self.max_pages} pages "
+                    f"({self.max_pages * PAGE_SIZE} bytes)")
             page = bytearray(PAGE_SIZE)
             self._pages[addr >> _PAGE_SHIFT] = page
         return page
+
+    @property
+    def pages_allocated(self) -> int:
+        """Number of distinct 4 KiB pages touched so far."""
+        return len(self._pages)
 
     # -- bulk ------------------------------------------------------------------
 

@@ -1,0 +1,17 @@
+"""Testing utilities: the fault-injection (chaos) framework.
+
+``repro.testing.chaos`` fabricates broken executables, starved datasets,
+and exhausted resource budgets so the resilience machinery
+(:mod:`repro.errors`, :mod:`repro.harness.resilience`) can be exercised
+deterministically. Production code must never import from here.
+"""
+
+from repro.testing.chaos import (
+    FAULTS, clone_executable, corrupt_branch_targets, corrupt_opcode,
+    sabotage,
+)
+
+__all__ = [
+    "FAULTS", "clone_executable", "corrupt_branch_targets", "corrupt_opcode",
+    "sabotage",
+]

@@ -1,0 +1,145 @@
+"""Fault injection for the experiment pipeline.
+
+The chaos helpers fabricate the failure modes a long-running reproduction
+actually meets — corrupted artifacts, starved inputs, runaway executions,
+memory exhaustion — without touching the benchmark definitions. They
+operate through the public sabotage seams on
+:class:`~repro.harness.runner.SuiteRunner` (``poison_compile``,
+``poison_executable``, ``limit_fuel``, ``limit_inputs``, ``limit_memory``,
+``skip``), so the runner under test exercises exactly the code paths a
+real fault would.
+
+Guarantees the fault-injection test suite checks against:
+
+* every injected fault surfaces as a typed
+  :class:`~repro.errors.ReproError` (never a bare ``KeyError`` /
+  ``IndexError`` / hang), and simulator-phase faults carry a populated
+  :class:`~repro.errors.CrashReport`;
+* corruption never aliases healthy state: executables are deep-cloned
+  before mutation (:func:`clone_executable`), so the pristine compiled
+  artifact memoized elsewhere is untouched.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ReproError
+from repro.harness.runner import SuiteRunner
+from repro.isa.instructions import Instruction, Kind, Opcode
+from repro.isa.program import Executable, Procedure, TEXT_BASE, WORD_SIZE
+
+__all__ = [
+    "FAULTS", "clone_executable", "corrupt_branch_targets", "corrupt_opcode",
+    "sabotage",
+]
+
+#: fault names accepted by :func:`sabotage` (parametrize tests over these)
+FAULTS = ("compile", "opcode", "branch-target", "inputs", "fuel", "memory",
+          "skip")
+
+#: opcode that no dispatch arm implements — executing it must raise a typed
+#: SimulationError, not corrupt state silently
+_UNDEFINED_OPCODE = Opcode("ud2", Kind.NOP)
+
+
+def clone_executable(executable: Executable) -> Executable:
+    """A structurally independent copy of *executable*.
+
+    The instruction list and procedure table are rebuilt so mutations to
+    the clone can never leak into the original (which the
+    :class:`SuiteRunner` may have memoized).  Instructions themselves are
+    frozen dataclasses, so sharing them is safe until a corruptor replaces
+    one wholesale.
+    """
+    procedures = [Procedure(p.name, p.start_index, p.end_index)
+                  for p in executable.procedures]
+    return Executable(
+        instructions=list(executable.instructions),
+        procedures=procedures,
+        data=executable.data,
+        symbols=dict(executable.symbols),
+        entry=executable.entry,
+    )
+
+
+def _entry_index(executable: Executable) -> int:
+    return (executable.entry - TEXT_BASE) // WORD_SIZE
+
+
+def corrupt_opcode(executable: Executable,
+                   index: int | None = None) -> Executable:
+    """Clone *executable* and replace one instruction's opcode with an
+    undefined one (default: the entry instruction, so the fault fires on
+    the very first dispatch)."""
+    corrupted = clone_executable(executable)
+    if index is None:
+        index = _entry_index(corrupted)
+    inst = corrupted.instructions[index]
+    corrupted.instructions[index] = dataclasses.replace(
+        inst, op=_UNDEFINED_OPCODE)
+    return corrupted
+
+
+def corrupt_branch_targets(executable: Executable) -> Executable:
+    """Clone *executable* and point every branch/jump/call target one page
+    past the end of the text segment.
+
+    The first taken transfer of control then lands outside the text
+    segment, which the simulator must report as a typed ``pc out of
+    range`` fault (with crash report), never an ``IndexError``.
+    """
+    corrupted = clone_executable(executable)
+    bad_target = TEXT_BASE + WORD_SIZE * (len(corrupted.instructions) + 64)
+    insts = corrupted.instructions
+    for i, inst in enumerate(insts):
+        if inst.target_address >= 0:
+            insts[i] = dataclasses.replace(inst, target_address=bad_target)
+    return corrupted
+
+
+def sabotage(runner: SuiteRunner, name: str, fault: str) -> None:
+    """Inject *fault* into benchmark *name* through *runner*'s chaos seams.
+
+    Supported faults (see :data:`FAULTS`):
+
+    ``compile``
+        Poison the compilation cache with a typed compile-phase error.
+    ``opcode``
+        Replace the compiled artifact with an undefined-opcode clone
+        (static analysis stays pristine, execution faults immediately).
+    ``branch-target``
+        Replace the compiled artifact with one whose transfers of control
+        all point past the text segment.
+    ``inputs``
+        Truncate the dataset to zero inputs, starving the first read
+        syscall (:class:`~repro.errors.InputExhausted`).
+    ``fuel``
+        Cap the instruction budget at 1 000 instructions, forcing
+        :class:`~repro.errors.SimulationLimitExceeded`.
+    ``memory``
+        Cap data memory at a single 4 KiB page, forcing
+        :class:`~repro.errors.MemoryError_` on the first stack access.
+    ``skip``
+        Mark the benchmark operator-skipped.
+    """
+    if fault == "compile":
+        runner.poison_compile(name, ReproError(
+            "chaos: injected compile failure", benchmark=name,
+            phase="compile"))
+    elif fault in ("opcode", "branch-target"):
+        executable, analysis = runner.compiled(name)
+        corruptor = (corrupt_opcode if fault == "opcode"
+                     else corrupt_branch_targets)
+        runner.poison_executable(name, corruptor(executable), analysis)
+    elif fault == "inputs":
+        runner.limit_inputs(name, 0)
+    elif fault == "fuel":
+        runner.limit_fuel(name, 1_000)
+    elif fault == "memory":
+        runner.limit_memory(name, 4096)
+    elif fault == "skip":
+        runner.skip(name, reason="chaos")
+    else:
+        raise ValueError(f"unknown chaos fault {fault!r} "
+                         f"(expected one of {', '.join(FAULTS)})")

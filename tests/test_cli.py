@@ -80,6 +80,29 @@ class TestBccCli:
         assert bcc_main([str(path), "--run", "--inputs", "1.25"]) == 0
         assert capsys.readouterr().out == "1.75"
 
+    def test_run_fault_is_one_structured_line(self, source_file, capsys):
+        # no inputs: the read_int starves; the CLI must exit 1 with a
+        # single structured error line, never a traceback
+        assert bcc_main([source_file, "--run"]) == 1
+        err = capsys.readouterr().err
+        assert "error[input-exhausted]" in err
+        assert "Traceback" not in err
+
+    def test_verbose_crash_prints_report(self, source_file, capsys):
+        assert bcc_main([source_file, "--run", "--verbose-crash"]) == 1
+        err = capsys.readouterr().err
+        assert "crash at pc=" in err
+        assert "call stack" in err
+
+    def test_deadline_watchdog(self, tmp_path, capsys):
+        path = tmp_path / "spin.blc"
+        path.write_text("int main() { while (1) { } return 0; }")
+        assert bcc_main([str(path), "--run", "--deadline", "0.1",
+                         "--max-instructions", "1000000000"]) == 1
+        err = capsys.readouterr().err
+        assert "error[simulation-timeout]" in err
+        assert "watchdog" in err
+
 
 class TestHarnessCli:
     def test_model_only(self, capsys):
@@ -87,3 +110,30 @@ class TestHarnessCli:
         assert harness_main(["--tables", "", "--graphs", "12"]) == 0
         out = capsys.readouterr().out
         assert "Graph 12" in out
+
+    def test_benchmark_subset_table(self, capsys):
+        from repro.harness.__main__ import main as harness_main
+        assert harness_main(["--benchmarks", "queens,fields",
+                             "--tables", "2", "--graphs", ""]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "queens" in out and "fields" in out
+
+    def test_degraded_deadline_renders_failed_cells(self, capsys):
+        from repro.harness.__main__ import main as harness_main
+        # an impossible watchdog deadline fails every run, but in degraded
+        # mode the report still comes out with FAILED cells and exit 0
+        assert harness_main(["--benchmarks", "queens", "--tables", "2",
+                             "--graphs", "", "--degraded",
+                             "--deadline", "1e-9"]) == 0
+        captured = capsys.readouterr()
+        assert "FAILED:timeout" in captured.out
+        assert "FAILED:timeout" in captured.err  # footer summary
+
+    def test_strict_deadline_exits_with_structured_error(self, capsys):
+        from repro.harness.__main__ import main as harness_main
+        assert harness_main(["--benchmarks", "queens", "--tables", "2",
+                             "--graphs", "", "--deadline", "1e-9"]) == 1
+        err = capsys.readouterr().err
+        assert "error[simulation-timeout]" in err
+        assert "benchmark=queens" in err
+        assert "Traceback" not in err

@@ -1,0 +1,381 @@
+"""Fault-injection tests for the resilient experiment pipeline.
+
+Every injected fault — corrupted artifacts, starved inputs, exhausted
+fuel/memory budgets, runaway executions — must surface as a typed
+:class:`~repro.errors.ReproError` (simulator-phase faults additionally
+carrying a populated :class:`~repro.errors.CrashReport`), never as a bare
+``KeyError``/``IndexError`` or an unbounded hang.  In degraded mode the
+seven-table report must survive any single benchmark dying, with FAILED
+cells only on the sabotaged rows and healthy rows identical to a strict
+run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bcc import compile_and_link
+from repro.errors import (
+    CrashReport, InputExhausted, MemoryError_, ReproError, SimulationError,
+    SimulationLimitExceeded, SimulationTimeout,
+)
+from repro.harness import (
+    RunOutcome, RunStatus, SuiteRunner,
+    table1, table2, table3, table4, table5, table6, table7,
+)
+from repro.isa import TEXT_BASE, assemble
+from repro.sim import Machine
+from repro.sim.memory import Memory
+from repro.testing.chaos import (
+    FAULTS, clone_executable, corrupt_branch_targets, corrupt_opcode,
+    sabotage,
+)
+
+SMALL = ["queens", "fields", "gauss"]
+
+#: chaos fault -> RunStatus bucket the degraded runner must report
+EXPECTED_STATUS = {
+    "compile": RunStatus.COMPILE_FAILED,
+    "opcode": RunStatus.SIM_FAILED,
+    "branch-target": RunStatus.SIM_FAILED,
+    "inputs": RunStatus.SIM_FAILED,
+    "fuel": RunStatus.TIMEOUT,
+    "memory": RunStatus.SIM_FAILED,
+    "skip": RunStatus.SKIPPED,
+}
+
+#: faults raised from inside the dispatch loop must carry a crash report
+CRASHING_FAULTS = ("opcode", "branch-target", "inputs", "fuel", "memory")
+
+
+def asm_machine(body: str, **kw) -> Machine:
+    src = f".text\n.ent main\nmain:\n{body}\n.end main\n"
+    return Machine(assemble(src), **kw)
+
+
+# -- chaos faults through the degraded runner ---------------------------------
+
+
+class TestChaosFaults:
+    @pytest.mark.parametrize("fault", FAULTS)
+    def test_degraded_outcome_is_classified(self, fault):
+        runner = SuiteRunner(["queens", "fields"], strict=False)
+        sabotage(runner, "queens", fault)
+        outcome = runner.outcome("queens")
+        assert outcome.failed
+        assert outcome.status is EXPECTED_STATUS[fault]
+        if fault != "skip":
+            assert isinstance(outcome.error, ReproError)
+            assert outcome.error.benchmark == "queens"
+        if fault in CRASHING_FAULTS:
+            report = outcome.error.crash_report
+            assert isinstance(report, CrashReport)
+            assert report.pc >= 0
+            assert len(report.registers) == 32
+        # the healthy benchmark is untouched
+        assert runner.outcome("fields").ok
+
+    @pytest.mark.parametrize("fault", FAULTS)
+    def test_strict_mode_raises_typed_error(self, fault):
+        runner = SuiteRunner(["queens"], strict=True)
+        sabotage(runner, "queens", fault)
+        with pytest.raises(ReproError):
+            runner.run("queens")
+
+    def test_unknown_fault_rejected(self):
+        runner = SuiteRunner(["queens"], strict=False)
+        with pytest.raises(ValueError, match="unknown chaos fault"):
+            sabotage(runner, "queens", "gremlins")
+
+    def test_unknown_benchmark_is_typed_not_keyerror(self):
+        runner = SuiteRunner(["nosuch"], strict=False)
+        outcome = runner.outcome("nosuch")
+        assert outcome.failed
+        assert isinstance(outcome.error, ReproError)
+
+    def test_corruption_does_not_alias_pristine_artifact(self, mini_runner):
+        executable, _ = mini_runner.compiled("queens")
+        n_before = len(executable.instructions)
+        ops_before = [i.op.name for i in executable.instructions[:8]]
+        corrupted = corrupt_opcode(executable)
+        assert corrupted is not executable
+        assert corrupted.instructions is not executable.instructions
+        assert [i.op.name for i in executable.instructions[:8]] == ops_before
+        assert len(executable.instructions) == n_before
+
+    def test_clone_preserves_behavior(self, mini_runner):
+        run = mini_runner.run("queens", "small")
+        clone = clone_executable(run.executable)
+        status = Machine(clone, inputs=list(run.dataset.inputs)).run()
+        assert status.output == run.output
+
+
+# -- typed error paths + crash reports on the bare Machine --------------------
+
+
+class TestMachineFaultPaths:
+    def test_undefined_opcode_is_typed_with_report(self, mini_runner):
+        executable, _ = mini_runner.compiled("queens")
+        corrupted = corrupt_opcode(executable)
+        machine = Machine(corrupted, inputs=[4])
+        with pytest.raises(SimulationError) as exc_info:
+            machine.run()
+        err = exc_info.value
+        assert "opcode" in str(err)
+        assert err.crash_report is not None
+        assert err.crash_report.instruction  # rendered text
+
+    def test_corrupt_branch_targets_fault_not_indexerror(self, mini_runner):
+        executable, _ = mini_runner.compiled("queens")
+        corrupted = corrupt_branch_targets(executable)
+        with pytest.raises(SimulationError) as exc_info:
+            Machine(corrupted, inputs=[4]).run()
+        assert exc_info.value.crash_report is not None
+
+    def test_bad_entry_pc_out_of_range(self):
+        machine = asm_machine("nop\nli $v0, 10\nsyscall")
+        with pytest.raises(SimulationError, match="pc out of range"):
+            machine.run(entry=TEXT_BASE + 4 * 100_000)
+        # the report still renders even though pc is outside the text segment
+        # (the error carries it)
+
+    def test_unknown_syscall_is_typed(self):
+        machine = asm_machine("li $v0, 99\nsyscall")
+        with pytest.raises(SimulationError, match="unknown syscall 99") \
+                as exc_info:
+            machine.run()
+        assert exc_info.value.pc == TEXT_BASE + 4  # the syscall instruction
+        assert exc_info.value.crash_report is not None
+
+    def test_input_exhausted_names_syscall_and_pc(self):
+        machine = asm_machine("li $v0, 5\nsyscall")
+        with pytest.raises(InputExhausted) as exc_info:
+            machine.run()
+        message = str(exc_info.value)
+        assert "read_int" in message and "syscall 5" in message
+        assert "consuming 0 input values" in message
+        assert f"0x{TEXT_BASE + 4:x}" in message
+
+    def test_input_exhausted_counts_consumed(self):
+        machine = asm_machine(
+            "li $v0, 5\nsyscall\nli $v0, 5\nsyscall\nli $v0, 5\nsyscall",
+            inputs=[1, 2])
+        with pytest.raises(InputExhausted, match="consuming 2 input values"):
+            machine.run()
+        assert not machine.inputs  # drained
+
+    def test_crash_report_call_stack_and_history(self):
+        # f() loops four times then reads from an empty input deque
+        body = ("jal f\nli $v0, 10\nsyscall\n"
+                ".end main\n.ent f\nf:\n"
+                "li $t1, 4\n"
+                "L: addiu $t1, $t1, -1\nbgtz $t1, L\n"
+                "li $v0, 5\nsyscall\njr $ra")
+        src = f".text\n.ent main\nmain:\n{body}\n.end f\n"
+        machine = Machine(assemble(src))
+        with pytest.raises(InputExhausted) as exc_info:
+            machine.run()
+        report = exc_info.value.crash_report
+        assert report is not None
+        assert [frame.callee for frame in report.call_stack] == ["f"]
+        assert len(report.branch_history) == 4
+        taken = [t for _, t in report.branch_history]
+        assert taken == [True, True, True, False]
+        rendered = report.format()
+        assert "call stack" in rendered and "f (" in rendered
+
+    def test_fuel_exhaustion_reports_budget_and_pc(self):
+        machine = asm_machine("L: j L", max_instructions=100)
+        with pytest.raises(SimulationLimitExceeded,
+                           match="fuel budget of 100"):
+            machine.run()
+
+    def test_internal_faults_are_wrapped(self):
+        # an instruction with missing operand fields triggers a Python-level
+        # TypeError inside the dispatch loop; it must surface as a typed
+        # SimulationError with crash report, never a bare builtin exception
+        import dataclasses
+        from repro.isa.instructions import OPCODES_BY_NAME
+        exe = assemble(".text\n.ent main\nmain:\nnop\n"
+                       "li $v0, 10\nsyscall\n.end main\n")
+        exe.instructions[0] = dataclasses.replace(
+            exe.instructions[0], op=OPCODES_BY_NAME["add"])  # rd/rs/rt None
+        with pytest.raises(SimulationError,
+                           match="internal simulator fault") as exc_info:
+            Machine(exe).run()
+        assert exc_info.value.crash_report is not None
+        assert isinstance(exc_info.value.__cause__, TypeError)
+
+    def test_exit_status_machine_backref_optional(self):
+        machine = asm_machine("li $v0, 10\nsyscall")
+        status = machine.run()
+        assert status.machine is machine
+        from repro.sim.machine import ExitStatus
+        bare = ExitStatus(0, 1, 0, "")
+        assert bare.machine is None
+
+
+class TestWatchdog:
+    def test_wall_clock_deadline_bounds_infinite_loop(self):
+        machine = asm_machine("L: j L", max_instructions=10**12,
+                              wall_clock_deadline=0.2)
+        start = time.monotonic()
+        with pytest.raises(SimulationTimeout) as exc_info:
+            machine.run()
+        elapsed = time.monotonic() - start
+        assert elapsed < 10.0  # generous bound; typical is ~0.2s
+        assert "watchdog" in str(exc_info.value)
+        assert exc_info.value.crash_report is not None
+
+    def test_timeout_is_a_limit_but_not_retried(self):
+        # SimulationTimeout subclasses SimulationLimitExceeded for
+        # classification, but the degraded runner must NOT retry it with
+        # more fuel (wall-clock overruns are not transient)
+        assert issubclass(SimulationTimeout, SimulationLimitExceeded)
+        runner = SuiteRunner(["queens"], strict=False,
+                             wall_clock_deadline=1e-9)
+        outcome = runner.outcome("queens")
+        assert outcome.status is RunStatus.TIMEOUT
+        assert not outcome.retried
+
+    def test_no_deadline_means_no_watchdog_overhead_path(self):
+        machine = asm_machine("li $v0, 10\nsyscall")
+        assert machine.wall_clock_deadline is None
+        assert machine.run().exit_code == 0
+
+
+class TestMemoryFaults:
+    def test_page_budget_typed(self):
+        memory = Memory(max_pages=1)
+        memory.store_word(0x1000_0000, 7)   # first page: fine
+        with pytest.raises(MemoryError_, match="budget is 1 pages"):
+            memory.store_word(0x2000_0000, 7)
+        assert memory.pages_allocated == 1
+        assert isinstance(MemoryError_("x"), ReproError)
+
+    @pytest.mark.parametrize("op,addr", [
+        ("load_word", 0x1000_0002), ("store_word", 0x1000_0001),
+        ("load_double", 0x1000_0004), ("store_double", 0x1000_0004),
+    ])
+    def test_misaligned_access_typed(self, op, addr):
+        memory = Memory()
+        args = (addr,) if op.startswith("load") else (addr, 0)
+        with pytest.raises(MemoryError_, match="misaligned"):
+            getattr(memory, op)(*args)
+
+    def test_machine_memory_cap_faults_with_report(self):
+        # one page of budget; the second distinct page faults
+        machine = asm_machine(
+            "sw $0, 0($0)\nlui $t0, 0x1000\nsw $0, 0($t0)\n"
+            "li $v0, 10\nsyscall",
+            max_memory_bytes=4096)
+        with pytest.raises(MemoryError_) as exc_info:
+            machine.run()
+        assert exc_info.value.crash_report is not None
+        assert exc_info.value.pc == TEXT_BASE + 4 * 2  # the second sw
+
+
+# -- partial-state isolation and caching --------------------------------------
+
+
+class TestProfileIsolation:
+    def test_failed_attempt_never_pollutes_retry_profile(self):
+        strict = SuiteRunner(["queens"])
+        clean = strict.run("queens")
+        # fuel for about half the run: first attempt dies, the x4 retry
+        # succeeds; the published profile must match a clean run exactly
+        budget = max(1000, clean.instr_count // 2)
+        degraded = SuiteRunner(["queens"], strict=False, retry_fuel_factor=4)
+        degraded.limit_fuel("queens", budget)
+        outcome = degraded.outcome("queens")
+        assert outcome.ok and outcome.retried
+        retried = outcome.require()
+        assert retried.instr_count == clean.instr_count
+        assert retried.profile.total_dynamic_branches \
+            == clean.profile.total_dynamic_branches
+        for addr in clean.loop_addresses + clean.non_loop_addresses:
+            assert retried.profile.execution_count(addr) \
+                == clean.profile.execution_count(addr)
+            assert retried.profile.taken_count(addr) \
+                == clean.profile.taken_count(addr)
+
+    def test_failed_outcome_carries_no_run(self):
+        runner = SuiteRunner(["queens"], strict=False, retry_fuel_factor=1)
+        runner.limit_fuel("queens", 100)
+        outcome = runner.outcome("queens")
+        assert outcome.failed and outcome.run is None
+        with pytest.raises(SimulationLimitExceeded):
+            outcome.require()
+
+    def test_negative_cache_returns_same_outcome(self):
+        runner = SuiteRunner(["queens"], strict=False, retry_fuel_factor=1)
+        runner.limit_fuel("queens", 100)
+        first = runner.outcome("queens")
+        second = runner.outcome("queens")
+        assert first is second  # no re-execution, no fresh failure
+
+    def test_compile_failure_negative_cached(self):
+        runner = SuiteRunner(["queens"], strict=False)
+        boom = ReproError("chaos: injected compile failure",
+                          benchmark="queens", phase="compile")
+        runner.poison_compile("queens", boom)
+        with pytest.raises(ReproError):
+            runner.compiled("queens")
+        outcome = runner.outcome("queens")
+        assert outcome.status is RunStatus.COMPILE_FAILED
+        assert outcome.error is boom
+
+    def test_memoized_success_not_invalidated_by_later_poison(self):
+        runner = SuiteRunner(["queens"], strict=False)
+        healthy = runner.outcome("queens")
+        assert healthy.ok
+        runner.poison_compile("queens", ReproError("late", phase="compile"))
+        # run-level memoization still serves the healthy result
+        assert runner.outcome("queens").ok
+
+
+# -- the acceptance criterion: seven tables survive a sabotaged benchmark -----
+
+
+class TestDegradedReport:
+    @pytest.fixture(scope="class")
+    def sabotaged(self):
+        runner = SuiteRunner(SMALL, strict=False)
+        sabotage(runner, "gauss", "opcode")
+        return runner
+
+    @pytest.fixture(scope="class")
+    def strict_healthy(self):
+        return SuiteRunner(["queens", "fields"], strict=True)
+
+    def test_all_seven_tables_render(self, sabotaged):
+        for gen in (table2, table3, table4, table5, table6, table7):
+            text = gen(sabotaged).render()
+            assert "FAILED" in text
+            assert "gauss" in text
+        # table1 is compile-only; a runtime fault still lists normally
+        assert "gauss" in table1(sabotaged).render()
+
+    def test_failed_rows_only_for_sabotaged(self, sabotaged):
+        t2 = table2(sabotaged)
+        assert [oc.benchmark for oc in t2.failed] == ["gauss"]
+        assert sorted(r.name for r in t2.rows) == ["fields", "queens"]
+
+    def test_healthy_rows_match_strict_run(self, sabotaged, strict_healthy):
+        degraded_rows = {r.name: r for r in table2(sabotaged).rows}
+        for row in table2(strict_healthy).rows:
+            assert degraded_rows[row.name] == row
+
+    def test_compile_fault_shows_in_table1(self):
+        runner = SuiteRunner(["queens", "fields"], strict=False)
+        sabotage(runner, "fields", "compile")
+        text = table1(runner).render()
+        assert "FAILED:compile-failed" in text
+        assert "queens" in text
+
+    def test_outcome_describe_lines(self, sabotaged):
+        lines = [oc.describe() for oc in sabotaged.all_outcomes()]
+        assert any("gauss/ref: FAILED:sim-failed" in line for line in lines)
+        assert any(line.endswith(": ok") for line in lines)
