@@ -16,6 +16,9 @@ import sys
 from repro.bcc.driver import compile_and_link, compile_to_asm, compile_to_ir
 from repro.bcc.errors import CompileError
 from repro.errors import ReproError
+from repro.telemetry.logging_setup import (
+    add_logging_args, configure_from_args,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -45,7 +48,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="wall-clock watchdog deadline for --run")
     parser.add_argument("--verbose-crash", action="store_true",
                         help="print the full crash report on a fault")
+    add_logging_args(parser)
     args = parser.parse_args(argv)
+    log = configure_from_args(args).getChild("bcc")
 
     try:
         with open(args.source) as handle:
@@ -79,8 +84,8 @@ def main(argv: list[str] | None = None) -> int:
         print(exc.oneline(), file=sys.stderr)
         return 1
 
-    print(f"compiled {args.source}: {len(executable.procedures)} procedures,"
-          f" {executable.code_size_kb:.1f} KB", file=sys.stderr)
+    log.info("compiled %s: %d procedures, %.1f KB", args.source,
+             len(executable.procedures), executable.code_size_kb)
 
     if not (args.run or args.predict):
         return 0
@@ -100,9 +105,8 @@ def main(argv: list[str] | None = None) -> int:
             print(exc.crash_report.format(), file=sys.stderr)
         return 1
     sys.stdout.write(status.output)
-    print(f"[{status.instr_count} instructions, "
-          f"{status.dynamic_branches} branches, "
-          f"exit {status.exit_code}]", file=sys.stderr)
+    log.info("[%d instructions, %d branches, exit %d]",
+             status.instr_count, status.dynamic_branches, status.exit_code)
 
     if args.predict:
         from repro.core import (

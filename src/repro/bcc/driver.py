@@ -6,10 +6,18 @@ program (one translation unit, like static linking), and the assembly
 syscall wrappers are appended before assembling, so the final executable is
 self-contained — every procedure the program can execute is in it and gets
 analyzed, exactly as QPT saw whole MIPS executables.
+
+Every phase is wrapped in a :mod:`repro.telemetry` span (``bcc.parse``,
+``bcc.sema``, ``bcc.irgen``, ``bcc.opt``, ``bcc.codegen``; the parser adds
+``bcc.lex`` and the allocator ``bcc.regalloc`` beneath these), so a
+telemetry-enabled run shows exactly where compile wall-clock goes.  With
+the default disabled telemetry the spans are shared no-op context
+managers.
 """
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.bcc import ast_nodes as A
 from repro.bcc.codegen import generate_assembly
 from repro.bcc.errors import CompileError
@@ -28,38 +36,51 @@ __all__ = ["compile_to_asm", "compile_and_link", "compile_to_ir",
 def _merged_program(source: str, filename: str,
                     include_runtime: bool) -> A.Program:
     decls: list[A.Node] = []
-    if include_runtime:
-        decls.extend(parse(RUNTIME_BLC, "<runtime>").decls)
-    decls.extend(parse(source, filename).decls)
+    with telemetry.get().span("bcc.parse", category="compile",
+                              file=filename):
+        if include_runtime:
+            decls.extend(parse(RUNTIME_BLC, "<runtime>").decls)
+        decls.extend(parse(source, filename).decls)
     return A.Program(decls)
 
 
 def analyze_source(source: str, filename: str = "<input>",
                    include_runtime: bool = True) -> SemanticInfo:
     """Parse and type-check; returns the annotated program metadata."""
-    return analyze(_merged_program(source, filename, include_runtime))
+    program = _merged_program(source, filename, include_runtime)
+    with telemetry.get().span("bcc.sema", category="compile",
+                              file=filename):
+        return analyze(program)
 
 
 def compile_to_ir(source: str, filename: str = "<input>",
                   optimize: bool = True, include_runtime: bool = True,
                   rotate_loops: bool = True):
     """Compile to (optimized) IR. Mainly for tests and debugging."""
+    tm = telemetry.get()
     info = analyze_source(source, filename, include_runtime)
-    program = generate_ir(info, rotate_loops=rotate_loops)
-    return optimize_program(program, enabled=optimize)
+    with tm.span("bcc.irgen", category="compile", file=filename):
+        program = generate_ir(info, rotate_loops=rotate_loops)
+    with tm.span("bcc.opt", category="compile", file=filename):
+        return optimize_program(program, enabled=optimize)
 
 
 def compile_to_asm(source: str, filename: str = "<input>",
                    optimize: bool = True, include_runtime: bool = True,
                    rotate_loops: bool = True) -> str:
     """Compile BLC source to a complete assembly module (text)."""
+    tm = telemetry.get()
     info = analyze_source(source, filename, include_runtime)
     if "main" not in info.function_symbols \
             or not info.function_symbols["main"].defined:
         raise CompileError("program has no main function", filename=filename)
-    program = generate_ir(info, rotate_loops=rotate_loops)
-    program = optimize_program(program, enabled=optimize)
-    asm = generate_assembly(program)
+    with tm.span("bcc.irgen", category="compile", file=filename):
+        program = generate_ir(info, rotate_loops=rotate_loops)
+    with tm.span("bcc.opt", category="compile", file=filename):
+        program = optimize_program(program, enabled=optimize)
+    with tm.span("bcc.codegen", category="compile", file=filename):
+        asm = generate_assembly(program)
+    tm.counter("bcc.modules_compiled").inc()
     if include_runtime:
         asm = asm + "\n" + RUNTIME_ASM
     return asm

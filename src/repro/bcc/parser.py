@@ -474,4 +474,9 @@ def parse_tokens(tokens: list[Token]) -> A.Program:
 
 def parse(source: str, filename: str = "<input>") -> A.Program:
     """Tokenize and parse *source*."""
-    return parse_tokens(tokenize(source, filename))
+    from repro import telemetry
+    tm = telemetry.get()
+    with tm.span("bcc.lex", category="compile", file=filename):
+        tokens = tokenize(source, filename)
+    tm.counter("bcc.tokens").inc(len(tokens))
+    return parse_tokens(tokens)

@@ -204,7 +204,19 @@ class _ScanState:
 
 
 def allocate_registers(func: IRFunction) -> Allocation:
-    """Allocate every vreg of *func* to a machine register or spill slot."""
+    """Allocate every vreg of *func* to a machine register or spill slot.
+
+    Telemetry: one ``bcc.regalloc`` span per function (child of the
+    driver's ``bcc.codegen`` span) plus interval/spill counters — with
+    disabled telemetry both are shared no-ops.
+    """
+    from repro import telemetry
+    with telemetry.get().span("bcc.regalloc", category="compile",
+                              function=func.name):
+        return _allocate_registers(func)
+
+
+def _allocate_registers(func: IRFunction) -> Allocation:
     intervals, _calls = _build_intervals(func)
     int_state = _ScanState(INT_CALLER, INT_CALLEE)
     fp_state = _ScanState(FP_CALLER, FP_CALLEE)
@@ -228,4 +240,13 @@ def allocate_registers(func: IRFunction) -> Allocation:
     alloc.used_fp_callee = sorted(fp_state.used_callee)
     alloc.int_spills = int_state.spill_count
     alloc.fp_spills = fp_state.spill_count
+    from repro import telemetry
+    tm = telemetry.get()
+    if tm.enabled:
+        tm.counter("bcc.regalloc.functions").inc()
+        tm.counter("bcc.regalloc.intervals").inc(len(intervals))
+        tm.counter("bcc.regalloc.spills").inc(
+            int_state.spill_count + fp_state.spill_count)
+        tm.histogram("bcc.regalloc.intervals_per_function").observe(
+            len(intervals))
     return alloc

@@ -6,23 +6,35 @@ Options:
     --benchmarks A,B restrict the suite to the named benchmarks
     --degraded       fault-isolated mode: failures render as FAILED cells
     --deadline S     per-run wall-clock watchdog (seconds)
+    --telemetry DIR  record spans + metrics; write a full report bundle
+                     (Chrome trace, JSONL, Prometheus, summary, manifest)
+    --hot-pc N       sample the simulator pc every N instructions
+                     (requires --telemetry to be exported; also exposed on
+                     the Machine API directly)
+    --log-level/--quiet
+                     shared structured-logging knobs (repro.telemetry)
 
 On a pipeline fault the CLI exits non-zero with a one-line structured
 error (``error[code] benchmark=... phase=...: message``), never a raw
-traceback — see docs/robustness.md.
+traceback — see docs/robustness.md.  Telemetry output formats are
+documented in docs/observability.md.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
+import contextlib
 import time
 
+from repro import telemetry
 from repro.errors import ReproError
 from repro.harness import (
     SEQUENCE_BENCHMARKS, SuiteRunner,
     graph1, graph12, graph13, graphs2_3, graphs4_11,
     table1, table2, table3, table4, table5, table6, table7,
+)
+from repro.telemetry.logging_setup import (
+    add_logging_args, configure_from_args,
 )
 
 
@@ -44,13 +56,31 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--deadline", type=float, default=None,
                         metavar="SECONDS",
                         help="per-run wall-clock watchdog deadline")
+    parser.add_argument("--telemetry", default=None, metavar="DIR",
+                        help="record pipeline telemetry and write the "
+                             "report bundle (trace.json, events.jsonl, "
+                             "metrics.prom, summary.txt, manifest.json, "
+                             "telemetry.json) into DIR")
+    parser.add_argument("--hot-pc", type=int, default=None, metavar="N",
+                        help="sample the simulated pc every N instructions "
+                             "(hot-PC histogram; off by default)")
+    add_logging_args(parser)
     args = parser.parse_args(argv)
+    log = configure_from_args(args).getChild("harness")
 
     tables = {int(t) for t in args.tables.split(",") if t}
     graphs = {int(g) for g in args.graphs.split(",") if g}
     benchmarks = [b for b in args.benchmarks.split(",") if b] or None
     runner = SuiteRunner(benchmarks=benchmarks, strict=not args.degraded,
-                         wall_clock_deadline=args.deadline)
+                         wall_clock_deadline=args.deadline,
+                         pc_sample_interval=args.hot_pc)
+
+    if args.telemetry is not None:
+        sink = telemetry.Telemetry()
+        scope = telemetry.use(sink)
+    else:
+        sink = None
+        scope = contextlib.nullcontext()
 
     start = time.time()
     generators = {
@@ -63,32 +93,35 @@ def main(argv: list[str] | None = None) -> int:
         7: lambda: table7(runner).render(),
     }
     try:
-        for number in sorted(tables):
-            print(generators[number]())
-            print()
+        with scope, telemetry.get().span(
+                "report", category="harness",
+                tables=sorted(tables), graphs=sorted(graphs)):
+            for number in sorted(tables):
+                print(generators[number]())
+                print()
 
-        if 1 in graphs:
-            print(graph1(runner).describe())
-            print()
-        if 2 in graphs or 3 in graphs:
-            print(graphs2_3(runner).describe())
-            print()
-        if graphs & set(range(4, 12)):
-            seq = tuple(n for n in SEQUENCE_BENCHMARKS
-                        if benchmarks is None or n in benchmarks)
-            for sg in graphs4_11(runner, benchmarks=seq):
-                print(sg.describe())
-            print()
-        if 12 in graphs:
-            family = graph12()
-            print("Graph 12 model: f(m,100) for m=0.025..0.30:")
-            for m, curve in family.items():
-                print(f"  m={m:.3f}: f(100)={curve[-1]:.3f}")
-            print()
-        if 13 in graphs:
-            print(graph13(runner).describe())
+            if 1 in graphs:
+                print(graph1(runner).describe())
+                print()
+            if 2 in graphs or 3 in graphs:
+                print(graphs2_3(runner).describe())
+                print()
+            if graphs & set(range(4, 12)):
+                seq = tuple(n for n in SEQUENCE_BENCHMARKS
+                            if benchmarks is None or n in benchmarks)
+                for sg in graphs4_11(runner, benchmarks=seq):
+                    print(sg.describe())
+                print()
+            if 12 in graphs:
+                family = graph12()
+                print("Graph 12 model: f(m,100) for m=0.025..0.30:")
+                for m, curve in family.items():
+                    print(f"  m={m:.3f}: f(100)={curve[-1]:.3f}")
+                print()
+            if 13 in graphs:
+                print(graph13(runner).describe())
     except ReproError as exc:
-        print(exc.oneline(), file=sys.stderr)
+        log.error(exc.oneline())
         return 1
 
     # degraded mode: summarize any failures in the footer but still exit 0
@@ -98,9 +131,21 @@ def main(argv: list[str] | None = None) -> int:
         failures += [runner.outcome(name) for name in runner._skipped
                      if name in runner.benchmark_names]
     for outcome in failures:
-        print(outcome.describe(), file=sys.stderr)
+        log.warning(outcome.describe())
 
-    print(f"\n[done in {time.time() - start:.1f}s]", file=sys.stderr)
+    if sink is not None:
+        config = {
+            "benchmarks": sorted(runner.benchmark_names),
+            "tables": sorted(tables), "graphs": sorted(graphs),
+            "degraded": args.degraded, "deadline": args.deadline,
+            "hot_pc": args.hot_pc,
+            "max_instructions": runner.max_instructions,
+        }
+        paths = telemetry.write_report(sink, args.telemetry, config=config)
+        log.info("telemetry report written to %s (%s)", args.telemetry,
+                 ", ".join(sorted(paths)))
+
+    log.info("done in %.1fs", time.time() - start)
     return 0
 
 

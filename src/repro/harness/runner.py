@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import cached_property
 
+from repro import telemetry as _telemetry
 from repro.bench.suite import Benchmark, Dataset, get, suite
 from repro.core.classify import ProgramAnalysis, classify_branches
 from repro.errors import ReproError, SimulationLimitExceeded, SimulationTimeout
@@ -103,18 +104,30 @@ class SuiteRunner:
         In degraded mode, a run that dies of :class:`SimulationLimitExceeded`
         (fuel, not wall clock) is retried once with this multiple of the
         fuel budget before being declared a timeout.
+    pc_sample_interval:
+        Forwarded to every :class:`~repro.sim.Machine`: when set, the
+        simulator samples a hot-PC histogram at this instruction period
+        (off by default).
+
+    Telemetry: each fresh (benchmark, dataset) execution is wrapped in a
+    ``run:<benchmark>/<dataset>`` span containing ``compile``/``analyze``
+    and ``simulate`` child spans; memo-cache hits and misses, retries, and
+    per-status failures are counted under ``harness.*`` (all no-ops unless
+    a telemetry sink is installed via :func:`repro.telemetry.install`).
     """
 
     def __init__(self, benchmarks: list[str] | None = None,
                  max_instructions: int = _MAX_INSTRUCTIONS,
                  strict: bool = True,
                  wall_clock_deadline: float | None = None,
-                 retry_fuel_factor: int = 4) -> None:
+                 retry_fuel_factor: int = 4,
+                 pc_sample_interval: int | None = None) -> None:
         self.benchmark_names = benchmarks or [b.name for b in suite()]
         self.max_instructions = max_instructions
         self.strict = strict
         self.wall_clock_deadline = wall_clock_deadline
         self.retry_fuel_factor = retry_fuel_factor
+        self.pc_sample_interval = pc_sample_interval
         self._compiled: dict[str, tuple[Executable, ProgramAnalysis]] = {}
         self._runs: dict[tuple[str, str], BenchmarkRun] = {}
         # negative caches (degraded mode): compile failures per benchmark,
@@ -135,23 +148,32 @@ class SuiteRunner:
         Raises the (negative-cached) typed error on a broken benchmark —
         degraded-mode callers catch it and render a FAILED cell.
         """
+        tm = _telemetry.get()
         if name in self._compile_failures:
             raise self._compile_failures[name]
         if name not in self._compiled:
+            tm.counter("harness.compile_cache.miss").inc()
             try:
-                executable = get(name).compile()
-                analysis = classify_branches(executable)
+                with tm.span("compile", category="harness", benchmark=name):
+                    executable = get(name).compile()
+                    with tm.span("analyze", category="harness",
+                                 benchmark=name):
+                        analysis = classify_branches(executable)
             except ReproError as exc:
                 exc.with_context(benchmark=name, phase="compile")
                 self._compile_failures[name] = exc
+                tm.counter("harness.compile_failures").inc()
                 raise
             except Exception as exc:
                 wrapped = ReproError(
                     f"compile failed: {type(exc).__name__}: {exc}",
                     benchmark=name, phase="compile")
                 self._compile_failures[name] = wrapped
+                tm.counter("harness.compile_failures").inc()
                 raise wrapped from exc
             self._compiled[name] = (executable, analysis)
+        else:
+            tm.counter("harness.compile_cache.hit").inc()
         return self._compiled[name]
 
     # -- execution -------------------------------------------------------------
@@ -176,12 +198,15 @@ class SuiteRunner:
         try:
             # construction can fault too (e.g. the data image exceeds an
             # injected memory budget), so it sits inside the try
-            machine = Machine(
-                executable, inputs=inputs, observers=[profile],
-                max_instructions=budget * fuel_scale,
-                wall_clock_deadline=self.wall_clock_deadline,
-                max_memory_bytes=self._memory_overrides.get(name))
-            status = machine.run()
+            with _telemetry.get().span("simulate", category="harness",
+                                       benchmark=name, dataset=dataset):
+                machine = Machine(
+                    executable, inputs=inputs, observers=[profile],
+                    max_instructions=budget * fuel_scale,
+                    wall_clock_deadline=self.wall_clock_deadline,
+                    max_memory_bytes=self._memory_overrides.get(name),
+                    pc_sample_interval=self.pc_sample_interval)
+                status = machine.run()
         except ReproError as exc:
             raise exc.with_context(benchmark=name, dataset=dataset)
         return BenchmarkRun(
@@ -199,46 +224,66 @@ class SuiteRunner:
         from repro.harness.resilience import (
             RunOutcome, RunStatus, classify_failure,
         )
+        tm = _telemetry.get()
         key = (name, dataset)
         run = self._runs.get(key)
         if run is not None:
+            tm.counter("harness.run_cache.hit").inc()
             return RunOutcome(name, dataset, RunStatus.OK, run=run)
         if name in self._skipped:
+            tm.counter("harness.skipped").inc()
             outcome = RunOutcome(name, dataset, RunStatus.SKIPPED)
             if self.strict:
                 outcome.require()  # raises
             return outcome
         cached = self._run_failures.get(key)
         if cached is not None:
+            tm.counter("harness.run_cache.negative_hit").inc()
             if self.strict:
                 raise cached.error
             return cached
+        tm.counter("harness.run_cache.miss").inc()
         retried = False
-        try:
-            run = self._execute(name, dataset)
-        except ReproError as exc:
-            transient = (isinstance(exc, SimulationLimitExceeded)
-                         and not isinstance(exc, SimulationTimeout)
-                         and self.retry_fuel_factor > 1)
-            if self.strict or not transient:
-                if self.strict:
-                    raise
-                outcome = RunOutcome(name, dataset, classify_failure(exc),
-                                     error=exc)
-                self._run_failures[key] = outcome
-                return outcome
-            retried = True
+        with tm.span(f"run:{name}/{dataset}", category="harness",
+                     benchmark=name, dataset=dataset):
             try:
-                run = self._execute(name, dataset,
-                                    fuel_scale=self.retry_fuel_factor)
-            except ReproError as exc2:
-                outcome = RunOutcome(name, dataset, classify_failure(exc2),
-                                     error=exc2, retried=True)
-                self._run_failures[key] = outcome
-                return outcome
+                run = self._execute(name, dataset)
+            except ReproError as exc:
+                transient = (isinstance(exc, SimulationLimitExceeded)
+                             and not isinstance(exc, SimulationTimeout)
+                             and self.retry_fuel_factor > 1)
+                if self.strict or not transient:
+                    if self.strict:
+                        raise
+                    outcome = self._failure_outcome(
+                        name, dataset, classify_failure(exc), exc)
+                    return outcome
+                retried = True
+                tm.counter("harness.retries").inc()
+                try:
+                    run = self._execute(name, dataset,
+                                        fuel_scale=self.retry_fuel_factor)
+                except ReproError as exc2:
+                    outcome = self._failure_outcome(
+                        name, dataset, classify_failure(exc2), exc2,
+                        retried=True)
+                    return outcome
         self._runs[key] = run
         return RunOutcome(name, dataset, RunStatus.OK, run=run,
                           retried=retried)
+
+    def _failure_outcome(self, name: str, dataset: str, status,
+                         error: ReproError,
+                         retried: bool = False) -> "RunOutcome":
+        """Build, negative-cache, and count one degraded-mode failure."""
+        from repro.harness.resilience import RunOutcome
+        tm = _telemetry.get()
+        tm.counter("harness.degraded_failures").inc()
+        tm.labeled_counter("harness.failures_by_status").inc(status.value)
+        outcome = RunOutcome(name, dataset, status, error=error,
+                             retried=retried)
+        self._run_failures[(name, dataset)] = outcome
+        return outcome
 
     def run(self, name: str, dataset: str = "ref") -> BenchmarkRun:
         """Profile one benchmark execution (memoized); raises on failure."""

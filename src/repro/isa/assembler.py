@@ -469,5 +469,18 @@ class _Assembler:
 
 
 def assemble(source: str) -> Executable:
-    """Assemble *source* text into a linked :class:`Executable`."""
-    return _Assembler(source).assemble()
+    """Assemble *source* text into a linked :class:`Executable`.
+
+    Telemetry: wrapped in an ``isa.assemble`` span; counts assembled
+    instructions, procedures, and data bytes (all no-ops when telemetry
+    is disabled, the default).
+    """
+    from repro import telemetry
+    tm = telemetry.get()
+    with tm.span("isa.assemble", category="compile"):
+        executable = _Assembler(source).assemble()
+    if tm.enabled:
+        tm.counter("asm.instructions").inc(len(executable.instructions))
+        tm.counter("asm.procedures").inc(len(executable.procedures))
+        tm.counter("asm.data_bytes").inc(len(executable.data))
+    return executable

@@ -28,8 +28,9 @@ from __future__ import annotations
 import struct
 from collections import deque
 from dataclasses import dataclass, field
-from time import monotonic
+from time import monotonic, perf_counter
 
+from repro import telemetry as _telemetry
 from repro.errors import (
     CallFrame, CrashReport, InputExhausted, MemoryError_, ReproError,
     SimulationError, SimulationLimitExceeded, SimulationTimeout,
@@ -120,14 +121,29 @@ class Machine:
         every *watchdog_interval* instructions, so overshoot is bounded by
         the cost of one check window.
     watchdog_interval:
-        How many instructions between watchdog checks (rounded down to a
-        power of two; only consulted when a deadline is set).
+        How many instructions between periodic housekeeping ticks
+        (rounded down to a power of two).  The wall-clock deadline is
+        checked at least this often; the hot-PC sampler may tighten the
+        tick interval (see *pc_sample_interval*).
     max_memory_bytes:
         Optional cap on simulated memory actually allocated (rounded up to
         whole 4 KiB pages); :class:`~repro.errors.MemoryError_` beyond it.
     branch_history_limit:
         How many recent conditional-branch outcomes to keep for the crash
         report's ``branch_history`` ring.
+    pc_sample_interval:
+        Off by default (``None``).  When set to *N*, the pc of every
+        *N*-th instruction (rounded down to a power of two) is sampled
+        into ``hot_pc_samples`` — a statistical profile of where
+        simulated execution time goes — and published to the telemetry
+        sink as the ``sim.hot_pc`` labeled counter.
+    telemetry:
+        Explicit telemetry sink override; default is the process-wide
+        seam (:func:`repro.telemetry.get`), a no-op unless installed.
+        The dispatch loop itself never calls the sink — per-run counters
+        are accumulated as local integers and published once at the end
+        of :meth:`run` (success or fault), keeping disabled-mode
+        overhead on the hot loop at zero telemetry calls.
     """
 
     def __init__(
@@ -140,6 +156,8 @@ class Machine:
         watchdog_interval: int = 16384,
         max_memory_bytes: int | None = None,
         branch_history_limit: int = 32,
+        pc_sample_interval: int | None = None,
+        telemetry: "_telemetry.Telemetry | None" = None,
     ) -> None:
         self.executable = executable
         max_pages = None
@@ -159,9 +177,21 @@ class Machine:
         self.observers = list(observers or [])
         self.max_instructions = max_instructions
         self.wall_clock_deadline = wall_clock_deadline
-        # watchdog checks happen when (count & mask) == 0; force power of two
+        self.telemetry = telemetry if telemetry is not None \
+            else _telemetry.get()
+        # housekeeping ticks happen when (count & mask) == 0; force the
+        # interval to a power of two.  The hot-PC sampler shares the tick,
+        # so an enabled sampler tightens the interval to its own period.
         interval = max(1, watchdog_interval)
-        self._watchdog_mask = (1 << (interval.bit_length() - 1)) - 1
+        self.pc_sample_interval = pc_sample_interval
+        if pc_sample_interval is not None:
+            interval = min(interval, max(1, pc_sample_interval))
+        self._tick_mask = (1 << (interval.bit_length() - 1)) - 1
+        #: sampled pc -> sample count (only populated when
+        #: *pc_sample_interval* is set)
+        self.hot_pc_samples: dict[int, int] = {}
+        self.watchdog_ticks = 0
+        self.syscall_count = 0
         self.output_parts: list[str] = []
         self.instr_count = 0
         self.dynamic_branches = 0
@@ -227,7 +257,14 @@ class Machine:
         deadline = None
         if self.wall_clock_deadline is not None:
             deadline = monotonic() + self.wall_clock_deadline
-        wd_mask = self._watchdog_mask
+        tick_mask = self._tick_mask
+        sampling = self.pc_sample_interval is not None
+        hot_pc: dict[int, int] = {}  # this run's samples; merged at the end
+        ticks = 0
+        start_count = count
+        start_branches = branches
+        start_syscalls = self.syscall_count
+        start_wall = perf_counter()
         self._fault_pc = pc
 
         try:
@@ -244,12 +281,18 @@ class Machine:
                     raise SimulationLimitExceeded(
                         f"exceeded fuel budget of {limit} instructions "
                         f"at 0x{inst.address:x}")
-                if deadline is not None and not count & wd_mask \
-                        and monotonic() > deadline:
-                    raise SimulationTimeout(
-                        f"watchdog: exceeded wall-clock deadline of "
-                        f"{self.wall_clock_deadline:.3f}s after {count} "
-                        f"instructions at 0x{inst.address:x}")
+                if not count & tick_mask:
+                    # periodic housekeeping (cold path, every 2^k instrs):
+                    # wall-clock watchdog + sampled hot-PC profiler
+                    ticks += 1
+                    if deadline is not None and monotonic() > deadline:
+                        raise SimulationTimeout(
+                            f"watchdog: exceeded wall-clock deadline of "
+                            f"{self.wall_clock_deadline:.3f}s after {count} "
+                            f"instructions at 0x{inst.address:x}")
+                    if sampling:
+                        addr = inst.address
+                        hot_pc[addr] = hot_pc.get(addr, 0) + 1
                 name = inst.op.name
                 next_pc = pc + 1
 
@@ -471,13 +514,61 @@ class Machine:
             self._fault_pc = pc
             self.instr_count = count
             self.dynamic_branches = branches
+            self.watchdog_ticks += ticks
+            self._merge_samples(hot_pc)
+            self._publish_telemetry(count - start_count,
+                                    branches - start_branches,
+                                    self.syscall_count - start_syscalls,
+                                    ticks, perf_counter() - start_wall,
+                                    hot_pc, faulted=True)
             raise
 
         self.instr_count = count
         self.dynamic_branches = branches
+        self.watchdog_ticks += ticks
+        self._merge_samples(hot_pc)
+        self._publish_telemetry(count - start_count,
+                                branches - start_branches,
+                                self.syscall_count - start_syscalls,
+                                ticks, perf_counter() - start_wall,
+                                hot_pc, faulted=False)
         for ob in observers:
             ob.on_finish(count)
         return ExitStatus(self.exit_code, count, branches, self.output, self)
+
+    def _merge_samples(self, hot_pc: dict[int, int]) -> None:
+        """Fold one run's hot-PC samples into the machine-lifetime dict."""
+        for addr, hits in hot_pc.items():
+            self.hot_pc_samples[addr] = \
+                self.hot_pc_samples.get(addr, 0) + hits
+
+    def _publish_telemetry(self, executed: int, branches: int,
+                           syscalls: int, ticks: int, elapsed: float,
+                           hot_pc: dict[int, int], faulted: bool) -> None:
+        """Flush this run's locally-accumulated counters to the sink.
+
+        Called exactly once per :meth:`run` (on both the success and the
+        fault path); a disabled sink returns immediately.
+        """
+        tm = self.telemetry
+        if not tm.enabled:
+            return
+        tm.counter("sim.runs").inc()
+        if faulted:
+            tm.counter("sim.runs_faulted").inc()
+        tm.counter("sim.instructions").inc(executed)
+        tm.counter("sim.branches").inc(branches)
+        tm.counter("sim.syscalls").inc(syscalls)
+        tm.counter("sim.watchdog_ticks").inc(ticks)
+        tm.gauge("sim.memory_pages").set(self.memory.pages_allocated)
+        if elapsed > 0 and executed > 0:
+            tm.gauge("sim.instructions_per_sec").set(executed / elapsed)
+            tm.histogram("sim.run_instructions").observe(executed)
+        if hot_pc:
+            family = tm.labeled_counter("sim.hot_pc")
+            for addr, hits in hot_pc.items():
+                family.inc(f"0x{addr:x}", hits)
+            tm.counter("sim.hot_pc_samples").inc(sum(hot_pc.values()))
 
     # -- post-mortem -----------------------------------------------------------
 
@@ -520,6 +611,7 @@ class Machine:
         faulting pc in error messages.
         """
         pc = inst.address if inst is not None else -1
+        self.syscall_count += 1
         service = self.regs[2]
         if service == 1:  # print_int
             self.output_parts.append(str(self.regs[4]))

@@ -20,8 +20,13 @@ per-sequence, not per-program.
 
 from __future__ import annotations
 
+import logging
+
+from repro import telemetry as _telemetry
 from repro.isa.instructions import Instruction
 from repro.sim.machine import Observer
+
+_log = logging.getLogger("repro.sim.trace")
 
 __all__ = ["SequenceAnalyzer", "BranchTrace", "NUM_BUCKETS", "BUCKET_WIDTH"]
 
@@ -150,16 +155,34 @@ class BranchTrace(Observer):
 
     Intended for tests and small programs — memory grows with the dynamic
     branch count, capped at *limit* events (older events are NOT discarded;
-    recording simply stops and ``truncated`` is set).
+    recording simply stops).  Truncation is *never silent*: the first
+    dropped event logs a one-line warning, every dropped event is counted
+    in ``dropped`` (and in the ``trace.truncated`` telemetry counter), and
+    ``truncated`` stays set for callers to test.
     """
 
     def __init__(self, limit: int = 1_000_000) -> None:
         self.events: list[tuple[int, bool]] = []
         self.limit = limit
         self.truncated = False
+        self.dropped = 0
 
     def on_branch(self, inst: Instruction, taken: bool, instr_count: int) -> None:
         if len(self.events) < self.limit:
             self.events.append((inst.address, taken))
-        else:
+            return
+        if not self.truncated:
             self.truncated = True
+            _log.warning(
+                "BranchTrace limit of %d events reached at instruction "
+                "%d (branch 0x%x); further events are dropped — raise "
+                "limit= or use SequenceAnalyzer for online aggregation",
+                self.limit, instr_count, inst.address)
+        self.dropped += 1
+        _telemetry.get().counter("trace.truncated").inc()
+
+    def on_finish(self, instr_count: int) -> None:
+        if self.truncated:
+            _log.warning(
+                "BranchTrace truncated: kept %d events, dropped %d",
+                len(self.events), self.dropped)

@@ -1,0 +1,154 @@
+"""Perf-trajectory baselines: load, validate, and diff telemetry summaries.
+
+``BENCH_pipeline.json`` (committed at the repo root) is a
+:data:`~repro.telemetry.export.BENCH_SCHEMA` summary of a small reference
+pipeline run.  :func:`diff_reports` compares two such summaries and flags
+wall-clock regressions: a span whose ``total_s`` grew by at least
+``threshold`` (fractional; 0.20 = 20% slower) or a throughput gauge
+(``*_per_sec``) that dropped by at least the same fraction.
+
+Spans shorter than *min_seconds* in the baseline are ignored — timer noise
+on sub-millisecond phases is not a regression signal.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.telemetry.export import BENCH_SCHEMA
+
+__all__ = ["MalformedReport", "Regression", "DiffResult",
+           "load_report", "diff_reports"]
+
+
+class MalformedReport(ValueError):
+    """The file is not a valid telemetry summary."""
+
+
+@dataclass
+class Regression:
+    """One flagged slowdown between baseline and current."""
+
+    kind: str         #: "span" or "gauge"
+    name: str
+    baseline: float
+    current: float
+    ratio: float      #: current/baseline for spans, baseline/current for gauges
+
+    def describe(self) -> str:
+        unit = "s" if self.kind == "span" else "/s"
+        return (f"{self.kind} {self.name}: {self.baseline:.4f}{unit} -> "
+                f"{self.current:.4f}{unit} ({(self.ratio - 1) * 100:+.1f}%)")
+
+
+@dataclass
+class DiffResult:
+    """Outcome of comparing two telemetry summaries."""
+
+    regressions: list[Regression] = field(default_factory=list)
+    improvements: list[Regression] = field(default_factory=list)
+    compared_spans: int = 0
+    compared_gauges: int = 0
+    missing_in_current: list[str] = field(default_factory=list)
+    manifest_mismatch: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def describe(self, threshold: float) -> str:
+        lines = [f"compared {self.compared_spans} spans, "
+                 f"{self.compared_gauges} gauges "
+                 f"(threshold {threshold * 100:.0f}%)"]
+        for note in self.manifest_mismatch:
+            lines.append(f"note: {note}")
+        for name in self.missing_in_current:
+            lines.append(f"note: span {name!r} missing from current run")
+        for reg in self.regressions:
+            lines.append(f"REGRESSION {reg.describe()}")
+        for imp in self.improvements:
+            lines.append(f"improved {imp.describe()}")
+        lines.append("RESULT: " + ("ok" if self.ok else
+                                   f"{len(self.regressions)} regression(s)"))
+        return "\n".join(lines)
+
+
+def load_report(path: Path | str) -> dict:
+    """Load and validate one telemetry summary JSON.
+
+    Raises :class:`MalformedReport` on anything that is not a
+    well-formed :data:`BENCH_SCHEMA` document — the CI smoke job depends
+    on this to catch corrupted exports.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise MalformedReport(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise MalformedReport(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise MalformedReport(f"{path}: top level must be an object")
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise MalformedReport(
+            f"{path}: schema {payload.get('schema')!r}, "
+            f"expected {BENCH_SCHEMA!r}")
+    for key, kind in (("counters", dict), ("gauges", dict),
+                      ("spans", dict), ("manifest", dict)):
+        if not isinstance(payload.get(key), kind):
+            raise MalformedReport(f"{path}: missing or invalid {key!r}")
+    for name, entry in payload["spans"].items():
+        if not isinstance(entry, dict) or "total_s" not in entry:
+            raise MalformedReport(
+                f"{path}: span {name!r} lacks 'total_s'")
+    return payload
+
+
+def diff_reports(baseline: dict, current: dict,
+                 threshold: float = 0.20,
+                 min_seconds: float = 0.005) -> DiffResult:
+    """Compare two loaded summaries; see the module docstring."""
+    result = DiffResult()
+
+    base_m, cur_m = baseline.get("manifest", {}), current.get("manifest", {})
+    for key in ("config_hash", "python", "machine"):
+        if base_m.get(key) != cur_m.get(key):
+            result.manifest_mismatch.append(
+                f"manifest {key} differs "
+                f"({base_m.get(key)!r} vs {cur_m.get(key)!r})")
+
+    for name, base_entry in baseline["spans"].items():
+        base_total = float(base_entry["total_s"])
+        cur_entry = current["spans"].get(name)
+        if cur_entry is None:
+            result.missing_in_current.append(name)
+            continue
+        if base_total < min_seconds:
+            continue
+        result.compared_spans += 1
+        cur_total = float(cur_entry["total_s"])
+        ratio = cur_total / base_total if base_total > 0 else float("inf")
+        record = Regression("span", name, base_total, cur_total, ratio)
+        if ratio >= 1.0 + threshold:
+            result.regressions.append(record)
+        elif ratio <= 1.0 - threshold:
+            result.improvements.append(record)
+
+    for name, base_value in baseline["gauges"].items():
+        if not name.endswith("_per_sec") or base_value <= 0:
+            continue
+        cur_value = current["gauges"].get(name)
+        if cur_value is None or cur_value <= 0:
+            continue
+        result.compared_gauges += 1
+        ratio = float(base_value) / float(cur_value)  # >1 means slower now
+        record = Regression("gauge", name, float(base_value),
+                            float(cur_value), ratio)
+        if ratio >= 1.0 + threshold:
+            result.regressions.append(record)
+        elif ratio <= 1.0 - threshold:
+            result.improvements.append(record)
+
+    return result

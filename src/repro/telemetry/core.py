@@ -1,0 +1,421 @@
+"""Telemetry core: metric registry + hierarchical wall-clock spans.
+
+Design constraints (see docs/observability.md):
+
+* **Single injection seam.**  Every instrumented layer obtains its
+  telemetry sink via :func:`repro.telemetry.get`, which returns the
+  process-wide active :class:`Telemetry` — by default a *disabled*
+  instance whose recording methods are no-ops.  Nothing in the pipeline
+  constructs its own sink, so one :func:`install` (or the ``use()``
+  context manager) turns the whole compile → assemble → simulate →
+  analyze pipeline observable at once.
+
+* **No-op default, hot-loop safe.**  A disabled :class:`Telemetry`
+  records nothing and allocates nothing per event.  Hot paths (the
+  simulator dispatch loop) additionally *batch*: they accumulate plain
+  local integers and publish once per run, so the disabled-mode cost on
+  the per-instruction path is zero telemetry calls (enforced by
+  ``tests/test_telemetry_overhead.py``).
+
+* **Thread safety.**  The registry and all metric mutations take a
+  single re-entrant lock; the span stack is thread-local, so concurrent
+  runners produce correctly-nested spans per thread.
+
+Metric name convention: dotted lowercase paths (``sim.instructions``,
+``harness.cache.hit``).  Exporters map them to each format's own
+conventions (Prometheus: dots become underscores under a ``repro_``
+namespace).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabeledCounter",
+    "SpanRecord",
+    "Telemetry",
+    "get",
+    "install",
+    "use",
+]
+
+
+# --------------------------------------------------------------------------
+# metric instruments
+# --------------------------------------------------------------------------
+
+class Counter:
+    """Monotonically increasing count (events, cache hits, retries)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.RLock) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = lock
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Last-value metric (instructions/sec, memory pages)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.RLock) -> None:
+        self.name = name
+        self.value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+
+class Histogram:
+    """Distribution of observed values in power-of-two buckets.
+
+    Tracks ``count``/``sum``/``min``/``max`` exactly and the shape in
+    log2 buckets (bucket *j* holds values ``v`` with ``2**(j-1) < v <=
+    2**j``; bucket 0 holds ``v <= 1``).  Cheap enough for per-phase
+    durations and per-function sizes; not meant for per-instruction use.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max", "buckets", "_lock")
+
+    def __init__(self, name: str, lock: threading.RLock) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self.buckets: dict[int, int] = {}
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            bucket = max(0, (int(value) - 1).bit_length()) if value > 0 else 0
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class LabeledCounter:
+    """A family of counters keyed by one label value (e.g. the sampled
+    hot-PC histogram ``sim.hot_pc{pc="0x400120"}``)."""
+
+    __slots__ = ("name", "values", "_lock")
+
+    def __init__(self, name: str, lock: threading.RLock) -> None:
+        self.name = name
+        self.values: dict[str, int] = {}
+        self._lock = lock
+
+    def inc(self, label: str, amount: int = 1) -> None:
+        with self._lock:
+            self.values[label] = self.values.get(label, 0) + amount
+
+    def top(self, n: int = 10) -> list[tuple[str, int]]:
+        """The *n* largest (label, count) pairs, descending."""
+        with self._lock:
+            items = sorted(self.values.items(),
+                           key=lambda kv: kv[1], reverse=True)
+        return items[:n]
+
+
+# --------------------------------------------------------------------------
+# spans
+# --------------------------------------------------------------------------
+
+@dataclass
+class SpanRecord:
+    """One completed wall-clock span."""
+
+    name: str                     #: e.g. ``"bcc.parse"``
+    category: str                 #: coarse grouping (``compile``/``sim``/...)
+    start_us: int                 #: microseconds since telemetry epoch
+    duration_us: int
+    span_id: int
+    parent_id: int                #: 0 = root
+    depth: int                    #: 1 = root span
+    thread_id: int
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_us / 1e6
+
+
+class _NullContext:
+    """Reusable no-op context manager for disabled telemetry."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = "<disabled>"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "<disabled>"
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "<disabled>"
+    count = 0
+    sum = 0.0
+    min = None
+    max = None
+    mean = 0.0
+    buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullLabeledCounter:
+    __slots__ = ()
+    name = "<disabled>"
+    values: dict[str, int] = {}
+
+    def inc(self, label: str, amount: int = 1) -> None:
+        pass
+
+    def top(self, n: int = 10) -> list[tuple[str, int]]:
+        return []
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+_NULL_LABELED = _NullLabeledCounter()
+
+
+# --------------------------------------------------------------------------
+# the registry
+# --------------------------------------------------------------------------
+
+class Telemetry:
+    """Thread-safe registry of metrics plus hierarchical spans.
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` produces a *disabled* sink: every recording method is a
+        no-op returning shared null instruments, and ``span()`` yields a
+        shared null context manager.  This is the process default.
+    max_spans:
+        Memory bound on recorded spans; past it new spans are dropped
+        (counted in ``telemetry.spans_dropped``) rather than growing
+        without bound.
+    """
+
+    def __init__(self, enabled: bool = True, max_spans: int = 200_000) -> None:
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self.epoch = perf_counter()
+        self.spans: list[SpanRecord] = []
+        self.spans_dropped = 0
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._labeled: dict[str, LabeledCounter] = {}
+        self._lock = threading.RLock()
+        self._tls = threading.local()
+        self._next_span_id = 1
+
+    # -- instruments -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name, self._lock)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name, self._lock)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name, self._lock)
+        return metric
+
+    def labeled_counter(self, name: str) -> LabeledCounter:
+        if not self.enabled:
+            return _NULL_LABELED
+        with self._lock:
+            metric = self._labeled.get(name)
+            if metric is None:
+                metric = self._labeled[name] = LabeledCounter(name, self._lock)
+        return metric
+
+    # -- spans -------------------------------------------------------------
+
+    def _stack(self) -> list[tuple[int, int]]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    @contextmanager
+    def _span_cm(self, name: str, category: str, args: dict):
+        stack = self._stack()
+        with self._lock:
+            span_id = self._next_span_id
+            self._next_span_id += 1
+        parent_id = stack[-1][0] if stack else 0
+        depth = len(stack) + 1
+        stack.append((span_id, depth))
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            end = perf_counter()
+            stack.pop()
+            record = SpanRecord(
+                name=name, category=category,
+                start_us=int((start - self.epoch) * 1e6),
+                duration_us=int((end - start) * 1e6),
+                span_id=span_id, parent_id=parent_id, depth=depth,
+                thread_id=threading.get_ident(), args=args)
+            with self._lock:
+                if len(self.spans) < self.max_spans:
+                    self.spans.append(record)
+                else:
+                    self.spans_dropped += 1
+
+    def span(self, name: str, category: str = "pipeline", **args):
+        """Context manager timing one hierarchical wall-clock span.
+
+        Nesting is tracked per thread; exporters reconstruct the tree
+        from ``parent_id``/``depth``.  ``**args`` become span attributes
+        (Chrome trace ``args``, JSONL fields).
+        """
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return self._span_cm(name, category, args)
+
+    # -- introspection -----------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauges(self) -> dict[str, float]:
+        with self._lock:
+            return {name: g.value for name, g in sorted(self._gauges.items())}
+
+    def histograms(self) -> dict[str, Histogram]:
+        with self._lock:
+            return dict(sorted(self._histograms.items()))
+
+    def labeled_counters(self) -> dict[str, LabeledCounter]:
+        with self._lock:
+            return dict(sorted(self._labeled.items()))
+
+    def span_aggregates(self) -> dict[str, dict[str, float]]:
+        """Per-span-name aggregates: count, total/mean/max seconds."""
+        with self._lock:
+            spans = list(self.spans)
+        agg: dict[str, dict[str, float]] = {}
+        for span in spans:
+            entry = agg.setdefault(span.name, {
+                "count": 0, "total_s": 0.0, "max_s": 0.0})
+            entry["count"] += 1
+            entry["total_s"] += span.duration_s
+            entry["max_s"] = max(entry["max_s"], span.duration_s)
+        for entry in agg.values():
+            entry["mean_s"] = entry["total_s"] / entry["count"]
+        return dict(sorted(agg.items()))
+
+    def max_span_depth(self) -> int:
+        with self._lock:
+            return max((s.depth for s in self.spans), default=0)
+
+
+# --------------------------------------------------------------------------
+# the injection seam
+# --------------------------------------------------------------------------
+
+_DISABLED = Telemetry(enabled=False)
+_active = _DISABLED
+_seam_lock = threading.Lock()
+
+
+def get() -> Telemetry:
+    """The process-wide active telemetry sink (disabled no-op by default).
+
+    This is the single seam every instrumented layer goes through; see
+    the module docstring.
+    """
+    return _active
+
+
+def install(telemetry: Telemetry | None) -> Telemetry:
+    """Install *telemetry* as the active sink (``None`` restores the
+    disabled default); returns the previously active sink."""
+    global _active
+    with _seam_lock:
+        previous = _active
+        _active = telemetry if telemetry is not None else _DISABLED
+    return previous
+
+
+@contextmanager
+def use(telemetry: Telemetry):
+    """Scoped :func:`install`: active within the ``with`` block only."""
+    previous = install(telemetry)
+    try:
+        yield telemetry
+    finally:
+        install(previous)

@@ -1,0 +1,81 @@
+"""Shared structured-logging setup for every repro CLI.
+
+One format, one knob set (``--log-level``/``--quiet``), everywhere:
+
+    2026-08-06T12:00:01Z INFO  repro.harness: suite run started (21 benchmarks)
+
+Diagnostic chatter that used to be ad-hoc ``print(..., file=sys.stderr)``
+calls goes through ``logging`` under the ``repro`` namespace so users can
+silence (``--quiet``) or amplify (``--log-level debug``) it uniformly.
+Report *output* (tables, program stdout) stays on stdout untouched —
+logging is for diagnostics, not results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+import time
+
+__all__ = ["setup_logging", "add_logging_args",
+           "configure_from_args", "get_logger"]
+
+_LEVELS = ("debug", "info", "warning", "error")
+
+
+class _UTCFormatter(logging.Formatter):
+    converter = staticmethod(time.gmtime)
+
+    def formatTime(self, record, datefmt=None):  # noqa: N802 (stdlib API)
+        return time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                             self.converter(record.created))
+
+
+def setup_logging(level: str = "info", quiet: bool = False,
+                  stream=None) -> logging.Logger:
+    """(Re)configure the ``repro`` logger tree and return its root.
+
+    *quiet* raises the bar to ERROR regardless of *level*.  Idempotent:
+    repeated calls replace the handler instead of stacking duplicates.
+    """
+    if level not in _LEVELS:
+        raise ValueError(f"unknown log level {level!r}; "
+                         f"choose from {', '.join(_LEVELS)}")
+    logger = logging.getLogger("repro")
+    effective = logging.ERROR if quiet else getattr(logging, level.upper())
+    logger.setLevel(effective)
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.setFormatter(_UTCFormatter(
+        "%(asctime)s %(levelname)-5s %(name)s: %(message)s"))
+    for old in list(logger.handlers):
+        logger.removeHandler(old)
+    logger.addHandler(handler)
+    # keep propagation on: the root logger normally has no handlers (so
+    # nothing duplicates), and test harnesses / host applications that do
+    # install root handlers still observe our records
+    logger.propagate = True
+    return logger
+
+
+def add_logging_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--log-level`` / ``--quiet`` flags."""
+    group = parser.add_argument_group("logging")
+    group.add_argument("--log-level", choices=_LEVELS, default="info",
+                       help="diagnostic verbosity (default: info)")
+    group.add_argument("--quiet", action="store_true",
+                       help="suppress diagnostics below ERROR")
+
+
+def configure_from_args(args: argparse.Namespace) -> logging.Logger:
+    """Call :func:`setup_logging` from parsed CLI args."""
+    return setup_logging(level=getattr(args, "log_level", "info"),
+                         quiet=getattr(args, "quiet", False))
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the shared ``repro`` namespace."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

@@ -1,0 +1,72 @@
+"""Run manifests: provenance stamped next to every telemetry report.
+
+A manifest answers "what exactly produced these numbers?" — git commit,
+interpreter, platform, seed, and a stable hash of the run configuration —
+so two ``BENCH_pipeline.json`` files can be compared knowing whether the
+code or only the machine changed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+__all__ = ["config_hash", "run_manifest", "write_manifest"]
+
+MANIFEST_SCHEMA = "repro.telemetry.manifest/v1"
+
+
+def config_hash(config: dict) -> str:
+    """Stable short hash of a JSON-serializable configuration dict."""
+    canonical = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def _git_sha() -> str | None:
+    """Best-effort current commit; None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+            cwd=Path(__file__).resolve().parent)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def run_manifest(config: dict | None = None,
+                 seed: int | None = None) -> dict:
+    """Build the provenance manifest for the current process/run.
+
+    *config* is whatever dict describes the run (CLI flags, benchmark
+    subset, fuel budget); its stable hash lands in ``config_hash`` so
+    reports from differently-configured runs are never silently diffed.
+    """
+    config = config or {}
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_sha": _git_sha(),
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "seed": seed,
+        "config": config,
+        "config_hash": config_hash(config),
+    }
+
+
+def write_manifest(path: Path | str, config: dict | None = None,
+                   seed: int | None = None) -> dict:
+    """Write a manifest JSON to *path* and return it."""
+    manifest = run_manifest(config, seed)
+    Path(path).write_text(json.dumps(manifest, indent=2, sort_keys=True)
+                          + "\n")
+    return manifest

@@ -1,0 +1,161 @@
+"""End-to-end tests for the telemetry CLIs:
+
+* ``python -m repro.harness --telemetry DIR`` writes a loadable report
+  bundle with the required span hierarchy;
+* ``python -m repro.telemetry record/summarize/diff`` round-trips and
+  gates regressions with the documented exit codes;
+* the shared ``--log-level``/``--quiet`` flags control diagnostics.
+"""
+
+import json
+
+import pytest
+
+from repro.bcc.__main__ import main as bcc_main
+from repro.harness.__main__ import main as harness_main
+from repro.telemetry.__main__ import (
+    EXIT_MALFORMED, EXIT_OK, EXIT_REGRESSION, main as telemetry_main,
+)
+
+
+@pytest.fixture
+def report_dir(tmp_path):
+    outdir = tmp_path / "tele"
+    code = harness_main(["--benchmarks", "queens", "--tables", "1,2",
+                         "--graphs", "", "--telemetry", str(outdir)])
+    assert code == 0
+    return outdir
+
+
+class TestHarnessTelemetryFlag:
+    def test_bundle_files_written(self, report_dir):
+        for name in ("trace.json", "events.jsonl", "metrics.prom",
+                     "summary.txt", "manifest.json", "telemetry.json"):
+            assert (report_dir / name).exists(), name
+
+    def test_chrome_trace_valid_and_deep(self, report_dir):
+        trace = json.loads((report_dir / "trace.json").read_text())
+        events = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert events
+        # suite(report) -> benchmark(run/compile) -> phase -> sub-phase
+        assert max(e["args"]["depth"] for e in events) >= 4
+        names = {e["name"] for e in events}
+        assert "report" in names and "bcc.parse" in names
+
+    def test_manifest_provenance(self, report_dir):
+        manifest = json.loads((report_dir / "manifest.json").read_text())
+        assert manifest["python"]
+        assert manifest["config"]["benchmarks"] == ["queens"]
+        assert len(manifest["config_hash"]) == 16
+
+    def test_prometheus_has_sim_metrics(self, report_dir):
+        text = (report_dir / "metrics.prom").read_text()
+        assert "repro_sim_instructions_total" in text
+
+    def test_jsonl_parses(self, report_dir):
+        for line in (report_dir / "events.jsonl").read_text().splitlines():
+            json.loads(line)
+
+    def test_no_flag_no_output(self, tmp_path, capsys):
+        assert harness_main(["--benchmarks", "queens", "--tables", "1",
+                             "--graphs", ""]) == 0
+        assert not list(tmp_path.iterdir())
+
+
+class TestTelemetryCli:
+    def _record(self, tmp_path, name="a.json"):
+        out = tmp_path / name
+        assert telemetry_main(["record", "-o", str(out),
+                               "--benchmarks", "queens",
+                               "--dataset", "small"]) == EXIT_OK
+        return out
+
+    def test_record_and_summarize(self, tmp_path, capsys):
+        out = self._record(tmp_path)
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.telemetry.bench/v1"
+        assert payload["counters"]["sim.instructions"] > 0
+        assert telemetry_main(["summarize", str(out)]) == EXIT_OK
+        stdout = capsys.readouterr().out
+        assert "run:queens/small" in stdout
+        assert "sim.instructions" in stdout
+
+    def test_summarize_accepts_report_dir(self, tmp_path, capsys):
+        outdir = tmp_path / "rep"
+        assert harness_main(["--benchmarks", "queens", "--tables", "1",
+                             "--graphs", "", "--telemetry",
+                             str(outdir)]) == 0
+        assert telemetry_main(["summarize", str(outdir)]) == EXIT_OK
+
+    def test_diff_identity_ok(self, tmp_path):
+        out = self._record(tmp_path)
+        assert telemetry_main(["diff", str(out), str(out)]) == EXIT_OK
+
+    def test_diff_flags_injected_slowdown(self, tmp_path, capsys):
+        out = self._record(tmp_path)
+        payload = json.loads(out.read_text())
+        for entry in payload["spans"].values():
+            entry["total_s"] *= 1.25   # inject a 25% slowdown everywhere
+            entry["mean_s"] *= 1.25
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(payload))
+        assert telemetry_main(["diff", str(out), str(slow),
+                               "--threshold", "0.20"]) == EXIT_REGRESSION
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_diff_high_threshold_tolerates(self, tmp_path):
+        out = self._record(tmp_path)
+        payload = json.loads(out.read_text())
+        for entry in payload["spans"].values():
+            entry["total_s"] *= 1.25
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(payload))
+        assert telemetry_main(["diff", str(out), str(slow),
+                               "--threshold", "0.50"]) == EXIT_OK
+
+    def test_diff_malformed_exit_2(self, tmp_path, capsys):
+        out = self._record(tmp_path)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{]")
+        assert telemetry_main(["diff", str(out), str(bad)]) == EXIT_MALFORMED
+        assert "malformed" in capsys.readouterr().err
+
+    def test_committed_baseline_is_wellformed(self):
+        from pathlib import Path
+        from repro.telemetry.bench import load_report
+        baseline = Path(__file__).resolve().parent.parent \
+            / "BENCH_pipeline.json"
+        payload = load_report(baseline)
+        assert payload["counters"]["sim.instructions"] > 0
+        assert "pipeline" in payload["spans"]
+
+
+class TestLoggingFlags:
+    def test_bcc_quiet_suppresses_diagnostics(self, tmp_path, capsys):
+        src = tmp_path / "p.blc"
+        src.write_text("int main() { print_int(7); return 0; }")
+        assert bcc_main([str(src), "--run", "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == "7"
+        assert "compiled" not in captured.err
+
+    def test_bcc_default_logs_compile_line(self, tmp_path, capsys):
+        src = tmp_path / "p.blc"
+        src.write_text("int main() { return 0; }")
+        assert bcc_main([str(src)]) == 0
+        err = capsys.readouterr().err
+        assert "procedures" in err
+        assert "INFO" in err  # structured format, not ad-hoc print
+
+    def test_harness_quiet(self, capsys):
+        assert harness_main(["--benchmarks", "queens", "--tables", "1",
+                             "--graphs", "", "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out     # report output untouched
+        assert "done in" not in captured.err  # diagnostics silenced
+
+    def test_bad_level_rejected(self, tmp_path, capsys):
+        src = tmp_path / "p.blc"
+        src.write_text("int main() { return 0; }")
+        with pytest.raises(SystemExit):
+            bcc_main([str(src), "--log-level", "shouting"])
