@@ -3,6 +3,8 @@
 The package is layered bottom-up; see each subpackage for detail:
 
 * :mod:`repro.isa` — MIPS-like instruction set, assembler, executables.
+* :mod:`repro.passes` — generic pass/analysis-manager framework (registered
+  passes, cached analyses with invalidation, per-pass telemetry).
 * :mod:`repro.cfg` — control-flow graphs, dominators, natural loops.
 * :mod:`repro.sim` — interpreter with edge profiling and trace analysis
   (the QPT stand-in).
@@ -32,11 +34,15 @@ from repro.bench import suite
 from repro.core import (
     BTFNTPredictor, BranchClass, BranchInfo, HEURISTIC_NAMES,
     HeuristicPredictor, LoopRandomPredictor, NotTakenPredictor, PAPER_ORDER,
-    PerfectPredictor, Prediction, ProgramAnalysis, RandomPredictor,
-    TakenPredictor, classify_branches, evaluate_predictor,
-    sequence_experiment,
+    HEURISTIC_REGISTRY, PerfectPredictor, Prediction, ProgramAnalysis,
+    RandomPredictor, TakenPredictor, classify_branches, evaluate_predictor,
+    register_heuristic, resolve_order, sequence_experiment,
 )
 from repro.harness import SuiteRunner
+from repro.passes import (
+    AnalysisManager, AnalysisRegistry, FunctionPass, Pass, PassPipeline,
+    PassRegistry,
+)
 from repro.isa import Executable, assemble
 from repro.sim import (
     EdgeProfile, Machine, SequenceAnalyzer, run_with_profile,
@@ -57,6 +63,10 @@ __all__ = [
     "HeuristicPredictor", "PerfectPredictor", "LoopRandomPredictor",
     "RandomPredictor", "TakenPredictor", "NotTakenPredictor",
     "BTFNTPredictor", "evaluate_predictor", "sequence_experiment",
+    "HEURISTIC_REGISTRY", "register_heuristic", "resolve_order",
+    # pass framework
+    "Pass", "FunctionPass", "PassRegistry", "PassPipeline",
+    "AnalysisManager", "AnalysisRegistry",
     # suite & harness
     "suite", "SuiteRunner",
 ]

@@ -5,6 +5,9 @@ Examples::
     python -m repro.bcc prog.blc --run --inputs 10,3
     python -m repro.bcc prog.blc --emit-asm
     python -m repro.bcc prog.blc --dump-ir --no-opt
+    python -m repro.bcc prog.blc --dump-ir -O0
+    python -m repro.bcc prog.blc --passes local-propagate,dce \
+        --emit-ir-after dce
     python -m repro.bcc prog.blc --predict      # branch prediction report
 """
 
@@ -15,7 +18,9 @@ import sys
 
 from repro.bcc.driver import compile_and_link, compile_to_asm, compile_to_ir
 from repro.bcc.errors import CompileError
+from repro.bcc.opt import IR_PASSES, pipeline_spec
 from repro.errors import ReproError
+from repro.passes import PipelineError
 from repro.telemetry.logging_setup import (
     add_logging_args, configure_from_args,
 )
@@ -37,7 +42,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--dump-ir", action="store_true",
                         help="print the (optimized) IR")
     parser.add_argument("--no-opt", action="store_true",
-                        help="disable the optimizer")
+                        help="disable the optimizer (alias for -O0)")
+    parser.add_argument("-O0", dest="opt_level", action="store_const",
+                        const="O0", default=None,
+                        help="empty optimizer pipeline")
+    parser.add_argument("-O1", dest="opt_level", action="store_const",
+                        const="O1",
+                        help="the default fixed-point pipeline "
+                             "(local-propagate, simplify-cfg, dce, "
+                             "copy-coalesce)")
+    parser.add_argument("--passes", default=None, metavar="SPEC",
+                        help="explicit optimizer pipeline: comma-separated "
+                             "registered pass names (known: "
+                             + ", ".join(IR_PASSES.names()) + ")")
+    parser.add_argument("--emit-ir-after", default=None, metavar="PASS",
+                        help="dump the IR after every execution of PASS "
+                             "that changed a function")
     parser.add_argument("--no-rotate-loops", action="store_true",
                         help="use naive top-tested loop codegen")
     parser.add_argument("--predict", action="store_true",
@@ -59,23 +79,50 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    optimize = not args.no_opt
+    optimize = not (args.no_opt
+                    or (args.opt_level == "O0" and args.passes is None))
     rotate = not args.no_rotate_loops
     inputs = [float(v) if "." in v else int(v)
               for v in args.inputs.split(",") if v]
 
+    # resolve the optimizer pipeline spec (--passes wins over -O levels)
+    try:
+        passes = pipeline_spec(args.passes if args.passes is not None
+                               else args.opt_level)
+        after_pass = None
+        if args.emit_ir_after is not None:
+            IR_PASSES.get(args.emit_ir_after)  # validate the name
+            if args.emit_ir_after not in passes:
+                print(f"error: --emit-ir-after pass "
+                      f"{args.emit_ir_after!r} is not in the pipeline "
+                      f"({', '.join(passes) or 'empty'})", file=sys.stderr)
+                return 2
+
+            def after_pass(pass_, func, changed,
+                           _target=args.emit_ir_after):
+                if pass_.name == _target and changed:
+                    print(f"; -- IR after {pass_.name} "
+                          f"(func {func.name}) --")
+                    print(func.dump())
+    except PipelineError as exc:
+        print(exc.oneline(), file=sys.stderr)
+        return 2
+
     try:
         if args.dump_ir:
             ir = compile_to_ir(source, args.source, optimize=optimize,
-                               rotate_loops=rotate)
+                               rotate_loops=rotate, passes=passes,
+                               after_pass=after_pass)
             print(ir.dump())
             return 0
         if args.emit_asm:
             print(compile_to_asm(source, args.source, optimize=optimize,
-                                 rotate_loops=rotate))
+                                 rotate_loops=rotate, passes=passes,
+                                 after_pass=after_pass))
             return 0
         executable = compile_and_link(source, args.source,
-                                      optimize=optimize, rotate_loops=rotate)
+                                      optimize=optimize, rotate_loops=rotate,
+                                      passes=passes, after_pass=after_pass)
     except CompileError as exc:
         # keep the historical compiler-diagnostic format (file:line:col)
         print(f"error: {exc}", file=sys.stderr)

@@ -55,19 +55,26 @@ def analyze_source(source: str, filename: str = "<input>",
 
 def compile_to_ir(source: str, filename: str = "<input>",
                   optimize: bool = True, include_runtime: bool = True,
-                  rotate_loops: bool = True):
-    """Compile to (optimized) IR. Mainly for tests and debugging."""
+                  rotate_loops: bool = True, passes=None, after_pass=None):
+    """Compile to (optimized) IR. Mainly for tests and debugging.
+
+    *passes* is an optimizer pipeline spec (see
+    :func:`repro.bcc.opt.pipeline_spec`); *after_pass* is invoked after
+    every pass execution (the ``--emit-ir-after`` hook).
+    """
     tm = telemetry.get()
     info = analyze_source(source, filename, include_runtime)
     with tm.span("bcc.irgen", category="compile", file=filename):
         program = generate_ir(info, rotate_loops=rotate_loops)
     with tm.span("bcc.opt", category="compile", file=filename):
-        return optimize_program(program, enabled=optimize)
+        return optimize_program(program, enabled=optimize, passes=passes,
+                                after_pass=after_pass)
 
 
 def compile_to_asm(source: str, filename: str = "<input>",
                    optimize: bool = True, include_runtime: bool = True,
-                   rotate_loops: bool = True) -> str:
+                   rotate_loops: bool = True, passes=None,
+                   after_pass=None) -> str:
     """Compile BLC source to a complete assembly module (text)."""
     tm = telemetry.get()
     info = analyze_source(source, filename, include_runtime)
@@ -77,7 +84,8 @@ def compile_to_asm(source: str, filename: str = "<input>",
     with tm.span("bcc.irgen", category="compile", file=filename):
         program = generate_ir(info, rotate_loops=rotate_loops)
     with tm.span("bcc.opt", category="compile", file=filename):
-        program = optimize_program(program, enabled=optimize)
+        program = optimize_program(program, enabled=optimize, passes=passes,
+                                   after_pass=after_pass)
     with tm.span("bcc.codegen", category="compile", file=filename):
         asm = generate_assembly(program)
     tm.counter("bcc.modules_compiled").inc()
@@ -88,7 +96,9 @@ def compile_to_asm(source: str, filename: str = "<input>",
 
 def compile_and_link(source: str, filename: str = "<input>",
                      optimize: bool = True, include_runtime: bool = True,
-                     rotate_loops: bool = True) -> Executable:
+                     rotate_loops: bool = True, passes=None,
+                     after_pass=None) -> Executable:
     """Compile BLC source all the way to a runnable :class:`Executable`."""
     return assemble(compile_to_asm(source, filename, optimize,
-                                   include_runtime, rotate_loops))
+                                   include_runtime, rotate_loops,
+                                   passes=passes, after_pass=after_pass))

@@ -1,28 +1,47 @@
 """IR optimization passes (the ``-O`` the paper's benchmarks were built with).
 
-Passes, applied to fixpoint:
+Registered passes (see :data:`IR_PASSES`), applied to fixpoint by the
+default ``-O1`` pipeline, in order:
 
-* constant folding & algebraic simplification (incl. forming MIPS immediate
-  operands and strength-reducing multiplies by powers of two);
-* block-local copy/constant propagation;
-* global dead-code elimination (liveness-based);
-* CFG simplification (jump threading, straight-line merging, unreachable
-  block removal).
+* ``local-propagate`` — block-local constant propagation & folding plus
+  algebraic simplification (incl. forming MIPS immediate operands and
+  strength-reducing multiplies by powers of two);
+* ``simplify-cfg`` — jump threading, straight-line merging, unreachable
+  block removal;
+* ``dce`` — global dead-code elimination (liveness-based);
+* ``copy-coalesce`` — producer/copy pair merging.
+
+The passes run on the generic :mod:`repro.passes` framework: ``liveness``
+is a cached analysis on a per-function
+:class:`~repro.passes.manager.AnalysisManager` (``opt.liveness.compute`` /
+``opt.liveness.reuse`` counters prove sharing), every pass execution gets
+a ``pass:<name>`` telemetry span, and pipelines are built from specs
+(``"local-propagate,dce"`` / ``-O0`` / ``-O1``) via :func:`build_pipeline`
+— the bcc CLI's ``--passes`` and ``--emit-ir-after`` flags ride on this.
 
 All passes preserve the rotated-loop shape that IR generation established —
 nothing here re-linearizes control flow, so the branch idioms the heuristics
-inspect survive into the final code.
+inspect survive into the final code.  :func:`optimize_function` and
+:func:`optimize_program` keep their historical signatures as thin wrappers
+over the default pipeline.
 """
 
 from __future__ import annotations
+
+from collections.abc import Callable, Sequence
 
 from repro.bcc.ir import (
     AddrFrame, AddrGlobal, BinOp, Call, CBr, Copy, Cvt, FBinOp, FNeg, Imm,
     IRBlock, IRFunction, IRProgram, Jump, Load, LoadConst, LoadFConst, Ret,
     Store,
 )
+from repro.passes import AnalysisRegistry, PassPipeline, PassRegistry
 
-__all__ = ["optimize_program", "optimize_function", "compute_liveness"]
+__all__ = [
+    "optimize_program", "optimize_function", "compute_liveness",
+    "IR_ANALYSES", "IR_PASSES", "O0_PASSES", "O1_PASSES",
+    "build_pipeline", "pipeline_spec",
+]
 
 _S16_MIN, _S16_MAX = -32768, 32767
 
@@ -240,8 +259,10 @@ def compute_liveness(func: IRFunction) -> dict[str, set[int]]:
     return live_out
 
 
-def _eliminate_dead(func: IRFunction) -> bool:
-    live_out = compute_liveness(func)
+def _eliminate_dead(func: IRFunction,
+                    live_out: dict[str, set[int]] | None = None) -> bool:
+    if live_out is None:
+        live_out = compute_liveness(func)
     changed = False
     for block in func.blocks:
         live = set(live_out[block.label])
@@ -263,7 +284,8 @@ def _eliminate_dead(func: IRFunction) -> bool:
 # -- copy coalescing -------------------------------------------------------------
 
 
-def _coalesce_copies(func: IRFunction) -> bool:
+def _coalesce_copies(func: IRFunction,
+                     live_out: dict[str, set[int]] | None = None) -> bool:
     """Rewrite ``t = op ...; dst = t`` into ``dst = op ...`` when *t* has no
     other use or definition and *dst* is untouched in between.
 
@@ -271,7 +293,14 @@ def _coalesce_copies(func: IRFunction) -> bool:
     definition through all its uses — which is what makes the emitted code
     look like globally register-allocated output, the property the paper's
     Guard heuristic depends on (the branch operand register must be the same
-    register the successor block reads)."""
+    register the successor block reads).
+
+    *live_out* (the shared cached liveness analysis, when running under the
+    pass manager) adds a belt-and-braces cross-block guard: a copy source
+    that is live out of its block is never coalesced.  The single-use /
+    single-def counts already imply this, so supplying it cannot change the
+    output — it only lets the pass share one liveness computation with
+    ``dce`` instead of reasoning from scratch."""
     use_count: dict[int, int] = {}
     def_count: dict[int, int] = {}
     for _, vreg, _ in func.params:
@@ -288,6 +317,8 @@ def _coalesce_copies(func: IRFunction) -> bool:
         last_def_index: dict[int, int] = {}
         insts = block.instructions
         kill: set[int] = set()
+        block_live_out = (live_out.get(block.label, set())
+                          if live_out is not None else None)
         for i, inst in enumerate(insts):
             if isinstance(inst, Copy):
                 src, dst = inst.src, inst.dst
@@ -297,6 +328,8 @@ def _coalesce_copies(func: IRFunction) -> bool:
                     and use_count.get(src, 0) == 1
                     and def_count.get(src, 0) == 1
                     and func.vreg_class[src] == func.vreg_class[dst]
+                    and (block_live_out is None
+                         or src not in block_live_out)
                 )
                 if ok:
                     # dst must not be used or defined between the def and
@@ -405,23 +438,122 @@ def _simplify_cfg(func: IRFunction) -> bool:
     return changed
 
 
-def optimize_function(func: IRFunction, max_rounds: int = 8) -> None:
-    """Run all passes on *func* until fixpoint (bounded)."""
-    for _ in range(max_rounds):
-        changed = False
-        for block in func.blocks:
-            changed |= _local_propagate(block)
-        changed |= _simplify_cfg(func)
-        changed |= _eliminate_dead(func)
-        changed |= _coalesce_copies(func)
-        if not changed:
-            break
+# -- pass / analysis registration --------------------------------------------
+
+#: Analyses over one :class:`IRFunction` (shared through the pass manager).
+IR_ANALYSES = AnalysisRegistry("bcc.ir")
+
+#: Registered IR transformation passes.
+IR_PASSES = PassRegistry("bcc.ir")
 
 
-def optimize_program(program: IRProgram, enabled: bool = True) -> IRProgram:
+@IR_ANALYSES.register("liveness", counter_prefix="opt.liveness",
+                      description="per-block live-out virtual register sets")
+def _liveness_analysis(func: IRFunction, am) -> dict[str, set[int]]:
+    return compute_liveness(func)
+
+
+@IR_PASSES.register("local-propagate",
+                    description="block-local constant propagation, folding, "
+                                "and algebraic simplification")
+def _local_propagate_pass(func: IRFunction, am) -> bool:
+    changed = False
+    for block in func.blocks:
+        changed |= _local_propagate(block)
+    return changed
+
+
+@IR_PASSES.register("simplify-cfg",
+                    description="jump threading, unreachable-block removal, "
+                                "straight-line merging")
+def _simplify_cfg_pass(func: IRFunction, am) -> bool:
+    return _simplify_cfg(func)
+
+
+@IR_PASSES.register("dce",
+                    description="liveness-based global dead-code "
+                                "elimination")
+def _dce_pass(func: IRFunction, am) -> bool:
+    return _eliminate_dead(func, live_out=am.get("liveness"))
+
+
+@IR_PASSES.register("copy-coalesce",
+                    description="producer/copy pair merging (keeps one vreg "
+                                "per value for the Guard heuristic)")
+def _coalesce_pass(func: IRFunction, am) -> bool:
+    return _coalesce_copies(func, live_out=am.get("liveness"))
+
+
+#: The default ``-O1`` pipeline — the seed optimizer's exact pass order.
+O1_PASSES: tuple[str, ...] = (
+    "local-propagate", "simplify-cfg", "dce", "copy-coalesce",
+)
+
+#: ``-O0``: no transformation at all (the ablation baseline).
+O0_PASSES: tuple[str, ...] = ()
+
+_NAMED_PIPELINES: dict[str, tuple[str, ...]] = {
+    "O0": O0_PASSES, "-O0": O0_PASSES, "0": O0_PASSES,
+    "O1": O1_PASSES, "-O1": O1_PASSES, "1": O1_PASSES,
+    "default": O1_PASSES, "none": O0_PASSES,
+}
+
+
+def pipeline_spec(spec: str | Sequence[str] | None) -> tuple[str, ...]:
+    """Resolve a pipeline spec to a tuple of pass names.
+
+    Accepts ``None`` (the default ``-O1`` pipeline), a named level
+    (``"O0"``/``"O1"``), a comma-separated string, or a sequence of names.
+    Unknown pass names raise :class:`~repro.passes.PipelineError`.
+    """
+    if spec is None:
+        return O1_PASSES
+    if isinstance(spec, str) and spec in _NAMED_PIPELINES:
+        return _NAMED_PIPELINES[spec]
+    return tuple(p.name for p in IR_PASSES.parse(spec))
+
+
+def build_pipeline(spec: str | Sequence[str] | None = None, *,
+                   fixed_point: bool = True,
+                   max_rounds: int = 8) -> PassPipeline:
+    """A :class:`PassPipeline` over the registered IR passes."""
+    return PassPipeline(IR_PASSES.parse(pipeline_spec(spec)),
+                        fixed_point=fixed_point, max_rounds=max_rounds,
+                        category="opt")
+
+
+AfterPassHook = Callable[[object, IRFunction, bool], None]
+
+
+def optimize_function(func: IRFunction, max_rounds: int = 8,
+                      passes: str | Sequence[str] | None = None,
+                      after_pass: AfterPassHook | None = None) -> None:
+    """Run the (default: ``-O1``) pipeline on *func* to fixpoint (bounded).
+
+    Thin wrapper over :func:`build_pipeline`; ``liveness`` is computed at
+    most once per round through the function's analysis manager and reused
+    by every pass that did not change the function since.
+    """
+    pipeline = build_pipeline(passes, fixed_point=True,
+                              max_rounds=max_rounds)
+    pipeline.run(func, am=IR_ANALYSES.manager(func), after_pass=after_pass)
+
+
+def optimize_program(program: IRProgram, enabled: bool = True,
+                     passes: str | Sequence[str] | None = None,
+                     after_pass: AfterPassHook | None = None) -> IRProgram:
     """Optimize every function (no-op when *enabled* is False, the -O0 mode
-    used by ablation benchmarks)."""
-    if enabled:
-        for func in program.functions:
-            optimize_function(func)
+    used by ablation benchmarks).
+
+    *passes* overrides the pipeline (a spec per :func:`pipeline_spec`);
+    *after_pass* is invoked after every pass execution on every function —
+    the bcc CLI's ``--emit-ir-after`` hook.
+    """
+    if not enabled:
+        return program
+    spec = pipeline_spec(passes)
+    if not spec:
+        return program
+    for func in program.functions:
+        optimize_function(func, passes=spec, after_pass=after_pass)
     return program

@@ -4,9 +4,12 @@ This is the per-procedure analysis layer QPT provided in the paper: CFG
 construction from an executable's instruction stream
 (:mod:`repro.cfg.builder`), dominator/postdominator trees
 (:mod:`repro.cfg.dominators`), and natural-loop analysis
-(:mod:`repro.cfg.loops`).
+(:mod:`repro.cfg.loops`).  :mod:`repro.cfg.analysis` registers all three
+as lazily computed, memoized analyses on the :mod:`repro.passes`
+framework so one computation serves every consumer.
 """
 
+from repro.cfg.analysis import CFG_ANALYSES, cfg_analysis_manager
 from repro.cfg.builder import CFGError, build_all_cfgs, build_cfg
 from repro.cfg.dominators import (
     DominatorInfo, compute_dominators, compute_postdominators,
@@ -27,4 +30,6 @@ __all__ = [
     "compute_postdominators",
     "LoopInfo",
     "analyze_loops",
+    "CFG_ANALYSES",
+    "cfg_analysis_manager",
 ]

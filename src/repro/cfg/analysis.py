@@ -1,0 +1,56 @@
+"""Registered CFG analyses (dominators, postdominators, natural loops).
+
+The per-procedure analyses the classifier and heuristics share are
+registered on :data:`CFG_ANALYSES`, a
+:class:`~repro.passes.manager.AnalysisRegistry` over one
+:class:`~repro.cfg.graph.ControlFlowGraph`.  A per-procedure
+:class:`~repro.passes.manager.AnalysisManager` makes them lazy and
+memoized: ``natural-loops`` pulls ``domtree`` through the same cache (for
+preheader identification), so one dominator computation serves loop
+analysis, the Loop/Call/Guard heuristics, and anything else that asks.
+
+Branch-free procedures never touch any of this — the classifier only
+requests ``natural-loops`` when it meets a conditional branch, and the
+postdominator tree is only built the first time a property-based
+heuristic queries it (``analysis.postdomtree.compute`` /
+``analysis.postdomtree.reuse`` counters make the laziness observable).
+"""
+
+from __future__ import annotations
+
+from repro.cfg.dominators import (
+    DominatorInfo, compute_dominators, compute_postdominators,
+)
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.loops import LoopInfo, analyze_loops
+from repro.passes import AnalysisManager, AnalysisRegistry
+
+__all__ = ["CFG_ANALYSES", "cfg_analysis_manager"]
+
+#: Analyses over one :class:`ControlFlowGraph`.
+CFG_ANALYSES = AnalysisRegistry("cfg")
+
+
+@CFG_ANALYSES.register("domtree",
+                       description="dominator tree (Cooper-Harvey-Kennedy)")
+def _domtree(cfg: ControlFlowGraph, am: AnalysisManager) -> DominatorInfo:
+    return compute_dominators(cfg)
+
+
+@CFG_ANALYSES.register("postdomtree",
+                       description="postdominator tree over a virtual exit")
+def _postdomtree(cfg: ControlFlowGraph,
+                 am: AnalysisManager) -> DominatorInfo:
+    return compute_postdominators(cfg)
+
+
+@CFG_ANALYSES.register("natural-loops",
+                       description="back edges, nat_loop bodies, exit "
+                                   "edges, preheaders (Section 3)")
+def _natural_loops(cfg: ControlFlowGraph, am: AnalysisManager) -> LoopInfo:
+    return analyze_loops(cfg, am.get("domtree"))
+
+
+def cfg_analysis_manager(cfg: ControlFlowGraph) -> AnalysisManager:
+    """A fresh lazy analysis manager over *cfg*."""
+    return CFG_ANALYSES.manager(cfg)

@@ -43,6 +43,11 @@ from repro.core.predictors import (
     NotTakenPredictor, PerfectPredictor, RandomPredictor, StaticPredictor,
     TakenPredictor, VotingPredictor, branch_random,
 )
+from repro.core.registry import (
+    HEURISTIC_REGISTRY, HeuristicEntry, HeuristicRegistry,
+    HeuristicSpecError, heuristic_names, paper_order, register_heuristic,
+    resolve_order,
+)
 from repro.core.sequences import PAPER_SEQUENCE_PREDICTORS, sequence_experiment
 
 __all__ = [
@@ -65,4 +70,7 @@ __all__ = [
     "cross_dataset_experiment",
     "DynamicPredictor", "LastDirectionPredictor", "BimodalPredictor",
     "StaticAsDynamic", "VotingPredictor",
+    "HEURISTIC_REGISTRY", "HeuristicEntry", "HeuristicRegistry",
+    "HeuristicSpecError", "heuristic_names", "paper_order",
+    "register_heuristic", "resolve_order",
 ]

@@ -18,12 +18,11 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.cfg.analysis import cfg_analysis_manager
 from repro.cfg.builder import build_cfg
-from repro.cfg.dominators import (
-    DominatorInfo, compute_dominators, compute_postdominators,
-)
+from repro.cfg.dominators import DominatorInfo
 from repro.cfg.graph import BasicBlock, ControlFlowGraph, Edge
-from repro.cfg.loops import LoopInfo, analyze_loops
+from repro.cfg.loops import LoopInfo
 from repro.isa.instructions import Instruction
 from repro.isa.program import Executable, Procedure
 
@@ -88,14 +87,50 @@ class BranchInfo:
         raise ValueError(f"block B{block.index} is not a successor")
 
 
-@dataclass
 class ProcedureAnalysis:
-    """Per-procedure CFG analyses shared by all heuristics."""
+    """Per-procedure CFG analyses shared by all heuristics.
 
-    cfg: ControlFlowGraph
-    dom: DominatorInfo
-    postdom: DominatorInfo
-    loops: LoopInfo
+    ``dom`` / ``postdom`` / ``loops`` are *lazy*: each is computed by the
+    shared :data:`~repro.cfg.analysis.CFG_ANALYSES` registry through a
+    per-procedure :class:`~repro.passes.manager.AnalysisManager` the first
+    time it is read, then memoized.  A branch-free procedure that nothing
+    queries therefore never pays for a dominator or postdominator tree,
+    and the classifier, the heuristics, and the ordering experiments all
+    share one computation per procedure.
+
+    Pre-computed results may be passed in (the historical eager
+    constructor shape) — they seed the manager's cache.
+    """
+
+    __slots__ = ("cfg", "am")
+
+    def __init__(self, cfg: ControlFlowGraph,
+                 dom: DominatorInfo | None = None,
+                 postdom: DominatorInfo | None = None,
+                 loops: LoopInfo | None = None) -> None:
+        self.cfg = cfg
+        self.am = cfg_analysis_manager(cfg)
+        if dom is not None:
+            self.am.seed("domtree", dom)
+        if postdom is not None:
+            self.am.seed("postdomtree", postdom)
+        if loops is not None:
+            self.am.seed("natural-loops", loops)
+
+    @property
+    def dom(self) -> DominatorInfo:
+        """The dominator tree (computed on first use)."""
+        return self.am.get("domtree")
+
+    @property
+    def postdom(self) -> DominatorInfo:
+        """The postdominator tree (computed on first use)."""
+        return self.am.get("postdomtree")
+
+    @property
+    def loops(self) -> LoopInfo:
+        """Natural-loop facts (computed on first use; pulls ``dom``)."""
+        return self.am.get("natural-loops")
 
 
 class ProgramAnalysis:
@@ -104,6 +139,13 @@ class ProgramAnalysis:
     This is the static side of the reproduction: build it once per
     executable, then hand it to predictors. ``branches`` maps each
     conditional branch's text address to its :class:`BranchInfo`.
+
+    Only the CFG is built eagerly per procedure; dominator, postdominator,
+    and natural-loop analyses are computed lazily through each
+    procedure's analysis manager — classification touches loop facts only
+    for procedures that actually contain conditional branches, and the
+    postdominator tree is first built when a property-based heuristic
+    asks for it.
     """
 
     def __init__(self, executable: Executable) -> None:
@@ -111,20 +153,20 @@ class ProgramAnalysis:
         self.procedures: dict[str, ProcedureAnalysis] = {}
         self.branches: dict[int, BranchInfo] = {}
         for procedure in executable.procedures:
-            cfg = build_cfg(procedure)
-            dom = compute_dominators(cfg)
-            postdom = compute_postdominators(cfg)
-            loops = analyze_loops(cfg, dom)
-            pa = ProcedureAnalysis(cfg, dom, postdom, loops)
+            pa = ProcedureAnalysis(build_cfg(procedure))
             self.procedures[procedure.name] = pa
             self._classify_procedure(procedure, pa)
 
     def _classify_procedure(self, procedure: Procedure,
                             pa: ProcedureAnalysis) -> None:
-        loops = pa.loops
+        loops: LoopInfo | None = None
         for block in pa.cfg.blocks:
             if not block.is_branch_block:
                 continue
+            if loops is None:
+                # first conditional branch: natural loops (and the
+                # dominator tree beneath them) are needed from here on
+                loops = pa.loops
             inst = block.last
             target_edge = block.target_edge()
             fallthru_edge = block.fallthru_edge()

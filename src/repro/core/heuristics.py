@@ -9,15 +9,25 @@ successor with the property or the one without, per its fixed direction.
 
 All of them are local: they inspect only the branch's block, its two
 successor blocks (plus unconditional-chain lookahead for Call/Return), and
-the dominator/postdominator/natural-loop facts computed once per procedure.
+the dominator/postdominator/natural-loop facts computed once per procedure
+(lazily, through the procedure's analysis manager).
+
+Every heuristic is registered on the pluggable
+:data:`~repro.core.registry.HEURISTIC_REGISTRY` via
+:func:`~repro.core.registry.register_heuristic` with its default rank
+(appearance order in Section 4) and its slot in the paper's measured
+priority chain; ``HEURISTIC_NAMES`` / ``HEURISTICS`` / ``PAPER_ORDER``
+below are registry-derived views kept for backwards compatibility — new
+code should consume the registry (see docs/passes.md).
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Mapping, Sequence
 
 from repro.cfg.graph import BasicBlock
 from repro.core.classify import BranchInfo, Prediction, ProcedureAnalysis
+from repro.core.registry import HEURISTIC_REGISTRY, register_heuristic
 from repro.isa.instructions import Instruction, Kind
 from repro.isa.registers import GP, ZERO
 
@@ -34,6 +44,7 @@ Heuristic = Callable[[BranchInfo, ProcedureAnalysis], "Prediction | None"]
 
 # -- Opcode -------------------------------------------------------------------
 
+@register_heuristic("Opcode", 0, paper_rank=2)
 def opcode_heuristic(branch: BranchInfo,
                      pa: ProcedureAnalysis) -> Prediction | None:
     """Predict from the branch opcode: comparisons against zero that test for
@@ -82,6 +93,7 @@ def _select(branch: BranchInfo, pa: ProcedureAnalysis,
     return branch.prediction_of(chosen)
 
 
+@register_heuristic("Loop", 1, paper_rank=5)
 def loop_heuristic(branch: BranchInfo,
                    pa: ProcedureAnalysis) -> Prediction | None:
     """The successor does not postdominate the branch and is a loop head or
@@ -116,6 +128,7 @@ def _unconditional_chain(block: BasicBlock) -> list[BasicBlock]:
     return chain
 
 
+@register_heuristic("Call", 2, paper_rank=1)
 def call_heuristic(branch: BranchInfo,
                    pa: ProcedureAnalysis) -> Prediction | None:
     """The successor contains a call (or unconditionally reaches a block with
@@ -139,6 +152,7 @@ def call_heuristic(branch: BranchInfo,
     return _select(branch, pa, prop, predict_with_property=False)
 
 
+@register_heuristic("Return", 3, paper_rank=3)
 def return_heuristic(branch: BranchInfo,
                      pa: ProcedureAnalysis) -> Prediction | None:
     """The successor contains a return (or unconditionally reaches one) ->
@@ -151,6 +165,7 @@ def return_heuristic(branch: BranchInfo,
     return _select(branch, pa, prop, predict_with_property=False)
 
 
+@register_heuristic("Guard", 4, paper_rank=6)
 def guard_heuristic(branch: BranchInfo,
                     pa: ProcedureAnalysis) -> Prediction | None:
     """A register operand of the branch is used in the successor before
@@ -203,6 +218,7 @@ def _uses_before_def(block: BasicBlock, int_regs: set[int],
     return False
 
 
+@register_heuristic("Store", 5, paper_rank=4)
 def store_heuristic(branch: BranchInfo,
                     pa: ProcedureAnalysis) -> Prediction | None:
     """The successor contains a store and does not postdominate the branch ->
@@ -220,6 +236,7 @@ def store_heuristic(branch: BranchInfo,
     return _select(branch, pa, prop, predict_with_property=False)
 
 
+@register_heuristic("Point", 6, paper_rank=0)
 def pointer_heuristic(branch: BranchInfo, pa: ProcedureAnalysis,
                       exclude_gp: bool = True,
                       exclude_calls: bool = True) -> Prediction | None:
@@ -260,6 +277,8 @@ def pointer_heuristic(branch: BranchInfo, pa: ProcedureAnalysis,
     return Prediction.NOT_TAKEN if inst.op.name == "beq" else Prediction.TAKEN
 
 
+@register_heuristic("ExtGuard", 7, description="extended Guard (Section "
+                    "4.4 generalization; outside the measured set)")
 def extended_guard_heuristic(branch: BranchInfo, pa: ProcedureAnalysis,
                              depth: int = 3) -> Prediction | None:
     """The paper's proposed generalization of Guard (Section 4.4): "look
@@ -319,35 +338,33 @@ def extended_guard_heuristic(branch: BranchInfo, pa: ProcedureAnalysis,
     return _select(branch, pa, prop, predict_with_property=True)
 
 
-#: Paper-order registry of heuristic names.
-HEURISTIC_NAMES: tuple[str, ...] = (
-    "Opcode", "Loop", "Call", "Return", "Guard", "Store", "Point",
-)
+#: Measured heuristic names in Section-4 appearance order — a registry-
+#: derived view kept for backwards compatibility.
+HEURISTIC_NAMES: tuple[str, ...] = HEURISTIC_REGISTRY.names()
 
-HEURISTICS: dict[str, Heuristic] = {
-    "Opcode": opcode_heuristic,
-    "Loop": loop_heuristic,
-    "Call": call_heuristic,
-    "Return": return_heuristic,
-    "Guard": guard_heuristic,
-    "Store": store_heuristic,
-    "Point": pointer_heuristic,
-}
+#: Live ``name -> heuristic`` mapping over the measured set.  Historically
+#: a frozen dict; now a read-only view of :data:`HEURISTIC_REGISTRY` so
+#: registered extensions and test-time unregistration stay coherent.
+HEURISTICS: "Mapping[str, Heuristic]" = HEURISTIC_REGISTRY.mapping()
 
-#: The priority order used for the paper's final results (Tables 5 and 6).
-PAPER_ORDER: tuple[str, ...] = (
-    "Point", "Call", "Opcode", "Return", "Store", "Loop", "Guard",
-)
+#: The priority order used for the paper's final results (Tables 5 and 6),
+#: derived from the registered ``paper_rank`` slots.
+PAPER_ORDER: tuple[str, ...] = HEURISTIC_REGISTRY.paper_order()
 
 
-def applicable_heuristics(branch: BranchInfo, pa: ProcedureAnalysis
+def applicable_heuristics(branch: BranchInfo, pa: ProcedureAnalysis,
+                          names: "Sequence[str] | None" = None,
                           ) -> dict[str, Prediction]:
-    """Evaluate every heuristic on *branch*; returns name -> prediction for
+    """Evaluate heuristics on *branch*; returns name -> prediction for
     those that apply. This is the per-branch table the ordering experiments
-    (Section 5) are computed from."""
+    (Section 5) are computed from.  *names* restricts (and canonicalises)
+    the evaluated set; the default is the registry's measured set."""
     out: dict[str, Prediction] = {}
-    for name, heuristic in HEURISTICS.items():
-        prediction = heuristic(branch, pa)
+    if names is None:
+        names = HEURISTIC_REGISTRY.names()
+    for name in names:
+        entry = HEURISTIC_REGISTRY.get(name)
+        prediction = entry.fn(branch, pa)
         if prediction is not None:
-            out[name] = prediction
+            out[entry.name] = prediction
     return out

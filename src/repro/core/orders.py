@@ -16,19 +16,26 @@ Everything is precomputed into per-benchmark numpy tables (one row per
 executed non-loop branch) so that evaluating an order is a couple of
 vectorized gathers; the full 5040-order sweep over a 20-benchmark suite
 takes well under a second.
+
+The heuristic set is *registry-derived*: every entry point takes an
+optional ``names`` tuple (default: the measured set from
+:data:`~repro.core.registry.HEURISTIC_REGISTRY`), so ablation and
+extension experiments — drop Guard, add a registered extension — reuse
+the same vectorized machinery at n! orders for n heuristics.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import combinations, permutations
 
 import numpy as np
 
 from repro.core.classify import Prediction, ProgramAnalysis
-from repro.core.heuristics import HEURISTIC_NAMES, applicable_heuristics
+from repro.core.heuristics import applicable_heuristics
 from repro.core.predictors import branch_random
+from repro.core.registry import HEURISTIC_REGISTRY
 from repro.sim.profile import EdgeProfile
 
 __all__ = [
@@ -37,8 +44,16 @@ __all__ = [
     "SubsetExperimentResult", "pairwise_order",
 ]
 
-_NUM_H = len(HEURISTIC_NAMES)
-_NO_RANK = np.int8(_NUM_H + 1)
+
+def _default_names() -> tuple[str, ...]:
+    """The measured heuristic set, registry-derived at call time."""
+    return HEURISTIC_REGISTRY.names()
+
+
+def _resolve_names(names: tuple[str, ...] | None) -> tuple[str, ...]:
+    if names is None:
+        return _default_names()
+    return tuple(HEURISTIC_REGISTRY.get(n).name for n in names)
 
 
 @dataclass
@@ -46,9 +61,9 @@ class OrderData:
     """Per-benchmark table: one row per *executed non-loop* branch."""
 
     name: str
-    #: (B, 7) — heuristic h applies to branch b
+    #: (B, H) — heuristic h applies to branch b
     applies: np.ndarray
-    #: (B, 7) — heuristic h predicts taken for branch b
+    #: (B, H) — heuristic h predicts taken for branch b
     predict_taken: np.ndarray
     #: (B,) dynamic taken counts
     taken: np.ndarray
@@ -56,28 +71,42 @@ class OrderData:
     not_taken: np.ndarray
     #: (B,) the Default (random) prediction, predict-taken
     default_taken: np.ndarray
+    #: column labels for ``applies`` / ``predict_taken`` (default: the
+    #: registry's measured set at construction time)
+    names: tuple[str, ...] = field(default_factory=_default_names)
 
     @property
     def total(self) -> int:
         return int(self.taken.sum() + self.not_taken.sum())
 
+    @property
+    def num_heuristics(self) -> int:
+        return len(self.names)
+
 
 def build_order_data(name: str, analysis: ProgramAnalysis,
-                     profile: EdgeProfile, seed: int = 0) -> OrderData:
-    """Evaluate all heuristics on every executed non-loop branch of one
-    benchmark and pack the results for vectorized order evaluation."""
+                     profile: EdgeProfile, seed: int = 0,
+                     names: tuple[str, ...] | None = None) -> OrderData:
+    """Evaluate heuristics on every executed non-loop branch of one
+    benchmark and pack the results for vectorized order evaluation.
+
+    *names* selects (and orders) the heuristic columns; the default is the
+    registry's measured set.
+    """
+    names = _resolve_names(names)
+    num_h = len(names)
     rows = [b for b in analysis.non_loop_branches()
             if profile.execution_count(b.address) > 0]
     n = len(rows)
-    applies = np.zeros((n, _NUM_H), dtype=bool)
-    predict_taken = np.zeros((n, _NUM_H), dtype=bool)
+    applies = np.zeros((n, num_h), dtype=bool)
+    predict_taken = np.zeros((n, num_h), dtype=bool)
     taken = np.zeros(n, dtype=np.int64)
     not_taken = np.zeros(n, dtype=np.int64)
     default_taken = np.zeros(n, dtype=bool)
     for i, branch in enumerate(rows):
         pa = analysis.analysis_of(branch)
-        table = applicable_heuristics(branch, pa)
-        for h, hname in enumerate(HEURISTIC_NAMES):
+        table = applicable_heuristics(branch, pa, names)
+        for h, hname in enumerate(names):
             if hname in table:
                 applies[i, h] = True
                 predict_taken[i, h] = table[hname] is Prediction.TAKEN
@@ -85,26 +114,32 @@ def build_order_data(name: str, analysis: ProgramAnalysis,
         not_taken[i] = profile.not_taken_count(branch.address)
         default_taken[i] = branch_random(branch.address, seed).as_bool
     return OrderData(name, applies, predict_taken, taken, not_taken,
-                     default_taken)
+                     default_taken, names)
 
 
-def _rank_array(order: tuple[str, ...]) -> np.ndarray:
-    ranks = np.full(_NUM_H, _NO_RANK, dtype=np.int8)
+def _no_rank(num_h: int) -> np.int8:
+    return np.int8(num_h + 1)
+
+
+def _rank_array(order: tuple[str, ...],
+                names: tuple[str, ...]) -> np.ndarray:
+    ranks = np.full(len(names), _no_rank(len(names)), dtype=np.int8)
     for priority, hname in enumerate(order):
-        ranks[HEURISTIC_NAMES.index(hname)] = priority
+        ranks[names.index(hname)] = priority
     return ranks
 
 
 def _misses_for_ranks(data: OrderData, ranks: np.ndarray) -> np.ndarray:
     """Dynamic miss counts for one or many orders.
 
-    *ranks* is (7,) or (O, 7); returns shape () or (O,).
+    *ranks* is (H,) or (O, H); returns shape () or (O,).
     """
     single = ranks.ndim == 1
     if single:
         ranks = ranks[None, :]
-    # (O, B, 7): rank where applicable, sentinel where not
-    masked = np.where(data.applies[None, :, :], ranks[:, None, :], _NO_RANK)
+    # (O, B, H): rank where applicable, sentinel where not
+    masked = np.where(data.applies[None, :, :], ranks[:, None, :],
+                      _no_rank(data.num_heuristics))
     choice = masked.argmin(axis=2)                       # (O, B)
     any_applies = data.applies.any(axis=1)               # (B,)
     b_index = np.arange(data.applies.shape[0])
@@ -120,21 +155,38 @@ def order_miss_rate(data: OrderData, order: tuple[str, ...]) -> float:
     """Non-loop dynamic miss rate of *order* on one benchmark."""
     if data.total == 0:
         return 0.0
-    return float(_misses_for_ranks(data, _rank_array(order))) / data.total
+    ranks = _rank_array(order, data.names)
+    return float(_misses_for_ranks(data, ranks)) / data.total
 
 
-def all_orders() -> list[tuple[str, ...]]:
-    """All 7! = 5040 heuristic orders, in a fixed deterministic order."""
-    return [tuple(p) for p in permutations(HEURISTIC_NAMES)]
+def all_orders(names: tuple[str, ...] | None = None
+               ) -> list[tuple[str, ...]]:
+    """All n! heuristic orders (7! = 5040 at the paper's measured set), in
+    a fixed deterministic order."""
+    return [tuple(p) for p in permutations(_resolve_names(names))]
+
+
+def _dataset_names(datasets: list[OrderData]) -> tuple[str, ...]:
+    """The common column labels of *datasets* (all must agree)."""
+    if not datasets:
+        return _default_names()
+    names = datasets[0].names
+    for data in datasets[1:]:
+        if data.names != names:
+            raise ValueError(
+                f"OrderData column mismatch: {data.name} has {data.names}, "
+                f"expected {names}")
+    return names
 
 
 def miss_rate_matrix(datasets: list[OrderData],
                      orders: list[tuple[str, ...]] | None = None
                      ) -> tuple[np.ndarray, list[tuple[str, ...]]]:
     """(O, N) matrix of per-benchmark miss rates for every order."""
+    names = _dataset_names(datasets)
     if orders is None:
-        orders = all_orders()
-    ranks = np.stack([_rank_array(o) for o in orders])
+        orders = all_orders(names)
+    ranks = np.stack([_rank_array(o, names) for o in orders])
     matrix = np.zeros((len(orders), len(datasets)), dtype=np.float64)
     for j, data in enumerate(datasets):
         if data.total == 0:
@@ -231,9 +283,11 @@ def pairwise_order(datasets: list[OrderData]) -> tuple[str, ...]:
     """Section 5's cheaper alternative: compare each pair of heuristics on
     the branches where both apply, and order by pairwise wins (total
     dynamic misses on the intersection; Copeland scoring breaks cycles)."""
-    wins = np.zeros(_NUM_H, dtype=np.int64)
-    for a in range(_NUM_H):
-        for b in range(a + 1, _NUM_H):
+    names = _dataset_names(datasets)
+    num_h = len(names)
+    wins = np.zeros(num_h, dtype=np.int64)
+    for a in range(num_h):
+        for b in range(a + 1, num_h):
             misses_a = 0
             misses_b = 0
             for data in datasets:
@@ -250,5 +304,5 @@ def pairwise_order(datasets: list[OrderData]) -> tuple[str, ...]:
                 wins[a] += 1
             elif misses_b < misses_a:
                 wins[b] += 1
-    ranked = sorted(range(_NUM_H), key=lambda h: (-wins[h], h))
-    return tuple(HEURISTIC_NAMES[h] for h in ranked)
+    ranked = sorted(range(num_h), key=lambda h: (-wins[h], h))
+    return tuple(names[h] for h in ranked)

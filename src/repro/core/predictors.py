@@ -28,7 +28,7 @@ from __future__ import annotations
 from repro.core.classify import (
     BranchInfo, Prediction, ProgramAnalysis, classify_branches,
 )
-from repro.core.heuristics import HEURISTICS, PAPER_ORDER
+from repro.core.registry import HEURISTIC_REGISTRY
 from repro.isa.program import Executable
 from repro.sim.profile import EdgeProfile
 
@@ -162,9 +162,17 @@ class HeuristicPredictor(StaticPredictor):
     """The paper's program-based predictor.
 
     Loop branches use the loop predictor. Non-loop branches march through
-    *order* (default: the paper's Point -> Call -> Opcode -> Return -> Store
-    -> Loop -> Guard) and take the first applicable heuristic's prediction;
-    branches no heuristic covers fall back to the random Default.
+    *order* (default: the registry's paper chain, Point -> Call -> Opcode ->
+    Return -> Store -> Loop -> Guard) and take the first applicable
+    heuristic's prediction; branches no heuristic covers fall back to the
+    random Default.
+
+    *order* accepts any registered heuristic names (case-insensitive),
+    including non-measured extensions; names are canonicalised through
+    :data:`~repro.core.registry.HEURISTIC_REGISTRY`, and unknown names
+    raise :class:`~repro.core.registry.HeuristicSpecError` (a
+    ``ValueError``). Ablation studies pass registry-resolved orders here —
+    see :func:`~repro.core.registry.resolve_order`.
 
     ``attribution`` records, per branch address, which rule decided it:
     a heuristic name, ``"LoopPredictor"``, or ``"Default"``.
@@ -174,15 +182,17 @@ class HeuristicPredictor(StaticPredictor):
 
     _DEFAULT_POLICIES = ("random", "taken", "not_taken")
 
-    def __init__(self, analysis, order: tuple[str, ...] = PAPER_ORDER,
+    def __init__(self, analysis, order: tuple[str, ...] | None = None,
                  seed: int = 0, default: str = "random") -> None:
         super().__init__(analysis)
-        unknown = set(order) - set(HEURISTICS)
-        if unknown:
-            raise ValueError(f"unknown heuristics in order: {sorted(unknown)}")
+        if order is None:
+            order = HEURISTIC_REGISTRY.paper_order()
+        # canonicalise and validate through the registry
+        entries = [HEURISTIC_REGISTRY.get(name) for name in order]
         if default not in self._DEFAULT_POLICIES:
             raise ValueError(f"unknown default policy {default!r}")
-        self.order = tuple(order)
+        self.order = tuple(e.name for e in entries)
+        self._chain = tuple(e.fn for e in entries)
         self.seed = seed
         self.default = default
         self.attribution: dict[int, str] = {}
@@ -199,8 +209,8 @@ class HeuristicPredictor(StaticPredictor):
             self.attribution[branch.address] = "LoopPredictor"
             return branch.loop_prediction
         pa = self.analysis.analysis_of(branch)
-        for name in self.order:
-            prediction = HEURISTICS[name](branch, pa)
+        for name, fn in zip(self.order, self._chain):
+            prediction = fn(branch, pa)
             if prediction is not None:
                 self.attribution[branch.address] = name
                 return prediction
@@ -225,12 +235,13 @@ class VotingPredictor(StaticPredictor):
     def __init__(self, analysis, weights: dict[str, float] | None = None,
                  seed: int = 0) -> None:
         super().__init__(analysis)
-        self.weights = dict(weights) if weights else \
-            {name: 1.0 for name in HEURISTICS}
-        unknown = set(self.weights) - set(HEURISTICS)
-        if unknown:
-            raise ValueError(f"unknown heuristics in weights: "
-                             f"{sorted(unknown)}")
+        if weights:
+            # canonicalise + validate names through the registry
+            self.weights = {HEURISTIC_REGISTRY.get(name).name: weight
+                            for name, weight in weights.items()}
+        else:
+            self.weights = {name: 1.0
+                            for name in HEURISTIC_REGISTRY.names()}
         self.seed = seed
         self.attribution: dict[int, str] = {}
 
@@ -242,7 +253,7 @@ class VotingPredictor(StaticPredictor):
         taken_weight = 0.0
         not_taken_weight = 0.0
         for name, weight in self.weights.items():
-            prediction = HEURISTICS[name](branch, pa)
+            prediction = HEURISTIC_REGISTRY.fn(name)(branch, pa)
             if prediction is None:
                 continue
             if prediction is Prediction.TAKEN:

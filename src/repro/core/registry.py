@@ -1,0 +1,275 @@
+"""Pluggable heuristic registry (the third layer of the pass framework).
+
+The paper's seven non-loop heuristics used to live in a frozen module
+dict; here they are *registered*, like compiler passes, so experiments can
+ablate, reorder, and extend the set from configuration instead of code:
+
+* :func:`register_heuristic` — decorator adding a heuristic under a name
+  with a ``default_rank`` (position in the registry's default order) and
+  an optional ``paper_rank`` (its slot in the paper's measured priority
+  chain; ``None`` for extensions outside the measured set);
+* :class:`HeuristicRegistry` — case-insensitive lookup, registry-derived
+  orders (:meth:`~HeuristicRegistry.paper_order`,
+  :meth:`~HeuristicRegistry.names`), and :meth:`~HeuristicRegistry.
+  resolve_order`, the one-stop spec parser behind the harness's
+  ``--heuristics`` / ``--order`` ablation flags.
+
+Order/ablation spec grammar (shared by CLI and API)::
+
+    --order paper                 # the paper's Point..Guard chain
+    --order registry              # registration (default-rank) order
+    --order Guard,Loop,Store,...  # explicit total or partial order
+    --heuristics -guard           # drop-one ablation (drop Guard)
+    --heuristics -guard,-store    # drop-many
+    --heuristics Point,Call       # keep-only (base order preserved)
+
+``HeuristicPredictor``, ``VotingPredictor``, the ordering experiments,
+and Tables 3–7 all consume registry-derived orders; the historical
+``HEURISTICS`` / ``PAPER_ORDER`` / ``HEURISTIC_NAMES`` module constants
+remain as thin views over this registry.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError
+
+__all__ = [
+    "HeuristicEntry", "HeuristicRegistry", "HeuristicSpecError",
+    "HEURISTIC_REGISTRY", "register_heuristic", "heuristic_names",
+    "paper_order", "resolve_order",
+]
+
+
+class HeuristicSpecError(ReproError, ValueError):
+    """Unknown heuristic name or malformed order/ablation spec.
+
+    Also a :class:`ValueError`: the pre-registry predictors raised plain
+    ``ValueError`` for unknown heuristic names, and callers that catch it
+    keep working.
+    """
+
+
+@dataclass(frozen=True)
+class HeuristicEntry:
+    """One registered heuristic."""
+
+    name: str
+    fn: Callable                #: (BranchInfo, ProcedureAnalysis) -> Prediction | None
+    default_rank: int           #: position in the registry's default order
+    paper_rank: int | None      #: slot in the paper's measured chain
+    description: str = ""
+
+    @property
+    def measured(self) -> bool:
+        """Part of the paper's measured seven-heuristic set?"""
+        return self.paper_rank is not None
+
+
+class HeuristicRegistry:
+    """Named heuristics with registry-derived orders and spec parsing."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, HeuristicEntry] = {}
+        self._by_folded: dict[str, str] = {}   # casefolded -> canonical
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, name: str, default_rank: int,
+                 paper_rank: int | None = None, description: str = ""):
+        """Decorator: register the decorated heuristic under *name*."""
+
+        def decorator(fn):
+            folded = name.casefold()
+            if folded in self._by_folded:
+                raise ValueError(f"heuristic {name!r} already registered")
+            ranks = {e.default_rank for e in self._entries.values()}
+            if default_rank in ranks:
+                raise ValueError(
+                    f"default_rank {default_rank} already taken "
+                    f"(registering {name!r})")
+            if paper_rank is not None:
+                taken = {e.paper_rank for e in self._entries.values()
+                         if e.paper_rank is not None}
+                if paper_rank in taken:
+                    raise ValueError(
+                        f"paper_rank {paper_rank} already taken "
+                        f"(registering {name!r})")
+            self._entries[name] = HeuristicEntry(
+                name=name, fn=fn, default_rank=default_rank,
+                paper_rank=paper_rank,
+                description=description or (fn.__doc__ or "").split("\n")[0])
+            self._by_folded[folded] = name
+            return fn
+
+        return decorator
+
+    def unregister(self, name: str) -> None:
+        """Remove a heuristic (test/plugin hygiene)."""
+        entry = self.get(name)
+        del self._entries[entry.name]
+        del self._by_folded[entry.name.casefold()]
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, name: str) -> HeuristicEntry:
+        """Entry for *name* (case-insensitive)."""
+        canonical = self._by_folded.get(str(name).casefold())
+        if canonical is None:
+            raise HeuristicSpecError(
+                f"unknown heuristic {name!r} "
+                f"(registered: {', '.join(self.all_names())})",
+                phase="heuristics")
+        return self._entries[canonical]
+
+    def fn(self, name: str) -> Callable:
+        return self.get(name).fn
+
+    def __contains__(self, name: str) -> bool:
+        return str(name).casefold() in self._by_folded
+
+    # -- derived orders -------------------------------------------------------
+
+    def names(self) -> tuple[str, ...]:
+        """The *measured* heuristic names, in default-rank order (what the
+        ordering experiments permute: 7! = 5040 at the paper's set)."""
+        measured = [e for e in self._entries.values() if e.measured]
+        return tuple(e.name for e in
+                     sorted(measured, key=lambda e: e.default_rank))
+
+    def all_names(self) -> tuple[str, ...]:
+        """Every registered name (measured + extensions), by default rank."""
+        return tuple(e.name for e in
+                     sorted(self._entries.values(),
+                            key=lambda e: e.default_rank))
+
+    def paper_order(self) -> tuple[str, ...]:
+        """The paper's final priority chain (Tables 5 and 6), from the
+        registered ``paper_rank`` slots."""
+        measured = [e for e in self._entries.values() if e.measured]
+        return tuple(e.name for e in
+                     sorted(measured, key=lambda e: e.paper_rank))
+
+    def mapping(self) -> "Mapping[str, Callable]":
+        """A live name -> heuristic view (the ``HEURISTICS`` back-compat
+        shape) over the measured set."""
+        return _RegistryMapping(self)
+
+    # -- spec parsing ---------------------------------------------------------
+
+    _NAMED_ORDERS = ("paper", "registry", "default", "appearance")
+
+    def resolve_order(self, order: str | Sequence[str] | None = None,
+                      heuristics: str | Sequence[str] | None = None,
+                      ) -> tuple[str, ...]:
+        """Resolve ``--order`` / ``--heuristics`` specs to a canonical
+        priority tuple.
+
+        *order* is ``None``/``"paper"`` (the paper chain), ``"registry"``
+        (default-rank order), or an explicit name list (string
+        comma-separated or sequence).  *heuristics* then filters it:
+        ``-name`` entries drop heuristics (drop-one ablations), plain
+        entries keep only the named ones; mixing both forms is an error.
+        """
+        base = self._resolve_base(order)
+        if heuristics is None:
+            return base
+        entries = ([part.strip() for part in heuristics.split(",")
+                    if part.strip()]
+                   if isinstance(heuristics, str) else
+                   [str(part) for part in heuristics])
+        if not entries:
+            return base
+        drops = [e[1:] for e in entries if e.startswith("-")]
+        keeps = [e for e in entries if not e.startswith("-")]
+        if drops and keeps:
+            raise HeuristicSpecError(
+                "cannot mix drop (-name) and keep entries in a "
+                f"--heuristics spec: {entries}", phase="heuristics")
+        if drops:
+            dropped = {self.get(d).name for d in drops}
+            return tuple(n for n in base if n not in dropped)
+        kept = {self.get(k).name for k in keeps}
+        return tuple(n for n in base if n in kept)
+
+    def _resolve_base(self, order) -> tuple[str, ...]:
+        if order is None:
+            return self.paper_order()
+        if isinstance(order, str):
+            folded = order.strip().casefold()
+            if folded == "paper":
+                return self.paper_order()
+            if folded in ("registry", "default", "appearance"):
+                return self.names()
+            parts = [p.strip() for p in order.split(",") if p.strip()]
+        else:
+            parts = [str(p) for p in order]
+        resolved = tuple(self.get(p).name for p in parts)
+        if len(set(resolved)) != len(resolved):
+            raise HeuristicSpecError(
+                f"duplicate heuristic in order spec: {parts}",
+                phase="heuristics")
+        return resolved
+
+
+class _RegistryMapping(Mapping):
+    """Live read-only ``name -> heuristic fn`` view (measured set)."""
+
+    def __init__(self, registry: HeuristicRegistry) -> None:
+        self._registry = registry
+
+    def __getitem__(self, name: str) -> Callable:
+        entry = self._registry.get(name)
+        if not entry.measured:
+            raise KeyError(name)
+        return entry.fn
+
+    def __iter__(self):
+        return iter(self._registry.names())
+
+    def __len__(self) -> int:
+        return len(self._registry.names())
+
+    def __contains__(self, name) -> bool:
+        try:
+            return self._registry.get(name).measured
+        except HeuristicSpecError:
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HeuristicRegistryMapping({list(self)})"
+
+
+#: The process-wide registry the paper's heuristics register into.
+HEURISTIC_REGISTRY = HeuristicRegistry()
+
+
+def register_heuristic(name: str, default_rank: int,
+                       paper_rank: int | None = None,
+                       description: str = ""):
+    """``@register_heuristic("Guard", 4, paper_rank=6)`` — add a heuristic
+    to the process-wide :data:`HEURISTIC_REGISTRY`."""
+    return HEURISTIC_REGISTRY.register(name, default_rank,
+                                       paper_rank=paper_rank,
+                                       description=description)
+
+
+def heuristic_names() -> tuple[str, ...]:
+    """Measured heuristic names, default-rank order (registry-derived)."""
+    return HEURISTIC_REGISTRY.names()
+
+
+def paper_order() -> tuple[str, ...]:
+    """The paper's priority chain, registry-derived."""
+    return HEURISTIC_REGISTRY.paper_order()
+
+
+def resolve_order(order: str | Sequence[str] | None = None,
+                  heuristics: str | Sequence[str] | None = None,
+                  ) -> tuple[str, ...]:
+    """Module-level convenience over
+    :meth:`HeuristicRegistry.resolve_order`."""
+    return HEURISTIC_REGISTRY.resolve_order(order, heuristics)

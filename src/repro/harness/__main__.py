@@ -4,6 +4,13 @@ Options:
     --tables N,M     only the listed tables (1-7)
     --graphs N,M     only the listed graphs (1-13; 4 means all of 4-11)
     --benchmarks A,B restrict the suite to the named benchmarks
+    --order SPEC     heuristic priority order for Tables 5-7: "paper"
+                     (default), "registry", or an explicit comma list
+    --heuristics SPEC
+                     ablate the heuristic set: "-guard" drops Guard
+                     (drop-many with "-a,-b"), "Point,Call" keeps only
+                     the named ones — see repro.core.registry
+    -O0              compile the suite without optimization (smoke mode)
     --degraded       fault-isolated mode: failures render as FAILED cells
     --deadline S     per-run wall-clock watchdog (seconds)
     --telemetry DIR  record spans + metrics; write a full report bundle
@@ -27,6 +34,7 @@ import contextlib
 import time
 
 from repro import telemetry
+from repro.core.registry import HeuristicSpecError, resolve_order
 from repro.errors import ReproError
 from repro.harness import (
     SEQUENCE_BENCHMARKS, SuiteRunner,
@@ -36,6 +44,29 @@ from repro.harness import (
 from repro.telemetry.logging_setup import (
     add_logging_args, configure_from_args,
 )
+
+
+#: options whose values may start with "-" (ablation specs like
+#: ``--heuristics -guard``); argparse rejects option-like values, so
+#: :func:`_absorb_dash_values` merges them into ``--opt=value`` form.
+_DASH_VALUE_OPTIONS = ("--heuristics", "--order")
+
+
+def _absorb_dash_values(argv: list[str]) -> list[str]:
+    """Merge ``--heuristics -guard`` into ``--heuristics=-guard`` so drop
+    specs survive argparse's option-vs-value disambiguation."""
+    out: list[str] = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if (arg in _DASH_VALUE_OPTIONS and i + 1 < len(argv)
+                and argv[i + 1].startswith("-")):
+            out.append(f"{arg}={argv[i + 1]}")
+            i += 2
+        else:
+            out.append(arg)
+            i += 1
+    return out
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -50,6 +81,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--benchmarks", default="",
                         help="comma-separated benchmark names "
                              "(default: full suite)")
+    parser.add_argument("--order", default=None, metavar="SPEC",
+                        help="heuristic priority order for Tables 5-7: "
+                             "'paper' (default), 'registry', or an "
+                             "explicit comma-separated name list")
+    parser.add_argument("--heuristics", default=None, metavar="SPEC",
+                        help="ablate the heuristic set: '-name' entries "
+                             "drop heuristics, plain entries keep only "
+                             "the named ones")
+    parser.add_argument("-O0", dest="no_opt", action="store_true",
+                        help="compile the suite without optimization "
+                             "(empty pass pipeline)")
     parser.add_argument("--degraded", action="store_true",
                         help="fault-isolated mode: a failing benchmark "
                              "renders as FAILED cells instead of aborting")
@@ -65,15 +107,26 @@ def main(argv: list[str] | None = None) -> int:
                         help="sample the simulated pc every N instructions "
                              "(hot-PC histogram; off by default)")
     add_logging_args(parser)
-    args = parser.parse_args(argv)
+    if argv is None:
+        import sys
+        argv = sys.argv[1:]
+    args = parser.parse_args(_absorb_dash_values(list(argv)))
     log = configure_from_args(args).getChild("harness")
 
     tables = {int(t) for t in args.tables.split(",") if t}
     graphs = {int(g) for g in args.graphs.split(",") if g}
     benchmarks = [b for b in args.benchmarks.split(",") if b] or None
+    try:
+        order = (resolve_order(args.order, args.heuristics)
+                 if args.order is not None or args.heuristics is not None
+                 else None)
+    except HeuristicSpecError as exc:
+        log.error(exc.oneline())
+        return 2
     runner = SuiteRunner(benchmarks=benchmarks, strict=not args.degraded,
                          wall_clock_deadline=args.deadline,
-                         pc_sample_interval=args.hot_pc)
+                         pc_sample_interval=args.hot_pc,
+                         optimize=not args.no_opt)
 
     if args.telemetry is not None:
         sink = telemetry.Telemetry()
@@ -88,10 +141,12 @@ def main(argv: list[str] | None = None) -> int:
         2: lambda: table2(runner).render(),
         3: lambda: table3(runner).render(),
         4: lambda: table4(runner).render(),
-        5: lambda: table5(runner).render(),
-        6: lambda: table6(runner).render(),
-        7: lambda: table7(runner).render(),
+        5: lambda: table5(runner, order=order).render(),
+        6: lambda: table6(runner, order=order).render(),
+        7: lambda: table7(runner, order=order).render(),
     }
+    if order is not None:
+        log.info("heuristic order: %s", " -> ".join(order))
     try:
         with scope, telemetry.get().span(
                 "report", category="harness",
@@ -139,6 +194,8 @@ def main(argv: list[str] | None = None) -> int:
             "tables": sorted(tables), "graphs": sorted(graphs),
             "degraded": args.degraded, "deadline": args.deadline,
             "hot_pc": args.hot_pc,
+            "order": list(order) if order is not None else None,
+            "optimize": not args.no_opt,
             "max_instructions": runner.max_instructions,
         }
         paths = telemetry.write_report(sink, args.telemetry, config=config)

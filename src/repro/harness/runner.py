@@ -108,6 +108,10 @@ class SuiteRunner:
         Forwarded to every :class:`~repro.sim.Machine`: when set, the
         simulator samples a hot-PC histogram at this instruction period
         (off by default).
+    optimize:
+        ``False`` compiles every benchmark at ``-O0`` (empty pass
+        pipeline) — the harness's ``-O0`` smoke mode for checking that
+        results are not an artifact of the optimizer.
 
     Telemetry: each fresh (benchmark, dataset) execution is wrapped in a
     ``run:<benchmark>/<dataset>`` span containing ``compile``/``analyze``
@@ -121,13 +125,15 @@ class SuiteRunner:
                  strict: bool = True,
                  wall_clock_deadline: float | None = None,
                  retry_fuel_factor: int = 4,
-                 pc_sample_interval: int | None = None) -> None:
+                 pc_sample_interval: int | None = None,
+                 optimize: bool = True) -> None:
         self.benchmark_names = benchmarks or [b.name for b in suite()]
         self.max_instructions = max_instructions
         self.strict = strict
         self.wall_clock_deadline = wall_clock_deadline
         self.retry_fuel_factor = retry_fuel_factor
         self.pc_sample_interval = pc_sample_interval
+        self.optimize = optimize
         self._compiled: dict[str, tuple[Executable, ProgramAnalysis]] = {}
         self._runs: dict[tuple[str, str], BenchmarkRun] = {}
         # negative caches (degraded mode): compile failures per benchmark,
@@ -154,8 +160,9 @@ class SuiteRunner:
         if name not in self._compiled:
             tm.counter("harness.compile_cache.miss").inc()
             try:
-                with tm.span("compile", category="harness", benchmark=name):
-                    executable = get(name).compile()
+                with tm.span("compile", category="harness", benchmark=name,
+                             optimize=self.optimize):
+                    executable = get(name).compile(optimize=self.optimize)
                     with tm.span("analyze", category="harness",
                                  benchmark=name):
                         analysis = classify_branches(executable)

@@ -16,9 +16,8 @@ from repro.core.classify import Prediction
 from repro.core.evaluation import (
     big_branches, evaluate_predictions, evaluate_predictor,
 )
-from repro.core.heuristics import (
-    HEURISTIC_NAMES, PAPER_ORDER, applicable_heuristics,
-)
+from repro.core.heuristics import HEURISTIC_NAMES, applicable_heuristics
+from repro.core.registry import HEURISTIC_REGISTRY
 from repro.core.orders import (
     OrderData, build_order_data, pairwise_order, subset_experiment,
 )
@@ -417,10 +416,17 @@ class Table5:
 
 
 def table5(runner: SuiteRunner,
-           order: tuple[str, ...] = PAPER_ORDER) -> Table5:
-    """Per-heuristic accounting when applied in a fixed priority order."""
+           order: tuple[str, ...] | None = None) -> Table5:
+    """Per-heuristic accounting when applied in a fixed priority order.
+
+    *order* is any registry-resolvable priority chain (default: the
+    paper's); ablated orders from
+    :func:`~repro.core.registry.resolve_order` drop columns accordingly.
+    """
     rows = []
     runs, failed = _runs_and_failures(runner)
+    order = (HEURISTIC_REGISTRY.paper_order() if order is None
+             else tuple(HEURISTIC_REGISTRY.get(n).name for n in order))
     for run in runs:
         predictor = HeuristicPredictor(run.analysis, order=order)
         predictions = predictor.predictions()
@@ -484,8 +490,9 @@ class Table6:
 
 
 def table6(runner: SuiteRunner,
-           order: tuple[str, ...] = PAPER_ORDER) -> Table6:
-    """The combined predictor's final results."""
+           order: tuple[str, ...] | None = None) -> Table6:
+    """The combined predictor's final results (*order* defaults to the
+    registry's paper chain)."""
     rows = []
     runs, failed = _runs_and_failures(runner)
     for run in runs:
@@ -562,11 +569,13 @@ class Table7:
 
 
 def table7(runner: SuiteRunner, big_threshold: float = 0.9,
-           big_count_limit: int = 6) -> Table7:
+           big_count_limit: int = 6,
+           order: tuple[str, ...] | None = None) -> Table7:
     """The paper's exclusion rule, literally: programs where "over 90% of
     the non-loop branches are accounted for by a few branch instructions" —
-    we read "a few" as at most *big_count_limit* big branches."""
-    t6 = table6(runner)
+    we read "a few" as at most *big_count_limit* big branches.  *order*
+    (default: the paper chain) is forwarded to the underlying Table 6."""
+    t6 = table6(runner, order=order)
     excluded = []
     runs, failed = _runs_and_failures(runner)
     for run in runs:

@@ -1,0 +1,36 @@
+"""Generic pass- and analysis-manager framework (LLVM-style, miniature).
+
+The reproduction pipeline is really three pipelines stacked on top of each
+other — the BLC optimizer's IR passes, the per-procedure binary CFG
+analyses (dominators / postdominators / natural loops), and the
+seven-heuristic priority chain.  This package provides the shared
+machinery all three layers run on:
+
+:mod:`repro.passes.manager`
+    :class:`AnalysisRegistry` (named analysis providers over some *unit*
+    type) and :class:`AnalysisManager` (lazily computed, memoized analysis
+    results per unit, with explicit invalidation and compute/reuse
+    telemetry counters).
+:mod:`repro.passes.pipeline`
+    :class:`Pass` (named transform with a declared ``preserves`` set),
+    :class:`PassRegistry` (name -> pass factory, pipeline-spec parsing),
+    and :class:`PassPipeline` (ordered execution with optional fixed-point
+    scheduling, per-pass telemetry spans / change counters, and analysis
+    invalidation driven by each pass's ``preserves`` declaration).
+
+Concrete registrations live with their layers: :mod:`repro.bcc.opt`
+registers the IR passes and the ``liveness`` analysis,
+:mod:`repro.cfg.analysis` registers the CFG analyses, and
+:mod:`repro.core.registry` hosts the (separate, but same-spirited)
+heuristic registry.  See docs/passes.md for the contract.
+"""
+
+from repro.passes.manager import AnalysisManager, AnalysisRegistry
+from repro.passes.pipeline import (
+    FunctionPass, Pass, PassPipeline, PassRegistry, PipelineError,
+)
+
+__all__ = [
+    "AnalysisManager", "AnalysisRegistry",
+    "Pass", "FunctionPass", "PassRegistry", "PassPipeline", "PipelineError",
+]

@@ -1,0 +1,139 @@
+"""Analysis registration and cached, invalidatable analysis results.
+
+An *analysis* is a pure function of one *unit* (an ``IRFunction``, a
+``ControlFlowGraph``, ...) producing an immutable-by-convention result
+(live-out sets, a dominator tree, natural-loop facts).  Analyses are
+registered by name on an :class:`AnalysisRegistry`; an
+:class:`AnalysisManager` is bound to one unit and memoizes results until a
+transformation pass invalidates them.
+
+Providers receive ``(unit, manager)`` so an analysis can depend on another
+analysis through the same cache (e.g. natural loops consume the dominator
+tree) — dependencies are therefore shared, never recomputed.
+
+Every computation and every cache hit is counted through
+:mod:`repro.telemetry` (``<prefix>.compute`` / ``<prefix>.reuse``, prefix
+defaulting to ``analysis.<name>``), which is what lets tests *prove* reuse
+instead of assuming it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro import telemetry
+
+__all__ = ["AnalysisRegistry", "AnalysisManager", "UnknownAnalysisError"]
+
+
+class UnknownAnalysisError(KeyError):
+    """Requested analysis name is not registered."""
+
+
+@dataclass(frozen=True)
+class _AnalysisEntry:
+    name: str
+    provider: Callable[[Any, "AnalysisManager"], Any]
+    counter_prefix: str
+    description: str = ""
+
+
+class AnalysisRegistry:
+    """Name -> analysis provider, for one unit type (one per layer)."""
+
+    def __init__(self, namespace: str) -> None:
+        self.namespace = namespace
+        self._entries: dict[str, _AnalysisEntry] = {}
+
+    def register(self, name: str, *, counter_prefix: str | None = None,
+                 description: str = ""):
+        """Decorator: register ``provider(unit, am) -> result`` as *name*.
+
+        *counter_prefix* overrides the telemetry counter namespace
+        (default ``analysis.<name>``), producing ``<prefix>.compute`` and
+        ``<prefix>.reuse`` counters.
+        """
+
+        def decorator(provider):
+            if name in self._entries:
+                raise ValueError(
+                    f"analysis {name!r} already registered in "
+                    f"{self.namespace!r}")
+            self._entries[name] = _AnalysisEntry(
+                name=name, provider=provider,
+                counter_prefix=counter_prefix or f"analysis.{name}",
+                description=description or (provider.__doc__ or "").strip())
+            return provider
+
+        return decorator
+
+    def entry(self, name: str) -> _AnalysisEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "<none>"
+            raise UnknownAnalysisError(
+                f"unknown analysis {name!r} in registry "
+                f"{self.namespace!r} (known: {known})") from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def manager(self, unit) -> "AnalysisManager":
+        """A fresh :class:`AnalysisManager` over *unit*."""
+        return AnalysisManager(unit, self)
+
+
+class AnalysisManager:
+    """Per-unit cache of analysis results with explicit invalidation."""
+
+    def __init__(self, unit, registry: AnalysisRegistry) -> None:
+        self.unit = unit
+        self.registry = registry
+        self._cache: dict[str, Any] = {}
+
+    def get(self, name: str):
+        """The (possibly cached) result of analysis *name* on the unit."""
+        entry = self.registry.entry(name)
+        tm = telemetry.get()
+        if name in self._cache:
+            tm.counter(f"{entry.counter_prefix}.reuse").inc()
+            return self._cache[name]
+        tm.counter(f"{entry.counter_prefix}.compute").inc()
+        result = entry.provider(self.unit, self)
+        self._cache[name] = result
+        return result
+
+    def cached(self, name: str):
+        """The cached result of *name*, or ``None`` if not computed."""
+        return self._cache.get(name)
+
+    def is_cached(self, name: str) -> bool:
+        return name in self._cache
+
+    def seed(self, name: str, result) -> None:
+        """Pre-populate the cache (back-compat seam for eagerly computed
+        results handed in from outside the manager)."""
+        self.registry.entry(name)  # validate the name
+        self._cache[name] = result
+
+    def invalidate(self, preserved: frozenset[str] | set[str] = frozenset()
+                   ) -> None:
+        """Drop every cached result not named in *preserved* (what the
+        pipeline calls after a pass reports a change)."""
+        if not preserved:
+            self._cache.clear()
+            return
+        self._cache = {name: result for name, result in self._cache.items()
+                       if name in preserved}
+
+    def invalidate_one(self, name: str) -> None:
+        self._cache.pop(name, None)
+
+    def cached_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._cache))

@@ -1,0 +1,180 @@
+"""Registered transformation passes and pipeline scheduling.
+
+A *pass* is a named transform ``run(unit, am) -> changed`` over the same
+unit type its :class:`~repro.passes.manager.AnalysisManager` serves.  Each
+pass declares which analyses it ``preserves``; when a pass reports a
+change, the pipeline invalidates every cached analysis the pass did not
+promise to keep (a pass that reports *no* change preserves everything by
+definition — that is what makes cross-pass analysis reuse sound).
+
+:class:`PassPipeline` executes an ordered list of passes either once or to
+a bounded fixed point, wrapping every pass execution in a telemetry span
+(``pass:<name>``) and counting runs / changes per pass, so a
+telemetry-enabled compile shows exactly which pass does the work.  An
+optional ``after_pass`` observer hook is the seam the bcc CLI's
+``--emit-ir-after`` dump rides on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from repro import telemetry
+from repro.errors import ReproError
+from repro.passes.manager import AnalysisManager, AnalysisRegistry
+
+__all__ = ["Pass", "FunctionPass", "PassRegistry", "PassPipeline",
+           "PipelineError"]
+
+
+class PipelineError(ReproError):
+    """Bad pipeline spec: unknown pass name or malformed spec string."""
+
+
+class Pass:
+    """Base class: a named unit transform with a ``preserves`` contract.
+
+    Subclasses set :attr:`name` and implement :meth:`run`.  ``preserves``
+    names the analyses that stay valid *even when the pass reports a
+    change*; everything else is invalidated by the pipeline.
+    """
+
+    name: str = "<unnamed>"
+    preserves: frozenset[str] = frozenset()
+    description: str = ""
+
+    def run(self, unit, am: AnalysisManager) -> bool:
+        """Transform *unit*; return True iff anything changed."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Pass {self.name}>"
+
+
+class FunctionPass(Pass):
+    """Adapter: wrap a plain ``fn(unit, am) -> bool`` callable as a pass."""
+
+    def __init__(self, name: str, fn: Callable[..., bool],
+                 preserves: Iterable[str] = (),
+                 description: str = "") -> None:
+        self.name = name
+        self._fn = fn
+        self.preserves = frozenset(preserves)
+        self.description = description or (fn.__doc__ or "").strip()
+
+    def run(self, unit, am: AnalysisManager) -> bool:
+        return self._fn(unit, am)
+
+
+class PassRegistry:
+    """Name -> pass, with comma-separated pipeline-spec parsing."""
+
+    def __init__(self, namespace: str) -> None:
+        self.namespace = namespace
+        self._passes: dict[str, Pass] = {}
+
+    def register(self, name: str, *, preserves: Iterable[str] = (),
+                 description: str = ""):
+        """Decorator registering ``fn(unit, am) -> bool`` under *name*."""
+
+        def decorator(fn):
+            self.add(FunctionPass(name, fn, preserves=preserves,
+                                  description=description))
+            return fn
+
+        return decorator
+
+    def add(self, pass_: Pass) -> Pass:
+        if pass_.name in self._passes:
+            raise ValueError(f"pass {pass_.name!r} already registered in "
+                             f"{self.namespace!r}")
+        self._passes[pass_.name] = pass_
+        return pass_
+
+    def get(self, name: str) -> Pass:
+        try:
+            return self._passes[name]
+        except KeyError:
+            known = ", ".join(sorted(self._passes)) or "<none>"
+            raise PipelineError(
+                f"unknown pass {name!r} (known passes: {known})",
+                phase="pipeline") from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._passes))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._passes
+
+    def parse(self, spec: str | Sequence[str]) -> list[Pass]:
+        """Resolve a pipeline spec — ``"dce,simplify-cfg"`` or a sequence
+        of names — into pass instances, validating every name."""
+        if isinstance(spec, str):
+            names = [part.strip() for part in spec.split(",") if part.strip()]
+        else:
+            names = list(spec)
+        return [self.get(name) for name in names]
+
+
+class PassPipeline:
+    """Ordered pass execution with optional fixed-point scheduling.
+
+    Parameters
+    ----------
+    passes:
+        The passes, in execution order.
+    fixed_point:
+        Re-run the whole sequence until no pass reports a change (bounded
+        by *max_rounds*).  ``False`` runs each pass exactly once.
+    max_rounds:
+        Fixed-point bound (the seed optimizer's historical 8).
+    category:
+        Telemetry span category for the per-pass spans.
+    """
+
+    def __init__(self, passes: Sequence[Pass], *, fixed_point: bool = False,
+                 max_rounds: int = 8, category: str = "opt") -> None:
+        self.passes = list(passes)
+        self.fixed_point = fixed_point
+        self.max_rounds = max_rounds if fixed_point else 1
+        self.category = category
+
+    def pass_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.passes)
+
+    def run(self, unit, am: AnalysisManager | None = None,
+            after_pass: Callable[[Pass, object, bool], None] | None = None,
+            ) -> bool:
+        """Run the pipeline over *unit*; returns True iff anything changed.
+
+        *am* is created on demand when the first pass needs one is not
+        supplied (passes receive it either way). *after_pass* is called as
+        ``after_pass(pass_, unit, changed)`` after every pass execution —
+        the ``--emit-ir-after`` seam.
+        """
+        if am is None:
+            am = AnalysisManager(unit, _NULL_ANALYSES)
+        tm = telemetry.get()
+        any_changed = False
+        for round_index in range(self.max_rounds):
+            round_changed = False
+            for pass_ in self.passes:
+                with tm.span(f"pass:{pass_.name}", category=self.category,
+                             round=round_index):
+                    changed = bool(pass_.run(unit, am))
+                tm.counter(f"pass.{pass_.name}.runs").inc()
+                if changed:
+                    tm.counter(f"pass.{pass_.name}.changed").inc()
+                    am.invalidate(preserved=pass_.preserves)
+                if after_pass is not None:
+                    after_pass(pass_, unit, changed)
+                round_changed |= changed
+            any_changed |= round_changed
+            if not round_changed:
+                break
+        return any_changed
+
+
+#: Empty registry backing pipelines whose passes request no analyses;
+#: keeps AnalysisManager construction uniform.
+_NULL_ANALYSES = AnalysisRegistry("null")

@@ -1,0 +1,229 @@
+"""The bcc optimizer as a registered pass pipeline.
+
+Covers pipeline-spec resolution, the ``opt.liveness`` cached-analysis
+reuse proof (the historical bug was recomputing liveness for both ``dce``
+and ``copy-coalesce`` every round), per-pass telemetry, and the new CLI
+surface (``--passes`` / ``-O0`` / ``-O1`` / ``--emit-ir-after``).
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.bcc.__main__ import main as bcc_main
+from repro.bcc.driver import compile_to_asm
+from repro.bcc.ir import (
+    INT, BinOp, CBr, Copy, Imm, IRBlock, IRFunction, Jump, LoadConst, Ret,
+)
+from repro.bcc.opt import (
+    IR_ANALYSES, IR_PASSES, O0_PASSES, O1_PASSES, build_pipeline,
+    optimize_function, optimize_program, pipeline_spec,
+)
+from repro.passes import PipelineError
+from repro.telemetry import Telemetry
+
+SOURCE = """
+int square(int x) { return x * x; }
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 10; i = i + 1) {
+    s = s + square(i) + 0;
+  }
+  print_int(s);
+  return 0;
+}
+"""
+
+
+@pytest.fixture
+def sink():
+    s = Telemetry()
+    with telemetry.use(s):
+        yield s
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.blc"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def func_of(*blocks: IRBlock) -> IRFunction:
+    f = IRFunction("t")
+    f.blocks = list(blocks)
+    for b in blocks:
+        for inst in b.instructions:
+            for v in list(inst.uses()) + list(inst.defs()):
+                f.vreg_class.setdefault(v, INT)
+    f._next_vreg = max(f.vreg_class, default=0) + 1
+    return f
+
+
+class TestPipelineSpec:
+    def test_default_is_o1(self):
+        assert pipeline_spec(None) == O1_PASSES
+
+    @pytest.mark.parametrize("spec", ["O0", "-O0", "0", "none"])
+    def test_o0_aliases(self, spec):
+        assert pipeline_spec(spec) == O0_PASSES == ()
+
+    @pytest.mark.parametrize("spec", ["O1", "-O1", "1", "default"])
+    def test_o1_aliases(self, spec):
+        assert pipeline_spec(spec) == O1_PASSES
+
+    def test_explicit_comma_spec(self):
+        assert pipeline_spec("local-propagate, dce") == \
+            ("local-propagate", "dce")
+
+    def test_sequence_spec(self):
+        assert pipeline_spec(["dce"]) == ("dce",)
+
+    def test_unknown_pass_raises_pipeline_error(self):
+        with pytest.raises(PipelineError, match="unknown pass"):
+            pipeline_spec("dce,typo-pass")
+
+    def test_registered_passes(self):
+        assert set(O1_PASSES) <= set(IR_PASSES.names())
+
+    def test_build_pipeline_order(self):
+        assert build_pipeline().pass_names() == O1_PASSES
+        assert build_pipeline("dce").pass_names() == ("dce",)
+
+
+class TestLivenessReuse:
+    """Satellite (a): both liveness consumers route through ONE cached
+    analysis, and the reuse is *observable*, not assumed."""
+
+    def _loopy_function(self):
+        # a function where dce converges before copy-coalesce, so the
+        # final round has dce compute liveness (miss) and copy-coalesce
+        # hit the cache (no invalidation in between)
+        return func_of(
+            IRBlock("e", [LoadConst(0, 7), LoadConst(9, 1), Jump("loop")]),
+            IRBlock("loop", [
+                BinOp("add", 1, 0, Imm(2)),
+                Copy(2, 1),
+                BinOp("add", 0, 2, Imm(-1)),
+                CBr("ne", 0, Imm(0), "loop", "out"),
+            ]),
+            IRBlock("out", [Ret(0, INT)]),
+        )
+
+    def test_liveness_reused_within_round(self, sink):
+        optimize_function(self._loopy_function())
+        counters = sink.counters()
+        assert counters.get("opt.liveness.compute", 0) >= 1
+        # the proof: at least one consumer got a cache hit
+        assert counters.get("opt.liveness.reuse", 0) >= 1
+
+    def test_liveness_not_computed_per_consumer(self, sink):
+        optimize_function(self._loopy_function())
+        counters = sink.counters()
+        dce_runs = counters.get("pass.dce.runs", 0)
+        coalesce_runs = counters.get("pass.copy-coalesce.runs", 0)
+        # two consumers per round; without the shared cache this would be
+        # dce_runs + coalesce_runs computations
+        assert counters["opt.liveness.compute"] < dce_runs + coalesce_runs
+
+    def test_analysis_registered(self):
+        assert "liveness" in IR_ANALYSES
+
+    def test_per_pass_spans_emitted(self, sink):
+        optimize_function(self._loopy_function())
+        names = {s.name for s in sink.spans}
+        for name in O1_PASSES:
+            assert f"pass:{name}" in names
+
+    def test_cached_liveness_identical_output(self):
+        """Routing copy-coalesce through cached liveness cannot change the
+        result (the single-use/single-def conditions already imply the
+        guard) — byte-identical IR with and without the cache."""
+        f1 = self._loopy_function()
+        f2 = self._loopy_function()
+        optimize_function(f1)                    # through the pass manager
+        from repro.bcc.opt import (
+            _coalesce_copies, _eliminate_dead, _local_propagate,
+            _simplify_cfg,
+        )
+        for _ in range(8):                       # the historical loop shape
+            changed = False
+            for block in f2.blocks:
+                changed |= _local_propagate(block)
+            changed |= _simplify_cfg(f2)
+            changed |= _eliminate_dead(f2)
+            changed |= _coalesce_copies(f2)
+            if not changed:
+                break
+        assert f1.dump() == f2.dump()
+
+
+class TestOptimizeProgramWrappers:
+    def test_disabled_returns_program_unchanged(self, source_file):
+        from repro.bcc.driver import compile_to_ir
+        ir = compile_to_ir(SOURCE, optimize=False)
+        dumped = ir.dump()
+        assert optimize_program(ir, enabled=False).dump() == dumped
+
+    def test_empty_spec_is_noop(self):
+        from repro.bcc.driver import compile_to_ir
+        ir = compile_to_ir(SOURCE, optimize=False)
+        dumped = ir.dump()
+        assert optimize_program(ir, passes="O0").dump() == dumped
+
+    def test_o0_and_o1_differ(self):
+        o0 = compile_to_asm(SOURCE, optimize=False)
+        o1 = compile_to_asm(SOURCE, optimize=True)
+        assert len(o0.splitlines()) > len(o1.splitlines())
+
+
+class TestBccCli:
+    def test_passes_flag(self, source_file, capsys):
+        assert bcc_main([source_file, "--dump-ir",
+                         "--passes", "local-propagate,dce"]) == 0
+        assert "func " in capsys.readouterr().out
+
+    def test_opt_levels(self, source_file):
+        assert bcc_main([source_file, "-O0"]) == 0
+        assert bcc_main([source_file, "-O1"]) == 0
+
+    def test_o0_matches_no_opt_asm(self, source_file, capsys):
+        assert bcc_main([source_file, "--emit-asm", "-O0"]) == 0
+        o0 = capsys.readouterr().out
+        assert bcc_main([source_file, "--emit-asm", "--no-opt"]) == 0
+        assert capsys.readouterr().out == o0
+
+    def test_emit_ir_after(self, source_file, capsys):
+        assert bcc_main([source_file, "--dump-ir",
+                         "--passes", "local-propagate,dce",
+                         "--emit-ir-after", "dce"]) == 0
+        out = capsys.readouterr().out
+        assert "; -- IR after dce" in out
+
+    def test_emit_ir_after_unknown_pass(self, source_file, capsys):
+        assert bcc_main([source_file, "--dump-ir",
+                         "--emit-ir-after", "nope"]) == 2
+        assert "unknown pass" in capsys.readouterr().err
+
+    def test_emit_ir_after_not_in_pipeline(self, source_file, capsys):
+        assert bcc_main([source_file, "--dump-ir", "--passes", "dce",
+                         "--emit-ir-after", "copy-coalesce"]) == 2
+        assert "not in the pipeline" in capsys.readouterr().err
+
+    def test_unknown_pass_spec(self, source_file, capsys):
+        assert bcc_main([source_file, "--passes", "bogus"]) == 2
+        assert "unknown pass" in capsys.readouterr().err
+
+    def test_explicit_passes_override_o0(self, source_file, capsys):
+        """--passes wins over -O0 (per the help text)."""
+        assert bcc_main([source_file, "--emit-asm", "-O0",
+                         "--passes", "local-propagate,dce"]) == 0
+        with_passes = capsys.readouterr().out
+        assert bcc_main([source_file, "--emit-asm", "-O0"]) == 0
+        without = capsys.readouterr().out
+        assert with_passes != without
+
+    def test_run_still_works_with_pipeline(self, source_file, capsys):
+        assert bcc_main([source_file, "--run",
+                         "--passes", "local-propagate,simplify-cfg"]) == 0
+        assert "285" in capsys.readouterr().out

@@ -1,0 +1,63 @@
+"""Golden-hash differential test (satellite of the pass-framework refactor).
+
+``tests/golden_hashes.json`` holds the sha256 of
+``compile_to_asm(optimize=True)`` for every suite benchmark, captured from
+the *pre-refactor* round-loop optimizer.  The registered-pass pipeline
+behind ``optimize_program`` must reproduce that output byte-for-byte:
+the refactor moved scheduling and caching, never semantics.
+
+If one of these fails after an intentional optimizer change, regenerate
+the file::
+
+    PYTHONPATH=src python - <<'EOF'
+    import hashlib, json
+    from repro.bcc.driver import compile_to_asm
+    from repro.bench.suite import suite
+    hashes = {b.name: hashlib.sha256(
+        compile_to_asm(b.source(), filename=f"{b.name}.blc",
+                       optimize=True).encode()).hexdigest()
+        for b in suite()}
+    print(json.dumps(hashes, indent=2))
+    EOF
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bcc.driver import compile_to_asm
+from repro.bench.suite import suite
+
+GOLDEN_PATH = Path(__file__).parent / "golden_hashes.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())["hashes"]
+
+
+def asm_hash(name: str, source: str) -> str:
+    asm = compile_to_asm(source, filename=f"{name}.blc", optimize=True)
+    return hashlib.sha256(asm.encode()).hexdigest()
+
+
+def test_golden_file_covers_the_whole_suite():
+    assert set(GOLDEN) == {b.name for b in suite()}
+
+
+@pytest.mark.parametrize("bench_name", sorted(GOLDEN))
+def test_pipeline_output_matches_pre_refactor_seed(bench_name):
+    from repro.bench.suite import get
+    b = get(bench_name)
+    assert asm_hash(b.name, b.source()) == GOLDEN[bench_name], (
+        f"{bench_name}: the default pass pipeline no longer reproduces the "
+        f"pre-refactor optimizer output (see module docstring to "
+        f"regenerate after an INTENTIONAL optimizer change)")
+
+
+def test_explicit_o1_spec_matches_default():
+    """`--passes` with the documented -O1 sequence is the same pipeline."""
+    b = next(iter(suite()))
+    default = compile_to_asm(b.source(), optimize=True)
+    explicit = compile_to_asm(
+        b.source(), optimize=True,
+        passes="local-propagate,simplify-cfg,dce,copy-coalesce")
+    assert default == explicit

@@ -1,0 +1,239 @@
+"""The pluggable heuristic registry and its ablation/order spec grammar
+(satellite of the pass-framework refactor), plus the harness's
+``--heuristics`` / ``--order`` CLI surface.
+"""
+
+import pytest
+
+from repro.core.classify import Prediction
+from repro.core.heuristics import (
+    HEURISTIC_NAMES, HEURISTICS, PAPER_ORDER, extended_guard_heuristic,
+)
+from repro.core.predictors import HeuristicPredictor, VotingPredictor
+from repro.core.registry import (
+    HEURISTIC_REGISTRY, HeuristicRegistry, HeuristicSpecError,
+    heuristic_names, paper_order, resolve_order,
+)
+
+MEASURED = ("Opcode", "Loop", "Call", "Return", "Guard", "Store", "Point")
+PAPER = ("Point", "Call", "Opcode", "Return", "Store", "Loop", "Guard")
+
+
+class TestRegistryContents:
+    def test_measured_set(self):
+        assert heuristic_names() == MEASURED
+
+    def test_paper_order(self):
+        assert paper_order() == PAPER
+
+    def test_extension_registered_but_not_measured(self):
+        entry = HEURISTIC_REGISTRY.get("ExtGuard")
+        assert entry.fn is extended_guard_heuristic
+        assert not entry.measured
+        assert "ExtGuard" not in heuristic_names()
+        assert "ExtGuard" in HEURISTIC_REGISTRY.all_names()
+
+    def test_case_insensitive_lookup(self):
+        assert HEURISTIC_REGISTRY.get("guard").name == "Guard"
+        assert "GUARD" in HEURISTIC_REGISTRY
+
+    def test_unknown_name(self):
+        with pytest.raises(HeuristicSpecError, match="unknown heuristic"):
+            HEURISTIC_REGISTRY.get("Gard")
+
+    def test_entries_have_descriptions(self):
+        for name in HEURISTIC_REGISTRY.all_names():
+            assert HEURISTIC_REGISTRY.get(name).description
+
+
+class TestBackCompatViews:
+    def test_module_constants_are_registry_views(self):
+        assert HEURISTIC_NAMES == MEASURED
+        assert PAPER_ORDER == PAPER
+        assert tuple(HEURISTICS) == MEASURED
+
+    def test_mapping_view_measured_only(self):
+        assert "Guard" in HEURISTICS
+        assert "ExtGuard" not in HEURISTICS
+        with pytest.raises(KeyError):
+            HEURISTICS["ExtGuard"]
+        assert len(HEURISTICS) == 7
+        assert HEURISTICS["Guard"] is HEURISTIC_REGISTRY.fn("Guard")
+
+
+class TestResolveOrder:
+    def test_default_is_paper(self):
+        assert resolve_order() == PAPER
+        assert resolve_order("paper") == PAPER
+
+    def test_registry_order(self):
+        assert resolve_order("registry") == MEASURED
+        assert resolve_order("default") == MEASURED
+
+    def test_explicit_order(self):
+        assert resolve_order("Guard,Point") == ("Guard", "Point")
+        assert resolve_order(["store", "call"]) == ("Store", "Call")
+
+    def test_drop_one(self):
+        assert resolve_order(heuristics="-guard") == PAPER[:-1]
+
+    def test_drop_many(self):
+        order = resolve_order(heuristics="-guard,-point")
+        assert order == ("Call", "Opcode", "Return", "Store", "Loop")
+
+    def test_keep_only(self):
+        assert resolve_order(heuristics="Point,Call") == ("Point", "Call")
+        # base order preserved, not spec order
+        assert resolve_order(heuristics="Call,Point") == ("Point", "Call")
+
+    def test_mixing_drop_and_keep_rejected(self):
+        with pytest.raises(HeuristicSpecError, match="cannot mix"):
+            resolve_order(heuristics="-guard,Point")
+
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(HeuristicSpecError, match="duplicate"):
+            resolve_order("Guard,guard")
+
+    def test_unknown_in_spec(self):
+        with pytest.raises(HeuristicSpecError):
+            resolve_order(heuristics="-nonexistent")
+
+    def test_order_then_filter(self):
+        assert resolve_order("registry", "-opcode") == MEASURED[1:]
+
+
+class TestCustomRegistration:
+    def test_register_and_unregister(self):
+        reg = HeuristicRegistry()
+
+        @reg.register("Alpha", 0, paper_rank=1)
+        def alpha(branch, pa):
+            return Prediction.TAKEN
+
+        @reg.register("Beta", 1, paper_rank=0, description="beta rule")
+        def beta(branch, pa):
+            return None
+
+        assert reg.names() == ("Alpha", "Beta")
+        assert reg.paper_order() == ("Beta", "Alpha")
+        reg.unregister("alpha")
+        assert reg.names() == ("Beta",)
+
+    def test_duplicate_name_rejected(self):
+        reg = HeuristicRegistry()
+        reg.register("X", 0)(lambda b, p: None)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("x", 1)(lambda b, p: None)
+
+    def test_duplicate_ranks_rejected(self):
+        reg = HeuristicRegistry()
+        reg.register("X", 0, paper_rank=0)(lambda b, p: None)
+        with pytest.raises(ValueError, match="default_rank"):
+            reg.register("Y", 0)(lambda b, p: None)
+        with pytest.raises(ValueError, match="paper_rank"):
+            reg.register("Z", 1, paper_rank=0)(lambda b, p: None)
+
+    def test_plugin_heuristic_usable_in_predictor_order(self):
+        """A freshly registered extension can be named in a predictor
+        order (the ablation/extension workflow end-to-end)."""
+        from repro.bcc.driver import compile_and_link
+        from repro.core.classify import classify_branches
+
+        @HEURISTIC_REGISTRY.register("TestAlwaysTaken", 99,
+                                     description="test plugin")
+        def _always(branch, pa):
+            return Prediction.TAKEN
+
+        try:
+            exe = compile_and_link(
+                "int main() { int i; int s = 0;"
+                " for (i = 0; i < 3; i = i + 1) {"
+                "   if (s > 1) { s = s - 1; } else { s = s + 2; } }"
+                " print_int(s); return 0; }")
+            analysis = classify_branches(exe)
+            predictor = HeuristicPredictor(
+                analysis, order=("TestAlwaysTaken",))
+            predictions = predictor.predictions()
+            non_loop = analysis.non_loop_branches()
+            assert non_loop
+            for b in non_loop:
+                assert predictions[b.address] is Prediction.TAKEN
+                assert predictor.attribution[b.address] == "TestAlwaysTaken"
+        finally:
+            HEURISTIC_REGISTRY.unregister("TestAlwaysTaken")
+        assert "TestAlwaysTaken" not in HEURISTIC_REGISTRY
+
+
+class TestPredictorsConsumeRegistry:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        from repro.bcc.driver import compile_and_link
+        from repro.core.classify import classify_branches
+        exe = compile_and_link(
+            "int main() { int i; int s = 0;"
+            " for (i = 0; i < 10; i = i + 1) {"
+            "   if (s > 5) { s = s - 2; } else { s = s + 3; } }"
+            " print_int(s); return 0; }")
+        return classify_branches(exe)
+
+    def test_default_order_is_paper_chain(self, analysis):
+        assert HeuristicPredictor(analysis).order == PAPER
+
+    def test_order_names_canonicalised(self, analysis):
+        predictor = HeuristicPredictor(analysis, order=("guard", "POINT"))
+        assert predictor.order == ("Guard", "Point")
+
+    def test_unknown_heuristic_is_value_error(self, analysis):
+        with pytest.raises(ValueError, match="unknown"):
+            HeuristicPredictor(analysis, order=("Gard",))
+
+    def test_ablated_order_never_attributes_dropped(self, analysis):
+        order = resolve_order(heuristics="-guard")
+        predictor = HeuristicPredictor(analysis, order=order)
+        predictor.predictions()
+        assert "Guard" not in predictor.attribution.values()
+
+    def test_voting_defaults_to_measured_set(self, analysis):
+        assert set(VotingPredictor(analysis).weights) == set(MEASURED)
+
+    def test_voting_weight_names_canonicalised(self, analysis):
+        predictor = VotingPredictor(analysis, weights={"guard": 2.0})
+        assert predictor.weights == {"Guard": 2.0}
+
+
+class TestHarnessAblationCli:
+    def test_drop_one_ablation_end_to_end(self, capsys):
+        from repro.harness.__main__ import main as harness_main
+        assert harness_main(["--benchmarks", "queens", "--tables", "5",
+                             "--graphs", "", "--heuristics", "-guard",
+                             "--order", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "Guard" not in out
+        assert "Point" in out
+
+    def test_explicit_order_changes_table5_header(self, capsys):
+        from repro.harness.__main__ import main as harness_main
+        assert harness_main(["--benchmarks", "queens", "--tables", "5",
+                             "--graphs", "", "--order",
+                             "Guard,Point,Call"]) == 0
+        out = capsys.readouterr().out
+        assert "Guard -> Point -> Call" in out
+
+    def test_bad_spec_exits_2(self, capsys):
+        from repro.harness.__main__ import main as harness_main
+        assert harness_main(["--benchmarks", "queens",
+                             "--heuristics", "-nonexistent"]) == 2
+
+    def test_absorb_dash_values(self):
+        from repro.harness.__main__ import _absorb_dash_values
+        assert _absorb_dash_values(["--heuristics", "-guard"]) == \
+            ["--heuristics=-guard"]
+        assert _absorb_dash_values(["--order", "paper"]) == \
+            ["--order", "paper"]
+        assert _absorb_dash_values(["--degraded"]) == ["--degraded"]
+
+    def test_orders_experiments_respect_ablation(self):
+        """The ordering machinery handles a 6-heuristic set (6! orders)."""
+        from repro.core.orders import all_orders
+        names = resolve_order("registry", "-guard")
+        assert len(all_orders(names)) == 720

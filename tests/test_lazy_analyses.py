@@ -1,0 +1,162 @@
+"""Laziness regression tests for the CFG analyses (satellite of the pass
+framework refactor).
+
+The classifier used to compute dominator and postdominator trees eagerly
+for *every* procedure.  Now they are registered, lazily computed analyses
+on a per-procedure :class:`~repro.passes.manager.AnalysisManager`:
+
+* branch-free procedures never pay for a dominator or postdominator tree;
+* the postdominator tree is only built the first time a property-based
+  heuristic asks for it, then memoized;
+* ``analysis.<name>.compute`` / ``.reuse`` telemetry counters make all of
+  this observable rather than assumed.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.bcc.driver import compile_and_link
+from repro.cfg import analysis as cfg_analysis
+from repro.cfg.builder import build_cfg
+from repro.core.classify import ProcedureAnalysis, classify_branches
+from repro.core.heuristics import guard_heuristic
+from repro.telemetry import Telemetry
+
+# main has branches; the helpers are straight-line (branch-free)
+SOURCE = """
+int lin1(int x) { return x * 3 + 1; }
+int lin2(int x) { return x - 7; }
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 5; i = i + 1) {
+    if (s > 10) { s = lin1(s); } else { s = lin2(s) + i; }
+  }
+  print_int(s);
+  return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def executable():
+    return compile_and_link(SOURCE)
+
+
+@pytest.fixture
+def sink():
+    s = Telemetry()
+    with telemetry.use(s):
+        yield s
+
+
+def _counting(monkeypatch, name):
+    """Monkeypatch ``repro.cfg.analysis.<name>`` to record the procedures
+    it is invoked for."""
+    seen = []
+    original = getattr(cfg_analysis, name)
+
+    def wrapper(cfg, *args, **kwargs):
+        seen.append(cfg.procedure.name)
+        return original(cfg, *args, **kwargs)
+
+    monkeypatch.setattr(cfg_analysis, name, wrapper)
+    return seen
+
+
+class TestBranchFreeProceduresPayNothing:
+    def test_no_dominators_for_branch_free_procedures(self, executable,
+                                                      monkeypatch):
+        dom_calls = _counting(monkeypatch, "compute_dominators")
+        classify_branches(executable)
+        assert "lin1" not in dom_calls
+        assert "lin2" not in dom_calls
+        # ... but branchy procedures did need loop facts (which pull dom)
+        assert "main" in dom_calls
+
+    def test_no_postdominators_during_classification(self, executable,
+                                                     monkeypatch):
+        post_calls = _counting(monkeypatch, "compute_postdominators")
+        classify_branches(executable)
+        # classification needs natural loops (dom), never the postdom tree
+        assert post_calls == []
+
+    def test_no_loop_analysis_for_branch_free_procedures(self, executable,
+                                                         monkeypatch):
+        loop_calls = _counting(monkeypatch, "analyze_loops")
+        classify_branches(executable)
+        assert "lin1" not in loop_calls
+        assert "lin2" not in loop_calls
+
+
+class TestPostdomLazyUntilHeuristicQuery:
+    def test_postdom_computed_on_first_heuristic_use(self, executable,
+                                                     monkeypatch):
+        post_calls = _counting(monkeypatch, "compute_postdominators")
+        analysis = classify_branches(executable)
+        assert post_calls == []
+        branch = analysis.non_loop_branches()[0]
+        pa = analysis.analysis_of(branch)
+        guard_heuristic(branch, pa)      # property heuristic pulls postdom
+        assert post_calls == [branch.procedure.name]
+
+    def test_postdom_memoized_across_heuristics(self, executable,
+                                                monkeypatch, sink):
+        post_calls = _counting(monkeypatch, "compute_postdominators")
+        analysis = classify_branches(executable)
+        for branch in analysis.non_loop_branches():
+            pa = analysis.analysis_of(branch)
+            guard_heuristic(branch, pa)
+            guard_heuristic(branch, pa)
+        # one computation per procedure that was actually queried
+        assert len(post_calls) == len(set(post_calls))
+        counters = sink.counters()
+        assert counters["analysis.postdomtree.compute"] == len(post_calls)
+        assert counters["analysis.postdomtree.reuse"] >= len(post_calls)
+
+    def test_dom_shared_between_loops_and_heuristics(self, executable,
+                                                     monkeypatch):
+        """natural-loops pulls domtree through the same cache the Guard
+        heuristic later reads — one dominator computation per procedure."""
+        dom_calls = _counting(monkeypatch, "compute_dominators")
+        analysis = classify_branches(executable)
+        for branch in analysis.branches.values():
+            pa = analysis.analysis_of(branch)
+            pa.dom          # explicit query on top of classification
+        assert len(dom_calls) == len(set(dom_calls))
+
+
+class TestProcedureAnalysisBackCompat:
+    def test_eager_seed_shape_still_works(self, executable):
+        """The historical eager constructor (precomputed results passed
+        in) seeds the manager's cache — no recomputation."""
+        from repro.cfg.dominators import (
+            compute_dominators, compute_postdominators,
+        )
+        from repro.cfg.loops import analyze_loops
+        proc = next(p for p in executable.procedures if p.name == "main")
+        cfg = build_cfg(proc)
+        dom = compute_dominators(cfg)
+        postdom = compute_postdominators(cfg)
+        loops = analyze_loops(cfg, dom)
+        pa = ProcedureAnalysis(cfg, dom=dom, postdom=postdom, loops=loops)
+        assert pa.dom is dom
+        assert pa.postdom is postdom
+        assert pa.loops is loops
+
+    def test_lazy_properties_compute_on_demand(self, executable, sink):
+        proc = next(p for p in executable.procedures if p.name == "main")
+        pa = ProcedureAnalysis(build_cfg(proc))
+        assert not pa.am.is_cached("domtree")
+        pa.loops                         # pulls domtree beneath it
+        assert pa.am.is_cached("domtree")
+        assert pa.am.is_cached("natural-loops")
+        assert not pa.am.is_cached("postdomtree")
+        counters = sink.counters()
+        assert counters["analysis.domtree.compute"] == 1
+        assert counters["analysis.natural-loops.compute"] == 1
+        assert "analysis.postdomtree.compute" not in counters
+
+    def test_registry_names(self):
+        assert set(cfg_analysis.CFG_ANALYSES.names()) == {
+            "domtree", "postdomtree", "natural-loops"}

@@ -1,0 +1,318 @@
+"""Tests for the generic pass/analysis-manager framework (repro.passes)."""
+
+import pytest
+
+from repro import telemetry
+from repro.passes import (
+    AnalysisManager, AnalysisRegistry, FunctionPass, Pass, PassPipeline,
+    PassRegistry, PipelineError,
+)
+from repro.passes.manager import UnknownAnalysisError
+from repro.telemetry import Telemetry
+
+
+@pytest.fixture
+def sink():
+    s = Telemetry()
+    with telemetry.use(s):
+        yield s
+
+
+class Unit:
+    """A trivially mutable analysis unit."""
+
+    def __init__(self, value=0):
+        self.value = value
+        self.log = []
+
+
+def make_registry():
+    reg = AnalysisRegistry("test")
+    calls = {"double": 0, "quad": 0}
+
+    @reg.register("double")
+    def _double(unit, am):
+        calls["double"] += 1
+        return unit.value * 2
+
+    @reg.register("quad", counter_prefix="test.quad")
+    def _quad(unit, am):
+        calls["quad"] += 1
+        # depends on another analysis through the same cache
+        return am.get("double") * 2
+
+    return reg, calls
+
+
+class TestAnalysisRegistry:
+    def test_duplicate_registration_rejected(self):
+        reg, _ = make_registry()
+        with pytest.raises(ValueError, match="already registered"):
+            @reg.register("double")
+            def _again(unit, am):
+                return None
+
+    def test_unknown_analysis(self):
+        reg, _ = make_registry()
+        am = reg.manager(Unit())
+        with pytest.raises(UnknownAnalysisError, match="nope"):
+            am.get("nope")
+
+    def test_names_sorted(self):
+        reg, _ = make_registry()
+        assert reg.names() == ("double", "quad")
+        assert "double" in reg and "nope" not in reg
+
+
+class TestAnalysisManager:
+    def test_memoizes(self):
+        reg, calls = make_registry()
+        am = reg.manager(Unit(3))
+        assert am.get("double") == 6
+        assert am.get("double") == 6
+        assert calls["double"] == 1
+
+    def test_dependency_shares_cache(self):
+        reg, calls = make_registry()
+        am = reg.manager(Unit(3))
+        assert am.get("quad") == 12
+        # quad pulled double through the cache; a later direct request
+        # reuses it
+        assert am.get("double") == 6
+        assert calls["double"] == 1
+
+    def test_compute_and_reuse_counters(self, sink):
+        reg, _ = make_registry()
+        am = reg.manager(Unit(1))
+        am.get("double")
+        am.get("double")
+        am.get("quad")   # computes quad, REUSES double
+        counters = sink.counters()
+        assert counters["analysis.double.compute"] == 1
+        assert counters["analysis.double.reuse"] == 2
+        assert counters["test.quad.compute"] == 1  # custom prefix
+
+    def test_invalidate_all(self):
+        reg, calls = make_registry()
+        am = reg.manager(Unit(2))
+        am.get("double")
+        am.invalidate()
+        am.get("double")
+        assert calls["double"] == 2
+
+    def test_invalidate_preserved(self):
+        reg, calls = make_registry()
+        am = reg.manager(Unit(2))
+        am.get("double")
+        am.get("quad")
+        am.invalidate(preserved=frozenset({"double"}))
+        assert am.is_cached("double")
+        assert not am.is_cached("quad")
+        am.get("quad")
+        assert calls["double"] == 1   # never recomputed
+
+    def test_seed_and_cached(self):
+        reg, calls = make_registry()
+        am = reg.manager(Unit(5))
+        am.seed("double", 99)
+        assert am.get("double") == 99
+        assert calls["double"] == 0
+        assert am.cached("double") == 99
+        assert am.cached("quad") is None
+        with pytest.raises(UnknownAnalysisError):
+            am.seed("nonexistent", 1)
+
+    def test_invalidate_one_and_cached_names(self):
+        reg, _ = make_registry()
+        am = reg.manager(Unit(1))
+        am.get("double")
+        am.get("quad")
+        assert am.cached_names() == ("double", "quad")
+        am.invalidate_one("quad")
+        assert am.cached_names() == ("double",)
+
+
+class TestPassRegistry:
+    def test_register_and_parse(self):
+        reg = PassRegistry("test")
+
+        @reg.register("inc", description="increment")
+        def _inc(unit, am):
+            unit.value += 1
+            return True
+
+        @reg.register("noop")
+        def _noop(unit, am):
+            return False
+
+        passes = reg.parse("inc, noop")
+        assert [p.name for p in passes] == ["inc", "noop"]
+        passes = reg.parse(["noop", "inc"])
+        assert [p.name for p in passes] == ["noop", "inc"]
+
+    def test_duplicate_pass_rejected(self):
+        reg = PassRegistry("test")
+        reg.add(FunctionPass("p", lambda u, am: False))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.add(FunctionPass("p", lambda u, am: False))
+
+    def test_unknown_pass_is_structured_error(self):
+        reg = PassRegistry("test")
+        reg.add(FunctionPass("known", lambda u, am: False))
+        with pytest.raises(PipelineError) as exc_info:
+            reg.parse("known,unknown")
+        assert "known passes" in str(exc_info.value)
+        assert exc_info.value.phase == "pipeline"
+
+
+class TestPassPipeline:
+    def test_runs_once_without_fixed_point(self):
+        reg = PassRegistry("t")
+
+        @reg.register("bump")
+        def _bump(unit, am):
+            unit.value += 1
+            return True   # always claims change
+
+        unit = Unit(0)
+        pipeline = PassPipeline(reg.parse("bump"), fixed_point=False)
+        assert pipeline.run(unit) is True
+        assert unit.value == 1
+
+    def test_fixed_point_converges(self):
+        reg = PassRegistry("t")
+
+        @reg.register("to-three")
+        def _to_three(unit, am):
+            if unit.value < 3:
+                unit.value += 1
+                return True
+            return False
+
+        unit = Unit(0)
+        pipeline = PassPipeline(reg.parse("to-three"), fixed_point=True,
+                                max_rounds=10)
+        assert pipeline.run(unit) is True
+        assert unit.value == 3
+
+    def test_fixed_point_bounded_by_max_rounds(self):
+        reg = PassRegistry("t")
+
+        @reg.register("forever")
+        def _forever(unit, am):
+            unit.value += 1
+            return True
+
+        unit = Unit(0)
+        pipeline = PassPipeline(reg.parse("forever"), fixed_point=True,
+                                max_rounds=4)
+        pipeline.run(unit)
+        assert unit.value == 4
+
+    def test_change_invalidates_unpreserved_analyses(self):
+        areg, calls = make_registry()
+        preg = PassRegistry("t")
+
+        @preg.register("mutate")
+        def _mutate(unit, am):
+            unit.value += 1
+            return True
+
+        @preg.register("reader")
+        def _reader(unit, am):
+            unit.log.append(am.get("double"))
+            return False
+
+        unit = Unit(1)
+        am = areg.manager(unit)
+        pipeline = PassPipeline(preg.parse("reader,mutate,reader"),
+                                fixed_point=False)
+        pipeline.run(unit, am=am)
+        # second reader recomputed after the mutation invalidated the cache
+        assert unit.log == [2, 4]
+        assert calls["double"] == 2
+
+    def test_preserves_contract_keeps_analysis(self):
+        areg, calls = make_registry()
+        preg = PassRegistry("t")
+
+        @preg.register("mutate-preserving", preserves=("double",))
+        def _mutate(unit, am):
+            unit.value += 1
+            return True
+
+        @preg.register("reader")
+        def _reader(unit, am):
+            unit.log.append(am.get("double"))
+            return False
+
+        unit = Unit(1)
+        am = areg.manager(unit)
+        pipeline = PassPipeline(
+            preg.parse("reader,mutate-preserving,reader"),
+            fixed_point=False)
+        pipeline.run(unit, am=am)
+        # the preserved analysis was NOT recomputed (stale by design —
+        # that is what the preserves contract promises)
+        assert unit.log == [2, 2]
+        assert calls["double"] == 1
+
+    def test_no_change_preserves_everything(self):
+        areg, calls = make_registry()
+        preg = PassRegistry("t")
+
+        @preg.register("inspect")
+        def _inspect(unit, am):
+            am.get("double")
+            return False
+
+        unit = Unit(1)
+        am = areg.manager(unit)
+        PassPipeline(preg.parse("inspect,inspect"),
+                     fixed_point=False).run(unit, am=am)
+        assert calls["double"] == 1
+
+    def test_after_pass_hook(self):
+        preg = PassRegistry("t")
+
+        @preg.register("a")
+        def _a(unit, am):
+            return True
+
+        @preg.register("b")
+        def _b(unit, am):
+            return False
+
+        seen = []
+        unit = Unit()
+        PassPipeline(preg.parse("a,b"), fixed_point=False).run(
+            unit, after_pass=lambda p, u, c: seen.append((p.name, c)))
+        assert seen == [("a", True), ("b", False)]
+
+    def test_telemetry_spans_and_counters(self, sink):
+        preg = PassRegistry("t")
+
+        @preg.register("work")
+        def _work(unit, am):
+            done = unit.value == 0
+            unit.value = 1
+            return done
+
+        unit = Unit(0)
+        PassPipeline(preg.parse("work"), fixed_point=True,
+                     max_rounds=8).run(unit)
+        counters = sink.counters()
+        assert counters["pass.work.runs"] == 2      # changed, then stable
+        assert counters["pass.work.changed"] == 1
+        names = [s.name for s in sink.spans]
+        assert names.count("pass:work") == 2
+
+    def test_pass_base_class_run_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Pass().run(Unit(), None)
+
+    def test_pass_names(self):
+        preg = PassRegistry("t")
+        preg.add(FunctionPass("x", lambda u, am: False))
+        pipeline = PassPipeline(preg.parse("x"))
+        assert pipeline.pass_names() == ("x",)
