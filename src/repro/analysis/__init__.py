@@ -1,0 +1,58 @@
+"""Static-analysis subsystem: dataflow engine, IR analyses, verifier, lint.
+
+Layers (each importable on its own):
+
+* :mod:`repro.analysis.dataflow` — the generic worklist solver
+  (forward/backward, configurable join/transfer, per-edge refinement,
+  widening hook);
+* :mod:`repro.analysis.lattice` — the 32-bit interval lattice;
+* :mod:`repro.analysis.sccp` / :mod:`~repro.analysis.ranges` /
+  :mod:`~repro.analysis.reaching` — IR analyses registered on
+  :data:`repro.bcc.opt.IR_ANALYSES` (memoized + invalidated through the
+  pass manager, with ``analysis.<name>.compute/reuse`` telemetry);
+* :mod:`repro.analysis.verify` — the IR verifier behind
+  ``--verify-each``;
+* :mod:`repro.analysis.branches` — always/never-taken branch evidence
+  exported to the prediction core (the ``Range`` heuristic);
+* :mod:`repro.analysis.lint` — the BLC source linter
+  (``python -m repro.bcc FILE --lint``).
+
+See docs/static-analysis.md for the full methodology.
+"""
+
+from repro.analysis.branches import (
+    BranchEvidence, BranchFact, ExecutableEvidence,
+    analyze_branch_evidence, attach_evidence, evidence_of,
+)
+from repro.analysis.dataflow import (
+    BACKWARD, FORWARD, UNREACHABLE, DataflowDivergenceError,
+    DataflowProblem, DataflowResult, Unreachable, solve,
+)
+from repro.analysis.lattice import (
+    INT32_MAX, INT32_MIN, TOP, Interval,
+)
+from repro.analysis.lint import LintDiagnostic, RULES, lint_path, \
+    lint_source
+from repro.analysis.ranges import RangeProblem, ranges
+from repro.analysis.reaching import ReachingDefinitions, \
+    reaching_definitions
+from repro.analysis.sccp import SCCPProblem, sccp, sccp_fold
+from repro.analysis.verify import (
+    IRVerifyError, VerifyDiagnostic, VerifyReport, assert_valid,
+    verify_function, verify_program,
+)
+
+__all__ = [
+    "FORWARD", "BACKWARD", "UNREACHABLE", "Unreachable",
+    "DataflowProblem", "DataflowResult", "DataflowDivergenceError",
+    "solve",
+    "Interval", "TOP", "INT32_MIN", "INT32_MAX",
+    "SCCPProblem", "sccp", "sccp_fold",
+    "RangeProblem", "ranges",
+    "ReachingDefinitions", "reaching_definitions",
+    "IRVerifyError", "VerifyDiagnostic", "VerifyReport",
+    "verify_function", "verify_program", "assert_valid",
+    "BranchFact", "BranchEvidence", "ExecutableEvidence",
+    "analyze_branch_evidence", "attach_evidence", "evidence_of",
+    "LintDiagnostic", "RULES", "lint_source", "lint_path",
+]

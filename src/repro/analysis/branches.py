@@ -1,0 +1,185 @@
+"""Static branch evidence: always/never-taken facts from SCCP + ranges.
+
+For each conditional branch in an (optimized) IR program, SCCP and the
+interval range analysis together classify the branch as *always-taken*,
+*never-taken*, or *unknown* — the "statically analyzable" slice of the
+non-loop branch population that local syntactic heuristics cannot see.
+
+The classification lives at the IR level, but predictors consume machine
+branches, so each fact records the **machine direction** of the emitted
+conditional branch instruction.  The code generator's branch selection
+is replicated exactly (see ``repro.bcc.codegen._gen_cbr``): the *k*-th
+``CBr`` of a function, in block order, becomes the *k*-th conditional
+branch instruction of the procedure with the same name, and the emitted
+branch is inverted precisely when the IR true-label is the fall-through
+block — so ``machine_taken = ir_outcome XOR inverted``.
+:func:`attach_evidence` performs the (function, ordinal) -> text-address
+mapping against the assembled executable and *cross-checks the branch
+counts*, refusing to attach when the replication assumption is broken.
+
+Soundness: only branches in blocks SCCP proves reachable are classified,
+and both analyses degrade to "unknown" wherever wrap-around or undefined
+values could intervene — every exported fact is an unconditional truth
+about execution, which the harness validates against ground-truth edge
+profiles (zero tolerated misclassifications).
+
+The facts are exported on the executable (``executable.branch_evidence``)
+where the registered ``Range`` evidence heuristic
+(:mod:`repro.core.heuristics`) picks them up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.ranges import evaluate_cbr_ranges
+from repro.analysis.sccp import evaluate_cbr
+from repro.analysis.dataflow import Unreachable, UNREACHABLE
+from repro.bcc.ir import CBr, IRFunction, IRProgram
+from repro.bcc.opt import IR_ANALYSES
+from repro.errors import ReproError
+
+__all__ = [
+    "BranchFact", "BranchEvidence", "ExecutableEvidence",
+    "analyze_branch_evidence", "attach_evidence", "evidence_of",
+]
+
+
+class EvidenceMappingError(ReproError):
+    """IR conditional branches do not line up with the executable's."""
+
+    phase = "analyze"
+
+
+@dataclass(frozen=True)
+class BranchFact:
+    """Static classification of one IR conditional branch."""
+
+    function: str
+    ordinal: int            #: k-th CBr of the function, in block order
+    block: str              #: label of the block ending in this CBr
+    #: IR condition outcome: True = true-edge always taken, False = never,
+    #: None = not statically decided
+    ir_outcome: bool | None
+    #: machine direction of the emitted branch instruction (None = unknown)
+    taken: bool | None
+    #: which analysis decided it: "sccp", "range", "unreachable", or ""
+    source: str
+
+    @property
+    def decided(self) -> bool:
+        return self.taken is not None
+
+
+@dataclass
+class BranchEvidence:
+    """Per-function branch facts for one compiled IR program."""
+
+    by_function: dict[str, tuple[BranchFact, ...]]
+
+    def facts(self) -> tuple[BranchFact, ...]:
+        return tuple(f for facts in self.by_function.values()
+                     for f in facts)
+
+    def decided_facts(self) -> tuple[BranchFact, ...]:
+        return tuple(f for f in self.facts() if f.decided)
+
+
+@dataclass
+class ExecutableEvidence:
+    """Branch facts resolved to text addresses of one executable."""
+
+    evidence: BranchEvidence
+    by_address: dict[int, BranchFact]
+
+    def taken_at(self, address: int) -> bool | None:
+        """Machine direction claimed for the branch at *address*."""
+        fact = self.by_address.get(address)
+        return fact.taken if fact is not None else None
+
+    def fact_at(self, address: int) -> BranchFact | None:
+        return self.by_address.get(address)
+
+
+def _function_facts(func: IRFunction) -> tuple[BranchFact, ...]:
+    """Classify every CBr of *func* (memoized analyses via the manager)."""
+    am = IR_ANALYSES.manager(func)
+    sccp_result = am.get("sccp")
+    range_result = None  # computed lazily: many functions decide via SCCP
+    facts: list[BranchFact] = []
+    ordinal = 0
+    epilogue = f"{func.name}__epilogue"
+    for i, block in enumerate(func.blocks):
+        if not block.instructions:
+            continue
+        term = block.terminator
+        if not isinstance(term, CBr):
+            continue
+        next_label = (func.blocks[i + 1].label
+                      if i + 1 < len(func.blocks) else epilogue)
+        ir_outcome: bool | None = None
+        source = ""
+        state = sccp_result.block_out.get(block.label, UNREACHABLE)
+        if isinstance(state, Unreachable):
+            source = "unreachable"
+        else:
+            ir_outcome = evaluate_cbr(state, term)
+            if ir_outcome is not None:
+                source = "sccp"
+            else:
+                if range_result is None:
+                    range_result = am.get("ranges")
+                range_state = range_result.block_out.get(block.label,
+                                                         UNREACHABLE)
+                if not isinstance(range_state, Unreachable):
+                    ir_outcome = evaluate_cbr_ranges(range_state, term)
+                    if ir_outcome is not None:
+                        source = "range"
+        taken: bool | None = None
+        if ir_outcome is not None and term.true_label != term.false_label:
+            inverted = term.true_label == next_label
+            taken = ir_outcome != inverted
+        facts.append(BranchFact(func.name, ordinal, block.label,
+                                ir_outcome, taken, source))
+        ordinal += 1
+    return tuple(facts)
+
+
+def analyze_branch_evidence(program: IRProgram) -> BranchEvidence:
+    """Classify every conditional branch of *program*."""
+    return BranchEvidence(by_function={
+        func.name: _function_facts(func) for func in program.functions})
+
+
+def attach_evidence(executable: object,
+                    evidence: BranchEvidence) -> ExecutableEvidence:
+    """Resolve *evidence* to text addresses and export it on *executable*.
+
+    Cross-checks that the number of conditional branch instructions in
+    each procedure matches the number of IR ``CBr``\\ s of the function
+    it was generated from (the codegen replication contract), raising
+    :class:`EvidenceMappingError` on any mismatch.
+    """
+    by_address: dict[int, BranchFact] = {}
+    for procedure in executable.procedures:  # type: ignore[attr-defined]
+        facts = evidence.by_function.get(procedure.name)
+        if facts is None:
+            continue  # assembly-only routine (runtime, __start)
+        addresses = [inst.address for inst in procedure.instructions
+                     if inst.is_conditional_branch]
+        if len(addresses) != len(facts):
+            raise EvidenceMappingError(
+                f"procedure {procedure.name!r} has {len(addresses)} "
+                f"conditional branches but the IR function had "
+                f"{len(facts)} — codegen replication contract broken")
+        for address, fact in zip(addresses, facts):
+            by_address[address] = fact
+    resolved = ExecutableEvidence(evidence=evidence, by_address=by_address)
+    executable.branch_evidence = resolved  # type: ignore[attr-defined]
+    return resolved
+
+
+def evidence_of(executable: object) -> ExecutableEvidence | None:
+    """The evidence attached to *executable*, if any."""
+    found = getattr(executable, "branch_evidence", None)
+    return found if isinstance(found, ExecutableEvidence) else None

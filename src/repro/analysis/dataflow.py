@@ -1,0 +1,352 @@
+"""Generic lattice-based dataflow engine (worklist solver).
+
+The engine is deliberately structure-agnostic: it solves any forward or
+backward dataflow problem over a list of *block-like* objects — anything
+with a ``label`` attribute and a ``successor_labels()`` method, which both
+:class:`repro.bcc.ir.IRBlock` and the machine-level CFG blocks satisfy.
+
+A problem is described by subclassing :class:`DataflowProblem`:
+
+* ``boundary(block)`` — the state entering the entry block (forward) or
+  leaving each exit block (backward);
+* ``join(a, b)`` — the lattice join (must be commutative/associative and
+  monotone for termination);
+* ``transfer(block, state)`` — the block transfer function;
+* ``transfer_edge(src, dst_label, state)`` — optional per-edge refinement
+  (branch-condition refinement, unreachable-edge pruning). Returning
+  :data:`UNREACHABLE` removes the edge's contribution entirely — this is
+  what makes the constant-propagation client *conditional* (SCCP-style);
+* ``widen(old, new)`` — optional widening applied at loop heads after
+  ``widen_after`` visits, for infinite-ascending-chain lattices (the
+  interval client).
+
+:data:`UNREACHABLE` is the solver-managed bottom element: client join /
+transfer functions never see it.  Blocks whose input never becomes
+reachable keep it in the result, which clients read as "this block cannot
+execute under the analysis assumptions".
+
+The solver iterates a worklist in reverse-postorder (postorder for
+backward problems), counts iterations into the ``dataflow.<name>``
+telemetry counters, and raises :class:`DataflowDivergenceError` if a
+(necessarily non-monotone or non-widening) problem fails to converge
+within a generous bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Generic, Protocol, TypeVar, Union
+
+from repro import telemetry
+from repro.errors import ReproError
+
+__all__ = [
+    "UNREACHABLE", "Unreachable", "BlockLike", "DataflowProblem",
+    "DataflowResult", "DataflowDivergenceError", "FORWARD", "BACKWARD",
+    "solve",
+]
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+S = TypeVar("S")
+
+
+class Unreachable:
+    """Solver-managed bottom: "no execution reaches this point"."""
+
+    _instance: "Unreachable | None" = None
+
+    def __new__(cls) -> "Unreachable":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<unreachable>"
+
+
+#: The singleton bottom element (identity of the solver-level join).
+UNREACHABLE = Unreachable()
+
+
+class BlockLike(Protocol):
+    """Anything the solver can traverse: IRBlocks, CFG blocks, test stubs."""
+
+    label: str
+
+    def successor_labels(self) -> Sequence[str]: ...
+
+
+class DataflowDivergenceError(ReproError):
+    """The solver failed to converge within its iteration budget."""
+
+    phase = "analyze"
+
+
+class DataflowProblem(Generic[S]):
+    """Base class describing one dataflow problem (see module docstring)."""
+
+    #: name used for telemetry counters and diagnostics
+    name: str = "dataflow"
+    #: :data:`FORWARD` or :data:`BACKWARD`
+    direction: str = FORWARD
+    #: number of visits to a loop head before :meth:`widen` is applied
+    widen_after: int = 2
+    #: bounded decreasing (narrowing) sweeps run after convergence with
+    #: widening disabled.  Each sweep recomputes every state from the
+    #: current post-fixpoint; monotone transfer functions can only descend
+    #: toward the least fixpoint, so every intermediate sweep is sound and
+    #: termination is by the fixed bound.  Recovers precision that widening
+    #: discarded (e.g. loop-counter upper bounds re-established by branch
+    #: refinement on the back edge).
+    narrow_iterations: int = 0
+
+    def boundary(self, block: BlockLike) -> S:
+        """State at the entry block (forward) / each exit block (backward)."""
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        """Lattice join of two states."""
+        raise NotImplementedError
+
+    def transfer(self, block: BlockLike, state: S) -> S:
+        """State after (forward) / before (backward) executing *block*."""
+        raise NotImplementedError
+
+    def transfer_edge(self, src: BlockLike, dst_label: str,
+                      state: S) -> Union[S, Unreachable]:
+        """Refine *state* along the edge ``src -> dst_label``.
+
+        Default: pass the state through unchanged.  Return
+        :data:`UNREACHABLE` to prune the edge.
+        """
+        return state
+
+    def widen(self, old: S, new: S) -> S:
+        """Widening operator (default: no widening, return *new*)."""
+        return new
+
+    def equal(self, a: S, b: S) -> bool:
+        """State equality used for the fixpoint test."""
+        return bool(a == b)
+
+
+@dataclass
+class DataflowResult(Generic[S]):
+    """Solved IN/OUT states per block label (forward orientation: ``block_in``
+    is the state before the block, ``block_out`` after it; for backward
+    problems the roles are mirrored)."""
+
+    problem_name: str
+    direction: str
+    block_in: dict[str, Union[S, Unreachable]] = field(default_factory=dict)
+    block_out: dict[str, Union[S, Unreachable]] = field(default_factory=dict)
+    iterations: int = 0
+
+    def reachable(self, label: str) -> bool:
+        """True unless the solver proved *label* unreachable."""
+        return not isinstance(self.block_in.get(label, UNREACHABLE),
+                              Unreachable)
+
+
+def _postorder(blocks: Sequence[BlockLike],
+               entry: str) -> list[str]:
+    """Postorder over reachable labels (iterative DFS)."""
+    by_label = {b.label: b for b in blocks}
+    order: list[str] = []
+    visited: set[str] = set()
+    # stack of (label, iterator over successors)
+    stack: list[tuple[str, list[str]]] = [(entry, list(
+        by_label[entry].successor_labels()))]
+    visited.add(entry)
+    while stack:
+        label, succs = stack[-1]
+        while succs:
+            nxt = succs.pop(0)
+            if nxt not in visited and nxt in by_label:
+                visited.add(nxt)
+                stack.append((nxt, list(by_label[nxt].successor_labels())))
+                break
+        else:
+            order.append(label)
+            stack.pop()
+    return order
+
+
+def solve(blocks: Sequence[BlockLike], problem: DataflowProblem[S],
+          entry: str | None = None,
+          max_iterations: int | None = None) -> DataflowResult[S]:
+    """Run the worklist solver for *problem* over *blocks*.
+
+    *entry* defaults to the first block's label.  For backward problems
+    the boundary applies to every block without successors.  Blocks
+    unreachable from the entry (forward) keep :data:`UNREACHABLE` states.
+    """
+    if not blocks:
+        return DataflowResult(problem.name, problem.direction)
+    if entry is None:
+        entry = blocks[0].label
+    by_label: dict[str, BlockLike] = {b.label: b for b in blocks}
+    forward = problem.direction == FORWARD
+
+    # predecessor edges (forward) / successor edges (backward), as the
+    # "where does my input come from" map
+    sources: dict[str, list[str]] = {b.label: [] for b in blocks}
+    if forward:
+        for b in blocks:
+            for s in b.successor_labels():
+                if s in sources:
+                    sources[s].append(b.label)
+    else:
+        for b in blocks:
+            sources[b.label] = [s for s in b.successor_labels()
+                                if s in by_label]
+
+    postorder = _postorder(blocks, entry)
+    rpo = list(reversed(postorder))
+    iteration_order = rpo if forward else postorder
+    position = {label: i for i, label in enumerate(iteration_order)}
+    # widening points: targets of retreating edges w.r.t. iteration order
+    widen_points: set[str] = set()
+    for b in blocks:
+        if b.label not in position:
+            continue
+        for s in b.successor_labels():
+            if s in position:
+                src, dst = (b.label, s) if forward else (s, b.label)
+                if src in position and position[dst] <= position[src]:
+                    widen_points.add(dst)
+
+    result: DataflowResult[S] = DataflowResult(problem.name,
+                                               problem.direction)
+    state_in: dict[str, Union[S, Unreachable]] = {
+        b.label: UNREACHABLE for b in blocks}
+    state_out: dict[str, Union[S, Unreachable]] = {
+        b.label: UNREACHABLE for b in blocks}
+
+    roots: list[str]
+    if forward:
+        roots = [entry]
+    else:
+        roots = [label for label in iteration_order
+                 if not sources[label]] or [iteration_order[0]]
+
+    worklist: deque[str] = deque(
+        label for label in iteration_order)
+    queued: set[str] = set(worklist)
+    visits: dict[str, int] = {}
+    budget = max_iterations if max_iterations is not None else \
+        max(1000, 64 * len(blocks))
+    iterations = 0
+
+    def _input_state(label: str, block: BlockLike) -> Union[S, Unreachable]:
+        """Join of all (edge-refined) source contributions into *label*."""
+        new_in: Union[S, Unreachable]
+        if label in roots or (forward and label == entry):
+            new_in = problem.boundary(block)
+        else:
+            new_in = UNREACHABLE
+        for src_label in sources[label]:
+            src_out = state_out[src_label]
+            if isinstance(src_out, Unreachable):
+                continue
+            if forward:
+                contrib = problem.transfer_edge(by_label[src_label], label,
+                                                src_out)
+            else:
+                contrib = problem.transfer_edge(block, src_label, src_out)
+            if isinstance(contrib, Unreachable):
+                continue
+            if isinstance(new_in, Unreachable):
+                new_in = contrib
+            else:
+                new_in = problem.join(new_in, contrib)
+        return new_in
+
+    while worklist:
+        iterations += 1
+        if iterations > budget:
+            raise DataflowDivergenceError(
+                f"dataflow problem {problem.name!r} failed to converge "
+                f"after {budget} iterations over {len(blocks)} blocks "
+                f"(non-monotone transfer or missing widening?)")
+        label = worklist.popleft()
+        queued.discard(label)
+        block = by_label[label]
+        visits[label] = visits.get(label, 0) + 1
+
+        # -- compute the input state --------------------------------------
+        new_in = _input_state(label, block)
+        old_in = state_in[label]
+        if not isinstance(new_in, Unreachable) \
+                and not isinstance(old_in, Unreachable) \
+                and label in widen_points \
+                and visits[label] > problem.widen_after:
+            new_in = problem.widen(old_in, new_in)
+        state_in[label] = new_in
+
+        # -- transfer ------------------------------------------------------
+        new_out: Union[S, Unreachable]
+        if isinstance(new_in, Unreachable):
+            new_out = UNREACHABLE
+        else:
+            new_out = problem.transfer(block, new_in)
+
+        old_out = state_out[label]
+        changed = (isinstance(old_out, Unreachable)
+                   != isinstance(new_out, Unreachable))
+        if not changed and not isinstance(new_out, Unreachable) \
+                and not isinstance(old_out, Unreachable):
+            changed = not problem.equal(old_out, new_out)
+        state_out[label] = new_out
+        if changed or visits[label] == 1:
+            if forward:
+                dependents = [s for s in block.successor_labels()
+                              if s in by_label]
+            else:
+                dependents = [p.label for p in blocks
+                              if label in p.successor_labels()]
+            for dep in dependents:
+                if dep not in queued:
+                    worklist.append(dep)
+                    queued.add(dep)
+
+    # -- narrowing: bounded decreasing sweeps without widening ------------
+    for _ in range(problem.narrow_iterations):
+        sweep_changed = False
+        for label in iteration_order:
+            block = by_label[label]
+            new_in = _input_state(label, block)
+            if isinstance(new_in, Unreachable):
+                new_out: Union[S, Unreachable] = UNREACHABLE
+            else:
+                new_out = problem.transfer(block, new_in)
+            old_out = state_out[label]
+            changed = (isinstance(old_out, Unreachable)
+                       != isinstance(new_out, Unreachable))
+            if not changed and not isinstance(new_out, Unreachable) \
+                    and not isinstance(old_out, Unreachable):
+                changed = not problem.equal(old_out, new_out)
+            state_in[label] = new_in
+            state_out[label] = new_out
+            sweep_changed = sweep_changed or changed
+            iterations += 1
+        if not sweep_changed:
+            break
+
+    telemetry.get().counter(f"dataflow.{problem.name}.solves").inc()
+    telemetry.get().counter(f"dataflow.{problem.name}.iterations").inc(
+        iterations)
+
+    if forward:
+        result.block_in = state_in
+        result.block_out = state_out
+    else:
+        # mirror so block_in is always "state before the block executes"
+        result.block_in = state_out
+        result.block_out = state_in
+    result.iterations = iterations
+    return result

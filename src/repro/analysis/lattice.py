@@ -1,0 +1,279 @@
+"""The 32-bit interval lattice used by the value-range analysis.
+
+An :class:`Interval` is a non-empty range ``[lo, hi]`` of signed 32-bit
+values; :data:`TOP` is the full range, so no infinities are needed.  The
+empty interval (bottom) is represented as ``None`` at the API level —
+:func:`meet` and :func:`refine` return ``None`` when a constraint is
+unsatisfiable, which the range analysis turns into an unreachable edge.
+
+All transfer functions are *sound with respect to wrap-around*: the target
+machine wraps two's-complement arithmetic (see ``repro.sim.machine``), so
+any operation whose exact result could leave the 32-bit range returns
+:data:`TOP` instead of a wrapped interval.  This loses precision on
+deliberately overflowing code but never claims a value the machine cannot
+produce — which is what lets the branch evidence promise *zero*
+misclassifications.
+
+Division and remainder follow the machine's truncate-toward-zero
+semantics; shifts mask their amount to 5 bits exactly as the hardware
+does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "INT32_MIN", "INT32_MAX", "Interval", "TOP", "const",
+    "join", "meet", "widen", "transfer_binop", "compare", "refine",
+]
+
+INT32_MIN = -(2 ** 31)
+INT32_MAX = 2 ** 31 - 1
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A non-empty signed-32-bit range ``[lo, hi]`` (inclusive)."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not (INT32_MIN <= self.lo <= self.hi <= INT32_MAX):
+            raise ValueError(f"malformed interval [{self.lo}, {self.hi}]")
+
+    @property
+    def is_const(self) -> bool:
+        return self.lo == self.hi
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo == INT32_MIN and self.hi == INT32_MAX
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def __repr__(self) -> str:
+        if self.is_top:
+            return "[T]"
+        if self.is_const:
+            return f"[{self.lo}]"
+        return f"[{self.lo}, {self.hi}]"
+
+
+#: The full signed-32-bit range (lattice top).
+TOP = Interval(INT32_MIN, INT32_MAX)
+
+
+def const(value: int) -> Interval:
+    """The singleton interval for a known machine word."""
+    if not INT32_MIN <= value <= INT32_MAX:
+        raise ValueError(f"constant {value} outside the 32-bit range")
+    return Interval(value, value)
+
+
+def join(a: Interval, b: Interval) -> Interval:
+    """Least upper bound (interval hull)."""
+    return Interval(min(a.lo, b.lo), max(a.hi, b.hi))
+
+
+def meet(a: Interval, b: Interval) -> Interval | None:
+    """Greatest lower bound; ``None`` when the ranges are disjoint."""
+    lo, hi = max(a.lo, b.lo), min(a.hi, b.hi)
+    return Interval(lo, hi) if lo <= hi else None
+
+
+def widen(old: Interval, new: Interval) -> Interval:
+    """Classic interval widening: a bound that grew jumps to its extreme.
+
+    Guarantees termination on any ascending chain (each bound can widen at
+    most once).
+    """
+    lo = old.lo if new.lo >= old.lo else INT32_MIN
+    hi = old.hi if new.hi <= old.hi else INT32_MAX
+    return Interval(lo, hi)
+
+
+def _clamped(lo: int, hi: int) -> Interval:
+    """Interval from exact bounds, degrading to TOP if wrap is possible."""
+    if lo < INT32_MIN or hi > INT32_MAX:
+        return TOP
+    return Interval(lo, hi)
+
+
+def _tdiv(a: int, b: int) -> int:
+    """Truncate-toward-zero division (machine semantics)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _shift_range_ok(b: Interval) -> bool:
+    """True when the shift amount is statically within [0, 31] (so the
+    hardware's ``& 31`` mask is the identity)."""
+    return 0 <= b.lo and b.hi <= 31
+
+
+def transfer_binop(op: str, a: Interval, b: Interval) -> Interval:
+    """Abstract transfer for an integer BinOp: the tightest interval (from
+    this family) containing every machine result of ``x op y`` for
+    ``x in a, y in b``."""
+    if op == "add":
+        return _clamped(a.lo + b.lo, a.hi + b.hi)
+    if op == "sub":
+        return _clamped(a.lo - b.hi, a.hi - b.lo)
+    if op == "mul":
+        corners = (a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi)
+        return _clamped(min(corners), max(corners))
+    if op == "div":
+        if b.contains(0):
+            return TOP  # division by zero traps; stay conservative
+        corners = (_tdiv(a.lo, b.lo), _tdiv(a.lo, b.hi),
+                   _tdiv(a.hi, b.lo), _tdiv(a.hi, b.hi))
+        return _clamped(min(corners), max(corners))
+    if op == "rem":
+        if b.contains(0):
+            return TOP
+        m = max(abs(b.lo), abs(b.hi)) - 1  # |a rem b| <= max|b| - 1
+        if a.lo >= 0:
+            return Interval(0, min(a.hi, m))
+        if a.hi <= 0:
+            return Interval(max(a.lo, -m), 0)
+        return Interval(-m, m)
+    if op == "and":
+        if a.lo >= 0 and b.lo >= 0:
+            return Interval(0, min(a.hi, b.hi))
+        if a.lo >= 0:
+            return Interval(0, a.hi)  # x & y <= x for x >= 0
+        if b.lo >= 0:
+            return Interval(0, b.hi)
+        return TOP
+    if op in ("or", "xor"):
+        if a.lo >= 0 and b.lo >= 0:
+            bits = max(a.hi, b.hi).bit_length()
+            upper = min(INT32_MAX, (1 << bits) - 1)
+            return Interval(0, upper)
+        return TOP
+    if op == "shl":
+        if _shift_range_ok(b) and a.lo >= 0:
+            hi = a.hi << b.hi
+            return _clamped(a.lo << b.lo, hi)
+        return TOP
+    if op == "shr":
+        if _shift_range_ok(b):
+            corners = (a.lo >> b.lo, a.lo >> b.hi,
+                       a.hi >> b.lo, a.hi >> b.hi)
+            return Interval(min(corners), max(corners))
+        return TOP
+    if op == "sru":
+        if _shift_range_ok(b) and b.lo >= 1:
+            # any value, shifted right logically by >= 1, is in
+            # [0, 2^(32 - b.lo) - 1]
+            return Interval(0, min(INT32_MAX, (1 << (32 - b.lo)) - 1))
+        if _shift_range_ok(b) and a.lo >= 0:
+            corners = (a.lo >> b.lo, a.lo >> b.hi,
+                       a.hi >> b.lo, a.hi >> b.hi)
+            return Interval(min(corners), max(corners))
+        return TOP
+    if op == "slt":
+        if a.hi < b.lo:
+            return const(1)
+        if a.lo >= b.hi:
+            return const(0)
+        return Interval(0, 1)
+    if op == "sltu":
+        if a.lo >= 0 and b.lo >= 0:
+            # matches signed comparison on the non-negative range
+            if a.hi < b.lo:
+                return const(1)
+            if a.lo >= b.hi:
+                return const(0)
+        return Interval(0, 1)
+    return TOP
+
+
+def compare(op: str, a: Interval, b: Interval) -> bool | None:
+    """Decide ``a op b`` when the intervals force one outcome.
+
+    Returns ``True``/``False`` when every pair ``(x in a, y in b)``
+    agrees, else ``None``.
+    """
+    if op == "eq":
+        if a.is_const and b.is_const and a.lo == b.lo:
+            return True
+        if meet(a, b) is None:
+            return False
+        return None
+    if op == "ne":
+        decided = compare("eq", a, b)
+        return None if decided is None else not decided
+    if op == "lt":
+        if a.hi < b.lo:
+            return True
+        if a.lo >= b.hi:
+            return False
+        return None
+    if op == "le":
+        if a.hi <= b.lo:
+            return True
+        if a.lo > b.hi:
+            return False
+        return None
+    if op == "gt":
+        decided = compare("le", a, b)
+        return None if decided is None else not decided
+    if op == "ge":
+        decided = compare("lt", a, b)
+        return None if decided is None else not decided
+    raise ValueError(f"unknown comparison op {op!r}")
+
+
+def refine(op: str, a: Interval, b: Interval,
+           outcome: bool) -> tuple[Interval | None, Interval | None]:
+    """Refine ``(a, b)`` assuming ``a op b`` evaluated to *outcome*.
+
+    Returns the refined intervals; either may be ``None`` when the
+    assumption is unsatisfiable (the edge cannot execute).
+    """
+    if not outcome:
+        negation = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt",
+                    "le": "gt", "gt": "le"}[op]
+        return refine(negation, a, b, True)
+    if op == "eq":
+        both = meet(a, b)
+        return both, both
+    if op == "ne":
+        ra: Interval | None = a
+        rb: Interval | None = b
+        if b.is_const and ra is not None:
+            ra = _exclude_endpoint(ra, b.lo)
+        if a.is_const and rb is not None:
+            rb = _exclude_endpoint(rb, a.lo)
+        return ra, rb
+    if op == "lt":
+        ra = meet(a, Interval(INT32_MIN, b.hi - 1)) \
+            if b.hi > INT32_MIN else None
+        rb = meet(b, Interval(a.lo + 1, INT32_MAX)) \
+            if a.lo < INT32_MAX else None
+        return ra, rb
+    if op == "le":
+        return meet(a, Interval(INT32_MIN, b.hi)), \
+            meet(b, Interval(a.lo, INT32_MAX))
+    if op == "gt":
+        rb, ra = refine("lt", b, a, True)
+        return ra, rb
+    if op == "ge":
+        rb, ra = refine("le", b, a, True)
+        return ra, rb
+    raise ValueError(f"unknown comparison op {op!r}")
+
+
+def _exclude_endpoint(iv: Interval, value: int) -> Interval | None:
+    """Shrink *iv* by one when *value* sits exactly on an endpoint."""
+    if iv.is_const and iv.lo == value:
+        return None
+    if iv.lo == value:
+        return Interval(iv.lo + 1, iv.hi)
+    if iv.hi == value:
+        return Interval(iv.lo, iv.hi - 1)
+    return iv

@@ -1,0 +1,210 @@
+"""Interval value-range analysis over BLC IR.
+
+Tracks, per integer virtual register, a sound 32-bit interval of the
+values it can hold (see :mod:`repro.analysis.lattice`).  A vreg absent
+from the state is unconstrained (:data:`~repro.analysis.lattice.TOP`);
+only non-trivial facts are stored, so states stay small.
+
+Branch edges refine the tested registers (``i < n`` taken implies
+``i <= n.hi - 1`` on that edge) and are pruned entirely when the
+refinement is unsatisfiable — the same conditional machinery SCCP uses,
+but over a lattice with infinite ascending chains, so loop heads apply
+the widening operator after :attr:`~repro.analysis.dataflow.
+DataflowProblem.widen_after` visits (that is the termination argument:
+each interval bound can widen at most once).
+
+The analysis deliberately returns :data:`~repro.analysis.lattice.TOP`
+whenever two's-complement wrap-around is possible, so every interval it
+reports is an *unconditional* truth about machine execution — the branch
+evidence built on top (see :mod:`repro.analysis.branches`) can therefore
+promise zero misclassifications against ground-truth edge profiles.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.analysis import lattice
+from repro.analysis.dataflow import (
+    FORWARD, DataflowProblem, DataflowResult, Unreachable, UNREACHABLE,
+    solve,
+)
+from repro.analysis.lattice import Interval
+from repro.bcc.ir import (
+    BinOp, CBr, Copy, Imm, IRBlock, IRFunction, LoadConst,
+)
+from repro.bcc.opt import IR_ANALYSES
+
+__all__ = ["RangeState", "RangeProblem", "ranges", "evaluate_cbr_ranges"]
+
+#: vreg -> interval; absence means TOP (unconstrained)
+RangeState = dict[int, Interval]
+
+
+def _set(env: RangeState, vreg: int, iv: Interval | None) -> None:
+    """Store a fact, dropping trivial (TOP) entries to keep states small."""
+    if iv is None or iv.is_top:
+        env.pop(vreg, None)
+    else:
+        env[vreg] = iv
+
+
+def _step(inst: object, env: RangeState) -> None:
+    """Update *env* in place across one instruction."""
+    if isinstance(inst, LoadConst):
+        value = inst.value
+        if lattice.INT32_MIN <= value <= lattice.INT32_MAX:
+            env[inst.dst] = lattice.const(value)
+        else:  # out-of-range literal: assembler semantics decide, stay TOP
+            env.pop(inst.dst, None)
+        return
+    if isinstance(inst, Copy):
+        _set(env, inst.dst, env.get(inst.src))
+        return
+    if isinstance(inst, BinOp):
+        a = env.get(inst.a, lattice.TOP)
+        b = (lattice.const(inst.b.value) if isinstance(inst.b, Imm)
+             else env.get(inst.b, lattice.TOP))
+        _set(env, inst.dst, lattice.transfer_binop(inst.op, a, b))
+        return
+    for d in inst.defs():  # type: ignore[attr-defined]
+        env.pop(d, None)
+
+
+def _cbr_intervals(cbr: CBr, env: RangeState) -> tuple[Interval, Interval]:
+    a = env.get(cbr.a, lattice.TOP)
+    b = (lattice.const(cbr.b.value) if isinstance(cbr.b, Imm)
+         else env.get(cbr.b, lattice.TOP))
+    return a, b
+
+
+def _flag_predicate(src: IRBlock, flag: int) -> \
+        tuple[str, int, object] | None:
+    """The compare that materialized *flag*, if decodable in *src*.
+
+    The IR generator lowers every relational except ``eq``/``ne`` through
+    ``slt`` (``t = slt a, b; br ne/eq t, #0`` — see
+    ``repro.bcc.irgen._gen_compare_branch``), so refining only the flag
+    register would learn nothing about the compared values.  This looks
+    back through the block for the defining compare: returns
+    ``(op, a, b)`` when *flag*'s last definition in *src* is an integer
+    ``slt``/``sltu`` whose operands are not redefined between the compare
+    and the branch (their end-of-block intervals are then exactly their
+    values at the compare), else ``None``.
+    """
+    body = src.instructions[:-1]  # terminator can't define the flag
+    for index in range(len(body) - 1, -1, -1):
+        inst = body[index]
+        if flag not in inst.defs():  # type: ignore[attr-defined]
+            continue
+        if not isinstance(inst, BinOp) or inst.op not in ("slt", "sltu"):
+            return None
+        operands = {inst.a}
+        if not isinstance(inst.b, Imm):
+            operands.add(inst.b)
+        for later in body[index + 1:]:
+            if operands & set(later.defs()):  # type: ignore[attr-defined]
+                return None
+        return inst.op, inst.a, inst.b
+    return None
+
+
+class RangeProblem(DataflowProblem[RangeState]):
+    """Forward interval analysis with branch refinement and widening."""
+
+    name = "ranges"
+    direction = FORWARD
+    widen_after = 2
+    #: decreasing sweeps after convergence: widening blows loop-counter
+    #: bounds to the extremes, narrowing re-applies the back-edge branch
+    #: refinement to recover them (soundly — see the solver docstring)
+    narrow_iterations = 2
+
+    def boundary(self, block: IRBlock) -> RangeState:
+        return {}
+
+    def join(self, a: RangeState, b: RangeState) -> RangeState:
+        if len(b) < len(a):
+            a, b = b, a
+        out: RangeState = {}
+        for vreg, iv in a.items():
+            other = b.get(vreg)
+            if other is not None:
+                _set(out, vreg, lattice.join(iv, other))
+        return out
+
+    def widen(self, old: RangeState, new: RangeState) -> RangeState:
+        out: RangeState = {}
+        for vreg, new_iv in new.items():
+            old_iv = old.get(vreg)
+            if old_iv is not None:
+                _set(out, vreg, lattice.widen(old_iv, new_iv))
+        return out
+
+    def transfer(self, block: IRBlock, state: RangeState) -> RangeState:
+        env = dict(state)
+        for inst in block.instructions:
+            _step(inst, env)
+        return env
+
+    def transfer_edge(self, src: IRBlock, dst_label: str,
+                      state: RangeState) -> Union[RangeState, Unreachable]:
+        term = src.terminator if src.instructions else None
+        if not isinstance(term, CBr) or term.fp:
+            return state
+        if term.true_label == term.false_label:
+            return state
+        a, b = _cbr_intervals(term, state)
+        outcome = dst_label == term.true_label
+        refined_a, refined_b = lattice.refine(term.op, a, b, outcome)
+        if refined_a is None or refined_b is None:
+            return UNREACHABLE
+        env = dict(state)
+        _set(env, term.a, refined_a)
+        if not isinstance(term.b, Imm):
+            _set(env, term.b, refined_b)
+
+        # see through a flag materialized by slt/sltu in this block:
+        # ``t = slt a, b; br ne t, #0`` taken means a < b on that edge
+        if term.op in ("eq", "ne") and isinstance(term.b, Imm) \
+                and term.b.value == 0:
+            predicate = _flag_predicate(src, term.a)
+            if predicate is not None:
+                cmp_op, cmp_a, cmp_b = predicate
+                holds = outcome == (term.op == "ne")
+                ia = env.get(cmp_a, lattice.TOP)
+                ib = (lattice.const(cmp_b.value)
+                      if isinstance(cmp_b, Imm)
+                      else env.get(cmp_b, lattice.TOP))
+                # sltu compares unsigned: only equivalent to the signed
+                # refinement when both operands are provably non-negative
+                if cmp_op == "slt" or (ia.lo >= 0 and ib.lo >= 0):
+                    ra, rb = lattice.refine("lt", ia, ib, holds)
+                    if ra is None or rb is None:
+                        return UNREACHABLE
+                    _set(env, cmp_a, ra)
+                    if not isinstance(cmp_b, Imm):
+                        _set(env, cmp_b, rb)
+        return env
+
+
+def ranges(func: IRFunction) -> DataflowResult[RangeState]:
+    """Solve the range analysis (prefer ``am.get("ranges")`` for caching)."""
+    return solve(func.blocks, RangeProblem())
+
+
+@IR_ANALYSES.register("ranges",
+                      description="interval value-range analysis (per-vreg "
+                                  "32-bit intervals, branch refinement, "
+                                  "widening)")
+def _ranges_analysis(func: IRFunction, am: object) -> \
+        DataflowResult[RangeState]:
+    return ranges(func)
+
+
+def evaluate_cbr_ranges(state: RangeState, cbr: CBr) -> bool | None:
+    """Decide *cbr* under interval *state*, or ``None`` if not forced."""
+    if cbr.fp:
+        return None
+    a, b = _cbr_intervals(cbr, state)
+    return lattice.compare(cbr.op, a, b)

@@ -1,0 +1,103 @@
+"""Reaching definitions over BLC IR (a dataflow-engine client).
+
+A *definition site* is ``(vreg, block_label, instruction_index)``;
+function parameters are defined at the pseudo-site
+``(vreg, ENTRY_SITE, ordinal)``.  The forward may-analysis computes,
+per block, the set of sites whose value may still be live-in — the
+classic gen/kill union problem, here expressed through the generic
+worklist engine so one solver serves SCCP, ranges, and this.
+
+Registered on :data:`repro.bcc.opt.IR_ANALYSES` as ``"reaching-defs"``;
+the :class:`ReachingDefinitions` wrapper adds the per-(block, vreg)
+query the verifier's diagnostics use to point at candidate definition
+sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.dataflow import (
+    FORWARD, DataflowProblem, DataflowResult, Unreachable, solve,
+)
+from repro.bcc.ir import IRBlock, IRFunction
+
+__all__ = ["ENTRY_SITE", "DefSite", "ReachingProblem",
+           "ReachingDefinitions", "reaching_definitions"]
+
+#: pseudo-label marking parameter definitions (at function entry)
+ENTRY_SITE = "<entry>"
+
+#: (vreg, block label, instruction index)
+DefSite = tuple[int, str, int]
+
+_State = frozenset
+
+
+class ReachingProblem(DataflowProblem[frozenset]):
+    """Forward may-analysis: union join, gen/kill transfer."""
+
+    name = "reaching-defs"
+    direction = FORWARD
+
+    def __init__(self, func: IRFunction) -> None:
+        self._entry_defs = frozenset(
+            (vreg, ENTRY_SITE, i)
+            for i, (_, vreg, _) in enumerate(func.params))
+
+    def boundary(self, block: IRBlock) -> frozenset:
+        return self._entry_defs
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def transfer(self, block: IRBlock, state: frozenset) -> frozenset:
+        sites = set(state)
+        for index, inst in enumerate(block.instructions):
+            defs = inst.defs()
+            if not defs:
+                continue
+            killed = set(defs)
+            sites = {s for s in sites if s[0] not in killed}
+            for vreg in defs:
+                sites.add((vreg, block.label, index))
+        return frozenset(sites)
+
+
+@dataclass
+class ReachingDefinitions:
+    """Query wrapper over the solved reaching-definitions result."""
+
+    result: DataflowResult[frozenset]
+
+    def sites_in(self, label: str) -> frozenset:
+        """All definition sites that may reach the top of block *label*."""
+        state = self.result.block_in.get(label)
+        if state is None or isinstance(state, Unreachable):
+            return frozenset()
+        return state
+
+    def definers(self, label: str, vreg: int) -> tuple[DefSite, ...]:
+        """Definition sites of *vreg* that may reach block *label*."""
+        return tuple(sorted(s for s in self.sites_in(label)
+                            if s[0] == vreg))
+
+
+def reaching_definitions(func: IRFunction) -> ReachingDefinitions:
+    """Solve reaching definitions for *func* (prefer the cached
+    ``am.get("reaching-defs")``)."""
+    return ReachingDefinitions(solve(func.blocks, ReachingProblem(func)))
+
+
+def _register() -> None:
+    from repro.bcc.opt import IR_ANALYSES
+
+    @IR_ANALYSES.register("reaching-defs",
+                          description="definition sites reaching each "
+                                      "block (may-analysis)")
+    def _reaching_analysis(func: IRFunction, am: object) -> \
+            ReachingDefinitions:
+        return reaching_definitions(func)
+
+
+_register()

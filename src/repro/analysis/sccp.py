@@ -1,0 +1,176 @@
+"""Sparse conditional constant propagation over BLC IR.
+
+The analysis state maps virtual registers to *known machine constants*;
+a vreg absent from the state is "not a constant" (or not yet defined —
+the analysis is deliberately pessimistic about undefined values, so a
+use-before-initialize bug can never manufacture a folding opportunity).
+Constant evaluation reuses the optimizer's :func:`~repro.bcc.opt.
+_fold_binop`, i.e. exactly the machine's wrap-around / truncating
+semantics — the fold-vs-machine differential test pins this equivalence.
+
+What makes it *conditional* (the SCCP part): branch edges whose
+comparison is decided by the incoming constants are pruned via the
+engine's :data:`~repro.analysis.dataflow.UNREACHABLE` edge result, so
+constants merge only over edges that can actually execute, and equality
+branches bind their tested register to the compared constant along the
+matching edge.
+
+Clients:
+
+* ``am.get("sccp")`` — the cached analysis result (registered on
+  :data:`repro.bcc.opt.IR_ANALYSES`);
+* :func:`evaluate_cbr` — decide one conditional branch, or ``None``;
+* :func:`sccp_fold` — the ``sccp-fold`` transformation: rewrite every
+  decided, reachable conditional branch into an unconditional jump.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.analysis.dataflow import (
+    FORWARD, DataflowProblem, DataflowResult, Unreachable, UNREACHABLE,
+    solve,
+)
+from repro.bcc.ir import (
+    BinOp, CBr, Copy, Imm, IRBlock, IRFunction, Jump, LoadConst,
+)
+from repro.bcc.opt import IR_ANALYSES, _CMP_EVAL, _fold_binop
+
+__all__ = ["ConstState", "SCCPProblem", "sccp", "evaluate_cbr",
+           "sccp_fold"]
+
+#: vreg -> known constant; absence means "not (known to be) a constant"
+ConstState = dict[int, int]
+
+
+def _step(inst: object, env: ConstState) -> None:
+    """Update *env* in place across one instruction."""
+    if isinstance(inst, LoadConst):
+        env[inst.dst] = inst.value
+        return
+    if isinstance(inst, Copy):
+        if inst.src in env:
+            env[inst.dst] = env[inst.src]
+        else:
+            env.pop(inst.dst, None)
+        return
+    if isinstance(inst, BinOp):
+        av = env.get(inst.a)
+        bv = inst.b.value if isinstance(inst.b, Imm) else env.get(inst.b)
+        if av is not None and bv is not None:
+            folded = _fold_binop(inst.op, av, bv)
+            if folded is not None:
+                env[inst.dst] = folded
+                return
+        env.pop(inst.dst, None)
+        return
+    for d in inst.defs():  # type: ignore[attr-defined]
+        env.pop(d, None)
+
+
+def _cbr_operands(cbr: CBr, env: ConstState) -> tuple[int | None,
+                                                      int | None]:
+    av = env.get(cbr.a)
+    bv = cbr.b.value if isinstance(cbr.b, Imm) else env.get(cbr.b)
+    return av, bv
+
+
+class SCCPProblem(DataflowProblem[ConstState]):
+    """Forward constant propagation with executable-edge pruning."""
+
+    name = "sccp"
+    direction = FORWARD
+
+    def boundary(self, block: IRBlock) -> ConstState:
+        return {}
+
+    def join(self, a: ConstState, b: ConstState) -> ConstState:
+        if len(b) < len(a):
+            a, b = b, a
+        return {v: c for v, c in a.items() if b.get(v) == c}
+
+    def transfer(self, block: IRBlock, state: ConstState) -> ConstState:
+        env = dict(state)
+        for inst in block.instructions:
+            _step(inst, env)
+        return env
+
+    def transfer_edge(self, src: IRBlock, dst_label: str,
+                      state: ConstState) -> Union[ConstState, Unreachable]:
+        term = src.terminator if src.instructions else None
+        if not isinstance(term, CBr) or term.fp:
+            return state
+        if term.true_label == term.false_label:
+            return state
+        av, bv = _cbr_operands(term, state)
+        branch_true = dst_label == term.true_label
+        if av is not None and bv is not None:
+            outcome = _CMP_EVAL[term.op](av, bv)
+            if outcome != branch_true:
+                return UNREACHABLE
+        # equality refinement: along the edge where `a == b` holds, a
+        # register compared against a known constant *is* that constant
+        holds_eq = (term.op == "eq" and branch_true) or \
+            (term.op == "ne" and not branch_true)
+        if holds_eq:
+            refined = dict(state)
+            if bv is not None and av is None:
+                refined[term.a] = bv
+            elif av is not None and bv is None and \
+                    not isinstance(term.b, Imm):
+                refined[term.b] = av
+            return refined
+        return state
+
+
+def sccp(func: IRFunction) -> DataflowResult[ConstState]:
+    """Solve SCCP over *func* (prefer ``am.get("sccp")`` for caching)."""
+    return solve(func.blocks, SCCPProblem())
+
+
+@IR_ANALYSES.register("sccp",
+                      description="sparse conditional constant propagation "
+                                  "(constant env per block, unreachable-"
+                                  "edge pruning)")
+def _sccp_analysis(func: IRFunction, am: object) -> \
+        DataflowResult[ConstState]:
+    return sccp(func)
+
+
+def evaluate_cbr(state: ConstState, cbr: CBr) -> bool | None:
+    """Decide *cbr* under the constant *state*, or ``None`` if unknown."""
+    if cbr.fp:
+        return None
+    av, bv = _cbr_operands(cbr, state)
+    if av is None or bv is None:
+        return None
+    return bool(_CMP_EVAL[cbr.op](av, bv))
+
+
+def sccp_fold(func: IRFunction,
+              result: DataflowResult[ConstState]) -> bool:
+    """Rewrite every SCCP-decided conditional branch into a jump.
+
+    Only branches in blocks the analysis proved *reachable* are folded
+    (an unreachable block's state carries no evidence); unreachable
+    blocks are left for ``simplify-cfg`` to collect once folding has cut
+    their incoming edges.  Returns True when anything changed.
+    """
+    changed = False
+    for block in func.blocks:
+        if not block.instructions:
+            continue
+        term = block.terminator
+        if not isinstance(term, CBr):
+            continue
+        state = result.block_out.get(block.label, UNREACHABLE)
+        if isinstance(state, Unreachable):
+            continue
+        outcome = evaluate_cbr(state, term)
+        if outcome is None:
+            continue
+        target = term.true_label if outcome else term.false_label
+        block.instructions[-1] = Jump(target)
+        changed = True
+    return changed

@@ -1,0 +1,510 @@
+"""IR verifier: structural, type, and dataflow invariants over BLC IR.
+
+The verifier is the contract every transformation pass must preserve.
+It checks, per function:
+
+* **CFG well-formedness** — non-empty blocks, unique labels, exactly one
+  terminator and only in the last position, every branch/jump target
+  resolves, plus unreachable-block *accounting* (reported, never an
+  error: ``local-propagate`` legitimately strands blocks that
+  ``simplify-cfg`` collects later);
+* **register invariants** — every vreg has a registered class, and each
+  instruction's operands/destination have the class and operation names
+  the code generator assumes (``V008``/``V009``), including the backend
+  contract that an integer ``CBr`` immediate must be zero (``V010``);
+* **memory invariants** — static frame-slot / global accesses stay in
+  bounds for their access width (``V011``/``V014``);
+* **call/return arity** — with program context, call sites are checked
+  against the callee's parameter list and observed return class
+  (``V012``/``V013``);
+* **def-before-use** — a must-defined forward dataflow (intersection
+  join, solved on the generic engine) flags uses not dominated by a
+  definition on every path (``W001``, a warning: BLC permits reading an
+  uninitialized local, the linter's ``L001`` reports it at source
+  level).
+
+Structured output: a :class:`VerifyReport` of :class:`VerifyDiagnostic`
+records; :func:`assert_valid` raises :class:`IRVerifyError` (a
+:class:`~repro.errors.ReproError` with ``phase="verify"``) when any
+*error*-severity diagnostic is present.  The optimizer's
+``--verify-each`` mode calls this after every pass that changed a
+function (see :func:`repro.bcc.opt.set_verify_each`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.dataflow import (
+    FORWARD, DataflowProblem, Unreachable, solve,
+)
+from repro.bcc.ir import (
+    BIN_OPS, CMP_OPS, FBIN_OPS, FP, INT, MEM_KINDS,
+    AddrFrame, AddrGlobal, BinOp, Call, CBr, Copy, Cvt, FBinOp, FNeg,
+    FrameSlot, GlobalSym, Imm, IRBlock, IRFunction, IRProgram, Jump,
+    Load, LoadConst, LoadFConst, Ret, Store,
+)
+from repro.errors import ReproError
+
+__all__ = [
+    "IRVerifyError", "VerifyDiagnostic", "VerifyReport",
+    "verify_function", "verify_program", "assert_valid",
+]
+
+#: bytes accessed by each memory kind
+_MEM_WIDTH = {"w": 4, "b": 1, "bu": 1, "d": 8}
+
+
+class IRVerifyError(ReproError):
+    """Raised when verification finds an invariant violation."""
+
+    phase = "verify"
+
+    def __init__(self, message: str,
+                 diagnostics: "tuple[VerifyDiagnostic, ...]" = (),
+                 **context: object) -> None:
+        super().__init__(message, **context)  # type: ignore[arg-type]
+        self.diagnostics = diagnostics
+
+
+@dataclass(frozen=True)
+class VerifyDiagnostic:
+    """One verifier finding, locatable down to the instruction."""
+
+    code: str          #: stable rule id (``Vxxx`` error / ``Wxxx`` warning)
+    message: str
+    function: str
+    block: str | None = None
+    index: int | None = None   #: instruction index within the block
+
+    @property
+    def is_error(self) -> bool:
+        return self.code.startswith("V")
+
+    def format(self) -> str:
+        where = f"func {self.function}"
+        if self.block is not None:
+            where += f", block {self.block}"
+        if self.index is not None:
+            where += f", inst {self.index}"
+        return f"{where}: {self.code}: {self.message}"
+
+
+@dataclass
+class VerifyReport:
+    """All diagnostics from one verification run."""
+
+    errors: list[VerifyDiagnostic] = field(default_factory=list)
+    warnings: list[VerifyDiagnostic] = field(default_factory=list)
+    #: function name -> labels of CFG-unreachable blocks (accounting only)
+    unreachable: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def merge(self, other: "VerifyReport") -> None:
+        self.errors.extend(other.errors)
+        self.warnings.extend(other.warnings)
+        self.unreachable.update(other.unreachable)
+
+    def raise_if_errors(self, where: str = "") -> None:
+        """Raise :class:`IRVerifyError` when any error is present."""
+        if self.ok:
+            return
+        head = self.errors[0].format()
+        suffix = "" if len(self.errors) == 1 else \
+            f" (+{len(self.errors) - 1} more)"
+        prefix = f"{where}: " if where else ""
+        raise IRVerifyError(f"{prefix}IR verification failed: "
+                            f"{head}{suffix}",
+                            diagnostics=tuple(self.errors))
+
+
+class _Check:
+    """Stateful single-function verification pass."""
+
+    def __init__(self, func: IRFunction,
+                 program: IRProgram | None) -> None:
+        self.func = func
+        self.program = program
+        self.report = VerifyReport()
+        self.labels = {b.label for b in func.blocks}
+        self._globals = (
+            {g.label: g for g in program.globals}
+            if program is not None else None)
+        self._functions = (
+            {f.name: f for f in program.functions}
+            if program is not None else None)
+
+    def error(self, code: str, message: str, block: str | None = None,
+              index: int | None = None) -> None:
+        self.report.errors.append(VerifyDiagnostic(
+            code, message, self.func.name, block, index))
+
+    def warn(self, code: str, message: str, block: str | None = None,
+             index: int | None = None) -> None:
+        self.report.warnings.append(VerifyDiagnostic(
+            code, message, self.func.name, block, index))
+
+    # -- structure ---------------------------------------------------------
+
+    def check_structure(self) -> bool:
+        func = self.func
+        if not func.blocks:
+            self.error("V001", "function has no blocks")
+            return False
+        ok = True
+        seen: set[str] = set()
+        for block in func.blocks:
+            if block.label in seen:
+                self.error("V002", f"duplicate block label {block.label!r}",
+                           block.label)
+                ok = False
+            seen.add(block.label)
+            if not block.instructions:
+                self.error("V003", "empty block (no terminator)",
+                           block.label)
+                ok = False
+                continue
+            if not block.instructions[-1].is_terminator:
+                self.error("V004",
+                           f"block does not end in a terminator "
+                           f"(last: {block.instructions[-1]!r})",
+                           block.label)
+                ok = False
+            for i, inst in enumerate(block.instructions[:-1]):
+                if inst.is_terminator:
+                    self.error("V005",
+                               f"terminator {inst!r} in the middle of "
+                               f"the block", block.label, i)
+                    ok = False
+            term = block.instructions[-1]
+            targets = ([term.label] if isinstance(term, Jump) else
+                       [term.true_label, term.false_label]
+                       if isinstance(term, CBr) else [])
+            for target in targets:
+                if target not in self.labels:
+                    self.error("V006",
+                               f"branch target {target!r} is not a "
+                               f"block label", block.label,
+                               len(block.instructions) - 1)
+                    ok = False
+        return ok
+
+    # -- per-instruction invariants ---------------------------------------
+
+    def _klass(self, vreg: int, block: str, index: int) -> str | None:
+        klass = self.func.vreg_class.get(vreg)
+        if klass is None:
+            self.error("V007", f"v{vreg} has no registered register class",
+                       block, index)
+        return klass
+
+    def _expect(self, vreg: int, expected: str, role: str,
+                block: str, index: int) -> None:
+        klass = self._klass(vreg, block, index)
+        if klass is not None and klass != expected:
+            self.error("V008",
+                       f"{role} v{vreg} is {klass}, expected {expected}",
+                       block, index)
+
+    def _check_static_base(self, base: object, offset: int, width: int,
+                           block: str, index: int) -> None:
+        if isinstance(base, FrameSlot):
+            if not 0 <= base.slot < len(self.func.frame_objects):
+                self.error("V011", f"frame slot {base.slot} out of range "
+                           f"(function has "
+                           f"{len(self.func.frame_objects)} frame "
+                           f"objects)", block, index)
+                return
+            size = self.func.frame_objects[base.slot].size
+            if offset < 0 or offset + width > size:
+                self.error("V011",
+                           f"access of {width} bytes at offset {offset} "
+                           f"exceeds frame object {base.slot} "
+                           f"({size} bytes)", block, index)
+        elif isinstance(base, GlobalSym) and self._globals is not None:
+            glob = self._globals.get(base.name)
+            if glob is None:
+                self.error("V014", f"undefined global {base.name!r}",
+                           block, index)
+            elif offset < 0 or offset + width > glob.size:
+                self.error("V011",
+                           f"access of {width} bytes at offset {offset} "
+                           f"exceeds global {base.name!r} "
+                           f"({glob.size} bytes)", block, index)
+
+    def check_instruction(self, inst: object, label: str,
+                          index: int) -> None:
+        e = self._expect
+        if isinstance(inst, LoadConst):
+            e(inst.dst, INT, "LoadConst dst", label, index)
+        elif isinstance(inst, LoadFConst):
+            e(inst.dst, FP, "LoadFConst dst", label, index)
+        elif isinstance(inst, BinOp):
+            if inst.op not in BIN_OPS:
+                self.error("V009", f"unknown integer op {inst.op!r}",
+                           label, index)
+            e(inst.dst, INT, "BinOp dst", label, index)
+            e(inst.a, INT, "BinOp operand", label, index)
+            if isinstance(inst.b, int):
+                e(inst.b, INT, "BinOp operand", label, index)
+            elif not isinstance(inst.b, Imm):
+                self.error("V008", f"BinOp b operand {inst.b!r} is "
+                           f"neither a vreg nor an immediate",
+                           label, index)
+        elif isinstance(inst, FBinOp):
+            if inst.op not in FBIN_OPS:
+                self.error("V009", f"unknown FP op {inst.op!r}",
+                           label, index)
+            for role, v in (("FBinOp dst", inst.dst),
+                            ("FBinOp operand", inst.a),
+                            ("FBinOp operand", inst.b)):
+                e(v, FP, role, label, index)
+        elif isinstance(inst, FNeg):
+            e(inst.dst, FP, "FNeg dst", label, index)
+            e(inst.src, FP, "FNeg src", label, index)
+        elif isinstance(inst, Cvt):
+            if inst.kind == "i2d":
+                e(inst.src, INT, "i2d src", label, index)
+                e(inst.dst, FP, "i2d dst", label, index)
+            elif inst.kind == "d2i":
+                e(inst.src, FP, "d2i src", label, index)
+                e(inst.dst, INT, "d2i dst", label, index)
+            else:
+                self.error("V009", f"unknown conversion {inst.kind!r}",
+                           label, index)
+        elif isinstance(inst, Load):
+            if inst.mem not in MEM_KINDS:
+                self.error("V009", f"unknown memory kind {inst.mem!r}",
+                           label, index)
+                return
+            e(inst.dst, FP if inst.mem == "d" else INT, "Load dst",
+              label, index)
+            if isinstance(inst.base, int):
+                e(inst.base, INT, "Load base", label, index)
+            self._check_static_base(inst.base, inst.offset,
+                                    _MEM_WIDTH[inst.mem], label, index)
+        elif isinstance(inst, Store):
+            if inst.mem not in MEM_KINDS:
+                self.error("V009", f"unknown memory kind {inst.mem!r}",
+                           label, index)
+                return
+            e(inst.src, FP if inst.mem == "d" else INT, "Store src",
+              label, index)
+            if isinstance(inst.base, int):
+                e(inst.base, INT, "Store base", label, index)
+            self._check_static_base(inst.base, inst.offset,
+                                    _MEM_WIDTH[inst.mem], label, index)
+        elif isinstance(inst, AddrFrame):
+            e(inst.dst, INT, "AddrFrame dst", label, index)
+            if not 0 <= inst.slot < len(self.func.frame_objects):
+                self.error("V011", f"frame slot {inst.slot} out of range",
+                           label, index)
+            elif not 0 <= inst.offset <= \
+                    self.func.frame_objects[inst.slot].size:
+                self.error("V011",
+                           f"address offset {inst.offset} outside frame "
+                           f"object {inst.slot}", label, index)
+        elif isinstance(inst, AddrGlobal):
+            e(inst.dst, INT, "AddrGlobal dst", label, index)
+            if self._globals is not None and \
+                    inst.name not in self._globals:
+                self.error("V014", f"undefined global {inst.name!r}",
+                           label, index)
+        elif isinstance(inst, Copy):
+            a = self.func.vreg_class.get(inst.dst)
+            b = self.func.vreg_class.get(inst.src)
+            self._klass(inst.dst, label, index)
+            self._klass(inst.src, label, index)
+            if a is not None and b is not None and a != b:
+                self.error("V008",
+                           f"copy between register classes "
+                           f"(v{inst.dst}:{a} <- v{inst.src}:{b})",
+                           label, index)
+        elif isinstance(inst, Call):
+            self._check_call(inst, label, index)
+        elif isinstance(inst, Ret):
+            if inst.src is not None:
+                if inst.ret_class is None:
+                    self.error("V013", "Ret has a value but no return "
+                               "class", label, index)
+                else:
+                    e(inst.src, inst.ret_class, "Ret src", label, index)
+        elif isinstance(inst, CBr):
+            self._check_cbr(inst, label, index)
+        elif isinstance(inst, Jump):
+            pass
+        else:
+            self.error("V009", f"unknown instruction {inst!r}",
+                       label, index)
+
+    def _check_call(self, inst: Call, label: str, index: int) -> None:
+        if len(inst.args) != len(inst.arg_classes):
+            self.error("V012",
+                       f"call {inst.name!r}: {len(inst.args)} args but "
+                       f"{len(inst.arg_classes)} argument classes",
+                       label, index)
+            return
+        for arg, klass in zip(inst.args, inst.arg_classes):
+            self._expect(arg, klass, f"call {inst.name!r} argument",
+                         label, index)
+        if inst.dst is not None:
+            if inst.ret_class is None:
+                self.error("V012", f"call {inst.name!r} captures a result "
+                           f"but is declared void", label, index)
+            else:
+                self._expect(inst.dst, inst.ret_class,
+                             f"call {inst.name!r} result", label, index)
+        if self._functions is None:
+            return
+        callee = self._functions.get(inst.name)
+        if callee is None:
+            return  # assembly runtime routine: no IR-level signature
+        if len(callee.params) != len(inst.args):
+            self.error("V012",
+                       f"call {inst.name!r} passes {len(inst.args)} "
+                       f"args, callee takes {len(callee.params)}",
+                       label, index)
+            return
+        for (pname, _, pklass), aklass in zip(callee.params,
+                                              inst.arg_classes):
+            if pklass != aklass:
+                self.error("V012",
+                           f"call {inst.name!r}: argument for "
+                           f"{pname!r} is {aklass}, callee expects "
+                           f"{pklass}", label, index)
+        ret_classes = {r.ret_class for b in callee.blocks
+                       for r in b.instructions
+                       if isinstance(r, Ret) and r.src is not None}
+        if inst.ret_class is not None and ret_classes and \
+                inst.ret_class not in ret_classes:
+            self.error("V012",
+                       f"call {inst.name!r} expects a "
+                       f"{inst.ret_class} result, callee returns "
+                       f"{', '.join(sorted(ret_classes))}", label, index)
+
+    def _check_cbr(self, inst: CBr, label: str, index: int) -> None:
+        if inst.op not in CMP_OPS:
+            self.error("V009", f"unknown comparison {inst.op!r}",
+                       label, index)
+        if inst.fp:
+            self._expect(inst.a, FP, "FP branch operand", label, index)
+            if isinstance(inst.b, int):
+                self._expect(inst.b, FP, "FP branch operand", label, index)
+            else:
+                self.error("V008", "FP branch with an immediate operand",
+                           label, index)
+            return
+        self._expect(inst.a, INT, "branch operand", label, index)
+        if isinstance(inst.b, int):
+            self._expect(inst.b, INT, "branch operand", label, index)
+        elif isinstance(inst.b, Imm):
+            if inst.b.value != 0:
+                self.error("V010",
+                           f"integer branch immediate must be 0, got "
+                           f"{inst.b.value} (backend contract)",
+                           label, index)
+        else:
+            self.error("V008", f"branch b operand {inst.b!r} is neither "
+                       f"a vreg nor Imm(0)", label, index)
+
+    # -- dataflow checks ---------------------------------------------------
+
+    def check_reachability(self) -> set[str]:
+        by_label = self.func.block_map()
+        reachable: set[str] = set()
+        stack = [self.func.blocks[0].label]
+        while stack:
+            label = stack.pop()
+            if label in reachable:
+                continue
+            reachable.add(label)
+            block = by_label.get(label)
+            if block is not None and block.instructions:
+                stack.extend(s for s in block.successor_labels()
+                             if s in by_label)
+        dead = tuple(b.label for b in self.func.blocks
+                     if b.label not in reachable)
+        self.report.unreachable[self.func.name] = dead
+        for label in dead:
+            self.warn("W002", "unreachable block (CFG accounting)", label)
+        return reachable
+
+    def check_def_before_use(self, reachable: set[str]) -> None:
+        func = self.func
+        problem = _MustDefined(frozenset(v for _, v, _ in func.params))
+        result = solve(func.blocks, problem)
+        for block in func.blocks:
+            if block.label not in reachable:
+                continue
+            state = result.block_in.get(block.label)
+            defined = set() if state is None or \
+                isinstance(state, Unreachable) else set(state)
+            for i, inst in enumerate(block.instructions):
+                for v in inst.uses():
+                    if v not in defined:
+                        self.warn("W001",
+                                  f"v{v} may be used before it is "
+                                  f"defined on some path", block.label, i)
+                        defined.add(v)  # report each vreg once per block
+                defined.update(inst.defs())
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> VerifyReport:
+        if not self.check_structure():
+            return self.report
+        for block in self.func.blocks:
+            for i, inst in enumerate(block.instructions):
+                self.check_instruction(inst, block.label, i)
+        reachable = self.check_reachability()
+        if self.report.ok:
+            self.check_def_before_use(reachable)
+        return self.report
+
+
+class _MustDefined(DataflowProblem[frozenset]):
+    """Vregs defined along *every* path (intersection join)."""
+
+    name = "must-defined"
+    direction = FORWARD
+
+    def __init__(self, params: frozenset) -> None:
+        self._params = params
+
+    def boundary(self, block: IRBlock) -> frozenset:
+        return self._params
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a & b
+
+    def transfer(self, block: IRBlock, state: frozenset) -> frozenset:
+        defined = set(state)
+        for inst in block.instructions:
+            defined.update(inst.defs())
+        return frozenset(defined)
+
+
+def verify_function(func: IRFunction,
+                    program: IRProgram | None = None) -> VerifyReport:
+    """Verify one function; *program* enables cross-function checks."""
+    return _Check(func, program).run()
+
+
+def verify_program(program: IRProgram) -> VerifyReport:
+    """Verify every function of *program* (with call-arity context)."""
+    report = VerifyReport()
+    for func in program.functions:
+        report.merge(verify_function(func, program))
+    return report
+
+
+def assert_valid(unit: IRFunction | IRProgram, where: str = "") -> None:
+    """Verify *unit* and raise :class:`IRVerifyError` on any error."""
+    if isinstance(unit, IRProgram):
+        report = verify_program(unit)
+    else:
+        report = verify_function(unit)
+    report.raise_if_errors(where)

@@ -60,6 +60,13 @@ def main(argv: list[str] | None = None) -> int:
                              "that changed a function")
     parser.add_argument("--no-rotate-loops", action="store_true",
                         help="use naive top-tested loop codegen")
+    parser.add_argument("--lint", action="store_true",
+                        help="run the BLC source linter and exit (exit "
+                             "status 1 when diagnostics were reported)")
+    parser.add_argument("--verify-each", action="store_true",
+                        help="run the IR verifier after IR generation and "
+                             "after every optimizer pass that changed a "
+                             "function")
     parser.add_argument("--predict", action="store_true",
                         help="run, then report each predictor's miss rate")
     parser.add_argument("--max-instructions", type=int, default=200_000_000)
@@ -78,6 +85,17 @@ def main(argv: list[str] | None = None) -> int:
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.lint:
+        from repro.analysis.lint import lint_source
+        try:
+            diagnostics = lint_source(source, args.source)
+        except CompileError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        for diagnostic in diagnostics:
+            print(diagnostic.format())
+        return 1 if diagnostics else 0
 
     optimize = not (args.no_opt
                     or (args.opt_level == "O0" and args.passes is None))
@@ -109,20 +127,24 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     try:
+        verify_each = args.verify_each or None
         if args.dump_ir:
             ir = compile_to_ir(source, args.source, optimize=optimize,
                                rotate_loops=rotate, passes=passes,
-                               after_pass=after_pass)
+                               after_pass=after_pass,
+                               verify_each=verify_each)
             print(ir.dump())
             return 0
         if args.emit_asm:
             print(compile_to_asm(source, args.source, optimize=optimize,
                                  rotate_loops=rotate, passes=passes,
-                                 after_pass=after_pass))
+                                 after_pass=after_pass,
+                                 verify_each=verify_each))
             return 0
         executable = compile_and_link(source, args.source,
                                       optimize=optimize, rotate_loops=rotate,
-                                      passes=passes, after_pass=after_pass)
+                                      passes=passes, after_pass=after_pass,
+                                      verify_each=verify_each)
     except CompileError as exc:
         # keep the historical compiler-diagnostic format (file:line:col)
         print(f"error: {exc}", file=sys.stderr)

@@ -41,6 +41,7 @@ __all__ = [
     "optimize_program", "optimize_function", "compute_liveness",
     "IR_ANALYSES", "IR_PASSES", "O0_PASSES", "O1_PASSES",
     "build_pipeline", "pipeline_spec",
+    "set_verify_each", "verify_each_enabled",
 ]
 
 _S16_MIN, _S16_MAX = -32768, 32767
@@ -484,9 +485,24 @@ def _coalesce_pass(func: IRFunction, am) -> bool:
     return _coalesce_copies(func, live_out=am.get("liveness"))
 
 
-#: The default ``-O1`` pipeline — the seed optimizer's exact pass order.
+@IR_PASSES.register("sccp-fold",
+                    description="rewrite conditional branches proven "
+                                "constant by sparse conditional constant "
+                                "propagation into jumps")
+def _sccp_fold_pass(func: IRFunction, am) -> bool:
+    # lazy import: repro.analysis sits above this module (it registers the
+    # "sccp" analysis on IR_ANALYSES when imported), so the pass body —
+    # never the module — pulls it in
+    from repro.analysis.sccp import sccp_fold
+    return sccp_fold(func, am.get("sccp"))
+
+
+#: The default ``-O1`` pipeline.  ``sccp-fold`` (added with the static-
+#: analysis subsystem) folds cross-block constant branches between local
+#: propagation and CFG simplification; the remaining order is the seed
+#: optimizer's.
 O1_PASSES: tuple[str, ...] = (
-    "local-propagate", "simplify-cfg", "dce", "copy-coalesce",
+    "local-propagate", "sccp-fold", "simplify-cfg", "dce", "copy-coalesce",
 )
 
 #: ``-O0``: no transformation at all (the ablation baseline).
@@ -524,30 +540,76 @@ def build_pipeline(spec: str | Sequence[str] | None = None, *,
 
 AfterPassHook = Callable[[object, IRFunction, bool], None]
 
+#: Process-wide default for pass-by-pass IR verification (``--verify-each``,
+#: the test suite's always-on conftest fixture).  Explicit ``verify_each=``
+#: arguments override it per call.
+_VERIFY_EACH = False
+
+
+def set_verify_each(enabled: bool) -> bool:
+    """Set the process-wide verify-each default; returns the old value."""
+    global _VERIFY_EACH
+    old = _VERIFY_EACH
+    _VERIFY_EACH = bool(enabled)
+    return old
+
+
+def verify_each_enabled() -> bool:
+    """The current process-wide verify-each default."""
+    return _VERIFY_EACH
+
 
 def optimize_function(func: IRFunction, max_rounds: int = 8,
                       passes: str | Sequence[str] | None = None,
-                      after_pass: AfterPassHook | None = None) -> None:
+                      after_pass: AfterPassHook | None = None,
+                      verify_each: bool | None = None) -> None:
     """Run the (default: ``-O1``) pipeline on *func* to fixpoint (bounded).
 
     Thin wrapper over :func:`build_pipeline`; ``liveness`` is computed at
     most once per round through the function's analysis manager and reused
     by every pass that did not change the function since.
+
+    With *verify_each* (default: the :func:`set_verify_each` process flag)
+    the IR verifier checks the function before the pipeline and after every
+    pass execution that changed it, raising
+    :class:`repro.analysis.verify.IRVerifyError` on the first violation —
+    pinning miscompiles to the pass that introduced them.
     """
+    if verify_each is None:
+        verify_each = _VERIFY_EACH
+    hook = after_pass
+    if verify_each:
+        # lazy import: repro.analysis layers above this module
+        from repro.analysis.verify import assert_valid
+
+        assert_valid(func, where="before optimization")
+
+        def hook(pass_: object, f: IRFunction, changed: bool,
+                 _user: AfterPassHook | None = after_pass) -> None:
+            # user hook first (it may mutate, e.g. tests simulating a
+            # buggy pass), then verify the resulting state
+            if _user is not None:
+                _user(pass_, f, changed)
+            if changed:
+                name = getattr(pass_, "name", pass_)
+                assert_valid(f, where=f"after pass {name!r}")
+
     pipeline = build_pipeline(passes, fixed_point=True,
                               max_rounds=max_rounds)
-    pipeline.run(func, am=IR_ANALYSES.manager(func), after_pass=after_pass)
+    pipeline.run(func, am=IR_ANALYSES.manager(func), after_pass=hook)
 
 
 def optimize_program(program: IRProgram, enabled: bool = True,
                      passes: str | Sequence[str] | None = None,
-                     after_pass: AfterPassHook | None = None) -> IRProgram:
+                     after_pass: AfterPassHook | None = None,
+                     verify_each: bool | None = None) -> IRProgram:
     """Optimize every function (no-op when *enabled* is False, the -O0 mode
     used by ablation benchmarks).
 
     *passes* overrides the pipeline (a spec per :func:`pipeline_spec`);
     *after_pass* is invoked after every pass execution on every function —
-    the bcc CLI's ``--emit-ir-after`` hook.
+    the bcc CLI's ``--emit-ir-after`` hook.  *verify_each* runs the IR
+    verifier around every pass (see :func:`optimize_function`).
     """
     if not enabled:
         return program
@@ -555,5 +617,6 @@ def optimize_program(program: IRProgram, enabled: bool = True,
     if not spec:
         return program
     for func in program.functions:
-        optimize_function(func, passes=spec, after_pass=after_pass)
+        optimize_function(func, passes=spec, after_pass=after_pass,
+                          verify_each=verify_each)
     return program

@@ -35,7 +35,7 @@ __all__ = [
     "HEURISTIC_NAMES", "PAPER_ORDER", "HEURISTICS",
     "opcode_heuristic", "loop_heuristic", "call_heuristic",
     "return_heuristic", "guard_heuristic", "store_heuristic",
-    "pointer_heuristic", "extended_guard_heuristic",
+    "pointer_heuristic", "extended_guard_heuristic", "range_heuristic",
     "applicable_heuristics",
 ]
 
@@ -336,6 +336,37 @@ def extended_guard_heuristic(branch: BranchInfo, pa: ProcedureAnalysis,
         return False
 
     return _select(branch, pa, prop, predict_with_property=True)
+
+
+@register_heuristic("Range", 8, description="semantic always/never-taken "
+                    "facts from SCCP + interval range analysis (outside "
+                    "the measured set)")
+def range_heuristic(branch: BranchInfo,
+                    pa: ProcedureAnalysis) -> Prediction | None:
+    """Predict from compiler-exported static branch evidence.
+
+    When the executable was linked with ``attach_evidence=True`` (see
+    :func:`repro.bcc.compile_and_link`), every conditional branch that
+    SCCP or the interval range analysis *proved* always- or never-taken
+    carries its machine direction in ``executable.branch_evidence``.
+    This heuristic simply reads that fact — it is the semantic
+    counterpart of the paper's local syntactic heuristics, measuring how
+    much of the perfect-static gap whole-function analysis closes (the
+    harness's range-evidence table).  Like ExtGuard it is registered
+    outside the measured set, so the paper's 7-heuristic experiments are
+    unaffected.
+
+    The evidence is duck-typed (``taken_at(address) -> bool | None``) so
+    :mod:`repro.core` keeps no import edge onto :mod:`repro.analysis`.
+    """
+    executable = branch.procedure.executable
+    evidence = getattr(executable, "branch_evidence", None)
+    if evidence is None:
+        return None
+    taken = evidence.taken_at(branch.address)
+    if taken is None:
+        return None
+    return Prediction.TAKEN if taken else Prediction.NOT_TAKEN
 
 
 #: Measured heuristic names in Section-4 appearance order — a registry-

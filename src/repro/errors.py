@@ -44,7 +44,8 @@ __all__ = [
 ]
 
 #: Pipeline phases a failure can be attributed to.
-PHASES = ("compile", "assemble", "link", "analyze", "simulate", "report")
+PHASES = ("compile", "verify", "assemble", "link", "analyze", "simulate",
+          "report")
 
 #: Structured context slots every ReproError carries.
 CONTEXT_FIELDS = ("benchmark", "dataset", "phase", "pc", "instr_count")

@@ -5,6 +5,9 @@ each result renders itself as text. ``python -m repro.harness`` prints the
 full report.
 """
 
+from repro.harness.evidence import (
+    EvidenceRow, EvidenceTable, evidence_row, evidence_table,
+)
 from repro.harness.graphs import (
     Graph1, Graph13, Graphs2And3, SEQUENCE_BENCHMARKS, SequenceGraphs,
     graph1, graph12, graph13, graphs2_3, graphs4_11,
@@ -26,4 +29,5 @@ __all__ = [
     "Graph1", "Graphs2And3", "SequenceGraphs", "Graph13",
     "SEQUENCE_BENCHMARKS",
     "TextTable", "pct", "cd_cell", "mean_std",
+    "EvidenceRow", "EvidenceTable", "evidence_row", "evidence_table",
 ]

@@ -106,6 +106,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--hot-pc", type=int, default=None, metavar="N",
                         help="sample the simulated pc every N instructions "
                              "(hot-PC histogram; off by default)")
+    parser.add_argument("--range-table", action="store_true",
+                        help="also print the range-evidence ablation table "
+                             "(recompiles the suite fold-free with the "
+                             "SCCP+range branch evidence attached)")
     add_logging_args(parser)
     if argv is None:
         import sys
@@ -175,6 +179,11 @@ def main(argv: list[str] | None = None) -> int:
                 print()
             if 13 in graphs:
                 print(graph13(runner).describe())
+
+            if args.range_table:
+                from repro.harness.evidence import evidence_table
+                print()
+                print(evidence_table(runner).render())
     except ReproError as exc:
         log.error(exc.oneline())
         return 1

@@ -1,0 +1,193 @@
+"""The range-evidence ablation table (``--range-table``).
+
+Quantifies how much of the perfect-static gap the *semantic* branch
+analysis (SCCP + interval ranges, :mod:`repro.analysis`) closes beyond
+the paper's local syntactic heuristics.
+
+Methodology
+-----------
+
+Each benchmark is recompiled with the ``sccp-fold`` pass **removed** from
+the pipeline and the branch-evidence analysis attached: the optimizer
+normally deletes every branch it can prove, so to *measure* the proofs as
+predictions the proven branches must survive into the executable.  The
+remaining passes are the seed ``-O1`` pipeline, so the branch population
+matches the pre-static-analysis repo.
+
+Per benchmark (ref dataset) the table reports:
+
+* ``cond``     — conditional branch instructions in the text segment;
+* ``dec``      — branches the analysis decided (always/never-taken), with
+  the SCCP/range attribution split;
+* ``exec dec`` — decided branches that executed at least once;
+* ``bad``      — decided-and-executed branches whose ground-truth edge
+  profile contradicts the claim.  **Soundness gate: this column must be
+  zero everywhere** (the test suite enforces it);
+* ``BL``/``+Range``/``perf`` — non-loop dynamic miss rates of the paper's
+  heuristic chain, the same chain with ``Range`` consulted first, and the
+  perfect static predictor;
+* ``gap%``     — the fraction of the BL-to-perfect gap the evidence
+  closed, ``(BL - (+Range)) / (BL - perf)``.
+
+The ``Range`` heuristic itself is registered outside the measured set
+(like ``ExtGuard``), so Tables 1-7 are byte-identical with or without
+this subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bcc.driver import compile_and_link
+from repro.bench.suite import get
+from repro.core.classify import ProgramAnalysis, classify_branches
+from repro.core.evaluation import evaluate_predictor
+from repro.core.predictors import HeuristicPredictor, PerfectPredictor
+from repro.core.registry import HEURISTIC_REGISTRY
+from repro.errors import ReproError
+from repro.harness.report import TextTable
+from repro.harness.runner import SuiteRunner
+from repro.sim import Machine
+from repro.sim.profile import EdgeProfile
+
+__all__ = ["EvidenceRow", "EvidenceTable", "evidence_row", "evidence_table",
+           "NO_FOLD_PASSES"]
+
+#: the seed ``-O1`` pipeline — ``sccp-fold`` removed so proven branches
+#: survive into the executable and can be *predicted* instead of deleted
+NO_FOLD_PASSES = "local-propagate,simplify-cfg,dce,copy-coalesce"
+
+
+class EvidenceValidationError(ReproError):
+    """A static always/never-taken claim contradicted the edge profile."""
+
+    phase = "analyze"
+
+
+@dataclass
+class EvidenceRow:
+    """Per-benchmark evidence statistics and ablation miss rates."""
+
+    name: str
+    conditional_branches: int
+    decided: int
+    decided_sccp: int
+    decided_range: int
+    executed_decided: int
+    misclassified: int          #: must be 0 (soundness gate)
+    bl_miss: float              #: paper chain, non-loop branches
+    range_miss: float           #: Range-first chain, non-loop branches
+    perfect_miss: float
+
+    @property
+    def gap_closed(self) -> float | None:
+        """Fraction of the BL-to-perfect gap closed by the evidence."""
+        gap = self.bl_miss - self.perfect_miss
+        if gap <= 0:
+            return None
+        return (self.bl_miss - self.range_miss) / gap
+
+
+@dataclass
+class EvidenceTable:
+    """All rows plus the aggregate, renderable in the harness style."""
+
+    rows: list[EvidenceRow]
+
+    def render(self) -> str:
+        table = TextTable(
+            ["benchmark", "cond", "dec", "sccp", "range", "exec dec",
+             "bad", "BL%", "+Range%", "perf%", "gap%"],
+            title="Range evidence: semantic always/never-taken facts vs "
+                  "the syntactic heuristic chain (non-loop branches, ref "
+                  "dataset, fold disabled)")
+        for row in self.rows:
+            gap = row.gap_closed
+            table.add_row(
+                row.name, row.conditional_branches, row.decided,
+                row.decided_sccp, row.decided_range, row.executed_decided,
+                row.misclassified,
+                f"{100 * row.bl_miss:.1f}", f"{100 * row.range_miss:.1f}",
+                f"{100 * row.perfect_miss:.1f}",
+                "-" if gap is None else f"{100 * gap:.0f}")
+        table.add_separator()
+        total_decided = sum(r.decided for r in self.rows)
+        total_bad = sum(r.misclassified for r in self.rows)
+        gaps = [r.gap_closed for r in self.rows if r.gap_closed is not None]
+        mean_gap = sum(gaps) / len(gaps) if gaps else 0.0
+        table.add_row(
+            "all", sum(r.conditional_branches for r in self.rows),
+            total_decided, sum(r.decided_sccp for r in self.rows),
+            sum(r.decided_range for r in self.rows),
+            sum(r.executed_decided for r in self.rows), total_bad,
+            "", "", "", f"{100 * mean_gap:.0f}")
+        rendered = table.render()
+        rendered += ("\n(misclassifications must be 0: every exported fact "
+                     "is validated against the ground-truth edge profile)")
+        return rendered
+
+
+def _validate(evidence, profile: EdgeProfile,
+              benchmark: str) -> tuple[int, int]:
+    """(executed decided, misclassified) over ground-truth edge counts."""
+    executed = 0
+    bad = 0
+    for address, fact in evidence.by_address.items():
+        if fact.taken is None or profile.execution_count(address) == 0:
+            continue
+        executed += 1
+        wrong = (profile.not_taken_count(address) if fact.taken
+                 else profile.taken_count(address))
+        if wrong:
+            bad += 1
+    if bad:
+        raise EvidenceValidationError(
+            f"{bad} static branch claim(s) contradicted the edge profile",
+            benchmark=benchmark)
+    return executed, bad
+
+
+def evidence_row(name: str, max_instructions: int = 100_000_000,
+                 dataset: str = "ref") -> EvidenceRow:
+    """Compile *name* fold-free with evidence attached, run, and score."""
+    benchmark = get(name)
+    ds = benchmark.dataset(dataset)
+    executable = compile_and_link(
+        benchmark.source(), filename=f"{name}.blc",
+        passes=NO_FOLD_PASSES, attach_evidence=True)
+    evidence = executable.branch_evidence  # set by attach_evidence=True
+    analysis: ProgramAnalysis = classify_branches(executable)
+    profile = EdgeProfile()
+    machine = Machine(executable, inputs=list(ds.inputs),
+                      observers=[profile],
+                      max_instructions=max_instructions)
+    machine.run()
+
+    executed, bad = _validate(evidence, profile, name)
+    facts = evidence.evidence.decided_facts()
+    non_loop = [b.address for b in analysis.non_loop_branches()]
+    paper = HEURISTIC_REGISTRY.paper_order()
+    bl = evaluate_predictor(HeuristicPredictor(analysis), profile, non_loop)
+    with_range = evaluate_predictor(
+        HeuristicPredictor(analysis, order=("Range",) + paper),
+        profile, non_loop)
+    perfect = evaluate_predictor(PerfectPredictor(analysis, profile),
+                                 profile, non_loop)
+    return EvidenceRow(
+        name=name,
+        conditional_branches=len(evidence.by_address),
+        decided=len(facts),
+        decided_sccp=sum(1 for f in facts if f.source == "sccp"),
+        decided_range=sum(1 for f in facts if f.source == "range"),
+        executed_decided=executed,
+        misclassified=bad,
+        bl_miss=bl.miss_rate,
+        range_miss=with_range.miss_rate,
+        perfect_miss=perfect.miss_rate)
+
+
+def evidence_table(runner: SuiteRunner) -> EvidenceTable:
+    """The full range-evidence ablation table over *runner*'s suite."""
+    rows = [evidence_row(name, max_instructions=runner.max_instructions)
+            for name in runner.benchmark_names]
+    return EvidenceTable(rows)

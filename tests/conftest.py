@@ -5,8 +5,25 @@ from __future__ import annotations
 import pytest
 
 from repro.bcc import compile_and_link
+from repro.bcc.opt import set_verify_each
 from repro.harness import SuiteRunner
 from repro.sim import EdgeProfile, Machine
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _always_verify_ir():
+    """Every compilation in the test suite runs the IR verifier.
+
+    The process-wide verify-each default (see
+    :func:`repro.bcc.opt.set_verify_each`) checks the IR after generation
+    and after every optimizer pass that changed a function, so any test
+    that compiles anything doubles as a verifier regression — a pass that
+    emits malformed IR fails loudly at the pass that broke it, not at
+    some downstream codegen assertion.
+    """
+    old = set_verify_each(True)
+    yield
+    set_verify_each(old)
 
 
 def compile_run(source: str, inputs: list | None = None,

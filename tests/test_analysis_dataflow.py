@@ -1,0 +1,360 @@
+"""The generic dataflow engine and the interval lattice, in isolation.
+
+The solver is structure-agnostic (anything with ``label`` +
+``successor_labels()``), so these tests drive it over tiny stub CFGs
+where the exact fixpoint is computable by hand:
+
+* convergence on a diamond, a self-loop, and an *irreducible* two-headed
+  loop (no reducible-CFG assumption anywhere in the engine);
+* backward orientation (boundary at exit blocks, mirrored IN/OUT);
+* SCCP-style edge pruning via the :data:`UNREACHABLE` edge result;
+* widening termination on a counting loop whose ascending chain is far
+  longer than the iteration budget — and the matching divergence error
+  when widening is disabled;
+* narrowing sweeps recovering the loop-counter bound widening discarded.
+
+The lattice half checks the properties the branch-evidence soundness
+claim actually rests on, with hypothesis: every abstract transfer /
+refinement / comparison must over-approximate the machine's concrete
+arithmetic (via ``_fold_binop``, which the fold-vs-machine differential
+test pins to the simulator), and the arithmetic core is monotone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import lattice
+from repro.analysis.dataflow import (
+    BACKWARD, DataflowDivergenceError, DataflowProblem, UNREACHABLE,
+    Unreachable, solve,
+)
+from repro.analysis.lattice import INT32_MAX, INT32_MIN, Interval
+from repro.bcc.opt import _fold_binop
+
+# -- stub CFG ---------------------------------------------------------------
+
+
+@dataclass
+class Stub:
+    """Minimal BlockLike: a label and its successor labels."""
+
+    label: str
+    succs: tuple[str, ...] = ()
+
+    def successor_labels(self) -> tuple[str, ...]:
+        return self.succs
+
+
+class UnionProblem(DataflowProblem[frozenset]):
+    """Gen-only union problem: OUT(B) = IN(B) | {B.label}.
+
+    The fixpoint is the set of labels on some path from the entry — easy
+    to hand-compute even on irreducible graphs.
+    """
+
+    name = "test-union"
+
+    def boundary(self, block):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, block, state):
+        return state | {block.label}
+
+
+def test_diamond_converges_to_path_labels():
+    blocks = [Stub("entry", ("a", "b")), Stub("a", ("merge",)),
+              Stub("b", ("merge",)), Stub("merge", ())]
+    result = solve(blocks, UnionProblem())
+    assert result.block_in["merge"] == {"entry", "a", "b"}
+    assert result.block_out["merge"] == {"entry", "a", "b", "merge"}
+    assert result.block_in["a"] == {"entry"}
+
+
+def test_self_loop_converges():
+    blocks = [Stub("entry", ("loop",)), Stub("loop", ("loop", "exit")),
+              Stub("exit", ())]
+    result = solve(blocks, UnionProblem())
+    # the self-edge feeds the block its own OUT: IN must absorb it
+    assert result.block_in["loop"] == {"entry", "loop"}
+    assert result.block_in["exit"] == {"entry", "loop"}
+
+
+def test_irreducible_cfg_converges():
+    """Two-headed loop (entry jumps into both headers): no dominator /
+    reducibility assumption may creep into the engine."""
+    blocks = [Stub("entry", ("a", "b")), Stub("a", ("b",)),
+              Stub("b", ("a",))]
+    result = solve(blocks, UnionProblem())
+    assert result.block_in["a"] == {"entry", "a", "b"}
+    assert result.block_in["b"] == {"entry", "a", "b"}
+
+
+def test_unreachable_block_keeps_bottom():
+    blocks = [Stub("entry", ("exit",)), Stub("exit", ()),
+              Stub("orphan", ("exit",))]
+    result = solve(blocks, UnionProblem())
+    assert not result.reachable("orphan")
+    assert isinstance(result.block_in["orphan"], Unreachable)
+    # the orphan's edge into `exit` contributes nothing
+    assert result.block_in["exit"] == {"entry"}
+
+
+def test_empty_cfg_is_a_noop():
+    result = solve([], UnionProblem())
+    assert result.block_in == {} and result.block_out == {}
+
+
+def test_backward_orientation_mirrors_in_out():
+    """Liveness-shaped run: boundary at the exit block, IN is always the
+    state *before* the block in program order."""
+
+    class BackwardUnion(UnionProblem):
+        direction = BACKWARD
+
+    blocks = [Stub("entry", ("mid",)), Stub("mid", ("exit",)),
+              Stub("exit", ())]
+    result = solve(blocks, BackwardUnion())
+    assert result.block_out["exit"] == frozenset()       # boundary
+    assert result.block_in["exit"] == {"exit"}
+    assert result.block_out["mid"] == {"exit"}
+    assert result.block_in["entry"] == {"entry", "mid", "exit"}
+
+
+def test_edge_pruning_removes_the_contribution():
+    """Returning UNREACHABLE from transfer_edge cuts the edge (the SCCP
+    executable-edges mechanism)."""
+
+    class Pruned(UnionProblem):
+        def transfer_edge(self, src, dst_label, state):
+            if src.label == "entry" and dst_label == "b":
+                return UNREACHABLE
+            return state
+
+    blocks = [Stub("entry", ("a", "b")), Stub("a", ("merge",)),
+              Stub("b", ("merge",)), Stub("merge", ())]
+    result = solve(blocks, Pruned())
+    assert not result.reachable("b")
+    assert result.block_in["merge"] == {"entry", "a"}
+
+
+# -- widening / narrowing on a counting loop --------------------------------
+
+
+class CountingLoop(DataflowProblem[Interval]):
+    """``x = 0; while (x < limit) x = x + 1;`` over stub blocks.
+
+    State is the interval of ``x``.  The ascending chain at the loop head
+    has ``limit`` steps, so any ``limit`` beyond the iteration budget
+    *requires* widening to terminate — exactly the situation the interval
+    client is in.
+    """
+
+    name = "test-counting"
+
+    def __init__(self, limit: int, widening: bool = True,
+                 narrowing: int = 0) -> None:
+        self.limit = limit
+        self._widening = widening
+        self.narrow_iterations = narrowing
+
+    def boundary(self, block):
+        return lattice.const(0)
+
+    def join(self, a, b):
+        return lattice.join(a, b)
+
+    def transfer(self, block, state):
+        if block.label == "body":
+            return lattice.transfer_binop("add", state, lattice.const(1))
+        return state
+
+    def transfer_edge(self, src, dst_label, state):
+        if src.label != "head":
+            return state
+        refined, _ = lattice.refine("lt", state,
+                                    lattice.const(self.limit),
+                                    dst_label == "body")
+        return refined if refined is not None else UNREACHABLE
+
+    def widen(self, old, new):
+        return lattice.widen(old, new) if self._widening else new
+
+
+LOOP = [Stub("entry", ("head",)), Stub("head", ("body", "exit")),
+        Stub("body", ("head",)), Stub("exit", ())]
+
+
+def test_widening_terminates_on_a_huge_loop():
+    limit = 1_000_000  # chain length >> iteration budget
+    result = solve(LOOP, CountingLoop(limit))
+    assert result.iterations < 100
+    # sound but widened: the exit knows the lower bound, not the upper
+    exit_in = result.block_in["exit"]
+    assert exit_in.lo == limit and exit_in.hi == INT32_MAX
+
+
+def test_without_widening_the_huge_loop_diverges():
+    with pytest.raises(DataflowDivergenceError):
+        solve(LOOP, CountingLoop(1_000_000, widening=False),
+              max_iterations=300)
+
+
+def test_without_widening_a_small_loop_is_exact():
+    result = solve(LOOP, CountingLoop(5, widening=False))
+    assert result.block_in["head"] == Interval(0, 5)
+    assert result.block_in["exit"] == Interval(5, 5)
+
+
+def test_narrowing_recovers_the_widened_bound():
+    """The decreasing sweeps re-apply the back-edge refinement, turning
+    the widened ``[limit, INT32_MAX]`` exit state back into the exact
+    ``[limit, limit]`` — this is what lets the range analysis decide
+    branches on loop counters."""
+    limit = 1_000_000
+    widened = solve(LOOP, CountingLoop(limit))
+    narrowed = solve(LOOP, CountingLoop(limit, narrowing=2))
+    assert widened.block_in["exit"].hi == INT32_MAX
+    assert narrowed.block_in["head"] == Interval(0, limit)
+    assert narrowed.block_in["exit"] == Interval(limit, limit)
+
+
+def test_narrowing_never_loses_reachability():
+    result = solve(LOOP, CountingLoop(7, narrowing=3))
+    assert all(result.reachable(b.label) for b in LOOP)
+
+
+# -- interval lattice properties (hypothesis) -------------------------------
+
+_ALL_OPS = ("add", "sub", "mul", "div", "rem", "and", "or", "xor",
+            "shl", "shr", "sru", "slt", "sltu")
+#: ops whose transfer is monotone by construction (exact corner hulls)
+_MONOTONE_OPS = ("add", "sub", "mul", "slt")
+
+_CMP = {"eq": lambda a, b: a == b, "ne": lambda a, b: a != b,
+        "lt": lambda a, b: a < b, "le": lambda a, b: a <= b,
+        "gt": lambda a, b: a > b, "ge": lambda a, b: a >= b}
+
+_POINTS = st.one_of(
+    st.integers(INT32_MIN, INT32_MAX),
+    st.sampled_from([0, 1, -1, 31, 32, INT32_MIN, INT32_MAX]))
+
+
+@st.composite
+def intervals(draw) -> Interval:
+    a = draw(_POINTS)
+    b = draw(_POINTS)
+    return Interval(min(a, b), max(a, b))
+
+
+def _contains(outer: Interval, inner: Interval) -> bool:
+    return outer.lo <= inner.lo and inner.hi <= outer.hi
+
+
+@given(data=st.data(), op=st.sampled_from(_ALL_OPS))
+@settings(max_examples=200, deadline=None)
+def test_transfer_binop_is_sound(data, op):
+    """For any concrete pair inside the operand intervals, the machine
+    result (``_fold_binop`` == the simulator, by the differential test)
+    lies inside the abstract result.  This is the property the zero-
+    misclassification promise rests on."""
+    a = data.draw(intervals())
+    b = data.draw(intervals())
+    x = data.draw(st.integers(a.lo, a.hi))
+    y = data.draw(st.integers(b.lo, b.hi))
+    abstract = lattice.transfer_binop(op, a, b)
+    concrete = _fold_binop(op, x, y)
+    if concrete is None:  # div/rem by zero: the machine faults instead
+        return
+    assert abstract.contains(concrete), (
+        f"{op}: {concrete} = {op}({x}, {y}) escapes {abstract} "
+        f"for operands {a} x {b}")
+
+
+@given(data=st.data(), op=st.sampled_from(_MONOTONE_OPS))
+@settings(max_examples=150, deadline=None)
+def test_transfer_binop_arithmetic_core_is_monotone(data, op):
+    """Wider operands never yield a narrower result (the classical
+    convergence argument for the worklist iteration)."""
+    outer_a = data.draw(intervals())
+    outer_b = data.draw(intervals())
+    inner_a = Interval(data.draw(st.integers(outer_a.lo, outer_a.hi)),
+                       outer_a.hi)
+    inner_a = Interval(inner_a.lo,
+                       data.draw(st.integers(inner_a.lo, outer_a.hi)))
+    inner_b = Interval(data.draw(st.integers(outer_b.lo, outer_b.hi)),
+                       outer_b.hi)
+    inner_b = Interval(inner_b.lo,
+                       data.draw(st.integers(inner_b.lo, outer_b.hi)))
+    small = lattice.transfer_binop(op, inner_a, inner_b)
+    big = lattice.transfer_binop(op, outer_a, outer_b)
+    assert _contains(big, small), (
+        f"{op} not monotone: {inner_a}x{inner_b} -> {small} but "
+        f"{outer_a}x{outer_b} -> {big}")
+
+
+@given(data=st.data(), op=st.sampled_from(sorted(_CMP)))
+@settings(max_examples=200, deadline=None)
+def test_refine_keeps_every_witness(data, op):
+    """A concrete pair that produced the branch outcome must survive the
+    edge refinement (otherwise refinement could prune a reachable edge)."""
+    a = data.draw(intervals())
+    b = data.draw(intervals())
+    x = data.draw(st.integers(a.lo, a.hi))
+    y = data.draw(st.integers(b.lo, b.hi))
+    outcome = _CMP[op](x, y)
+    ra, rb = lattice.refine(op, a, b, outcome)
+    assert ra is not None and ra.contains(x), (
+        f"{op}={outcome}: witness {x} refined away from {a} -> {ra}")
+    assert rb is not None and rb.contains(y), (
+        f"{op}={outcome}: witness {y} refined away from {b} -> {rb}")
+
+
+@given(data=st.data(), op=st.sampled_from(sorted(_CMP)))
+@settings(max_examples=200, deadline=None)
+def test_compare_decisions_hold_for_every_point(data, op):
+    a = data.draw(intervals())
+    b = data.draw(intervals())
+    decided = lattice.compare(op, a, b)
+    if decided is None:
+        return
+    x = data.draw(st.integers(a.lo, a.hi))
+    y = data.draw(st.integers(b.lo, b.hi))
+    assert _CMP[op](x, y) == decided, (
+        f"compare({op}, {a}, {b}) = {decided} but {x} {op} {y} disagrees")
+
+
+@given(a=intervals(), b=intervals())
+@settings(max_examples=100, deadline=None)
+def test_join_is_the_hull_and_meet_the_intersection(a, b):
+    joined = lattice.join(a, b)
+    assert _contains(joined, a) and _contains(joined, b)
+    assert lattice.join(a, b) == lattice.join(b, a)
+    met = lattice.meet(a, b)
+    if met is None:
+        assert a.hi < b.lo or b.hi < a.lo
+    else:
+        assert _contains(a, met) and _contains(b, met)
+
+
+@given(start=intervals(), steps=st.lists(intervals(), min_size=1,
+                                         max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_widening_chains_stabilize_within_two_steps(start, steps):
+    """Each bound can widen at most once, so any widening sequence
+    changes the state at most twice — the termination argument."""
+    state = start
+    changes = 0
+    for new in steps:
+        widened = lattice.widen(state, lattice.join(state, new))
+        assert _contains(widened, state) and _contains(widened, new)
+        if widened != state:
+            changes += 1
+        state = widened
+    assert changes <= 2

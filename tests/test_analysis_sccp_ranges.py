@@ -1,0 +1,331 @@
+"""SCCP and interval range analysis over real compiled IR.
+
+These are the *targeted* tests behind the suite-level no-op pin in
+``test_golden_differential.py``: the benchmark suite happens to contain
+no cross-block integer constant reaching a conditional branch, so the
+``sccp-fold`` pass's actual capability — folding branches whose operands
+are only constant *across* blocks, where ``local-propagate`` cannot see
+them — is exercised here on purpose-built programs, together with the
+range analysis facts (loop-counter bounds via widening + narrowing and
+branch refinement through the materialized ``slt`` flag) that feed the
+branch evidence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ranges import evaluate_cbr_ranges, ranges
+from repro.analysis.sccp import evaluate_cbr, sccp, sccp_fold
+from repro.analysis.dataflow import UNREACHABLE, Unreachable
+from repro.bcc.driver import compile_to_asm, compile_to_ir
+from repro.bcc.ir import CBr, Imm, Jump
+
+from conftest import run_output
+
+O1_NO_FOLD = "local-propagate,simplify-cfg,dce,copy-coalesce"
+
+#: ``x`` is constant 1 at the second ``if``, but only *across* blocks —
+#: the test sits in the merge block after ``if (y > 0)``, so no single
+#: block ever contains both the definition and the branch.
+CROSS_BLOCK = """
+int main() {
+    int x;
+    int y;
+    x = 1;
+    y = read_int();
+    if (y > 0) { print_int(y); }
+    if (x) { print_int(10); } else { print_int(20); }
+    return 0;
+}
+"""
+
+
+def _main_of(program):
+    return next(f for f in program.functions if f.name == "main")
+
+
+def _cbrs(func):
+    return [(block, block.terminator) for block in func.blocks
+            if block.instructions and isinstance(block.terminator, CBr)]
+
+
+# -- SCCP -------------------------------------------------------------------
+
+
+def test_sccp_decides_a_cross_block_constant_branch():
+    program = compile_to_ir(CROSS_BLOCK, optimize=False)
+    main = _main_of(program)
+    result = sccp(main)
+    decisions = []
+    for block, term in _cbrs(main):
+        state = result.block_out[block.label]
+        if isinstance(state, Unreachable):
+            continue
+        decisions.append(evaluate_cbr(state, term))
+    # exactly one branch (the `if (x)`) is decided, and it is taken
+    assert decisions.count(True) == 1
+    assert decisions.count(None) == len(decisions) - 1
+
+
+def test_sccp_fold_rewrites_the_decided_branch():
+    program = compile_to_ir(CROSS_BLOCK, optimize=False)
+    main = _main_of(program)
+    before = len(_cbrs(main))
+    assert sccp_fold(main, sccp(main)) is True
+    after = len(_cbrs(main))
+    assert after == before - 1
+    # the replacement is a plain jump to the chosen side
+    jumps = [b.terminator for b in main.blocks
+             if b.instructions and isinstance(b.terminator, Jump)]
+    assert jumps, "folded branch should have become a Jump"
+
+
+def test_sccp_fold_pass_changes_codegen_only_via_cross_block_facts():
+    """On the cross-block program the default -O1 pipeline (with
+    ``sccp-fold``) emits different code than the pipeline without it —
+    the pass does real work exactly where ``local-propagate`` cannot."""
+    with_fold = compile_to_asm(CROSS_BLOCK, optimize=True)
+    without = compile_to_asm(CROSS_BLOCK, optimize=True, passes=O1_NO_FOLD)
+    assert with_fold != without
+
+
+def test_sccp_fold_preserves_program_behavior():
+    for inputs in ([5], [0], [-3]):
+        folded = run_output(CROSS_BLOCK, inputs=list(inputs))
+        plain_exe_output = run_output(CROSS_BLOCK, inputs=list(inputs),
+                                      optimize=False)
+        assert folded == plain_exe_output
+
+
+def test_sccp_equality_edge_refinement_binds_the_register():
+    source = """
+    int main() {
+        int y;
+        y = read_int();
+        if (y == 7) { print_int(y + 1); }
+        return 0;
+    }
+    """
+    program = compile_to_ir(source, optimize=False)
+    main = _main_of(program)
+    result = sccp(main)
+    eq_branches = [(b, t) for b, t in _cbrs(main) if t.op == "eq"]
+    assert eq_branches, "expected an eq branch against the constant"
+    block, term = eq_branches[0]
+    then_in = result.block_in[term.true_label]
+    assert not isinstance(then_in, Unreachable)
+    # along the true edge of `y == 7`, y *is* 7
+    assert then_in.get(term.a) == 7
+
+
+def test_sccp_prunes_the_statically_dead_edge():
+    source = """
+    int main() {
+        int x;
+        x = 1;
+        if (x) { print_int(10); } else { print_int(20); }
+        return 0;
+    }
+    """
+    program = compile_to_ir(source, optimize=False)
+    main = _main_of(program)
+    result = sccp(main)
+    block, term = next((b, t) for b, t in _cbrs(main))
+    # one successor is proven unreachable, the other stays live
+    live = result.reachable(term.true_label)
+    dead = result.reachable(term.false_label)
+    assert live != dead
+    assert isinstance(
+        result.block_in[term.false_label if live else term.true_label],
+        Unreachable)
+
+
+def test_sccp_never_treats_an_undefined_value_as_constant():
+    """A use-before-init local must not manufacture a fold."""
+    source = """
+    int main() {
+        int x;
+        if (x) { print_int(1); } else { print_int(2); }
+        x = 0;
+        return x;
+    }
+    """
+    program = compile_to_ir(source, optimize=False)
+    main = _main_of(program)
+    result = sccp(main)
+    for block, term in _cbrs(main):
+        state = result.block_out[block.label]
+        if isinstance(state, Unreachable):
+            continue
+        assert evaluate_cbr(state, term) is None
+
+
+# -- ranges -----------------------------------------------------------------
+
+LOOP = """
+int main() {
+    int i;
+    int total;
+    total = 0;
+    for (i = 0; i < 20; i = i + 1) {
+        if (i == 100) { total = total + 1000; }
+        total = total + read_int();
+    }
+    print_int(total);
+    return 0;
+}
+"""
+
+
+def _range_decisions(func):
+    result = ranges(func)
+    decided = []
+    for block, term in _cbrs(func):
+        state = result.block_out[block.label]
+        if isinstance(state, Unreachable):
+            continue
+        outcome = evaluate_cbr_ranges(state, term)
+        if outcome is not None:
+            decided.append((block, term, outcome))
+    return result, decided
+
+
+def test_ranges_decides_the_impossible_loop_counter_branch():
+    """``i == 100`` inside ``for (i = 0; i < 20; ...)`` is never true.
+
+    This needs the whole machinery at once: widening (the counter's
+    ascending chain), narrowing (to pull the widened bound back down),
+    and flag see-through (the loop branch tests the ``slt`` flag, not
+    ``i`` — refinement must reach through to the counter).
+    """
+    program = compile_to_ir(LOOP, optimize=False)
+    main = _main_of(program)
+    result, decided = _range_decisions(main)
+    # two facts: the loop entry guard (0 < 20, always taken) and the
+    # impossible equality (never taken)
+    outcomes = {term.op: outcome for _, term, outcome in decided}
+    assert outcomes.pop("eq") is False
+    assert all(v is True for v in outcomes.values())
+    assert len(decided) == 2
+
+
+def test_ranges_bounds_the_loop_counter():
+    program = compile_to_ir(LOOP, optimize=False)
+    main = _main_of(program)
+    result, decided = _range_decisions(main)
+    block, term, _ = next(d for d in decided if d[1].op == "eq")
+    env = result.block_out[block.label]
+    # the tested register (the counter) carries the narrowed *upper*
+    # bound — that alone decides `i == 100`.  (The lower bound stays
+    # widened: narrowing re-applies only the `i < 20` back-edge
+    # refinement, which constrains the top, not the bottom.)
+    assert env[term.a].hi <= 19
+
+
+def test_sccp_alone_cannot_decide_the_loop_branch():
+    """The ``i == 100`` fact is beyond constant propagation (the counter
+    is never a single constant at the compare) — pins that the ``range``
+    evidence source adds real power over ``sccp``."""
+    program = compile_to_ir(LOOP, optimize=False)
+    main = _main_of(program)
+    result = sccp(main)
+    eq = [(b, t) for b, t in _cbrs(main) if t.op == "eq"]
+    assert len(eq) == 1
+    block, term = eq[0]
+    state = result.block_out[block.label]
+    assert not isinstance(state, Unreachable)
+    assert evaluate_cbr(state, term) is None
+
+
+def test_flag_see_through_refines_nested_guards():
+    """``n < 10`` taken implies ``n > 50`` is false — the outer branch
+    tests a materialized ``slt`` flag, so deciding the inner branch
+    requires decoding the compare behind the flag."""
+    source = """
+    int main() {
+        int n;
+        n = read_int();
+        if (n < 10) {
+            if (n > 50) { print_int(1); }
+            print_int(n);
+        }
+        return 0;
+    }
+    """
+    program = compile_to_ir(source, optimize=False)
+    main = _main_of(program)
+    _, decided = _range_decisions(main)
+    assert len(decided) == 1
+    _, _, outcome = decided[0]
+    assert outcome is False
+
+
+def test_ranges_stays_silent_on_genuinely_unknown_branches():
+    source = """
+    int main() {
+        int n;
+        n = read_int();
+        if (n > 0) { print_int(n); } else { print_int(0 - n); }
+        return 0;
+    }
+    """
+    program = compile_to_ir(source, optimize=False)
+    main = _main_of(program)
+    _, decided = _range_decisions(main)
+    assert decided == []
+
+
+def test_ranges_is_wraparound_sound():
+    """``read_int() + 1 > read_int()`` is NOT always true on a wrapping
+    machine (INT32_MAX + 1 wraps negative) — the analysis must refuse."""
+    source = """
+    int main() {
+        int a;
+        a = read_int();
+        if (a + 1 > a) { print_int(1); } else { print_int(2); }
+        return 0;
+    }
+    """
+    program = compile_to_ir(source, optimize=False)
+    main = _main_of(program)
+    _, decided = _range_decisions(main)
+    assert decided == []
+
+
+# -- analyses through the manager ------------------------------------------
+
+
+def test_analyses_are_registered_and_cached():
+    from repro.bcc.opt import IR_ANALYSES
+
+    program = compile_to_ir(LOOP, optimize=False)
+    main = _main_of(program)
+    am = IR_ANALYSES.manager(main)
+    assert am.get("sccp") is am.get("sccp")
+    assert am.get("ranges") is am.get("ranges")
+    rd = am.get("reaching-defs")
+    assert rd is am.get("reaching-defs")
+
+
+def test_reaching_definitions_params_and_kills():
+    from repro.analysis.reaching import ENTRY_SITE, reaching_definitions
+
+    source = """
+    int helper(int n) {
+        if (n > 0) { n = n - 1; }
+        return n;
+    }
+    int main() { print_int(helper(read_int())); return 0; }
+    """
+    program = compile_to_ir(source, optimize=False)
+    helper = next(f for f in program.functions if f.name == "helper")
+    rd = reaching_definitions(helper)
+    param_vreg = helper.params[0][1]
+    entry_label = helper.blocks[0].label
+    definers = rd.definers(entry_label, param_vreg)
+    assert any(site[1] == ENTRY_SITE for site in definers)
+    # at the join after the if, both the param and the reassignment reach
+    merged = [label for label in (b.label for b in helper.blocks)
+              if len(rd.definers(label, param_vreg)) >= 2]
+    assert merged, "expected a block reached by two definitions of n"

@@ -1,0 +1,192 @@
+"""Branch evidence: IR facts -> machine addresses -> predictions.
+
+Covers the whole evidence path: classification (``analyze_branch_
+evidence``), the codegen-replication address mapping (``attach_
+evidence`` and its count cross-check), the machine-direction convention
+(``taken`` is the direction of the *emitted* branch, inversion
+included), ground-truth validation against edge profiles, the
+registered-but-unmeasured ``Range`` heuristic, and the harness ablation
+row/table.
+
+The soundness contract under test everywhere: **zero** decided-and-
+executed facts may contradict the profile.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.branches import (
+    BranchEvidence, EvidenceMappingError, analyze_branch_evidence,
+    attach_evidence, evidence_of,
+)
+from repro.bcc.driver import compile_and_link
+from repro.core.classify import Prediction, classify_branches
+from repro.core.registry import HEURISTIC_REGISTRY
+from repro.harness.evidence import (
+    NO_FOLD_PASSES, EvidenceTable, evidence_row,
+)
+
+from conftest import profile_of
+
+#: one never-taken branch (`i == 100`) and one always-taken loop entry
+#: (`0 < 20`); compiled fold-free so both survive into the executable
+LOOP = """
+int main() {
+    int i;
+    int total;
+    total = 0;
+    for (i = 0; i < 20; i = i + 1) {
+        if (i == 100) { total = total + 1000; }
+        total = total + read_int();
+    }
+    print_int(total);
+    return 0;
+}
+"""
+
+INPUTS = list(range(20))
+
+
+@pytest.fixture(scope="module")
+def loop_executable():
+    return compile_and_link(LOOP, passes=NO_FOLD_PASSES,
+                            attach_evidence=True)
+
+
+def test_evidence_is_attached_and_discoverable(loop_executable):
+    evidence = evidence_of(loop_executable)
+    assert evidence is not None
+    assert evidence is loop_executable.branch_evidence
+
+
+def test_mapping_covers_every_ir_conditional_branch(loop_executable):
+    evidence = evidence_of(loop_executable)
+    total_facts = len(evidence.evidence.facts())
+    assert len(evidence.by_address) == total_facts
+    # every mapped address is a conditional branch instruction
+    addresses = {inst.address
+                 for proc in loop_executable.procedures
+                 for inst in proc.instructions
+                 if inst.is_conditional_branch}
+    assert set(evidence.by_address) <= addresses
+
+
+def test_decided_facts_and_their_sources(loop_executable):
+    evidence = evidence_of(loop_executable)
+    decided = [f for f in evidence.evidence.decided_facts()
+               if f.function == "main"]
+    # exactly the impossible equality: the constant loop-entry guard was
+    # already folded away by local-propagate (block-local), so only the
+    # genuinely semantic fact survives into the fold-free executable
+    assert len(decided) == 1
+    assert decided[0].source == "range"
+    assert decided[0].ir_outcome is False
+
+
+def test_machine_direction_matches_ground_truth(loop_executable):
+    """Every decided fact that executes must agree with the edge profile
+    in *machine* direction — this is exactly the inversion-aware mapping
+    (`taken = ir_outcome XOR inverted`)."""
+    evidence = evidence_of(loop_executable)
+    profile = profile_of(loop_executable, inputs=INPUTS)
+    checked = 0
+    for address, fact in evidence.by_address.items():
+        if fact.taken is None or profile.execution_count(address) == 0:
+            continue
+        checked += 1
+        wrong = (profile.not_taken_count(address) if fact.taken
+                 else profile.taken_count(address))
+        assert wrong == 0, (
+            f"fact at {address:#x} ({fact.function}#{fact.ordinal}, "
+            f"source={fact.source}) claims taken={fact.taken} but the "
+            f"profile recorded {wrong} contrary executions")
+    assert checked >= 1, "expected an executed decided fact"
+
+
+def test_count_mismatch_is_refused(loop_executable):
+    """Dropping a fact breaks the codegen replication contract, which
+    the mapper must detect rather than silently misalign."""
+    original = evidence_of(loop_executable).evidence
+    tampered = BranchEvidence(by_function={
+        name: facts[:-1] if name == "main" else facts
+        for name, facts in original.by_function.items()})
+
+    class Scratch:
+        procedures = loop_executable.procedures
+
+    with pytest.raises(EvidenceMappingError):
+        attach_evidence(Scratch(), tampered)
+
+
+def test_no_evidence_without_opt_in():
+    executable = compile_and_link(LOOP, passes=NO_FOLD_PASSES)
+    assert evidence_of(executable) is None
+
+
+# -- the Range heuristic ----------------------------------------------------
+
+
+def test_range_heuristic_is_registered_outside_the_measured_set():
+    assert "Range" in HEURISTIC_REGISTRY
+    assert "Range" not in HEURISTIC_REGISTRY.names()
+    assert "Range" in HEURISTIC_REGISTRY.all_names()
+    assert "Range" not in HEURISTIC_REGISTRY.paper_order()
+
+
+def test_range_heuristic_predicts_decided_branches(loop_executable):
+    analysis = classify_branches(loop_executable)
+    evidence = evidence_of(loop_executable)
+    fn = HEURISTIC_REGISTRY.fn("Range")
+    predictions = {}
+    for address, branch in analysis.branches.items():
+        pa = analysis.procedures[branch.procedure.name]
+        taken = evidence.taken_at(address)
+        prediction = fn(branch, pa)
+        if taken is None:
+            assert prediction is None
+        else:
+            expected = (Prediction.TAKEN if taken
+                        else Prediction.NOT_TAKEN)
+            assert prediction is expected
+            predictions[address] = prediction
+    assert len(predictions) >= 1
+
+
+def test_range_heuristic_abstains_without_evidence():
+    executable = compile_and_link(LOOP, passes=NO_FOLD_PASSES)
+    analysis = classify_branches(executable)
+    fn = HEURISTIC_REGISTRY.fn("Range")
+    for branch in analysis.branches.values():
+        pa = analysis.procedures[branch.procedure.name]
+        assert fn(branch, pa) is None
+
+
+# -- the harness ablation row / table ---------------------------------------
+
+
+@pytest.fixture(scope="module")
+def gauss_row():
+    return evidence_row("gauss", dataset="small")
+
+
+def test_evidence_row_decides_and_validates(gauss_row):
+    assert gauss_row.conditional_branches > 0
+    assert gauss_row.decided >= 1
+    assert gauss_row.decided == \
+        gauss_row.decided_sccp + gauss_row.decided_range
+    # THE soundness gate
+    assert gauss_row.misclassified == 0
+    assert 0.0 <= gauss_row.perfect_miss <= gauss_row.bl_miss <= 1.0
+
+
+def test_evidence_row_never_hurts_the_chain(gauss_row):
+    """Consulting validated facts first can only help (or tie)."""
+    assert gauss_row.range_miss <= gauss_row.bl_miss + 1e-12
+
+
+def test_evidence_table_renders_with_soundness_footnote(gauss_row):
+    rendered = EvidenceTable([gauss_row]).render()
+    assert "gauss" in rendered
+    assert "+Range%" in rendered and "gap%" in rendered
+    assert "misclassifications must be 0" in rendered

@@ -59,5 +59,22 @@ def test_explicit_o1_spec_matches_default():
     default = compile_to_asm(b.source(), optimize=True)
     explicit = compile_to_asm(
         b.source(), optimize=True,
-        passes="local-propagate,simplify-cfg,dce,copy-coalesce")
+        passes="local-propagate,sccp-fold,simplify-cfg,dce,copy-coalesce")
     assert default == explicit
+
+
+def test_sccp_fold_is_a_no_op_on_the_suite():
+    """The golden hashes did not move when ``sccp-fold`` joined the
+    default pipeline: ``local-propagate`` already folds every
+    *block-local* constant branch, and the suite has no *cross-block*
+    integer constant reaching a conditional branch (parameters and
+    memory are never assumed constant).  The pass's effect is covered by
+    the targeted cross-block tests in ``test_analysis_sccp_ranges.py``;
+    this test pins the no-op so a future precision change shows up as an
+    explicit, audited golden-hash regeneration."""
+    b = next(iter(suite()))
+    with_fold = compile_to_asm(b.source(), optimize=True)
+    without = compile_to_asm(
+        b.source(), optimize=True,
+        passes="local-propagate,simplify-cfg,dce,copy-coalesce")
+    assert with_fold == without

@@ -1,0 +1,170 @@
+"""The IR verifier over the whole benchmark suite, plus negative tests.
+
+Positive direction: every suite benchmark (runtime linked in) verifies
+with **zero errors** at ``-O0`` and under ``--verify-each`` at ``-O1`` —
+i.e. IR generation emits well-formed IR and every optimizer pass
+preserves well-formedness, checked after each pass execution that changed
+a function.
+
+Negative direction: deliberately corrupted IR must be *rejected* with a
+structured :class:`~repro.analysis.verify.IRVerifyError` carrying typed
+diagnostics (rule code, function, block) — the verifier is only worth its
+runtime if it actually fails on broken input.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.verify import (
+    IRVerifyError, assert_valid, verify_function, verify_program,
+)
+from repro.bcc.driver import compile_to_ir
+from repro.bcc.ir import CBr, Copy, Jump, LoadConst, Ret
+from repro.bench.suite import suite
+
+BENCH_NAMES = [b.name for b in suite()]
+
+
+def _ir(name: str, optimize: bool):
+    b = next(b for b in suite() if b.name == name)
+    # verify_each=True additionally runs the verifier after IR generation
+    # and after every pass execution that changed a function
+    return compile_to_ir(b.source(), filename=f"{name}.blc",
+                         optimize=optimize, verify_each=True)
+
+
+@pytest.mark.parametrize("bench_name", BENCH_NAMES)
+def test_suite_verifies_at_o0(bench_name):
+    program = _ir(bench_name, optimize=False)
+    report = verify_program(program)
+    assert report.ok, "\n".join(d.format() for d in report.errors)
+
+
+@pytest.mark.parametrize("bench_name", BENCH_NAMES)
+def test_suite_verifies_at_o1_with_verify_each(bench_name):
+    # verify-each inside compile_to_ir already checked after every pass;
+    # re-verify the final program for the report-shape assertions
+    program = _ir(bench_name, optimize=True)
+    report = verify_program(program)
+    assert report.ok, "\n".join(d.format() for d in report.errors)
+    # the unreachable accounting exists for every function
+    assert set(report.unreachable) >= {f.name for f in program.functions}
+
+
+# -- negative tests: the verifier must reject corrupted IR -------------------
+
+_SRC = """
+int helper(int n) {
+    if (n > 3) { return n - 1; }
+    return n + 1;
+}
+int main() {
+    int x;
+    x = 2 + 3;          /* guarantees local-propagate changes main */
+    print_int(helper(x + read_int()));
+    return 0;
+}
+"""
+
+
+def _fresh_main():
+    program = compile_to_ir(_SRC, optimize=False)
+    return program, next(f for f in program.functions if f.name == "main")
+
+
+def _diag_codes(exc: IRVerifyError) -> set[str]:
+    return {d.code for d in exc.diagnostics}
+
+
+def test_rejects_branch_to_missing_label():
+    program, main = _fresh_main()
+    block = main.blocks[0]
+    block.instructions[-1] = Jump("L_no_such_block")
+    with pytest.raises(IRVerifyError) as info:
+        assert_valid(program, where="corrupted fixture")
+    assert "V006" in _diag_codes(info.value)
+    diag = next(d for d in info.value.diagnostics if d.code == "V006")
+    assert diag.function == "main"
+    assert diag.block == block.label
+    assert info.value.phase == "verify"
+    # structured one-liner, not a bare traceback string
+    assert "error[" in info.value.oneline()
+
+
+def test_rejects_missing_terminator():
+    _, main = _fresh_main()
+    block = main.blocks[0]
+    dst = next(iter(main.vreg_class))
+    block.instructions[-1] = LoadConst(dst, 7)
+    with pytest.raises(IRVerifyError) as info:
+        verify_function(main).raise_if_errors("fixture")
+    assert "V004" in _diag_codes(info.value)
+
+
+def test_rejects_mid_block_terminator():
+    _, main = _fresh_main()
+    block = main.blocks[0]
+    block.instructions.insert(0, Ret(None))
+    with pytest.raises(IRVerifyError) as info:
+        assert_valid(main)
+    assert "V005" in _diag_codes(info.value)
+
+
+def test_rejects_unregistered_vreg():
+    _, main = _fresh_main()
+    block = main.blocks[0]
+    bogus = max(main.vreg_class) + 1000
+    block.instructions.insert(0, Copy(bogus, bogus))
+    with pytest.raises(IRVerifyError) as info:
+        assert_valid(main)
+    assert "V007" in _diag_codes(info.value)
+
+
+def test_rejects_nonzero_cbr_immediate():
+    from repro.bcc.ir import Imm
+
+    program, _ = _fresh_main()
+    helper = next(f for f in program.functions if f.name == "helper")
+    for block in helper.blocks:
+        term = block.terminator
+        if isinstance(term, CBr):
+            term.b = Imm(7)  # CBr only admits Imm(0) (compare-to-zero)
+            break
+    else:
+        pytest.fail("helper has no conditional branch")
+    with pytest.raises(IRVerifyError) as info:
+        assert_valid(helper)
+    assert "V010" in _diag_codes(info.value)
+
+
+def test_verify_each_pins_a_corrupting_pass():
+    """A pass that emits malformed IR is caught *at that pass*."""
+    from repro.bcc.opt import optimize_function
+
+    _, main = _fresh_main()
+
+    def corrupt(pass_, func, changed):
+        # simulate a buggy pass: break the function after local-propagate
+        func.blocks[0].instructions[-1] = Jump("L_gone")
+
+    with pytest.raises(IRVerifyError) as info:
+        optimize_function(main, passes="local-propagate",
+                          after_pass=corrupt, verify_each=True)
+    assert "V006" in _diag_codes(info.value)
+
+
+def test_rejects_non_imm_branch_operand():
+    """A branch operand that is neither a vreg nor an ``Imm`` is V008."""
+
+    class Bogus:
+        value = 7
+
+    program, _ = _fresh_main()
+    helper = next(f for f in program.functions if f.name == "helper")
+    term = next(b.terminator for b in helper.blocks
+                if isinstance(b.terminator, CBr))
+    term.b = Bogus()
+    with pytest.raises(IRVerifyError) as info:
+        assert_valid(helper)
+    assert "V008" in _diag_codes(info.value)
