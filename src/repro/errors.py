@@ -14,11 +14,14 @@ Hierarchy::
     ReproError                      # base; every pipeline failure
     ├── CompileError                # repro.bcc front/back-end (phase=compile)
     ├── AssemblerError              # repro.isa assembler (phase=assemble)
-    └── SimulationError             # repro.sim faults (phase=simulate)
-        ├── SimulationLimitExceeded # instruction-fuel budget exhausted
-        ├── SimulationTimeout       # wall-clock watchdog deadline passed
-        ├── InputExhausted          # a read syscall starved
-        └── MemoryError_            # bad/misaligned access, page budget
+    ├── SimulationError             # repro.sim faults (phase=simulate)
+    │   ├── SimulationLimitExceeded # instruction-fuel budget exhausted
+    │   ├── SimulationTimeout       # wall-clock watchdog deadline passed
+    │   ├── InputExhausted          # a read syscall starved
+    │   └── MemoryError_            # bad/misaligned access, page budget
+    └── WorkerError                 # parallel harness (phase=parallel)
+        ├── WorkerCrashError        # shard process died without a result
+        └── WorkerResultError       # shard returned an unusable result
 
 ``CompileError`` and ``AssemblerError`` keep their historical homes
 (:mod:`repro.bcc.errors`, :mod:`repro.isa.assembler`) and subclass
@@ -40,12 +43,15 @@ __all__ = [
     "SimulationTimeout",
     "InputExhausted",
     "MemoryError_",
+    "WorkerError",
+    "WorkerCrashError",
+    "WorkerResultError",
     "PHASES",
 ]
 
 #: Pipeline phases a failure can be attributed to.
 PHASES = ("compile", "verify", "assemble", "link", "analyze", "simulate",
-          "report")
+          "parallel", "report")
 
 #: Structured context slots every ReproError carries.
 CONTEXT_FIELDS = ("benchmark", "dataset", "phase", "pc", "instr_count")
@@ -217,3 +223,29 @@ class InputExhausted(SimulationError):
 class MemoryError_(SimulationError):
     """Raised on misaligned / invalid memory access or page-budget
     exhaustion.  (Trailing underscore avoids shadowing the builtin.)"""
+
+
+# -- parallel-harness errors --------------------------------------------------
+
+
+class WorkerError(ReproError):
+    """A parallel-harness shard failed outside the simulated pipeline.
+
+    These wrap failures of the *execution engine itself* (the pool, the
+    worker process, result transport) rather than of the benchmark under
+    test, so the degraded-mode tables can render them as a distinct
+    ``FAILED:worker-failed`` bucket and operators know to look at the
+    machine, not the program.
+    """
+
+    phase = "parallel"
+
+
+class WorkerCrashError(WorkerError):
+    """A shard's worker process died before returning a result (killed,
+    segfaulted interpreter, OOM-killed, broken pool)."""
+
+
+class WorkerResultError(WorkerError):
+    """A shard returned a result the parent could not decode or that
+    failed validation (pickling error, schema drift between versions)."""

@@ -3,8 +3,16 @@
 ``tables.tableN(runner)`` / ``graphs.graphN(runner)`` compute the data;
 each result renders itself as text. ``python -m repro.harness`` prints the
 full report.
+
+Execution is pluggable: :class:`SuiteRunner(parallelism=N)` shards
+(benchmark, dataset) jobs across worker processes via
+:mod:`repro.harness.parallel`, and ``cache_dir=`` persists compiled
+executables and edge profiles in the content-addressed
+:class:`~repro.harness.cache.ArtifactCache` (``--jobs`` / ``--cache`` on
+the CLI; see docs/performance.md).
 """
 
+from repro.harness.cache import ArtifactCache, compile_key, run_key
 from repro.harness.evidence import (
     EvidenceRow, EvidenceTable, evidence_row, evidence_table,
 )
@@ -12,6 +20,7 @@ from repro.harness.graphs import (
     Graph1, Graph13, Graphs2And3, SEQUENCE_BENCHMARKS, SequenceGraphs,
     graph1, graph12, graph13, graphs2_3, graphs4_11,
 )
+from repro.harness.parallel import ParallelEngine, ShardJob, ShardResult
 from repro.harness.report import TextTable, cd_cell, mean_std, pct
 from repro.harness.resilience import (
     RunOutcome, RunStatus, classify_failure, failure_cells,
@@ -23,6 +32,8 @@ from repro.harness.tables import (
 
 __all__ = [
     "SuiteRunner", "BenchmarkRun",
+    "ArtifactCache", "compile_key", "run_key",
+    "ParallelEngine", "ShardJob", "ShardResult",
     "RunOutcome", "RunStatus", "classify_failure", "failure_cells",
     "table1", "table2", "table3", "table4", "table5", "table6", "table7",
     "graph1", "graphs2_3", "graphs4_11", "graph12", "graph13",

@@ -13,6 +13,10 @@ Options:
     -O0              compile the suite without optimization (smoke mode)
     --degraded       fault-isolated mode: failures render as FAILED cells
     --deadline S     per-run wall-clock watchdog (seconds)
+    --jobs N         shard compile+simulate across N worker processes
+                     (see docs/performance.md)
+    --cache DIR      persistent artifact cache (defaults to
+                     $REPRO_CACHE_DIR when set); --no-cache forces off
     --telemetry DIR  record spans + metrics; write a full report bundle
                      (Chrome trace, JSONL, Prometheus, summary, manifest)
     --hot-pc N       sample the simulator pc every N instructions
@@ -31,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import os
 import time
 
 from repro import telemetry
@@ -98,6 +103,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--deadline", type=float, default=None,
                         metavar="SECONDS",
                         help="per-run wall-clock watchdog deadline")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="shard (benchmark, dataset) compile+simulate "
+                             "jobs across N worker processes (default 1: "
+                             "serial)")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="persistent content-addressed artifact cache "
+                             "directory (default: $REPRO_CACHE_DIR when "
+                             "set, else off)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the artifact cache even when "
+                             "--cache or $REPRO_CACHE_DIR is set")
     parser.add_argument("--telemetry", default=None, metavar="DIR",
                         help="record pipeline telemetry and write the "
                              "report bundle (trace.json, events.jsonl, "
@@ -127,10 +143,16 @@ def main(argv: list[str] | None = None) -> int:
     except HeuristicSpecError as exc:
         log.error(exc.oneline())
         return 2
+    cache_dir = None if args.no_cache else (
+        args.cache or os.environ.get("REPRO_CACHE_DIR") or None)
+    if args.jobs < 1:
+        log.error("--jobs must be >= 1 (got %d)", args.jobs)
+        return 2
     runner = SuiteRunner(benchmarks=benchmarks, strict=not args.degraded,
                          wall_clock_deadline=args.deadline,
                          pc_sample_interval=args.hot_pc,
-                         optimize=not args.no_opt)
+                         optimize=not args.no_opt,
+                         parallelism=args.jobs, cache_dir=cache_dir)
 
     if args.telemetry is not None:
         sink = telemetry.Telemetry()
@@ -197,6 +219,13 @@ def main(argv: list[str] | None = None) -> int:
     for outcome in failures:
         log.warning(outcome.describe())
 
+    if runner.cache is not None:
+        stats = runner.cache.stats()
+        log.info("artifact cache: %d hits, %d misses, %d stores, "
+                 "%d corrupt, %d entries on disk", stats["hits"],
+                 stats["misses"], stats["stores"], stats["corrupt"],
+                 stats["entries"])
+
     if sink is not None:
         config = {
             "benchmarks": sorted(runner.benchmark_names),
@@ -206,6 +235,8 @@ def main(argv: list[str] | None = None) -> int:
             "order": list(order) if order is not None else None,
             "optimize": not args.no_opt,
             "max_instructions": runner.max_instructions,
+            "jobs": args.jobs,
+            "cache": cache_dir,
         }
         paths = telemetry.write_report(sink, args.telemetry, config=config)
         log.info("telemetry report written to %s (%s)", args.telemetry,

@@ -1,0 +1,409 @@
+"""Process-pool execution engine for the experiment harness.
+
+Ball & Larus's methodology is embarrassingly parallel: every (benchmark,
+dataset) edge profile is independent of every other.  This module shards
+compile+simulate jobs across a :class:`concurrent.futures.ProcessPoolExecutor`
+and merges the results back into the parent deterministically:
+
+* each :class:`ShardJob` is a fully self-describing, picklable work order
+  (effective inputs/limits after chaos overrides, optimization level,
+  cache directory, optionally a pre-seeded or sabotaged executable);
+* the worker (:func:`run_shard`) replays exactly the serial runner's
+  semantics — typed-error capture, transient-fuel retry, artifact-cache
+  consultation — inside a private telemetry sink, and returns a
+  :class:`ShardResult` carrying the profile, the compiled artifact, any
+  classified failure, and a mergeable telemetry snapshot;
+* the parent (:class:`ParallelEngine`) collects results **in submission
+  order** regardless of completion order, so downstream table/graph
+  output is byte-identical to a serial run (the determinism suite in
+  ``tests/test_parallel_runner.py`` enforces this);
+* a worker process that dies without returning (killed, OOM, broken
+  pool) is converted into a typed
+  :class:`~repro.errors.WorkerCrashError` outcome rather than aborting
+  the whole report.
+
+Chaos seam: setting the environment variable
+``REPRO_CHAOS_WORKER_CRASH=<benchmark>`` makes any worker handed that
+benchmark die immediately via ``os._exit`` — how the fault-injection
+tests exercise the crash taxonomy without a real segfault.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from repro import telemetry as _telemetry
+from repro.bench.suite import Benchmark, get
+from repro.core.classify import ProgramAnalysis, classify_branches
+from repro.errors import (
+    ReproError, SimulationLimitExceeded, SimulationTimeout, WorkerCrashError,
+    WorkerError, WorkerResultError,
+)
+from repro.harness.cache import ArtifactCache, compile_key, run_key
+from repro.harness.resilience import RunStatus, classify_failure
+from repro.isa.program import Executable
+from repro.sim import Machine
+from repro.sim.profile import EdgeProfile
+from repro.telemetry.core import Telemetry, TelemetrySnapshot
+
+__all__ = [
+    "ShardJob", "ShardResult", "ParallelEngine", "run_shard",
+    "compile_artifact", "CHAOS_WORKER_CRASH_ENV",
+]
+
+#: environment variable naming a benchmark whose shard worker must die
+CHAOS_WORKER_CRASH_ENV = "REPRO_CHAOS_WORKER_CRASH"
+
+
+# --------------------------------------------------------------------------
+# work orders and results
+# --------------------------------------------------------------------------
+
+@dataclass
+class ShardJob:
+    """One self-contained (benchmark, dataset) compile+simulate order."""
+
+    benchmark: str
+    dataset: str
+    #: effective input vector (after any chaos/operator truncation)
+    inputs: tuple
+    #: effective instruction-fuel budget (after overrides)
+    fuel_budget: int
+    #: 1 disables the transient-fuel retry (strict mode never retries)
+    retry_fuel_factor: int = 1
+    wall_clock_deadline: float | None = None
+    max_memory_bytes: int | None = None
+    pc_sample_interval: int | None = None
+    optimize: bool = True
+    cache_dir: str | None = None
+    collect_telemetry: bool = False
+    #: pre-compiled (executable, analysis) — skips the compile phase
+    preseeded: tuple[Executable, ProgramAnalysis] | None = None
+    #: True when *preseeded* is a sabotaged artifact: bypass the cache
+    #: entirely (its content does not correspond to the source key)
+    poisoned: bool = False
+
+
+@dataclass
+class ShardResult:
+    """What one worker hands back: a run, or a classified failure."""
+
+    benchmark: str
+    dataset: str
+    status: RunStatus
+    executable: Executable | None = None
+    analysis: ProgramAnalysis | None = None
+    profile: EdgeProfile | None = None
+    output: str = ""
+    instr_count: int = 0
+    error: ReproError | None = None
+    retried: bool = False
+    telemetry: TelemetrySnapshot | None = None
+    cache_stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RunStatus.OK
+
+
+# --------------------------------------------------------------------------
+# shared compile helper (used by the worker AND the serial runner)
+# --------------------------------------------------------------------------
+
+def compile_artifact(benchmark: Benchmark, optimize: bool = True,
+                     cache: ArtifactCache | None = None,
+                     ) -> tuple[Executable, ProgramAnalysis]:
+    """Compile + classify *benchmark*, consulting the artifact cache.
+
+    Raises the typed error on failure (annotated ``phase="compile"``);
+    deterministic compile failures are negative-cached on disk so a
+    broken benchmark costs one compile per cache lifetime, not one per
+    invocation.
+    """
+    tm = _telemetry.get()
+    key = None
+    if cache is not None:
+        key = compile_key(benchmark.name, benchmark.source(), optimize,
+                          version=cache.version)
+        entry = cache.get(key, "compile")
+        if entry is not None:
+            if entry.get("ok"):
+                return entry["artifact"]
+            raise entry["error"]
+    try:
+        with tm.span("compile", category="harness",
+                     benchmark=benchmark.name, optimize=optimize):
+            executable = benchmark.compile(optimize=optimize)
+            with tm.span("analyze", category="harness",
+                         benchmark=benchmark.name):
+                analysis = classify_branches(executable)
+    except ReproError as exc:
+        exc.with_context(benchmark=benchmark.name, phase="compile")
+        if cache is not None:
+            cache.put(key, "compile", {"ok": False, "error": exc})
+        raise
+    except Exception as exc:
+        wrapped = ReproError(
+            f"compile failed: {type(exc).__name__}: {exc}",
+            benchmark=benchmark.name, phase="compile")
+        if cache is not None:
+            cache.put(key, "compile", {"ok": False, "error": wrapped})
+        raise wrapped from exc
+    if cache is not None:
+        cache.put(key, "compile", {"ok": True,
+                                   "artifact": (executable, analysis)})
+    return executable, analysis
+
+
+def _cacheable_failure(error: ReproError) -> bool:
+    """Deterministic failures only: wall-clock timeouts and engine-side
+    worker errors are functions of the machine, not of the key."""
+    return not isinstance(error, (SimulationTimeout, WorkerError))
+
+
+# --------------------------------------------------------------------------
+# the worker
+# --------------------------------------------------------------------------
+
+def run_shard(job: ShardJob) -> ShardResult:
+    """Worker entry point: execute one shard inside a private telemetry
+    sink and return a picklable result (never raises for pipeline
+    failures — those come back classified)."""
+    if os.environ.get(CHAOS_WORKER_CRASH_ENV) == job.benchmark:
+        # chaos seam: simulate a hard worker death (no cleanup, no result)
+        os._exit(17)
+    sink = Telemetry(enabled=job.collect_telemetry)
+    with _telemetry.use(sink):
+        result = _run_shard_inner(job)
+    if job.collect_telemetry:
+        result.telemetry = sink.snapshot()
+    return result
+
+
+def _failure(job: ShardJob, error: ReproError,
+             cache: ArtifactCache | None, rkey: str | None = None,
+             retried: bool = False) -> ShardResult:
+    status = classify_failure(error)
+    if (cache is not None and rkey is not None
+            and _cacheable_failure(error)):
+        cache.put(rkey, "run", {"ok": False, "error": error,
+                                "retried": retried})
+    return ShardResult(
+        benchmark=job.benchmark, dataset=job.dataset, status=status,
+        error=error, retried=retried,
+        cache_stats=cache.stats() if cache is not None else {})
+
+
+def _simulate(job: ShardJob, executable: Executable,
+              budget: int, tm) -> tuple[EdgeProfile, object]:
+    profile = EdgeProfile()
+    with tm.span("simulate", category="harness", benchmark=job.benchmark,
+                 dataset=job.dataset):
+        machine = Machine(
+            executable, inputs=list(job.inputs), observers=[profile],
+            max_instructions=budget,
+            wall_clock_deadline=job.wall_clock_deadline,
+            max_memory_bytes=job.max_memory_bytes,
+            pc_sample_interval=job.pc_sample_interval)
+        status = machine.run()
+    return profile, status
+
+
+def _run_shard_inner(job: ShardJob) -> ShardResult:
+    tm = _telemetry.get()
+    cache = (ArtifactCache(job.cache_dir)
+             if job.cache_dir and not job.poisoned else None)
+    with tm.span(f"run:{job.benchmark}/{job.dataset}", category="harness",
+                 benchmark=job.benchmark, dataset=job.dataset, shard=True):
+        # -- compile (or adopt the pre-seeded / sabotaged artifact) ----------
+        try:
+            if job.preseeded is not None:
+                executable, analysis = job.preseeded
+            else:
+                executable, analysis = compile_artifact(
+                    get(job.benchmark), optimize=job.optimize, cache=cache)
+        except ReproError as exc:
+            return _failure(job, exc, cache)
+        except Exception as exc:  # unknown benchmark, etc.
+            wrapped = ReproError(
+                f"shard setup failed: {type(exc).__name__}: {exc}",
+                benchmark=job.benchmark, dataset=job.dataset,
+                phase="compile")
+            return _failure(job, wrapped, cache)
+
+        # -- consult the run cache -------------------------------------------
+        rkey = None
+        if cache is not None:
+            ckey = compile_key(job.benchmark, get(job.benchmark).source(),
+                               job.optimize, version=cache.version)
+            rkey = run_key(ckey, job.dataset, job.inputs, job.fuel_budget,
+                           job.max_memory_bytes, job.retry_fuel_factor,
+                           version=cache.version)
+            entry = cache.get(rkey, "run")
+            if entry is not None:
+                if entry.get("ok"):
+                    return ShardResult(
+                        benchmark=job.benchmark, dataset=job.dataset,
+                        status=RunStatus.OK, executable=executable,
+                        analysis=analysis, profile=entry["profile"],
+                        output=entry["output"],
+                        instr_count=entry["instr_count"],
+                        retried=entry.get("retried", False),
+                        cache_stats=cache.stats())
+                return ShardResult(
+                    benchmark=job.benchmark, dataset=job.dataset,
+                    status=classify_failure(entry["error"]),
+                    error=entry["error"],
+                    retried=entry.get("retried", False),
+                    cache_stats=cache.stats())
+
+        # -- execute (with the serial runner's transient-fuel retry) ---------
+        retried = False
+        try:
+            profile, status = _simulate(job, executable, job.fuel_budget, tm)
+        except ReproError as exc:
+            exc.with_context(benchmark=job.benchmark, dataset=job.dataset)
+            transient = (isinstance(exc, SimulationLimitExceeded)
+                         and not isinstance(exc, SimulationTimeout)
+                         and job.retry_fuel_factor > 1)
+            if not transient:
+                return _failure(job, exc, cache, rkey)
+            retried = True
+            tm.counter("harness.retries").inc()
+            try:
+                profile, status = _simulate(
+                    job, executable,
+                    job.fuel_budget * job.retry_fuel_factor, tm)
+            except ReproError as exc2:
+                exc2.with_context(benchmark=job.benchmark,
+                                  dataset=job.dataset)
+                return _failure(job, exc2, cache, rkey, retried=True)
+
+        if cache is not None:
+            cache.put(rkey, "run", {
+                "ok": True, "profile": profile, "output": status.output,
+                "instr_count": status.instr_count, "retried": retried})
+        return ShardResult(
+            benchmark=job.benchmark, dataset=job.dataset,
+            status=RunStatus.OK, executable=executable, analysis=analysis,
+            profile=profile, output=status.output,
+            instr_count=status.instr_count, retried=retried,
+            cache_stats=cache.stats() if cache is not None else {})
+
+
+# --------------------------------------------------------------------------
+# the engine
+# --------------------------------------------------------------------------
+
+class ParallelEngine:
+    """Shards :class:`ShardJob` orders across a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count (capped at the job count per batch).
+    start_method:
+        Multiprocessing start method; defaults to ``fork`` where
+        available (instant workers, no re-import) and falls back to the
+        platform default otherwise.
+
+    Determinism: :meth:`execute` returns results in **submission order**
+    regardless of completion order, so callers that merge sequentially
+    observe the same ordering a serial runner would produce.
+    """
+
+    def __init__(self, jobs: int, start_method: str | None = None) -> None:
+        self.jobs = max(1, int(jobs))
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+
+    def execute(self, shard_jobs: list[ShardJob]) -> list[ShardResult]:
+        """Run every job; one :class:`ShardResult` per job, in order.
+
+        A worker that dies without returning produces a
+        ``WORKER_FAILED`` result wrapping
+        :class:`~repro.errors.WorkerCrashError`; an undecodable result
+        produces one wrapping :class:`~repro.errors.WorkerResultError`.
+        """
+        if not shard_jobs:
+            return []
+        tm = _telemetry.get()
+        context = multiprocessing.get_context(self.start_method)
+        workers = min(self.jobs, len(shard_jobs))
+        start = perf_counter()
+        results: list[ShardResult] = []
+        with tm.span("parallel:pool", category="harness",
+                     jobs=len(shard_jobs), workers=workers,
+                     start_method=self.start_method):
+            with ProcessPoolExecutor(max_workers=workers,
+                                     mp_context=context) as pool:
+                futures = [pool.submit(run_shard, job) for job in shard_jobs]
+                for job, future in zip(shard_jobs, futures):
+                    results.append(self._collect(job, future, tm))
+            # Crash isolation: one worker dying abruptly breaks the whole
+            # ProcessPoolExecutor, poisoning every sibling future with
+            # BrokenProcessPool.  Retry each crashed shard in its own
+            # single-worker pool so innocent shards recover and only the
+            # true culprit reports WORKER_FAILED.
+            crashed = [i for i, r in enumerate(results)
+                       if r.status is RunStatus.WORKER_FAILED
+                       and isinstance(r.error, WorkerCrashError)]
+            if crashed:
+                for i in crashed:
+                    results[i] = self._run_isolated(shard_jobs[i], context,
+                                                    tm)
+        for result in results:
+            if (result.status is RunStatus.WORKER_FAILED
+                    and isinstance(result.error, WorkerCrashError)):
+                tm.counter("harness.parallel.worker_crashes").inc()
+        tm.gauge("harness.parallel.batch_seconds").set(
+            perf_counter() - start)
+        tm.counter("harness.parallel.shards").inc(len(shard_jobs))
+        return results
+
+    def _run_isolated(self, job: ShardJob, context, tm) -> ShardResult:
+        """Re-run one crashed shard in a dedicated single-worker pool."""
+        with tm.span("parallel:isolate", category="harness",
+                     benchmark=job.benchmark, dataset=job.dataset):
+            with ProcessPoolExecutor(max_workers=1,
+                                     mp_context=context) as pool:
+                return self._collect(job, pool.submit(run_shard, job), tm)
+
+    @staticmethod
+    def _collect(job: ShardJob, future, tm) -> ShardResult:
+        try:
+            result = future.result()
+        except (BrokenProcessPool, OSError) as exc:
+            error = WorkerCrashError(
+                f"worker process died before returning "
+                f"{job.benchmark}/{job.dataset}: "
+                f"{type(exc).__name__}: {exc}",
+                benchmark=job.benchmark, dataset=job.dataset)
+            return ShardResult(benchmark=job.benchmark, dataset=job.dataset,
+                               status=RunStatus.WORKER_FAILED, error=error)
+        except Exception as exc:
+            tm.counter("harness.parallel.result_errors").inc()
+            error = WorkerResultError(
+                f"worker result for {job.benchmark}/{job.dataset} "
+                f"could not be retrieved: {type(exc).__name__}: {exc}",
+                benchmark=job.benchmark, dataset=job.dataset)
+            return ShardResult(benchmark=job.benchmark, dataset=job.dataset,
+                               status=RunStatus.WORKER_FAILED, error=error)
+        if (not isinstance(result, ShardResult)
+                or result.benchmark != job.benchmark
+                or result.dataset != job.dataset):
+            tm.counter("harness.parallel.result_errors").inc()
+            error = WorkerResultError(
+                f"worker returned a malformed result for "
+                f"{job.benchmark}/{job.dataset}",
+                benchmark=job.benchmark, dataset=job.dataset)
+            return ShardResult(benchmark=job.benchmark, dataset=job.dataset,
+                               status=RunStatus.WORKER_FAILED, error=error)
+        return result

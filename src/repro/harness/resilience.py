@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.errors import (
-    ReproError, SimulationLimitExceeded, SimulationTimeout,
+    ReproError, SimulationLimitExceeded, SimulationTimeout, WorkerError,
 )
 
 if TYPE_CHECKING:  # avoid a circular import with repro.harness.runner
@@ -34,6 +34,7 @@ class RunStatus(enum.Enum):
     SIM_FAILED = "sim-failed"
     TIMEOUT = "timeout"
     SKIPPED = "skipped"
+    WORKER_FAILED = "worker-failed"
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
@@ -41,6 +42,8 @@ class RunStatus(enum.Enum):
 
 def classify_failure(error: ReproError) -> RunStatus:
     """Map a typed pipeline error to its :class:`RunStatus` bucket."""
+    if isinstance(error, WorkerError):
+        return RunStatus.WORKER_FAILED
     if isinstance(error, (SimulationTimeout, SimulationLimitExceeded)):
         return RunStatus.TIMEOUT
     phase = getattr(error, "phase", None)

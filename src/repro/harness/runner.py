@@ -17,17 +17,38 @@ instruction-limit, and rendered by the table/graph generators as explicit
 ``FAILED`` cells.  Failed attempts can never leak partial state: the
 :class:`EdgeProfile` and :class:`BenchmarkRun` for an attempt are built
 fresh per execution and only published to the memo cache on success.
+
+Scale-out (this layer's two new seams — see docs/performance.md):
+
+``parallelism=N``
+    :meth:`SuiteRunner.all_outcomes` (the entry point of every table and
+    graph generator) first *prefetches* all missing (benchmark, dataset)
+    shards through :class:`~repro.harness.parallel.ParallelEngine`, a
+    process pool whose workers replay exactly the serial semantics and
+    whose results are merged back in suite order — table/graph output is
+    byte-identical to a serial run.  Worker telemetry snapshots are
+    folded into the parent sink under per-shard ``parallel:shard`` spans.
+
+``cache_dir=PATH``
+    Every compile and run additionally consults a persistent
+    content-addressed :class:`~repro.harness.cache.ArtifactCache`, so a
+    warm repeat invocation (same sources, same pipeline, same limits,
+    same version) costs unpickling instead of simulation.  Sabotaged
+    artifacts (chaos ``poison_*`` seams) bypass the cache entirely, and
+    wall-clock timeouts are never cached.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
+from time import perf_counter
 
 from repro import telemetry as _telemetry
 from repro.bench.suite import Benchmark, Dataset, get, suite
 from repro.core.classify import ProgramAnalysis, classify_branches
 from repro.errors import ReproError, SimulationLimitExceeded, SimulationTimeout
+from repro.harness.cache import ArtifactCache, compile_key, run_key
 from repro.isa.program import Executable
 from repro.sim import Machine
 from repro.sim.profile import EdgeProfile
@@ -112,12 +133,21 @@ class SuiteRunner:
         ``False`` compiles every benchmark at ``-O0`` (empty pass
         pipeline) — the harness's ``-O0`` smoke mode for checking that
         results are not an artifact of the optimizer.
+    parallelism:
+        Worker-process count for :meth:`all_outcomes` prefetching
+        (``1`` = serial, the historical behavior).  Individual
+        :meth:`run` / :meth:`outcome` calls stay serial either way.
+    cache_dir:
+        Directory for the persistent content-addressed artifact cache
+        (``None`` disables persistence).
 
     Telemetry: each fresh (benchmark, dataset) execution is wrapped in a
     ``run:<benchmark>/<dataset>`` span containing ``compile``/``analyze``
     and ``simulate`` child spans; memo-cache hits and misses, retries, and
-    per-status failures are counted under ``harness.*`` (all no-ops unless
-    a telemetry sink is installed via :func:`repro.telemetry.install`).
+    per-status failures are counted under ``harness.*``, artifact-cache
+    traffic under ``harness.artifact_cache.*``, and parallel prefetches
+    produce ``parallel:pool`` / ``parallel:shard`` spans (all no-ops
+    unless a telemetry sink is installed via :func:`repro.telemetry.install`).
     """
 
     def __init__(self, benchmarks: list[str] | None = None,
@@ -126,7 +156,9 @@ class SuiteRunner:
                  wall_clock_deadline: float | None = None,
                  retry_fuel_factor: int = 4,
                  pc_sample_interval: int | None = None,
-                 optimize: bool = True) -> None:
+                 optimize: bool = True,
+                 parallelism: int = 1,
+                 cache_dir=None) -> None:
         self.benchmark_names = benchmarks or [b.name for b in suite()]
         self.max_instructions = max_instructions
         self.strict = strict
@@ -134,17 +166,88 @@ class SuiteRunner:
         self.retry_fuel_factor = retry_fuel_factor
         self.pc_sample_interval = pc_sample_interval
         self.optimize = optimize
+        self.parallelism = max(1, int(parallelism))
+        self.cache = ArtifactCache(cache_dir) if cache_dir else None
         self._compiled: dict[str, tuple[Executable, ProgramAnalysis]] = {}
+        self._compile_keys: dict[str, str] = {}
         self._runs: dict[tuple[str, str], BenchmarkRun] = {}
         # negative caches (degraded mode): compile failures per benchmark,
-        # run failures per (benchmark, dataset)
+        # run failures per (benchmark, dataset, limits-fingerprint) — the
+        # fingerprint keeps a fault injected under one set of limits from
+        # poisoning reruns under different limits
         self._compile_failures: dict[str, ReproError] = {}
-        self._run_failures: dict[tuple[str, str], "RunOutcome"] = {}
-        # chaos / operator overrides
-        self._fuel_overrides: dict[str, int] = {}
-        self._input_overrides: dict[str, int] = {}
-        self._memory_overrides: dict[str, int] = {}
+        self._run_failures: dict[tuple, "RunOutcome"] = {}
+        # chaos / operator overrides, keyed (benchmark, dataset-or-None);
+        # a None dataset applies to every dataset of the benchmark
+        self._fuel_overrides: dict[tuple[str, str | None], int] = {}
+        self._input_overrides: dict[tuple[str, str | None], int] = {}
+        self._memory_overrides: dict[tuple[str, str | None], int] = {}
         self._skipped: dict[str, str] = {}
+        #: benchmarks whose compiled artifact was replaced by chaos — the
+        #: persistent cache must never be consulted or fed for these
+        self._poisoned: set[str] = set()
+
+    # -- limits / keys ---------------------------------------------------------
+
+    @property
+    def _effective_retry_factor(self) -> int:
+        """Strict mode never retries (the historical behavior)."""
+        return self.retry_fuel_factor if not self.strict else 1
+
+    @staticmethod
+    def _override(table: dict, name: str, dataset: str):
+        value = table.get((name, dataset))
+        if value is None:
+            value = table.get((name, None))
+        return value
+
+    def _effective_limits(self, name: str, dataset: str
+                          ) -> tuple[int, int | None, int | None]:
+        """(fuel budget, input truncation, memory cap) after overrides."""
+        budget = self._override(self._fuel_overrides, name, dataset)
+        if budget is None:
+            budget = self.max_instructions
+        keep = self._override(self._input_overrides, name, dataset)
+        memory = self._override(self._memory_overrides, name, dataset)
+        return budget, keep, memory
+
+    def _limits_fingerprint(self, name: str, dataset: str) -> tuple:
+        budget, keep, memory = self._effective_limits(name, dataset)
+        return (budget, keep, memory, self._effective_retry_factor)
+
+    def _failure_key(self, name: str, dataset: str) -> tuple:
+        """Negative-cache key: benchmark + dataset + limits fingerprint."""
+        return (name, dataset, self._limits_fingerprint(name, dataset))
+
+    def _disk_cache_for(self, name: str) -> ArtifactCache | None:
+        """The persistent cache, unless *name*'s artifact was sabotaged."""
+        if self.cache is None or name in self._poisoned:
+            return None
+        return self.cache
+
+    def _compile_key_for(self, name: str) -> str:
+        key = self._compile_keys.get(name)
+        if key is None:
+            key = compile_key(name, get(name).source(), self.optimize,
+                              version=self.cache.version)
+            self._compile_keys[name] = key
+        return key
+
+    def _run_key_for(self, name: str, dataset: str) -> str | None:
+        """Persistent run-cache key, or ``None`` when it cannot be formed
+        (unknown benchmark/dataset — the execution path raises the typed
+        error instead)."""
+        try:
+            ds = get(name).dataset(dataset)
+        except (KeyError, ValueError):
+            return None
+        budget, keep, memory = self._effective_limits(name, dataset)
+        inputs = tuple(ds.inputs)
+        if keep is not None:
+            inputs = inputs[:keep]
+        return run_key(self._compile_key_for(name), dataset, inputs,
+                       budget, memory, self._effective_retry_factor,
+                       version=self.cache.version)
 
     # -- compilation -----------------------------------------------------------
 
@@ -154,31 +257,20 @@ class SuiteRunner:
         Raises the (negative-cached) typed error on a broken benchmark —
         degraded-mode callers catch it and render a FAILED cell.
         """
+        from repro.harness.parallel import compile_artifact
         tm = _telemetry.get()
         if name in self._compile_failures:
             raise self._compile_failures[name]
         if name not in self._compiled:
             tm.counter("harness.compile_cache.miss").inc()
             try:
-                with tm.span("compile", category="harness", benchmark=name,
-                             optimize=self.optimize):
-                    executable = get(name).compile(optimize=self.optimize)
-                    with tm.span("analyze", category="harness",
-                                 benchmark=name):
-                        analysis = classify_branches(executable)
+                self._compiled[name] = compile_artifact(
+                    get(name), optimize=self.optimize,
+                    cache=self._disk_cache_for(name))
             except ReproError as exc:
-                exc.with_context(benchmark=name, phase="compile")
                 self._compile_failures[name] = exc
                 tm.counter("harness.compile_failures").inc()
                 raise
-            except Exception as exc:
-                wrapped = ReproError(
-                    f"compile failed: {type(exc).__name__}: {exc}",
-                    benchmark=name, phase="compile")
-                self._compile_failures[name] = wrapped
-                tm.counter("harness.compile_failures").inc()
-                raise wrapped from exc
-            self._compiled[name] = (executable, analysis)
         else:
             tm.counter("harness.compile_cache.hit").inc()
         return self._compiled[name]
@@ -196,11 +288,10 @@ class SuiteRunner:
                              benchmark=name, dataset=dataset,
                              phase="setup") from exc
         executable, analysis = self.compiled(name)
+        budget, keep, memory = self._effective_limits(name, dataset)
         inputs = list(ds.inputs)
-        keep = self._input_overrides.get(name)
         if keep is not None:
             inputs = inputs[:keep]
-        budget = self._fuel_overrides.get(name, self.max_instructions)
         profile = EdgeProfile()
         try:
             # construction can fault too (e.g. the data image exceeds an
@@ -211,7 +302,7 @@ class SuiteRunner:
                     executable, inputs=inputs, observers=[profile],
                     max_instructions=budget * fuel_scale,
                     wall_clock_deadline=self.wall_clock_deadline,
-                    max_memory_bytes=self._memory_overrides.get(name),
+                    max_memory_bytes=memory,
                     pc_sample_interval=self.pc_sample_interval)
                 status = machine.run()
         except ReproError as exc:
@@ -220,6 +311,54 @@ class SuiteRunner:
             benchmark=benchmark, dataset=ds, executable=executable,
             analysis=analysis, profile=profile, output=status.output,
             instr_count=status.instr_count)
+
+    # -- persistent-cache plumbing ---------------------------------------------
+
+    def _store_failure_entry(self, cache: ArtifactCache | None,
+                             rkey: str | None, error: ReproError,
+                             retried: bool) -> None:
+        from repro.harness.parallel import _cacheable_failure
+        if cache is not None and rkey is not None \
+                and _cacheable_failure(error):
+            cache.put(rkey, "run", {"ok": False, "error": error,
+                                    "retried": retried})
+
+    def _outcome_from_entry(self, name: str, dataset: str,
+                            entry: dict) -> "RunOutcome | None":
+        """Rebuild a RunOutcome from a persistent run entry.
+
+        Returns ``None`` when the entry cannot be applied (e.g. the
+        matching compile artifact is gone) — the caller falls back to a
+        fresh execution.
+        """
+        from repro.harness.resilience import (
+            RunOutcome, RunStatus, classify_failure,
+        )
+        if not entry.get("ok"):
+            error = entry["error"]
+            if self.strict:
+                raise error
+            return self._failure_outcome(
+                name, dataset, classify_failure(error), error,
+                retried=entry.get("retried", False))
+        try:
+            executable, analysis = self.compiled(name)
+        except ReproError:
+            return None  # inconsistent cache: recompute from scratch
+        try:
+            benchmark = get(name)
+            ds = benchmark.dataset(dataset)
+        except (KeyError, ValueError):
+            return None
+        run = BenchmarkRun(
+            benchmark=benchmark, dataset=ds, executable=executable,
+            analysis=analysis, profile=entry["profile"],
+            output=entry["output"], instr_count=entry["instr_count"])
+        self._runs[(name, dataset)] = run
+        return RunOutcome(name, dataset, RunStatus.OK, run=run,
+                          retried=entry.get("retried", False))
+
+    # -- outcomes --------------------------------------------------------------
 
     def outcome(self, name: str, dataset: str = "ref") -> "RunOutcome":
         """Run (memoized) and wrap the result in a
@@ -243,7 +382,7 @@ class SuiteRunner:
             if self.strict:
                 outcome.require()  # raises
             return outcome
-        cached = self._run_failures.get(key)
+        cached = self._run_failures.get(self._failure_key(name, dataset))
         if cached is not None:
             tm.counter("harness.run_cache.negative_hit").inc()
             if self.strict:
@@ -251,8 +390,16 @@ class SuiteRunner:
             return cached
         tm.counter("harness.run_cache.miss").inc()
         retried = False
+        cache = self._disk_cache_for(name)
+        rkey = self._run_key_for(name, dataset) if cache is not None else None
         with tm.span(f"run:{name}/{dataset}", category="harness",
                      benchmark=name, dataset=dataset):
+            if rkey is not None:
+                entry = cache.get(rkey, "run")
+                if entry is not None:
+                    outcome = self._outcome_from_entry(name, dataset, entry)
+                    if outcome is not None:
+                        return outcome
             try:
                 run = self._execute(name, dataset)
             except ReproError as exc:
@@ -261,9 +408,13 @@ class SuiteRunner:
                              and self.retry_fuel_factor > 1)
                 if self.strict or not transient:
                     if self.strict:
+                        self._store_failure_entry(cache, rkey, exc,
+                                                  retried=False)
                         raise
                     outcome = self._failure_outcome(
                         name, dataset, classify_failure(exc), exc)
+                    self._store_failure_entry(cache, rkey, exc,
+                                              retried=False)
                     return outcome
                 retried = True
                 tm.counter("harness.retries").inc()
@@ -274,8 +425,14 @@ class SuiteRunner:
                     outcome = self._failure_outcome(
                         name, dataset, classify_failure(exc2), exc2,
                         retried=True)
+                    self._store_failure_entry(cache, rkey, exc2,
+                                              retried=True)
                     return outcome
         self._runs[key] = run
+        if rkey is not None:
+            cache.put(rkey, "run", {
+                "ok": True, "profile": run.profile, "output": run.output,
+                "instr_count": run.instr_count, "retried": retried})
         return RunOutcome(name, dataset, RunStatus.OK, run=run,
                           retried=retried)
 
@@ -289,16 +446,126 @@ class SuiteRunner:
         tm.labeled_counter("harness.failures_by_status").inc(status.value)
         outcome = RunOutcome(name, dataset, status, error=error,
                              retried=retried)
-        self._run_failures[(name, dataset)] = outcome
+        self._run_failures[self._failure_key(name, dataset)] = outcome
         return outcome
 
     def run(self, name: str, dataset: str = "ref") -> BenchmarkRun:
         """Profile one benchmark execution (memoized); raises on failure."""
         return self.outcome(name, dataset).require()
 
+    # -- parallel prefetch -----------------------------------------------------
+
+    def _needs_run(self, name: str, dataset: str) -> bool:
+        return ((name, dataset) not in self._runs
+                and name not in self._skipped
+                and name not in self._compile_failures
+                and self._failure_key(name, dataset)
+                not in self._run_failures)
+
+    def _shard_job(self, name: str, dataset: str):
+        from repro.harness.parallel import ShardJob
+        budget, keep, memory = self._effective_limits(name, dataset)
+        try:
+            ds = get(name).dataset(dataset)
+        except (KeyError, ValueError):
+            return None  # let the serial path raise the typed error
+        inputs = tuple(ds.inputs)
+        if keep is not None:
+            inputs = inputs[:keep]
+        poisoned = name in self._poisoned
+        return ShardJob(
+            benchmark=name, dataset=dataset, inputs=inputs,
+            fuel_budget=budget,
+            retry_fuel_factor=self._effective_retry_factor,
+            wall_clock_deadline=self.wall_clock_deadline,
+            max_memory_bytes=memory,
+            pc_sample_interval=self.pc_sample_interval,
+            optimize=self.optimize,
+            cache_dir=(str(self.cache.root)
+                       if self.cache is not None and not poisoned else None),
+            collect_telemetry=_telemetry.get().enabled,
+            preseeded=self._compiled.get(name),
+            poisoned=poisoned)
+
+    def _merge_shard(self, result, tm, offset_us: int) -> None:
+        from repro.harness.resilience import RunStatus
+        if self.cache is not None and result.cache_stats:
+            # fold worker-side cache traffic into the parent's counters so
+            # stats()/CLI footers reflect the whole batch, not just the
+            # parent process
+            for field_name in ("hits", "misses", "corrupt", "stores"):
+                current = getattr(self.cache, field_name)
+                setattr(self.cache, field_name,
+                        current + result.cache_stats.get(field_name, 0))
+        if result.telemetry is not None and tm.enabled:
+            with tm.span("parallel:shard", category="harness",
+                         benchmark=result.benchmark, dataset=result.dataset,
+                         status=result.status.value):
+                tm.merge_snapshot(result.telemetry,
+                                  start_offset_us=offset_us)
+        if result.ok:
+            pair = self._compiled.get(result.benchmark)
+            if pair is None and result.executable is not None:
+                pair = (result.executable, result.analysis)
+                self._compiled[result.benchmark] = pair
+            if pair is None:  # defensive: malformed OK result
+                return
+            executable, analysis = pair
+            benchmark = get(result.benchmark)
+            run = BenchmarkRun(
+                benchmark=benchmark,
+                dataset=benchmark.dataset(result.dataset),
+                executable=executable, analysis=analysis,
+                profile=result.profile, output=result.output,
+                instr_count=result.instr_count)
+            self._runs[(result.benchmark, result.dataset)] = run
+        elif result.status is RunStatus.COMPILE_FAILED:
+            # seed the compile negative cache; the serial replay loop
+            # classifies and counts it exactly like a cold compile failure
+            self._compile_failures.setdefault(result.benchmark, result.error)
+            tm.counter("harness.compile_failures").inc()
+        else:
+            self._failure_outcome(result.benchmark, result.dataset,
+                                  result.status, result.error,
+                                  retried=result.retried)
+
+    def prefetch(self, dataset: str = "ref") -> int:
+        """Execute every missing (benchmark, *dataset*) shard in parallel.
+
+        Populates the memo caches so the subsequent serial walk (tables,
+        graphs, :meth:`outcome`) is all hits; returns the shard count.
+        No-op when ``parallelism`` is 1 or fewer than two shards are
+        missing (pool overhead would exceed the win).
+        """
+        if self.parallelism <= 1:
+            return 0
+        from repro.harness.parallel import ParallelEngine
+        pending = [name for name in self.benchmark_names
+                   if self._needs_run(name, dataset)]
+        jobs = [job for job in (self._shard_job(name, dataset)
+                                for name in pending) if job is not None]
+        if len(jobs) < 2:
+            return 0
+        tm = _telemetry.get()
+        offset_us = (int((perf_counter() - tm.epoch) * 1e6)
+                     if tm.enabled else 0)
+        engine = ParallelEngine(self.parallelism)
+        results = engine.execute(jobs)
+        for result in results:
+            self._merge_shard(result, tm, offset_us)
+        return len(results)
+
     def all_outcomes(self, dataset: str = "ref") -> list["RunOutcome"]:
         """Outcomes for every benchmark, in suite order (degraded mode:
-        failures come back as FAILED outcomes instead of raising)."""
+        failures come back as FAILED outcomes instead of raising).
+
+        With ``parallelism > 1`` the missing shards are executed by the
+        process-pool engine first; the serial walk below then merely
+        replays the memo caches, preserving strict-mode raise order and
+        degraded-mode FAILED classification exactly.
+        """
+        if self.parallelism > 1:
+            self.prefetch(dataset=dataset)
         return [self.outcome(name, dataset) for name in self.benchmark_names]
 
     def all_runs(self, dataset: str = "ref") -> list[BenchmarkRun]:
@@ -308,29 +575,53 @@ class SuiteRunner:
     # -- chaos / operator hooks ------------------------------------------------
     # Seams used by repro.testing.chaos (and operators) to inject faults or
     # bound pathological benchmarks without touching suite definitions.
+    # The limit seams take an optional dataset: ``None`` (the default)
+    # applies the override to every dataset of the benchmark.
 
     def poison_compile(self, name: str, error: ReproError) -> None:
         """Force *name* to fail compilation with *error*."""
         self._compile_failures[name] = error
         self._compiled.pop(name, None)
+        self._poisoned.add(name)
 
     def poison_executable(self, name: str, executable: Executable,
                           analysis: ProgramAnalysis) -> None:
-        """Replace *name*'s compiled artifact (e.g. with a corrupted one)."""
+        """Replace *name*'s compiled artifact (e.g. with a corrupted one).
+
+        The persistent artifact cache is bypassed for *name* from here
+        on: a sabotaged artifact must never be served under (or stored
+        at) the honest source-derived key.
+        """
         self._compiled[name] = (executable, analysis)
         self._compile_failures.pop(name, None)
+        self._poisoned.add(name)
 
-    def limit_fuel(self, name: str, budget: int) -> None:
-        """Override the instruction budget for one benchmark."""
-        self._fuel_overrides[name] = budget
+    def limit_fuel(self, name: str, budget: int,
+                   dataset: str | None = None) -> None:
+        """Override the instruction budget for one benchmark (optionally
+        for a single dataset only)."""
+        self._fuel_overrides[(name, dataset)] = budget
 
-    def limit_inputs(self, name: str, keep: int) -> None:
-        """Truncate *name*'s dataset inputs to the first *keep* values."""
-        self._input_overrides[name] = keep
+    def limit_inputs(self, name: str, keep: int,
+                     dataset: str | None = None) -> None:
+        """Truncate the dataset inputs to the first *keep* values."""
+        self._input_overrides[(name, dataset)] = keep
 
-    def limit_memory(self, name: str, max_bytes: int) -> None:
+    def limit_memory(self, name: str, max_bytes: int,
+                     dataset: str | None = None) -> None:
         """Cap the data-memory budget for one benchmark."""
-        self._memory_overrides[name] = max_bytes
+        self._memory_overrides[(name, dataset)] = max_bytes
+
+    def clear_limits(self, name: str, dataset: str | None = None) -> None:
+        """Drop every fuel/input/memory override for *name* (or for one
+        (benchmark, dataset) pair when *dataset* is given)."""
+        for table in (self._fuel_overrides, self._input_overrides,
+                      self._memory_overrides):
+            if dataset is None:
+                for key in [k for k in table if k[0] == name]:
+                    del table[key]
+            else:
+                table.pop((name, dataset), None)
 
     def skip(self, name: str, reason: str = "") -> None:
         """Mark *name* as skipped (renders as FAILED:skipped cells)."""

@@ -33,8 +33,8 @@ from repro.telemetry.bench import (
     DiffResult, MalformedReport, Regression, diff_reports, load_report,
 )
 from repro.telemetry.core import (
-    Counter, Gauge, Histogram, LabeledCounter, SpanRecord, Telemetry,
-    get, install, use,
+    Counter, Gauge, Histogram, HistogramState, LabeledCounter, SpanRecord,
+    Telemetry, TelemetrySnapshot, get, install, use,
 )
 from repro.telemetry.export import (
     BENCH_SCHEMA, REPORT_FILES, summary_dict, summary_table,
@@ -46,8 +46,8 @@ from repro.telemetry.logging_setup import (
 from repro.telemetry.manifest import config_hash, run_manifest
 
 __all__ = [
-    "Counter", "Gauge", "Histogram", "LabeledCounter", "SpanRecord",
-    "Telemetry", "get", "install", "use",
+    "Counter", "Gauge", "Histogram", "HistogramState", "LabeledCounter",
+    "SpanRecord", "Telemetry", "TelemetrySnapshot", "get", "install", "use",
     "to_chrome_trace", "to_jsonl", "to_prometheus", "summary_table",
     "summary_dict", "write_report", "REPORT_FILES", "BENCH_SCHEMA",
     "run_manifest", "config_hash",

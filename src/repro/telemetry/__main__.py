@@ -14,10 +14,14 @@ Subcommands:
     1 = regression found, 2 = malformed input.  This is the CI gate for
     the perf trajectory.
 
-``record -o OUT.json [--benchmarks A,B] [--dataset ref] [--hot-pc N]``
+``record -o OUT.json [--benchmarks A,B] [--dataset ref] [--hot-pc N]
+[--jobs N] [--cache DIR]``
     Run a small reference pipeline (compile + simulate the selected
     benchmarks) under telemetry and write the summary JSON — how
-    ``BENCH_pipeline.json`` baselines are produced.
+    ``BENCH_pipeline.json`` baselines are produced.  ``--jobs N`` shards
+    the pipeline across worker processes (their telemetry snapshots are
+    merged into the summary); ``--cache DIR`` reuses the persistent
+    artifact cache.
 """
 
 from __future__ import annotations
@@ -98,9 +102,13 @@ def _cmd_record(args: argparse.Namespace) -> int:
     sink = telemetry.Telemetry()
     with telemetry.use(sink):
         runner = SuiteRunner(benchmarks=benchmarks,
-                             pc_sample_interval=args.hot_pc)
+                             pc_sample_interval=args.hot_pc,
+                             parallelism=args.jobs,
+                             cache_dir=args.cache)
         with sink.span("pipeline", category="bench",
                        dataset=args.dataset):
+            if args.jobs > 1:
+                runner.prefetch(args.dataset)
             for name in runner.benchmark_names:
                 runner.run(name, args.dataset)
     config = {
@@ -109,6 +117,7 @@ def _cmd_record(args: argparse.Namespace) -> int:
         "dataset": args.dataset,
         "hot_pc": args.hot_pc,
         "max_instructions": runner.max_instructions,
+        "jobs": args.jobs,
     }
     payload = telemetry.summary_dict(sink, config=config)
     out = Path(args.output)
@@ -152,6 +161,12 @@ def main(argv: list[str] | None = None) -> int:
                        help="comma-separated benchmark names "
                             "(default: queens,fields)")
     p_rec.add_argument("--dataset", default="ref")
+    p_rec.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="shard the pipeline across N worker processes "
+                            "(merged telemetry; see docs/performance.md)")
+    p_rec.add_argument("--cache", default=None, metavar="DIR",
+                       help="persistent artifact cache directory "
+                            "(off by default for honest timings)")
     p_rec.add_argument("--hot-pc", type=int, default=None, metavar="N",
                        help="sample the simulated pc every N instructions")
     p_rec.set_defaults(func=_cmd_record)

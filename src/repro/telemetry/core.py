@@ -38,9 +38,11 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HistogramState",
     "LabeledCounter",
     "SpanRecord",
     "Telemetry",
+    "TelemetrySnapshot",
     "get",
     "install",
     "use",
@@ -229,6 +231,49 @@ _NULL_LABELED = _NullLabeledCounter()
 
 
 # --------------------------------------------------------------------------
+# mergeable snapshots (the parallel harness's shard-result currency)
+# --------------------------------------------------------------------------
+
+@dataclass
+class HistogramState:
+    """Plain-data image of one :class:`Histogram` (picklable, lock-free)."""
+
+    count: int = 0
+    sum: float = 0.0
+    min: float | None = None
+    max: float | None = None
+    buckets: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class TelemetrySnapshot:
+    """A picklable, *mergeable* image of one :class:`Telemetry` sink.
+
+    This is how parallel shard workers report telemetry back to the
+    parent process: the worker records into its own private sink, calls
+    :meth:`Telemetry.snapshot` at the end of the job, and ships the
+    snapshot (plain dataclasses all the way down — no locks, no thread
+    state) inside its result.  The parent folds every shard into its own
+    sink with :meth:`Telemetry.merge_snapshot`, which sums counters,
+    peak-merges gauges, pointwise-adds histograms, and re-parents the
+    shard's span forest under whatever span is currently open (the
+    harness opens a ``parallel:shard`` span per worker result).
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, HistogramState] = field(default_factory=dict)
+    labeled: dict[str, dict[str, int]] = field(default_factory=dict)
+    spans: list[SpanRecord] = field(default_factory=list)
+    spans_dropped: int = 0
+
+    @property
+    def empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms
+                    or self.labeled or self.spans)
+
+
+# --------------------------------------------------------------------------
 # the registry
 # --------------------------------------------------------------------------
 
@@ -381,6 +426,112 @@ class Telemetry:
     def max_span_depth(self) -> int:
         with self._lock:
             return max((s.depth for s in self.spans), default=0)
+
+    # -- snapshots / merging -----------------------------------------------
+
+    def current_span_id(self) -> int:
+        """Id of the innermost open span on this thread (0 = none)."""
+        stack = self._stack()
+        return stack[-1][0] if stack else 0
+
+    def _current_depth(self) -> int:
+        stack = self._stack()
+        return stack[-1][1] if stack else 0
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """A picklable, mergeable image of this sink's current state.
+
+        Disabled sinks return an empty snapshot.  The image is deep
+        enough that later mutation of this sink never leaks into it.
+        """
+        if not self.enabled:
+            return TelemetrySnapshot()
+        with self._lock:
+            return TelemetrySnapshot(
+                counters={n: c.value for n, c in
+                          sorted(self._counters.items())},
+                gauges={n: g.value for n, g in sorted(self._gauges.items())},
+                histograms={
+                    n: HistogramState(h.count, h.sum, h.min, h.max,
+                                      dict(h.buckets))
+                    for n, h in sorted(self._histograms.items())},
+                labeled={n: dict(lc.values) for n, lc in
+                         sorted(self._labeled.items())},
+                spans=list(self.spans),
+                spans_dropped=self.spans_dropped,
+            )
+
+    def merge_snapshot(self, snapshot: TelemetrySnapshot,
+                       start_offset_us: int = 0) -> None:
+        """Fold a worker *snapshot* into this sink (deterministically).
+
+        * counters and labeled counters are **summed**;
+        * gauges are **peak-merged** (``max``), so merge order across
+          shards cannot change the result;
+        * histograms are pointwise-added (count/sum/buckets summed,
+          min/max widened);
+        * spans get fresh ids and are **re-parented**: snapshot roots
+          (``parent_id == 0``) become children of the innermost span
+          currently open on this thread, depths shift accordingly, and
+          every start time is displaced by *start_offset_us* (the
+          parent-clock offset of the shard — worker spans are recorded
+          against the worker's own epoch).
+
+        No-op on a disabled sink.
+        """
+        if not self.enabled:
+            return
+        for name, value in sorted(snapshot.counters.items()):
+            self.counter(name).inc(value)
+        for name, value in sorted(snapshot.gauges.items()):
+            gauge = self.gauge(name)
+            with self._lock:
+                gauge.value = max(gauge.value, float(value))
+        for name, state in sorted(snapshot.histograms.items()):
+            histogram = self.histogram(name)
+            with self._lock:
+                histogram.count += state.count
+                histogram.sum += state.sum
+                for bound in (state.min, ):
+                    if bound is not None and (histogram.min is None
+                                              or bound < histogram.min):
+                        histogram.min = bound
+                for bound in (state.max, ):
+                    if bound is not None and (histogram.max is None
+                                              or bound > histogram.max):
+                        histogram.max = bound
+                for bucket, count in sorted(state.buckets.items()):
+                    histogram.buckets[bucket] = (
+                        histogram.buckets.get(bucket, 0) + count)
+        for name, values in sorted(snapshot.labeled.items()):
+            labeled = self.labeled_counter(name)
+            for label, count in sorted(values.items()):
+                labeled.inc(label, count)
+        if snapshot.spans:
+            parent = self.current_span_id()
+            depth_shift = self._current_depth()
+            with self._lock:
+                base = self._next_span_id
+                self._next_span_id += len(snapshot.spans)
+            id_map = {record.span_id: base + i
+                      for i, record in enumerate(snapshot.spans)}
+            for record in snapshot.spans:
+                adopted = SpanRecord(
+                    name=record.name, category=record.category,
+                    start_us=record.start_us + start_offset_us,
+                    duration_us=record.duration_us,
+                    span_id=id_map[record.span_id],
+                    parent_id=id_map.get(record.parent_id, parent),
+                    depth=record.depth + depth_shift,
+                    thread_id=record.thread_id,
+                    args=dict(record.args))
+                with self._lock:
+                    if len(self.spans) < self.max_spans:
+                        self.spans.append(adopted)
+                    else:
+                        self.spans_dropped += 1
+        with self._lock:
+            self.spans_dropped += snapshot.spans_dropped
 
 
 # --------------------------------------------------------------------------

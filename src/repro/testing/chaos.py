@@ -98,8 +98,21 @@ def corrupt_branch_targets(executable: Executable) -> Executable:
     return corrupted
 
 
-def sabotage(runner: SuiteRunner, name: str, fault: str) -> None:
+def sabotage(runner: SuiteRunner, name: str, fault: str,
+             dataset: str | None = None) -> None:
     """Inject *fault* into benchmark *name* through *runner*'s chaos seams.
+
+    *dataset* scopes the resource-limit faults (``inputs`` / ``fuel`` /
+    ``memory``) to one dataset of the benchmark; ``None`` (the default)
+    applies them to every dataset.  Artifact faults (``compile`` /
+    ``opcode`` / ``branch-target``) and ``skip`` are inherently
+    per-benchmark and ignore it.
+
+    Worker-process faults are injected differently: set the
+    ``REPRO_CHAOS_WORKER_CRASH`` environment variable to a benchmark name
+    and any parallel shard for that benchmark kills its own worker
+    process (``os._exit``) before running — exercising the
+    :class:`~repro.errors.WorkerCrashError` path without a real segfault.
 
     Supported faults (see :data:`FAULTS`):
 
@@ -133,11 +146,11 @@ def sabotage(runner: SuiteRunner, name: str, fault: str) -> None:
                      else corrupt_branch_targets)
         runner.poison_executable(name, corruptor(executable), analysis)
     elif fault == "inputs":
-        runner.limit_inputs(name, 0)
+        runner.limit_inputs(name, 0, dataset=dataset)
     elif fault == "fuel":
-        runner.limit_fuel(name, 1_000)
+        runner.limit_fuel(name, 1_000, dataset=dataset)
     elif fault == "memory":
-        runner.limit_memory(name, 4096)
+        runner.limit_memory(name, 4096, dataset=dataset)
     elif fault == "skip":
         runner.skip(name, reason="chaos")
     else:

@@ -9,6 +9,30 @@ from repro.bcc.opt import set_verify_each
 from repro.harness import SuiteRunner
 from repro.sim import EdgeProfile, Machine
 
+#: the registered test tiers (see pytest.ini and docs/performance.md)
+TIERS = ("tier1", "tier2")
+
+
+def pytest_collection_modifyitems(config, items):
+    """Enforce the tier taxonomy at collection time.
+
+    * every test belongs to exactly ONE tier — a test marked both
+      ``tier1`` and ``tier2`` is a taxonomy bug and fails collection;
+    * unmarked tests are auto-assigned ``tier1``, so the historical
+      suite keeps running under the default ``-m "not tier2"`` selection
+      without a thousand-test marking churn.
+    """
+    errors = []
+    for item in items:
+        present = [t for t in TIERS if item.get_closest_marker(t)]
+        if len(present) > 1:
+            errors.append(f"{item.nodeid}: marked {' and '.join(present)} "
+                          f"— a test belongs to exactly one tier")
+        elif not present:
+            item.add_marker(pytest.mark.tier1)
+    if errors:
+        raise pytest.UsageError("\n".join(errors))
+
 
 @pytest.fixture(autouse=True, scope="session")
 def _always_verify_ir():

@@ -1,0 +1,213 @@
+"""Determinism suite for the parallel engine and the artifact cache.
+
+The whole point of ``SuiteRunner(parallelism=N, cache_dir=...)`` is that
+it is *invisible* in the output: every table and graph must be
+byte-identical across
+
+* a serial run (``parallelism=1``, no cache),
+* a parallel run (``parallelism=2``, cold cache),
+* a cache-warm run (``parallelism=2``, second runner on the same cache),
+
+including degraded-mode FAILED cells under injected chaos faults.  The
+tier-1 tests here cover the 3-benchmark MINI_SUITE; the tier-2 tests
+(run with ``pytest -m tier2``) repeat the comparison over the full
+22-benchmark suite, all seven tables and both graph families.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkerCrashError, WorkerError
+from repro.harness import (
+    SEQUENCE_BENCHMARKS, RunStatus, SuiteRunner,
+    graph1, graph13, graphs2_3, graphs4_11,
+    table1, table2, table3, table4, table5, table6, table7,
+)
+from repro.harness.parallel import CHAOS_WORKER_CRASH_ENV
+from repro.testing.chaos import sabotage
+
+from conftest import MINI_SUITE
+
+
+def mini_report(runner: SuiteRunner) -> str:
+    """A representative slice of the report: three tables + Graph 1."""
+    return "\n".join([
+        table1(runner).render(),
+        table2(runner).render(),
+        table5(runner).render(),
+        graph1(runner).describe(),
+    ])
+
+
+def full_report(runner: SuiteRunner) -> str:
+    """Every table and graph family the CLI can emit."""
+    parts = [t(runner).render() for t in
+             (table1, table2, table3, table4, table5, table6, table7)]
+    parts.append(graph1(runner).describe())
+    parts.append(graphs2_3(runner).describe())
+    parts.extend(sg.describe() for sg in
+                 graphs4_11(runner, benchmarks=SEQUENCE_BENCHMARKS))
+    parts.append(graph13(runner).describe())
+    return "\n".join(parts)
+
+
+# -- tier 1: mini-suite determinism -------------------------------------------
+
+
+class TestMiniSuiteDeterminism:
+
+    @pytest.fixture(scope="class")
+    def serial_report(self):
+        return mini_report(SuiteRunner(MINI_SUITE))
+
+    def test_parallel_is_byte_identical(self, serial_report):
+        runner = SuiteRunner(MINI_SUITE, parallelism=2)
+        assert mini_report(runner) == serial_report
+
+    def test_cold_then_warm_cache_is_byte_identical(self, serial_report,
+                                                    tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold = SuiteRunner(MINI_SUITE, parallelism=2, cache_dir=cache_dir)
+        assert mini_report(cold) == serial_report
+        assert cold.cache.stores > 0, "cold run must populate the cache"
+
+        warm = SuiteRunner(MINI_SUITE, parallelism=2, cache_dir=cache_dir)
+        assert mini_report(warm) == serial_report
+        assert warm.cache.hits > 0, "warm run must hit the cache"
+        assert warm.cache.misses == 0, (
+            "every artifact of an identical rerun must be served from "
+            f"cache (stats: {warm.cache.stats()})")
+
+    def test_serial_warm_cache_matches_parallel_warm(self, serial_report,
+                                                     tmp_path):
+        cache_dir = tmp_path / "cache"
+        mini_report(SuiteRunner(MINI_SUITE, parallelism=2,
+                                cache_dir=cache_dir))
+        warm_serial = SuiteRunner(MINI_SUITE, cache_dir=cache_dir)
+        assert mini_report(warm_serial) == serial_report
+        assert warm_serial.cache.hits > 0
+
+    def test_all_outcomes_order_and_instr_counts_match(self):
+        serial = SuiteRunner(MINI_SUITE).all_outcomes("ref")
+        parallel = SuiteRunner(MINI_SUITE, parallelism=2).all_outcomes("ref")
+        assert [(o.benchmark, o.dataset) for o in parallel] \
+            == [(o.benchmark, o.dataset) for o in serial]
+        for a, b in zip(parallel, serial):
+            assert a.ok and b.ok
+            assert a.run.instr_count == b.run.instr_count
+            assert a.run.output == b.run.output
+            assert list(a.run.profile.items()) == list(b.run.profile.items())
+
+
+# -- tier 1: degraded-mode chaos determinism ----------------------------------
+
+
+class TestDegradedChaosDeterminism:
+
+    #: faults whose FAILED cells must render identically serial vs parallel
+    CHAOS_FAULTS = ("compile", "opcode", "fuel", "inputs", "skip")
+
+    @pytest.mark.parametrize("fault", CHAOS_FAULTS)
+    def test_failed_cells_identical_serial_vs_parallel(self, fault):
+        reports = []
+        for parallelism in (1, 2):
+            runner = SuiteRunner(MINI_SUITE, strict=False,
+                                 parallelism=parallelism)
+            sabotage(runner, "fields", fault)
+            reports.append(mini_report(runner))
+        assert reports[0] == reports[1]
+        assert "FAILED" in reports[0] or fault == "skip"
+
+    def test_poisoned_artifact_never_touches_the_cache(self, tmp_path):
+        """A sabotaged executable must not be stored under (or served
+        from) the honest source-derived key."""
+        cache_dir = tmp_path / "cache"
+        poisoned = SuiteRunner(MINI_SUITE, strict=False, parallelism=2,
+                               cache_dir=cache_dir)
+        sabotage(poisoned, "queens", "opcode")
+        poisoned_report = mini_report(poisoned)
+        assert "FAILED" in poisoned_report
+
+        healthy = SuiteRunner(MINI_SUITE, strict=False, parallelism=2,
+                              cache_dir=cache_dir)
+        healthy_report = mini_report(healthy)
+        assert "FAILED" not in healthy_report
+        assert healthy_report == mini_report(SuiteRunner(MINI_SUITE,
+                                                         strict=False))
+
+
+# -- tier 1: worker-crash taxonomy --------------------------------------------
+
+
+class TestWorkerCrash:
+
+    def test_degraded_renders_worker_failed_cell(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_WORKER_CRASH_ENV, "fields")
+        runner = SuiteRunner(MINI_SUITE, strict=False, parallelism=2)
+        outcomes = runner.all_outcomes("ref")
+        by_name = {o.benchmark: o for o in outcomes}
+        assert by_name["fields"].status is RunStatus.WORKER_FAILED
+        assert isinstance(by_name["fields"].error, WorkerCrashError)
+        assert by_name["fields"].error.phase == "parallel"
+        assert "FAILED:worker-failed" in by_name["fields"].failure_label()
+        # the other shards are unaffected
+        assert by_name["queens"].ok and by_name["gauss"].ok
+
+    def test_strict_raises_typed_worker_error(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_WORKER_CRASH_ENV, "queens")
+        runner = SuiteRunner(MINI_SUITE, strict=True, parallelism=2)
+        with pytest.raises(WorkerError):
+            runner.all_outcomes("ref")
+
+    def test_worker_crash_is_never_negative_cached_on_disk(self, tmp_path,
+                                                           monkeypatch):
+        """A crashed worker is a machine fault, not a property of the
+        inputs: a later run with the same cache must re-execute and
+        succeed."""
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv(CHAOS_WORKER_CRASH_ENV, "fields")
+        crashed = SuiteRunner(MINI_SUITE, strict=False, parallelism=2,
+                              cache_dir=cache_dir)
+        outcomes = {o.benchmark: o for o in crashed.all_outcomes("ref")}
+        assert outcomes["fields"].status is RunStatus.WORKER_FAILED
+
+        monkeypatch.delenv(CHAOS_WORKER_CRASH_ENV)
+        recovered = SuiteRunner(MINI_SUITE, strict=False, parallelism=2,
+                                cache_dir=cache_dir)
+        outcomes = {o.benchmark: o for o in recovered.all_outcomes("ref")}
+        assert outcomes["fields"].ok
+
+
+# -- tier 2: full-suite determinism -------------------------------------------
+
+
+@pytest.mark.tier2
+class TestFullSuiteDeterminism:
+
+    @pytest.fixture(scope="class")
+    def serial_full_report(self):
+        return full_report(SuiteRunner())
+
+    def test_parallel4_is_byte_identical(self, serial_full_report):
+        assert full_report(SuiteRunner(parallelism=4)) == serial_full_report
+
+    def test_cache_warm_is_byte_identical(self, serial_full_report,
+                                          tmp_path_factory):
+        cache_dir = tmp_path_factory.mktemp("full-cache")
+        cold = SuiteRunner(parallelism=4, cache_dir=cache_dir)
+        assert full_report(cold) == serial_full_report
+        warm = SuiteRunner(parallelism=4, cache_dir=cache_dir)
+        assert full_report(warm) == serial_full_report
+        assert warm.cache.misses == 0
+        assert warm.cache.hits > 0
+
+    def test_degraded_chaos_full_suite(self):
+        reports = []
+        for parallelism in (1, 4):
+            runner = SuiteRunner(strict=False, parallelism=parallelism)
+            sabotage(runner, "fields", "fuel")
+            sabotage(runner, "hanoi", "compile")
+            reports.append(full_report(runner))
+        assert reports[0] == reports[1]
+        assert "FAILED" in reports[0]
