@@ -19,9 +19,14 @@ Hierarchy::
     │   ├── SimulationTimeout       # wall-clock watchdog deadline passed
     │   ├── InputExhausted          # a read syscall starved
     │   └── MemoryError_            # bad/misaligned access, page budget
-    └── WorkerError                 # parallel harness (phase=parallel)
-        ├── WorkerCrashError        # shard process died without a result
-        └── WorkerResultError       # shard returned an unusable result
+    ├── WorkerError                 # parallel harness (phase=parallel)
+    │   ├── WorkerCrashError        # shard process died without a result
+    │   └── WorkerResultError       # shard returned an unusable result
+    ├── CacheLockError              # shared-store locking (phase=cache)
+    └── ServiceError                # prediction service (phase=service)
+        ├── JobRejectedError        # breaker open / queue full: load shed
+        ├── JobQuarantinedError     # poison job isolated after crashes
+        └── JobDeadlineError        # service deadline passed; worker killed
 
 ``CompileError`` and ``AssemblerError`` keep their historical homes
 (:mod:`repro.bcc.errors`, :mod:`repro.isa.assembler`) and subclass
@@ -46,12 +51,17 @@ __all__ = [
     "WorkerError",
     "WorkerCrashError",
     "WorkerResultError",
+    "CacheLockError",
+    "ServiceError",
+    "JobRejectedError",
+    "JobQuarantinedError",
+    "JobDeadlineError",
     "PHASES",
 ]
 
 #: Pipeline phases a failure can be attributed to.
 PHASES = ("compile", "verify", "assemble", "link", "analyze", "simulate",
-          "parallel", "report")
+          "parallel", "cache", "service", "report")
 
 #: Structured context slots every ReproError carries.
 CONTEXT_FIELDS = ("benchmark", "dataset", "phase", "pc", "instr_count")
@@ -249,3 +259,49 @@ class WorkerCrashError(WorkerError):
 class WorkerResultError(WorkerError):
     """A shard returned a result the parent could not decode or that
     failed validation (pickling error, schema drift between versions)."""
+
+
+# -- shared-store locking errors ----------------------------------------------
+
+
+class CacheLockError(ReproError):
+    """A single-writer lease on a shared artifact-store key could not be
+    acquired before the deadline.
+
+    Raised only by the *waiting* acquire paths (callers that opted into
+    blocking); opportunistic writers treat contention as "someone else
+    is already producing this content" and skip silently.
+    """
+
+    phase = "cache"
+
+
+# -- prediction-service errors ------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """The prediction service could not execute a job.
+
+    These describe the *service's* decision about a job (shed, isolate,
+    abandon) rather than a pipeline failure inside it — every one is a
+    deliberate, typed degraded response, never a hang.
+    """
+
+    phase = "service"
+
+
+class JobRejectedError(ServiceError):
+    """The service shed this job instead of queueing it: the circuit
+    breaker is open, or the bounded queue is full.  Resubmit later."""
+
+
+class JobQuarantinedError(ServiceError):
+    """The job was classified as poison: it crashed its worker process
+    on enough consecutive attempts that the supervisor refuses to feed
+    it more workers."""
+
+
+class JobDeadlineError(ServiceError):
+    """The job exceeded its service-level deadline; the worker running
+    it was killed and respawned (distinct from the simulator's own
+    :class:`SimulationTimeout`, which fires inside a healthy worker)."""

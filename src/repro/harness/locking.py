@@ -1,0 +1,354 @@
+"""Advisory file locking and single-writer leases for the shared store.
+
+Many tenants — parallel shard workers, service worker pools, concurrent
+CLI invocations — share one on-disk :class:`~repro.harness.cache.
+ArtifactCache`.  Entry *reads* need no coordination (writes are atomic
+temp-file + ``rename``, so a reader sees either nothing or a complete
+entry), but uncoordinated *writers* waste work: N processes missing the
+same key all compile/simulate the same content and race to store it.
+This module provides the coordination primitive the cache builds on: a
+**single-writer lease per key**.
+
+Design: a lease is a small JSON record ``{"owner", "acquired_at",
+"expires_at"}`` stored in a per-key file under ``<root>/locks/``.  Every
+read-modify-write of that record happens under a short ``fcntl.flock``
+exclusive lock on the file itself (the *meta lock*, held for
+microseconds), so lease transitions are serialized across processes.
+The lease itself is **time-bounded**: a holder that crashes mid-write
+simply stops renewing, and the next acquirer *steals* the lease once
+``expires_at`` passes.  Liveness therefore never depends on a crashed
+process cleaning up — the two failure-recovery paths are
+
+* **stale lease** → stolen by the next acquirer after TTL expiry;
+* **orphaned lease file** → removed by the cache's startup sweep once
+  it has been expired for longer than the sweep age.
+
+``fcntl.flock`` is advisory and process-scoped: locks evaporate when
+the holder dies, which is exactly the crash-safety property we want for
+the meta lock.  (On the rare filesystems without ``flock`` support the
+lock call fails and the acquire path degrades to "contended", never to
+corruption — writers that cannot coordinate simply skip deduplication.)
+
+Chaos seam: ``REPRO_CHAOS_LEASE_TTL=<seconds>`` overrides every lease
+TTL (e.g. ``0.05`` forces rapid expiry so tests can exercise the steal
+path without waiting out a production TTL).
+
+Telemetry: ``harness.artifact_cache.lease_acquired`` / ``lease_stolen``
+/ ``lease_contended`` / ``lease_timeout`` counters and the
+``harness.artifact_cache.lease_wait_s`` histogram (observed by the
+waiting acquire path only).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro import telemetry as _telemetry
+from repro.errors import CacheLockError
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = [
+    "Lease", "LeaseInfo", "LeaseManager", "CHAOS_LEASE_TTL_ENV",
+    "DEFAULT_LEASE_TTL_S",
+]
+
+#: environment variable overriding every lease TTL (chaos seam)
+CHAOS_LEASE_TTL_ENV = "REPRO_CHAOS_LEASE_TTL"
+
+#: production default: long enough for any single compile+simulate+store
+DEFAULT_LEASE_TTL_S = 60.0
+
+
+@dataclass(frozen=True)
+class LeaseInfo:
+    """The on-disk lease record for one key."""
+
+    owner: str
+    acquired_at: float
+    expires_at: float
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+def _flock_exclusive(fd: int, blocking: bool) -> bool:
+    """Take the meta lock on *fd*; returns success.  ``False`` means the
+    lock is held elsewhere (non-blocking mode) or unsupported here."""
+    if fcntl is None:  # pragma: no cover - non-POSIX
+        return False
+    flags = fcntl.LOCK_EX | (0 if blocking else fcntl.LOCK_NB)
+    try:
+        fcntl.flock(fd, flags)
+        return True
+    except OSError:
+        return False
+
+
+def _funlock(fd: int) -> None:
+    if fcntl is not None:  # pragma: no cover - trivially guarded
+        with contextlib.suppress(OSError):
+            fcntl.flock(fd, fcntl.LOCK_UN)
+
+
+class Lease:
+    """An acquired single-writer lease; release promptly (or let the TTL
+    reclaim it after a crash).  Usable as a context manager."""
+
+    def __init__(self, manager: "LeaseManager", key: str, token: str,
+                 expires_at: float) -> None:
+        self._manager = manager
+        self.key = key
+        self.token = token
+        self.expires_at = expires_at
+        self.released = False
+
+    def renew(self) -> bool:
+        """Extend the lease by one TTL; ``False`` when it was lost
+        (expired and stolen) in the meantime."""
+        if self.released:
+            return False
+        expires = self._manager._transition(
+            self.key, expect_owner=self.token, write=True)
+        if expires is None:
+            return False
+        self.expires_at = expires
+        return True
+
+    def release(self) -> None:
+        """Give the lease up (idempotent; no-op if already stolen)."""
+        if self.released:
+            return
+        self.released = True
+        self._manager._transition(self.key, expect_owner=self.token,
+                                  write=False)
+
+    def __enter__(self) -> "Lease":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class LeaseManager:
+    """Mints per-key single-writer leases under ``<root>/locks/``.
+
+    Parameters
+    ----------
+    root:
+        Lock directory (shared store root; ``locks/`` is created under
+        it on demand).
+    ttl_s:
+        Lease time-to-live.  A holder that neither releases nor renews
+        within this window loses the lease to the next acquirer.
+    clock:
+        Injectable time source (must be comparable across the processes
+        sharing the store — the default ``time.time`` is; tests inject
+        a fake to drive expiry deterministically).
+    """
+
+    def __init__(self, root: str | os.PathLike,
+                 ttl_s: float = DEFAULT_LEASE_TTL_S,
+                 clock: Callable[[], float] = time.time) -> None:
+        self.root = Path(root)
+        self._ttl_s = float(ttl_s)
+        self.clock = clock
+
+    # -- paths / knobs ---------------------------------------------------------
+
+    @property
+    def locks_dir(self) -> Path:
+        return self.root / "locks"
+
+    @property
+    def ttl_s(self) -> float:
+        """Effective TTL (the chaos env override wins when set)."""
+        override = os.environ.get(CHAOS_LEASE_TTL_ENV)
+        if override:
+            with contextlib.suppress(ValueError):
+                return max(0.0, float(override))
+        return self._ttl_s
+
+    def lease_path(self, key: str) -> Path:
+        return self.locks_dir / key[:2] / f"{key[2:]}.lease"
+
+    # -- record plumbing -------------------------------------------------------
+
+    @staticmethod
+    def _read_record(fd: int) -> LeaseInfo | None:
+        try:
+            os.lseek(fd, 0, os.SEEK_SET)
+            blob = os.read(fd, 4096)
+            data = json.loads(blob)
+            return LeaseInfo(str(data["owner"]), float(data["acquired_at"]),
+                             float(data["expires_at"]))
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    @staticmethod
+    def _write_record(fd: int, info: LeaseInfo | None) -> None:
+        blob = b"" if info is None else json.dumps({
+            "owner": info.owner,
+            "acquired_at": info.acquired_at,
+            "expires_at": info.expires_at,
+        }).encode("ascii")
+        os.lseek(fd, 0, os.SEEK_SET)
+        os.truncate(fd, 0)
+        if blob:
+            os.write(fd, blob)
+
+    def _transition(self, key: str, expect_owner: str,
+                    write: bool) -> float | None:
+        """Renew (*write*) or clear the lease iff still owned by
+        *expect_owner*; returns the new expiry, or ``None`` when the
+        lease was lost."""
+        path = self.lease_path(key)
+        try:
+            fd = os.open(path, os.O_RDWR)
+        except OSError:
+            return None
+        try:
+            # blocking: release/renew critical sections are microseconds
+            if not _flock_exclusive(fd, blocking=True):
+                return None
+            try:
+                current = self._read_record(fd)
+                if current is None or current.owner != expect_owner:
+                    return None
+                if not write:
+                    self._write_record(fd, None)
+                    return current.expires_at
+                now = self.clock()
+                renewed = LeaseInfo(expect_owner, current.acquired_at,
+                                    now + self.ttl_s)
+                self._write_record(fd, renewed)
+                return renewed.expires_at
+            finally:
+                _funlock(fd)
+        finally:
+            os.close(fd)
+
+    # -- acquisition -----------------------------------------------------------
+
+    def holder(self, key: str) -> LeaseInfo | None:
+        """The currently *valid* lease on *key*, or ``None``."""
+        path = self.lease_path(key)
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return None
+        try:
+            info = self._read_record(fd)
+        finally:
+            os.close(fd)
+        if info is None or info.expired(self.clock()):
+            return None
+        return info
+
+    def try_acquire(self, key: str) -> Lease | None:
+        """One non-blocking acquisition attempt (stealing an expired
+        lease counts as success); ``None`` when another owner holds a
+        valid lease or the meta lock itself is contended."""
+        tm = _telemetry.get()
+        path = self.lease_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        token = f"{os.getpid()}:{uuid.uuid4().hex[:12]}"
+        try:
+            fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+        except OSError:
+            return None
+        try:
+            if not _flock_exclusive(fd, blocking=False):
+                tm.counter("harness.artifact_cache.lease_contended").inc()
+                return None
+            try:
+                now = self.clock()
+                current = self._read_record(fd)
+                if (current is not None and not current.expired(now)):
+                    tm.counter(
+                        "harness.artifact_cache.lease_contended").inc()
+                    return None
+                stolen = current is not None and current.expired(now)
+                info = LeaseInfo(token, now, now + self.ttl_s)
+                self._write_record(fd, info)
+                if stolen:
+                    tm.counter("harness.artifact_cache.lease_stolen").inc()
+                tm.counter("harness.artifact_cache.lease_acquired").inc()
+                return Lease(self, key, token, info.expires_at)
+            finally:
+                _funlock(fd)
+        finally:
+            os.close(fd)
+
+    def acquire(self, key: str, timeout_s: float = 10.0,
+                poll_s: float = 0.02) -> Lease:
+        """Waiting acquisition: polls until the lease is free, stolen,
+        or *timeout_s* elapses (then raises
+        :class:`~repro.errors.CacheLockError` — callers surface it as a
+        typed degraded response, never a hang)."""
+        tm = _telemetry.get()
+        start = time.monotonic()
+        while True:
+            lease = self.try_acquire(key)
+            waited = time.monotonic() - start
+            if lease is not None:
+                tm.histogram("harness.artifact_cache.lease_wait_s").observe(
+                    waited)
+                return lease
+            if waited >= timeout_s:
+                tm.counter("harness.artifact_cache.lease_timeout").inc()
+                raise CacheLockError(
+                    f"single-writer lease on {key[:12]}... not acquired "
+                    f"within {timeout_s:.1f}s (held by "
+                    f"{self.holder(key) or 'a racing acquirer'})")
+            time.sleep(min(poll_s, max(0.0, timeout_s - waited)))
+
+    # -- maintenance -----------------------------------------------------------
+
+    def sweep(self, max_age_s: float) -> int:
+        """Remove lease files that have been *expired* (or empty) for
+        more than *max_age_s* seconds; returns the number removed.
+
+        Active and recently-expired leases are left alone, so a sweep
+        can never break a live writer; see the module docstring for the
+        (harmless) unlink race with a concurrent acquirer.
+        """
+        if not self.locks_dir.is_dir():
+            return 0
+        removed = 0
+        now = self.clock()
+        wall = time.time()
+        for path in self.locks_dir.glob("*/*.lease"):
+            try:
+                fd = os.open(path, os.O_RDWR)
+            except OSError:
+                continue
+            try:
+                if not _flock_exclusive(fd, blocking=False):
+                    continue
+                try:
+                    info = self._read_record(fd)
+                    if info is None:
+                        # empty/garbage record: age by file mtime
+                        with contextlib.suppress(OSError):
+                            if wall - path.stat().st_mtime > max_age_s:
+                                path.unlink(missing_ok=True)
+                                removed += 1
+                    elif now - info.expires_at > max_age_s:
+                        path.unlink(missing_ok=True)
+                        removed += 1
+                finally:
+                    _funlock(fd)
+            finally:
+                os.close(fd)
+        return removed

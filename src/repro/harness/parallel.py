@@ -35,17 +35,18 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, sleep
 
 from repro import telemetry as _telemetry
 from repro.bench.suite import Benchmark, get
 from repro.core.classify import ProgramAnalysis, classify_branches
 from repro.errors import (
-    ReproError, SimulationLimitExceeded, SimulationTimeout, WorkerCrashError,
-    WorkerError, WorkerResultError,
+    ReproError, SimulationTimeout, WorkerCrashError, WorkerError,
+    WorkerResultError,
 )
 from repro.harness.cache import ArtifactCache, compile_key, run_key
 from repro.harness.resilience import RunStatus, classify_failure
+from repro.harness.retry import RetryPolicy
 from repro.isa.program import Executable
 from repro.sim import Machine
 from repro.sim.profile import EdgeProfile
@@ -53,11 +54,30 @@ from repro.telemetry.core import Telemetry, TelemetrySnapshot
 
 __all__ = [
     "ShardJob", "ShardResult", "ParallelEngine", "run_shard",
-    "compile_artifact", "CHAOS_WORKER_CRASH_ENV",
+    "compile_artifact", "CHAOS_WORKER_CRASH_ENV", "CHAOS_SLOW_WORKER_ENV",
 ]
 
 #: environment variable naming a benchmark whose shard worker must die
 CHAOS_WORKER_CRASH_ENV = "REPRO_CHAOS_WORKER_CRASH"
+
+#: ``<benchmark>:<seconds>`` (or ``*:<seconds>`` for every benchmark):
+#: the matching shard worker sleeps before executing, simulating a
+#: wedged / overloaded worker for deadline and supervision tests
+CHAOS_SLOW_WORKER_ENV = "REPRO_CHAOS_SLOW_WORKER"
+
+
+def _chaos_slow_delay(benchmark: str) -> float:
+    """Injected pre-execution delay for *benchmark* (0 when none)."""
+    spec = os.environ.get(CHAOS_SLOW_WORKER_ENV, "")
+    if not spec:
+        return 0.0
+    target, _, seconds = spec.partition(":")
+    if target not in ("*", benchmark):
+        return 0.0
+    try:
+        return max(0.0, float(seconds))
+    except ValueError:
+        return 0.0
 
 
 # --------------------------------------------------------------------------
@@ -87,6 +107,10 @@ class ShardJob:
     #: True when *preseeded* is a sabotaged artifact: bypass the cache
     #: entirely (its content does not correspond to the source key)
     poisoned: bool = False
+    #: >0: when another tenant holds the writer lease for this run key,
+    #: wait up to this long for their entry instead of recomputing
+    #: (lock-aware read; the service sets this, batch runs leave it 0)
+    lease_wait_s: float = 0.0
 
 
 @dataclass
@@ -177,6 +201,9 @@ def run_shard(job: ShardJob) -> ShardResult:
     if os.environ.get(CHAOS_WORKER_CRASH_ENV) == job.benchmark:
         # chaos seam: simulate a hard worker death (no cleanup, no result)
         os._exit(17)
+    delay = _chaos_slow_delay(job.benchmark)
+    if delay > 0:
+        sleep(delay)
     sink = Telemetry(enabled=job.collect_telemetry)
     with _telemetry.use(sink):
         result = _run_shard_inner(job)
@@ -244,7 +271,11 @@ def _run_shard_inner(job: ShardJob) -> ShardResult:
             rkey = run_key(ckey, job.dataset, job.inputs, job.fuel_budget,
                            job.max_memory_bytes, job.retry_fuel_factor,
                            version=cache.version)
-            entry = cache.get(rkey, "run")
+            if job.lease_wait_s > 0:
+                entry = cache.get_or_wait(rkey, "run",
+                                          timeout_s=job.lease_wait_s)
+            else:
+                entry = cache.get(rkey, "run")
             if entry is not None:
                 if entry.get("ok"):
                     return ShardResult(
@@ -262,27 +293,24 @@ def _run_shard_inner(job: ShardJob) -> ShardResult:
                     retried=entry.get("retried", False),
                     cache_stats=cache.stats())
 
-        # -- execute (with the serial runner's transient-fuel retry) ---------
-        retried = False
-        try:
-            profile, status = _simulate(job, executable, job.fuel_budget, tm)
-        except ReproError as exc:
-            exc.with_context(benchmark=job.benchmark, dataset=job.dataset)
-            transient = (isinstance(exc, SimulationLimitExceeded)
-                         and not isinstance(exc, SimulationTimeout)
-                         and job.retry_fuel_factor > 1)
-            if not transient:
-                return _failure(job, exc, cache, rkey)
-            retried = True
-            tm.counter("harness.retries").inc()
+        # -- execute (same RetryPolicy semantics as the serial runner) -------
+        policy = RetryPolicy.from_fuel_factor(job.retry_fuel_factor)
+        attempt = 1
+        while True:
             try:
                 profile, status = _simulate(
                     job, executable,
-                    job.fuel_budget * job.retry_fuel_factor, tm)
-            except ReproError as exc2:
-                exc2.with_context(benchmark=job.benchmark,
-                                  dataset=job.dataset)
-                return _failure(job, exc2, cache, rkey, retried=True)
+                    job.fuel_budget * policy.fuel_scale(attempt), tm)
+                break
+            except ReproError as exc:
+                exc.with_context(benchmark=job.benchmark,
+                                 dataset=job.dataset)
+                if not policy.should_retry(exc, attempt):
+                    return _failure(job, exc, cache, rkey,
+                                    retried=attempt > 1)
+                attempt += 1
+                tm.counter("harness.retries").inc()
+        retried = attempt > 1
 
         if cache is not None:
             cache.put(rkey, "run", {

@@ -47,8 +47,9 @@ from time import perf_counter
 from repro import telemetry as _telemetry
 from repro.bench.suite import Benchmark, Dataset, get, suite
 from repro.core.classify import ProgramAnalysis, classify_branches
-from repro.errors import ReproError, SimulationLimitExceeded, SimulationTimeout
+from repro.errors import ReproError
 from repro.harness.cache import ArtifactCache, compile_key, run_key
+from repro.harness.retry import RetryPolicy
 from repro.isa.program import Executable
 from repro.sim import Machine
 from repro.sim.profile import EdgeProfile
@@ -193,6 +194,13 @@ class SuiteRunner:
     def _effective_retry_factor(self) -> int:
         """Strict mode never retries (the historical behavior)."""
         return self.retry_fuel_factor if not self.strict else 1
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The transient-retry policy this runner executes under
+        (shared classification with the parallel shard worker — see
+        :mod:`repro.harness.retry`)."""
+        return RetryPolicy.from_fuel_factor(self._effective_retry_factor)
 
     @staticmethod
     def _override(table: dict, name: str, dataset: str):
@@ -400,34 +408,28 @@ class SuiteRunner:
                     outcome = self._outcome_from_entry(name, dataset, entry)
                     if outcome is not None:
                         return outcome
-            try:
-                run = self._execute(name, dataset)
-            except ReproError as exc:
-                transient = (isinstance(exc, SimulationLimitExceeded)
-                             and not isinstance(exc, SimulationTimeout)
-                             and self.retry_fuel_factor > 1)
-                if self.strict or not transient:
+            policy = self.retry_policy
+            attempt = 1
+            while True:
+                try:
+                    run = self._execute(
+                        name, dataset, fuel_scale=policy.fuel_scale(attempt))
+                    break
+                except ReproError as exc:
                     if self.strict:
                         self._store_failure_entry(cache, rkey, exc,
                                                   retried=False)
                         raise
-                    outcome = self._failure_outcome(
-                        name, dataset, classify_failure(exc), exc)
-                    self._store_failure_entry(cache, rkey, exc,
-                                              retried=False)
-                    return outcome
-                retried = True
-                tm.counter("harness.retries").inc()
-                try:
-                    run = self._execute(name, dataset,
-                                        fuel_scale=self.retry_fuel_factor)
-                except ReproError as exc2:
-                    outcome = self._failure_outcome(
-                        name, dataset, classify_failure(exc2), exc2,
-                        retried=True)
-                    self._store_failure_entry(cache, rkey, exc2,
-                                              retried=True)
-                    return outcome
+                    if not policy.should_retry(exc, attempt):
+                        outcome = self._failure_outcome(
+                            name, dataset, classify_failure(exc), exc,
+                            retried=attempt > 1)
+                        self._store_failure_entry(cache, rkey, exc,
+                                                  retried=attempt > 1)
+                        return outcome
+                    attempt += 1
+                    retried = True
+                    tm.counter("harness.retries").inc()
         self._runs[key] = run
         if rkey is not None:
             cache.put(rkey, "run", {
@@ -493,7 +495,8 @@ class SuiteRunner:
             # fold worker-side cache traffic into the parent's counters so
             # stats()/CLI footers reflect the whole batch, not just the
             # parent process
-            for field_name in ("hits", "misses", "corrupt", "stores"):
+            for field_name in ("hits", "misses", "corrupt", "stores",
+                               "store_skipped", "tmp_swept", "leases_swept"):
                 current = getattr(self.cache, field_name)
                 setattr(self.cache, field_name,
                         current + result.cache_stats.get(field_name, 0))

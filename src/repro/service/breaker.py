@@ -1,0 +1,162 @@
+"""Circuit breaker: shed load explicitly instead of hanging.
+
+When the execution engine itself is unhealthy — workers crashing,
+deadlines blowing, pools breaking — piling more jobs onto it multiplies
+the damage: every queued job waits out a full crash-respawn cycle just
+to learn what the last one already proved.  The breaker watches
+*engine-side* failures (worker crashes, service deadlines — **not**
+deterministic benchmark failures, which are successful job executions
+from the engine's point of view) and trips **open** once they
+accumulate; while open, the engine turns new submissions into immediate
+typed :class:`~repro.errors.JobRejectedError` responses.  After a
+cooldown the breaker goes **half-open** and admits a limited number of
+probe jobs; a probe success closes it, a probe failure re-opens it.
+
+The classic three-state machine (Nygard, *Release It!*), sized for this
+service: failures are counted in a sliding window so one bad hour last
+week cannot keep the breaker twitchy forever.
+
+Chaos seam: ``REPRO_CHAOS_BREAKER_TRIP=1`` forces the breaker open at
+construction — how tests and drills exercise the shed path on a healthy
+engine.
+
+Telemetry: ``service.breaker_state`` gauge (0 closed / 1 half-open /
+2 open), ``service.breaker_trips`` counter.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import time
+from collections import deque
+from typing import Callable
+
+from repro import telemetry as _telemetry
+
+__all__ = ["BreakerState", "CircuitBreaker", "CHAOS_BREAKER_TRIP_ENV"]
+
+#: force the breaker open at construction (chaos seam)
+CHAOS_BREAKER_TRIP_ENV = "REPRO_CHAOS_BREAKER_TRIP"
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"          #: healthy: all traffic admitted
+    OPEN = "open"              #: tripped: all traffic shed
+    HALF_OPEN = "half-open"    #: probing: limited traffic admitted
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: gauge encoding (monotone in severity, so peak-merge keeps the worst)
+_STATE_GAUGE = {BreakerState.CLOSED: 0, BreakerState.HALF_OPEN: 1,
+                BreakerState.OPEN: 2}
+
+
+class CircuitBreaker:
+    """Sliding-window circuit breaker for engine-side failures.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Trips open when this many failures land within *window_s*.
+    window_s:
+        Sliding failure-counting window.
+    cooldown_s:
+        Seconds to stay open before probing (half-open).
+    half_open_probes:
+        Concurrent probe admissions allowed while half-open.
+    clock:
+        Injectable monotonic time source (tests drive expiry with a
+        fake; single-process state, so monotonic is right here).
+    """
+
+    def __init__(self, failure_threshold: int = 5, window_s: float = 30.0,
+                 cooldown_s: float = 5.0, half_open_probes: int = 1,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.failure_threshold = max(1, failure_threshold)
+        self.window_s = window_s
+        self.cooldown_s = cooldown_s
+        self.half_open_probes = max(1, half_open_probes)
+        self.clock = clock
+        self.state = BreakerState.CLOSED
+        self.trips = 0
+        self._failures: deque[float] = deque()
+        self._opened_at = 0.0
+        self._probes_out = 0
+        if os.environ.get(CHAOS_BREAKER_TRIP_ENV):
+            self._trip()
+        else:
+            self._publish()
+
+    # -- state machine ---------------------------------------------------------
+
+    def _publish(self) -> None:
+        _telemetry.get().gauge("service.breaker_state").set(
+            _STATE_GAUGE[self.state])
+
+    def _trip(self) -> None:
+        self.state = BreakerState.OPEN
+        self.trips += 1
+        self._opened_at = self.clock()
+        self._probes_out = 0
+        _telemetry.get().counter("service.breaker_trips").inc()
+        self._publish()
+
+    def _prune(self, now: float) -> None:
+        while self._failures and now - self._failures[0] > self.window_s:
+            self._failures.popleft()
+
+    def allow(self) -> bool:
+        """Whether a new job may be admitted right now.
+
+        Open → ``False`` until the cooldown elapses, then half-open with
+        a bounded number of probe admissions.  Every ``True`` from a
+        half-open breaker **must** be matched by a later
+        :meth:`record_success` or :meth:`record_failure`.
+        """
+        now = self.clock()
+        if self.state is BreakerState.OPEN:
+            if now - self._opened_at < self.cooldown_s:
+                return False
+            self.state = BreakerState.HALF_OPEN
+            self._probes_out = 0
+            self._publish()
+        if self.state is BreakerState.HALF_OPEN:
+            if self._probes_out >= self.half_open_probes:
+                return False
+            self._probes_out += 1
+            return True
+        return True
+
+    def record_success(self) -> None:
+        """An admitted job executed without engine-side failure."""
+        if self.state is BreakerState.HALF_OPEN:
+            self.state = BreakerState.CLOSED
+            self._failures.clear()
+            self._probes_out = 0
+            self._publish()
+
+    def record_failure(self) -> None:
+        """An engine-side failure (worker crash, service deadline)."""
+        now = self.clock()
+        if self.state is BreakerState.HALF_OPEN:
+            self._trip()
+            return
+        self._failures.append(now)
+        self._prune(now)
+        if (self.state is BreakerState.CLOSED
+                and len(self._failures) >= self.failure_threshold):
+            self._trip()
+
+    # -- introspection ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        now = self.clock()
+        self._prune(now)
+        return {"state": self.state.value, "trips": self.trips,
+                "recent_failures": len(self._failures),
+                "cooldown_remaining_s": max(
+                    0.0, self.cooldown_s - (now - self._opened_at))
+                if self.state is BreakerState.OPEN else 0.0}

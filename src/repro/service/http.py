@@ -1,0 +1,172 @@
+"""Minimal stdlib HTTP/1.1 front end for the job engine.
+
+No web framework in the toolchain, and none needed: the service speaks
+a deliberately tiny dialect — one request per connection, JSON bodies,
+``Connection: close`` — implemented directly over
+:func:`asyncio.start_server`.  Malformed input never reaches the
+engine: every parse/validation failure is its own typed 4xx JSON
+response.
+
+Routes::
+
+    GET  /healthz        liveness (the engine accepted the socket)
+    GET  /stats          JobEngine.stats() snapshot
+    GET  /metrics        Prometheus text exposition of live telemetry
+    POST /jobs           submit a JobRequest; {"wait": true} blocks
+    GET  /jobs/<id>      poll one job record
+
+Status mapping: ``202`` queued/running, ``200`` done (or degraded-but-
+typed terminal), ``400`` malformed, ``404`` unknown id/route, ``503``
+load shed (breaker open / queue full) — the one distinction clients
+retry on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro import telemetry as _telemetry
+from repro.errors import ReproError
+from repro.service.engine import JobEngine
+from repro.service.jobs import JobRequest, JobState
+from repro.telemetry.export import to_prometheus
+
+__all__ = ["ServiceHTTP"]
+
+_MAX_BODY = 1 << 20  # 1 MiB request-body cap
+
+
+class ServiceHTTP:
+    """One HTTP listener bound to one :class:`JobEngine`."""
+
+    def __init__(self, engine: JobEngine, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- wire handling ---------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            status, content_type, body = await self._respond(reader)
+        except Exception as exc:  # defensive: never drop the connection
+            status, content_type, body = 500, "application/json", json.dumps(
+                {"error": {"code": "internal",
+                           "message": f"{type(exc).__name__}: {exc}"}})
+        payload = body.encode()
+        writer.write(
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n".encode() + payload)
+        try:
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+
+    async def _respond(self, reader) -> tuple[int, str, str]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) < 2:
+            return _json_error(400, "bad-request", "malformed request line")
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return _json_error(400, "bad-request",
+                                       "unreadable Content-Length")
+        if content_length > _MAX_BODY:
+            return _json_error(400, "bad-request", "request body too large")
+        body = (await reader.readexactly(content_length)
+                if content_length else b"")
+        return await self._route(method, path, body)
+
+    # -- routing ---------------------------------------------------------------
+
+    async def _route(self, method: str, path: str,
+                     body: bytes) -> tuple[int, str, str]:
+        if method == "GET" and path == "/healthz":
+            return 200, "application/json", json.dumps({"ok": True})
+        if method == "GET" and path == "/stats":
+            return (200, "application/json",
+                    json.dumps(self.engine.stats()))
+        if method == "GET" and path == "/metrics":
+            return (200, "text/plain; version=0.0.4",
+                    to_prometheus(_telemetry.get()))
+        if method == "POST" and path == "/jobs":
+            return await self._submit(body)
+        if method == "GET" and path.startswith("/jobs/"):
+            record = self.engine.records.get(path[len("/jobs/"):])
+            if record is None:
+                return _json_error(404, "not-found", "unknown job id")
+            return (_status_for(record), "application/json",
+                    json.dumps(record.to_dict()))
+        return _json_error(404, "not-found", f"no route {method} {path}")
+
+    async def _submit(self, body: bytes) -> tuple[int, str, str]:
+        try:
+            data = json.loads(body.decode() or "{}")
+        except (ValueError, UnicodeDecodeError):
+            return _json_error(400, "bad-request",
+                               "request body is not valid JSON")
+        try:
+            request = JobRequest.from_dict(data)
+        except ReproError as exc:
+            return 400, "application/json", json.dumps(
+                {"error": exc.to_dict()})
+        wait = bool(data.get("wait", False))
+        timeout_s = data.get("wait_timeout_s")
+        record = self.engine.submit(request)
+        if wait and not record.finished:
+            try:
+                await self.engine.wait(record.id, timeout_s)
+            except asyncio.TimeoutError:
+                pass  # report the live record as-is (202)
+        return (_status_for(record), "application/json",
+                json.dumps(record.to_dict()))
+
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+
+def _status_for(record) -> int:
+    if not record.finished:
+        return 202
+    if record.state is JobState.REJECTED:
+        return 503
+    return 200
+
+
+def _json_error(status: int, code: str, message: str):
+    return status, "application/json", json.dumps(
+        {"error": {"code": code, "message": message}})

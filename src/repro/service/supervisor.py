@@ -1,0 +1,253 @@
+"""Supervised process-pool worker slots for the prediction service.
+
+The PR-5 :class:`~repro.harness.parallel.ParallelEngine` is a *batch*
+engine: one shared pool per batch, and a worker death breaks the whole
+pool (every sibling future poisons with ``BrokenProcessPool``) before
+the crash-isolation retry cleans up.  A long-running service cannot
+afford batch blast radius, so the supervisor partitions differently:
+**one single-worker pool per slot**.  A dying worker breaks exactly its
+own slot; the supervisor respawns the slot and the job engine decides
+whether the *job* deserves another worker (or quarantine, if it keeps
+killing them).
+
+Supervision duties:
+
+* **crash containment + respawn** — a ``BrokenProcessPool`` on one slot
+  converts to a typed :class:`~repro.errors.WorkerCrashError` and the
+  slot is respawned immediately (counted in ``service.worker_respawns``);
+* **deadline enforcement** — a job that outlives its service deadline
+  gets its worker *killed* (``SIGKILL``; a wedged simulator cannot be
+  asked nicely) and surfaces as :class:`~repro.errors.JobDeadlineError`;
+* **health checks** — idle slots are periodically pinged with a trivial
+  round-trip; an unresponsive slot is killed and respawned before a
+  real job is ever dispatched to it.
+
+Slots are handed out through an :class:`asyncio.Queue`, which doubles
+as the backpressure seam: dispatch naturally blocks while every worker
+is busy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from time import perf_counter
+from typing import Callable
+
+import multiprocessing
+
+from repro import telemetry as _telemetry
+from repro.errors import JobDeadlineError, WorkerCrashError, WorkerResultError
+
+__all__ = ["WorkerSlot", "WorkerSupervisor"]
+
+
+def _health_ping() -> int:
+    """Trivial round-trip executed inside a worker (module-level so it
+    pickles)."""
+    return os.getpid()
+
+
+def _swallow(future) -> None:
+    """Detach an abandoned executor future (killed worker) so its
+    exception is consumed, not warned about at interpreter exit."""
+    future.add_done_callback(
+        lambda f: f.exception() if not f.cancelled() else None)
+
+
+class WorkerSlot:
+    """One supervised worker: a dedicated single-process pool."""
+
+    def __init__(self, index: int, context) -> None:
+        self.index = index
+        self.context = context
+        self.pool: ProcessPoolExecutor | None = None
+        self.respawns = 0
+        self.busy = False
+
+    def spawn(self) -> None:
+        self.pool = ProcessPoolExecutor(max_workers=1,
+                                        mp_context=self.context)
+        # force the worker process to fork NOW, not lazily at the first
+        # job: a lazy fork would inherit whatever client sockets happen
+        # to be open at dispatch time, keeping them alive (no EOF to the
+        # peer) for the worker's whole lifetime
+        _swallow(self.pool.submit(_health_ping))
+
+    def kill(self) -> None:
+        """Hard-kill the slot's worker process and retire the pool."""
+        pool = self.pool
+        self.pool = None
+        if pool is None:
+            return
+        # the executor has no public "kill the worker" — reach into the
+        # process table; shutdown() alone would block on the wedged job
+        processes = getattr(pool, "_processes", None)
+        if processes:
+            for proc in list(processes.values()):
+                try:
+                    proc.kill()
+                except (OSError, ValueError):
+                    pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def respawn(self) -> None:
+        self.kill()
+        self.respawns += 1
+        _telemetry.get().counter("service.worker_respawns").inc()
+        self.spawn()
+
+
+class WorkerSupervisor:
+    """Owns the worker slots; runs jobs and health checks over them.
+
+    Parameters
+    ----------
+    workers:
+        Slot count (= max concurrently executing jobs).
+    exec_fn:
+        Module-level picklable function a job order is executed with
+        (the engine passes its order executor; tests inject stubs).
+    start_method:
+        Multiprocessing start method (default: ``fork`` where
+        available, matching the parallel engine).
+    health_interval_s:
+        Period of the background health-check loop (``0`` disables it;
+        :meth:`health_check` stays callable directly).
+    health_timeout_s:
+        Ping round-trip budget before a slot is declared wedged.
+    """
+
+    def __init__(self, workers: int = 2,
+                 exec_fn: Callable | None = None,
+                 start_method: str | None = None,
+                 health_interval_s: float = 5.0,
+                 health_timeout_s: float = 10.0) -> None:
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.context = multiprocessing.get_context(start_method)
+        self.exec_fn = exec_fn
+        self.health_interval_s = health_interval_s
+        self.health_timeout_s = health_timeout_s
+        self.slots = [WorkerSlot(i, self.context) for i in range(workers)]
+        self._free: asyncio.Queue[WorkerSlot] | None = None
+        self._health_task: asyncio.Task | None = None
+        self.started = False
+
+    @property
+    def respawns(self) -> int:
+        return sum(slot.respawns for slot in self.slots)
+
+    # -- life cycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self.started:
+            return
+        self._free = asyncio.Queue()
+        for slot in self.slots:
+            slot.spawn()
+            self._free.put_nowait(slot)
+        if self.health_interval_s > 0:
+            self._health_task = asyncio.create_task(self._health_loop())
+        self.started = True
+
+    async def stop(self) -> None:
+        if not self.started:
+            return
+        self.started = False
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        for slot in self.slots:
+            slot.kill()
+
+    # -- job execution ---------------------------------------------------------
+
+    async def run_job(self, order, deadline_s: float | None = None):
+        """Execute *order* on the next free slot.
+
+        Raises :class:`WorkerCrashError` (slot respawned),
+        :class:`JobDeadlineError` (worker killed, slot respawned), or
+        :class:`WorkerResultError` (undecodable result); anything else
+        the order's own executor returned comes back as-is.
+        """
+        assert self._free is not None, "supervisor not started"
+        slot = await self._free.get()
+        slot.busy = True
+        try:
+            return await self._run_on(slot, order, deadline_s)
+        finally:
+            slot.busy = False
+            self._free.put_nowait(slot)
+
+    async def _run_on(self, slot: WorkerSlot, order,
+                      deadline_s: float | None):
+        loop = asyncio.get_running_loop()
+        start = perf_counter()
+        future = loop.run_in_executor(slot.pool, self.exec_fn, order)
+        try:
+            if deadline_s is not None:
+                result = await asyncio.wait_for(
+                    asyncio.shield(future), deadline_s)
+            else:
+                result = await future
+        except asyncio.TimeoutError:
+            _swallow(future)
+            slot.respawn()
+            raise JobDeadlineError(
+                f"job exceeded its {deadline_s:.1f}s service deadline on "
+                f"worker slot {slot.index} (elapsed "
+                f"{perf_counter() - start:.1f}s); worker killed")
+        except (BrokenProcessPool, OSError) as exc:
+            slot.respawn()
+            raise WorkerCrashError(
+                f"worker slot {slot.index} died mid-job: "
+                f"{type(exc).__name__}: {exc}")
+        if result is None or isinstance(result, (int, str, bytes)):
+            raise WorkerResultError(
+                f"worker slot {slot.index} returned an unusable result "
+                f"({type(result).__name__})")
+        return result
+
+    # -- health checks ---------------------------------------------------------
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.health_interval_s)
+            await self.health_check()
+
+    async def health_check(self) -> int:
+        """Ping every currently-idle slot; kill + respawn unresponsive
+        ones.  Returns the number of slots respawned."""
+        assert self._free is not None, "supervisor not started"
+        tm = _telemetry.get()
+        idle: list[WorkerSlot] = []
+        while True:
+            try:
+                idle.append(self._free.get_nowait())
+            except asyncio.QueueEmpty:
+                break
+        respawned = 0
+        loop = asyncio.get_running_loop()
+        try:
+            for slot in idle:
+                tm.counter("service.health_checks").inc()
+                future = loop.run_in_executor(slot.pool, _health_ping)
+                try:
+                    await asyncio.wait_for(asyncio.shield(future),
+                                           self.health_timeout_s)
+                except (asyncio.TimeoutError, BrokenProcessPool, OSError):
+                    _swallow(future)
+                    slot.respawn()
+                    respawned += 1
+        finally:
+            for slot in idle:
+                self._free.put_nowait(slot)
+        return respawned

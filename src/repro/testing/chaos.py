@@ -23,20 +23,80 @@ Guarantees the fault-injection test suite checks against:
 from __future__ import annotations
 
 import dataclasses
+import os
+from contextlib import contextmanager
 
 from repro.errors import ReproError
+from repro.harness.cache import CHAOS_LOCK_HOLD_ENV
+from repro.harness.locking import CHAOS_LEASE_TTL_ENV
+from repro.harness.parallel import (
+    CHAOS_SLOW_WORKER_ENV, CHAOS_WORKER_CRASH_ENV,
+)
 from repro.harness.runner import SuiteRunner
 from repro.isa.instructions import Instruction, Kind, Opcode
 from repro.isa.program import Executable, Procedure, TEXT_BASE, WORD_SIZE
+from repro.service.breaker import CHAOS_BREAKER_TRIP_ENV
 
 __all__ = [
-    "FAULTS", "clone_executable", "corrupt_branch_targets", "corrupt_opcode",
-    "sabotage",
+    "FAULTS", "ENV_SEAMS", "chaos_env", "clone_executable",
+    "corrupt_branch_targets", "corrupt_opcode", "sabotage",
+    "CHAOS_WORKER_CRASH_ENV", "CHAOS_SLOW_WORKER_ENV",
+    "CHAOS_LOCK_HOLD_ENV", "CHAOS_LEASE_TTL_ENV", "CHAOS_BREAKER_TRIP_ENV",
 ]
 
 #: fault names accepted by :func:`sabotage` (parametrize tests over these)
 FAULTS = ("compile", "opcode", "branch-target", "inputs", "fuel", "memory",
           "skip")
+
+#: the process-level chaos seams, by short name.  These are injected via
+#: environment variables (not runner seams) because their blast radius is
+#: a *process*: worker death, a wedged/slow worker, lease-TTL expiry
+#: under contention, artificially long lease holds, and a circuit
+#: breaker forced open at construction.  Forked workers inherit them,
+#: which is exactly the point.
+ENV_SEAMS = {
+    "worker-crash": CHAOS_WORKER_CRASH_ENV,    # <benchmark>
+    "slow-worker": CHAOS_SLOW_WORKER_ENV,      # <benchmark|*>:<seconds>
+    "lock-hold": CHAOS_LOCK_HOLD_ENV,          # <seconds>
+    "lease-ttl": CHAOS_LEASE_TTL_ENV,          # <seconds>
+    "breaker-trip": CHAOS_BREAKER_TRIP_ENV,    # any non-empty value
+}
+
+
+@contextmanager
+def chaos_env(**seams: str | float | None):
+    """Set process-level chaos seams for the duration of a block.
+
+    Keyword names are :data:`ENV_SEAMS` keys with ``-`` spelled ``_``
+    (``worker_crash="queens"``, ``lock_hold=0.2``); values are coerced
+    to strings, ``None`` unsets the seam.  Previous values are restored
+    on exit even when the block raises — chaos must never leak between
+    tests.
+
+    Note that already-forked worker processes keep the environment they
+    were born with; arm seams *before* starting pools/engines when the
+    fault must fire inside workers.
+    """
+    saved: dict[str, str | None] = {}
+    try:
+        for name, value in seams.items():
+            env = ENV_SEAMS.get(name.replace("_", "-"))
+            if env is None:
+                raise ValueError(
+                    f"unknown chaos seam {name!r} (expected one of "
+                    f"{', '.join(k.replace('-', '_') for k in ENV_SEAMS)})")
+            saved[env] = os.environ.get(env)
+            if value is None:
+                os.environ.pop(env, None)
+            else:
+                os.environ[env] = str(value)
+        yield
+    finally:
+        for env, value in saved.items():
+            if value is None:
+                os.environ.pop(env, None)
+            else:
+                os.environ[env] = value
 
 #: opcode that no dispatch arm implements — executing it must raise a typed
 #: SimulationError, not corrupt state silently

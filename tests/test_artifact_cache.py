@@ -145,7 +145,9 @@ def test_roundtrip_arbitrary_payloads(tmp_path_factory, payload):
 def test_miss_on_absent_key(cache):
     assert cache.get("0" * 64, "run") is None
     assert cache.stats() == {"hits": 0, "misses": 1, "corrupt": 0,
-                             "stores": 0, "entries": 0}
+                             "stores": 0, "store_skipped": 0,
+                             "tmp_swept": 0, "leases_swept": 0,
+                             "entries": 0}
 
 
 def _entry_path(cache, key):

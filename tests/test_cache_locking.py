@@ -1,0 +1,331 @@
+"""Concurrency-safety tests for the shared artifact store.
+
+Three layers (docs/robustness.md "The shared store"):
+
+* **lease protocol** — single-writer TTL leases: at most one valid
+  holder per key at any instant, expired leases are stolen (crash
+  recovery without cleanup), release/renew are owner-checked so a
+  stale holder can never clobber its successor.  The hypothesis state
+  machine drives arbitrary acquire/expire/steal orderings against a
+  model with an injected clock.
+* **cache integration** — ``put`` skips (never tears) under
+  contention, ``get_or_wait`` waits out a racing writer and picks up
+  the published entry, the startup sweep reclaims orphaned temp files
+  and stale leases without touching fresh ones.
+* **multi-process byte-identity** — N real processes hammering one
+  store for the same key produce results byte-identical to a serial
+  run, one entry on disk, and no temp-file litter.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import multiprocessing
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.suite import get
+from repro.errors import CacheLockError
+from repro.harness.cache import ArtifactCache, run_key
+from repro.harness.locking import LeaseManager
+from repro.harness.parallel import ShardJob, run_shard
+from repro.testing.chaos import chaos_env
+
+KEY = "ab" + "c" * 62
+OTHER = "cd" + "e" * 62
+
+
+class FakeClock:
+    """Deterministic, manually-advanced time source."""
+
+    def __init__(self, now: float = 1_000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def leases(tmp_path, clock):
+    return LeaseManager(tmp_path, ttl_s=10.0, clock=clock)
+
+
+# -- lease protocol -----------------------------------------------------------
+
+def test_acquire_holder_release_roundtrip(leases, clock):
+    lease = leases.try_acquire(KEY)
+    assert lease is not None
+    holder = leases.holder(KEY)
+    assert holder is not None and holder.owner == lease.token
+    assert holder.expires_at == clock.now + 10.0
+    lease.release()
+    assert leases.holder(KEY) is None
+
+
+def test_second_acquire_fails_while_held(leases):
+    first = leases.try_acquire(KEY)
+    assert first is not None
+    assert leases.try_acquire(KEY) is None
+    # an unrelated key is unaffected
+    assert leases.try_acquire(OTHER) is not None
+
+
+def test_expired_lease_is_stolen(leases, clock):
+    first = leases.try_acquire(KEY)
+    clock.now += 10.0  # TTL exactly reached: expired
+    second = leases.try_acquire(KEY)
+    assert second is not None
+    # the previous holder has lost every capability:
+    assert not first.renew(), "a stolen lease must not renew"
+    first.release()  # no-op — must not clobber the new owner
+    assert leases.holder(KEY).owner == second.token
+
+
+def test_renew_extends_expiry(leases, clock):
+    lease = leases.try_acquire(KEY)
+    clock.now += 6.0
+    assert lease.renew()
+    assert leases.holder(KEY).expires_at == clock.now + 10.0
+    clock.now += 6.0  # 12s after acquire: only alive thanks to the renew
+    assert leases.holder(KEY) is not None
+
+
+def test_waiting_acquire_times_out_typed(tmp_path):
+    mgr = LeaseManager(tmp_path, ttl_s=60.0)
+    held = mgr.try_acquire(KEY)
+    assert held is not None
+    start = time.monotonic()
+    with pytest.raises(CacheLockError):
+        mgr.acquire(KEY, timeout_s=0.2, poll_s=0.02)
+    assert time.monotonic() - start < 5.0, "timeout must not hang"
+
+
+def test_waiting_acquire_succeeds_after_release(tmp_path):
+    mgr = LeaseManager(tmp_path, ttl_s=60.0)
+    held = mgr.try_acquire(KEY)
+    threading.Timer(0.1, held.release).start()
+    lease = mgr.acquire(KEY, timeout_s=5.0, poll_s=0.01)
+    assert lease.token != held.token
+    lease.release()
+
+
+def test_chaos_ttl_env_overrides_every_ttl(tmp_path, clock):
+    mgr = LeaseManager(tmp_path, ttl_s=60.0, clock=clock)
+    with chaos_env(lease_ttl=0.5):
+        assert mgr.ttl_s == 0.5
+        lease = mgr.try_acquire(KEY)
+        clock.now += 1.0
+        assert mgr.holder(KEY) is None, "chaos TTL must expire the lease"
+        assert mgr.try_acquire(KEY) is not None
+    assert mgr.ttl_s == 60.0
+
+
+_OPS = st.lists(
+    st.one_of(
+        st.just(("acquire",)),
+        st.just(("release",)),
+        st.just(("renew",)),
+        st.tuples(st.just("advance"),
+                  st.sampled_from([1.0, 5.0, 9.0, 10.0, 25.0]))),
+    max_size=40)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_OPS)
+def test_single_writer_invariant_under_arbitrary_orderings(
+        tmp_path_factory, ops):
+    """Model-based check of acquire/expire/steal ordering.
+
+    The model tracks the one true on-disk owner ``(token, expires_at)``;
+    after every operation the implementation must agree with it: an
+    acquire succeeds iff no unexpired owner exists, renew/release only
+    work for the current owner, and a steal invalidates the victim.
+    """
+    clock = FakeClock()
+    mgr = LeaseManager(tmp_path_factory.mktemp("locks"), ttl_s=10.0,
+                       clock=clock)
+    current = None            # model: (token, expires_at) or None
+    latest = None             # most recently acquired Lease object
+    for op in ops:
+        if op[0] == "advance":
+            clock.now += op[1]
+        elif op[0] == "acquire":
+            lease = mgr.try_acquire(KEY)
+            if current is None or current[1] <= clock.now:
+                assert lease is not None, "free/expired key must acquire"
+                current = (lease.token, lease.expires_at)
+                latest = lease
+            else:
+                assert lease is None, "valid lease must block acquire"
+        elif op[0] == "release" and latest is not None:
+            owned = current is not None and current[0] == latest.token
+            latest.release()
+            if owned:
+                current = None
+        elif op[0] == "renew" and latest is not None:
+            owned = (current is not None and current[0] == latest.token
+                     and not latest.released)
+            assert latest.renew() == owned
+            if owned:
+                current = (latest.token, clock.now + 10.0)
+        # implementation and model agree on the visible holder
+        holder = mgr.holder(KEY)
+        if current is None or current[1] <= clock.now:
+            assert holder is None
+        else:
+            assert holder is not None and holder.owner == current[0]
+
+
+def test_sweep_removes_only_long_expired_leases(tmp_path, clock):
+    mgr = LeaseManager(tmp_path, ttl_s=10.0, clock=clock)
+    active = mgr.try_acquire(KEY)
+    expired = mgr.try_acquire(OTHER)
+    assert active is not None and expired is not None
+    clock.now += 400.0  # OTHER's lease expired 390s ago... but so is KEY's
+    active.renew()      # KEY's holder is alive and renewing
+    assert mgr.sweep(max_age_s=300.0) == 1
+    assert not mgr.lease_path(OTHER).exists()
+    assert mgr.lease_path(KEY).exists()
+
+
+# -- cache integration --------------------------------------------------------
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "store")
+
+
+def _rkey(n: int = 1) -> str:
+    return run_key("c" * 64, "ref", (n,), 100, None, 1)
+
+
+def test_put_skips_while_writer_lease_held(cache):
+    key = _rkey()
+    lease = cache.writer_lease(key, timeout_s=1.0)
+    assert cache.put(key, "run", {"ok": True}) is False
+    assert cache.stats()["store_skipped"] == 1
+    assert cache.get(key, "run") is None, "no torn/partial entry"
+    lease.release()
+    assert cache.put(key, "run", {"ok": True}) is True
+    assert cache.get(key, "run") == {"ok": True}
+
+
+def test_get_or_wait_times_out_while_lease_held(cache):
+    key = _rkey()
+    lease = cache.writer_lease(key, timeout_s=1.0)
+    try:
+        assert cache.get_or_wait(key, "run", timeout_s=0.2,
+                                 poll_s=0.02) is None
+    finally:
+        lease.release()
+
+
+def test_get_or_wait_picks_up_racing_writers_entry(cache):
+    """A reader blocked on the writer lease sees the entry the moment
+    the writer publishes it — the real put ordering (publish while
+    holding, then release), slowed down via the lock-hold chaos seam."""
+    key = _rkey()
+    payload = {"ok": True, "profile": [1, 2, 3]}
+    with chaos_env(lock_hold=0.3):
+        writer = threading.Thread(
+            target=lambda: cache.put(key, "run", payload))
+        writer.start()
+        time.sleep(0.05)  # let the writer take its lease
+        entry = cache.get_or_wait(key, "run", timeout_s=5.0, poll_s=0.01)
+        writer.join()
+    assert entry == payload
+
+
+def test_get_or_wait_shares_negative_entries(cache):
+    key = _rkey()
+    cache.put(key, "run", {"ok": False, "error": "typed failure"})
+    assert cache.get_or_wait(key, "run", timeout_s=0.5) == {
+        "ok": False, "error": "typed failure"}
+
+
+def test_startup_sweep_reclaims_stale_debris_only(tmp_path):
+    first = ArtifactCache(tmp_path / "store")
+    first.put(_rkey(), "run", {"ok": True})
+    shard = first.path_for(_rkey()).parent
+    old_tmp = shard / "orphan-old.tmp"
+    old_tmp.write_bytes(b"half-written entry")
+    stale = time.time() - 3600
+    os.utime(old_tmp, (stale, stale))
+    fresh_tmp = shard / "orphan-fresh.tmp"
+    fresh_tmp.write_bytes(b"live writer's file")
+
+    second = ArtifactCache(tmp_path / "store")  # startup sweep runs here
+    assert not old_tmp.exists(), "hour-old orphan must be reclaimed"
+    assert fresh_tmp.exists(), "a live writer's temp file must survive"
+    assert second.stats()["tmp_swept"] == 1
+    assert second.get(_rkey(), "run") == {"ok": True}, \
+        "sweep must never touch real entries"
+
+
+def test_manual_sweep_reports_counts(cache):
+    cache.put(_rkey(), "run", {"ok": True})
+    shard = cache.path_for(_rkey()).parent
+    old_tmp = shard / "dead.tmp"
+    old_tmp.write_bytes(b"x")
+    stale = time.time() - 3600
+    os.utime(old_tmp, (stale, stale))
+    assert cache.sweep() == {"tmp": 1, "leases": 0}
+    assert cache.stats()["tmp_swept"] == 1
+
+
+# -- multi-process contention (byte-identity with serial) ---------------------
+
+def _shard_digest(result) -> tuple:
+    """Order-independent content digest of one shard result."""
+    profile = result.profile
+    edges = tuple(sorted(
+        (addr, profile.taken_count(addr), profile.not_taken_count(addr))
+        for addr in profile.executed_branches()))
+    return (result.status.value, result.instr_count, result.output, edges)
+
+
+def _hammer(order) -> tuple:
+    """Worker: run one shard against the SHARED store (module-level so it
+    pickles into the pool)."""
+    root, benchmark, dataset, inputs, fuel = order
+    job = ShardJob(benchmark=benchmark, dataset=dataset, inputs=inputs,
+                   fuel_budget=fuel, retry_fuel_factor=4, cache_dir=root,
+                   lease_wait_s=5.0)
+    return _shard_digest(run_shard(job))
+
+
+def test_multiprocess_hammering_matches_serial_byte_for_byte(tmp_path):
+    """N processes racing on ONE key leave the store with one coherent
+    entry and every process holding the serial run's exact result."""
+    benchmark, dataset, fuel = "queens", "small", 100_000_000
+    inputs = tuple(get(benchmark).dataset(dataset).inputs)
+
+    serial_job = ShardJob(benchmark=benchmark, dataset=dataset,
+                          inputs=inputs, fuel_budget=fuel,
+                          retry_fuel_factor=4,
+                          cache_dir=str(tmp_path / "serial-store"))
+    serial = _shard_digest(run_shard(serial_job))
+
+    shared = tmp_path / "shared-store"
+    order = (str(shared), benchmark, dataset, inputs, fuel)
+    context = multiprocessing.get_context("fork")
+    with chaos_env(lock_hold=0.05):  # stretch the lease-held window
+        with ProcessPoolExecutor(max_workers=4,
+                                 mp_context=context) as pool:
+            digests = list(pool.map(_hammer, [order] * 4))
+
+    assert all(digest == serial for digest in digests), \
+        "every contending process must hold the serial result"
+    store = ArtifactCache(shared)
+    assert len(store) == 2, "exactly one compile + one run entry"
+    assert not list(store.objects_dir.glob("*/*.tmp")), \
+        "contention must leave no temp-file litter"

@@ -1,0 +1,45 @@
+"""The acceptance chaos drill, exactly as CI's ``service-smoke`` job
+runs it: a real service process under worker-crash + slow-worker +
+lock-contention chaos must finish every job in a typed terminal state
+and serve payloads byte-identical to a chaos-free serial run.
+
+The drill's assertions live in ``repro.service.__main__._smoke``; this
+test pins its exit status and summary output so a contract regression
+fails the default suite, not just the CI job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _run_smoke(*extra: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.service", "smoke", *extra],
+        capture_output=True, text=True, timeout=300, env=env, cwd=REPO)
+
+
+def test_smoke_drill_under_default_chaos_passes():
+    proc = _run_smoke()
+    assert proc.returncode == 0, \
+        f"chaos drill failed:\n{proc.stdout}\n{proc.stderr}"
+    assert "smoke: OK" in proc.stdout
+    # the summary is machine-readable JSON; spot-check the contract
+    start = proc.stdout.index('{\n  "jobs"')
+    summary = json.loads(proc.stdout[start:proc.stdout.rindex("}") + 1])
+    assert summary["failures"] == []
+    assert summary["jobs"] == 9
+    assert summary["done"] >= 1, "some jobs must survive the chaos"
+    stats = summary["stats"]
+    assert stats["jobs"]["submitted"] == 9
+    assert stats["worker_respawns"] >= 1, \
+        "worker-crash chaos must actually kill workers"
+    assert stats["jobs"]["deduped"] >= 1, \
+        "duplicate submissions must dedupe in flight"

@@ -1,0 +1,152 @@
+"""HTTP front-end tests: routing, status codes, typed error bodies.
+
+Runs the real asyncio server on an ephemeral port with the worker
+behavior injected (same module-level exec functions as the engine
+tests), and talks to it with the service's own Content-Length-aware
+client.  The wire contract under test:
+
+* ``200`` terminal records / health / stats / metrics;
+* ``202`` for jobs still in flight;
+* ``400`` with a typed error body for malformed requests;
+* ``404`` for unknown job ids;
+* ``503`` for load-shed (rejected) jobs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro import telemetry
+from repro.service.__main__ import _http
+from repro.telemetry.core import Telemetry
+from repro.service.engine import JobEngine, ServiceConfig
+from repro.service.http import ServiceHTTP
+from repro.testing.chaos import chaos_env
+from test_service_engine import _exec_ok
+
+_CONFIG = ServiceConfig(workers=1, health_interval_s=0)
+
+
+def _run(test_coro_fn, config: ServiceConfig = _CONFIG, exec_fn=_exec_ok):
+    """Serve on an ephemeral port, run the body, always tear down."""
+    async def _inner():
+        engine = JobEngine(config, exec_fn=exec_fn)
+        await engine.start()
+        http = ServiceHTTP(engine)
+        await http.start()
+        try:
+            async def call(method, path, body=None):
+                return await _http(http.host, http.port, method, path, body)
+            return await test_coro_fn(call)
+        finally:
+            await http.stop()
+            await engine.stop()
+    return asyncio.run(_inner())
+
+
+def test_healthz():
+    async def body(call):
+        status, payload = await call("GET", "/healthz")
+        assert (status, payload) == (200, {"ok": True})
+    _run(body)
+
+
+def test_stats_reports_engine_snapshot():
+    async def body(call):
+        status, payload = await call("GET", "/stats")
+        assert status == 200
+        assert payload["jobs"]["submitted"] == 0
+        assert payload["breaker"]["state"] == "closed"
+        assert payload["workers"] == 1
+    _run(body)
+
+
+def test_submit_wait_roundtrip_returns_terminal_record():
+    async def body(call):
+        status, record = await call("POST", "/jobs", {
+            "kind": "compile", "benchmark": "queens", "wait": True,
+            "wait_timeout_s": 30})
+        assert status == 200
+        assert record["state"] == "done"
+        assert record["result"] == {"benchmark": "queens",
+                                    "kind": "compile"}
+        # the record stays retrievable by id afterwards
+        status, fetched = await call("GET", f"/jobs/{record['id']}")
+        assert status == 200 and fetched == record
+    _run(body)
+
+
+def test_submit_without_wait_returns_202_then_completes():
+    async def body(call):
+        status, record = await call("POST", "/jobs", {
+            "kind": "compile", "benchmark": "queens"})
+        assert status == 202
+        assert record["state"] == "queued"
+        for _ in range(200):
+            status, record = await call("GET", f"/jobs/{record['id']}")
+            if record["state"] == "done":
+                break
+            await asyncio.sleep(0.05)
+        assert (status, record["state"]) == (200, "done")
+    _run(body)
+
+
+def test_malformed_json_body_is_400():
+    async def body(call):
+        status, payload = await call("POST", "/jobs", None)  # empty body
+        assert status == 400
+        assert payload["error"]
+    _run(body)
+
+
+def test_invalid_request_fields_are_typed_400s():
+    async def body(call):
+        for bad in ({"kind": "destroy", "benchmark": "queens"},
+                    {"kind": "compile"},
+                    {"kind": "compile", "benchmark": "queens",
+                     "fuel_budget": -5}):
+            status, payload = await call("POST", "/jobs", bad)
+            assert status == 400
+            assert payload["error"]["code"] == "repro-error"
+            assert payload["error"]["message"]
+    _run(body)
+
+
+def test_unknown_job_id_is_404():
+    async def body(call):
+        status, payload = await call("GET", "/jobs/job-999")
+        assert status == 404
+        assert payload["error"]
+    _run(body)
+
+
+def test_unknown_route_is_404():
+    async def body(call):
+        status, _ = await call("GET", "/nope")
+        assert status == 404
+    _run(body)
+
+
+def test_shed_jobs_come_back_503_with_typed_body():
+    async def body(call):
+        status, record = await call("POST", "/jobs", {
+            "kind": "compile", "benchmark": "queens", "wait": True})
+        assert status == 503
+        assert record["state"] == "rejected"
+        assert record["error"]["code"] == "job-rejected-error"
+    with chaos_env(breaker_trip=1):
+        _run(body, ServiceConfig(workers=1, health_interval_s=0,
+                                 breaker_cooldown_s=3600))
+
+
+def test_metrics_scrapes_prometheus_text():
+    async def body(call):
+        await call("POST", "/jobs", {"kind": "compile",
+                                     "benchmark": "queens", "wait": True,
+                                     "wait_timeout_s": 30})
+        status, text = await call("GET", "/metrics")
+        assert status == 200
+        assert isinstance(text, str)
+        assert "repro_service_jobs_submitted_total" in text
+    with telemetry.use(Telemetry()):  # the daemon installs an enabled sink
+        _run(body)
