@@ -98,6 +98,10 @@ class CrashReport:
     #: last N conditional-branch outcomes, oldest first: (address, taken)
     branch_history: list[tuple[int, bool]] = field(default_factory=list)
     output_tail: str = ""                     #: tail of program output at fault
+    #: flight-recorder dump at fault time: the last-N structured events
+    #: (state transitions, retries, lease steals...) as plain dicts — the
+    #: process's black box, not just the simulated machine's
+    flight: list[dict] = field(default_factory=list)
 
     def format(self) -> str:
         """Multi-line human-readable rendering."""
@@ -119,6 +123,14 @@ class CrashReport:
             lines.append(f"  registers: {regs or '(all zero)'}")
         if self.output_tail:
             lines.append(f"  output tail: {self.output_tail!r}")
+        if self.flight:
+            lines.append(f"  flight recorder (last {len(self.flight)} "
+                         f"events, oldest first):")
+            for event in self.flight[-8:]:
+                fields = " ".join(f"{k}={v}" for k, v in event.items()
+                                  if k not in ("seq", "ts", "kind"))
+                lines.append(f"    [{event.get('seq', '?')}] "
+                             f"{event.get('kind', '?')} {fields}".rstrip())
         return "\n".join(lines)
 
 
@@ -150,6 +162,7 @@ class ReproError(Exception):
         self.pc = pc
         self.instr_count = instr_count
         self.crash_report: CrashReport | None = None
+        self.flight: list[dict] | None = None
 
     # -- classification --------------------------------------------------------
 
@@ -179,15 +192,28 @@ class ReproError(Exception):
             self.with_context(pc=report.pc, instr_count=report.instr_count)
         return self
 
+    def attach_flight(self, events: list[dict],
+                      limit: int = 32) -> "ReproError":
+        """Attach a flight-recorder dump (first one wins, trimmed to the
+        last *limit* events so wire/pickle size stays bounded).  Plain
+        dicts only — the error pickles across process boundaries."""
+        if self.flight is None and events:
+            self.flight = [dict(e) for e in events[-limit:]]
+        return self
+
     # -- rendering -------------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """Machine-classifiable summary (no crash-report payload)."""
+        """Machine-classifiable summary (no crash-report payload; the
+        flight-recorder dump rides along when one was attached)."""
         out = {"code": self.code, "message": self.message}
         for key in CONTEXT_FIELDS:
             value = getattr(self, key, None)
             if value is not None:
                 out[key] = value
+        flight = getattr(self, "flight", None)
+        if flight:
+            out["flight"] = flight
         return out
 
     def oneline(self) -> str:

@@ -56,6 +56,7 @@ from pathlib import Path
 from typing import Any
 
 from repro import telemetry as _telemetry
+from repro.telemetry import flight as _flight
 from repro._version import __version__
 from repro.harness.locking import DEFAULT_LEASE_TTL_S, Lease, LeaseManager
 
@@ -386,6 +387,9 @@ class ArtifactCache:
         if lease_removed:
             tm.counter("harness.artifact_cache.lease_swept").inc(
                 lease_removed)
+        if tmp_removed or lease_removed:
+            _flight.record("cache.sweep", tmp=tmp_removed,
+                           leases=lease_removed)
         return {"tmp": tmp_removed, "leases": lease_removed}
 
     def clear(self) -> int:

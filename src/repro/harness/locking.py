@@ -51,6 +51,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro import telemetry as _telemetry
+from repro.telemetry import flight as _flight
 from repro.errors import CacheLockError
 
 try:
@@ -283,6 +284,8 @@ class LeaseManager:
                 self._write_record(fd, info)
                 if stolen:
                     tm.counter("harness.artifact_cache.lease_stolen").inc()
+                    _flight.record("lease.stolen", key=key[:12],
+                                   dead_owner=current.owner)
                 tm.counter("harness.artifact_cache.lease_acquired").inc()
                 return Lease(self, key, token, info.expires_at)
             finally:
@@ -307,6 +310,8 @@ class LeaseManager:
                 return lease
             if waited >= timeout_s:
                 tm.counter("harness.artifact_cache.lease_timeout").inc()
+                _flight.record("lease.timeout", key=key[:12],
+                               waited_s=round(waited, 3))
                 raise CacheLockError(
                     f"single-writer lease on {key[:12]}... not acquired "
                     f"within {timeout_s:.1f}s (held by "

@@ -38,6 +38,8 @@ from dataclasses import dataclass, field
 from time import perf_counter, sleep
 
 from repro import telemetry as _telemetry
+from repro.telemetry import flight as _flight
+from repro.telemetry import tracing as _tracing
 from repro.bench.suite import Benchmark, get
 from repro.core.classify import ProgramAnalysis, classify_branches
 from repro.errors import (
@@ -111,6 +113,12 @@ class ShardJob:
     #: wait up to this long for their entry instead of recomputing
     #: (lock-aware read; the service sets this, batch runs leave it 0)
     lease_wait_s: float = 0.0
+    #: distributed-trace identity: non-empty when this shard is one hop
+    #: of a service job's trace — the worker activates the context so
+    #: its spans (and its telemetry snapshot's span args) join the trace
+    trace_id: str = ""
+    #: span id of the engine-side exec span this shard parents under
+    trace_parent: str = ""
 
 
 @dataclass
@@ -129,6 +137,9 @@ class ShardResult:
     retried: bool = False
     telemetry: TelemetrySnapshot | None = None
     cache_stats: dict[str, int] = field(default_factory=dict)
+    #: wall-clock trace spans recorded inside the worker (compile,
+    #: simulate, cache lease-wait) when the job carried a trace_id
+    trace: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -204,11 +215,20 @@ def run_shard(job: ShardJob) -> ShardResult:
     delay = _chaos_slow_delay(job.benchmark)
     if delay > 0:
         sleep(delay)
+    # Re-join the distributed trace on this side of the fork: spans the
+    # worker records (and the trace_id tags on its telemetry snapshot's
+    # spans) parent under the engine-side exec span named by the job.
+    ctx = None
+    if job.trace_id:
+        ctx = _tracing.TraceContext(trace_id=job.trace_id,
+                                    span_id=job.trace_parent)
     sink = Telemetry(enabled=job.collect_telemetry)
     with _telemetry.use(sink):
-        result = _run_shard_inner(job)
+        with _tracing.activate(ctx, process=f"worker:{os.getpid()}") as spans:
+            result = _run_shard_inner(job)
     if job.collect_telemetry:
         result.telemetry = sink.snapshot()
+    result.trace = spans
     return result
 
 
@@ -216,6 +236,9 @@ def _failure(job: ShardJob, error: ReproError,
              cache: ArtifactCache | None, rkey: str | None = None,
              retried: bool = False) -> ShardResult:
     status = classify_failure(error)
+    # every worker-side failure ships the worker's black box (no-op if a
+    # deeper layer — e.g. the simulator's crash snapshot — already did)
+    error.attach_flight(_flight.dump())
     if (cache is not None and rkey is not None
             and _cacheable_failure(error)):
         cache.put(rkey, "run", {"ok": False, "error": error,
@@ -249,11 +272,14 @@ def _run_shard_inner(job: ShardJob) -> ShardResult:
                  benchmark=job.benchmark, dataset=job.dataset, shard=True):
         # -- compile (or adopt the pre-seeded / sabotaged artifact) ----------
         try:
-            if job.preseeded is not None:
-                executable, analysis = job.preseeded
-            else:
-                executable, analysis = compile_artifact(
-                    get(job.benchmark), optimize=job.optimize, cache=cache)
+            with _tracing.span("worker.compile", "worker",
+                               benchmark=job.benchmark):
+                if job.preseeded is not None:
+                    executable, analysis = job.preseeded
+                else:
+                    executable, analysis = compile_artifact(
+                        get(job.benchmark), optimize=job.optimize,
+                        cache=cache)
         except ReproError as exc:
             return _failure(job, exc, cache)
         except Exception as exc:  # unknown benchmark, etc.
@@ -272,8 +298,11 @@ def _run_shard_inner(job: ShardJob) -> ShardResult:
                            job.max_memory_bytes, job.retry_fuel_factor,
                            version=cache.version)
             if job.lease_wait_s > 0:
-                entry = cache.get_or_wait(rkey, "run",
-                                          timeout_s=job.lease_wait_s)
+                with _tracing.span("cache.lease_wait", "cache",
+                                   benchmark=job.benchmark,
+                                   dataset=job.dataset):
+                    entry = cache.get_or_wait(rkey, "run",
+                                              timeout_s=job.lease_wait_s)
             else:
                 entry = cache.get(rkey, "run")
             if entry is not None:
@@ -298,9 +327,12 @@ def _run_shard_inner(job: ShardJob) -> ShardResult:
         attempt = 1
         while True:
             try:
-                profile, status = _simulate(
-                    job, executable,
-                    job.fuel_budget * policy.fuel_scale(attempt), tm)
+                with _tracing.span("worker.simulate", "worker",
+                                   benchmark=job.benchmark,
+                                   dataset=job.dataset, attempt=attempt):
+                    profile, status = _simulate(
+                        job, executable,
+                        job.fuel_budget * policy.fuel_scale(attempt), tm)
                 break
             except ReproError as exc:
                 exc.with_context(benchmark=job.benchmark,
@@ -310,6 +342,9 @@ def _run_shard_inner(job: ShardJob) -> ShardResult:
                                     retried=attempt > 1)
                 attempt += 1
                 tm.counter("harness.retries").inc()
+                _flight.record("shard.retry", benchmark=job.benchmark,
+                               dataset=job.dataset, attempt=attempt,
+                               error=exc.code)
         retried = attempt > 1
 
         if cache is not None:

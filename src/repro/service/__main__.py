@@ -16,7 +16,13 @@ contract:
 * the Prometheus endpoint scrapes and reports the job counters;
 * every successful payload is **byte-identical** to a chaos-free
   serial execution of the same request (no corruption, no partial
-  results served from the shared store).
+  results served from the shared store);
+* one done predict job's ``/jobs/<id>/trace`` timeline spans every tier
+  (ingress → queue → worker → cache) and its segment accounting
+  (``queue_wait + dispatch + exec``) adds up to the end-to-end latency;
+* the injected worker crash leaves a black box: the quarantined
+  record's error carries a flight-recorder dump naming the failing
+  job's trace.
 
 Exit status 0 only when every assertion holds — wired into the CI
 ``service-smoke`` job.
@@ -54,14 +60,16 @@ _CHAOS_ENVS = (CHAOS_WORKER_CRASH_ENV, CHAOS_SLOW_WORKER_ENV,
 # -- tiny asyncio HTTP client (same loop as the server) -----------------------
 
 async def _http(host: str, port: int, method: str, path: str,
-                body: dict | None = None):
+                body: dict | None = None,
+                headers: dict[str, str] | None = None):
     """One request/response round-trip; returns (status, parsed body)."""
     reader, writer = await asyncio.open_connection(host, port)
     data = json.dumps(body).encode() if body is not None else b""
+    extra = "".join(f"{k}: {v}\r\n" for k, v in (headers or {}).items())
     writer.write(
         (f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
          f"Content-Type: application/json\r\n"
-         f"Content-Length: {len(data)}\r\n"
+         f"Content-Length: {len(data)}\r\n{extra}"
          f"Connection: close\r\n\r\n").encode() + data)
     await writer.drain()
     # read by Content-Length, never to EOF: a worker process forked
@@ -174,10 +182,66 @@ async def _smoke(args) -> int:
     stats_status, stats = await _http(http.host, http.port, "GET", "/stats")
     metrics_status, metrics = await _http(http.host, http.port,
                                           "GET", "/metrics")
+
+    # fetch the distributed trace of one successfully executed predict
+    # job (a primary, not a dedupe follower — followers only carry the
+    # ingress span of their own trace)
+    trace_body = None
+    for request, (_, record) in zip(requests, responses):
+        if (isinstance(record, dict) and record.get("state") == "done"
+                and record["request"]["kind"] == "predict"
+                and "deduped_into" not in record):
+            trace_status, trace_body = await _http(
+                http.host, http.port, "GET",
+                f"/jobs/{record['id']}/trace")
+            if trace_status != 200:
+                trace_body = None
+            break
     await http.stop()
     await engine.stop()
 
     failures: list[str] = []
+    if trace_body is None:
+        failures.append("no done predict job yielded a /trace timeline")
+    else:
+        tiers = set(trace_body.get("tiers", []))
+        missing = {"ingress", "queue", "worker", "cache"} - tiers
+        if missing:
+            failures.append(f"trace is missing tiers {sorted(missing)} "
+                            f"(got {sorted(tiers)})")
+        seg = trace_body.get("segments", {})
+        total = seg.get("total_s", 0.0)
+        accounted = seg.get("accounted_s", 0.0)
+        if abs(total - accounted) > max(0.15, 0.25 * total):
+            failures.append(
+                f"trace segments unaccounted: queue_wait+dispatch+exec"
+                f"={accounted:.3f}s vs end-to-end {total:.3f}s")
+        print(f"trace: {trace_body.get('trace_id')} "
+              f"tiers={sorted(tiers)} spans={len(trace_body.get('spans', []))} "
+              f"accounted={accounted:.3f}s total={total:.3f}s", flush=True)
+
+    # the injected worker crash must leave a black box: the quarantined
+    # record's error carries the flight-recorder ring, and the ring
+    # names the failing job's own trace
+    if args.chaos_crash:
+        crashed = [record for _, (_, record) in zip(requests, responses)
+                   if isinstance(record, dict)
+                   and record.get("state") == "quarantined"]
+        if not crashed:
+            failures.append("chaos-crash armed but nothing quarantined")
+        else:
+            record = crashed[0]
+            events = record.get("error", {}).get("flight", [])
+            if not events:
+                failures.append("quarantined record has no flight-recorder "
+                                "dump on its error")
+            elif not any(e.get("trace_id") == record.get("trace_id")
+                         for e in events):
+                failures.append("flight dump never mentions the failing "
+                                "job's trace_id")
+            else:
+                print(f"flight: crash black box has {len(events)} events "
+                      f"incl. trace {record.get('trace_id')}", flush=True)
     done: list[tuple[JobRequest, dict]] = []
     for request, (status, record) in zip(requests, responses):
         label = f"{request.kind}/{request.benchmark}"

@@ -21,7 +21,11 @@ construction — how tests and drills exercise the shed path on a healthy
 engine.
 
 Telemetry: ``service.breaker_state`` gauge (0 closed / 1 half-open /
-2 open), ``service.breaker_trips`` counter.
+2 open), ``service.breaker_trips`` counter, ``service.breaker_open_s``
+gauge (cumulative seconds spent OPEN — the numerator of the
+``breaker_open_duty_cycle`` SLO).  Every transition is also recorded on
+the flight-recorder ring, so a failure's black box shows the breaker's
+recent history.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ from collections import deque
 from typing import Callable
 
 from repro import telemetry as _telemetry
+from repro.telemetry import flight as _flight
 
 __all__ = ["BreakerState", "CircuitBreaker", "CHAOS_BREAKER_TRIP_ENV"]
 
@@ -85,6 +90,8 @@ class CircuitBreaker:
         self._failures: deque[float] = deque()
         self._opened_at = 0.0
         self._probes_out = 0
+        self._created = self.clock()
+        self._open_total_s = 0.0        #: accumulated closed OPEN episodes
         if os.environ.get(CHAOS_BREAKER_TRIP_ENV):
             self._trip()
         else:
@@ -102,7 +109,15 @@ class CircuitBreaker:
         self._opened_at = self.clock()
         self._probes_out = 0
         _telemetry.get().counter("service.breaker_trips").inc()
+        _flight.record("breaker.open", trips=self.trips,
+                       recent_failures=len(self._failures))
         self._publish()
+
+    def _close_open_episode(self, now: float) -> None:
+        """Account the OPEN episode ending now into the duty-cycle sum."""
+        self._open_total_s += max(0.0, now - self._opened_at)
+        _telemetry.get().gauge("service.breaker_open_s").set(
+            self._open_total_s)
 
     def _prune(self, now: float) -> None:
         while self._failures and now - self._failures[0] > self.window_s:
@@ -122,6 +137,8 @@ class CircuitBreaker:
                 return False
             self.state = BreakerState.HALF_OPEN
             self._probes_out = 0
+            self._close_open_episode(now)
+            _flight.record("breaker.half_open", trips=self.trips)
             self._publish()
         if self.state is BreakerState.HALF_OPEN:
             if self._probes_out >= self.half_open_probes:
@@ -136,6 +153,7 @@ class CircuitBreaker:
             self.state = BreakerState.CLOSED
             self._failures.clear()
             self._probes_out = 0
+            _flight.record("breaker.closed", trips=self.trips)
             self._publish()
 
     def record_failure(self) -> None:
@@ -152,11 +170,27 @@ class CircuitBreaker:
 
     # -- introspection ---------------------------------------------------------
 
+    def open_total_s(self) -> float:
+        """Cumulative seconds spent OPEN (running episode included)."""
+        total = self._open_total_s
+        if self.state is BreakerState.OPEN:
+            total += max(0.0, self.clock() - self._opened_at)
+        return total
+
+    def open_duty_cycle(self) -> float:
+        """Fraction of this breaker's lifetime spent OPEN (0.0–1.0)."""
+        lifetime = self.clock() - self._created
+        if lifetime <= 0:
+            return 0.0
+        return min(1.0, self.open_total_s() / lifetime)
+
     def snapshot(self) -> dict:
         now = self.clock()
         self._prune(now)
         return {"state": self.state.value, "trips": self.trips,
                 "recent_failures": len(self._failures),
+                "open_total_s": round(self.open_total_s(), 6),
+                "open_duty_cycle": round(self.open_duty_cycle(), 6),
                 "cooldown_remaining_s": max(
                     0.0, self.cooldown_s - (now - self._opened_at))
                 if self.state is BreakerState.OPEN else 0.0}

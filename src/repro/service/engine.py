@@ -48,6 +48,9 @@ from dataclasses import dataclass
 from time import perf_counter, sleep
 
 from repro import telemetry as _telemetry
+from repro.telemetry import flight as _flight
+from repro.telemetry import tracing as _tracing
+from repro.telemetry.export import slo_summary
 from repro.bench.suite import get
 from repro.errors import (
     JobDeadlineError, JobQuarantinedError, JobRejectedError, ReproError,
@@ -217,6 +220,7 @@ class JobEngine:
         self._queue: asyncio.Queue[JobRecord] | None = None
         self._dispatchers: list[asyncio.Task] = []
         self._seq = itertools.count(1)
+        self._started_at = time.time()
         self.started = False
 
     # -- life cycle ------------------------------------------------------------
@@ -243,12 +247,16 @@ class JobEngine:
 
     # -- submission ------------------------------------------------------------
 
-    def submit(self, request: JobRequest) -> JobRecord:
+    def submit(self, request: JobRequest,
+               trace: _tracing.TraceContext | None = None) -> JobRecord:
         """Accept (or shed) one request; returns its record immediately.
 
-        The record may already be terminal (malformed request, breaker
-        open, queue full, quarantined key); otherwise it is queued and
-        :meth:`wait` resolves it.  Must run on the engine's event loop.
+        *trace* is the distributed-trace identity minted (or continued
+        from an inbound ``traceparent``) at ingress; ``None`` leaves the
+        job untraced.  The record may already be terminal (malformed
+        request, breaker open, queue full, quarantined key); otherwise
+        it is queued and :meth:`wait` resolves it.  Must run on the
+        engine's event loop.
         """
         assert self._queue is not None, "engine not started"
         cfg = self.config
@@ -256,23 +264,29 @@ class JobEngine:
         tm.counter("service.jobs_submitted").inc()
         self.counts["submitted"] += 1
         jid = f"job-{next(self._seq)}"
+        _flight.record("job.submitted",
+                       trace_id=trace.trace_id if trace else "",
+                       job=jid, job_kind=request.kind.value,
+                       benchmark=request.benchmark)
         try:
             key = request.cache_key(request.fuel_budget or cfg.fuel_budget,
                                     cfg.retry_fuel_factor)
         except ReproError as exc:
-            record = JobRecord(id=jid, request=request, key="")
+            record = JobRecord(id=jid, request=request, key="",
+                               trace=trace)
             self._remember(record)
             record.finish(JobState.FAILED, error=exc)
             self._finalize(record)
             return record
-        record = JobRecord(id=jid, request=request, key=key)
+        record = JobRecord(id=jid, request=request, key=key, trace=trace)
         self._remember(record)
 
         if self._crashes.get(key, 0) >= cfg.quarantine_threshold:
             record.finish(JobState.QUARANTINED, error=JobQuarantinedError(
                 f"key has crashed {self._crashes[key]} workers; "
                 f"quarantined as a poison job",
-                benchmark=request.benchmark, dataset=request.dataset))
+                benchmark=request.benchmark,
+                dataset=request.dataset).attach_flight(_flight.dump()))
             self._finalize(record)
             return record
 
@@ -340,6 +354,10 @@ class JobEngine:
             self.counts.get(record.state.value, 0) + 1)
         _telemetry.get().counter(
             f"service.jobs_{record.state.value}").inc()
+        _flight.record(
+            "job.finished",
+            trace_id=record.trace.trace_id if record.trace else "",
+            job=record.id, state=record.state.value)
         event = self._events.get(record.id)
         if event is not None:
             event.set()
@@ -357,6 +375,12 @@ class JobEngine:
     def stats(self) -> dict:
         """Live service snapshot (the ``/stats`` endpoint body)."""
         cfg = self.config
+        tm = _telemetry.get()
+        # refresh the SLO denominators the derived rates divide by:
+        # lifetime so far, and the breaker's running OPEN episode
+        tm.gauge("service.uptime_s").set(
+            max(time.time() - self._started_at, 1e-9))
+        tm.gauge("service.breaker_open_s").set(self.breaker.open_total_s())
         return {
             "jobs": dict(self.counts),
             "queue_depth": self._queue.qsize() if self._queue else 0,
@@ -369,6 +393,7 @@ class JobEngine:
                 if n >= cfg.quarantine_threshold),
             "cache": (self.cache.stats()
                       if self.cache is not None else None),
+            "slo": slo_summary(tm.counters(), tm.gauges()),
         }
 
     # -- execution -------------------------------------------------------------
@@ -387,7 +412,8 @@ class JobEngine:
             optimize=request.optimize,
             cache_dir=(str(self.cache.root)
                        if self.cache is not None else None),
-            lease_wait_s=cfg.lease_wait_s)
+            lease_wait_s=cfg.lease_wait_s,
+            collect_telemetry=True)
         return ServiceOrder(kind=request.kind.value, shard=shard)
 
     async def _dispatch_loop(self) -> None:
@@ -412,11 +438,49 @@ class JobEngine:
                 self._finalize(record)
                 self._queue.task_done()
 
+    def _trace_attempt(self, record: JobRecord, exec_ctx, attempt: int,
+                       dispatch_start: float, dispatched_at: float | None,
+                       slot: int | None, end: float) -> None:
+        """Append this attempt's ``dispatch`` and ``exec`` segment spans.
+
+        The ``exec`` span reuses *exec_ctx*'s span id — the same id the
+        worker parented its own spans on — so the stitched timeline
+        forms one tree even though the two sides never spoke.
+        """
+        tm = _telemetry.get()
+        if dispatched_at is None:
+            dispatched_at = end
+        tm.histogram("service.dispatch_s").observe(
+            max(0.0, dispatched_at - dispatch_start))
+        tm.histogram("service.exec_s").observe(max(0.0, end - dispatched_at))
+        trace = record.trace
+        if trace is None or exec_ctx is None:
+            return
+        record.trace_spans.append(_tracing.manual_span(
+            trace, "dispatch", "service", dispatch_start, dispatched_at,
+            attempt=attempt))
+        args = {"attempt": attempt}
+        if slot is not None:
+            args["slot"] = slot
+        record.trace_spans.append(_tracing.TraceSpan(
+            name="exec", tier="service", trace_id=trace.trace_id,
+            span_id=exec_ctx.span_id, parent_id=exec_ctx.parent_id,
+            start_s=dispatched_at,
+            duration_s=max(0.0, end - dispatched_at),
+            process="service", args=args))
+
     async def _run_record(self, record: JobRecord) -> None:
         cfg = self.config
         tm = _telemetry.get()
         record.state = JobState.RUNNING
         record.started_at = time.time()
+        trace = record.trace
+        queue_wait = record.started_at - record.created_at
+        tm.histogram("service.queue_wait_s").observe(max(0.0, queue_wait))
+        if trace is not None:
+            record.trace_spans.append(_tracing.manual_span(
+                trace, "queue_wait", "queue", record.created_at,
+                record.started_at))
         order = self._order_for(record.request)
         policy = RetryPolicy(max_attempts=1 + max(0, cfg.crash_retries),
                              retry_worker_crashes=True,
@@ -426,10 +490,31 @@ class JobEngine:
         while True:
             attempt += 1
             record.attempts = attempt
+            exec_ctx = None
+            if trace is not None:
+                # pre-mint the attempt's exec span id and ship it across
+                # the fork: the worker parents its spans on it
+                exec_ctx = trace.child()
+                order.shard.trace_id = exec_ctx.trace_id
+                order.shard.trace_parent = exec_ctx.span_id
+            dispatch_start = time.time()
+            handoff: dict = {"at": None, "slot": None}
+
+            def _on_dispatch(slot_index: int, _h: dict = handoff) -> None:
+                _h["at"] = time.time()
+                _h["slot"] = slot_index
+
             try:
-                result = await self.supervisor.run_job(order, cfg.deadline_s)
+                result = await self.supervisor.run_job(
+                    order, cfg.deadline_s, on_dispatch=_on_dispatch)
+                self._trace_attempt(record, exec_ctx, attempt,
+                                    dispatch_start, handoff["at"],
+                                    handoff["slot"], time.time())
                 break
             except WorkerCrashError as exc:
+                self._trace_attempt(record, exec_ctx, attempt,
+                                    dispatch_start, handoff["at"],
+                                    handoff["slot"], time.time())
                 record.crashes += 1
                 crashes = self._crashes[record.key] = (
                     self._crashes.get(record.key, 0) + 1)
@@ -444,17 +529,32 @@ class JobEngine:
                         f"(threshold {cfg.quarantine_threshold}); "
                         f"quarantined as a poison job",
                         benchmark=record.request.benchmark,
-                        dataset=record.request.dataset))
+                        dataset=record.request.dataset,
+                    ).attach_flight(_flight.dump()))
                     return
                 if not policy.should_retry(exc, attempt):
+                    exc.attach_flight(_flight.dump())
                     record.finish(JobState.FAILED, error=exc)
                     return
                 tm.counter("service.job_redispatches").inc()
+                _flight.record(
+                    "job.redispatch",
+                    trace_id=trace.trace_id if trace else "",
+                    job=record.id, attempt=attempt, crashes=crashes)
+                backoff_start = time.time()
                 await asyncio.sleep(policy.backoff_s(attempt))
+                if trace is not None:
+                    record.trace_spans.append(_tracing.manual_span(
+                        trace, "retry_backoff", "service", backoff_start,
+                        time.time(), attempt=attempt))
             except (JobDeadlineError, WorkerResultError) as exc:
+                self._trace_attempt(record, exec_ctx, attempt,
+                                    dispatch_start, handoff["at"],
+                                    handoff["slot"], time.time())
                 self.breaker.record_failure()
                 exc.with_context(benchmark=record.request.benchmark,
                                  dataset=record.request.dataset)
+                exc.attach_flight(_flight.dump())
                 record.finish(JobState.FAILED, error=exc)
                 return
         # engine-side success (the pipeline may still have failed — that
@@ -464,6 +564,12 @@ class JobEngine:
             perf_counter() - start)
         record.retried = result.retried
         record.cache_hit = result.cache_stats.get("hits", 0) > 0
+        # re-stitch what the worker observed: its wall-clock trace spans
+        # join the record's timeline, its telemetry snapshot folds into
+        # the service sink (trace_id span tags survive the merge)
+        record.trace_spans.extend(result.trace or [])
+        if result.telemetry is not None:
+            tm.merge_snapshot(result.telemetry)
         if result.ok:
             record.finish(JobState.DONE,
                           result=build_payload(record.request, result))

@@ -9,28 +9,37 @@ response.
 
 Routes::
 
-    GET  /healthz        liveness (the engine accepted the socket)
-    GET  /stats          JobEngine.stats() snapshot
-    GET  /metrics        Prometheus text exposition of live telemetry
-    POST /jobs           submit a JobRequest; {"wait": true} blocks
-    GET  /jobs/<id>      poll one job record
+    GET  /healthz          liveness (the engine accepted the socket)
+    GET  /stats            JobEngine.stats() snapshot (incl. SLO rates)
+    GET  /metrics          Prometheus text exposition of live telemetry
+    POST /jobs             submit a JobRequest; {"wait": true} blocks
+    GET  /jobs/<id>        poll one job record
+    GET  /jobs/<id>/trace  the job's distributed-trace timeline
 
 Status mapping: ``202`` queued/running, ``200`` done (or degraded-but-
 typed terminal), ``400`` malformed, ``404`` unknown id/route, ``503``
 load shed (breaker open / queue full) — the one distinction clients
 retry on.
+
+Tracing: every submission gets a :class:`~repro.telemetry.tracing.
+TraceContext` at this ingress.  An inbound W3C ``traceparent`` header is
+honored (same ``trace_id``, our root span parented on the caller's), so
+external callers can stitch the service into their own traces; without
+one a fresh root is minted.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import time
 
 from repro import telemetry as _telemetry
 from repro.errors import ReproError
 from repro.service.engine import JobEngine
 from repro.service.jobs import JobRequest, JobState
 from repro.telemetry.export import to_prometheus
+from repro.telemetry.tracing import TraceContext, TraceSpan, parse_traceparent
 
 __all__ = ["ServiceHTTP"]
 
@@ -86,33 +95,35 @@ class ServiceHTTP:
             pass
 
     async def _respond(self, reader) -> tuple[int, str, str]:
+        received_at = time.time()
         request_line = (await reader.readline()).decode("latin-1").strip()
         parts = request_line.split()
         if len(parts) < 2:
             return _json_error(400, "bad-request", "malformed request line")
         method, path = parts[0].upper(), parts[1]
-        content_length = 0
+        headers: dict[str, str] = {}
         while True:
             line = (await reader.readline()).decode("latin-1").strip()
             if not line:
                 break
             name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    return _json_error(400, "bad-request",
-                                       "unreadable Content-Length")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            content_length = int(headers.get("content-length", "0"))
+        except ValueError:
+            return _json_error(400, "bad-request",
+                               "unreadable Content-Length")
         if content_length > _MAX_BODY:
             return _json_error(400, "bad-request", "request body too large")
         body = (await reader.readexactly(content_length)
                 if content_length else b"")
-        return await self._route(method, path, body)
+        return await self._route(method, path, body, headers, received_at)
 
     # -- routing ---------------------------------------------------------------
 
-    async def _route(self, method: str, path: str,
-                     body: bytes) -> tuple[int, str, str]:
+    async def _route(self, method: str, path: str, body: bytes,
+                     headers: dict[str, str],
+                     received_at: float) -> tuple[int, str, str]:
         if method == "GET" and path == "/healthz":
             return 200, "application/json", json.dumps({"ok": True})
         if method == "GET" and path == "/stats":
@@ -122,7 +133,15 @@ class ServiceHTTP:
             return (200, "text/plain; version=0.0.4",
                     to_prometheus(_telemetry.get()))
         if method == "POST" and path == "/jobs":
-            return await self._submit(body)
+            return await self._submit(body, headers, received_at)
+        if method == "GET" and path.startswith("/jobs/") \
+                and path.endswith("/trace"):
+            jid = path[len("/jobs/"):-len("/trace")]
+            record = self.engine.records.get(jid)
+            if record is None:
+                return _json_error(404, "not-found", "unknown job id")
+            return (200, "application/json",
+                    json.dumps(record.trace_dict()))
         if method == "GET" and path.startswith("/jobs/"):
             record = self.engine.records.get(path[len("/jobs/"):])
             if record is None:
@@ -131,7 +150,8 @@ class ServiceHTTP:
                     json.dumps(record.to_dict()))
         return _json_error(404, "not-found", f"no route {method} {path}")
 
-    async def _submit(self, body: bytes) -> tuple[int, str, str]:
+    async def _submit(self, body: bytes, headers: dict[str, str],
+                      received_at: float) -> tuple[int, str, str]:
         try:
             data = json.loads(body.decode() or "{}")
         except (ValueError, UnicodeDecodeError):
@@ -144,7 +164,18 @@ class ServiceHTTP:
                 {"error": exc.to_dict()})
         wait = bool(data.get("wait", False))
         timeout_s = data.get("wait_timeout_s")
-        record = self.engine.submit(request)
+        trace = (parse_traceparent(headers.get("traceparent"))
+                 or TraceContext.mint())
+        record = self.engine.submit(request, trace=trace)
+        # the trace's root span: request receipt up to submit-return
+        # (HTTP parse + admission); queue/worker/cache spans all descend
+        # from its span_id
+        record.trace_spans.insert(0, TraceSpan(
+            name="http.ingress", tier="ingress", trace_id=trace.trace_id,
+            span_id=trace.span_id, parent_id=trace.parent_id,
+            start_s=received_at,
+            duration_s=max(0.0, time.time() - received_at),
+            process="service", args={"route": "POST /jobs"}))
         if wait and not record.finished:
             try:
                 await self.engine.wait(record.id, timeout_s)

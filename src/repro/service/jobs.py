@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import ReproError
+from repro.telemetry.tracing import TraceContext, TraceSpan, timeline
 
 __all__ = ["JobKind", "JobState", "JobRequest", "JobRecord",
            "TERMINAL_STATES"]
@@ -152,6 +153,11 @@ class JobRecord:
     retried: bool = False              #: a transient-fuel retry happened
     cache_hit: bool = False            #: payload came from the shared store
     deduped_into: str | None = None    #: id of the in-flight primary job
+    #: distributed-trace identity minted at ingress (None for jobs
+    #: submitted through a path that opted out of tracing)
+    trace: TraceContext | None = None
+    #: stitched wall-clock spans across every tier this job touched
+    trace_spans: list[TraceSpan] = field(default_factory=list)
 
     @property
     def finished(self) -> bool:
@@ -186,10 +192,27 @@ class JobRecord:
             "retried": self.retried,
             "cache_hit": self.cache_hit,
         }
+        if self.trace is not None:
+            out["trace_id"] = self.trace.trace_id
         if self.result is not None:
             out["result"] = self.result
         if self.error is not None:
             out["error"] = self.error
         if self.deduped_into is not None:
             out["deduped_into"] = self.deduped_into
+        return out
+
+    def trace_dict(self) -> dict:
+        """The ``GET /jobs/<id>/trace`` body: the job's stitched span
+        timeline plus segment accounting (``queue_wait_s + dispatch_s +
+        exec_s ≈ total_s``).  Empty-but-well-formed for untraced jobs.
+        """
+        if self.trace is None:
+            return {"trace_id": None, "tiers": [], "segments": {},
+                    "spans": [], "job": self.id, "state": self.state.value}
+        end = self.finished_at if self.finished_at is not None else time.time()
+        out = timeline(self.trace.trace_id, self.trace_spans,
+                       total_s=end - self.created_at)
+        out["job"] = self.id
+        out["state"] = self.state.value
         return out

@@ -39,6 +39,7 @@ from typing import Callable
 import multiprocessing
 
 from repro import telemetry as _telemetry
+from repro.telemetry import flight as _flight
 from repro.errors import JobDeadlineError, WorkerCrashError, WorkerResultError
 
 __all__ = ["WorkerSlot", "WorkerSupervisor"]
@@ -97,6 +98,8 @@ class WorkerSlot:
         self.kill()
         self.respawns += 1
         _telemetry.get().counter("service.worker_respawns").inc()
+        _flight.record("worker.respawn", slot=self.index,
+                       respawns=self.respawns)
         self.spawn()
 
 
@@ -170,8 +173,13 @@ class WorkerSupervisor:
 
     # -- job execution ---------------------------------------------------------
 
-    async def run_job(self, order, deadline_s: float | None = None):
+    async def run_job(self, order, deadline_s: float | None = None,
+                      on_dispatch: Callable[[int], None] | None = None):
         """Execute *order* on the next free slot.
+
+        *on_dispatch* (if given) fires with the slot index the moment a
+        slot is acquired — the engine uses it to close the job's
+        ``dispatch`` trace segment (slot-wait) and open ``exec``.
 
         Raises :class:`WorkerCrashError` (slot respawned),
         :class:`JobDeadlineError` (worker killed, slot respawned), or
@@ -181,6 +189,8 @@ class WorkerSupervisor:
         assert self._free is not None, "supervisor not started"
         slot = await self._free.get()
         slot.busy = True
+        if on_dispatch is not None:
+            on_dispatch(slot.index)
         try:
             return await self._run_on(slot, order, deadline_s)
         finally:
@@ -200,6 +210,9 @@ class WorkerSupervisor:
                 result = await future
         except asyncio.TimeoutError:
             _swallow(future)
+            _flight.record("worker.deadline_kill", slot=slot.index,
+                           deadline_s=deadline_s,
+                           elapsed_s=round(perf_counter() - start, 3))
             slot.respawn()
             raise JobDeadlineError(
                 f"job exceeded its {deadline_s:.1f}s service deadline on "

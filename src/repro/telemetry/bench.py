@@ -4,8 +4,9 @@
 :data:`~repro.telemetry.export.BENCH_SCHEMA` summary of a small reference
 pipeline run.  :func:`diff_reports` compares two such summaries and flags
 wall-clock regressions: a span whose ``total_s`` grew by at least
-``threshold`` (fractional; 0.20 = 20% slower) or a throughput gauge
-(``*_per_sec``) that dropped by at least the same fraction.
+``threshold`` (fractional; 0.20 = 20% slower), a throughput gauge
+(``*_per_sec``) that dropped by at least the same fraction, or a latency
+histogram (name ending ``_s``/``_seconds``) whose p95 tail grew past it.
 
 Spans shorter than *min_seconds* in the baseline are ignored — timer noise
 on sub-millisecond phases is not a regression signal.
@@ -31,15 +32,18 @@ class MalformedReport(ValueError):
 class Regression:
     """One flagged slowdown between baseline and current."""
 
-    kind: str         #: "span" or "gauge"
+    kind: str         #: "span", "gauge", or "histogram" (p95 tail)
     name: str
     baseline: float
     current: float
     ratio: float      #: current/baseline for spans, baseline/current for gauges
 
     def describe(self) -> str:
-        unit = "s" if self.kind == "span" else "/s"
-        return (f"{self.kind} {self.name}: {self.baseline:.4f}{unit} -> "
+        unit = "/s" if self.kind == "gauge" else "s"
+        label = f"{self.kind} {self.name}"
+        if self.kind == "histogram":
+            label += " p95"
+        return (f"{label}: {self.baseline:.4f}{unit} -> "
                 f"{self.current:.4f}{unit} ({(self.ratio - 1) * 100:+.1f}%)")
 
 
@@ -51,6 +55,7 @@ class DiffResult:
     improvements: list[Regression] = field(default_factory=list)
     compared_spans: int = 0
     compared_gauges: int = 0
+    compared_histograms: int = 0
     missing_in_current: list[str] = field(default_factory=list)
     manifest_mismatch: list[str] = field(default_factory=list)
 
@@ -60,12 +65,13 @@ class DiffResult:
 
     def describe(self, threshold: float) -> str:
         lines = [f"compared {self.compared_spans} spans, "
-                 f"{self.compared_gauges} gauges "
+                 f"{self.compared_gauges} gauges, "
+                 f"{self.compared_histograms} histogram tails "
                  f"(threshold {threshold * 100:.0f}%)"]
         for note in self.manifest_mismatch:
             lines.append(f"note: {note}")
         for name in self.missing_in_current:
-            lines.append(f"note: span {name!r} missing from current run")
+            lines.append(f"note: series {name!r} missing from current run")
         for reg in self.regressions:
             lines.append(f"REGRESSION {reg.describe()}")
         for imp in self.improvements:
@@ -103,6 +109,16 @@ def load_report(path: Path | str) -> dict:
         if not isinstance(entry, dict) or "total_s" not in entry:
             raise MalformedReport(
                 f"{path}: span {name!r} lacks 'total_s'")
+    # "histograms" arrived with the percentile work — absent in older
+    # baselines, so optional; but if present it must be well-formed
+    histograms = payload.get("histograms")
+    if histograms is not None:
+        if not isinstance(histograms, dict):
+            raise MalformedReport(f"{path}: invalid 'histograms'")
+        for name, entry in histograms.items():
+            if not isinstance(entry, dict):
+                raise MalformedReport(
+                    f"{path}: histogram {name!r} must be an object")
     return payload
 
 
@@ -131,6 +147,29 @@ def diff_reports(baseline: dict, current: dict,
         cur_total = float(cur_entry["total_s"])
         ratio = cur_total / base_total if base_total > 0 else float("inf")
         record = Regression("span", name, base_total, cur_total, ratio)
+        if ratio >= 1.0 + threshold:
+            result.regressions.append(record)
+        elif ratio <= 1.0 - threshold:
+            result.improvements.append(record)
+
+    # Tail-latency gating: p95 on duration histograms (both reports must
+    # carry the histogram — older baselines without "histograms" simply
+    # compare zero tails).  Only seconds-shaped names are compared; size
+    # histograms regressing is not a latency signal.
+    for name, base_entry in (baseline.get("histograms") or {}).items():
+        if not (name.endswith("_s") or name.endswith("_seconds")):
+            continue
+        cur_entry = (current.get("histograms") or {}).get(name)
+        if cur_entry is None:
+            result.missing_in_current.append(name)
+            continue
+        base_p95 = float(base_entry.get("p95", 0.0))
+        cur_p95 = float(cur_entry.get("p95", 0.0))
+        if base_p95 < min_seconds:
+            continue
+        result.compared_histograms += 1
+        ratio = cur_p95 / base_p95
+        record = Regression("histogram", name, base_p95, cur_p95, ratio)
         if ratio >= 1.0 + threshold:
             result.regressions.append(record)
         elif ratio <= 1.0 - threshold:

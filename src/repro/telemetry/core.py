@@ -29,10 +29,13 @@ namespace).
 
 from __future__ import annotations
 
+import math
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
+
+from repro.telemetry import tracing
 
 __all__ = [
     "Counter",
@@ -83,13 +86,77 @@ class Gauge:
             self.value = float(value)
 
 
+#: sentinel bucket for observations <= 0 (sorts below every real bucket)
+_ZERO_BUCKET = -1074
+
+
+def _bucket_index(value: float) -> int:
+    """Log2 bucket for *value*: bucket *j* holds ``2**(j-1) < v <= 2**j``.
+
+    ``math.frexp`` gives ``value = m * 2**e`` with ``0.5 <= m < 1``, so
+    the bucket is ``e`` — except exact powers of two (``m == 0.5``),
+    which sit on the closed upper edge of bucket ``e - 1``.  Negative
+    indices cover fractions (bucket -1 = (0.25, 0.5], ...), which is
+    what makes sub-second latencies distinguishable.
+    """
+    if value <= 0:
+        return _ZERO_BUCKET
+    m, e = math.frexp(value)
+    return e - 1 if m == 0.5 else e
+
+
+def _bucket_edges(index: int) -> tuple[float, float]:
+    if index <= _ZERO_BUCKET:
+        return (0.0, 0.0)
+    return (math.ldexp(1.0, index - 1), math.ldexp(1.0, index))
+
+
+def _estimate_percentiles(count: int, minimum: float | None,
+                          maximum: float | None, buckets: dict[int, int],
+                          qs: tuple[float, ...] = (0.5, 0.95, 0.99),
+                          ) -> dict[str, float]:
+    """Percentile estimates from a log2-bucketed distribution.
+
+    Walks the cumulative bucket counts to the target rank, then
+    interpolates linearly inside the landing bucket ``(2**(j-1), 2**j]``
+    and clamps to the exact observed ``[min, max]`` — so a single-sample
+    histogram reports that sample for every quantile, and estimates can
+    never leave the observed range.  Worst-case bucket-shape error is
+    2× (one bucket spans a factor of two), which is plenty for tail
+    *gating* (a real p95 regression moves buckets, not fractions).
+    """
+    out: dict[str, float] = {}
+    ordered = sorted(buckets.items())
+    lo_clamp = minimum if minimum is not None else 0.0
+    hi_clamp = maximum if maximum is not None else 0.0
+    for q in qs:
+        key = f"p{q * 100:g}"
+        if count <= 0 or not ordered:
+            out[key] = 0.0
+            continue
+        rank = q * count
+        cum = 0
+        estimate = hi_clamp
+        for index, n in ordered:
+            cum += n
+            if cum >= rank and n > 0:
+                lo, hi = _bucket_edges(index)
+                frac = (rank - (cum - n)) / n
+                estimate = lo + frac * (hi - lo)
+                break
+        out[key] = min(max(estimate, lo_clamp), hi_clamp)
+    return out
+
+
 class Histogram:
     """Distribution of observed values in power-of-two buckets.
 
     Tracks ``count``/``sum``/``min``/``max`` exactly and the shape in
     log2 buckets (bucket *j* holds values ``v`` with ``2**(j-1) < v <=
-    2**j``; bucket 0 holds ``v <= 1``).  Cheap enough for per-phase
-    durations and per-function sizes; not meant for per-instruction use.
+    2**j``; negative *j* covers fractions, so sub-second durations keep
+    their shape; ``v <= 0`` collapses into a sentinel bottom bucket).
+    Cheap enough for per-phase durations and per-function sizes; not
+    meant for per-instruction use.
     """
 
     __slots__ = ("name", "count", "sum", "min", "max", "buckets", "_lock")
@@ -111,12 +178,20 @@ class Histogram:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
-            bucket = max(0, (int(value) - 1).bit_length()) if value > 0 else 0
+            bucket = _bucket_index(value)
             self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def percentiles(self, qs: tuple[float, ...] = (0.5, 0.95, 0.99),
+                    ) -> dict[str, float]:
+        """Estimated quantiles (``{"p50": ..., "p95": ..., "p99": ...}``);
+        see :func:`_estimate_percentiles` for accuracy bounds."""
+        with self._lock:
+            return _estimate_percentiles(self.count, self.min, self.max,
+                                         dict(self.buckets), qs)
 
 
 class LabeledCounter:
@@ -211,6 +286,10 @@ class _NullHistogram:
     def observe(self, value: float) -> None:
         pass
 
+    def percentiles(self, qs: tuple[float, ...] = (0.5, 0.95, 0.99),
+                    ) -> dict[str, float]:
+        return {f"p{q * 100:g}": 0.0 for q in qs}
+
 
 class _NullLabeledCounter:
     __slots__ = ()
@@ -243,6 +322,16 @@ class HistogramState:
     min: float | None = None
     max: float | None = None
     buckets: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentiles(self, qs: tuple[float, ...] = (0.5, 0.95, 0.99),
+                    ) -> dict[str, float]:
+        """Estimated quantiles; same math as :meth:`Histogram.percentiles`."""
+        return _estimate_percentiles(self.count, self.min, self.max,
+                                     self.buckets, qs)
 
 
 @dataclass
@@ -367,6 +456,13 @@ class Telemetry:
         finally:
             end = perf_counter()
             stack.pop()
+            # Tag spans recorded under an active distributed-trace context
+            # with its trace_id: merge_snapshot copies span args verbatim,
+            # so the tag survives the worker→parent snapshot merge and the
+            # trace can be re-stitched across process boundaries.
+            ctx = tracing.current()
+            if ctx is not None:
+                args = {**args, "trace_id": ctx.trace_id}
             record = SpanRecord(
                 name=name, category=category,
                 start_us=int((start - self.epoch) * 1e6),

@@ -32,6 +32,7 @@ __all__ = [
     "to_prometheus",
     "summary_table",
     "summary_dict",
+    "slo_summary",
     "write_report",
     "REPORT_FILES",
     "BENCH_SCHEMA",
@@ -81,6 +82,30 @@ def to_chrome_trace(telemetry: Telemetry,
             "tid": tid,
             "args": args,
         })
+    # Cross-process flow events: spans tagged with the same distributed
+    # trace_id (see repro.telemetry.tracing) get a Perfetto flow arrow
+    # connecting them in causal (start-time) order, so one service job's
+    # chain — ingress → queue → worker → cache — reads as one line even
+    # though its spans were recorded by different processes/threads.
+    flows: dict[str, list] = {}
+    for span in telemetry.spans:
+        trace_id = span.args.get("trace_id")
+        if trace_id:
+            flows.setdefault(str(trace_id), []).append(span)
+    for trace_id, chain in sorted(flows.items()):
+        if len(chain) < 2:
+            continue
+        chain.sort(key=lambda s: (s.start_us, s.span_id))
+        for i, span in enumerate(chain):
+            ph = "s" if i == 0 else ("f" if i == len(chain) - 1 else "t")
+            event = {
+                "name": f"trace:{trace_id[:8]}", "cat": "trace", "ph": ph,
+                "id": trace_id, "ts": span.start_us, "pid": 1,
+                "tid": threads.setdefault(span.thread_id, len(threads) + 1),
+            }
+            if ph == "f":
+                event["bp"] = "e"
+            events.append(event)
     counters = telemetry.counters()
     if counters:
         last_us = max((s.start_us + s.duration_us for s in telemetry.spans),
@@ -154,6 +179,9 @@ def to_prometheus(telemetry: Telemetry) -> str:
     for name, hist in telemetry.histograms().items():
         metric = _prom_name(name)
         lines.append(f"# TYPE {metric} summary")
+        for key, value in hist.percentiles().items():
+            quantile = float(key[1:]) / 100.0
+            lines.append(f'{metric}{{quantile="{quantile:g}"}} {value:.6g}')
         lines.append(f"{metric}_count {hist.count}")
         lines.append(f"{metric}_sum {hist.sum}")
     for name, fam in telemetry.labeled_counters().items():
@@ -198,8 +226,11 @@ def summary_table(telemetry: Telemetry, top_pcs: int = 10) -> str:
         for name, value in gauges.items():
             out.append(f"  {name:<44} {value:>14,.1f}")
     for name, hist in telemetry.histograms().items():
+        pct = hist.percentiles()
         out.append(f"histogram {name}: count={hist.count} "
-                   f"mean={hist.mean:.2f} min={hist.min} max={hist.max}")
+                   f"mean={hist.mean:.2f} min={hist.min} max={hist.max} "
+                   f"p50={pct['p50']:.4g} p95={pct['p95']:.4g} "
+                   f"p99={pct['p99']:.4g}")
     for name, fam in telemetry.labeled_counters().items():
         top = fam.top(top_pcs)
         if top:
@@ -212,15 +243,66 @@ def summary_table(telemetry: Telemetry, top_pcs: int = 10) -> str:
     return "\n".join(out) + ("\n" if out else "")
 
 
+def slo_summary(counters: dict[str, int],
+                gauges: dict[str, float]) -> dict[str, float]:
+    """Derived service-level indicators from raw counters/gauges.
+
+    Pure arithmetic over already-exported names, so it works identically
+    on a live sink (``/stats``), a recorded ``telemetry.json``, or the
+    committed baseline; missing counters read as 0 and empty
+    denominators yield a rate of 0.0 rather than an error.
+
+    * ``cache_hit_rate`` — artifact-cache hits / (hits + misses); the
+      PR-6 "warm-cache hit-rate SLO" follow-on.
+    * ``job_error_rate`` — failed+quarantined / jobs that ran to a
+      terminal state (done + failed + quarantined).
+    * ``job_rejection_rate`` — shed load (queue-full + breaker) /
+      submissions.
+    * ``breaker_open_duty_cycle`` — fraction of service lifetime the
+      circuit breaker spent OPEN (``service.breaker_open_s`` /
+      ``service.uptime_s`` gauges).
+    """
+    def count(name: str) -> float:
+        return float(counters.get(name, 0))
+
+    def rate(num: float, den: float) -> float:
+        return round(num / den, 6) if den > 0 else 0.0
+
+    hits = count("harness.artifact_cache.hit")
+    misses = count("harness.artifact_cache.miss")
+    errored = count("service.jobs_failed") + count("service.jobs_quarantined")
+    completed = count("service.jobs_done") + errored
+    rejected = count("service.jobs_rejected")
+    submitted = count("service.jobs_submitted")
+    uptime = float(gauges.get("service.uptime_s", 0.0))
+    open_s = float(gauges.get("service.breaker_open_s", 0.0))
+    return {
+        "cache_hit_rate": rate(hits, hits + misses),
+        "job_error_rate": rate(errored, completed),
+        "job_rejection_rate": rate(rejected, submitted),
+        "breaker_open_duty_cycle": rate(open_s, uptime),
+    }
+
+
 def summary_dict(telemetry: Telemetry, config: dict | None = None,
                  seed: int | None = None) -> dict:
     """Machine-readable summary — the ``telemetry.json`` /
     ``BENCH_pipeline.json`` payload consumed by the diff CLI."""
+    counters = telemetry.counters()
+    gauges = telemetry.gauges()
+    histograms = {}
+    for name, hist in telemetry.histograms().items():
+        entry = {"count": hist.count, "sum": hist.sum, "mean": hist.mean,
+                 "min": hist.min, "max": hist.max}
+        entry.update(hist.percentiles())
+        histograms[name] = entry
     return {
         "schema": BENCH_SCHEMA,
         "manifest": run_manifest(config, seed),
-        "counters": telemetry.counters(),
-        "gauges": telemetry.gauges(),
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+        "slo": slo_summary(counters, gauges),
         "spans": telemetry.span_aggregates(),
         "max_span_depth": telemetry.max_span_depth(),
         "spans_recorded": len(telemetry.spans),

@@ -1,0 +1,208 @@
+"""Service-level distributed-tracing integration (PR 7).
+
+Engine + HTTP tests for the trace plumbing: a trace minted at ingress
+survives queue, dispatch, the fork boundary, and snapshot merge; the
+``/jobs/<id>/trace`` endpoint returns one stitched timeline whose
+segment accounting adds up; an inbound ``traceparent`` continues the
+caller's trace; and a crashing job leaves a flight-recorder black box
+naming its own trace.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+from repro.harness.parallel import ShardResult
+from repro.harness.resilience import RunStatus
+from repro.service.__main__ import _http
+from repro.service.engine import JobEngine, ServiceConfig
+from repro.service.http import ServiceHTTP
+from repro.service.jobs import JobKind, JobRequest, JobState
+from repro.telemetry import tracing
+from repro.telemetry.tracing import TraceContext
+
+from test_service_engine import _exec_crash, _exec_ok, _request, _run
+
+
+# -- injected worker behaviors (module-level: they must pickle) ---------------
+
+def _exec_traced(order) -> ShardResult:
+    """A worker that joins the shard's trace, like run_shard does."""
+    job = order.shard
+    ctx = None
+    if job.trace_id:
+        ctx = TraceContext(trace_id=job.trace_id, span_id=job.trace_parent)
+    with tracing.activate(ctx, process=f"worker:{os.getpid()}") as spans:
+        with tracing.span("worker.simulate", "worker"):
+            pass
+    result = ShardResult(benchmark=job.benchmark, dataset=job.dataset,
+                         status=RunStatus.OK)
+    result.trace = spans
+    return result
+
+
+_CONFIG = ServiceConfig(workers=1, health_interval_s=0)
+
+
+# -- engine-level -------------------------------------------------------------
+
+def test_traced_job_timeline_spans_every_engine_segment():
+    async def body(engine):
+        trace = TraceContext.mint()
+        record = engine.submit(_request(), trace=trace)
+        await engine.wait(record.id, 30)
+        assert record.state is JobState.DONE
+        assert record.trace is trace
+        names = {s.name for s in record.trace_spans}
+        assert {"queue_wait", "dispatch", "exec",
+                "worker.simulate"} <= names
+        # every span belongs to the one trace minted at ingress
+        assert {s.trace_id for s in record.trace_spans} == {trace.trace_id}
+        body = record.trace_dict()
+        assert body["trace_id"] == trace.trace_id
+        assert {"queue", "service", "worker"} <= set(body["tiers"])
+        seg = body["segments"]
+        assert seg["accounted_s"] <= seg["total_s"] + 0.05
+        # the wire record advertises its trace identity
+        assert record.to_dict()["trace_id"] == trace.trace_id
+    _run(body, _CONFIG, _exec_traced)
+
+
+def test_worker_spans_parent_under_the_engines_exec_span():
+    async def body(engine):
+        record = engine.submit(_request(), trace=TraceContext.mint())
+        await engine.wait(record.id, 30)
+        by_name = {s.name: s for s in record.trace_spans}
+        exec_span = by_name["exec"]
+        worker_span = by_name["worker.simulate"]
+        assert worker_span.parent_id == exec_span.span_id
+        assert worker_span.process.startswith("worker:")
+    _run(body, _CONFIG, _exec_traced)
+
+
+def test_untraced_submit_yields_empty_but_well_formed_timeline():
+    async def body(engine):
+        record = await engine.submit_and_wait(_request(), timeout_s=30)
+        assert record.state is JobState.DONE
+        assert record.trace is None and record.trace_spans == []
+        body = record.trace_dict()
+        assert body["trace_id"] is None
+        assert body["tiers"] == [] and body["spans"] == []
+        assert "trace_id" not in record.to_dict()
+    _run(body, _CONFIG, _exec_ok)
+
+
+def test_crashed_job_error_carries_flight_dump_with_its_trace():
+    async def body(engine):
+        trace = TraceContext.mint()
+        record = engine.submit(_request(), trace=trace)
+        await engine.wait(record.id, 60)
+        assert record.state is JobState.QUARANTINED
+        events = record.error.get("flight", [])
+        assert events, "quarantine error lost its black box"
+        assert any(e.get("trace_id") == trace.trace_id for e in events)
+    _run(body, ServiceConfig(workers=1, health_interval_s=0,
+                             crash_retries=1, quarantine_threshold=2),
+         _exec_crash)
+
+
+def test_stats_exposes_slo_rates():
+    async def body(engine):
+        await engine.submit_and_wait(_request(), timeout_s=30)
+        slo = engine.stats()["slo"]
+        assert set(slo) == {"cache_hit_rate", "job_error_rate",
+                            "job_rejection_rate",
+                            "breaker_open_duty_cycle"}
+        assert slo["job_error_rate"] == 0.0
+        assert all(0.0 <= v <= 1.0 for v in slo.values())
+    _run(body, _CONFIG, _exec_ok)
+
+
+# -- HTTP-level ---------------------------------------------------------------
+
+def _serve(test_coro_fn, config: ServiceConfig = _CONFIG,
+           exec_fn=_exec_traced):
+    async def _inner():
+        engine = JobEngine(config, exec_fn=exec_fn)
+        await engine.start()
+        http = ServiceHTTP(engine)
+        await http.start()
+        try:
+            async def call(method, path, body=None, headers=None):
+                return await _http(http.host, http.port, method, path,
+                                   body, headers)
+            return await test_coro_fn(call)
+        finally:
+            await http.stop()
+            await engine.stop()
+    return asyncio.run(_inner())
+
+
+def test_http_trace_endpoint_returns_single_trace_timeline():
+    async def body(call):
+        status, record = await call("POST", "/jobs", {
+            "kind": "compile", "benchmark": "queens", "wait": True,
+            "wait_timeout_s": 30})
+        assert status == 200 and record["state"] == "done"
+        assert record["trace_id"]
+        status, trace = await call("GET", f"/jobs/{record['id']}/trace")
+        assert status == 200
+        assert trace["trace_id"] == record["trace_id"]
+        assert trace["job"] == record["id"]
+        assert {"ingress", "queue", "service", "worker"} <= set(
+            trace["tiers"])
+        assert {s["trace_id"] for s in trace["spans"]} == {
+            record["trace_id"]}
+    _serve(body)
+
+
+def test_http_trace_unknown_job_is_404():
+    async def body(call):
+        status, payload = await call("GET", "/jobs/job-999/trace")
+        assert status == 404
+        assert payload["error"]["code"] == "not-found"
+    _serve(body)
+
+
+def test_inbound_traceparent_continues_the_callers_trace():
+    async def body(call):
+        caller = TraceContext.mint()
+        status, record = await call(
+            "POST", "/jobs",
+            {"kind": "compile", "benchmark": "queens", "wait": True,
+             "wait_timeout_s": 30},
+            headers={"traceparent": caller.traceparent})
+        assert status == 200
+        assert record["trace_id"] == caller.trace_id
+        _, trace = await call("GET", f"/jobs/{record['id']}/trace")
+        ingress = [s for s in trace["spans"]
+                   if s["name"] == "http.ingress"]
+        assert len(ingress) == 1
+        # our root span is parented on the caller's span
+        assert ingress[0]["parent_id"] == caller.span_id
+    _serve(body)
+
+
+def test_malformed_traceparent_mints_a_fresh_root():
+    async def body(call):
+        status, record = await call(
+            "POST", "/jobs",
+            {"kind": "compile", "benchmark": "queens", "wait": True,
+             "wait_timeout_s": 30},
+            headers={"traceparent": "zz-not-a-trace-context"})
+        assert status == 200
+        assert len(record["trace_id"]) == 32
+    _serve(body)
+
+
+def test_deduped_follower_shares_primary_payload_keeps_own_trace():
+    async def body(engine):
+        first = engine.submit(_request(), trace=TraceContext.mint())
+        second = engine.submit(_request(), trace=TraceContext.mint())
+        assert second.deduped_into == first.id
+        await asyncio.gather(engine.wait(first.id, 30),
+                             engine.wait(second.id, 30))
+        assert second.state is first.state
+        assert second.trace.trace_id != first.trace.trace_id
+    _run(body, _CONFIG, _exec_traced)

@@ -19,7 +19,8 @@ from time import perf_counter
 
 from repro.bcc.driver import compile_and_link
 from repro.sim import Machine
-from repro.telemetry import Telemetry
+from repro.telemetry import Telemetry, flight
+from repro.telemetry.flight import DEFAULT_CAPACITY, FlightRecorder
 
 #: ~1M simulated instructions of pure branch/ALU work.
 _HOT_PROGRAM = """
@@ -70,6 +71,46 @@ def test_disabled_telemetry_overhead_under_5pct():
         f"telemetry overhead {overhead * 100:.1f}% exceeds "
         f"{OVERHEAD_BUDGET * 100:.0f}% budget "
         f"(disabled {disabled:.3f}s, enabled {enabled:.3f}s)")
+
+
+def test_always_on_flight_recorder_overhead_under_5pct():
+    """The flight recorder is *always on* (capacity 256 by default): the
+    hot loop must not notice it.  Both arms run with telemetry disabled
+    so any delta isolates the ring."""
+    executable = compile_and_link(_HOT_PROGRAM)
+    default = flight.get()
+    assert default.enabled and default.capacity == DEFAULT_CAPACITY
+    _time_run(executable, Telemetry(enabled=False))  # warm-up
+    try:
+        for attempt in range(2):
+            off_best = on_best = float("inf")
+            for _ in range(ROUNDS):
+                flight.install(FlightRecorder(capacity=0))
+                off_best = min(off_best, _time_run(
+                    executable, Telemetry(enabled=False)))
+                flight.install(default)
+                on_best = min(on_best, _time_run(
+                    executable, Telemetry(enabled=False)))
+            overhead = on_best / off_best - 1.0
+            if overhead < OVERHEAD_BUDGET:
+                break
+    finally:
+        flight.install(default)
+    assert overhead < OVERHEAD_BUDGET, (
+        f"always-on flight recorder costs {overhead * 100:.1f}% on the "
+        f"hot loop (disabled-ring {off_best:.3f}s, default {on_best:.3f}s)")
+
+
+def test_flight_record_is_cheap_and_bounded():
+    """Recording is O(1) per event: a burst far beyond any real event
+    rate completes in bounded time and bounded memory."""
+    ring = FlightRecorder(capacity=DEFAULT_CAPACITY)
+    start = perf_counter()
+    for i in range(10_000):
+        ring.record("burst", index=i)
+    elapsed = perf_counter() - start
+    assert elapsed < 0.5, f"10k flight events took {elapsed:.3f}s"
+    assert len(ring) == DEFAULT_CAPACITY  # ring never grows past capacity
 
 
 def test_disabled_machine_records_nothing():
