@@ -28,6 +28,7 @@ def sequence_experiment(
     inputs: list | None = None,
     analysis: ProgramAnalysis | None = None,
     max_instructions: int = 200_000_000,
+    engine: str | None = None,
 ) -> dict[str, SequenceAnalyzer]:
     """Run one execution measuring the sequence-length distributions of the
     paper's three predictors simultaneously.
@@ -44,4 +45,5 @@ def sequence_experiment(
         "Perfect": PerfectPredictor(analysis, profile).prediction_map(),
     }
     return run_with_sequences(executable, predictions, inputs=inputs,
-                              max_instructions=max_instructions)
+                              max_instructions=max_instructions,
+                              engine=engine)

@@ -22,6 +22,9 @@ Options:
     --hot-pc N       sample the simulator pc every N instructions
                      (requires --telemetry to be exported; also exposed on
                      the Machine API directly)
+    --engine TIER    simulator execution engine: tier0 (pre-decoded
+                     dispatch) or tier1 (superblock trace cache, the
+                     default) — see docs/performance.md
     --log-level/--quiet
                      shared structured-logging knobs (repro.telemetry)
 
@@ -122,6 +125,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--hot-pc", type=int, default=None, metavar="N",
                         help="sample the simulated pc every N instructions "
                              "(hot-PC histogram; off by default)")
+    parser.add_argument("--engine", default=None,
+                        choices=("tier0", "tier1"),
+                        help="simulator execution engine (default: resolve "
+                             "via REPRO_CHAOS_FORCE_TIER0 / "
+                             "REPRO_SIM_ENGINE, else tier1)")
     parser.add_argument("--range-table", action="store_true",
                         help="also print the range-evidence ablation table "
                              "(recompiles the suite fold-free with the "
@@ -152,7 +160,8 @@ def main(argv: list[str] | None = None) -> int:
                          wall_clock_deadline=args.deadline,
                          pc_sample_interval=args.hot_pc,
                          optimize=not args.no_opt,
-                         parallelism=args.jobs, cache_dir=cache_dir)
+                         parallelism=args.jobs, cache_dir=cache_dir,
+                         engine=args.engine)
 
     if args.telemetry is not None:
         sink = telemetry.Telemetry()
@@ -237,6 +246,7 @@ def main(argv: list[str] | None = None) -> int:
             "max_instructions": runner.max_instructions,
             "jobs": args.jobs,
             "cache": cache_dir,
+            "engine": args.engine,
         }
         paths = telemetry.write_report(sink, args.telemetry, config=config)
         log.info("telemetry report written to %s (%s)", args.telemetry,

@@ -19,8 +19,11 @@ Key recipe (see docs/performance.md for the full derivation):
 ``run`` entries
     ``sha256(schema, repro version, "run", compile key, dataset name,
     effective input vector, effective fuel budget, memory cap, retry fuel
-    factor)`` — the *effective* values after chaos/operator overrides, so
-    a fault injected via ``limit_fuel`` can never alias a healthy entry.
+    factor, resolved engine name)`` — the *effective* values after
+    chaos/operator overrides, so a fault injected via ``limit_fuel`` can
+    never alias a healthy entry, and Tier-0/Tier-1 artifacts never alias
+    each other (the engine name is resolved *after* the
+    ``REPRO_CHAOS_FORCE_TIER0`` / ``REPRO_SIM_ENGINE`` seams).
 
 Integrity: each entry file is ``magic || sha256(body) || body`` where the
 body is a pickled envelope ``{schema, version, key, kind, payload}``.  A
@@ -130,13 +133,22 @@ def compile_key(benchmark: str, source: str, optimize: bool,
 def run_key(compile_digest: str, dataset: str, inputs: tuple,
             fuel_budget: int, max_memory_bytes: int | None,
             retry_fuel_factor: int,
-            version: str = __version__) -> str:
+            version: str = __version__,
+            engine: str = "tier1") -> str:
     """Content key for one profiled execution (or deterministic failure).
 
     *inputs* / *fuel_budget* / *max_memory_bytes* are the **effective**
     values after operator and chaos overrides.  The wall-clock deadline
     is deliberately excluded: it cannot change a deterministic result,
     and results it *does* change (timeouts) are never cached.
+
+    *engine* is the **resolved** execution-engine name (``"tier0"`` /
+    ``"tier1"`` — callers resolve chaos/env overrides first, see
+    :func:`repro.sim.resolve_engine_name`).  The tiers are verified
+    byte-identical, but the fingerprint keeps their artifacts from ever
+    aliasing: a Tier-0 entry is never served as evidence about Tier-1
+    (and a differential run can never be satisfied from one tier's
+    cache).
     """
     return _digest({
         "schema": CACHE_SCHEMA,
@@ -148,6 +160,7 @@ def run_key(compile_digest: str, dataset: str, inputs: tuple,
         "fuel": int(fuel_budget),
         "memory": max_memory_bytes,
         "retry_fuel_factor": int(retry_fuel_factor),
+        "engine": engine,
     })
 
 

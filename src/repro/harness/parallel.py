@@ -50,7 +50,7 @@ from repro.harness.cache import ArtifactCache, compile_key, run_key
 from repro.harness.resilience import RunStatus, classify_failure
 from repro.harness.retry import RetryPolicy
 from repro.isa.program import Executable
-from repro.sim import Machine
+from repro.sim import Machine, resolve_engine_name
 from repro.sim.profile import EdgeProfile
 from repro.telemetry.core import Telemetry, TelemetrySnapshot
 
@@ -102,6 +102,9 @@ class ShardJob:
     max_memory_bytes: int | None = None
     pc_sample_interval: int | None = None
     optimize: bool = True
+    #: execution engine (``"tier0"`` / ``"tier1"`` / ``None`` = resolve
+    #: via the chaos/env seams inside the worker)
+    engine: str | None = None
     cache_dir: str | None = None
     collect_telemetry: bool = False
     #: pre-compiled (executable, analysis) — skips the compile phase
@@ -259,7 +262,8 @@ def _simulate(job: ShardJob, executable: Executable,
             max_instructions=budget,
             wall_clock_deadline=job.wall_clock_deadline,
             max_memory_bytes=job.max_memory_bytes,
-            pc_sample_interval=job.pc_sample_interval)
+            pc_sample_interval=job.pc_sample_interval,
+            engine=job.engine)
         status = machine.run()
     return profile, status
 
@@ -296,7 +300,8 @@ def _run_shard_inner(job: ShardJob) -> ShardResult:
                                job.optimize, version=cache.version)
             rkey = run_key(ckey, job.dataset, job.inputs, job.fuel_budget,
                            job.max_memory_bytes, job.retry_fuel_factor,
-                           version=cache.version)
+                           version=cache.version,
+                           engine=resolve_engine_name(job.engine))
             if job.lease_wait_s > 0:
                 with _tracing.span("cache.lease_wait", "cache",
                                    benchmark=job.benchmark,

@@ -51,7 +51,7 @@ from repro.errors import ReproError
 from repro.harness.cache import ArtifactCache, compile_key, run_key
 from repro.harness.retry import RetryPolicy
 from repro.isa.program import Executable
-from repro.sim import Machine
+from repro.sim import Machine, resolve_engine_name
 from repro.sim.profile import EdgeProfile
 
 __all__ = ["BenchmarkRun", "SuiteRunner"]
@@ -141,6 +141,13 @@ class SuiteRunner:
     cache_dir:
         Directory for the persistent content-addressed artifact cache
         (``None`` disables persistence).
+    engine:
+        Execution engine for every simulation this runner performs:
+        ``"tier0"`` (pre-decoded dispatch), ``"tier1"`` (superblock trace
+        cache), or ``None`` (resolve per run via the chaos/env seams —
+        see :func:`repro.sim.resolve_engine_name`).  The resolved name is
+        folded into every persistent run key so tier artifacts never
+        alias.
 
     Telemetry: each fresh (benchmark, dataset) execution is wrapped in a
     ``run:<benchmark>/<dataset>`` span containing ``compile``/``analyze``
@@ -159,7 +166,8 @@ class SuiteRunner:
                  pc_sample_interval: int | None = None,
                  optimize: bool = True,
                  parallelism: int = 1,
-                 cache_dir=None) -> None:
+                 cache_dir=None,
+                 engine: str | None = None) -> None:
         self.benchmark_names = benchmarks or [b.name for b in suite()]
         self.max_instructions = max_instructions
         self.strict = strict
@@ -168,6 +176,7 @@ class SuiteRunner:
         self.pc_sample_interval = pc_sample_interval
         self.optimize = optimize
         self.parallelism = max(1, int(parallelism))
+        self.engine = engine
         self.cache = ArtifactCache(cache_dir) if cache_dir else None
         self._compiled: dict[str, tuple[Executable, ProgramAnalysis]] = {}
         self._compile_keys: dict[str, str] = {}
@@ -255,7 +264,8 @@ class SuiteRunner:
             inputs = inputs[:keep]
         return run_key(self._compile_key_for(name), dataset, inputs,
                        budget, memory, self._effective_retry_factor,
-                       version=self.cache.version)
+                       version=self.cache.version,
+                       engine=resolve_engine_name(self.engine))
 
     # -- compilation -----------------------------------------------------------
 
@@ -311,7 +321,8 @@ class SuiteRunner:
                     max_instructions=budget * fuel_scale,
                     wall_clock_deadline=self.wall_clock_deadline,
                     max_memory_bytes=memory,
-                    pc_sample_interval=self.pc_sample_interval)
+                    pc_sample_interval=self.pc_sample_interval,
+                    engine=self.engine)
                 status = machine.run()
         except ReproError as exc:
             raise exc.with_context(benchmark=name, dataset=dataset)
@@ -483,6 +494,7 @@ class SuiteRunner:
             max_memory_bytes=memory,
             pc_sample_interval=self.pc_sample_interval,
             optimize=self.optimize,
+            engine=self.engine,
             cache_dir=(str(self.cache.root)
                        if self.cache is not None and not poisoned else None),
             collect_telemetry=_telemetry.get().enabled,

@@ -106,7 +106,8 @@ async def _http(host: str, port: int, method: str, path: str,
 async def _serve(args) -> int:
     config = ServiceConfig(
         workers=args.workers, cache_dir=args.cache_dir,
-        deadline_s=args.deadline, queue_limit=args.queue_limit)
+        deadline_s=args.deadline, queue_limit=args.queue_limit,
+        engine=args.engine)
     engine = JobEngine(config)
     await engine.start()
     http = ServiceHTTP(engine, host=args.host, port=args.port)
@@ -136,7 +137,8 @@ def _serial_reference(request: JobRequest, config: ServiceConfig,
         inputs=inputs,
         fuel_budget=request.fuel_budget or config.fuel_budget,
         retry_fuel_factor=config.retry_fuel_factor,
-        optimize=request.optimize, cache_dir=cache_dir)
+        optimize=request.optimize, engine=config.engine,
+        cache_dir=cache_dir)
     result = execute_order(
         ServiceOrder(kind=request.kind.value, shard=shard))
     return build_payload(request, result) if result.ok else None
@@ -156,7 +158,8 @@ async def _smoke(args) -> int:
     config = ServiceConfig(
         workers=args.workers, cache_dir=args.cache_dir,
         deadline_s=args.deadline, health_interval_s=0,
-        crash_retries=1, quarantine_threshold=2)
+        crash_retries=1, quarantine_threshold=2,
+        engine=args.engine)
     engine = JobEngine(config)
     await engine.start()
     http = ServiceHTTP(engine)
@@ -312,6 +315,11 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--queue-limit", type=int, default=64)
     serve.add_argument("--deadline", type=float, default=60.0)
     serve.add_argument("--cache-dir", default=None)
+    serve.add_argument("--engine", default=None,
+                       choices=("tier0", "tier1"),
+                       help="simulator engine for every job (default: "
+                            "resolve via REPRO_CHAOS_FORCE_TIER0 / "
+                            "REPRO_SIM_ENGINE, else tier1)")
 
     smoke = sub.add_parser("smoke", help="CI chaos drill")
     smoke.add_argument("--workers", type=int, default=2)
@@ -328,6 +336,11 @@ def main(argv: list[str] | None = None) -> int:
                        metavar="SECONDS")
     smoke.add_argument("--chaos-lease-ttl", type=float, default=0.0,
                        metavar="SECONDS")
+    smoke.add_argument("--engine", default=None,
+                       choices=("tier0", "tier1"),
+                       help="simulator engine for the drill (CI also runs "
+                            "the smoke once under REPRO_CHAOS_FORCE_TIER0, "
+                            "which overrides this)")
 
     args = parser.parse_args(argv)
     _telemetry.install(Telemetry(enabled=True))

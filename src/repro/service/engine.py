@@ -99,6 +99,10 @@ class ServiceConfig:
     lease_wait_s: float = 10.0          #: lock-aware read wait in workers
     start_method: str | None = None
     max_records: int = 4096             #: finished-record retention bound
+    #: simulator execution engine for every job this service runs
+    #: (``None``: resolve via REPRO_CHAOS_FORCE_TIER0 / REPRO_SIM_ENGINE,
+    #: else tier1); folded into dedupe/cache keys so tiers never alias
+    engine: str | None = None
 
 
 @dataclass
@@ -270,7 +274,8 @@ class JobEngine:
                        benchmark=request.benchmark)
         try:
             key = request.cache_key(request.fuel_budget or cfg.fuel_budget,
-                                    cfg.retry_fuel_factor)
+                                    cfg.retry_fuel_factor,
+                                    engine=cfg.engine)
         except ReproError as exc:
             record = JobRecord(id=jid, request=request, key="",
                                trace=trace)
@@ -410,6 +415,7 @@ class JobEngine:
             fuel_budget=request.fuel_budget or cfg.fuel_budget,
             retry_fuel_factor=cfg.retry_fuel_factor,
             optimize=request.optimize,
+            engine=cfg.engine,
             cache_dir=(str(self.cache.root)
                        if self.cache is not None else None),
             lease_wait_s=cfg.lease_wait_s,

@@ -102,7 +102,8 @@ class JobRequest:
                    fuel_budget=fuel)
 
     def cache_key(self, fuel_budget: int, retry_fuel_factor: int,
-                  max_memory_bytes: int | None = None) -> str:
+                  max_memory_bytes: int | None = None,
+                  engine: str | None = None) -> str:
         """The artifact-cache content key this job resolves to — also the
         engine's in-flight dedupe key, so concurrent identical requests
         collapse onto one execution and one store entry.
@@ -126,8 +127,10 @@ class JobRequest:
             raise ReproError(f"unknown dataset: {exc}",
                              benchmark=self.benchmark, dataset=self.dataset,
                              phase="service") from exc
+        from repro.sim import resolve_engine_name
         return run_key(ckey, self.dataset, tuple(ds.inputs), fuel_budget,
-                       max_memory_bytes, retry_fuel_factor)
+                       max_memory_bytes, retry_fuel_factor,
+                       engine=resolve_engine_name(engine))
 
     def to_dict(self) -> dict:
         return {"kind": self.kind.value, "benchmark": self.benchmark,

@@ -8,6 +8,9 @@ the events QPT's instrumentation counted: edge profiles
 
 from repro.errors import CallFrame, CrashReport
 from repro.isa.program import Executable
+from repro.sim.engine import (
+    DEFAULT_ENGINE, ENGINES, FORCE_TIER0_ENV, resolve_engine_name,
+)
 from repro.sim.machine import (
     ExitStatus, HALT_ADDRESS, InputExhausted, Machine, Observer,
     SimulationError, SimulationLimitExceeded, SimulationTimeout,
@@ -19,6 +22,10 @@ from repro.sim.trace import BranchTrace, SequenceAnalyzer
 __all__ = [
     "Machine",
     "Observer",
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "FORCE_TIER0_ENV",
+    "resolve_engine_name",
     "ExitStatus",
     "HALT_ADDRESS",
     "SimulationError",
@@ -41,11 +48,12 @@ def run_with_profile(
     executable: Executable,
     inputs: list | None = None,
     max_instructions: int = 200_000_000,
+    engine: str | None = None,
 ) -> EdgeProfile:
     """Run *executable* to completion and return its edge profile."""
     profile = EdgeProfile()
     machine = Machine(executable, inputs=inputs, observers=[profile],
-                      max_instructions=max_instructions)
+                      max_instructions=max_instructions, engine=engine)
     machine.run()
     return profile
 
@@ -55,6 +63,7 @@ def run_with_sequences(
     predictions_by_name: dict[str, dict[int, bool]],
     inputs: list | None = None,
     max_instructions: int = 200_000_000,
+    engine: str | None = None,
 ) -> dict[str, SequenceAnalyzer]:
     """Run *executable* once while measuring the sequence-length distribution
     of several static predictors simultaneously.
@@ -67,6 +76,6 @@ def run_with_sequences(
                  for name, preds in predictions_by_name.items()}
     machine = Machine(executable, inputs=inputs,
                       observers=list(analyzers.values()),
-                      max_instructions=max_instructions)
+                      max_instructions=max_instructions, engine=engine)
     machine.run()
     return analyzers

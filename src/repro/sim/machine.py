@@ -1,18 +1,27 @@
-"""The ISA interpreter.
+"""The ISA simulator facade.
 
 This is our stand-in for running a QPT-instrumented binary: instead of
-rewriting the executable, the interpreter raises events at exactly the points
+rewriting the executable, the simulator raises events at exactly the points
 QPT's instrumentation counted — conditional-branch outcomes (for edge
 profiles) and breaks in control (for trace analysis). Observers implementing
-:class:`Observer` subscribe to those events; the execution itself is
-otherwise a plain fetch-decode-execute loop with no timing model (the paper
-measures prediction accuracy, not cycles).
+:class:`Observer` subscribe to those events; execution itself has no timing
+model (the paper measures prediction accuracy, not cycles).
+
+Execution is tiered (see :mod:`repro.sim.engine`): the instruction stream
+is pre-decoded once into per-opcode closures (:mod:`repro.sim.decode`,
+"tier0"), and by default hot straight-line regions are further compiled
+into fused superblock handlers (:mod:`repro.sim.traces`, "tier1") with
+watchdog/telemetry/observer housekeeping batched at superblock boundaries.
+Both tiers retire identical architectural state, output, branch-event
+streams, and crash reports; ``Machine`` is the stable facade over them —
+it owns all simulated state (registers, memory, syscalls, call-stack and
+branch-history shadows) while the engines own only dispatch.
 
 Arithmetic follows MIPS semantics: 32-bit two's-complement wraparound,
 truncating division, logical/arithmetic shifts. Doubles are IEEE 754 via the
 host.
 
-Robustness: the interpreter enforces two independent resource limits — an
+Robustness: the simulator enforces two independent resource limits — an
 instruction-fuel budget (:class:`SimulationLimitExceeded`) and an optional
 wall-clock watchdog deadline (:class:`SimulationTimeout`, checked every
 ``watchdog_interval`` instructions) — and on *any* fault attaches a
@@ -28,7 +37,7 @@ from __future__ import annotations
 import struct
 from collections import deque
 from dataclasses import dataclass, field
-from time import monotonic, perf_counter
+from time import perf_counter
 
 from repro import telemetry as _telemetry
 from repro.telemetry import flight as _flight
@@ -38,6 +47,8 @@ from repro.errors import (
 )
 from repro.isa.instructions import Instruction
 from repro.isa.program import Executable, GP_VALUE, STACK_TOP, TEXT_BASE, WORD_SIZE
+from repro.sim.decode import HALT_ADDRESS
+from repro.sim.engine import create_engine, resolve_engine_name
 from repro.sim.memory import PAGE_SIZE, Memory
 
 __all__ = [
@@ -51,10 +62,6 @@ __all__ = [
     "CrashReport",
     "HALT_ADDRESS",
 ]
-
-#: Sentinel return address: `jr $ra` to this halts the machine (used when a
-#: program's `main` returns and no exit syscall was made).
-HALT_ADDRESS = 0
 
 _INT_MIN = -(1 << 31)
 _WRAP = 1 << 32
@@ -76,7 +83,15 @@ _INTERNAL_FAULTS = (KeyError, IndexError, ValueError, TypeError,
 
 
 class Observer:
-    """Subscriber to execution events. Subclass and override what you need."""
+    """Subscriber to execution events. Subclass and override what you need.
+
+    The engines deliver events in *batches* (:meth:`on_events`) flushed at
+    housekeeping ticks, superblock boundaries, faults, and run end.  The
+    default implementation replays a batch through the per-event hooks, so
+    subclasses overriding only :meth:`on_branch`/:meth:`on_indirect` keep
+    working unchanged; throughput-sensitive observers override
+    :meth:`on_events` instead.  Event order is always execution order, and
+    the batch list is only valid for the duration of the call."""
 
     def on_branch(self, inst: Instruction, taken: bool, instr_count: int) -> None:
         """A conditional branch executed; *taken* is its outcome and
@@ -86,6 +101,29 @@ class Observer:
     def on_indirect(self, inst: Instruction, instr_count: int) -> None:
         """An indirect jump (non-return ``jr``) or indirect call (``jalr``)
         executed — always a break in control under any static predictor."""
+
+    def on_events(self, events) -> None:
+        """A batch of ``(inst, taken_or_None, instr_count)`` tuples in
+        execution order; ``taken is None`` marks an indirect event.
+        Tier-1 run markers (``inst is None``: the completed iterations
+        of a looped superblock, see :mod:`repro.sim.traces`) are
+        expanded here into the exact per-event calls tier0 would make,
+        so subclasses overriding only the per-event hooks stay
+        tier-agnostic."""
+        for ev in events:
+            inst = ev[0]
+            if inst is None:
+                _, template, base, iterations, length = ev
+                for i in range(iterations):
+                    count = base + i * length
+                    for binst, taken, offset in template:
+                        self.on_branch(binst, taken, count + offset)
+                continue
+            taken = ev[1]
+            if taken is None:
+                self.on_indirect(inst, ev[2])
+            else:
+                self.on_branch(inst, taken, ev[2])
 
     def on_finish(self, instr_count: int) -> None:
         """Execution finished normally."""
@@ -103,7 +141,7 @@ class ExitStatus:
 
 
 class Machine:
-    """Interpreter for a linked :class:`Executable`.
+    """Simulator facade for a linked :class:`Executable`.
 
     Parameters
     ----------
@@ -119,8 +157,9 @@ class Machine:
     wall_clock_deadline:
         Optional watchdog budget in *seconds of wall time* for the whole
         run; :class:`SimulationTimeout` is raised once it passes. Checked
-        every *watchdog_interval* instructions, so overshoot is bounded by
-        the cost of one check window.
+        every *watchdog_interval* instructions (tier1 may defer the check
+        to the end of the current superblock, bounding overshoot by the
+        block length cap on top of the interval).
     watchdog_interval:
         How many instructions between periodic housekeeping ticks
         (rounded down to a power of two).  The wall-clock deadline is
@@ -133,11 +172,12 @@ class Machine:
         How many recent conditional-branch outcomes to keep for the crash
         report's ``branch_history`` ring.
     pc_sample_interval:
-        Off by default (``None``).  When set to *N*, the pc of every
-        *N*-th instruction (rounded down to a power of two) is sampled
-        into ``hot_pc_samples`` — a statistical profile of where
+        Off by default (``None``).  When set to *N*, one pc sample is
+        taken per *N* executed instructions (rounded down to a power of
+        two) into ``hot_pc_samples`` — a statistical profile of where
         simulated execution time goes — and published to the telemetry
-        sink as the ``sim.hot_pc`` labeled counter.
+        sink as the ``sim.hot_pc`` labeled counter.  Tier1 attributes the
+        samples of a superblock's instructions to the block's head pc.
     telemetry:
         Explicit telemetry sink override; default is the process-wide
         seam (:func:`repro.telemetry.get`), a no-op unless installed.
@@ -145,6 +185,12 @@ class Machine:
         are accumulated as local integers and published once at the end
         of :meth:`run` (success or fault), keeping disabled-mode
         overhead on the hot loop at zero telemetry calls.
+    engine:
+        ``"tier0"`` (pre-decoded dispatch only) or ``"tier1"`` (adds the
+        superblock trace cache).  ``None`` resolves via
+        :func:`repro.sim.engine.resolve_engine_name`: the
+        ``REPRO_CHAOS_FORCE_TIER0`` chaos seam, then ``REPRO_SIM_ENGINE``,
+        then the default ``tier1``.
     """
 
     def __init__(
@@ -159,6 +205,7 @@ class Machine:
         branch_history_limit: int = 32,
         pc_sample_interval: int | None = None,
         telemetry: "_telemetry.Telemetry | None" = None,
+        engine: str | None = None,
     ) -> None:
         self.executable = executable
         max_pages = None
@@ -180,6 +227,7 @@ class Machine:
         self.wall_clock_deadline = wall_clock_deadline
         self.telemetry = telemetry if telemetry is not None \
             else _telemetry.get()
+        self.engine = resolve_engine_name(engine)
         # housekeeping ticks happen when (count & mask) == 0; force the
         # interval to a power of two.  The hot-PC sampler shares the tick,
         # so an enabled sampler tightens the interval to its own period.
@@ -205,6 +253,11 @@ class Machine:
         #: ring of recent (branch_address, taken) outcomes for crash reports
         self._branch_history: deque[tuple[int, bool]] = deque(
             maxlen=max(1, branch_history_limit))
+        #: batched (inst, taken_or_None, count) events awaiting a flush;
+        #: shared by the pre-decoded handlers and compiled superblocks
+        self._pending: list[tuple[Instruction, bool | None, int]] = []
+        #: shared mutable counter cell bumped by superblock side exits
+        self._side_exit_cell = [0]
         self._brk = executable.heap_start
         self._insts = executable.instructions
         # precomputed branch/jump target indices
@@ -213,6 +266,7 @@ class Machine:
             else -1
             for i in self._insts
         ]
+        self._engine_obj = None
 
     # -- public API --------------------------------------------------------------
 
@@ -232,7 +286,7 @@ class Machine:
         pc = ((entry if entry is not None else self.executable.entry)
               - TEXT_BASE) // WORD_SIZE
         try:
-            return self._run_loop(pc)
+            return self._engine().run_loop(pc)
         except ReproError as exc:
             raise exc.attach_crash_report(self.crash_snapshot(self._fault_pc))
         except _INTERNAL_FAULTS as exc:
@@ -241,301 +295,34 @@ class Machine:
             fault.attach_crash_report(self.crash_snapshot(self._fault_pc))
             raise fault from exc
 
-    def _run_loop(self, pc: int) -> ExitStatus:
-        insts = self._insts
-        tindex = self._tindex
-        regs = self.regs
-        fregs = self.fregs
-        memory = self.memory
-        n_insts = len(insts)
-        count = self.instr_count
-        branches = self.dynamic_branches
-        limit = self.max_instructions
-        observers = self.observers
-        branch_observers = observers  # all observers see branches
-        record_branch = self._branch_history.append
-        call_stack = self._call_stack
-        deadline = None
-        if self.wall_clock_deadline is not None:
-            deadline = monotonic() + self.wall_clock_deadline
-        tick_mask = self._tick_mask
-        sampling = self.pc_sample_interval is not None
-        hot_pc: dict[int, int] = {}  # this run's samples; merged at the end
-        ticks = 0
-        start_count = count
-        start_branches = branches
-        start_syscalls = self.syscall_count
-        start_wall = perf_counter()
-        self._fault_pc = pc
+    def _engine(self):
+        """The lazily-created execution engine (decode happens here)."""
+        eng = self._engine_obj
+        if eng is None:
+            eng = self._engine_obj = create_engine(self)
+        return eng
 
-        try:
-            running = True
-            while running:
-                if not 0 <= pc < n_insts:
-                    if pc == (HALT_ADDRESS - TEXT_BASE) // WORD_SIZE:
-                        break
-                    raise SimulationError(
-                        f"pc out of range: 0x{TEXT_BASE + WORD_SIZE * pc:x}")
-                inst = insts[pc]
-                count += 1
-                if count > limit:
-                    raise SimulationLimitExceeded(
-                        f"exceeded fuel budget of {limit} instructions "
-                        f"at 0x{inst.address:x}")
-                if not count & tick_mask:
-                    # periodic housekeeping (cold path, every 2^k instrs):
-                    # wall-clock watchdog + sampled hot-PC profiler
-                    ticks += 1
-                    if deadline is not None and monotonic() > deadline:
-                        raise SimulationTimeout(
-                            f"watchdog: exceeded wall-clock deadline of "
-                            f"{self.wall_clock_deadline:.3f}s after {count} "
-                            f"instructions at 0x{inst.address:x}")
-                    if sampling:
-                        addr = inst.address
-                        hot_pc[addr] = hot_pc.get(addr, 0) + 1
-                name = inst.op.name
-                next_pc = pc + 1
+    # -- engine accounting seam --------------------------------------------------
 
-                # --- hottest opcodes first ---
-                if name == "addiu" or name == "addi":
-                    regs[inst.rt] = _s32(regs[inst.rs] + inst.imm)
-                elif name == "lw":
-                    regs[inst.rt] = memory.load_word(_u32(regs[inst.rs]) + inst.imm)
-                elif name == "sw":
-                    memory.store_word(_u32(regs[inst.rs]) + inst.imm, regs[inst.rt])
-                elif name == "addu" or name == "add":
-                    regs[inst.rd] = _s32(regs[inst.rs] + regs[inst.rt])
-                elif name == "beq":
-                    taken = regs[inst.rs] == regs[inst.rt]
-                    record_branch((inst.address, taken))
-                    branches += 1
-                    for ob in branch_observers:
-                        ob.on_branch(inst, taken, count)
-                    if taken:
-                        next_pc = tindex[pc]
-                elif name == "bne":
-                    taken = regs[inst.rs] != regs[inst.rt]
-                    record_branch((inst.address, taken))
-                    branches += 1
-                    for ob in branch_observers:
-                        ob.on_branch(inst, taken, count)
-                    if taken:
-                        next_pc = tindex[pc]
-                elif name == "slt":
-                    regs[inst.rd] = 1 if regs[inst.rs] < regs[inst.rt] else 0
-                elif name == "slti":
-                    regs[inst.rt] = 1 if regs[inst.rs] < inst.imm else 0
-                elif name == "sltu":
-                    regs[inst.rd] = 1 if _u32(regs[inst.rs]) < _u32(regs[inst.rt]) else 0
-                elif name == "sltiu":
-                    regs[inst.rt] = 1 if _u32(regs[inst.rs]) < (inst.imm & 0xFFFF_FFFF) else 0
-                elif name == "j":
-                    next_pc = tindex[pc]
-                elif name == "jal":
-                    ra = TEXT_BASE + WORD_SIZE * (pc + 1)
-                    regs[31] = ra
-                    call_stack.append((inst.address, inst.target_address, ra))
-                    next_pc = tindex[pc]
-                elif name == "jr":
-                    addr = _u32(regs[inst.rs])
-                    if inst.rs != 31:
-                        for ob in observers:
-                            ob.on_indirect(inst, count)
-                    elif call_stack:
-                        call_stack.pop()
-                    if addr == HALT_ADDRESS:
-                        break
-                    next_pc = (addr - TEXT_BASE) // WORD_SIZE
-                elif name == "jalr":
-                    addr = _u32(regs[inst.rs])
-                    ra = TEXT_BASE + WORD_SIZE * (pc + 1)
-                    regs[inst.rd] = ra
-                    call_stack.append((inst.address, addr, ra))
-                    for ob in observers:
-                        ob.on_indirect(inst, count)
-                    next_pc = (addr - TEXT_BASE) // WORD_SIZE
-                elif name == "blez":
-                    taken = regs[inst.rs] <= 0
-                    record_branch((inst.address, taken))
-                    branches += 1
-                    for ob in branch_observers:
-                        ob.on_branch(inst, taken, count)
-                    if taken:
-                        next_pc = tindex[pc]
-                elif name == "bgtz":
-                    taken = regs[inst.rs] > 0
-                    record_branch((inst.address, taken))
-                    branches += 1
-                    for ob in branch_observers:
-                        ob.on_branch(inst, taken, count)
-                    if taken:
-                        next_pc = tindex[pc]
-                elif name == "bltz":
-                    taken = regs[inst.rs] < 0
-                    record_branch((inst.address, taken))
-                    branches += 1
-                    for ob in branch_observers:
-                        ob.on_branch(inst, taken, count)
-                    if taken:
-                        next_pc = tindex[pc]
-                elif name == "bgez":
-                    taken = regs[inst.rs] >= 0
-                    record_branch((inst.address, taken))
-                    branches += 1
-                    for ob in branch_observers:
-                        ob.on_branch(inst, taken, count)
-                    if taken:
-                        next_pc = tindex[pc]
-                elif name == "sub" or name == "subu":
-                    regs[inst.rd] = _s32(regs[inst.rs] - regs[inst.rt])
-                elif name == "mul":
-                    regs[inst.rd] = _s32(regs[inst.rs] * regs[inst.rt])
-                elif name == "div":
-                    denom = regs[inst.rt]
-                    if denom == 0:
-                        raise SimulationError(
-                            f"integer division by zero at 0x{inst.address:x}")
-                    q = abs(regs[inst.rs]) // abs(denom)
-                    if (regs[inst.rs] < 0) != (denom < 0):
-                        q = -q
-                    regs[inst.rd] = _s32(q)
-                elif name == "rem":
-                    denom = regs[inst.rt]
-                    if denom == 0:
-                        raise SimulationError(
-                            f"integer remainder by zero at 0x{inst.address:x}")
-                    q = abs(regs[inst.rs]) // abs(denom)
-                    if (regs[inst.rs] < 0) != (denom < 0):
-                        q = -q
-                    regs[inst.rd] = _s32(regs[inst.rs] - denom * q)
-                elif name == "and":
-                    regs[inst.rd] = _s32(_u32(regs[inst.rs]) & _u32(regs[inst.rt]))
-                elif name == "or":
-                    regs[inst.rd] = _s32(_u32(regs[inst.rs]) | _u32(regs[inst.rt]))
-                elif name == "xor":
-                    regs[inst.rd] = _s32(_u32(regs[inst.rs]) ^ _u32(regs[inst.rt]))
-                elif name == "nor":
-                    regs[inst.rd] = _s32(~(_u32(regs[inst.rs]) | _u32(regs[inst.rt])))
-                elif name == "andi":
-                    regs[inst.rt] = _s32(_u32(regs[inst.rs]) & (inst.imm & 0xFFFF))
-                elif name == "ori":
-                    regs[inst.rt] = _s32(_u32(regs[inst.rs]) | (inst.imm & 0xFFFF))
-                elif name == "xori":
-                    regs[inst.rt] = _s32(_u32(regs[inst.rs]) ^ (inst.imm & 0xFFFF))
-                elif name == "sll":
-                    regs[inst.rt] = _s32(_u32(regs[inst.rs]) << (inst.imm & 31))
-                elif name == "srl":
-                    regs[inst.rt] = _s32(_u32(regs[inst.rs]) >> (inst.imm & 31))
-                elif name == "sra":
-                    regs[inst.rt] = _s32(regs[inst.rs] >> (inst.imm & 31))
-                elif name == "sllv":
-                    regs[inst.rd] = _s32(_u32(regs[inst.rs]) << (_u32(regs[inst.rt]) & 31))
-                elif name == "srlv":
-                    regs[inst.rd] = _s32(_u32(regs[inst.rs]) >> (_u32(regs[inst.rt]) & 31))
-                elif name == "srav":
-                    regs[inst.rd] = _s32(regs[inst.rs] >> (_u32(regs[inst.rt]) & 31))
-                elif name == "lui":
-                    regs[inst.rt] = _s32((inst.imm & 0xFFFF) << 16)
-                elif name == "lb":
-                    regs[inst.rt] = memory.load_byte(_u32(regs[inst.rs]) + inst.imm)
-                elif name == "lbu":
-                    regs[inst.rt] = memory.load_byte(
-                        _u32(regs[inst.rs]) + inst.imm, signed=False)
-                elif name == "sb":
-                    memory.store_byte(_u32(regs[inst.rs]) + inst.imm, regs[inst.rt])
-                elif name == "ldc1":
-                    fregs[inst.ft] = memory.load_double(_u32(regs[inst.rs]) + inst.imm)
-                elif name == "sdc1":
-                    memory.store_double(_u32(regs[inst.rs]) + inst.imm, fregs[inst.ft])
-                elif name == "add.d":
-                    fregs[inst.fd] = fregs[inst.fs] + fregs[inst.ft]
-                elif name == "sub.d":
-                    fregs[inst.fd] = fregs[inst.fs] - fregs[inst.ft]
-                elif name == "mul.d":
-                    fregs[inst.fd] = fregs[inst.fs] * fregs[inst.ft]
-                elif name == "div.d":
-                    if fregs[inst.ft] == 0.0:
-                        raise SimulationError(
-                            f"FP division by zero at 0x{inst.address:x}")
-                    fregs[inst.fd] = fregs[inst.fs] / fregs[inst.ft]
-                elif name == "neg.d":
-                    fregs[inst.fd] = -fregs[inst.fs]
-                elif name == "abs.d":
-                    fregs[inst.fd] = abs(fregs[inst.fs])
-                elif name == "mov.d":
-                    fregs[inst.fd] = fregs[inst.fs]
-                elif name == "sqrt.d":
-                    if fregs[inst.fs] < 0:
-                        raise SimulationError(
-                            f"sqrt of negative at 0x{inst.address:x}")
-                    fregs[inst.fd] = fregs[inst.fs] ** 0.5
-                elif name == "c.eq.d":
-                    self.fp_cond = fregs[inst.fs] == fregs[inst.ft]
-                elif name == "c.lt.d":
-                    self.fp_cond = fregs[inst.fs] < fregs[inst.ft]
-                elif name == "c.le.d":
-                    self.fp_cond = fregs[inst.fs] <= fregs[inst.ft]
-                elif name == "bc1t":
-                    taken = self.fp_cond
-                    record_branch((inst.address, taken))
-                    branches += 1
-                    for ob in branch_observers:
-                        ob.on_branch(inst, taken, count)
-                    if taken:
-                        next_pc = tindex[pc]
-                elif name == "bc1f":
-                    taken = not self.fp_cond
-                    record_branch((inst.address, taken))
-                    branches += 1
-                    for ob in branch_observers:
-                        ob.on_branch(inst, taken, count)
-                    if taken:
-                        next_pc = tindex[pc]
-                elif name == "mtc1":
-                    # reinterpret not needed: our compiler only moves int values
-                    # for conversion, always via cvt.d.w
-                    fregs[inst.fs] = float(regs[inst.rt])
-                elif name == "mfc1":
-                    regs[inst.rt] = _s32(int(fregs[inst.fs]))
-                elif name == "cvt.d.w":
-                    fregs[inst.fd] = float(fregs[inst.fs])
-                elif name == "cvt.w.d":
-                    fregs[inst.fd] = float(int(fregs[inst.fs]))  # truncate toward 0
-                elif name == "syscall":
-                    running = self._syscall(inst)
-                elif name == "nop":
-                    pass
-                else:  # pragma: no cover - all opcodes handled above
-                    raise SimulationError(f"unimplemented opcode {name}")
-
-                pc = next_pc
-        except BaseException:
-            # snapshot state for the crash report before unwinding
-            self._fault_pc = pc
-            self.instr_count = count
-            self.dynamic_branches = branches
-            self.watchdog_ticks += ticks
-            self._merge_samples(hot_pc)
-            self._publish_telemetry(count - start_count,
-                                    branches - start_branches,
-                                    self.syscall_count - start_syscalls,
-                                    ticks, perf_counter() - start_wall,
-                                    hot_pc, faulted=True)
-            raise
-
+    def _finish_run(self, count: int, new_branches: int, ticks: int,
+                    hot_pc: dict[int, int], start: tuple, faulted: bool,
+                    tier_stats: dict | None = None) -> None:
+        """Fold one run's engine-local accounting back into the machine and
+        publish telemetry; called exactly once per run on both the success
+        and the fault path."""
+        start_count, start_branches, start_syscalls, start_wall = start
         self.instr_count = count
-        self.dynamic_branches = branches
+        self.dynamic_branches = start_branches + new_branches
         self.watchdog_ticks += ticks
         self._merge_samples(hot_pc)
-        self._publish_telemetry(count - start_count,
-                                branches - start_branches,
+        self._publish_telemetry(count - start_count, new_branches,
                                 self.syscall_count - start_syscalls,
                                 ticks, perf_counter() - start_wall,
-                                hot_pc, faulted=False)
-        for ob in observers:
-            ob.on_finish(count)
-        return ExitStatus(self.exit_code, count, branches, self.output, self)
+                                hot_pc, faulted, tier_stats)
+
+    def _exit_status(self, count: int) -> ExitStatus:
+        return ExitStatus(self.exit_code, count, self.dynamic_branches,
+                          self.output, self)
 
     def _merge_samples(self, hot_pc: dict[int, int]) -> None:
         """Fold one run's hot-PC samples into the machine-lifetime dict."""
@@ -545,7 +332,8 @@ class Machine:
 
     def _publish_telemetry(self, executed: int, branches: int,
                            syscalls: int, ticks: int, elapsed: float,
-                           hot_pc: dict[int, int], faulted: bool) -> None:
+                           hot_pc: dict[int, int], faulted: bool,
+                           tier_stats: dict | None = None) -> None:
         """Flush this run's locally-accumulated counters to the sink.
 
         Called exactly once per :meth:`run` (on both the success and the
@@ -570,6 +358,18 @@ class Machine:
             for addr, hits in hot_pc.items():
                 family.inc(f"0x{addr:x}", hits)
             tm.counter("sim.hot_pc_samples").inc(sum(hot_pc.values()))
+        if tier_stats is not None:
+            tm.counter("sim.tier1.superblocks_compiled").inc(
+                tier_stats["compiled"])
+            tm.counter("sim.tier1.trace_cache_hits").inc(tier_stats["hits"])
+            tm.counter("sim.tier1.trace_cache_misses").inc(
+                tier_stats["misses"])
+            tm.counter("sim.tier1.side_exits").inc(tier_stats["side_exits"])
+            residency = tier_stats["residency"]
+            if residency:
+                hist = tm.histogram("sim.tier1.superblock_residency")
+                for length, times in residency.items():
+                    hist.observe(length, times)
 
     # -- post-mortem -----------------------------------------------------------
 

@@ -33,6 +33,39 @@ class EdgeProfile(Observer):
         counts[0 if taken else 1] += 1
         self.total_dynamic_branches += 1
 
+    def on_events(self, events) -> None:
+        # batched fast path: identical aggregation to on_branch, without a
+        # method call per event.  A run marker (ev[0] is None) stands for
+        # `iters` identical loop iterations; aggregate it per template
+        # entry instead of expanding.
+        get = self._counts.get
+        counts_map = self._counts
+        n = 0
+        for ev in events:
+            inst = ev[0]
+            if inst is None:
+                tmpl, iters = ev[1], ev[3]
+                if iters <= 0:
+                    continue
+                for binst, taken, _off in tmpl:
+                    counts = get(binst.address)
+                    if counts is None:
+                        counts = [0, 0]
+                        counts_map[binst.address] = counts
+                    counts[0 if taken else 1] += iters
+                    n += iters
+                continue
+            taken = ev[1]
+            if taken is None:
+                continue
+            counts = get(inst.address)
+            if counts is None:
+                counts = [0, 0]
+                counts_map[inst.address] = counts
+            counts[0 if taken else 1] += 1
+            n += 1
+        self.total_dynamic_branches += n
+
     def on_finish(self, instr_count: int) -> None:
         self.total_instructions = instr_count
 

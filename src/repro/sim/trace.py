@@ -75,6 +75,45 @@ class SequenceAnalyzer(Observer):
     def on_indirect(self, inst: Instruction, instr_count: int) -> None:
         self._record_break(instr_count)
 
+    def on_events(self, events) -> None:
+        # batched fast path: same aggregation as the per-event hooks.  A
+        # run marker stands for `iters` identical loop iterations; when the
+        # predictor agrees with every event in the template (the common
+        # case — the loop's hot direction), the whole run contributes no
+        # breaks and aggregates in O(template).  Otherwise each iteration
+        # breaks at the same offsets and is replayed break-by-break.
+        predictions = self.predictions
+        record = self._record_break
+        n = 0
+        misses = 0
+        for ev in events:
+            inst = ev[0]
+            if inst is None:
+                _, tmpl, b0, iters, ln = ev
+                if iters <= 0 or not tmpl:
+                    continue
+                n += len(tmpl) * iters
+                missed = [off for binst, taken, off in tmpl
+                          if predictions[binst.address] != taken]
+                if not missed:
+                    continue
+                misses += len(missed) * iters
+                for i in range(iters):
+                    cb = b0 + i * ln
+                    for off in missed:
+                        record(cb + off)
+                continue
+            taken = ev[1]
+            if taken is None:
+                record(ev[2])
+                continue
+            n += 1
+            if predictions[inst.address] != taken:
+                misses += 1
+                record(ev[2])
+        self.n_branches += n
+        self.n_mispredicts += misses
+
     def on_finish(self, instr_count: int) -> None:
         self.total_instructions = instr_count
         if self.include_trailing and instr_count > self._last_break_count:
@@ -166,6 +205,32 @@ class BranchTrace(Observer):
         self.limit = limit
         self.truncated = False
         self.dropped = 0
+
+    def on_events(self, events) -> None:
+        # batched fast path: bulk-extend below the limit, fall back to the
+        # per-event hook (which owns the truncation accounting) otherwise.
+        # Run markers expand to `iters` repetitions of their template.
+        conditional: list[tuple[int, bool]] = []
+        for e in events:
+            if e[0] is None:
+                tmpl, iters = e[1], e[3]
+                if iters > 0 and tmpl:
+                    conditional.extend(
+                        [(b.address, t) for b, t, _off in tmpl] * iters)
+            elif e[1] is not None:
+                conditional.append((e[0].address, e[1]))
+        if len(self.events) + len(conditional) <= self.limit:
+            self.events.extend(conditional)
+            return
+        for e in events:
+            if e[0] is None:
+                _, tmpl, b0, iters, ln = e
+                for i in range(iters):
+                    cb = b0 + i * ln
+                    for binst, taken, off in tmpl:
+                        self.on_branch(binst, taken, cb + off)
+            elif e[1] is not None:
+                self.on_branch(e[0], e[1], e[2])
 
     def on_branch(self, inst: Instruction, taken: bool, instr_count: int) -> None:
         if len(self.events) < self.limit:

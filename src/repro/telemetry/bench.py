@@ -5,7 +5,10 @@
 pipeline run.  :func:`diff_reports` compares two such summaries and flags
 wall-clock regressions: a span whose ``total_s`` grew by at least
 ``threshold`` (fractional; 0.20 = 20% slower), a throughput gauge
-(``*_per_sec``) that dropped by at least the same fraction, or a latency
+(any name containing ``_per_sec``, e.g. the per-tier
+``sim.instructions_per_sec.tier0/.tier1`` pair recorded by
+``python -m repro.bench sim``) that dropped by at least the same
+fraction, or a latency
 histogram (name ending ``_s``/``_seconds``) whose p95 tail grew past it.
 
 Spans shorter than *min_seconds* in the baseline are ignored — timer noise
@@ -176,7 +179,9 @@ def diff_reports(baseline: dict, current: dict,
             result.improvements.append(record)
 
     for name, base_value in baseline["gauges"].items():
-        if not name.endswith("_per_sec") or base_value <= 0:
+        # throughput gauges: "*_per_sec" plus tier-suffixed variants like
+        # "sim.instructions_per_sec.tier1" (the sim micro-benchmark)
+        if "_per_sec" not in name or base_value <= 0:
             continue
         cur_value = current["gauges"].get(name)
         if cur_value is None or cur_value <= 0:

@@ -170,16 +170,19 @@ class Histogram:
         self.buckets: dict[int, int] = {}
         self._lock = lock
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, n: int = 1) -> None:
+        """Record *value*; *n* > 1 records it *n* times in one locked
+        update (bulk path for per-run aggregates like superblock
+        residency, where one length is observed thousands of times)."""
         with self._lock:
-            self.count += 1
-            self.sum += value
+            self.count += n
+            self.sum += value * n
             if self.min is None or value < self.min:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
             bucket = _bucket_index(value)
-            self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + n
 
     @property
     def mean(self) -> float:

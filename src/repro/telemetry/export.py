@@ -261,6 +261,10 @@ def slo_summary(counters: dict[str, int],
     * ``breaker_open_duty_cycle`` — fraction of service lifetime the
       circuit breaker spent OPEN (``service.breaker_open_s`` /
       ``service.uptime_s`` gauges).
+    * ``sim_trace_cache_hit_rate`` — Tier-1 superblock trace-cache hits
+      / lookups (``sim.tier1.trace_cache_hits`` / ``..._misses``); low
+      values mean simulation time is going to block formation, not
+      block execution.
     """
     def count(name: str) -> float:
         return float(counters.get(name, 0))
@@ -276,11 +280,15 @@ def slo_summary(counters: dict[str, int],
     submitted = count("service.jobs_submitted")
     uptime = float(gauges.get("service.uptime_s", 0.0))
     open_s = float(gauges.get("service.breaker_open_s", 0.0))
+    trace_hits = count("sim.tier1.trace_cache_hits")
+    trace_misses = count("sim.tier1.trace_cache_misses")
     return {
         "cache_hit_rate": rate(hits, hits + misses),
         "job_error_rate": rate(errored, completed),
         "job_rejection_rate": rate(rejected, submitted),
         "breaker_open_duty_cycle": rate(open_s, uptime),
+        "sim_trace_cache_hit_rate": rate(trace_hits,
+                                         trace_hits + trace_misses),
     }
 
 

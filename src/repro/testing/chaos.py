@@ -36,12 +36,14 @@ from repro.harness.runner import SuiteRunner
 from repro.isa.instructions import Instruction, Kind, Opcode
 from repro.isa.program import Executable, Procedure, TEXT_BASE, WORD_SIZE
 from repro.service.breaker import CHAOS_BREAKER_TRIP_ENV
+from repro.sim.engine import FORCE_TIER0_ENV
 
 __all__ = [
     "FAULTS", "ENV_SEAMS", "chaos_env", "clone_executable",
     "corrupt_branch_targets", "corrupt_opcode", "sabotage",
     "CHAOS_WORKER_CRASH_ENV", "CHAOS_SLOW_WORKER_ENV",
     "CHAOS_LOCK_HOLD_ENV", "CHAOS_LEASE_TTL_ENV", "CHAOS_BREAKER_TRIP_ENV",
+    "FORCE_TIER0_ENV",
 ]
 
 #: fault names accepted by :func:`sabotage` (parametrize tests over these)
@@ -60,6 +62,10 @@ ENV_SEAMS = {
     "lock-hold": CHAOS_LOCK_HOLD_ENV,          # <seconds>
     "lease-ttl": CHAOS_LEASE_TTL_ENV,          # <seconds>
     "breaker-trip": CHAOS_BREAKER_TRIP_ENV,    # any non-empty value
+    "force-tier0": FORCE_TIER0_ENV,            # any non-empty value:
+                                               # every Machine in the
+                                               # process (and forked
+                                               # workers) runs tier0
 }
 
 

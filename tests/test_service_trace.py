@@ -113,7 +113,8 @@ def test_stats_exposes_slo_rates():
         slo = engine.stats()["slo"]
         assert set(slo) == {"cache_hit_rate", "job_error_rate",
                             "job_rejection_rate",
-                            "breaker_open_duty_cycle"}
+                            "breaker_open_duty_cycle",
+                            "sim_trace_cache_hit_rate"}
         assert slo["job_error_rate"] == 0.0
         assert all(0.0 <= v <= 1.0 for v in slo.values())
     _run(body, _CONFIG, _exec_ok)
