@@ -37,6 +37,9 @@ from repro.analysis.ranges import RangeProblem, ranges
 from repro.analysis.reaching import ReachingDefinitions, \
     reaching_definitions
 from repro.analysis.sccp import SCCPProblem, sccp, sccp_fold
+from repro.analysis.scev import (
+    AddRec, LoopTrip, SCEVInfo, analyze_scev, closed_trip_count,
+)
 from repro.analysis.verify import (
     IRVerifyError, VerifyDiagnostic, VerifyReport, assert_valid,
     verify_function, verify_program,
@@ -49,6 +52,7 @@ __all__ = [
     "Interval", "TOP", "INT32_MIN", "INT32_MAX",
     "SCCPProblem", "sccp", "sccp_fold",
     "RangeProblem", "ranges",
+    "AddRec", "LoopTrip", "SCEVInfo", "analyze_scev", "closed_trip_count",
     "ReachingDefinitions", "reaching_definitions",
     "IRVerifyError", "VerifyDiagnostic", "VerifyReport",
     "verify_function", "verify_program", "assert_valid",

@@ -32,6 +32,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import repro.analysis.scev  # noqa: F401  (registers "scev"/"ir-loops")
+from repro.analysis.interproc import seed_interprocedural_ranges
 from repro.analysis.ranges import evaluate_cbr_ranges
 from repro.analysis.sccp import evaluate_cbr
 from repro.analysis.dataflow import Unreachable, UNREACHABLE
@@ -63,8 +65,14 @@ class BranchFact:
     ir_outcome: bool | None
     #: machine direction of the emitted branch instruction (None = unknown)
     taken: bool | None
-    #: which analysis decided it: "sccp", "range", "unreachable", or ""
+    #: which analysis decided it: "sccp", "range", "scev", "unreachable",
+    #: or ""
     source: str
+    #: "always": every execution goes the claimed way (wrong count must be
+    #: zero); "likely": the claimed way is guaranteed to be the majority
+    #: direction (ties included when claiming taken, since the perfect
+    #: predictor breaks ties toward taken) — only "scev" emits these
+    mode: str = "always"
 
     @property
     def decided(self) -> bool:
@@ -101,11 +109,40 @@ class ExecutableEvidence:
         return self.by_address.get(address)
 
 
+def _scev_claim(scev_info: object, block_label: str,
+                inverted: bool) -> tuple[bool, bool, str] | None:
+    """The scalar-evolution claim for the exit test at *block_label*.
+
+    Returns ``(ir_outcome, machine_taken, mode)`` or ``None``.  The
+    soundness ladder (see :mod:`repro.analysis.scev`):
+
+    * ``max_trips == 0`` — the test exits on every execution: "always";
+    * ``min_trips >= 2`` — the in-loop direction outnumbers the exit at
+      this test even with break-style side exits: "likely" (majority);
+    * ``min_trips == 1`` — in-loop at least ties the exit; claimable
+      only when the in-loop direction is the machine-taken one, because
+      the perfect predictor resolves ties toward taken.
+    """
+    trip = scev_info.trip_for_block(block_label)  # type: ignore[attr-defined]
+    if trip is None:
+        return None
+    if trip.max_trips == 0:
+        ir_outcome = not trip.continue_on
+        return ir_outcome, ir_outcome != inverted, "always"
+    if trip.min_trips >= 2:
+        ir_outcome = trip.continue_on
+        return ir_outcome, ir_outcome != inverted, "likely"
+    if trip.min_trips == 1 and trip.continue_on != inverted:
+        return trip.continue_on, True, "likely"
+    return None
+
+
 def _function_facts(func: IRFunction) -> tuple[BranchFact, ...]:
     """Classify every CBr of *func* (memoized analyses via the manager)."""
     am = IR_ANALYSES.manager(func)
     sccp_result = am.get("sccp")
     range_result = None  # computed lazily: many functions decide via SCCP
+    scev_info = None     # likewise (it also consumes sccp + ranges)
     facts: list[BranchFact] = []
     ordinal = 0
     epilogue = f"{func.name}__epilogue"
@@ -119,6 +156,7 @@ def _function_facts(func: IRFunction) -> tuple[BranchFact, ...]:
                       if i + 1 < len(func.blocks) else epilogue)
         ir_outcome: bool | None = None
         source = ""
+        mode = "always"
         state = sccp_result.block_out.get(block.label, UNREACHABLE)
         if isinstance(state, Unreachable):
             source = "unreachable"
@@ -132,21 +170,37 @@ def _function_facts(func: IRFunction) -> tuple[BranchFact, ...]:
                 range_state = range_result.block_out.get(block.label,
                                                          UNREACHABLE)
                 if not isinstance(range_state, Unreachable):
-                    ir_outcome = evaluate_cbr_ranges(range_state, term)
+                    ir_outcome = evaluate_cbr_ranges(range_state, term,
+                                                     block)
                     if ir_outcome is not None:
                         source = "range"
         taken: bool | None = None
-        if ir_outcome is not None and term.true_label != term.false_label:
+        if term.true_label != term.false_label:
             inverted = term.true_label == next_label
-            taken = ir_outcome != inverted
+            if ir_outcome is not None:
+                taken = ir_outcome != inverted
+            elif source == "":
+                # trip-count evidence for loop exit tests (scev)
+                if scev_info is None:
+                    scev_info = am.get("scev")
+                claim = _scev_claim(scev_info, block.label, inverted)
+                if claim is not None:
+                    ir_outcome, taken, mode = claim
+                    source = "scev"
         facts.append(BranchFact(func.name, ordinal, block.label,
-                                ir_outcome, taken, source))
+                                ir_outcome, taken, source, mode))
         ordinal += 1
     return tuple(facts)
 
 
 def analyze_branch_evidence(program: IRProgram) -> BranchEvidence:
-    """Classify every conditional branch of *program*."""
+    """Classify every conditional branch of *program*.
+
+    The whole-program range context (parameter/return summaries, see
+    :mod:`repro.analysis.interproc`) is seeded first so call-derived
+    loop bounds — ``len = 3 + rand_next(8)`` — constrain trip counts.
+    """
+    seed_interprocedural_ranges(program)
     return BranchEvidence(by_function={
         func.name: _function_facts(func) for func in program.functions})
 

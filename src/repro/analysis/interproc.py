@@ -1,0 +1,303 @@
+"""Interprocedural range context: parameter, return, and global summaries.
+
+The intraprocedural range analysis (:mod:`repro.analysis.ranges`)
+analyzes every function with TOP boundaries: parameters, call results,
+and global loads are unconstrained, so loop bounds that arrive through
+a call — ``len = 3 + rand_next(8)`` — look arbitrary even though the
+callee provably returns ``[0, 32767]``.  This module closes that gap
+with a whole-program summary fixpoint over the same interval lattice:
+
+* **return summaries** — per function, a sound interval of every
+  integer value it can return (the join over its reachable ``Ret``
+  sites under the current context);
+* **parameter summaries** — per function, per integer parameter, the
+  join of the argument intervals over every call site in *reached*
+  code (BLC has no function pointers, so the static call graph rooted
+  at ``main`` is complete);
+* **global summaries** — per *trackable* global (a single-word scalar
+  whose address is never taken and which is only ever accessed as a
+  whole word), the join of its data-segment initializer with every
+  value stored to it from reached code.  This is what proves, e.g.,
+  that ``malloc``'s free list stays empty in a program that never
+  calls ``free``.
+
+The fixpoint is *optimistic* in the SCCP sense: functions start
+unreached (only ``main`` is a root) and globals start at their
+initializers; call sites and stores in code proven unreachable — by
+the call graph or by the range analysis's own edge pruning — never
+contribute.  Every summary update goes through the interval widening
+operator, so each summary slot changes O(1) times and the worklist
+terminates; intermediate states may be temporarily unsound, but the
+returned fixpoint is consistent (the standard optimistic-analysis
+argument).  Like every memory fact in this repo, global summaries
+assume array/pointer accesses stay within their own objects.
+
+:func:`seed_interprocedural_ranges` publishes the result by annotating
+each ``IRFunction`` (``range_entry_facts`` / ``range_return_facts`` /
+``range_global_facts``), which :func:`repro.analysis.ranges.ranges` —
+and therefore the SCEV trip-count analysis and the branch-evidence
+layer built on it — picks up transparently.  The annotation is applied
+only by :func:`repro.analysis.branches.analyze_branch_evidence`; the
+optimizer pipeline never sees it, keeping ``-O1`` output
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.analysis import lattice
+from repro.analysis.dataflow import Unreachable, solve
+from repro.analysis.lattice import Interval
+from repro.analysis.ranges import RangeProblem, RangeState, _step
+from repro.bcc.ir import (
+    INT, AddrGlobal, Call, GlobalSym, IRFunction, IRProgram, Load, Ret,
+    Store,
+)
+
+__all__ = ["InterproceduralRanges", "interprocedural_ranges",
+           "seed_interprocedural_ranges"]
+
+#: fail-safe on the provably-terminating worklist (see module doc): if
+#: ever exceeded, the context degrades to fully conservative instead of
+#: returning a possibly-unsound partial fixpoint
+_MAX_TOTAL_SWEEPS_FACTOR = 50
+
+
+@dataclass
+class InterproceduralRanges:
+    """The computed whole-program context, keyed by function name."""
+
+    #: per function: parameter vreg -> sound interval (int params only;
+    #: absent vregs are TOP).  Unreached functions map to ``{}``.
+    entries: dict[str, RangeState]
+    #: per function: sound interval of its integer return value (absent
+    #: means TOP — external or never-returning callees)
+    returns: dict[str, Interval]
+    #: per trackable global: sound interval of its stored value
+    globals: dict[str, Interval]
+
+
+@dataclass
+class _Summary:
+    """Mutable fixpoint state for one function."""
+
+    func: IRFunction
+    #: param position -> accumulated interval; None = no call site seen
+    params: list[Interval] | None = None
+    ret: Interval | None = None      #: None = no reachable Ret seen yet
+    callers: set[str] = field(default_factory=set)
+    reached: bool = False
+
+    def entry_env(self) -> RangeState:
+        if self.params is None:
+            return {}
+        env: RangeState = {}
+        for (_, vreg, cls), iv in zip(self.func.params, self.params):
+            if cls == INT and not iv.is_top:
+                env[vreg] = iv
+        return env
+
+
+def _widened(old: Interval | None, new: Interval) -> Interval:
+    """Monotone update: join then widen, so each slot changes O(1) times."""
+    if old is None:
+        return new
+    joined = lattice.join(old, new)
+    if joined == old:
+        return old
+    return lattice.widen(old, joined)
+
+
+def _trackable_globals(program: IRProgram) -> dict[str, int]:
+    """Whole-word scalar globals whose address is never exposed.
+
+    Maps each to its initial value.  Any ``&global`` (array indexing,
+    explicit address-of) or partial-word/offset access disqualifies the
+    symbol: a store through a derived pointer could then alias it.
+    """
+    candidates = {
+        g.label: (g.init if isinstance(g.init, int) else 0)
+        for g in program.globals
+        if g.size == 4 and (g.init is None or isinstance(g.init, int))}
+    for label, init in list(candidates.items()):
+        if not lattice.INT32_MIN <= init <= lattice.INT32_MAX:
+            del candidates[label]
+    for func in program.functions:
+        for block in func.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, AddrGlobal):
+                    candidates.pop(inst.name, None)
+                elif isinstance(inst, (Load, Store)):
+                    base = inst.base
+                    if isinstance(base, GlobalSym) and \
+                            base.name in candidates and \
+                            (inst.offset != 0 or inst.mem != "w"):
+                        del candidates[base.name]
+    return candidates
+
+
+def _touching_index(program: IRProgram,
+                    tracked: dict[str, int]) -> dict[str, set[str]]:
+    """global label -> names of functions that load or store it."""
+    index: dict[str, set[str]] = {label: set() for label in tracked}
+    for func in program.functions:
+        for block in func.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, (Load, Store)) and \
+                        isinstance(inst.base, GlobalSym) and \
+                        inst.base.name in index:
+                    index[inst.base.name].add(func.name)
+    return index
+
+
+def _harvest(summary: _Summary, returns: dict[str, Interval],
+             globals_env: dict[str, Interval]) -> tuple[
+                 Interval | None,
+                 dict[str, list[list[Interval]]],
+                 dict[str, Interval]]:
+    """Solve *summary.func* under the current context and read it off.
+
+    Returns the function's return-value interval (None when no ``Ret``
+    is reachable), per-callee argument-interval vectors of every
+    reachable call site, and per-global the join of values stored to it
+    from reachable code.
+    """
+    func = summary.func
+    result = solve(func.blocks, RangeProblem(
+        entry_env=summary.entry_env(), returns=returns,
+        globals_env=globals_env))
+    ret: Interval | None = None
+    sites: dict[str, list[list[Interval]]] = {}
+    stores: dict[str, Interval] = {}
+    for block in func.blocks:
+        state = result.block_in.get(block.label)
+        if state is None or isinstance(state, Unreachable):
+            continue
+        env = dict(state)
+        for inst in block.instructions:
+            if isinstance(inst, Call):
+                args = [env.get(a, lattice.TOP) if cls == INT
+                        else lattice.TOP
+                        for a, cls in zip(inst.args, inst.arg_classes)]
+                sites.setdefault(inst.name, []).append(args)
+            elif isinstance(inst, Ret) and inst.src is not None \
+                    and inst.ret_class == INT:
+                iv = env.get(inst.src, lattice.TOP)
+                ret = iv if ret is None else lattice.join(ret, iv)
+            elif isinstance(inst, Store) and \
+                    isinstance(inst.base, GlobalSym) and \
+                    inst.base.name in globals_env:
+                iv = env.get(inst.src, lattice.TOP)
+                label = inst.base.name
+                previous = stores.get(label)
+                stores[label] = (iv if previous is None
+                                 else lattice.join(previous, iv))
+            _step(inst, env, returns, globals_env)
+    return ret, sites, stores
+
+
+def interprocedural_ranges(program: IRProgram) -> InterproceduralRanges:
+    """Run the summary fixpoint over *program* (see the module doc)."""
+    summaries = {f.name: _Summary(f) for f in program.functions}
+    returns: dict[str, Interval] = {}
+    tracked = _trackable_globals(program)
+    touching = _touching_index(program, tracked)
+    globals_env = {label: lattice.const(init)
+                   for label, init in tracked.items()}
+
+    # roots: main only (BLC's __start calls nothing else); a main-less
+    # program — library unit tests — conservatively roots everything
+    roots = ["main"] if "main" in summaries else sorted(summaries)
+    work: deque[str] = deque()
+    queued: set[str] = set()
+
+    def enqueue(name: str) -> None:
+        if name in summaries and name not in queued:
+            summaries[name].reached = True
+            work.append(name)
+            queued.add(name)
+
+    for root in roots:
+        enqueue(root)
+
+    budget = _MAX_TOTAL_SWEEPS_FACTOR * max(1, len(summaries))
+    sweeps = 0
+    while work:
+        sweeps += 1
+        if sweeps > budget:  # pragma: no cover - termination fail-safe
+            return InterproceduralRanges(entries={}, returns={},
+                                         globals={})
+        name = work.popleft()
+        queued.discard(name)
+        summary = summaries[name]
+        ret, sites, stores = _harvest(summary, returns, globals_env)
+
+        if ret is not None:
+            updated = _widened(returns.get(name), ret)
+            if updated != returns.get(name):
+                returns[name] = updated
+                for caller in sorted(summary.callers):
+                    enqueue(caller)
+        for callee_name, vectors in sites.items():
+            callee = summaries.get(callee_name)
+            if callee is None:
+                continue  # external (syscall wrapper): no summary
+            callee.callers.add(name)
+            if not callee.reached:
+                enqueue(callee_name)
+            n_params = len(callee.func.params)
+            # join this sweep's sites first, so several calls seen at
+            # once (`f(3); f(10)`) cost one precise join, not a widening
+            joined: list[Interval] | None = None
+            for args in vectors:
+                args = (args + [lattice.TOP] * n_params)[:n_params]
+                joined = (list(args) if joined is None
+                          else [lattice.join(a, b)
+                                for a, b in zip(joined, args)])
+            assert joined is not None  # a sites entry implies a call
+            changed = False
+            if callee.params is None:
+                callee.params = joined
+                changed = True
+            else:
+                for i, iv in enumerate(joined):
+                    updated = _widened(callee.params[i], iv)
+                    if updated != callee.params[i]:
+                        callee.params[i] = updated
+                        changed = True
+            if changed:
+                enqueue(callee_name)
+        for label, iv in stores.items():
+            updated = _widened(globals_env[label], iv)
+            if updated != globals_env[label]:
+                globals_env[label] = updated
+                for toucher in sorted(touching[label]):
+                    if summaries[toucher].reached:
+                        enqueue(toucher)
+
+    return InterproceduralRanges(
+        entries={name: s.entry_env() if s.reached else {}
+                 for name, s in summaries.items()},
+        returns=returns,
+        globals=globals_env)
+
+
+def seed_interprocedural_ranges(program: IRProgram) -> \
+        InterproceduralRanges:
+    """Compute the context and annotate every function of *program*.
+
+    After this, :func:`repro.analysis.ranges.ranges` (and every client
+    resolving ``"ranges"`` through an :class:`AnalysisManager` built on
+    these function objects) solves with the whole-program boundaries.
+    """
+    context = interprocedural_ranges(program)
+    for func in program.functions:
+        func.range_entry_facts = (  # type: ignore[attr-defined]
+            context.entries.get(func.name, {}))
+        func.range_return_facts = (  # type: ignore[attr-defined]
+            context.returns)
+        func.range_global_facts = (  # type: ignore[attr-defined]
+            context.globals)
+    return context

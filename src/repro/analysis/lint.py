@@ -13,6 +13,10 @@ catalog (stable IDs, see docs/static-analysis.md):
           same straight-line run without the value ever being read
 ``L005``  suspicious floating-point equality (``==`` / ``!=`` on
           ``double`` operands)
+``L006``  provably zero-trip ``for`` loop: literal init and bound where
+          the first test already fails (the SCEV closed form,
+          :func:`repro.analysis.scev.closed_trip_count`, proves the
+          body never executes)
 ========  =============================================================
 
 Suppression: append ``// lint: disable=L001`` (or a comma list, or
@@ -45,6 +49,7 @@ RULES: dict[str, str] = {
     "L003": "constant condition",
     "L004": "dead store (value overwritten before any read)",
     "L005": "floating-point equality comparison",
+    "L006": "provably zero-trip loop (body never executes)",
 }
 
 _SUPPRESS_RE = re.compile(
@@ -279,6 +284,7 @@ class _FunctionLinter:
             self.visit_stmt(stmt.init, init, declared)
             if stmt.cond is not None:
                 self._check_condition(stmt.cond, loop=True)
+                self._check_zero_trip(stmt)
                 self.visit_expr(stmt.cond, init, declared)
             body_env = set(init)
             self.visit_stmt(stmt.body, body_env, declared)
@@ -321,6 +327,96 @@ class _FunctionLinter:
             return  # `while (1)`: the idiomatic infinite loop
         outcome = "true" if value else "false"
         self.emit("L003", f"condition is always {outcome}", cond)
+
+    # -- L006 --------------------------------------------------------------
+
+    _PRED = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+             "==": "eq", "!=": "ne"}
+    _MIRROR = {"lt": "gt", "gt": "lt", "le": "ge", "ge": "le",
+               "eq": "eq", "ne": "ne"}
+
+    @staticmethod
+    def _for_init(init: A.Stmt | None) -> tuple[str, int] | None:
+        """``i = <const>`` / ``int i = <const>`` -> (name, base value)."""
+        if isinstance(init, A.VarDecl) and init.init is not None:
+            value = _const_value(init.init)
+            return None if value is None else (init.name, value)
+        if isinstance(init, A.ExprStmt) and \
+                isinstance(init.expr, A.Assign) and \
+                init.expr.op is None and \
+                isinstance(init.expr.target, A.Ident):
+            value = _const_value(init.expr.value)
+            return (None if value is None
+                    else (init.expr.target.name, value))
+        return None
+
+    def _for_test(self, cond: A.Expr,
+                  name: str) -> tuple[str, int] | None:
+        """``i <op> <const>`` (either side) -> (normalized pred, bound)."""
+        if not isinstance(cond, A.Binary) or cond.op not in self._PRED:
+            return None
+        pred = self._PRED[cond.op]
+        if isinstance(cond.left, A.Ident) and cond.left.name == name:
+            bound = _const_value(cond.right)
+            return None if bound is None else (pred, bound)
+        if isinstance(cond.right, A.Ident) and cond.right.name == name:
+            bound = _const_value(cond.left)
+            return (None if bound is None
+                    else (self._MIRROR[pred], bound))
+        return None
+
+    @staticmethod
+    def _for_step(step: A.Expr | None, name: str) -> int | None:
+        """The per-iteration constant increment of *name*, if decodable."""
+        if isinstance(step, A.IncDec) and \
+                isinstance(step.operand, A.Ident) and \
+                step.operand.name == name:
+            return 1 if step.op == "++" else -1
+        if not (isinstance(step, A.Assign)
+                and isinstance(step.target, A.Ident)
+                and step.target.name == name):
+            return None
+        if step.op in ("+", "-"):
+            value = _const_value(step.value)
+            if value is None:
+                return None
+            return value if step.op == "+" else -value
+        if step.op is None and isinstance(step.value, A.Binary) and \
+                step.value.op in ("+", "-"):
+            binary = step.value
+            if isinstance(binary.left, A.Ident) and \
+                    binary.left.name == name:
+                value = _const_value(binary.right)
+                if value is not None:
+                    return value if binary.op == "+" else -value
+            if binary.op == "+" and isinstance(binary.right, A.Ident) \
+                    and binary.right.name == name:
+                return _const_value(binary.left)
+        return None
+
+    def _check_zero_trip(self, stmt: A.For) -> None:
+        """L006: the canonical counted-``for`` shape with a literal base
+        and bound whose *first* test already fails.  Nothing runs between
+        the init store and the test (the condition is a pure compare), so
+        the claim holds even for address-taken or global counters."""
+        # lazy import: repro.analysis.scev sits above this module
+        from repro.analysis.scev import closed_trip_count
+
+        seed = self._for_init(stmt.init)
+        if seed is None or stmt.cond is None:
+            return
+        name, base = seed
+        decoded = self._for_test(stmt.cond, name)
+        if decoded is None:
+            return
+        pred, bound = decoded
+        step = self._for_step(stmt.step, name)
+        if closed_trip_count(base, step or 0, bound, pred,
+                             offset=0) == 0:
+            self.emit("L006",
+                      f"loop is provably zero-trip: {name!r} starts at "
+                      f"{base}, so the first test already fails and the "
+                      f"body never executes", stmt.cond)
 
     # -- L004 --------------------------------------------------------------
 

@@ -1,0 +1,317 @@
+"""Loop-shape normalization passes: ``loop-rotate`` / ``loop-unrotate``.
+
+The paper's Loop heuristic assumes the *rotated* ``while`` idiom our IR
+generator emits by default: the exit test lives at the loop's back-edge
+source (the latch), so the back edge is a conditional branch that fires
+once per iteration.  These two registered passes convert between that
+shape and the *top-tested* shape (test at the header, unconditional
+latch), letting the harness measure how much of the Loop heuristic's
+accuracy comes from the shape alone (``--passes`` ablation; see
+docs/passes.md).  Both are off by default and leave the golden ``-O1``
+pipeline byte-identical.
+
+``loop-rotate`` tail-duplicates the top-tested header: one clone becomes
+a *guard block* taking over the loop's entry edges, and one clone is
+spliced into each latch in place of its jump to the header — after which
+the old header is unreachable and swept.  Each original execution of the
+header corresponds to exactly one clone execution, so the transform is
+unconditionally sound (no vreg constraints, side effects preserved).
+
+``loop-unrotate`` is the inverse, modeled on hwtHls's
+``LoopUnrotatePass``: when the guard block and the (single) latch of a
+rotated loop end in an identical instruction suffix — equal modulo an
+injective renaming of the vregs the suffix defines, none of which are
+live outside it — the common suffix is hoisted into a fresh header block
+that both jump to, restoring the top-tested shape.  Unlike rotation this
+is pattern-directed and conservative: a loop whose guard and latch
+tests have diverged (e.g. after constant folding) is simply left alone.
+
+Both passes recompute loop structure (:mod:`repro.cfg.irloops`) after
+every change and are verifier-clean under ``--verify-each`` (including
+the V015 instruction-uniqueness and V016 back-edge rules added with
+them).
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.bcc.ir import (
+    BinOp, CBr, Copy, Cvt, FBinOp, FNeg, Imm, IRBlock, IRFunction, Jump,
+    Load, LoadConst, LoadFConst,
+)
+from repro.cfg.irloops import IRLoop, IRLoopNest, compute_ir_loops
+
+__all__ = ["loop_rotate", "loop_unrotate"]
+
+
+def _fresh_label(func: IRFunction, base: str) -> str:
+    taken = {b.label for b in func.blocks}
+    if base not in taken:
+        return base
+    n = 2
+    while f"{base}{n}" in taken:
+        n += 1
+    return f"{base}{n}"
+
+
+def _retarget(inst: object, old: str, new: str) -> None:
+    if isinstance(inst, Jump):
+        if inst.label == old:
+            inst.label = new
+    elif isinstance(inst, CBr):
+        if inst.true_label == old:
+            inst.true_label = new
+        if inst.false_label == old:
+            inst.false_label = new
+
+
+def _sweep_unreachable(func: IRFunction) -> None:
+    """Drop blocks unreachable from the entry (simplify-cfg's sweep)."""
+    by_label = {b.label: b for b in func.blocks}
+    reachable = {func.blocks[0].label}
+    work = [func.blocks[0].label]
+    while work:
+        block = by_label[work.pop()]
+        for target in block.successor_labels():
+            if target in by_label and target not in reachable:
+                reachable.add(target)
+                work.append(target)
+    func.blocks = [b for b in func.blocks if b.label in reachable]
+
+
+# ---------------------------------------------------------------------------
+# loop-rotate
+
+
+def _find_top_tested(func: IRFunction,
+                     nest: IRLoopNest) -> IRLoop | None:
+    """First loop in block order with a header test and jump-only latches."""
+    by_label = {b.label: b for b in func.blocks}
+    order = {label: i for i, label in enumerate(nest.labels)}
+    for head in sorted(nest.loops, key=order.__getitem__):
+        loop = nest.loops[head]
+        term = by_label[head].terminator
+        if not isinstance(term, CBr) or \
+                term.true_label == term.false_label:
+            continue
+        t_in = term.true_label in loop.body
+        f_in = term.false_label in loop.body
+        if t_in == f_in:
+            continue  # not an exit test (or a self-loop on the header)
+        if all(isinstance(by_label[latch].terminator, Jump)
+               for latch in loop.latches):
+            return loop
+    return None
+
+
+def _rotate_one(func: IRFunction, loop: IRLoop) -> None:
+    by_label = {b.label: b for b in func.blocks}
+    head = by_label[loop.head]
+
+    def clone() -> list[object]:
+        # shallow per-instruction copies: operands (ints, Imm, FrameSlot,
+        # GlobalSym) are immutable, and V015 requires distinct objects
+        return [copy.copy(inst) for inst in head.instructions]
+
+    # splice a test clone into each latch, replacing its jump to the head
+    for latch_label in loop.latches:
+        latch = by_label[latch_label]
+        latch.instructions = latch.instructions[:-1] + clone()
+
+    # one shared guard clone takes over every remaining entry to the head
+    guard_label = _fresh_label(func, f"{loop.head}__guard")
+    guard = IRBlock(guard_label, clone())
+    for block in func.blocks:
+        if block.label not in loop.latches and block.instructions:
+            _retarget(block.terminator, loop.head, guard_label)
+    head_index = next(i for i, b in enumerate(func.blocks)
+                      if b.label == loop.head)
+    func.blocks.insert(head_index, guard)
+    # the old header now has no predecessors; the caller sweeps it
+
+
+def loop_rotate(func: IRFunction) -> bool:
+    """Rotate every top-tested natural loop of *func*; True if changed."""
+    changed = False
+    while True:
+        nest = compute_ir_loops(func.blocks)
+        if not nest.reducible:
+            break
+        loop = _find_top_tested(func, nest)
+        if loop is None:
+            break
+        _rotate_one(func, loop)
+        changed = True
+    if changed:
+        _sweep_unreachable(func)
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# loop-unrotate
+
+
+#: instruction types a mergeable test suffix may contain (plus the CBr)
+_MERGEABLE = (LoadConst, LoadFConst, BinOp, FBinOp, FNeg, Cvt, Copy, Load)
+
+
+class _SuffixMatch:
+    """Pairwise matcher for the guard/latch instruction suffixes.
+
+    Tracks an injective renaming from latch-side def vregs to guard-side
+    def vregs; a *free* use (not defined earlier in the suffix) must name
+    the same vreg on both sides — the merged copy then reads whichever
+    value is live on the entering path, which is exactly the original
+    per-path behavior.
+    """
+
+    def __init__(self, func: IRFunction) -> None:
+        self.func = func
+        self.mapping: dict[int, int] = {}
+        self._targets: set[int] = set()
+
+    def use(self, t_vreg: int, g_vreg: int) -> bool:
+        return self.mapping.get(t_vreg, t_vreg) == g_vreg
+
+    def operand(self, t_op: object, g_op: object) -> bool:
+        if isinstance(t_op, int) and isinstance(g_op, int):
+            return self.use(t_op, g_op)
+        return bool(t_op == g_op)  # Imm / FrameSlot / GlobalSym / str
+
+    def define(self, t_vreg: int, g_vreg: int) -> bool:
+        bound = self.mapping.get(t_vreg)
+        if bound is not None:
+            return bound == g_vreg
+        if g_vreg in self._targets:
+            return False  # keep the renaming injective
+        if self.func.vreg_class.get(t_vreg) != \
+                self.func.vreg_class.get(g_vreg):
+            return False
+        self.mapping[t_vreg] = g_vreg
+        self._targets.add(g_vreg)
+        return True
+
+    def renamed_pairs(self) -> list[tuple[int, int]]:
+        return [(t, g) for t, g in self.mapping.items() if t != g]
+
+
+def _match_inst(m: _SuffixMatch, t: object, g: object) -> bool:
+    if type(t) is not type(g):
+        return False
+    if isinstance(t, LoadConst) or isinstance(t, LoadFConst):
+        assert isinstance(g, (LoadConst, LoadFConst))
+        return t.value == g.value and m.define(t.dst, g.dst)
+    if isinstance(t, BinOp):
+        assert isinstance(g, BinOp)
+        return (t.op == g.op and m.use(t.a, g.a)
+                and m.operand(t.b, g.b) and m.define(t.dst, g.dst))
+    if isinstance(t, FBinOp):
+        assert isinstance(g, FBinOp)
+        return (t.op == g.op and m.use(t.a, g.a) and m.use(t.b, g.b)
+                and m.define(t.dst, g.dst))
+    if isinstance(t, (FNeg, Copy)):
+        assert isinstance(g, (FNeg, Copy))
+        return m.use(t.src, g.src) and m.define(t.dst, g.dst)
+    if isinstance(t, Cvt):
+        assert isinstance(g, Cvt)
+        return (t.kind == g.kind and m.use(t.src, g.src)
+                and m.define(t.dst, g.dst))
+    if isinstance(t, Load):
+        assert isinstance(g, Load)
+        return (t.offset == g.offset and t.mem == g.mem
+                and m.operand(t.base, g.base) and m.define(t.dst, g.dst))
+    if isinstance(t, CBr):
+        assert isinstance(g, CBr)
+        return (t.op == g.op and t.fp == g.fp
+                and t.true_label == g.true_label
+                and t.false_label == g.false_label
+                and m.use(t.a, g.a) and m.operand(t.b, g.b))
+    return False
+
+
+def _used_outside(func: IRFunction, vreg: int,
+                  exclude: set[int]) -> bool:
+    """Is *vreg* read by any instruction not in the ``id``-keyed set?"""
+    for block in func.blocks:
+        for inst in block.instructions:
+            if id(inst) in exclude:
+                continue
+            if vreg in inst.uses():  # type: ignore[attr-defined]
+                return True
+    return False
+
+
+def _try_merge(func: IRFunction, guard: IRBlock, latch: IRBlock,
+               length: int) -> _SuffixMatch | None:
+    if not all(isinstance(i, _MERGEABLE)
+               for i in guard.instructions[-length:-1]):
+        return None
+    m = _SuffixMatch(func)
+    for t, g in zip(latch.instructions[-length:],
+                    guard.instructions[-length:]):
+        if not _match_inst(m, t, g):
+            return None
+    # renamed defs must be dead outside their own suffix: the merged
+    # block writes only the guard-side names
+    g_ids = {id(i) for i in guard.instructions[-length:]}
+    t_ids = {id(i) for i in latch.instructions[-length:]}
+    for t_vreg, g_vreg in m.renamed_pairs():
+        if _used_outside(func, t_vreg, t_ids) or \
+                _used_outside(func, g_vreg, g_ids):
+            return None
+    return m
+
+
+def _unrotate_one(func: IRFunction, nest: IRLoopNest) -> bool:
+    by_label = {b.label: b for b in func.blocks}
+    order = {label: i for i, label in enumerate(nest.labels)}
+    for head in sorted(nest.loops, key=order.__getitem__):
+        loop = nest.loops[head]
+        if len(loop.latches) != 1:
+            continue
+        latch = by_label[loop.latches[0]]
+        term = latch.terminator
+        if not isinstance(term, CBr) or \
+                term.true_label == term.false_label:
+            continue
+        other = ({term.true_label, term.false_label} - {head})
+        if head not in (term.true_label, term.false_label) or \
+                other <= loop.body:
+            continue
+        entries = [p for p in nest.preds[head] if p not in loop.body]
+        if len(entries) != 1:
+            continue
+        guard = by_label[entries[0]]
+        g_term = guard.terminator
+        if not isinstance(g_term, CBr) or \
+                (g_term.true_label, g_term.false_label) != \
+                (term.true_label, term.false_label):
+            continue
+        for length in range(min(len(guard.instructions),
+                                len(latch.instructions)), 0, -1):
+            match = _try_merge(func, guard, latch, length)
+            if match is None:
+                continue
+            new_label = _fresh_label(func, f"{head}__test")
+            new_head = IRBlock(new_label, guard.instructions[-length:])
+            guard.instructions = guard.instructions[:-length] + \
+                [Jump(new_label)]
+            latch.instructions = latch.instructions[:-length] + \
+                [Jump(new_label)]
+            guard_index = next(i for i, b in enumerate(func.blocks)
+                               if b.label == guard.label)
+            func.blocks.insert(guard_index + 1, new_head)
+            return True
+    return False
+
+
+def loop_unrotate(func: IRFunction) -> bool:
+    """Merge matching guard/latch tests back into loop headers."""
+    changed = False
+    while True:
+        nest = compute_ir_loops(func.blocks)
+        if not nest.reducible or not _unrotate_one(func, nest):
+            break
+        changed = True
+    return changed

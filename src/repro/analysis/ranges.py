@@ -31,7 +31,8 @@ from repro.analysis.dataflow import (
 )
 from repro.analysis.lattice import Interval
 from repro.bcc.ir import (
-    BinOp, CBr, Copy, Imm, IRBlock, IRFunction, LoadConst,
+    INT, BinOp, Call, CBr, Copy, GlobalSym, Imm, IRBlock, IRFunction,
+    Load, LoadConst,
 )
 from repro.bcc.opt import IR_ANALYSES
 
@@ -49,8 +50,17 @@ def _set(env: RangeState, vreg: int, iv: Interval | None) -> None:
         env[vreg] = iv
 
 
-def _step(inst: object, env: RangeState) -> None:
-    """Update *env* in place across one instruction."""
+def _step(inst: object, env: RangeState,
+          returns: dict[str, Interval] | None = None,
+          globals_env: dict[str, Interval] | None = None) -> None:
+    """Update *env* in place across one instruction.
+
+    *returns* optionally maps function names to sound intervals of their
+    integer return values, and *globals_env* trackable global scalars to
+    sound intervals of their stored values (the whole-program context
+    from :mod:`repro.analysis.interproc`); without them every call
+    result and global load is TOP.
+    """
     if isinstance(inst, LoadConst):
         value = inst.value
         if lattice.INT32_MIN <= value <= lattice.INT32_MAX:
@@ -66,6 +76,14 @@ def _step(inst: object, env: RangeState) -> None:
         b = (lattice.const(inst.b.value) if isinstance(inst.b, Imm)
              else env.get(inst.b, lattice.TOP))
         _set(env, inst.dst, lattice.transfer_binop(inst.op, a, b))
+        return
+    if returns is not None and isinstance(inst, Call) and \
+            inst.dst is not None and inst.ret_class == INT:
+        _set(env, inst.dst, returns.get(inst.name))
+        return
+    if globals_env is not None and isinstance(inst, Load) and \
+            isinstance(inst.base, GlobalSym):
+        _set(env, inst.dst, globals_env.get(inst.base.name))
         return
     for d in inst.defs():  # type: ignore[attr-defined]
         env.pop(d, None)
@@ -88,16 +106,19 @@ def _flag_predicate(src: IRBlock, flag: int) -> \
     register would learn nothing about the compared values.  This looks
     back through the block for the defining compare: returns
     ``(op, a, b)`` when *flag*'s last definition in *src* is an integer
-    ``slt``/``sltu`` whose operands are not redefined between the compare
-    and the branch (their end-of-block intervals are then exactly their
-    values at the compare), else ``None``.
+    ``slt``/``sltu`` (order flag) or ``sub``/``xor`` (equality flag:
+    zero exactly when the operands are equal, even under wrap-around)
+    whose operands are not redefined between the compare and the branch
+    (their end-of-block intervals are then exactly their values at the
+    compare), else ``None``.
     """
     body = src.instructions[:-1]  # terminator can't define the flag
     for index in range(len(body) - 1, -1, -1):
         inst = body[index]
         if flag not in inst.defs():  # type: ignore[attr-defined]
             continue
-        if not isinstance(inst, BinOp) or inst.op not in ("slt", "sltu"):
+        if not isinstance(inst, BinOp) or \
+                inst.op not in ("slt", "sltu", "sub", "xor"):
             return None
         operands = {inst.a}
         if not isinstance(inst.b, Imm):
@@ -109,8 +130,30 @@ def _flag_predicate(src: IRBlock, flag: int) -> \
     return None
 
 
+def _flag_refine_op(cmp_op: str, ia: Interval, ib: Interval) -> str | None:
+    """The predicate a set flag asserts about its compare operands.
+
+    ``sub``/``xor`` flags are equality tests (exact even under wrap:
+    ``a - b == 0 mod 2^32`` iff ``a == b`` for 32-bit values); ``sltu``
+    compares unsigned and only matches the signed lattice predicate when
+    both operands are provably non-negative.
+    """
+    if cmp_op in ("sub", "xor"):
+        return "ne"
+    if cmp_op == "slt" or (ia.lo >= 0 and ib.lo >= 0):
+        return "lt"
+    return None
+
+
 class RangeProblem(DataflowProblem[RangeState]):
-    """Forward interval analysis with branch refinement and widening."""
+    """Forward interval analysis with branch refinement and widening.
+
+    *entry_env* seeds the entry block with parameter intervals,
+    *returns* supplies callee return-value intervals, and *globals_env*
+    intervals for trackable global scalars — the optional whole-program
+    context computed by :mod:`repro.analysis.interproc`.  All default
+    to the conservative (TOP) intraprocedural analysis.
+    """
 
     name = "ranges"
     direction = FORWARD
@@ -120,8 +163,15 @@ class RangeProblem(DataflowProblem[RangeState]):
     #: refinement to recover them (soundly — see the solver docstring)
     narrow_iterations = 2
 
+    def __init__(self, entry_env: RangeState | None = None,
+                 returns: dict[str, Interval] | None = None,
+                 globals_env: dict[str, Interval] | None = None) -> None:
+        self.entry_env = entry_env or {}
+        self.returns = returns
+        self.globals_env = globals_env
+
     def boundary(self, block: IRBlock) -> RangeState:
-        return {}
+        return dict(self.entry_env)
 
     def join(self, a: RangeState, b: RangeState) -> RangeState:
         if len(b) < len(a):
@@ -144,7 +194,7 @@ class RangeProblem(DataflowProblem[RangeState]):
     def transfer(self, block: IRBlock, state: RangeState) -> RangeState:
         env = dict(state)
         for inst in block.instructions:
-            _step(inst, env)
+            _step(inst, env, self.returns, self.globals_env)
         return env
 
     def transfer_edge(self, src: IRBlock, dst_label: str,
@@ -164,8 +214,9 @@ class RangeProblem(DataflowProblem[RangeState]):
         if not isinstance(term.b, Imm):
             _set(env, term.b, refined_b)
 
-        # see through a flag materialized by slt/sltu in this block:
-        # ``t = slt a, b; br ne t, #0`` taken means a < b on that edge
+        # see through a flag materialized in this block: ``t = slt a, b;
+        # br ne t, #0`` taken means a < b on that edge, and an equality
+        # flag (``sub``/``xor``) being nonzero means a != b
         if term.op in ("eq", "ne") and isinstance(term.b, Imm) \
                 and term.b.value == 0:
             predicate = _flag_predicate(src, term.a)
@@ -176,10 +227,9 @@ class RangeProblem(DataflowProblem[RangeState]):
                 ib = (lattice.const(cmp_b.value)
                       if isinstance(cmp_b, Imm)
                       else env.get(cmp_b, lattice.TOP))
-                # sltu compares unsigned: only equivalent to the signed
-                # refinement when both operands are provably non-negative
-                if cmp_op == "slt" or (ia.lo >= 0 and ib.lo >= 0):
-                    ra, rb = lattice.refine("lt", ia, ib, holds)
+                refine_op = _flag_refine_op(cmp_op, ia, ib)
+                if refine_op is not None:
+                    ra, rb = lattice.refine(refine_op, ia, ib, holds)
                     if ra is None or rb is None:
                         return UNREACHABLE
                     _set(env, cmp_a, ra)
@@ -189,8 +239,18 @@ class RangeProblem(DataflowProblem[RangeState]):
 
 
 def ranges(func: IRFunction) -> DataflowResult[RangeState]:
-    """Solve the range analysis (prefer ``am.get("ranges")`` for caching)."""
-    return solve(func.blocks, RangeProblem())
+    """Solve the range analysis (prefer ``am.get("ranges")`` for caching).
+
+    When :func:`repro.analysis.interproc.seed_interprocedural_ranges`
+    has annotated *func* (``range_entry_facts`` / ``range_return_facts``
+    / ``range_global_facts`` attributes), the whole-program context is
+    applied; standalone functions are analyzed with conservative TOP
+    boundaries.
+    """
+    return solve(func.blocks, RangeProblem(
+        entry_env=getattr(func, "range_entry_facts", None),
+        returns=getattr(func, "range_return_facts", None),
+        globals_env=getattr(func, "range_global_facts", None)))
 
 
 @IR_ANALYSES.register("ranges",
@@ -202,9 +262,38 @@ def _ranges_analysis(func: IRFunction, am: object) -> \
     return ranges(func)
 
 
-def evaluate_cbr_ranges(state: RangeState, cbr: CBr) -> bool | None:
-    """Decide *cbr* under interval *state*, or ``None`` if not forced."""
+def evaluate_cbr_ranges(state: RangeState, cbr: CBr,
+                        block: IRBlock | None = None) -> bool | None:
+    """Decide *cbr* under interval *state*, or ``None`` if not forced.
+
+    With *block* (the block whose terminator is *cbr*) an ``eq``/``ne``
+    test of a flag materialized in that block is seen through to the
+    underlying compare, deciding e.g. ``t = sub i, n; br eq t, #0`` when
+    the intervals of ``i`` and ``n`` are disjoint.  *state* must be the
+    block's out-state — :func:`_flag_predicate` guarantees the compare
+    operands are not redefined after the compare, so their end-of-block
+    intervals are their values at the compare.
+    """
     if cbr.fp:
         return None
     a, b = _cbr_intervals(cbr, state)
-    return lattice.compare(cbr.op, a, b)
+    decided = lattice.compare(cbr.op, a, b)
+    if decided is not None or block is None:
+        return decided
+    if cbr.op in ("eq", "ne") and isinstance(cbr.b, Imm) \
+            and cbr.b.value == 0:
+        predicate = _flag_predicate(block, cbr.a)
+        if predicate is None:
+            return None
+        cmp_op, cmp_a, cmp_b = predicate
+        ia = state.get(cmp_a, lattice.TOP)
+        ib = (lattice.const(cmp_b.value) if isinstance(cmp_b, Imm)
+              else state.get(cmp_b, lattice.TOP))
+        flag_op = _flag_refine_op(cmp_op, ia, ib)
+        if flag_op is None:
+            return None
+        flag_set = lattice.compare(flag_op, ia, ib)
+        if flag_set is None:
+            return None
+        return flag_set == (cbr.op == "ne")
+    return None

@@ -1,0 +1,528 @@
+"""Scalar-evolution analysis: induction variables and trip counts.
+
+For every natural loop of an IR function (via :mod:`repro.cfg.irloops`)
+this module recognizes *add-recurrences* ``{base, +, step}`` — integer
+vregs whose only definition inside the loop adds or subtracts a
+loop-invariant constant once per iteration — and, where the loop's exit
+test compares such a recurrence against a loop-invariant bound, derives
+the number of times the test *continues into the loop* per loop entry:
+
+* an **exact** count when SCCP pins base and bound to constants,
+* a **[min, max] bounded** count when the interval range analysis
+  constrains them (evaluated at the interval corners — the count is
+  monotone in base and bound for the monotone predicates),
+* nothing when two's-complement wrap-around cannot be excluded.
+
+All of it is an *unconditional machine truth*: every value the derivation
+touches is checked to stay inside the signed 32-bit range, so the
+closed-form python arithmetic coincides with what the simulator's
+wrapping ALU computes.  That is what lets the branch evidence built on
+top (:mod:`repro.analysis.branches`) promise zero misclassifications:
+
+* ``max == 0`` — the test *always* exits: a never-taken back edge;
+* ``min >= 1`` — the first test always continues (the paper's rotated
+  ``while`` executes the latch once per entry even for singleton trips);
+* ``min >= 2`` — the in-loop direction is a strict majority of the
+  test's executions even if the loop also has break-style side exits,
+  so it matches the perfect predictor's majority choice.
+
+The analysis is a client of the PR-4 dataflow engine through the
+per-procedure ``AnalysisManager`` (``am.get("sccp")`` /
+``am.get("ranges")``) and is itself registered on
+:data:`repro.bcc.opt.IR_ANALYSES` as ``"scev"`` (the loop structure
+alone as ``"ir-loops"``).  :func:`closed_trip_count` is shared with the
+BLC linter's L006 "provably zero-trip loop" rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import lattice
+from repro.analysis.dataflow import DataflowResult, Unreachable, UNREACHABLE
+from repro.analysis.lattice import INT32_MAX, INT32_MIN, Interval
+from repro.analysis.ranges import (
+    RangeProblem, RangeState, _flag_predicate,
+)
+from repro.analysis.sccp import ConstState, SCCPProblem
+from repro.bcc.ir import (
+    BinOp, CBr, Copy, Imm, IRBlock, IRFunction, LoadConst, Ret,
+)
+from repro.bcc.opt import IR_ANALYSES
+from repro.cfg.irloops import IRLoop, IRLoopNest, compute_ir_loops
+
+__all__ = [
+    "AddRec", "LoopTrip", "SCEVInfo", "analyze_scev",
+    "closed_trip_count", "interval_trip_count",
+]
+
+
+#: continue-predicate negations (first test fails <-> negation holds)
+_NEGATE = {"lt": "ge", "ge": "lt", "le": "gt", "gt": "le",
+           "eq": "ne", "ne": "eq"}
+#: mirror pred(x, y) == MIRROR[pred](y, x)
+_MIRROR = {"lt": "gt", "gt": "lt", "le": "ge", "ge": "le",
+           "eq": "eq", "ne": "ne"}
+_HOLDS = {
+    "lt": lambda x, y: x < y, "le": lambda x, y: x <= y,
+    "gt": lambda x, y: x > y, "ge": lambda x, y: x >= y,
+    "eq": lambda x, y: x == y, "ne": lambda x, y: x != y,
+}
+
+
+@dataclass(frozen=True)
+class AddRec:
+    """An induction variable: ``vreg`` evolves as ``{base, +, step}``."""
+
+    vreg: int
+    step: int
+    #: label of the block holding the (unique) in-loop definition
+    def_block: str
+    #: instruction index of the add/sub within ``def_block``
+    def_index: int
+
+
+@dataclass(frozen=True)
+class LoopTrip:
+    """Exit-test classification of one counted (or near-counted) loop.
+
+    ``min_trips``/``max_trips`` bound the number of times each *entry*
+    of the loop evaluates the exit test with the continue outcome before
+    first taking the exit outcome; ``max_trips`` is ``None`` when no
+    upper bound was proven.  The counts are per loop entry, so the total
+    continue count over an execution is ``trips * entries`` only for
+    exact single-exit loops (see ``single_exit``).
+    """
+
+    head: str
+    #: block whose terminating CBr is the analyzed exit test
+    test_block: str
+    #: "latch" (rotated: test at the back-edge source) or "head"
+    kind: str
+    iv: int
+    step: int
+    #: normalized continue predicate: loop continues while pred(iv, bound)
+    pred: str
+    base: Interval
+    bound: Interval
+    #: CBr outcome (True = true-edge) that continues the loop
+    continue_on: bool
+    min_trips: int
+    max_trips: int | None
+    #: the test's exit edge is the loop's only exit and no Ret leaves the
+    #: body directly — every continue is observable as a test execution
+    single_exit: bool
+
+    @property
+    def exact(self) -> bool:
+        return self.max_trips is not None and \
+            self.min_trips == self.max_trips
+
+
+@dataclass
+class SCEVInfo:
+    """Scalar-evolution results for one IR function."""
+
+    function: str
+    nest: IRLoopNest
+    #: loop head -> {vreg: AddRec} for every recognized recurrence
+    add_recs: dict[str, dict[int, AddRec]] = field(default_factory=dict)
+    #: exit-test block label -> classification
+    trips: dict[str, LoopTrip] = field(default_factory=dict)
+
+    def trip_for_block(self, label: str) -> LoopTrip | None:
+        """The exit-test classification anchored at block *label*."""
+        return self.trips.get(label)
+
+
+# ---------------------------------------------------------------------------
+# closed-form trip counts
+
+
+def closed_trip_count(base: int, step: int, bound: int, pred: str,
+                      offset: int) -> int | None:
+    """Continue count of the affine test sequence, or ``None``.
+
+    The test executes at ``k = 0, 1, ...`` seeing the value
+    ``x_k = base + (k + offset) * step`` and continues while
+    ``pred(x_k, bound)`` holds; the result is the index of the first
+    failing test, i.e. how many tests continue.  ``None`` means the
+    sequence never fails, the count is not expressible in closed form,
+    or a tested value may leave the signed 32-bit range (where the
+    machine's wrapping ALU diverges from this exact arithmetic).
+    """
+    x0 = base + offset * step
+    if not INT32_MIN <= x0 <= INT32_MAX:
+        return None  # already wrapped before the first test
+    if not _HOLDS[pred](x0, bound):
+        return 0
+    if step == 0:
+        return None  # x never changes: continues forever
+    count: int
+    if pred in ("lt", "le"):
+        if step < 0:
+            return None  # moving away from the bound
+        delta = bound - x0
+        count = -((-delta) // step) if pred == "lt" else delta // step + 1
+    elif pred in ("gt", "ge"):
+        if step > 0:
+            return None
+        delta = x0 - bound
+        count = (-((-delta) // -step) if pred == "gt"
+                 else delta // -step + 1)
+    elif pred == "ne":
+        delta = bound - x0
+        if delta % step != 0 or delta // step < 0:
+            return None  # steps over the bound: exits only via wrap
+        count = delta // step
+    else:  # eq: held at k=0, and step != 0 moves off the bound
+        count = 1
+    # every tested value through the first failure must be exact on the
+    # machine; the sequence is monotone, so the endpoints suffice
+    x_last = x0 + count * step
+    if not INT32_MIN <= x_last <= INT32_MAX:
+        return None
+    return count
+
+
+def interval_trip_count(base: Interval, step: int, bound: Interval,
+                        pred: str, offset: int) -> tuple[int, int | None]:
+    """Bound the continue count over interval-valued base and bound.
+
+    Returns ``(min, max)`` with ``max = None`` when unbounded or
+    unknown.  For the monotone predicates the count is monotone in both
+    arguments, so the extreme corners bound it; the upper bound
+    additionally requires that *no* start value in the box can push a
+    tested value past the 32-bit range (a wrapped value would re-enter
+    the continue region and outlive the corner estimate).
+    """
+    if base.is_const and bound.is_const:
+        n = closed_trip_count(base.lo, step, bound.lo, pred, offset)
+        return (0, None) if n is None else (n, n)
+    if pred in ("eq", "ne") or step == 0:
+        return 0, None  # corner reasoning needs a monotone predicate
+    if pred in ("lt", "le"):
+        n_min = closed_trip_count(base.hi, step, bound.lo, pred, offset)
+        n_max = closed_trip_count(base.lo, step, bound.hi, pred, offset)
+        overflow_safe = (step > 0
+                         and base.hi + offset * step <= INT32_MAX
+                         and bound.hi + step <= INT32_MAX)
+    else:
+        n_min = closed_trip_count(base.lo, step, bound.hi, pred, offset)
+        n_max = closed_trip_count(base.hi, step, bound.lo, pred, offset)
+        overflow_safe = (step < 0
+                         and base.lo + offset * step >= INT32_MIN
+                         and bound.lo + step >= INT32_MIN)
+    if n_max == 0:
+        # first test fails across the whole box; only the two extreme
+        # start values need to be machine-exact
+        x_lo, x_hi = (base.lo + offset * step, base.hi + offset * step)
+        if not (INT32_MIN <= x_lo and x_hi <= INT32_MAX):
+            n_max = None
+    elif not overflow_safe:
+        n_max = None
+    return (0 if n_min is None else n_min, n_max)
+
+
+# ---------------------------------------------------------------------------
+# per-loop recognition
+
+
+def _loop_def_sites(func: IRFunction, loop: IRLoop,
+                    by_label: dict[str, IRBlock]) -> \
+        dict[int, list[tuple[str, int, object]]]:
+    """vreg -> [(block label, index, inst)] for defs inside the loop."""
+    sites: dict[int, list[tuple[str, int, object]]] = {}
+    for label in loop.body:
+        for index, inst in enumerate(by_label[label].instructions):
+            for dst in inst.defs():  # type: ignore[attr-defined]
+                sites.setdefault(dst, []).append((label, index, inst))
+    return sites
+
+
+def _entry_states(nest: IRLoopNest, loop: IRLoop,
+                  by_label: dict[str, IRBlock],
+                  sccp_result: DataflowResult[ConstState],
+                  range_result: DataflowResult[RangeState]) -> \
+        tuple[ConstState, RangeState] | None:
+    """Join the (edge-refined) states over the loop's live entry edges.
+
+    For a loop-invariant vreg this is its value throughout the loop;
+    for an induction variable it is the recurrence base.  ``None`` when
+    no entry edge can execute (the loop is dead).
+    """
+    sccp_p, range_p = SCCPProblem(), RangeProblem()
+    const_env: ConstState | None = None
+    range_env: RangeState | None = None
+    for pred in nest.preds[loop.head]:
+        if pred in loop.body:
+            continue  # back edge
+        const_out = sccp_result.block_out.get(pred, UNREACHABLE)
+        range_out = range_result.block_out.get(pred, UNREACHABLE)
+        if isinstance(const_out, Unreachable) or \
+                isinstance(range_out, Unreachable):
+            continue
+        const_edge = sccp_p.transfer_edge(by_label[pred], loop.head,
+                                          const_out)
+        range_edge = range_p.transfer_edge(by_label[pred], loop.head,
+                                           range_out)
+        if isinstance(const_edge, Unreachable) or \
+                isinstance(range_edge, Unreachable):
+            continue
+        const_env = (dict(const_edge) if const_env is None
+                     else sccp_p.join(const_env, const_edge))
+        range_env = (dict(range_edge) if range_env is None
+                     else range_p.join(range_env, range_edge))
+    if const_env is None or range_env is None:
+        return None
+    return const_env, range_env
+
+
+def _step_value(operand: object, binop_label: str, binop_index: int,
+                def_sites: dict[int, list[tuple[str, int, object]]],
+                const_env: ConstState) -> int | None:
+    """Resolve the add/sub step operand to a per-iteration constant."""
+    if isinstance(operand, Imm):
+        return operand.value
+    assert isinstance(operand, int)
+    sites = def_sites.get(operand)
+    if not sites:  # loop-invariant: its value is the entry value
+        return const_env.get(operand)
+    # tolerate the unoptimized `c = LoadConst; iv = iv + c` shape: every
+    # in-loop def is the same LoadConst in the same block before the add
+    value: int | None = None
+    for label, index, inst in sites:
+        if (label != binop_label or index >= binop_index
+                or not isinstance(inst, LoadConst)
+                or (value is not None and inst.value != value)):
+            return None
+        value = inst.value
+    return value
+
+
+def _find_add_recs(loop: IRLoop, nest: IRLoopNest,
+                   def_sites: dict[int, list[tuple[str, int, object]]],
+                   const_env: ConstState) -> dict[int, AddRec]:
+    """Recognize ``{base, +, step}`` recurrences of one natural loop."""
+    inner_blocks: set[str] = set()
+    for other in nest.loops.values():
+        if other.body < loop.body:
+            inner_blocks |= other.body
+    recs: dict[int, AddRec] = {}
+    for vreg, sites in def_sites.items():
+        if len(sites) != 1:
+            continue
+        label, index, inst = sites[0]
+        binop: BinOp | None = None
+        if isinstance(inst, BinOp) and inst.dst == vreg and inst.a == vreg:
+            binop = inst
+        elif isinstance(inst, Copy) and inst.dst == vreg:
+            # unoptimized shape: `t = iv + s; iv = t` in one block
+            t_sites = def_sites.get(inst.src, [])
+            if (len(t_sites) == 1 and t_sites[0][0] == label
+                    and t_sites[0][1] < index
+                    and isinstance(t_sites[0][2], BinOp)):
+                cand = t_sites[0][2]
+                if cand.dst == inst.src and cand.a == vreg:
+                    binop, index = cand, t_sites[0][1]
+        if binop is None or binop.op not in ("add", "sub"):
+            continue
+        if label in inner_blocks:
+            continue  # increments more than once per iteration
+        if not all(nest.dominates(label, latch) for latch in loop.latches):
+            continue  # conditionally skipped increment
+        step = _step_value(binop.b, label, index, def_sites, const_env)
+        if step is None:
+            continue
+        if binop.op == "sub":
+            step = -step
+        if not INT32_MIN <= step <= INT32_MAX:
+            continue
+        recs[vreg] = AddRec(vreg, step, label, index)
+    return recs
+
+
+def _exit_test(loop: IRLoop, by_label: dict[str, IRBlock]) -> \
+        tuple[str, str, bool] | None:
+    """Locate the loop's decidable exit test.
+
+    Returns ``(test_block, kind, continue_on)``: a single latch ending in
+    a CBr between the head and an exit ("latch" kind, the rotated shape),
+    else a head ending in a CBr between the body and an exit ("head"
+    kind, the top-tested shape).
+    """
+    if len(loop.latches) == 1:
+        latch = loop.latches[0]
+        term = by_label[latch].terminator
+        if (isinstance(term, CBr) and not term.fp
+                and term.true_label != term.false_label):
+            targets = {term.true_label, term.false_label}
+            if loop.head in targets and \
+                    not (targets - {loop.head} <= loop.body):
+                return latch, "latch", term.true_label == loop.head
+    term = by_label[loop.head].terminator
+    if (isinstance(term, CBr) and not term.fp
+            and term.true_label != term.false_label):
+        t_in = term.true_label in loop.body
+        f_in = term.false_label in loop.body
+        if t_in != f_in:
+            return loop.head, "head", t_in
+    return None
+
+
+def _decode_continue(block: IRBlock, continue_on: bool,
+                     range_out: RangeState) -> \
+        tuple[str, int, object] | None:
+    """Normalize the test block's CBr into a continue predicate.
+
+    Returns ``(pred, tested_vreg_side_a, other_operand)`` such that the
+    loop continues exactly while ``pred(a, b)`` holds, seeing through an
+    ``slt``/``sltu``/``sub``/``xor`` flag materialized in the block
+    (:func:`repro.analysis.ranges._flag_predicate`).
+    """
+    term = block.terminator
+    assert isinstance(term, CBr)
+    pred, a, b = term.op, term.a, term.b
+    polarity = continue_on
+    if pred in ("eq", "ne") and isinstance(b, Imm) and b.value == 0:
+        seen = _flag_predicate(block, a)
+        if seen is not None:
+            flag_op, fa, fb = seen
+            if flag_op in ("sub", "xor"):
+                # flag != 0  <=>  fa != fb (exact even under wrap)
+                pred, a, b = "ne", fa, fb
+                polarity = continue_on == (term.op == "ne")
+            else:
+                ia = range_out.get(fa, lattice.TOP)
+                ib = (lattice.const(fb.value) if isinstance(fb, Imm)
+                      else range_out.get(fb, lattice.TOP))  # type: ignore
+                if flag_op == "slt" or (ia.lo >= 0 and ib.lo >= 0):
+                    # flag != 0  <=>  fa < fb (signed)
+                    pred, a, b = "lt", fa, fb
+                    polarity = continue_on == (term.op == "ne")
+    if not polarity:
+        pred = _NEGATE[pred]
+    return pred, a, b
+
+
+def _operand_interval(operand: object, const_env: ConstState,
+                      range_env: RangeState) -> Interval:
+    """Entry-state interval of a loop-invariant operand."""
+    if isinstance(operand, Imm):
+        return lattice.const(operand.value)
+    assert isinstance(operand, int)
+    value = const_env.get(operand)
+    if value is not None and INT32_MIN <= value <= INT32_MAX:
+        return lattice.const(value)
+    return range_env.get(operand, lattice.TOP)
+
+
+def _single_exit(loop: IRLoop, test_block: str,
+                 by_label: dict[str, IRBlock]) -> bool:
+    """True when the test's exit edge is the only way out of the loop."""
+    if any(src != test_block for src, _ in loop.exit_edges):
+        return False
+    return not any(isinstance(by_label[label].terminator, Ret)
+                   for label in loop.body)
+
+
+def _analyze_loop(loop: IRLoop, nest: IRLoopNest,
+                  by_label: dict[str, IRBlock],
+                  func: IRFunction,
+                  sccp_result: DataflowResult[ConstState],
+                  range_result: DataflowResult[RangeState],
+                  info: SCEVInfo) -> None:
+    entry = _entry_states(nest, loop, by_label, sccp_result, range_result)
+    if entry is None:
+        return  # no live entry edge: the loop never runs
+    const_env, range_env = entry
+    def_sites = _loop_def_sites(func, loop, by_label)
+    recs = _find_add_recs(loop, nest, def_sites, const_env)
+    info.add_recs[loop.head] = recs
+
+    test = _exit_test(loop, by_label)
+    if test is None:
+        return
+    test_block, kind, continue_on = test
+    if test_block in info.trips:
+        return  # already classified for another loop (rare overlap)
+    range_out = range_result.block_out.get(test_block, UNREACHABLE)
+    if isinstance(range_out, Unreachable):
+        return
+    decoded = _decode_continue(by_label[test_block], continue_on, range_out)
+    if decoded is None:
+        return
+    pred, a, b = decoded
+
+    rec = recs.get(a) if isinstance(a, int) else None
+    if rec is not None and _invariant(b, def_sites):
+        iv_operand, bound_operand = a, b
+    elif isinstance(b, int) and b in recs and _invariant(a, def_sites):
+        pred = _MIRROR[pred]
+        rec, iv_operand, bound_operand = recs[b], b, a
+    else:
+        return
+    assert rec is not None
+
+    # how many increments the k-th test observes beyond the base:
+    # latch tests (and the _flag_predicate redefinition guard) see the
+    # current iteration's increment; head tests see it only when the
+    # increment lives in the head itself
+    offset = 1 if kind == "latch" or rec.def_block == loop.head else 0
+
+    base = _operand_interval(iv_operand, const_env, range_env)
+    bound = _operand_interval(bound_operand, const_env, range_env)
+    min_trips, max_trips = interval_trip_count(base, rec.step, bound,
+                                               pred, offset)
+    info.trips[test_block] = LoopTrip(
+        head=loop.head, test_block=test_block, kind=kind,
+        iv=rec.vreg, step=rec.step, pred=pred, base=base, bound=bound,
+        continue_on=continue_on, min_trips=min_trips, max_trips=max_trips,
+        single_exit=_single_exit(loop, test_block, by_label))
+
+
+def _invariant(operand: object,
+               def_sites: dict[int, list[tuple[str, int, object]]]) -> bool:
+    if isinstance(operand, Imm):
+        return True
+    return isinstance(operand, int) and operand not in def_sites
+
+
+# ---------------------------------------------------------------------------
+# entry points
+
+
+def analyze_scev(func: IRFunction, am: object | None = None) -> SCEVInfo:
+    """Run scalar evolution on *func* (prefer ``am.get("scev")``)."""
+    if am is None:
+        am = IR_ANALYSES.manager(func)
+    nest: IRLoopNest = am.get("ir-loops")  # type: ignore[attr-defined]
+    info = SCEVInfo(func.name, nest)
+    if not nest.loops or not nest.reducible:
+        return info
+    sccp_result: DataflowResult[ConstState]
+    range_result: DataflowResult[RangeState]
+    sccp_result = am.get("sccp")  # type: ignore[attr-defined]
+    range_result = am.get("ranges")  # type: ignore[attr-defined]
+    by_label = {b.label: b for b in func.blocks}
+    order = {label: i for i, label in enumerate(nest.labels)}
+    for head in sorted(nest.loops, key=order.__getitem__):
+        _analyze_loop(nest.loops[head], nest, by_label, func,
+                      sccp_result, range_result, info)
+    return info
+
+
+@IR_ANALYSES.register("ir-loops",
+                      description="natural loops + dominators over the "
+                                  "reachable IR CFG (duck-typed "
+                                  "repro.cfg.irloops)")
+def _ir_loops_analysis(func: IRFunction, am: object) -> IRLoopNest:
+    return compute_ir_loops(func.blocks)
+
+
+@IR_ANALYSES.register("scev",
+                      description="scalar evolution: add-recurrences and "
+                                  "per-loop trip-count bounds (client of "
+                                  "sccp + ranges + ir-loops)")
+def _scev_analysis(func: IRFunction, am: object) -> SCEVInfo:
+    return analyze_scev(func, am)

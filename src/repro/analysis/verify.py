@@ -17,6 +17,18 @@ It checks, per function:
 * **call/return arity** — with program context, call sites are checked
   against the callee's parameter list and observed return class
   (``V012``/``V013``);
+* **instruction-instance uniqueness** — no ``IRInst`` object appears
+  twice in a function (``V015``).  This IR has no phis, so the analog
+  of LLVM's phi/predecessor consistency is object identity: passes
+  that clone code (``loop-rotate`` tail duplication) must emit fresh
+  instruction objects, or a later in-place label/operand rewrite would
+  silently edit *both* "copies";
+* **loop well-formedness** — every DFS-retreating edge in the
+  reachable CFG is a proper back edge whose target dominates its
+  source (``V016``).  The IR generator only emits reducible control
+  flow and every registered pass (threading, merging, rotation)
+  preserves reducibility, so an irreducible CFG means a pass rewired
+  a latch or guard incorrectly;
 * **def-before-use** — a must-defined forward dataflow (intersection
   join, solved on the generic engine) flags uses not dominated by a
   definition on every path (``W001``, a warning: BLC permits reading an
@@ -44,6 +56,7 @@ from repro.bcc.ir import (
     FrameSlot, GlobalSym, Imm, IRBlock, IRFunction, IRProgram, Jump,
     Load, LoadConst, LoadFConst, Ret, Store,
 )
+from repro.cfg.irloops import compute_ir_loops
 from repro.errors import ReproError
 
 __all__ = [
@@ -432,6 +445,29 @@ class _Check:
             self.warn("W002", "unreachable block (CFG accounting)", label)
         return reachable
 
+    def check_instance_uniqueness(self) -> None:
+        seen: dict[int, tuple[str, int]] = {}
+        for block in self.func.blocks:
+            for i, inst in enumerate(block.instructions):
+                first = seen.get(id(inst))
+                if first is not None:
+                    self.error("V015",
+                               f"instruction object {inst!r} appears "
+                               f"twice (first at block {first[0]!r}, "
+                               f"inst {first[1]}) — cloning passes must "
+                               f"copy instructions", block.label, i)
+                else:
+                    seen[id(inst)] = (block.label, i)
+
+    def check_loop_form(self) -> None:
+        nest = compute_ir_loops(self.func.blocks)
+        for src, dst in nest.retreating_violations:
+            self.error("V016",
+                       f"retreating edge {src!r} -> {dst!r} whose "
+                       f"target does not dominate its source "
+                       f"(irreducible loop; a pass rewired a latch or "
+                       f"guard incorrectly)", src)
+
     def check_def_before_use(self, reachable: set[str]) -> None:
         func = self.func
         problem = _MustDefined(frozenset(v for _, v, _ in func.params))
@@ -459,7 +495,10 @@ class _Check:
         for block in self.func.blocks:
             for i, inst in enumerate(block.instructions):
                 self.check_instruction(inst, block.label, i)
+        self.check_instance_uniqueness()
         reachable = self.check_reachability()
+        if self.report.ok:
+            self.check_loop_form()
         if self.report.ok:
             self.check_def_before_use(reachable)
         return self.report

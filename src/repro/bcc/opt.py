@@ -497,6 +497,27 @@ def _sccp_fold_pass(func: IRFunction, am) -> bool:
     return sccp_fold(func, am.get("sccp"))
 
 
+@IR_PASSES.register("loop-rotate",
+                    description="tail-duplicate top-tested loop headers "
+                                "into a guard block plus per-latch exit "
+                                "tests (the paper's rotated-while shape); "
+                                "off by default, --passes-selectable")
+def _loop_rotate_pass(func: IRFunction, am) -> bool:
+    # lazy import: repro.analysis layers above this module
+    from repro.analysis.loopshape import loop_rotate
+    return loop_rotate(func)
+
+
+@IR_PASSES.register("loop-unrotate",
+                    description="merge matching guard/latch test suffixes "
+                                "of rotated loops back into a top-tested "
+                                "header (hwtHls LoopUnrotate); off by "
+                                "default, --passes-selectable")
+def _loop_unrotate_pass(func: IRFunction, am) -> bool:
+    from repro.analysis.loopshape import loop_unrotate
+    return loop_unrotate(func)
+
+
 #: The default ``-O1`` pipeline.  ``sccp-fold`` (added with the static-
 #: analysis subsystem) folds cross-block constant branches between local
 #: propagation and CFG simplification; the remaining order is the seed

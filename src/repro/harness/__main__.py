@@ -25,6 +25,10 @@ Options:
     --engine TIER    simulator execution engine: tier0 (pre-decoded
                      dispatch) or tier1 (superblock trace cache, the
                      default) — see docs/performance.md
+    --range-table    append the range-evidence ablation table
+    --scev-table     append the SCEV trip-count verification table
+    --loop-shape-table
+                     append the loop-shape (rotate/unrotate) ablation
     --log-level/--quiet
                      shared structured-logging knobs (repro.telemetry)
 
@@ -134,6 +138,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="also print the range-evidence ablation table "
                              "(recompiles the suite fold-free with the "
                              "SCCP+range branch evidence attached)")
+    parser.add_argument("--scev-table", action="store_true",
+                        help="also print the SCEV trip-count verification "
+                             "table (predicted vs observed back-edge "
+                             "counts, fold-free recompile)")
+    parser.add_argument("--loop-shape-table", action="store_true",
+                        help="also print the loop-shape ablation table "
+                             "(rotate/unrotate differential plus the Loop "
+                             "heuristic's miss rate per loop shape)")
     add_logging_args(parser)
     if argv is None:
         import sys
@@ -215,6 +227,14 @@ def main(argv: list[str] | None = None) -> int:
                 from repro.harness.evidence import evidence_table
                 print()
                 print(evidence_table(runner).render())
+            if args.scev_table:
+                from repro.harness.scev_report import scev_table
+                print()
+                print(scev_table(runner).render())
+            if args.loop_shape_table:
+                from repro.harness.scev_report import loop_shape_table
+                print()
+                print(loop_shape_table(runner).render())
     except ReproError as exc:
         log.error(exc.oneline())
         return 1

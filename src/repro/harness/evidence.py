@@ -18,7 +18,7 @@ Per benchmark (ref dataset) the table reports:
 
 * ``cond``     — conditional branch instructions in the text segment;
 * ``dec``      — branches the analysis decided (always/never-taken), with
-  the SCCP/range attribution split;
+  the SCCP/range/SCEV attribution split;
 * ``exec dec`` — decided branches that executed at least once;
 * ``bad``      — decided-and-executed branches whose ground-truth edge
   profile contradicts the claim.  **Soundness gate: this column must be
@@ -73,6 +73,7 @@ class EvidenceRow:
     decided: int
     decided_sccp: int
     decided_range: int
+    decided_scev: int
     executed_decided: int
     misclassified: int          #: must be 0 (soundness gate)
     bl_miss: float              #: paper chain, non-loop branches
@@ -96,8 +97,8 @@ class EvidenceTable:
 
     def render(self) -> str:
         table = TextTable(
-            ["benchmark", "cond", "dec", "sccp", "range", "exec dec",
-             "bad", "BL%", "+Range%", "perf%", "gap%"],
+            ["benchmark", "cond", "dec", "sccp", "range", "scev",
+             "exec dec", "bad", "BL%", "+Range%", "perf%", "gap%"],
             title="Range evidence: semantic always/never-taken facts vs "
                   "the syntactic heuristic chain (non-loop branches, ref "
                   "dataset, fold disabled)")
@@ -105,8 +106,8 @@ class EvidenceTable:
             gap = row.gap_closed
             table.add_row(
                 row.name, row.conditional_branches, row.decided,
-                row.decided_sccp, row.decided_range, row.executed_decided,
-                row.misclassified,
+                row.decided_sccp, row.decided_range, row.decided_scev,
+                row.executed_decided, row.misclassified,
                 f"{100 * row.bl_miss:.1f}", f"{100 * row.range_miss:.1f}",
                 f"{100 * row.perfect_miss:.1f}",
                 "-" if gap is None else f"{100 * gap:.0f}")
@@ -119,6 +120,7 @@ class EvidenceTable:
             "all", sum(r.conditional_branches for r in self.rows),
             total_decided, sum(r.decided_sccp for r in self.rows),
             sum(r.decided_range for r in self.rows),
+            sum(r.decided_scev for r in self.rows),
             sum(r.executed_decided for r in self.rows), total_bad,
             "", "", "", f"{100 * mean_gap:.0f}")
         rendered = table.render()
@@ -129,7 +131,14 @@ class EvidenceTable:
 
 def _validate(evidence, profile: EdgeProfile,
               benchmark: str) -> tuple[int, int]:
-    """(executed decided, misclassified) over ground-truth edge counts."""
+    """(executed decided, misclassified) over ground-truth edge counts.
+
+    "always" facts tolerate zero contradicting executions.  "likely"
+    facts (SCEV trip-count majorities) promise only that the claimed
+    direction is at least the perfect static predictor's pick: a
+    taken-claim must see ``wrong <= right`` (the perfect predictor
+    breaks exact ties toward taken), a not-taken-claim ``wrong < right``.
+    """
     executed = 0
     bad = 0
     for address, fact in evidence.by_address.items():
@@ -138,7 +147,11 @@ def _validate(evidence, profile: EdgeProfile,
         executed += 1
         wrong = (profile.not_taken_count(address) if fact.taken
                  else profile.taken_count(address))
-        if wrong:
+        if fact.mode == "likely":
+            right = profile.execution_count(address) - wrong
+            if (wrong > right) if fact.taken else (wrong >= right):
+                bad += 1
+        elif wrong:
             bad += 1
     if bad:
         raise EvidenceValidationError(
@@ -179,6 +192,7 @@ def evidence_row(name: str, max_instructions: int = 100_000_000,
         decided=len(facts),
         decided_sccp=sum(1 for f in facts if f.source == "sccp"),
         decided_range=sum(1 for f in facts if f.source == "range"),
+        decided_scev=sum(1 for f in facts if f.source == "scev"),
         executed_decided=executed,
         misclassified=bad,
         bl_miss=bl.miss_rate,

@@ -1,0 +1,340 @@
+"""SCEV trip-count verification (``--scev-table``) and the loop-shape
+ablation (``--loop-shape-table``).
+
+``--scev-table`` is the ground-truth check for the scalar-evolution
+analysis (:mod:`repro.analysis.scev`): each benchmark is compiled
+fold-free (so proven loops survive into the executable), every counted
+loop's exit test is mapped to its machine branch, and the SCEV-predicted
+trip count is compared against the observed edge profile.  For an exact
+single-exit loop the prediction is an identity — the test must record
+``trips`` continue edges per exit edge — and for an interval-bounded
+loop a containment, ``min * entries <= continues <= max * entries``.
+The ``bad`` column counts violations and **must be zero**: a wrong trip
+count would poison the "likely" branch facts built on it.
+
+``--loop-shape-table`` is the differential for the loop-shape passes
+(:mod:`repro.analysis.loopshape`): each benchmark is built four ways —
+the default rotated ``-O1``, the top-tested front end
+(``rotate_loops=False``), top-tested plus the ``loop-rotate`` pass, and
+rotated plus ``loop-unrotate`` — and all four outputs must be
+byte-identical.  The miss-rate columns show why rotation is the default:
+the paper's Loop heuristic predicts the shared latch test of a rotated
+loop far better than the duplicated head test of a top-tested one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.branches import analyze_branch_evidence
+from repro.analysis.interproc import seed_interprocedural_ranges
+from repro.analysis.loopshape import loop_rotate, loop_unrotate
+from repro.analysis.scev import LoopTrip, SCEVInfo
+from repro.bcc.driver import compile_and_link, compile_to_ir
+from repro.bcc.ir import CBr, IRFunction
+from repro.bcc.opt import IR_ANALYSES, O1_PASSES
+from repro.bench.suite import get
+from repro.core.classify import classify_branches
+from repro.core.evaluation import evaluate_predictor
+from repro.core.predictors import HeuristicPredictor
+from repro.harness.evidence import NO_FOLD_PASSES
+from repro.harness.report import TextTable
+from repro.harness.runner import SuiteRunner
+from repro.sim import Machine
+from repro.sim.profile import EdgeProfile
+
+__all__ = [
+    "TripCheck", "ScevRow", "ScevTable", "scev_row", "scev_table",
+    "LoopShapeRow", "LoopShapeTable", "loop_shape_row", "loop_shape_table",
+]
+
+
+@dataclass(frozen=True)
+class TripCheck:
+    """One counted loop's prediction checked against the edge profile."""
+
+    function: str
+    test_block: str
+    trip: LoopTrip
+    address: int
+    executions: int     #: times the machine exit test ran
+    continues: int      #: times it went the in-loop direction
+    exits: int          #: times it left the loop (= entries, single-exit)
+    ok: bool
+
+    @property
+    def executed(self) -> bool:
+        return self.executions > 0
+
+
+def _test_ordinals(func: IRFunction) -> dict[str, tuple[int, bool]]:
+    """test-block label -> (CBr ordinal, emitted-branch inverted flag).
+
+    Replicates the codegen branch-selection contract (the *k*-th ``CBr``
+    in block order becomes the *k*-th conditional branch instruction,
+    inverted exactly when the true-label is the fall-through block) —
+    the same mapping :func:`repro.analysis.branches.attach_evidence`
+    cross-checks against the assembled executable.
+    """
+    out: dict[str, tuple[int, bool]] = {}
+    ordinal = 0
+    epilogue = f"{func.name}__epilogue"
+    for i, block in enumerate(func.blocks):
+        if not block.instructions:
+            continue
+        term = block.terminator
+        if not isinstance(term, CBr):
+            continue
+        next_label = (func.blocks[i + 1].label
+                      if i + 1 < len(func.blocks) else epilogue)
+        out[block.label] = (ordinal, term.true_label == next_label)
+        ordinal += 1
+    return out
+
+
+def _check_trip(trip: LoopTrip, address: int, inverted: bool,
+                profile: EdgeProfile, function: str,
+                test_block: str) -> TripCheck:
+    """Compare one trip prediction against the observed edge counts.
+
+    Only meaningful for ``single_exit`` loops, where every loop entry is
+    observable as exactly one exit edge of this test: *n* entries must
+    record ``trips * n`` continues for an exact count, and between
+    ``min * n`` and ``max * n`` for an interval one.
+    """
+    executions = profile.execution_count(address)
+    continue_taken = trip.continue_on != inverted
+    continues = (profile.taken_count(address) if continue_taken
+                 else profile.not_taken_count(address))
+    exits = executions - continues
+    if trip.exact:
+        ok = continues == trip.min_trips * exits
+    else:
+        ok = continues >= trip.min_trips * exits and \
+            (trip.max_trips is None or continues <= trip.max_trips * exits)
+    return TripCheck(function=function, test_block=test_block, trip=trip,
+                     address=address, executions=executions,
+                     continues=continues, exits=exits, ok=ok)
+
+
+def trip_checks(name: str, max_instructions: int = 100_000_000,
+                dataset: str = "ref") -> list[TripCheck]:
+    """Every verifiable (single-exit) counted loop of *name*, checked.
+
+    Compiles the benchmark fold-free twice — once to a linked executable
+    for the ground-truth run, once to IR for the scalar-evolution
+    results (the compile is deterministic, so both see the same
+    program) — and maps each counted loop's exit test to its machine
+    branch through the codegen replication contract.
+    """
+    benchmark = get(name)
+    source = benchmark.source()
+    executable = compile_and_link(source, filename=f"{name}.blc",
+                                  passes=NO_FOLD_PASSES)
+    program = compile_to_ir(source, filename=f"{name}.blc",
+                            passes=NO_FOLD_PASSES)
+    seed_interprocedural_ranges(program)
+
+    profile = EdgeProfile()
+    ds = benchmark.dataset(dataset)
+    Machine(executable, inputs=list(ds.inputs), observers=[profile],
+            max_instructions=max_instructions).run()
+
+    addresses = {
+        proc.name: [inst.address for inst in proc.instructions
+                    if inst.is_conditional_branch]
+        for proc in executable.procedures}
+    checks: list[TripCheck] = []
+    for func in program.functions:
+        info: SCEVInfo = IR_ANALYSES.manager(func).get("scev")
+        if not info.trips:
+            continue
+        proc_addresses = addresses.get(func.name)
+        if proc_addresses is None:
+            continue
+        ordinals = _test_ordinals(func)
+        for test_block, trip in sorted(info.trips.items()):
+            if not trip.single_exit:
+                continue  # break-style exits: entries are not observable
+            ordinal, inverted = ordinals[test_block]
+            checks.append(_check_trip(trip, proc_addresses[ordinal],
+                                      inverted, profile, func.name,
+                                      test_block))
+    return checks
+
+
+@dataclass
+class ScevRow:
+    """Per-benchmark scalar-evolution statistics and trip verification."""
+
+    name: str
+    loops: int              #: natural loops over all functions
+    counted: int            #: loops with a classified exit test
+    exact: int              #: of those, exact closed-form trip counts
+    decided_scev: int       #: branch facts the SCEV evidence decided
+    checked: int            #: single-exit counted loops verified
+    executed: int           #: of those, with at least one execution
+    mismatched: int         #: predictions the profile contradicts (== 0!)
+
+
+@dataclass
+class ScevTable:
+    """All rows plus the aggregate, renderable in the harness style."""
+
+    rows: list[ScevRow]
+
+    def render(self) -> str:
+        table = TextTable(
+            ["benchmark", "loops", "counted", "exact", "scev dec",
+             "checked", "exec", "bad"],
+            title="SCEV trip counts: predicted vs observed back-edge "
+                  "counts (ref dataset, fold disabled)")
+        for row in self.rows:
+            table.add_row(row.name, row.loops, row.counted, row.exact,
+                          row.decided_scev, row.checked, row.executed,
+                          row.mismatched)
+        table.add_separator()
+        table.add_row("all", sum(r.loops for r in self.rows),
+                      sum(r.counted for r in self.rows),
+                      sum(r.exact for r in self.rows),
+                      sum(r.decided_scev for r in self.rows),
+                      sum(r.checked for r in self.rows),
+                      sum(r.executed for r in self.rows),
+                      sum(r.mismatched for r in self.rows))
+        rendered = table.render()
+        rendered += ("\n(bad must be 0: every exact count is an identity "
+                     "against the profile, every interval a containment)")
+        return rendered
+
+
+def scev_row(name: str, max_instructions: int = 100_000_000,
+             dataset: str = "ref") -> ScevRow:
+    """Compute the per-benchmark SCEV statistics row."""
+    checks = trip_checks(name, max_instructions=max_instructions,
+                         dataset=dataset)
+    benchmark = get(name)
+    program = compile_to_ir(benchmark.source(), filename=f"{name}.blc",
+                            passes=NO_FOLD_PASSES)
+    evidence = analyze_branch_evidence(program)
+    loops = counted = exact = 0
+    for func in program.functions:
+        info: SCEVInfo = IR_ANALYSES.manager(func).get("scev")
+        loops += len(info.nest.loops)
+        counted += len(info.trips)
+        exact += sum(1 for t in info.trips.values() if t.exact)
+    return ScevRow(
+        name=name, loops=loops, counted=counted, exact=exact,
+        decided_scev=sum(1 for f in evidence.facts()
+                         if f.source == "scev"),
+        checked=len(checks),
+        executed=sum(1 for c in checks if c.executed),
+        mismatched=sum(1 for c in checks if not c.ok))
+
+
+def scev_table(runner: SuiteRunner) -> ScevTable:
+    """The full SCEV verification table over *runner*'s suite."""
+    return ScevTable([scev_row(name,
+                               max_instructions=runner.max_instructions)
+                      for name in runner.benchmark_names])
+
+
+# ---------------------------------------------------------------------------
+# loop-shape ablation
+
+
+#: the four builds of the differential: (row label, rotate_loops, extra
+#: passes appended to the ``-O1`` pipeline)
+_VARIANTS: tuple[tuple[str, bool, tuple[str, ...]], ...] = (
+    ("rotated", True, ()),
+    ("toptest", False, ()),
+    ("toptest+rotate", False, ("loop-rotate",)),
+    ("rotated+unrotate", True, ("loop-unrotate",)),
+)
+
+
+@dataclass
+class LoopShapeRow:
+    """Per-benchmark loop-shape differential and miss-rate comparison."""
+
+    name: str
+    rotated_functions: int      #: functions loop-rotate changed
+    unrotated_functions: int    #: functions loop-unrotate changed
+    outputs_identical: bool     #: all four variants, byte-for-byte
+    rotated_loop_miss: float    #: BL chain on loop branches, rotated
+    toptest_loop_miss: float    #: same, top-tested front end
+
+
+@dataclass
+class LoopShapeTable:
+    """All rows, renderable in the harness style."""
+
+    rows: list[LoopShapeRow]
+
+    def render(self) -> str:
+        table = TextTable(
+            ["benchmark", "rot fns", "unrot fns", "outputs",
+             "loop BL% rot", "loop BL% top"],
+            title="Loop-shape ablation: rotate/unrotate differential and "
+                  "the Loop heuristic's miss rate per shape (ref dataset)")
+        for row in self.rows:
+            table.add_row(
+                row.name, row.rotated_functions, row.unrotated_functions,
+                "OK" if row.outputs_identical else "DIFF",
+                f"{100 * row.rotated_loop_miss:.1f}",
+                f"{100 * row.toptest_loop_miss:.1f}")
+        rendered = table.render()
+        rendered += ("\n(outputs must all be OK: the loop-shape passes and "
+                     "the front-end rotation are semantics-preserving)")
+        return rendered
+
+
+def _loop_miss(executable: object, profile: EdgeProfile) -> float:
+    """Paper-chain miss rate over the loop branches of one build."""
+    analysis = classify_branches(executable)
+    loop = [b.address for b in analysis.loop_branches()]
+    return evaluate_predictor(HeuristicPredictor(analysis), profile,
+                              loop).miss_rate
+
+
+def loop_shape_row(name: str,
+                   max_instructions: int = 100_000_000,
+                   dataset: str = "ref") -> LoopShapeRow:
+    """Build all four variants of *name*, compare outputs, score loops."""
+    benchmark = get(name)
+    source = benchmark.source()
+    ds = benchmark.dataset(dataset)
+
+    outputs: list[str] = []
+    misses: dict[str, float] = {}
+    for label, rotate, extra in _VARIANTS:
+        executable = compile_and_link(
+            source, filename=f"{name}.blc", rotate_loops=rotate,
+            passes=O1_PASSES + extra)
+        profile = EdgeProfile()
+        machine = Machine(executable, inputs=list(ds.inputs),
+                          observers=[profile],
+                          max_instructions=max_instructions)
+        machine.run()
+        outputs.append(machine.output)
+        if label in ("rotated", "toptest"):
+            misses[label] = _loop_miss(executable, profile)
+
+    toptest_ir = compile_to_ir(source, filename=f"{name}.blc",
+                               rotate_loops=False)
+    rotated = sum(1 for f in toptest_ir.functions if loop_rotate(f))
+    rotated_ir = compile_to_ir(source, filename=f"{name}.blc")
+    unrotated = sum(1 for f in rotated_ir.functions if loop_unrotate(f))
+
+    return LoopShapeRow(
+        name=name, rotated_functions=rotated,
+        unrotated_functions=unrotated,
+        outputs_identical=len(set(outputs)) == 1,
+        rotated_loop_miss=misses["rotated"],
+        toptest_loop_miss=misses["toptest"])
+
+
+def loop_shape_table(runner: SuiteRunner) -> LoopShapeTable:
+    """The full loop-shape ablation table over *runner*'s suite."""
+    return LoopShapeTable([
+        loop_shape_row(name, max_instructions=runner.max_instructions)
+        for name in runner.benchmark_names])

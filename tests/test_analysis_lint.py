@@ -205,6 +205,80 @@ def test_l005_int_equality_is_fine():
     assert "L005" not in rules_of(src)
 
 
+# -- L006: provably zero-trip loop ------------------------------------------
+
+
+def test_l006_zero_trip_for():
+    src = """
+    int main() {
+        int i;
+        int total;
+        total = 0;
+        for (i = 10; i < 10; i = i + 1) { total = total + i; }
+        print_int(total);
+        return 0;
+    }
+    """
+    assert "L006" in rules_of(src)
+
+
+def test_l006_descending_zero_trip():
+    src = """
+    int main() {
+        int i;
+        for (i = 0; i > 0; i = i - 1) { print_int(i); }
+        return 0;
+    }
+    """
+    assert "L006" in rules_of(src)
+
+
+def test_l006_mirrored_bound():
+    src = """
+    int main() {
+        int i;
+        for (i = 5; 5 > i; i = i + 1) { print_int(i); }
+        return 0;
+    }
+    """
+    assert "L006" in rules_of(src)
+
+
+def test_l006_counted_loop_is_fine():
+    src = """
+    int main() {
+        int i;
+        for (i = 0; i < 10; i = i + 1) { print_int(i); }
+        return 0;
+    }
+    """
+    assert "L006" not in rules_of(src)
+
+
+def test_l006_abstains_on_non_literal_bound():
+    src = """
+    int main() {
+        int i;
+        int n;
+        n = read_int();
+        for (i = 10; i < n; i = i + 1) { print_int(i); }
+        return 0;
+    }
+    """
+    assert "L006" not in rules_of(src)
+
+
+def test_l006_suppression():
+    src = """
+    int main() {
+        int i;
+        for (i = 10; i < 10; i = i + 1) { print_int(i); }  // lint: disable=L006
+        return 0;
+    }
+    """
+    assert "L006" not in rules_of(src)
+
+
 # -- suppression ------------------------------------------------------------
 
 

@@ -1,0 +1,299 @@
+"""Unit tests for scalar evolution and the interprocedural range context.
+
+Closed-form trip counts (:func:`repro.analysis.scev.closed_trip_count` /
+``interval_trip_count``) are checked against brute-force iteration of the
+affine test sequence, including the 32-bit wrap guards; add-recurrence
+recognition and exit-test classification run over real compiled IR; and
+the interprocedural summary fixpoint (:mod:`repro.analysis.interproc`)
+is pinned on the runtime-library facts the branch evidence relies on —
+``rand_next``'s bounded return and the provably-empty ``malloc`` free
+list of a program that never calls ``free``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import lattice
+from repro.analysis.interproc import (
+    interprocedural_ranges, seed_interprocedural_ranges,
+)
+from repro.analysis.lattice import INT32_MAX, INT32_MIN
+from repro.analysis.scev import (
+    SCEVInfo, analyze_scev, closed_trip_count, interval_trip_count,
+)
+from repro.bcc.driver import compile_to_ir
+from repro.bcc.opt import IR_ANALYSES
+from repro.harness.evidence import NO_FOLD_PASSES
+
+_HOLDS = {
+    "lt": lambda x, y: x < y, "le": lambda x, y: x <= y,
+    "gt": lambda x, y: x > y, "ge": lambda x, y: x >= y,
+    "eq": lambda x, y: x == y, "ne": lambda x, y: x != y,
+}
+
+
+def brute_trips(base: int, step: int, bound: int, pred: str,
+                offset: int, limit: int = 10_000) -> int | None:
+    """Reference count by iterating the sequence (None = no exit seen)."""
+    for k in range(limit):
+        x = base + (k + offset) * step
+        if not INT32_MIN <= x <= INT32_MAX:
+            return None  # wrapped: the closed form must have refused
+        if not _HOLDS[pred](x, bound):
+            return k
+    return None
+
+
+# -- closed_trip_count -------------------------------------------------------
+
+
+@pytest.mark.parametrize("base,step,bound,pred,offset", [
+    (0, 1, 10, "lt", 0),      # canonical for (i = 0; i < 10; i++)
+    (0, 1, 10, "lt", 1),      # same loop, latch-rotated test
+    (0, 1, 10, "le", 0),
+    (3, 2, 20, "lt", 0),
+    (10, -1, 0, "gt", 0),     # descending
+    (10, -3, 0, "ge", 1),
+    (0, 2, 10, "ne", 0),      # exact divisibility
+    (7, 1, 7, "ne", 0),       # fails immediately
+    (5, 1, 4, "lt", 0),       # zero-trip
+    (5, 3, 5, "eq", 0),       # holds once, then steps off
+])
+def test_closed_trip_count_matches_brute_force(base, step, bound, pred,
+                                               offset):
+    expected = brute_trips(base, step, bound, pred, offset)
+    assert closed_trip_count(base, step, bound, pred, offset) == expected
+
+
+@pytest.mark.parametrize("base,step,bound,pred,offset", [
+    (0, 0, 10, "lt", 0),             # never changes: continues forever
+    (0, -1, 10, "lt", 0),            # moves away from the bound
+    (0, 3, 10, "ne", 0),             # steps over: exits only via wrap
+    (INT32_MAX, 1, INT32_MAX, "le", 1),   # first tested value wrapped
+    (INT32_MAX - 1, 2, INT32_MAX, "le", 0),  # wraps mid-sequence
+    (INT32_MIN + 1, -2, INT32_MIN, "ge", 0),
+])
+def test_closed_trip_count_refuses_unsound_cases(base, step, bound, pred,
+                                                 offset):
+    assert closed_trip_count(base, step, bound, pred, offset) is None
+
+
+def test_closed_trip_count_refuses_wrapping_start():
+    # base + offset*step already outside int32 before the first test
+    assert closed_trip_count(INT32_MAX, 1, 0, "ge", 1) is None
+
+
+# -- interval_trip_count -----------------------------------------------------
+
+
+def test_interval_trip_count_const_box_is_exact():
+    base, bound = lattice.const(0), lattice.const(10)
+    assert interval_trip_count(base, 1, bound, "lt", 0) == (10, 10)
+
+
+def test_interval_trip_count_corners_bound_the_count():
+    base = lattice.Interval(0, 3)
+    bound = lattice.Interval(8, 10)
+    lo, hi = interval_trip_count(base, 1, bound, "lt", 0)
+    # brute-force every corner of the box
+    counts = [brute_trips(b, 1, n, "lt", 0)
+              for b in range(0, 4) for n in range(8, 11)]
+    assert lo == min(counts) and hi == max(counts)
+
+
+def test_interval_trip_count_descending():
+    base = lattice.Interval(5, 9)
+    bound = lattice.Interval(0, 1)
+    lo, hi = interval_trip_count(base, -1, bound, "gt", 0)
+    counts = [brute_trips(b, -1, n, "gt", 0)
+              for b in range(5, 10) for n in range(0, 2)]
+    assert lo == min(counts) and hi == max(counts)
+
+
+def test_interval_trip_count_zero_trip_box():
+    # the first test fails across the whole box: max is exactly 0
+    base = lattice.Interval(10, 12)
+    bound = lattice.Interval(0, 10)
+    assert interval_trip_count(base, 1, bound, "lt", 0) == (0, 0)
+
+
+def test_interval_trip_count_equality_preds_abstain():
+    base, bound = lattice.Interval(0, 1), lattice.Interval(5, 6)
+    assert interval_trip_count(base, 1, bound, "ne", 0) == (0, None)
+
+
+def test_interval_trip_count_overflow_unsafe_upper_bound():
+    # the bound can reach INT32_MAX, so a run could wrap mid-loop and
+    # outlive the corner estimate: no sound upper bound exists
+    base = lattice.Interval(0, 10)
+    bound = lattice.Interval(0, INT32_MAX)
+    lo, hi = interval_trip_count(base, 1, bound, "lt", 0)
+    assert lo == 0
+    assert hi is None
+
+
+# -- add-rec recognition over compiled IR ------------------------------------
+
+
+_COUNTED = """
+int main() {
+    int i;
+    int total;
+    total = 0;
+    for (i = 0; i < 20; i = i + 1) {
+        total = total + read_int();
+    }
+    print_int(total);
+    return 0;
+}
+"""
+
+
+def _scev_of(source: str, function: str = "main") -> SCEVInfo:
+    program = compile_to_ir(source, passes=NO_FOLD_PASSES)
+    func = next(f for f in program.functions if f.name == function)
+    return analyze_scev(func)
+
+
+def test_recognizes_the_counted_loop():
+    info = _scev_of(_COUNTED)
+    assert info.trips, "expected a classified exit test"
+    trip = next(iter(info.trips.values()))
+    assert trip.step == 1
+    # rotated loop: the guard filters the first test, so the latch sees
+    # i = 1..20 and continues 19 times per entry
+    assert trip.kind == "latch"
+    assert trip.exact and trip.min_trips == 19
+    assert trip.single_exit
+    # the induction variable was recognized as {0, +, 1}
+    recs = info.add_recs[trip.head]
+    assert recs[trip.iv].step == 1
+
+
+def test_break_makes_the_loop_multi_exit():
+    source = """
+    int main() {
+        int i;
+        for (i = 0; i < 20; i = i + 1) {
+            if (read_int() == 7) { break; }
+        }
+        print_int(i);
+        return 0;
+    }
+    """
+    info = _scev_of(source)
+    assert info.trips
+    trip = next(t for t in info.trips.values() if t.exact)
+    assert trip.min_trips == 19
+    assert not trip.single_exit
+
+
+def test_conditional_increment_is_not_an_add_rec():
+    source = """
+    int main() {
+        int i;
+        i = 0;
+        while (i < 20) {
+            if (read_int()) { i = i + 1; }
+        }
+        print_int(i);
+        return 0;
+    }
+    """
+    info = _scev_of(source)
+    # i's increment does not dominate the latch: no trip count claimed
+    assert all(t.iv is None or t.max_trips is None or t.min_trips == 0
+               for t in info.trips.values()) or not info.trips
+
+
+# -- the interprocedural context ---------------------------------------------
+
+
+def _program(source: str):
+    return compile_to_ir(source, passes=NO_FOLD_PASSES)
+
+
+def test_rand_next_return_summary_is_bounded():
+    program = _program("""
+    int main() {
+        rand_seed(42);
+        print_int(rand_next(10));
+        return 0;
+    }
+    """)
+    context = interprocedural_ranges(program)
+    ret = context.returns["rand_next"]
+    assert 0 <= ret.lo and ret.hi <= 32767
+
+
+def test_free_list_stays_empty_without_free():
+    program = _program("""
+    int main() {
+        char *p;
+        p = malloc(40);
+        p[0] = 7;
+        print_int(p[0]);
+        return 0;
+    }
+    """)
+    context = interprocedural_ranges(program)
+    # `free` is never called, so its store to the free list is dead code
+    # under the call-graph-rooted fixpoint: the list provably stays NULL
+    assert context.globals["G__rt_free_list"] == lattice.const(0)
+
+
+def test_unreached_functions_get_conservative_entries():
+    program = _program("""
+    int helper(int n) { return n + 1; }
+    int main() { print_int(3); return 0; }
+    """)
+    context = interprocedural_ranges(program)
+    assert context.entries["helper"] == {}
+    assert "helper" not in context.returns
+
+
+def test_call_site_arguments_constrain_parameters():
+    program = _program("""
+    int twice(int n) { return n + n; }
+    int main() {
+        print_int(twice(3));
+        print_int(twice(10));
+        return 0;
+    }
+    """)
+    context = interprocedural_ranges(program)
+    twice = next(f for f in program.functions if f.name == "twice")
+    env = context.entries["twice"]
+    (_, vreg, _), = [p for p in twice.params]
+    assert vreg in env
+    assert env[vreg].lo >= 3 and env[vreg].hi <= 10
+    ret = context.returns["twice"]
+    assert ret.lo >= 6 and ret.hi <= 20
+
+
+def test_seeding_annotates_functions_and_sharpens_ranges():
+    program = _program("""
+    int main() {
+        int len;
+        int i;
+        int total;
+        len = 3 + rand_next(8);
+        total = 0;
+        for (i = 0; i < len; i = i + 1) { total = total + 1; }
+        print_int(total);
+        return 0;
+    }
+    """)
+    seed_interprocedural_ranges(program)
+    main = next(f for f in program.functions if f.name == "main")
+    assert hasattr(main, "range_entry_facts")
+    info: SCEVInfo = IR_ANALYSES.manager(main).get("scev")
+    # rand_next(8) returns [0, 7], so len is [3, 10] and the rotated
+    # latch continues len - 1 in [2, 9] times — a provable majority,
+    # which only the interprocedural return summary can see
+    trip = next((t for t in info.trips.values() if t.min_trips >= 2),
+                None)
+    assert trip is not None, [
+        (t.min_trips, t.max_trips) for t in info.trips.values()]
+    assert trip.max_trips == 9

@@ -154,6 +154,42 @@ def test_verify_each_pins_a_corrupting_pass():
     assert "V006" in _diag_codes(info.value)
 
 
+def test_rejects_aliased_instruction_object():
+    """The same IRInst object in two positions is V015: a cloning pass
+    (loop rotation tail-duplicates whole blocks) must copy, or a later
+    in-place mutation would silently edit both occurrences."""
+    _, main = _fresh_main()
+    block = main.blocks[0]
+    block.instructions.insert(0, block.instructions[0])
+    with pytest.raises(IRVerifyError) as info:
+        assert_valid(main)
+    assert "V015" in _diag_codes(info.value)
+    diag = next(d for d in info.value.diagnostics if d.code == "V015")
+    assert diag.function == "main"
+    assert diag.block == block.label
+
+
+def test_rejects_irreducible_loop():
+    """A retreating edge whose target does not dominate its source is
+    V016 — the shape a buggy loop-shape pass leaves behind when it
+    rewires a latch or guard into a second loop entry."""
+    program, _ = _fresh_main()
+    helper = next(f for f in program.functions if f.name == "helper")
+    # helper's if/else: make the two arms jump into each other, giving a
+    # two-entry cycle (both arms are reached straight from the entry
+    # compare, so neither dominates the other)
+    entry = next(b for b in helper.blocks
+                 if isinstance(b.terminator, CBr))
+    term = entry.terminator
+    arm_a = next(b for b in helper.blocks if b.label == term.true_label)
+    arm_b = next(b for b in helper.blocks if b.label == term.false_label)
+    arm_a.instructions[-1] = Jump(arm_b.label)
+    arm_b.instructions[-1] = Jump(arm_a.label)
+    with pytest.raises(IRVerifyError) as info:
+        assert_valid(helper)
+    assert "V016" in _diag_codes(info.value)
+
+
 def test_rejects_non_imm_branch_operand():
     """A branch operand that is neither a vreg nor an ``Imm`` is V008."""
 

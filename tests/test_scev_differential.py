@@ -1,0 +1,69 @@
+"""SCEV trip counts vs ground truth over the benchmark suite.
+
+The differential contract of :mod:`repro.analysis.scev`: for every
+counted loop whose exit test is the loop's only exit, the predicted trip
+count must agree with the observed edge profile — an *identity* for
+exact counts (``continues == trips * entries``) and a *containment* for
+interval ones (``min * entries <= continues <= max * entries``).  The
+check itself lives in :mod:`repro.harness.scev_report` (the
+``--scev-table`` CLI surface); tier 1 runs a fast three-benchmark slice,
+tier 2 sweeps all 22.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.suite import suite_names
+from repro.harness.scev_report import scev_row, scev_table, trip_checks
+from repro.harness.runner import SuiteRunner
+
+#: small but diverse: gauss (many interval-counted loops), fields (exact
+#: trips from literal bounds), huffman (exact trips + scev-decided facts)
+MINI_SUITE = ("gauss", "fields", "huffman")
+
+
+def _assert_all_ok(name: str, dataset: str) -> int:
+    checks = trip_checks(name, dataset=dataset)
+    bad = [c for c in checks if not c.ok]
+    assert not bad, [
+        (c.function, c.test_block, c.trip.min_trips, c.trip.max_trips,
+         c.continues, c.exits) for c in bad]
+    return sum(1 for c in checks if c.executed)
+
+
+@pytest.mark.parametrize("bench_name", MINI_SUITE)
+def test_trip_counts_match_observed(bench_name):
+    executed = _assert_all_ok(bench_name, dataset="small")
+    assert executed >= 1, "expected at least one executed counted loop"
+
+
+def test_exact_trip_is_an_identity():
+    # fields has literal-bound loops: at least one check must be exact
+    # and executed, so the identity (not just containment) is exercised
+    checks = trip_checks("fields", dataset="small")
+    exact = [c for c in checks if c.trip.exact and c.executed]
+    assert exact
+    for check in exact:
+        assert check.continues == check.trip.min_trips * check.exits
+
+
+def test_scev_row_statistics():
+    row = scev_row("fields", dataset="small")
+    assert row.loops >= row.counted >= row.checked
+    assert row.exact >= 1
+    assert row.decided_scev >= 1
+    assert row.mismatched == 0
+
+
+def test_scev_table_renders():
+    runner = SuiteRunner(benchmarks=["fields"])
+    rendered = scev_table(runner).render()
+    assert "fields" in rendered
+    assert "bad must be 0" in rendered
+
+
+@pytest.mark.tier2
+@pytest.mark.parametrize("bench_name", suite_names())
+def test_trip_counts_match_observed_full_suite(bench_name):
+    _assert_all_ok(bench_name, dataset="ref")
