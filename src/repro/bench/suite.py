@@ -14,14 +14,16 @@ for stable dynamic branch statistics, small enough for an interpreted ISA.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from importlib import resources
 
 from repro.bcc import compile_and_link
 from repro.isa.program import Executable
 
 __all__ = ["Dataset", "Benchmark", "suite", "get", "suite_names",
-           "INT_GROUP", "FP_GROUP"]
+           "INT_GROUP", "FP_GROUP",
+           "register", "unregister", "registered", "registered_names"]
 
 
 @dataclass(frozen=True)
@@ -34,16 +36,26 @@ class Dataset:
 
 @dataclass(frozen=True)
 class Benchmark:
-    """A suite member: program source + datasets + provenance."""
+    """A suite member: program source + datasets + provenance.
+
+    ``source_text`` carries the program inline for *synthetic* benchmarks
+    (the :mod:`repro.gen` corpus registers thousands of them); suite
+    members leave it ``None`` and read their ``programs/*.blc`` resource.
+    """
 
     name: str
     group: str                 #: "int" or "fp"
     description: str
     paper_analogue: str        #: which Table 1 benchmark it stands in for
     datasets: tuple[Dataset, ...]
+    #: inline BLC source for registered synthetic benchmarks (``None``:
+    #: read ``programs/<name>.blc`` from the package)
+    source_text: str | None = field(default=None, repr=False)
 
     def source(self) -> str:
         """The BLC source text."""
+        if self.source_text is not None:
+            return self.source_text
         path = resources.files("repro.bench").joinpath(
             f"programs/{self.name}.blc")
         return path.read_text()
@@ -157,9 +169,66 @@ def suite_names() -> list[str]:
     return [b.name for b in _SUITE]
 
 
+#: dynamically registered benchmarks (generated corpus programs) — an
+#: in-memory extension of the fixed suite, resolvable through :func:`get`.
+#: Parallel shard workers inherit it across the fork, so registered
+#: programs flow through :class:`~repro.harness.parallel.ShardJob` like
+#: suite members.
+_REGISTERED: dict[str, Benchmark] = {}
+
+
 def get(name: str) -> Benchmark:
-    """Look up a benchmark by name."""
+    """Look up a benchmark by name (suite members, then registered)."""
     for b in _SUITE:
         if b.name == name:
             return b
-    raise KeyError(f"no benchmark named {name!r}")
+    try:
+        return _REGISTERED[name]
+    except KeyError:
+        raise KeyError(f"no benchmark named {name!r}") from None
+
+
+def register(benchmark: Benchmark, replace: bool = False) -> Benchmark:
+    """Register a synthetic benchmark so :func:`get` (and everything built
+    on it: :class:`~repro.harness.runner.SuiteRunner`, shard workers, the
+    SCEV trip checker) resolves it by name.
+
+    Suite names are reserved; re-registering an existing name requires
+    ``replace=True`` (same-content re-registration is always allowed).
+    """
+    if any(b.name == benchmark.name for b in _SUITE):
+        raise ValueError(
+            f"{benchmark.name!r} is a reserved suite benchmark name")
+    existing = _REGISTERED.get(benchmark.name)
+    if existing is not None and existing != benchmark and not replace:
+        raise ValueError(
+            f"benchmark {benchmark.name!r} is already registered with "
+            f"different content (pass replace=True to override)")
+    _REGISTERED[benchmark.name] = benchmark
+    return benchmark
+
+
+def unregister(name: str) -> None:
+    """Drop one registered benchmark (unknown names are a no-op)."""
+    _REGISTERED.pop(name, None)
+
+
+def registered_names() -> list[str]:
+    """Names of all dynamically registered benchmarks, sorted."""
+    return sorted(_REGISTERED)
+
+
+@contextmanager
+def registered(benchmarks, replace: bool = False):
+    """Scope-bound registration: register *benchmarks* on entry, drop
+    them on exit (the test-suite-friendly form — no global leakage)."""
+    benchmarks = list(benchmarks)
+    added: list[str] = []
+    try:
+        for benchmark in benchmarks:
+            register(benchmark, replace=replace)
+            added.append(benchmark.name)
+        yield benchmarks
+    finally:
+        for name in added:
+            unregister(name)

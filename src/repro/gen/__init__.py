@@ -1,0 +1,33 @@
+"""repro.gen — seeded, grammar-driven BLC program generation.
+
+``python -m repro.gen make|corpus|characterize`` generates lint-clean,
+verifier-clean BLC programs with ground-truth branch labels, writes
+seeded corpora with per-dataset fuel pricing, and characterizes the
+Ball-Larus heuristics against the perfect static predictor per
+construct cluster.  See docs/corpus.md.
+"""
+
+from repro.gen.characterize import (
+    Characterization, ClusterStats, characterize, evidence_counts,
+)
+from repro.gen.corpus import (
+    CORPUS_SCHEMA, CorpusError, apply_fuel_limits, corpus_runner,
+    generate_corpus, load_corpus, manifest_dict, register_corpus,
+    write_corpus,
+)
+from repro.gen.fuzz import CheckFailure, check_corpus, check_program
+from repro.gen.grammar import (
+    GEN_SCHEMA, TEMPLATE_LABELS, GenDataset, GenKnobs, GenProgram,
+    generate_program, program_name,
+)
+
+__all__ = [
+    "GEN_SCHEMA", "CORPUS_SCHEMA", "TEMPLATE_LABELS",
+    "GenKnobs", "GenDataset", "GenProgram",
+    "generate_program", "program_name",
+    "generate_corpus", "write_corpus", "load_corpus", "manifest_dict",
+    "register_corpus", "corpus_runner", "apply_fuel_limits",
+    "CorpusError",
+    "Characterization", "ClusterStats", "characterize", "evidence_counts",
+    "CheckFailure", "check_program", "check_corpus",
+]

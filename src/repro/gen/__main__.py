@@ -1,0 +1,189 @@
+"""``python -m repro.gen`` — generate and characterize BLC corpora.
+
+Subcommands:
+    make          print (or write) one generated program's source
+    corpus        generate a seeded corpus directory with manifest.json
+    characterize  run a corpus through the harness and print the
+                  per-cluster predictability table
+
+Examples:
+    python -m repro.gen make --seed 7 --index 3
+    python -m repro.gen corpus --seed 7 --count 64 --out corpus/mini --check
+    python -m repro.gen characterize --corpus corpus/mini --jobs 4
+    python -m repro.gen characterize --seed 11 --count 16 --evidence
+
+Knob flags (make/corpus/characterize-from-seed) map 1:1 onto
+:class:`repro.gen.GenKnobs`; the seed policy and cluster taxonomy are
+documented in docs/corpus.md.  ``--check`` runs the fuzz gates (lint,
+verifier at -O0/-O1, differential run within fuel, SCEV trip
+consistency) and exits non-zero on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.gen.characterize import characterize
+from repro.gen.corpus import (
+    CorpusError, corpus_runner, generate_corpus, load_corpus,
+    register_corpus, write_corpus,
+)
+from repro.gen.fuzz import check_corpus
+from repro.gen.grammar import GenKnobs, generate_program
+
+
+def _add_knob_args(parser: argparse.ArgumentParser) -> None:
+    defaults = GenKnobs()
+    parser.add_argument("--constructs", type=int,
+                        default=defaults.constructs,
+                        help="construct templates per program")
+    parser.add_argument("--max-loop-depth", type=int,
+                        default=defaults.max_loop_depth,
+                        help="deepest literal-bound loop nest")
+    parser.add_argument("--max-loops", type=int, default=defaults.max_loops,
+                        help="max draws from the loop template family")
+    parser.add_argument("--max-calls", type=int, default=defaults.max_calls,
+                        help="max draws from the call template family")
+    parser.add_argument("--branch-bias", type=float,
+                        default=defaults.branch_bias,
+                        help="taken-probability of biased branches (0..1)")
+    parser.add_argument("--pointer-density", type=float,
+                        default=defaults.pointer_density,
+                        help="weight of pointer-guard templates (0..1)")
+    parser.add_argument("--input-dependence", type=float,
+                        default=defaults.input_dependence,
+                        help="probability a construct argument derives "
+                             "from read_int input (0..1)")
+    parser.add_argument("--templates", default=None,
+                        help="comma-separated template keys to restrict "
+                             "the catalog to")
+
+
+def _knobs_from_args(args: argparse.Namespace) -> GenKnobs:
+    templates = None
+    if args.templates:
+        templates = tuple(t for t in args.templates.split(",") if t)
+    return GenKnobs(
+        constructs=args.constructs, max_loop_depth=args.max_loop_depth,
+        max_loops=args.max_loops, max_calls=args.max_calls,
+        branch_bias=args.branch_bias, pointer_density=args.pointer_density,
+        input_dependence=args.input_dependence, templates=templates)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.gen",
+        description="Seeded grammar-driven BLC program generation and "
+                    "branch-predictability characterization.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    make = sub.add_parser("make", help="print one generated program")
+    make.add_argument("--seed", type=int, required=True)
+    make.add_argument("--index", type=int, default=0)
+    make.add_argument("--out", default=None, metavar="FILE",
+                      help="write the source here instead of stdout")
+    _add_knob_args(make)
+
+    corpus = sub.add_parser("corpus", help="generate a corpus directory")
+    corpus.add_argument("--seed", type=int, required=True)
+    corpus.add_argument("--count", type=int, required=True)
+    corpus.add_argument("--out", required=True, metavar="DIR")
+    corpus.add_argument("--check", action="store_true",
+                        help="run the fuzz gates over every program")
+    corpus.add_argument("--no-scev", action="store_true",
+                        help="skip the (slower) SCEV trip gate in --check")
+    _add_knob_args(corpus)
+
+    char = sub.add_parser("characterize",
+                          help="per-cluster predictability report")
+    char.add_argument("--corpus", default=None, metavar="DIR",
+                      help="load a written corpus (else --seed/--count)")
+    char.add_argument("--seed", type=int, default=None)
+    char.add_argument("--count", type=int, default=None)
+    char.add_argument("--dataset", default="ref")
+    char.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="shard runs across N worker processes")
+    char.add_argument("--cache", default=None, metavar="DIR",
+                      help="persistent artifact cache directory")
+    char.add_argument("--engine", default=None,
+                      choices=("tier0", "tier1"))
+    char.add_argument("--evidence", action="store_true",
+                      help="add static sccp/range/scev decided-branch "
+                           "counts per cluster (serial recompile)")
+    char.add_argument("--json", default=None, metavar="FILE",
+                      help="also write the stable JSON payload here")
+    char.add_argument("--check", action="store_true",
+                      help="run the fuzz gates before characterizing")
+    _add_knob_args(char)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "make":
+        gp = generate_program(args.seed, args.index, _knobs_from_args(args))
+        if args.out:
+            with open(args.out, "w", encoding="utf-8",
+                      newline="\n") as handle:
+                handle.write(gp.source)
+            print(f"{gp.name}: wrote {args.out} "
+                  f"(templates: {', '.join(gp.templates)})")
+        else:
+            sys.stdout.write(gp.source)
+        return 0
+
+    if args.command == "corpus":
+        knobs = _knobs_from_args(args)
+        try:
+            programs = generate_corpus(args.seed, args.count, knobs)
+        except CorpusError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        manifest = write_corpus(programs, args.out, args.seed, knobs)
+        print(f"wrote {len(programs)} programs + {manifest}")
+        if args.check:
+            failures = check_corpus(programs, scev=not args.no_scev)
+            for failure in failures:
+                print(f"FAIL {failure.format()}", file=sys.stderr)
+            if failures:
+                return 1
+            print(f"all {len(programs)} programs pass lint + verifier + "
+                  f"fuel + differential"
+                  + ("" if args.no_scev else " + scev"))
+        return 0
+
+    # characterize
+    if args.corpus:
+        try:
+            programs = load_corpus(args.corpus)
+        except CorpusError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    elif args.seed is not None and args.count is not None:
+        programs = generate_corpus(args.seed, args.count,
+                                   _knobs_from_args(args))
+    else:
+        print("error: characterize needs --corpus DIR or --seed/--count",
+              file=sys.stderr)
+        return 2
+    if args.check:
+        failures = check_corpus(programs)
+        for failure in failures:
+            print(f"FAIL {failure.format()}", file=sys.stderr)
+        if failures:
+            return 1
+    with register_corpus(programs, replace=True):
+        runner = corpus_runner(programs, jobs=max(1, args.jobs),
+                               cache_dir=args.cache, engine=args.engine)
+        report = characterize(programs, runner, dataset=args.dataset,
+                              evidence=args.evidence)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8",
+                  newline="\n") as handle:
+            handle.write(report.dumps())
+        print(f"json payload written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

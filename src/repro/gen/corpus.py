@@ -1,0 +1,191 @@
+"""Corpus generation, on-disk manifests, and the corpus runner seam.
+
+A *corpus* is ``count`` programs generated from one seed (indexes
+``0..count-1``) plus a ``manifest.json`` recording, per program, its
+ground truth: file name, source SHA-256, template list, procedure
+labels, and each dataset's inputs *and generator-priced fuel budget*.
+The manifest is the regression artifact — ``load_corpus`` refuses to
+load a directory whose sources no longer hash to the manifest.
+
+The runner seam is :func:`corpus_runner`: generated programs register
+into :mod:`repro.bench.suite`'s in-memory registry (so ``get`` resolves
+them everywhere — serial runner, forked shard workers, the SCEV trip
+checker) and each dataset's paired fuel budget is applied as a
+per-``(benchmark, dataset)`` ``limit_fuel`` override.  That per-dataset
+pairing is the point: a corpus-wide ``max_instructions`` would either
+dwarf every program (hiding runaway bugs) or, set tight, let a heavy
+dataset's timeout negative-cache a light dataset's runs.  The override
+rides the existing limits plumbing into :class:`ShardJob.fuel_budget`
+and the limits-fingerprinted caches, so fuel differences between
+datasets of the *same* program never alias.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+from repro.bench.suite import registered as _registered_benchmarks
+from repro.gen.grammar import (
+    GEN_SCHEMA, GenDataset, GenKnobs, GenProgram, generate_program,
+)
+from repro.harness.runner import SuiteRunner
+
+__all__ = [
+    "CORPUS_SCHEMA", "CorpusError", "generate_corpus", "manifest_dict",
+    "write_corpus", "load_corpus", "register_corpus", "corpus_runner",
+    "apply_fuel_limits",
+]
+
+CORPUS_SCHEMA = "repro.gen.corpus/v1"
+
+
+class CorpusError(ValueError):
+    """A corpus directory is missing, malformed, or fails verification."""
+
+
+def generate_corpus(seed: int, count: int,
+                    knobs: GenKnobs | None = None) -> list[GenProgram]:
+    """Generate *count* programs from *seed* (indexes 0..count-1)."""
+    if count < 1:
+        raise CorpusError(f"corpus count must be >= 1 (got {count})")
+    return [generate_program(seed, index, knobs) for index in range(count)]
+
+
+def manifest_dict(programs: list[GenProgram], seed: int,
+                  knobs: GenKnobs | None = None) -> dict:
+    """The stable (sorted-key, fully deterministic) manifest payload."""
+    return {
+        "schema": CORPUS_SCHEMA,
+        "generator": GEN_SCHEMA,
+        "seed": seed,
+        "count": len(programs),
+        "knobs": dataclasses.asdict(knobs) if knobs is not None else None,
+        "programs": [
+            {
+                "name": gp.name,
+                "seed": gp.seed,
+                "index": gp.index,
+                "file": f"{gp.name}.blc",
+                "sha256": gp.sha256(),
+                "templates": list(gp.templates),
+                "labels": [list(pair) for pair in gp.labels],
+                "datasets": [
+                    {"name": ds.name, "inputs": list(ds.inputs),
+                     "fuel": ds.fuel}
+                    for ds in gp.datasets
+                ],
+            }
+            for gp in programs
+        ],
+    }
+
+
+def write_corpus(programs: list[GenProgram], out_dir: str, seed: int,
+                 knobs: GenKnobs | None = None) -> str:
+    """Write ``<name>.blc`` files plus ``manifest.json``; returns the
+    manifest path.  Output is byte-deterministic for a given corpus."""
+    os.makedirs(out_dir, exist_ok=True)
+    for gp in programs:
+        path = os.path.join(out_dir, f"{gp.name}.blc")
+        with open(path, "w", encoding="utf-8", newline="\n") as handle:
+            handle.write(gp.source)
+    manifest_path = os.path.join(out_dir, "manifest.json")
+    payload = json.dumps(manifest_dict(programs, seed, knobs),
+                         indent=2, sort_keys=True) + "\n"
+    with open(manifest_path, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(payload)
+    return manifest_path
+
+
+def load_corpus(corpus_dir: str) -> list[GenProgram]:
+    """Load and verify a corpus directory written by :func:`write_corpus`.
+
+    Every program's source must hash to the manifest's SHA-256 — a
+    drifted file is a hard :class:`CorpusError`, because the manifest's
+    labels and fuel budgets are only ground truth for the exact bytes
+    the generator emitted.
+    """
+    manifest_path = os.path.join(corpus_dir, "manifest.json")
+    try:
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        raise CorpusError(f"no manifest.json in {corpus_dir!r}") from None
+    except json.JSONDecodeError as exc:
+        raise CorpusError(f"malformed manifest in {corpus_dir!r}: "
+                          f"{exc}") from None
+    if manifest.get("schema") != CORPUS_SCHEMA:
+        raise CorpusError(f"unsupported corpus schema "
+                          f"{manifest.get('schema')!r} "
+                          f"(expected {CORPUS_SCHEMA!r})")
+    programs: list[GenProgram] = []
+    for entry in manifest["programs"]:
+        path = os.path.join(corpus_dir, entry["file"])
+        try:
+            with open(path, encoding="utf-8", newline="") as handle:
+                source = handle.read()
+        except FileNotFoundError:
+            raise CorpusError(
+                f"{entry['name']}: source file {entry['file']!r} "
+                f"missing from {corpus_dir!r}") from None
+        gp = GenProgram(
+            name=entry["name"], seed=entry["seed"], index=entry["index"],
+            source=source,
+            datasets=tuple(GenDataset(ds["name"], tuple(ds["inputs"]),
+                                      ds["fuel"])
+                           for ds in entry["datasets"]),
+            labels=tuple((proc, label)
+                         for proc, label in entry["labels"]),
+            templates=tuple(entry["templates"]))
+        if gp.sha256() != entry["sha256"]:
+            raise CorpusError(
+                f"{gp.name}: source drifted from the manifest "
+                f"(sha256 {gp.sha256()[:12]}... != "
+                f"{entry['sha256'][:12]}...) — regenerate the corpus "
+                f"instead of editing generated files")
+        programs.append(gp)
+    return programs
+
+
+def register_corpus(programs: list[GenProgram], replace: bool = False):
+    """Scope-bound registration of every program as a suite benchmark
+    (a context manager; see :func:`repro.bench.suite.registered`)."""
+    return _registered_benchmarks([gp.benchmark() for gp in programs],
+                                  replace=replace)
+
+
+def apply_fuel_limits(runner: SuiteRunner,
+                      programs: list[GenProgram]) -> None:
+    """Install each dataset's generator-paired fuel budget as a
+    per-(benchmark, dataset) override on *runner*.
+
+    This is the dataset/fuel round-trip: the override flows through
+    ``_effective_limits`` into serial runs, ``ShardJob.fuel_budget`` for
+    parallel shards, the persistent run key, and the negative-cache
+    fingerprint — so a fuel exhaustion on one dataset can never poison
+    another dataset (or the same dataset under a different budget).
+    """
+    for gp in programs:
+        for ds in gp.datasets:
+            runner.limit_fuel(gp.name, ds.fuel, dataset=ds.name)
+
+
+def corpus_runner(programs: list[GenProgram], jobs: int = 1,
+                  cache_dir: str | None = None, engine: str | None = None,
+                  optimize: bool = True, strict: bool = True,
+                  **kwargs) -> SuiteRunner:
+    """A :class:`SuiteRunner` over the corpus with paired fuel installed.
+
+    The programs must already be registered (see :func:`register_corpus`)
+    — the runner resolves them by name exactly like suite members, so
+    every existing harness feature (parallel prefetch, artifact cache,
+    degraded mode, engine pinning) works unchanged over generated code.
+    """
+    runner = SuiteRunner(benchmarks=[gp.name for gp in programs],
+                         parallelism=jobs, cache_dir=cache_dir,
+                         engine=engine, optimize=optimize, strict=strict,
+                         **kwargs)
+    apply_fuel_limits(runner, programs)
+    return runner

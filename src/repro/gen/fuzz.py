@@ -1,0 +1,116 @@
+"""Fuzz gates: every generated program must clear the whole stack.
+
+:func:`check_program` runs one program through four independent gates —
+any failure is a generator bug or a compiler/analysis bug, and either
+way it must fail loudly with the seed/index needed to reproduce it:
+
+1. **lint** — zero non-suppressed findings from the BLC linter;
+2. **verify** — compiles at -O0 and -O1 with the IR verifier enabled
+   after generation and after every pass that changed a function;
+3. **differential run** — every dataset terminates within its paired
+   fuel budget at both optimization levels, with byte-identical output
+   (the generated corpus doubles as a compiler differential substrate);
+4. **scev** — every SCEV-predicted trip count is consistent with the
+   observed back-edge profile, via the same
+   :func:`repro.harness.scev_report.trip_checks` library the harness's
+   ``--scev-table`` uses (the program is registered as a benchmark so
+   the checker resolves it by name; zero mismatches allowed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.suite import registered as _registered_benchmarks
+from repro.gen.grammar import GenProgram
+
+__all__ = ["CheckFailure", "check_program", "check_corpus"]
+
+
+@dataclass(frozen=True)
+class CheckFailure:
+    """One failed gate, with enough context to reproduce."""
+
+    program: str
+    stage: str      #: "lint" | "verify" | "run" | "scev"
+    detail: str
+
+    def format(self) -> str:
+        return f"{self.program} [{self.stage}]: {self.detail}"
+
+
+def check_program(gp: GenProgram, scev: bool = True,
+                  engine: str | None = None) -> list[CheckFailure]:
+    """All gate failures for one generated program (empty = clean)."""
+    from repro.analysis.lint import lint_source
+    from repro.bcc import compile_and_link
+    from repro.sim import Machine
+
+    failures: list[CheckFailure] = []
+    filename = f"{gp.name}.blc"
+
+    diagnostics = lint_source(gp.source, filename)
+    for diag in diagnostics:
+        failures.append(CheckFailure(gp.name, "lint", diag.format()))
+
+    executables = {}
+    for optimize in (False, True):
+        level = "-O1" if optimize else "-O0"
+        try:
+            executables[optimize] = compile_and_link(
+                gp.source, filename=filename, optimize=optimize,
+                verify_each=True)
+        except Exception as exc:  # CompileError / VerifierError alike
+            failures.append(CheckFailure(
+                gp.name, "verify", f"{level}: {exc}"))
+    if len(executables) < 2:
+        return failures
+
+    for ds in gp.datasets:
+        outputs = {}
+        for optimize, executable in sorted(executables.items()):
+            level = "-O1" if optimize else "-O0"
+            machine = Machine(executable, inputs=list(ds.inputs),
+                              max_instructions=ds.fuel, engine=engine)
+            try:
+                machine.run()
+            except Exception as exc:
+                failures.append(CheckFailure(
+                    gp.name, "run",
+                    f"{level} dataset {ds.name} (fuel {ds.fuel}): {exc}"))
+                continue
+            outputs[level] = machine.output
+        if len(outputs) == 2 and outputs["-O0"] != outputs["-O1"]:
+            failures.append(CheckFailure(
+                gp.name, "run",
+                f"dataset {ds.name}: -O0 and -O1 outputs differ"))
+
+    if scev and not failures:
+        from repro.harness.scev_report import trip_checks
+        with _registered_benchmarks([gp.benchmark()], replace=True):
+            for ds in gp.datasets:
+                # fold-free builds run more instructions than the
+                # optimized fuel pricing assumed; scale the budget
+                checks = trip_checks(gp.name,
+                                     max_instructions=ds.fuel * 4,
+                                     dataset=ds.name)
+                for check in checks:
+                    if not check.ok:
+                        failures.append(CheckFailure(
+                            gp.name, "scev",
+                            f"dataset {ds.name}: {check.function}/"
+                            f"{check.test_block} predicted "
+                            f"{check.trip.min_trips}"
+                            f"..{check.trip.max_trips} trips, observed "
+                            f"{check.continues} continues / "
+                            f"{check.exits} exits"))
+    return failures
+
+
+def check_corpus(programs: list[GenProgram], scev: bool = True,
+                 engine: str | None = None) -> list[CheckFailure]:
+    """Gate failures over a whole corpus, in program order."""
+    failures: list[CheckFailure] = []
+    for gp in programs:
+        failures.extend(check_program(gp, scev=scev, engine=engine))
+    return failures

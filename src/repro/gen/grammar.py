@@ -1,0 +1,640 @@
+"""Seeded, grammar-driven BLC program generation.
+
+Each generated program is a deterministic function of ``(seed, index,
+knobs)``: a :class:`random.Random` seeded with the string
+``"repro.gen/v1/<seed>/<index>"`` (string seeding hashes with SHA-512,
+so the stream is independent of ``PYTHONHASHSEED``) drives every choice,
+and no other source of entropy exists.  Same seed means byte-identical
+source, datasets, and fuel budgets — the property the corpus regression
+tests pin.
+
+The grammar is a *template catalog*, not free-form expression synthesis:
+every program is a fixed scaffold (global ``DATA``/``FDATA`` arrays, a
+deterministic LCG fill, clamped ``read_int`` inputs, a bounded driver
+loop) plus N instantiated construct templates, one BLC function (or
+function group) per construct.  That shape buys three guarantees that
+random expression soup cannot:
+
+* **ground-truth labels** — each branch lives in the function its
+  template emitted, so mapping branch -> containing procedure ->
+  template label is *exact*, surviving every compiler transform that
+  preserves procedure boundaries.  Characterization clusters are known,
+  not inferred.
+* **termination within fuel** — every loop has a structural termination
+  argument (literal trip counts, clamped non-negative parameter bounds,
+  halving/decrementing induction, bounded recursion depth), so each
+  template reports a conservative per-call instruction bound and the
+  generator prices a fuel budget per dataset that the program provably
+  stays under.
+* **lint/verifier cleanliness** — templates are written against the
+  linter's rules (always-initialized locals, conditions that reference
+  variables, no FP equality, no straight-line dead stores, no constant
+  zero-trip loops), so every emitted program lints with zero findings
+  and verifies under ``--verify-each`` at every pass boundary.
+
+The knobs span the workload axes of the related work (Vikas/Gratz/
+Jiménez's characterization axes; Lin & Tarsa's hard-branch taxonomy):
+loop nest depth and trip-count shape (exact / interval / data-dependent,
+exercising the SCEV analysis), branch bias, pointer/guard density,
+call-graph depth, and input-dependent vs static control flow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from repro.bench.suite import Benchmark, Dataset
+
+__all__ = [
+    "GEN_SCHEMA", "TEMPLATE_LABELS", "GenKnobs", "GenDataset",
+    "GenProgram", "generate_program", "program_name",
+]
+
+#: versioned seed-stream namespace: bump on ANY grammar change, or old
+#: seeds silently stop reproducing committed corpora
+GEN_SCHEMA = "repro.gen/v1"
+
+#: upper bound on any driver-supplied construct argument (inputs clamp to
+#: ``% 24``, reps to 1..4, literals to <= 20 — see ``_ARG_FORMS``)
+_ARG_MAX = 32
+
+#: every template key == the characterization cluster label it emits
+TEMPLATE_LABELS = (
+    "loop.exact", "loop.interval", "loop.data",
+    "branch.bias", "branch.balanced",
+    "guard.pointer", "call.rec", "call.chain",
+    "fp.compare", "store.guard", "mixed",
+)
+
+_LOOP_KEYS = ("loop.exact", "loop.interval", "loop.data")
+_CALL_KEYS = ("call.rec", "call.chain")
+_BODY_KEYS = ("branch.bias", "branch.balanced", "guard.pointer",
+              "fp.compare", "store.guard", "mixed")
+
+
+@dataclass(frozen=True)
+class GenKnobs:
+    """Tunable generation axes (all defaults are corpus defaults).
+
+    ``constructs`` is the number of template instantiations per program;
+    ``max_loops``/``max_calls`` bound how many of them come from the
+    loop/call families; ``branch_bias`` sets the taken-probability of
+    biased branches; ``pointer_density`` weights pointer-guard templates
+    in the catalog draw; ``input_dependence`` is the probability a
+    construct's driver argument derives from ``read_int`` input rather
+    than static literals; ``templates`` restricts the catalog.
+    """
+
+    constructs: int = 8
+    max_loop_depth: int = 3
+    max_loops: int = 3
+    max_calls: int = 2
+    branch_bias: float = 0.85
+    pointer_density: float = 0.5
+    input_dependence: float = 0.5
+    templates: tuple[str, ...] | None = None
+
+    def catalog(self) -> tuple[str, ...]:
+        """The template keys this knob set draws from."""
+        if self.templates is None:
+            return TEMPLATE_LABELS
+        unknown = sorted(set(self.templates) - set(TEMPLATE_LABELS))
+        if unknown:
+            raise ValueError(f"unknown template keys: {', '.join(unknown)}")
+        return tuple(t for t in TEMPLATE_LABELS if t in self.templates)
+
+
+@dataclass(frozen=True)
+class GenDataset:
+    """One input vector plus the fuel budget the generator priced for it.
+
+    ``fuel`` is a conservative structural bound (4x the estimated
+    worst-case instruction count plus a fixed margin), *not* a measured
+    count — the pairing guarantees termination within fuel, and differs
+    per dataset because the first input drives the driver's rep count.
+    """
+
+    name: str
+    inputs: tuple[int, ...]
+    fuel: int
+
+    def as_dataset(self) -> Dataset:
+        return Dataset(self.name, self.inputs)
+
+
+@dataclass(frozen=True)
+class GenProgram:
+    """A generated program with its ground truth attached."""
+
+    name: str
+    seed: int
+    index: int
+    source: str
+    datasets: tuple[GenDataset, ...]
+    #: (procedure name, cluster label) for every generated procedure
+    labels: tuple[tuple[str, str], ...]
+    #: template keys in instantiation order (repeats allowed)
+    templates: tuple[str, ...]
+    _label_map: dict = field(default=None, repr=False, compare=False)
+
+    def label_of(self, procedure: str) -> str:
+        """Cluster label for *procedure*: a template label for generated
+        construct functions, ``"driver"`` for main, ``"runtime"`` for
+        the linked-in library procedures."""
+        mapping = object.__getattribute__(self, "_label_map")
+        if mapping is None:
+            mapping = dict(self.labels)
+            mapping["main"] = "driver"
+            object.__setattr__(self, "_label_map", mapping)
+        return mapping.get(procedure, "runtime")
+
+    def benchmark(self) -> Benchmark:
+        """Wrap as a registrable suite :class:`Benchmark` (inline source)."""
+        return Benchmark(
+            name=self.name, group="gen",
+            description=f"generated corpus program "
+                        f"(seed {self.seed}, index {self.index})",
+            paper_analogue="repro.gen corpus",
+            datasets=tuple(ds.as_dataset() for ds in self.datasets),
+            source_text=self.source)
+
+    def sha256(self) -> str:
+        return hashlib.sha256(self.source.encode("utf-8")).hexdigest()
+
+
+def program_name(seed: int, index: int) -> str:
+    """Canonical benchmark name (``gen_`` prefix keeps the suite's
+    namespace collision-free)."""
+    return f"gen_s{seed}_{index:04d}"
+
+
+# ---------------------------------------------------------------------------
+# construct templates
+#
+# Each builder returns a _Construct: BLC function text, the entry function
+# the driver calls (always ``int entry(int)``), the procedures it defined
+# (all carrying the template's label), and a conservative per-call
+# instruction bound at _ARG_MAX.  Safety rules every template obeys:
+#
+# * array subscripts combine only loop variables, literals, and known
+#   non-negative values, always reduced ``% 64`` / ``% 32``;
+# * every local is initialized at declaration (L001) and read before any
+#   straight-line reassignment (L004);
+# * conditions always reference a variable or array element (L003) and
+#   never compare doubles with == or != (L005);
+# * loop bounds are literals >= 2 or parameters (L006), and every loop
+#   strictly decreases a termination measure.
+
+
+@dataclass(frozen=True)
+class _Construct:
+    key: str
+    entry: str
+    procs: tuple[str, ...]
+    lines: tuple[str, ...]
+    cost: int               #: per-call instruction upper bound at _ARG_MAX
+
+
+def _loop_exact(rng: random.Random, uid: int, knobs: GenKnobs) -> _Construct:
+    """Literal-bound counted nest: SCEV proves exact trip counts."""
+    name = f"gx{uid}_loop_exact"
+    depth = 1 + rng.randrange(max(1, knobs.max_loop_depth))
+    trips = [2 + rng.randrange(7) for _ in range(depth)]
+    lines = [f"int {name}(int n) {{", "    int acc = n;"]
+    indent = "    "
+    vars_in_scope = []
+    for level, trip in enumerate(trips):
+        v = f"i{level}"
+        lines.append(f"{indent}for (int {v} = 0; {v} < {trip}; {v}++) {{")
+        indent += "    "
+        vars_in_scope.append(v)
+    idx = " + ".join(vars_in_scope)
+    lines.append(f"{indent}acc = acc + DATA[({idx}) % 64];")
+    for _ in trips:
+        indent = indent[:-4]
+        lines.append(f"{indent}}}")
+    lines += ["    return acc;", "}"]
+    iters = 1
+    for trip in trips:
+        iters *= trip
+    return _Construct("loop.exact", name, (name,), tuple(lines),
+                      cost=iters * 60 + 200)
+
+
+def _loop_interval(rng: random.Random, uid: int,
+                   knobs: GenKnobs) -> _Construct:
+    """Parameter-bound counted loop: SCEV sees an interval trip count
+    through the interprocedural range of the call-site arguments."""
+    name = f"gx{uid}_loop_interval"
+    stride = rng.choice((1, 1, 2, 3))
+    lines = [
+        f"int {name}(int n) {{",
+        "    int acc = 1;",
+        f"    for (int i = 0; i < n; i = i + {stride}) {{",
+        "        acc = acc + (i ^ DATA[i % 64]);",
+        "    }",
+        "    return acc;",
+        "}",
+    ]
+    return _Construct("loop.interval", name, (name,), tuple(lines),
+                      cost=(_ARG_MAX // stride + 2) * 60 + 200)
+
+
+def _loop_data(rng: random.Random, uid: int, knobs: GenKnobs) -> _Construct:
+    """Data-dependent trip count: halving induction, data-stepped
+    decrement, or a sentinel scan with break — shapes SCEV cannot count."""
+    name = f"gx{uid}_loop_data"
+    variant = rng.randrange(3)
+    if variant == 0:
+        start = 2 + rng.randrange(30)
+        lines = [
+            f"int {name}(int n) {{",
+            f"    int x = n + {start};",
+            "    int acc = 0;",
+            "    while (x > 1) {",
+            "        x = x / 2;",
+            "        acc = acc + x;",
+            "    }",
+            "    return acc;",
+            "}",
+        ]
+        cost = 8 * 50 + 200
+    elif variant == 1:
+        lines = [
+            f"int {name}(int n) {{",
+            "    int x = n + 9;",
+            "    int acc = 0;",
+            "    while (x > 0) {",
+            "        acc = acc + DATA[x % 64];",
+            "        x = x - 1 - DATA[x % 64] % 3;",
+            "    }",
+            "    return acc;",
+            "}",
+        ]
+        cost = (_ARG_MAX + 10) * 70 + 200
+    else:
+        sentinel = 88 + rng.randrange(8)
+        lines = [
+            f"int {name}(int n) {{",
+            "    int acc = 0;",
+            "    for (int i = 0; i < 64; i++) {",
+            f"        if (DATA[(i + n) % 64] > {sentinel}) {{",
+            "            break;",
+            "        }",
+            "        acc = acc + DATA[i];",
+            "    }",
+            "    return acc;",
+            "}",
+        ]
+        cost = 64 * 70 + 200
+    return _Construct("loop.data", name, (name,), tuple(lines), cost=cost)
+
+
+def _branch_bias(rng: random.Random, uid: int, knobs: GenKnobs) -> _Construct:
+    """A branch biased to the knob's taken probability (DATA is uniform
+    in [0, 97), so ``< t`` is taken with probability ~t/97)."""
+    name = f"gx{uid}_branch_bias"
+    threshold = min(92, max(5, int(knobs.branch_bias * 97)))
+    trip = 32 + 8 * rng.randrange(3)
+    lines = [
+        f"int {name}(int n) {{",
+        "    int acc = 0;",
+        f"    for (int i = 0; i < {trip}; i++) {{",
+        f"        if (DATA[(i + n) % 64] < {threshold}) {{",
+        "            acc = acc + 3;",
+        "        } else {",
+        "            acc = acc - 1;",
+        "        }",
+        "    }",
+        "    return acc;",
+        "}",
+    ]
+    return _Construct("branch.bias", name, (name,), tuple(lines),
+                      cost=trip * 60 + 200)
+
+
+def _branch_balanced(rng: random.Random, uid: int,
+                     knobs: GenKnobs) -> _Construct:
+    """~50/50 parity branch on LCG-filled data: the hard-to-predict
+    cluster no static heuristic should beat a coin flip on."""
+    name = f"gx{uid}_branch_balanced"
+    mult = rng.choice((3, 5, 7))
+    trip = 32 + 8 * rng.randrange(3)
+    lines = [
+        f"int {name}(int n) {{",
+        "    int acc = n;",
+        f"    for (int i = 0; i < {trip}; i++) {{",
+        f"        if ((DATA[(i * {mult} + n) % 64] & 1) == 1) {{",
+        "            acc = acc + i;",
+        "        } else {",
+        "            acc = acc - 2;",
+        "        }",
+        "    }",
+        "    return acc;",
+        "}",
+    ]
+    return _Construct("branch.balanced", name, (name,), tuple(lines),
+                      cost=trip * 60 + 200)
+
+
+def _guard_pointer(rng: random.Random, uid: int,
+                   knobs: GenKnobs) -> _Construct:
+    """Conditionally-set pointer + null-guarded deref: the Point
+    heuristic's home turf."""
+    name = f"gx{uid}_guard_pointer"
+    threshold = 30 + rng.randrange(40)
+    lines = [
+        f"int {name}(int n) {{",
+        "    int acc = 0;",
+        "    for (int i = 0; i < 32; i++) {",
+        "        int *p = 0;",
+        f"        if (DATA[(i + n) % 64] > {threshold}) {{",
+        "            p = &DATA[(i * 5) % 64];",
+        "        }",
+        "        if (p != 0) {",
+        "            acc = acc + *p;",
+        "        } else {",
+        "            acc = acc + 1;",
+        "        }",
+        "    }",
+        "    return acc;",
+        "}",
+    ]
+    return _Construct("guard.pointer", name, (name,), tuple(lines),
+                      cost=32 * 80 + 200)
+
+
+def _call_rec(rng: random.Random, uid: int, knobs: GenKnobs) -> _Construct:
+    """Mutually recursive pair (exercising the prototype-free program-wide
+    signature collection) with guarding base cases."""
+    a = f"gx{uid}_call_rec"
+    b = f"gx{uid}_call_rec_h"
+    dec = rng.choice((1, 2))
+    lines = [
+        f"int {a}(int x) {{",
+        "    if (x < 2) {",
+        "        return 1;",
+        "    }",
+        f"    return {b}(x - 1) + x;",
+        "}",
+        f"int {b}(int x) {{",
+        "    if (x < 2) {",
+        "        return 2;",
+        "    }",
+        f"    return {a}(x - {dec}) + DATA[x % 64];",
+        "}",
+    ]
+    return _Construct("call.rec", a, (a, b), tuple(lines),
+                      cost=(_ARG_MAX + 4) * 90 + 200)
+
+
+def _call_chain(rng: random.Random, uid: int, knobs: GenKnobs) -> _Construct:
+    """A call ladder with early returns (Call + Return heuristics)."""
+    top = f"gx{uid}_call_chain"
+    mid = f"gx{uid}_call_chain_m"
+    leaf = f"gx{uid}_call_chain_l"
+    mod = rng.choice((3, 4, 5))
+    lines = [
+        f"int {top}(int x) {{",
+        f"    int acc = {mid}(x);",
+        "    for (int i = 0; i < 8; i++) {",
+        f"        acc = acc + {mid}(x + i);",
+        "    }",
+        "    return acc;",
+        "}",
+        f"int {mid}(int x) {{",
+        f"    if (x % {mod} == 0) {{",
+        f"        return {leaf}(x + 1) * 2;",
+        "    }",
+        f"    return {leaf}(x) - 1;",
+        "}",
+        f"int {leaf}(int x) {{",
+        f"    if (x % 5 == 0) {{",
+        "        return x + 7;",
+        "    }",
+        "    return DATA[i_abs(x) % 64] + 1;",
+        "}",
+    ]
+    return _Construct("call.chain", top, (top, mid, leaf), tuple(lines),
+                      cost=9 * 220 + 400)
+
+
+def _fp_compare(rng: random.Random, uid: int, knobs: GenKnobs) -> _Construct:
+    """Double comparisons over FDATA (Opcode heuristic; no FP equality,
+    per lint L005)."""
+    name = f"gx{uid}_fp_compare"
+    t1 = rng.randrange(4, 44) / 2.0
+    t2 = t1 + rng.randrange(2, 12) / 2.0
+    lines = [
+        f"int {name}(int n) {{",
+        "    int acc = 0;",
+        "    for (int i = 0; i < 32; i++) {",
+        f"        if (FDATA[(i + n) % 32] > {t1:.1f}) {{",
+        "            acc = acc + 2;",
+        "        }",
+        f"        if (FDATA[i] < {t2:.1f}) {{",
+        "            acc = acc + 1;",
+        "        }",
+        "    }",
+        "    return acc;",
+        "}",
+    ]
+    return _Construct("fp.compare", name, (name,), tuple(lines),
+                      cost=32 * 90 + 200)
+
+
+def _store_guard(rng: random.Random, uid: int, knobs: GenKnobs) -> _Construct:
+    """Branch-guarded stores (Store heuristic); stored values stay inside
+    DATA's [0, 97) invariant so other constructs' bias math holds."""
+    name = f"gx{uid}_store_guard"
+    threshold = 40 + rng.randrange(30)
+    mult = rng.choice((7, 11, 13))
+    lines = [
+        f"int {name}(int n) {{",
+        "    int acc = 0;",
+        "    for (int i = 0; i < 40; i++) {",
+        f"        if (DATA[(i + n) % 64] > {threshold}) {{",
+        f"            DATA[(i * {mult} + 1) % 64] = (acc + i) % 97;",
+        "            acc = acc + 1;",
+        "        } else {",
+        "            acc = acc + DATA[i % 64] % 5;",
+        "        }",
+        "    }",
+        "    return acc;",
+        "}",
+    ]
+    return _Construct("store.guard", name, (name,), tuple(lines),
+                      cost=40 * 80 + 200)
+
+
+def _mixed(rng: random.Random, uid: int, knobs: GenKnobs) -> _Construct:
+    """Interval loop + data guard + helper call in one construct."""
+    name = f"gx{uid}_mixed"
+    helper = f"gx{uid}_mixed_h"
+    threshold = 35 + rng.randrange(30)
+    lines = [
+        f"int {name}(int n) {{",
+        "    int acc = i_max(n, 3);",
+        "    for (int i = 0; i < n + 6; i++) {",
+        "        int v = DATA[(i + n) % 64];",
+        f"        if (v > {threshold}) {{",
+        f"            acc = acc + {helper}(v % 9);",
+        "        } else {",
+        "            acc = acc - v % 7;",
+        "        }",
+        "    }",
+        "    return acc;",
+        "}",
+        f"int {helper}(int x) {{",
+        "    int s = 0;",
+        "    while (x > 0) {",
+        "        s = s + x;",
+        "        x = x - 1;",
+        "    }",
+        "    return s;",
+        "}",
+    ]
+    return _Construct("mixed", name, (name, helper), tuple(lines),
+                      cost=(_ARG_MAX + 6) * (80 + 9 * 40) + 400)
+
+
+_TEMPLATES = {
+    "loop.exact": _loop_exact,
+    "loop.interval": _loop_interval,
+    "loop.data": _loop_data,
+    "branch.bias": _branch_bias,
+    "branch.balanced": _branch_balanced,
+    "guard.pointer": _guard_pointer,
+    "call.rec": _call_rec,
+    "call.chain": _call_chain,
+    "fp.compare": _fp_compare,
+    "store.guard": _store_guard,
+    "mixed": _mixed,
+}
+assert tuple(_TEMPLATES) == TEMPLATE_LABELS
+
+
+# ---------------------------------------------------------------------------
+# program assembly
+
+
+#: driver argument forms: (input-dependent?, expression template).  All
+#: evaluate non-negative and <= _ARG_MAX - 1 (inputs clamp % 24, r <= 3).
+_ARG_FORMS_INPUT = (
+    "in0", "in1", "in2", "(in0 + r) % 24", "(in1 + in2) % 24",
+)
+_ARG_FORMS_STATIC = (
+    "{lit}", "r + {lit_small}", "(r * 3 + {lit_small}) % 24",
+)
+
+
+def _pick_templates(rng: random.Random, knobs: GenKnobs) -> list[str]:
+    """Draw the construct list: >=1 loop, up to max_loops/max_calls from
+    those families, pointer-density-weighted body fill."""
+    catalog = knobs.catalog()
+    loops = [k for k in catalog if k in _LOOP_KEYS]
+    calls = [k for k in catalog if k in _CALL_KEYS]
+    bodies = [k for k in catalog if k in _BODY_KEYS]
+    picks: list[str] = []
+    if loops:
+        for _ in range(1 + rng.randrange(max(1, knobs.max_loops))):
+            picks.append(rng.choice(loops))
+    if calls and knobs.max_calls > 0:
+        for _ in range(rng.randrange(knobs.max_calls + 1)):
+            picks.append(rng.choice(calls))
+    fill = bodies or loops or calls or list(catalog)
+    while len(picks) < max(1, knobs.constructs):
+        key = rng.choice(fill)
+        if key == "guard.pointer" and rng.random() > knobs.pointer_density:
+            key = rng.choice([k for k in fill if k != "guard.pointer"]
+                             or fill)
+        picks.append(key)
+    picks = picks[:max(1, knobs.constructs)]
+    rng.shuffle(picks)
+    return picks
+
+
+def _driver_arg(rng: random.Random, knobs: GenKnobs) -> str:
+    if rng.random() < knobs.input_dependence:
+        return rng.choice(_ARG_FORMS_INPUT)
+    form = rng.choice(_ARG_FORMS_STATIC)
+    return form.format(lit=2 + rng.randrange(19),
+                       lit_small=1 + rng.randrange(8))
+
+
+def _dataset(rng: random.Random, name: str, per_rep_cost: int,
+             n_constructs: int) -> GenDataset:
+    """Price a fuel budget for one random input vector.
+
+    The first input drives the driver's rep count (1..4), so cost —
+    and therefore fuel — is dataset-dependent by construction; that
+    pairing is what the ShardJob round-trip regression exercises.
+    """
+    inputs = tuple(rng.randrange(0, 97) for _ in range(3))
+    reps = 1 + (abs(inputs[0]) % 24) % 4
+    estimate = 6000 + reps * (per_rep_cost + 80 * n_constructs)
+    return GenDataset(name, inputs, fuel=4 * estimate + 250_000)
+
+
+def generate_program(seed: int, index: int = 0,
+                     knobs: GenKnobs | None = None) -> GenProgram:
+    """Generate one program deterministically from ``(seed, index, knobs)``."""
+    knobs = knobs or GenKnobs()
+    rng = random.Random(f"{GEN_SCHEMA}/{seed}/{index}")
+    picks = _pick_templates(rng, knobs)
+    constructs = [_TEMPLATES[key](rng, uid, knobs)
+                  for uid, key in enumerate(picks)]
+    args = [_driver_arg(rng, knobs) for _ in constructs]
+    fill_seed = 1 + rng.randrange(9999)
+
+    lines: list[str] = [
+        f"// generated by {GEN_SCHEMA}: seed={seed} index={index}",
+        f"// templates: {', '.join(picks)}",
+        "",
+        "int DATA[64];",
+        "double FDATA[32];",
+        "",
+    ]
+    for construct in constructs:
+        lines.extend(construct.lines)
+        lines.append("")
+    lines += [
+        "int main() {",
+        "    int in0 = i_abs(read_int()) % 24;",
+        "    int in1 = i_abs(read_int()) % 24;",
+        "    int in2 = i_abs(read_int()) % 24;",
+        "    int acc = in2;",
+        f"    rand_seed({fill_seed});",
+        "    for (int i = 0; i < 64; i++) {",
+        "        DATA[i] = rand_next(97);",
+        "    }",
+        "    for (int i = 0; i < 32; i++) {",
+        "        FDATA[i] = (double)rand_next(1000) / 37.0;",
+        "    }",
+        "    int reps = 1 + in0 % 4;",
+        "    for (int r = 0; r < reps; r++) {",
+    ]
+    for construct, arg in zip(constructs, args):
+        lines.append(f"        acc = (acc + {construct.entry}({arg}))"
+                     f" % 100003;")
+    lines += [
+        "        print_int(acc);",
+        "        print_char('\\n');",
+        "    }",
+        "    print_int(acc + reps);",
+        "    print_char('\\n');",
+        "    return 0;",
+        "}",
+        "",
+    ]
+
+    per_rep_cost = sum(c.cost for c in constructs)
+    datasets = tuple(_dataset(rng, name, per_rep_cost, len(constructs))
+                     for name in ("ref", "alt"))
+    labels = tuple((proc, c.key) for c in constructs for proc in c.procs)
+    return GenProgram(
+        name=program_name(seed, index), seed=seed, index=index,
+        source="\n".join(lines), datasets=datasets, labels=labels,
+        templates=tuple(picks))

@@ -29,6 +29,11 @@ Options:
     --scev-table     append the SCEV trip-count verification table
     --loop-shape-table
                      append the loop-shape (rotate/unrotate) ablation
+    --corpus-table SPEC
+                     append the generated-corpus predictability table;
+                     SPEC is a corpus directory (python -m repro.gen
+                     corpus) or SEED:COUNT for a fresh corpus — runs
+                     under the same --jobs/--cache/--engine settings
     --log-level/--quiet
                      shared structured-logging knobs (repro.telemetry)
 
@@ -146,6 +151,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="also print the loop-shape ablation table "
                              "(rotate/unrotate differential plus the Loop "
                              "heuristic's miss rate per loop shape)")
+    parser.add_argument("--corpus-table", default=None, metavar="SPEC",
+                        help="also print the generated-corpus "
+                             "characterization table; SPEC is a corpus "
+                             "directory or SEED:COUNT (see "
+                             "python -m repro.gen / docs/corpus.md)")
     add_logging_args(parser)
     if argv is None:
         import sys
@@ -235,6 +245,17 @@ def main(argv: list[str] | None = None) -> int:
                 from repro.harness.scev_report import loop_shape_table
                 print()
                 print(loop_shape_table(runner).render())
+            if args.corpus_table:
+                from repro.harness.corpus_report import corpus_table
+                try:
+                    rendered = corpus_table(
+                        args.corpus_table, jobs=args.jobs,
+                        cache_dir=cache_dir, engine=args.engine)
+                except ValueError as exc:
+                    log.error(str(exc))
+                    return 2
+                print()
+                print(rendered)
     except ReproError as exc:
         log.error(exc.oneline())
         return 1

@@ -1,0 +1,49 @@
+"""The harness side of the generated-corpus report (``--corpus-table``).
+
+``--corpus-table SPEC`` accepts either a corpus directory written by
+``python -m repro.gen corpus`` or an inline ``SEED:COUNT`` pair, runs
+the corpus through the same parallel/cache/engine configuration as the
+rest of the report, and appends the per-cluster characterization table.
+The heavy lifting lives in :mod:`repro.gen`; this module only resolves
+the spec and scopes the benchmark registration.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["resolve_corpus_spec", "corpus_table"]
+
+
+def resolve_corpus_spec(spec: str):
+    """``SEED:COUNT`` -> a fresh corpus; anything else -> a directory.
+
+    Returns the program list; raises ``ValueError`` (via
+    :class:`repro.gen.CorpusError` or int parsing) on a bad spec.
+    """
+    from repro.gen import generate_corpus, load_corpus
+    if os.path.isdir(spec):
+        return load_corpus(spec)
+    if ":" in spec and os.sep not in spec:
+        seed_text, _, count_text = spec.partition(":")
+        try:
+            return generate_corpus(int(seed_text), int(count_text))
+        except ValueError as exc:
+            raise ValueError(f"bad --corpus-table spec {spec!r}: "
+                             f"{exc}") from None
+    raise ValueError(f"--corpus-table expects a corpus directory or "
+                     f"SEED:COUNT (got {spec!r})")
+
+
+def corpus_table(spec: str, jobs: int = 1, cache_dir: str | None = None,
+                 engine: str | None = None, dataset: str = "ref",
+                 evidence: bool = False) -> str:
+    """Render the corpus characterization table for *spec*."""
+    from repro.gen import characterize, corpus_runner, register_corpus
+    programs = resolve_corpus_spec(spec)
+    with register_corpus(programs, replace=True):
+        runner = corpus_runner(programs, jobs=max(1, jobs),
+                               cache_dir=cache_dir, engine=engine)
+        report = characterize(programs, runner, dataset=dataset,
+                              evidence=evidence)
+    return report.render()

@@ -1,9 +1,12 @@
-"""Testing utilities: the fault-injection (chaos) framework.
+"""Testing utilities: fault injection and generative strategies.
 
 ``repro.testing.chaos`` fabricates broken executables, starved datasets,
 and exhausted resource budgets so the resilience machinery
 (:mod:`repro.errors`, :mod:`repro.harness.resilience`) can be exercised
-deterministically. Production code must never import from here.
+deterministically.  ``repro.testing.strategies`` exposes the
+:mod:`repro.gen` grammar as hypothesis strategies (``blc_programs``)
+for property-based differential testing.  Production code must never
+import from here.
 """
 
 from repro.testing.chaos import (
@@ -13,5 +16,10 @@ from repro.testing.chaos import (
 
 __all__ = [
     "FAULTS", "clone_executable", "corrupt_branch_targets", "corrupt_opcode",
-    "sabotage",
+    "sabotage", "blc_programs", "gen_knobs",
 ]
+
+try:
+    from repro.testing.strategies import blc_programs, gen_knobs
+except ImportError:  # hypothesis not installed: chaos still usable
+    pass

@@ -1,0 +1,166 @@
+"""Committed mini-corpus regression: byte determinism, characterization
+goldens, and the dataset/fuel round-trip through the shard engine."""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.gen import (
+    CorpusError, GenKnobs, characterize, corpus_runner, generate_corpus,
+    load_corpus, manifest_dict, register_corpus, write_corpus,
+)
+from repro.harness.resilience import RunStatus
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "corpus", "mini")
+MINI_SEED = 7
+MINI_COUNT = 64
+
+
+@pytest.fixture(scope="module")
+def mini_corpus():
+    return load_corpus(CORPUS_DIR)
+
+
+# -- byte determinism --------------------------------------------------------
+
+
+def test_committed_corpus_loads_and_verifies(mini_corpus):
+    assert len(mini_corpus) == MINI_COUNT
+    assert [gp.index for gp in mini_corpus] == list(range(MINI_COUNT))
+    assert all(gp.seed == MINI_SEED for gp in mini_corpus)
+
+
+def test_regeneration_reproduces_committed_manifest_bytes(mini_corpus):
+    """Same seed => byte-identical corpus: the generator's output today
+    must equal the committed artifact exactly."""
+    with open(os.path.join(CORPUS_DIR, "manifest.json"),
+              encoding="utf-8") as handle:
+        committed = handle.read()
+    regenerated = generate_corpus(MINI_SEED, MINI_COUNT)
+    payload = json.dumps(manifest_dict(regenerated, MINI_SEED, GenKnobs()),
+                         indent=2, sort_keys=True) + "\n"
+    assert payload == committed
+    for gp, committed_gp in zip(regenerated, mini_corpus):
+        assert gp.source == committed_gp.source
+
+
+def test_two_invocations_write_identical_bytes(tmp_path):
+    """write_corpus twice from the same seed: every byte equal."""
+    a_dir, b_dir = tmp_path / "a", tmp_path / "b"
+    write_corpus(generate_corpus(21, 4), str(a_dir), 21)
+    write_corpus(generate_corpus(21, 4), str(b_dir), 21)
+    files = sorted(p.name for p in a_dir.iterdir())
+    assert files == sorted(p.name for p in b_dir.iterdir())
+    for name in files:
+        assert (a_dir / name).read_bytes() == (b_dir / name).read_bytes()
+
+
+def test_drifted_source_is_rejected(tmp_path, mini_corpus):
+    corrupt = tmp_path / "corrupt"
+    corrupt.mkdir()
+    shutil.copy(os.path.join(CORPUS_DIR, "manifest.json"), corrupt)
+    for gp in mini_corpus:
+        (corrupt / f"{gp.name}.blc").write_text(gp.source)
+    victim = corrupt / f"{mini_corpus[0].name}.blc"
+    victim.write_text(mini_corpus[0].source + "// drift\n")
+    with pytest.raises(CorpusError, match="drifted"):
+        load_corpus(str(corrupt))
+
+
+# -- characterization goldens ------------------------------------------------
+
+
+def test_characterization_slice_matches_golden(mini_corpus):
+    """Per-cluster branch counts and miss rates over the first 10
+    programs, pinned byte-for-byte — plus jobs=1 vs jobs=4 identity."""
+    with open(os.path.join(CORPUS_DIR, "characterization_slice.json"),
+              encoding="utf-8") as handle:
+        golden = handle.read()
+    programs = mini_corpus[:10]
+    with register_corpus(programs, replace=True):
+        serial = characterize(programs, corpus_runner(programs, jobs=1))
+        parallel = characterize(programs, corpus_runner(programs, jobs=4))
+    assert serial.dumps() == golden
+    assert parallel.dumps() == golden
+
+
+@pytest.mark.tier2
+def test_characterization_full_matches_golden(mini_corpus):
+    """The full 64-program characterization (with static evidence
+    counts) against the committed golden."""
+    with open(os.path.join(CORPUS_DIR, "characterization.json"),
+              encoding="utf-8") as handle:
+        golden = handle.read()
+    with register_corpus(mini_corpus, replace=True):
+        runner = corpus_runner(mini_corpus, jobs=4)
+        report = characterize(mini_corpus, runner, evidence=True)
+    assert report.dumps() == golden
+
+
+def test_cluster_sanity_on_slice_golden():
+    """Structural facts the taxonomy promises, read from the golden."""
+    with open(os.path.join(CORPUS_DIR, "characterization_slice.json"),
+              encoding="utf-8") as handle:
+        payload = json.load(handle)
+    clusters = payload["clusters"]
+    # literal-bound nests are pure loop branches
+    exact = clusters["loop.exact"]
+    assert exact["loop_branches"] == exact["static_branches"]
+    assert exact["attribution"] == {
+        "LoopPredictor": exact["dynamic"]}
+    # the adversarial cluster must not beat perfect by magic: its miss
+    # rate stays at or above the perfect rate
+    balanced = clusters["branch.balanced"]
+    assert balanced["miss_rate"] >= balanced["perfect_rate"]
+    # every cluster's perfect rate lower-bounds its heuristic rate
+    for stats in clusters.values():
+        assert stats["miss_rate"] >= stats["perfect_rate"] - 1e-9
+
+
+# -- dataset/fuel round-trip through the shard engine ------------------------
+
+
+def test_fuel_exhaustion_is_dataset_scoped(tmp_path):
+    """A generated program starved of fuel on one dataset must (a) fail
+    only that dataset, (b) leave its other dataset runnable, and (c)
+    succeed again under the generator-paired budget without hitting the
+    stale negative-cache entry — all through the parallel shard engine
+    and the persistent artifact cache."""
+    programs = generate_corpus(1113, 2)
+    starved, healthy = programs[0], programs[1]
+    with register_corpus(programs, replace=True):
+        runner = corpus_runner(programs, jobs=2, strict=False,
+                               cache_dir=str(tmp_path / "cache"))
+        runner.limit_fuel(starved.name, 500, dataset="ref")
+
+        outcomes = {oc.benchmark: oc for oc in runner.all_outcomes("ref")}
+        assert outcomes[starved.name].failed
+        assert outcomes[starved.name].status is RunStatus.TIMEOUT
+        assert outcomes[healthy.name].ok
+
+        # the same program's other dataset keeps its paired budget
+        assert runner.outcome(starved.name, "alt").ok
+
+        # restore the generator-paired budget: the limits fingerprint
+        # changes, so the negative cache must not swallow the rerun
+        paired = starved.datasets[0].fuel
+        runner.limit_fuel(starved.name, paired, dataset="ref")
+        assert runner.outcome(starved.name, "ref").ok
+
+
+def test_paired_fuel_reaches_shard_limits():
+    """corpus_runner installs each dataset's own budget (not a global)."""
+    programs = generate_corpus(1114, 1)
+    gp = programs[0]
+    with register_corpus(programs, replace=True):
+        runner = corpus_runner(programs)
+        for ds in gp.datasets:
+            budget, keep, memory = runner._effective_limits(gp.name,
+                                                            ds.name)
+            assert budget == ds.fuel
+            assert keep is None and memory is None

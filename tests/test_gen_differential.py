@@ -1,0 +1,116 @@
+"""Differential fuzzing over generated programs (hypothesis + corpus).
+
+Every generated program must behave byte-identically across every
+implementation axis the repo maintains: -O0 vs -O1 (optimizer), tier0
+vs tier1 (execution engine), serial vs parallel (shard engine), and the
+static-analysis gates (verifier, linter, SCEV trip consistency).  The
+tier1 slice runs a fixed-seed prefix of the committed mini-corpus plus
+a small hypothesis sweep; the full 64-program corpus and the optional
+1000-program sweep are tier2.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.bcc import compile_and_link
+from repro.gen import (
+    characterize, check_program, corpus_runner, generate_program,
+    load_corpus, register_corpus,
+)
+from repro.sim import Machine
+from repro.testing.strategies import blc_programs
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "corpus", "mini")
+
+#: the fixed-seed tier1 slice (prefix of the committed seed-7 corpus)
+SLICE = [generate_program(7, index) for index in range(3)]
+
+
+def _outputs(executable, gp, engine=None):
+    out = {}
+    for ds in gp.datasets:
+        machine = Machine(executable, inputs=list(ds.inputs),
+                         max_instructions=ds.fuel, engine=engine)
+        machine.run()
+        out[ds.name] = machine.output
+    return out
+
+
+@pytest.mark.parametrize("gp", SLICE, ids=lambda gp: gp.name)
+def test_o0_vs_o1_byte_identical(gp):
+    o0 = compile_and_link(gp.source, filename=f"{gp.name}.blc",
+                          optimize=False)
+    o1 = compile_and_link(gp.source, filename=f"{gp.name}.blc",
+                          optimize=True)
+    assert _outputs(o0, gp) == _outputs(o1, gp)
+
+
+@pytest.mark.parametrize("gp", SLICE, ids=lambda gp: gp.name)
+def test_tier0_vs_tier1_byte_identical(gp):
+    executable = compile_and_link(gp.source, filename=f"{gp.name}.blc")
+    assert _outputs(executable, gp, engine="tier0") == \
+        _outputs(executable, gp, engine="tier1")
+
+
+def test_serial_vs_parallel_characterization_identical():
+    with register_corpus(SLICE, replace=True):
+        serial = characterize(SLICE, corpus_runner(SLICE, jobs=1))
+        parallel = characterize(SLICE, corpus_runner(SLICE, jobs=2))
+    assert serial.dumps() == parallel.dumps()
+
+
+def test_fuzz_gates_on_slice():
+    """Lint + verifier + fuel + -O0/-O1 differential + SCEV trips."""
+    for gp in SLICE:
+        assert check_program(gp) == []
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(gp=blc_programs(max_constructs=4))
+def test_hypothesis_generated_programs_hold_invariants(gp):
+    """Any drawn program: compiles clean both ways, runs within fuel,
+    and the optimizer preserves observable behavior byte-for-byte."""
+    o0 = compile_and_link(gp.source, filename=f"{gp.name}.blc",
+                          optimize=False)
+    o1 = compile_and_link(gp.source, filename=f"{gp.name}.blc",
+                          optimize=True)
+    ds = gp.datasets[0]
+    m0 = Machine(o0, inputs=list(ds.inputs), max_instructions=ds.fuel)
+    m1 = Machine(o1, inputs=list(ds.inputs), max_instructions=ds.fuel)
+    m0.run()
+    m1.run()
+    assert m0.output == m1.output
+    assert m0.output.strip()  # the driver always prints
+
+
+@pytest.mark.tier2
+def test_full_mini_corpus_fuzz_sweep():
+    """All 64 committed programs through every gate (the nightly-style
+    sweep; the tier1 slice above covers the prefix)."""
+    programs = load_corpus(CORPUS_DIR)
+    assert len(programs) == 64
+    failures = []
+    for gp in programs:
+        failures.extend(check_program(gp))
+    assert failures == [], "\n".join(f.format() for f in failures)
+
+
+@pytest.mark.tier2
+@pytest.mark.skipif(not os.environ.get("REPRO_CORPUS_SWEEP"),
+                    reason="set REPRO_CORPUS_SWEEP=1 for the 1k sweep")
+def test_thousand_program_sweep():
+    """The nightly 1000-program sweep: fresh seeds, every gate except
+    the (slow) SCEV recompile, which the 64-program sweep covers."""
+    failures = []
+    for index in range(1000):
+        gp = generate_program(20260809, index)
+        failures.extend(check_program(gp, scev=index % 50 == 0))
+        if len(failures) > 10:
+            break
+    assert failures == [], "\n".join(f.format() for f in failures)
